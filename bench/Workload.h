@@ -1,0 +1,146 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic symbol-table workload generation shared by the
+/// benchmark binaries (experiments E8, E9).
+///
+/// A workload is a sequence of symbol-table operations shaped like a
+/// compiler pass over a block-structured program: blocks open and close
+/// with bounded nesting, each block declares identifiers, and lookups
+/// mix local and outer names according to a lookup:declare ratio.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BENCH_WORKLOAD_H
+#define ALGSPEC_BENCH_WORKLOAD_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace algspec {
+namespace bench {
+
+/// One symbol-table operation.
+struct SymtabOp {
+  enum class Kind : uint8_t { Enter, Leave, Add, Lookup, IsInBlock };
+  Kind K;
+  std::string Id;
+};
+
+/// Workload shape parameters.
+struct WorkloadParams {
+  unsigned NumOps = 1000;      ///< Total operations to generate.
+  unsigned MaxDepth = 8;       ///< Maximum block nesting.
+  unsigned IdentsPerBlock = 8; ///< Fresh declarations per opened block.
+  /// Out of 100: how many non-structural ops are lookups (the rest are
+  /// declarations). Compilers are lookup-heavy; the paper's point is
+  /// that the designer cannot know this ratio up front.
+  unsigned LookupPercent = 70;
+  /// Out of 100: how many lookups target names from *outer* blocks
+  /// (deep searches) rather than the current block.
+  unsigned OuterLookupPercent = 30;
+  uint64_t Seed = 42;
+};
+
+/// Generates a deterministic workload for \p P.
+inline std::vector<SymtabOp> makeWorkload(const WorkloadParams &P) {
+  std::mt19937_64 Rng(P.Seed);
+  std::uniform_int_distribution<unsigned> Percent(0, 99);
+
+  std::vector<SymtabOp> Ops;
+  Ops.reserve(P.NumOps);
+
+  // Per-depth declared names, mirroring what a checker could look up.
+  std::vector<std::vector<std::string>> Declared(1);
+  unsigned Counter = 0;
+
+  auto declare = [&](unsigned Depth) {
+    std::string Id = "id" + std::to_string(Counter++);
+    Declared[Depth].push_back(Id);
+    Ops.push_back(SymtabOp{SymtabOp::Kind::Add, std::move(Id)});
+  };
+
+  // Seed the outermost scope.
+  for (unsigned I = 0; I < P.IdentsPerBlock && Ops.size() < P.NumOps; ++I)
+    declare(0);
+
+  while (Ops.size() < P.NumOps) {
+    unsigned Depth = static_cast<unsigned>(Declared.size()) - 1;
+    unsigned Roll = Percent(Rng);
+
+    // Structural moves ~15% of the time, biased to keep depth bounded.
+    if (Roll < 15) {
+      bool CanEnter = Depth + 1 < P.MaxDepth;
+      bool CanLeave = Depth > 0;
+      bool Enter = CanEnter && (!CanLeave || Percent(Rng) < 55);
+      if (Enter) {
+        Ops.push_back(SymtabOp{SymtabOp::Kind::Enter, {}});
+        Declared.emplace_back();
+        for (unsigned I = 0;
+             I < P.IdentsPerBlock && Ops.size() < P.NumOps; ++I)
+          declare(Depth + 1);
+      } else if (CanLeave) {
+        Ops.push_back(SymtabOp{SymtabOp::Kind::Leave, {}});
+        Declared.pop_back();
+      }
+      continue;
+    }
+
+    if (Percent(Rng) < P.LookupPercent) {
+      // Lookup: pick a declared name, local or outer.
+      unsigned TargetDepth = Depth;
+      if (Depth > 0 && Percent(Rng) < P.OuterLookupPercent)
+        TargetDepth = Percent(Rng) % Depth; // Strictly outer.
+      // Find a non-empty depth at or below the target.
+      while (Declared[TargetDepth].empty() && TargetDepth > 0)
+        --TargetDepth;
+      if (Declared[TargetDepth].empty())
+        continue;
+      std::uniform_int_distribution<size_t> Pick(
+          0, Declared[TargetDepth].size() - 1);
+      Ops.push_back(SymtabOp{SymtabOp::Kind::Lookup,
+                             Declared[TargetDepth][Pick(Rng)]});
+    } else {
+      declare(Depth);
+    }
+  }
+  return Ops;
+}
+
+/// Replays \p Ops against any table with the common interface; returns a
+/// checksum so the compiler cannot elide the work.
+template <typename Table>
+uint64_t replay(Table &T, const std::vector<SymtabOp> &Ops) {
+  uint64_t Checksum = 0;
+  for (const SymtabOp &Op : Ops) {
+    switch (Op.K) {
+    case SymtabOp::Kind::Enter:
+      T.enterBlock();
+      break;
+    case SymtabOp::Kind::Leave:
+      Checksum += T.leaveBlock();
+      break;
+    case SymtabOp::Kind::Add:
+      T.add(Op.Id, 1);
+      break;
+    case SymtabOp::Kind::Lookup:
+      Checksum += T.retrieve(Op.Id).has_value();
+      break;
+    case SymtabOp::Kind::IsInBlock:
+      Checksum += T.isInBlock(Op.Id);
+      break;
+    }
+  }
+  return Checksum;
+}
+
+} // namespace bench
+} // namespace algspec
+
+#endif // ALGSPEC_BENCH_WORKLOAD_H

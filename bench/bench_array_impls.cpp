@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E10 — the paper implements type Array as a chained hash
+/// table (section 4's PL/I code) where a plain association list would
+/// satisfy the same axioms. This bench shows where the hash pays off:
+/// READ cost vs number of defined identifiers, hash vs linear, plus the
+/// effect of the bucket count n the paper leaves as a parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/HashArray.h"
+#include "adt/LinearArray.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace algspec::adt;
+
+namespace {
+
+std::vector<std::string> identifiers(int64_t Count) {
+  std::vector<std::string> Ids;
+  Ids.reserve(static_cast<size_t>(Count));
+  for (int64_t I = 0; I < Count; ++I)
+    Ids.push_back("ident" + std::to_string(I));
+  return Ids;
+}
+
+void BM_HashArrayRead(benchmark::State &State) {
+  std::vector<std::string> Ids = identifiers(State.range(0));
+  HashArray<int> A(static_cast<size_t>(State.range(1)));
+  for (size_t I = 0; I != Ids.size(); ++I)
+    A.assign(Ids[I], static_cast<int>(I));
+  size_t Cursor = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.read(Ids[Cursor]));
+    Cursor = (Cursor + 7) % Ids.size();
+  }
+}
+
+void BM_LinearArrayRead(benchmark::State &State) {
+  std::vector<std::string> Ids = identifiers(State.range(0));
+  LinearArray<int> A;
+  for (size_t I = 0; I != Ids.size(); ++I)
+    A.assign(Ids[I], static_cast<int>(I));
+  size_t Cursor = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A.read(Ids[Cursor]));
+    Cursor = (Cursor + 7) % Ids.size();
+  }
+}
+
+void BM_HashArrayAssign(benchmark::State &State) {
+  std::vector<std::string> Ids = identifiers(State.range(0));
+  for (auto _ : State) {
+    HashArray<int> A(64);
+    for (size_t I = 0; I != Ids.size(); ++I)
+      A.assign(Ids[I], static_cast<int>(I));
+    benchmark::DoNotOptimize(A.entryCount());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+
+void BM_LinearArrayAssign(benchmark::State &State) {
+  std::vector<std::string> Ids = identifiers(State.range(0));
+  for (auto _ : State) {
+    LinearArray<int> A;
+    for (size_t I = 0; I != Ids.size(); ++I)
+      A.assign(Ids[I], static_cast<int>(I));
+    benchmark::DoNotOptimize(A.entryCount());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+
+} // namespace
+
+// READ: {identifiers, buckets}. The linear array has no bucket knob.
+BENCHMARK(BM_HashArrayRead)
+    ->Args({4, 64})
+    ->Args({32, 64})
+    ->Args({256, 64})
+    ->Args({2048, 64})
+    ->Args({2048, 8})   // Under-provisioned buckets: chains grow.
+    ->Args({2048, 512});
+BENCHMARK(BM_LinearArrayRead)->Arg(4)->Arg(32)->Arg(256)->Arg(2048);
+
+BENCHMARK(BM_HashArrayAssign)->Arg(256)->Arg(2048);
+BENCHMARK(BM_LinearArrayAssign)->Arg(256)->Arg(2048);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E8 (end-to-end view): whole-compiler-front-end throughput
+/// over synthetic BlockLang programs, for each symbol-table backend.
+/// Where bench_symbolic_vs_concrete replays a raw operation trace, this
+/// one runs the real pipeline (lex, parse, scope/type check), so the
+/// numbers show what the representation choice costs a *user* of the
+/// compiler — and what running on the bare specification costs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/FlatSymbolTable.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/SymbolTable.h"
+#include "blocklang/ScopedTable.h"
+#include "blocklang/Sema.h"
+#include "support/SourceMgr.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+namespace {
+
+/// Generates a well-formed program with \p NumBlocks nested/sequential
+/// blocks of \p VarsPerBlock declarations each, plus assignments that
+/// exercise lookups across scopes.
+std::string makeProgram(unsigned NumBlocks, unsigned VarsPerBlock,
+                        uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int> Coin(0, 1);
+  std::string Out = "begin\n";
+  unsigned Depth = 1;
+  unsigned Counter = 0;
+  std::vector<std::vector<std::string>> Declared(1);
+
+  auto declare = [&](std::string &Text) {
+    std::string Name = "v" + std::to_string(Counter++);
+    Text += std::string(Depth * 2, ' ') + "var " + Name + " : int;\n";
+    Declared.back().push_back(Name);
+  };
+  auto assign = [&](std::string &Text) {
+    // Assign to a random visible variable from a random visible one.
+    std::uniform_int_distribution<size_t> PickScope(0, Declared.size() - 1);
+    size_t S1 = PickScope(Rng), S2 = PickScope(Rng);
+    if (Declared[S1].empty() || Declared[S2].empty())
+      return;
+    std::uniform_int_distribution<size_t> P1(0, Declared[S1].size() - 1);
+    std::uniform_int_distribution<size_t> P2(0, Declared[S2].size() - 1);
+    Text += std::string(Depth * 2, ' ') + Declared[S1][P1(Rng)] + " := " +
+            Declared[S2][P2(Rng)] + " + 1;\n";
+  };
+
+  for (unsigned V = 0; V < VarsPerBlock; ++V)
+    declare(Out);
+  for (unsigned B = 1; B < NumBlocks; ++B) {
+    Out += std::string(Depth * 2, ' ') + "begin\n";
+    ++Depth;
+    Declared.emplace_back();
+    for (unsigned V = 0; V < VarsPerBlock; ++V)
+      declare(Out);
+    for (unsigned A = 0; A < VarsPerBlock * 2; ++A)
+      assign(Out);
+    if (Coin(Rng) && Depth > 2) {
+      --Depth;
+      Declared.pop_back();
+      Out += std::string(Depth * 2, ' ') + "end;\n";
+    }
+  }
+  while (Depth > 1) {
+    --Depth;
+    Declared.pop_back();
+    Out += std::string(Depth * 2, ' ') + "end;\n";
+  }
+  Out += "end\n";
+  return Out;
+}
+
+template <typename MakeBackend>
+void runCompile(benchmark::State &State, MakeBackend Make) {
+  std::string Source =
+      makeProgram(static_cast<unsigned>(State.range(0)), 6, 42);
+  SourceMgr SM("bench.bl", Source);
+  for (auto _ : State) {
+    auto Backend = Make();
+    DiagnosticEngine Diags;
+    SemaStats Stats;
+    bool Ok = compile(SM, *Backend, Diags, Dialect::Plain, &Stats);
+    if (!Ok)
+      State.SkipWithError("synthetic program failed to compile");
+    benchmark::DoNotOptimize(Stats.Lookups);
+  }
+}
+
+void BM_CompileHashStack(benchmark::State &State) {
+  runCompile(State, [] {
+    return std::make_unique<
+        ConcreteScopedTable<adt::SymbolTable<Type>>>();
+  });
+}
+void BM_CompileAssocList(benchmark::State &State) {
+  runCompile(State, [] {
+    return std::make_unique<
+        ConcreteScopedTable<adt::ListSymbolTable<Type>>>();
+  });
+}
+void BM_CompileFlatUndo(benchmark::State &State) {
+  runCompile(State, [] {
+    return std::make_unique<
+        ConcreteScopedTable<adt::FlatSymbolTable<Type>>>();
+  });
+}
+void BM_CompileSpecBackend(benchmark::State &State) {
+  runCompile(State, [] {
+    auto Created = SpecScopedTable::create();
+    return Created ? std::move(*Created)
+                   : std::unique_ptr<SpecScopedTable>();
+  });
+}
+
+} // namespace
+
+BENCHMARK(BM_CompileHashStack)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_CompileAssocList)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_CompileFlatUndo)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_CompileSpecBackend)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E12 — the paper's completeness system "prompts the user",
+/// so it has to answer at interactive speed. This bench sweeps synthetic
+/// specs (K defined operations over a sort with C constructors, full
+/// axiom coverage) through the static completeness checker and the
+/// critical-pair consistency checker, and also times the real paper
+/// specs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "check/Completeness.h"
+#include "check/Consistency.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+using namespace algspec;
+
+namespace {
+
+/// Builds a spec with \p NumCtors constructors (one nullary + the rest
+/// unary-recursive) and \p NumOps defined ops, each with a full set of
+/// per-constructor axioms.
+std::string syntheticSpec(int64_t NumCtors, int64_t NumOps) {
+  std::string S = "spec Synth\n  sorts T\n  ops\n    C0 : -> T\n";
+  for (int64_t C = 1; C < NumCtors; ++C)
+    S += "    C" + std::to_string(C) + " : T -> T\n";
+  for (int64_t F = 0; F < NumOps; ++F)
+    S += "    F" + std::to_string(F) + " : T -> Bool\n";
+  S += "  constructors C0";
+  for (int64_t C = 1; C < NumCtors; ++C)
+    S += ", C" + std::to_string(C);
+  S += "\n  vars x : T\n  axioms\n";
+  for (int64_t F = 0; F < NumOps; ++F) {
+    S += "    F" + std::to_string(F) + "(C0) = true\n";
+    for (int64_t C = 1; C < NumCtors; ++C)
+      S += "    F" + std::to_string(F) + "(C" + std::to_string(C) +
+           "(x)) = F" + std::to_string(F) + "(x)\n";
+  }
+  S += "end\n";
+  return S;
+}
+
+void BM_CompletenessSynthetic(benchmark::State &State) {
+  AlgebraContext Ctx;
+  auto Parsed =
+      parseSpecText(Ctx, syntheticSpec(State.range(0), State.range(1)));
+  Spec S = std::move(Parsed->front());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkCompleteness(Ctx, S));
+}
+
+void BM_ConsistencySynthetic(benchmark::State &State) {
+  AlgebraContext Ctx;
+  auto Parsed =
+      parseSpecText(Ctx, syntheticSpec(State.range(0), State.range(1)));
+  Spec S = std::move(Parsed->front());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkConsistency(Ctx, {&S}));
+}
+
+void BM_CompletenessPaperSpecs(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  auto StackArray = specs::loadStackArray(Ctx).take();
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(checkCompleteness(Ctx, Q));
+    benchmark::DoNotOptimize(checkCompleteness(Ctx, Sym));
+    for (const Spec &S : StackArray)
+      benchmark::DoNotOptimize(checkCompleteness(Ctx, S));
+  }
+}
+
+void BM_ConsistencyPaperSpecs(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkConsistency(Ctx, {&Q, &Sym}));
+}
+
+void BM_DynamicCompletenessQueue(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        checkCompletenessDynamic(Ctx, Q, {&Q}, Depth));
+}
+
+} // namespace
+
+// {constructors, defined ops}
+BENCHMARK(BM_CompletenessSynthetic)
+    ->Args({2, 4})
+    ->Args({2, 16})
+    ->Args({2, 64})
+    ->Args({8, 16})
+    ->Args({16, 16});
+BENCHMARK(BM_ConsistencySynthetic)->Args({2, 4})->Args({2, 16})->Args({8, 8});
+BENCHMARK(BM_CompletenessPaperSpecs);
+BENCHMARK(BM_ConsistencyPaperSpecs);
+BENCHMARK(BM_DynamicCompletenessQueue)->Arg(3)->Arg(4)->Arg(5);
+
+BENCHMARK_MAIN();

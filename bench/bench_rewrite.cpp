@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E11 — rewrite-engine scalability (supports E8's cost
+/// analysis): normalization time vs term size for Queue observations,
+/// and the ablation of the two design choices DESIGN.md calls out —
+/// normal-form memoization and hash consing's O(1) equality (approximated
+/// by the memoization toggle, since without the memo every equality
+/// re-derives).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+using namespace algspec;
+
+namespace {
+
+/// Builds ADD(...ADD(NEW, 'x0)..., 'xN).
+TermId buildQueueTerm(AlgebraContext &Ctx, int64_t Length) {
+  SortId Item = Ctx.lookupSort("Item");
+  OpId New = Ctx.lookupOp("NEW");
+  OpId Add = Ctx.lookupOp("ADD");
+  TermId Term = Ctx.makeOp(New, {});
+  for (int64_t I = 0; I < Length; ++I) {
+    TermId Atom = Ctx.makeAtom("x" + std::to_string(I), Item);
+    Term = Ctx.makeOp(Add, {Term, Atom});
+  }
+  return Term;
+}
+
+struct QueueFixture {
+  QueueFixture() {
+    Q = specs::loadQueue(Ctx).take();
+    System = std::make_unique<RewriteSystem>(
+        RewriteSystem::buildChecked(Ctx, {&Q}).take());
+  }
+  AlgebraContext Ctx;
+  Spec Q;
+  std::unique_ptr<RewriteSystem> System;
+};
+
+/// FRONT of an n-deep queue: the recursion walks the whole spine.
+void BM_FrontOfDeepQueue(benchmark::State &State) {
+  QueueFixture F;
+  OpId Front = F.Ctx.lookupOp("FRONT");
+  TermId Term =
+      F.Ctx.makeOp(Front, {buildQueueTerm(F.Ctx, State.range(0))});
+  EngineOptions Options;
+  Options.MaxSteps = 1ull << 30;
+  Options.Memoize = State.range(1) != 0;
+  for (auto _ : State) {
+    RewriteEngine Engine(F.Ctx, *F.System, Options);
+    benchmark::DoNotOptimize(Engine.normalize(Term));
+  }
+}
+
+/// Full drain: REMOVE^n then IS_EMPTY?; quadratic in n by the axioms.
+void BM_DrainQueue(benchmark::State &State) {
+  QueueFixture F;
+  OpId Remove = F.Ctx.lookupOp("REMOVE");
+  OpId IsEmpty = F.Ctx.lookupOp("IS_EMPTY?");
+  TermId Term = buildQueueTerm(F.Ctx, State.range(0));
+  for (int64_t I = 0; I < State.range(0); ++I)
+    Term = F.Ctx.makeOp(Remove, {Term});
+  Term = F.Ctx.makeOp(IsEmpty, {Term});
+  EngineOptions Options;
+  Options.MaxSteps = 1ull << 30;
+  for (auto _ : State) {
+    RewriteEngine Engine(F.Ctx, *F.System, Options);
+    benchmark::DoNotOptimize(Engine.normalize(Term));
+  }
+}
+
+/// Re-observation with a warm memo: the value of caching normal forms.
+void BM_RepeatedObservationMemoized(benchmark::State &State) {
+  QueueFixture F;
+  OpId Front = F.Ctx.lookupOp("FRONT");
+  TermId Term =
+      F.Ctx.makeOp(Front, {buildQueueTerm(F.Ctx, State.range(0))});
+  EngineOptions Options;
+  Options.MaxSteps = 1ull << 30;
+  RewriteEngine Engine(F.Ctx, *F.System, Options);
+  (void)Engine.normalize(Term); // Warm.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Engine.normalize(Term));
+}
+
+} // namespace
+
+// {queue length, memoize?}
+BENCHMARK(BM_FrontOfDeepQueue)
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({1024, 0});
+BENCHMARK(BM_DrainQueue)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_RepeatedObservationMemoized)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

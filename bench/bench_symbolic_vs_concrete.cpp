@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E8 — paper section 5: "except for a significant loss in
+/// efficiency, the lack of an implementation can be made completely
+/// transparent to the user."
+///
+/// One symbol-table workload is replayed against (a) the concrete
+/// stack-of-hash-arrays implementation, (b) the concrete association
+/// list, and (c) the bare Symboltable specification interpreted
+/// symbolically. The series quantifies the "significant loss": the
+/// symbolic table is orders of magnitude slower and its per-operation
+/// cost grows with the table's history, while concrete tables stay flat.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workload.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/SymbolTable.h"
+#include "ast/AlgebraContext.h"
+#include "interp/Session.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+using namespace algspec::bench;
+
+namespace {
+
+WorkloadParams paramsFor(int64_t NumOps) {
+  WorkloadParams P;
+  P.NumOps = static_cast<unsigned>(NumOps);
+  P.MaxDepth = 6;
+  P.IdentsPerBlock = 4;
+  return P;
+}
+
+/// Replays the workload against a fresh symbolic session per iteration.
+uint64_t replaySymbolic(const std::vector<SymtabOp> &Ops) {
+  AlgebraContext Ctx;
+  auto Loaded = specs::loadSymboltable(Ctx);
+  Spec S = Loaded.take();
+  EngineOptions Options;
+  Options.MaxSteps = 1ull << 30;
+  Session Sess = Session::create(Ctx, {&S}, Options).take();
+  uint64_t Checksum = 0;
+  (void)Sess.run("t := INIT");
+  for (const SymtabOp &Op : Ops) {
+    switch (Op.K) {
+    case SymtabOp::Kind::Enter:
+      (void)Sess.run("t := ENTERBLOCK(t)");
+      break;
+    case SymtabOp::Kind::Leave: {
+      Result<TermId> Probe = Sess.eval("LEAVEBLOCK(t)");
+      if (Probe && !Ctx.isError(*Probe)) {
+        (void)Sess.assign("t", *Probe);
+        ++Checksum;
+      }
+      break;
+    }
+    case SymtabOp::Kind::Add:
+      (void)Sess.run("t := ADD(t, '" + Op.Id + ", 'attr)");
+      break;
+    case SymtabOp::Kind::Lookup: {
+      Result<TermId> V = Sess.eval("RETRIEVE(t, '" + Op.Id + ")");
+      Checksum += V && !Ctx.isError(*V);
+      break;
+    }
+    case SymtabOp::Kind::IsInBlock: {
+      Result<TermId> V = Sess.eval("IS_INBLOCK?(t, '" + Op.Id + ")");
+      Checksum += V && *V == Ctx.trueTerm();
+      break;
+    }
+    }
+  }
+  return Checksum;
+}
+
+void BM_ConcreteHash(benchmark::State &State) {
+  std::vector<SymtabOp> Ops = makeWorkload(paramsFor(State.range(0)));
+  for (auto _ : State) {
+    adt::SymbolTable<int> T;
+    benchmark::DoNotOptimize(replay(T, Ops));
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Ops.size()));
+}
+
+void BM_ConcreteList(benchmark::State &State) {
+  std::vector<SymtabOp> Ops = makeWorkload(paramsFor(State.range(0)));
+  for (auto _ : State) {
+    adt::ListSymbolTable<int> T;
+    benchmark::DoNotOptimize(replay(T, Ops));
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Ops.size()));
+}
+
+void BM_SymbolicSpec(benchmark::State &State) {
+  std::vector<SymtabOp> Ops = makeWorkload(paramsFor(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(replaySymbolic(Ops));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Ops.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_ConcreteHash)->Arg(100)->Arg(400)->Arg(1600);
+BENCHMARK(BM_ConcreteList)->Arg(100)->Arg(400)->Arg(1600);
+BENCHMARK(BM_SymbolicSpec)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E9 — paper section 5: "The premature choice of a storage
+/// structure ... is a common cause of inefficiencies"; the designer "may
+/// have poor insight into the relative frequency of the various
+/// operations".
+///
+/// Three representations of one abstract Symboltable are swept across
+/// workload shapes (nesting depth, identifiers per block, lookup share,
+/// outer-lookup share). No representation dominates: the association
+/// list wins tiny scopes, the stack-of-hash-arrays wins wide scopes with
+/// local lookups, the flat undo-log table wins deep outer-lookup-heavy
+/// workloads — so the representation-free specification that lets you
+/// delay the choice has real value.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Workload.h"
+#include "adt/FlatSymbolTable.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/SymbolTable.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+using namespace algspec::bench;
+
+namespace {
+
+/// Args: {identifiers per block, nesting depth, outer-lookup %}.
+WorkloadParams paramsFromState(const benchmark::State &State) {
+  WorkloadParams P;
+  P.NumOps = 20000;
+  P.IdentsPerBlock = static_cast<unsigned>(State.range(0));
+  P.MaxDepth = static_cast<unsigned>(State.range(1));
+  P.OuterLookupPercent = static_cast<unsigned>(State.range(2));
+  P.LookupPercent = 75;
+  return P;
+}
+
+template <typename Table> void runShape(benchmark::State &State) {
+  std::vector<SymtabOp> Ops = makeWorkload(paramsFromState(State));
+  for (auto _ : State) {
+    Table T;
+    benchmark::DoNotOptimize(replay(T, Ops));
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Ops.size()));
+}
+
+void BM_HashStack(benchmark::State &State) {
+  runShape<adt::SymbolTable<int>>(State);
+}
+void BM_AssocList(benchmark::State &State) {
+  runShape<adt::ListSymbolTable<int>>(State);
+}
+void BM_FlatUndo(benchmark::State &State) {
+  runShape<adt::FlatSymbolTable<int>>(State);
+}
+
+void shapes(benchmark::internal::Benchmark *B) {
+  // {idents/block, depth, outer%}
+  B->Args({2, 3, 10});   // Tiny scopes, shallow, local.
+  B->Args({2, 16, 60});  // Tiny scopes, deep, outer-heavy.
+  B->Args({32, 3, 10});  // Wide scopes, shallow, local.
+  B->Args({32, 16, 60}); // Wide scopes, deep, outer-heavy.
+  B->Args({8, 8, 30});   // The middle.
+}
+
+} // namespace
+
+BENCHMARK(BM_HashStack)->Apply(shapes);
+BENCHMARK(BM_AssocList)->Apply(shapes);
+BENCHMARK(BM_FlatUndo)->Apply(shapes);
+
+BENCHMARK_MAIN();

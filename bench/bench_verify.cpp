@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E13 — cost of the mechanized section-4 proof: bounded
+/// generator-induction verification of the Symboltable representation as
+/// a function of the induction depth, in both value domains. The series
+/// shows the exponential growth that makes the bound a real knob (and
+/// why Musser's full proof was worth mechanizing symbolically).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+
+namespace {
+
+struct RepFixture {
+  RepFixture() {
+    Abstract = specs::loadSymboltable(Ctx).take();
+    Concrete = specs::loadStackArray(Ctx).take();
+    Rep = buildSymboltableRep(Ctx).take();
+    Sources.push_back(&Abstract);
+    for (const Spec &S : Concrete)
+      Sources.push_back(&S);
+    for (const Spec &S : Rep.ImplSpecs)
+      Sources.push_back(&S);
+  }
+
+  AlgebraContext Ctx;
+  Spec Abstract;
+  std::vector<Spec> Concrete;
+  SymboltableRep Rep;
+  std::vector<const Spec *> Sources;
+};
+
+void BM_VerifyReachable(benchmark::State &State) {
+  RepFixture F;
+  VerifyOptions Options;
+  Options.Domain = ValueDomain::Reachable;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  uint64_t Instances = 0;
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(F.Ctx, F.Abstract, F.Sources,
+                                               F.Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+    Instances = 0;
+    for (const AxiomVerdict &V : Report.Verdicts)
+      Instances += V.InstancesChecked;
+  }
+  State.counters["instances"] = static_cast<double>(Instances);
+}
+
+void BM_VerifyFreeTerms(benchmark::State &State) {
+  RepFixture F;
+  VerifyOptions Options;
+  Options.Domain = ValueDomain::FreeTerms;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  Options.Invariant = F.Ctx.lookupOp("VALID_REP?");
+  uint64_t Instances = 0;
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(F.Ctx, F.Abstract, F.Sources,
+                                               F.Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+    Instances = 0;
+    for (const AxiomVerdict &V : Report.Verdicts)
+      Instances += V.InstancesChecked;
+  }
+  State.counters["instances"] = static_cast<double>(Instances);
+}
+
+
+void BM_VerifyHomomorphism(benchmark::State &State) {
+  RepFixture F;
+  VerifyOptions Options;
+  Options.Domain = ValueDomain::Reachable;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    VerifyReport Report = verifyHomomorphism(F.Ctx, F.Abstract, F.Sources,
+                                             F.Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_VerifyReachable)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifyFreeTerms)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifyHomomorphism)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

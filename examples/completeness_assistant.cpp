@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section-3 scenario, replayed mechanically: a user writes a
+/// Queue axiomatization but forgets the boundary conditions ("Boundary
+/// conditions, e.g. REMOVE(NEW), are particularly likely to be
+/// overlooked"). The completeness checker prompts with exactly the
+/// missing left-hand sides; the user supplies them; the checker then
+/// certifies the spec and the consistency checker finds no
+/// contradictions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+
+#include <cstdio>
+
+using namespace algspec;
+
+namespace {
+
+const char *FirstDraft = R"(
+spec Queue
+  uses Item
+  sorts Queue
+  ops
+    NEW       : -> Queue
+    ADD       : Queue, Item -> Queue
+    FRONT     : Queue -> Item
+    REMOVE    : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW, ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    IS_EMPTY?(NEW) = true
+    IS_EMPTY?(ADD(q, i)) = false
+    FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+    REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+)";
+
+const char *SecondDraft = R"(
+spec Queue
+  uses Item
+  sorts Queue
+  ops
+    NEW       : -> Queue
+    ADD       : Queue, Item -> Queue
+    FRONT     : Queue -> Item
+    REMOVE    : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW, ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    IS_EMPTY?(NEW) = true
+    IS_EMPTY?(ADD(q, i)) = false
+    FRONT(NEW) = error                -- supplied after the prompt
+    FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+    REMOVE(NEW) = error               -- supplied after the prompt
+    REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+)";
+
+int checkDraft(const char *Title, const char *Text) {
+  std::printf("==== %s ====\n", Title);
+  Workspace WS;
+  if (Result<void> R = WS.load(Text, "queue.alg"); !R) {
+    std::fprintf(stderr, "%s\n", R.error().message().c_str());
+    return 1;
+  }
+  const Spec *Queue = WS.find("Queue");
+
+  // Static pattern-coverage analysis with paper-style prompting.
+  CompletenessReport Static = WS.checkComplete(*Queue);
+  std::printf("[static analysis]\n%s",
+              Static.renderPrompt(WS.context()).c_str());
+
+  // Dynamic confirmation: normalize every small ground application.
+  CompletenessReport Dynamic = checkCompletenessDynamic(
+      WS.context(), *Queue, WS.specPointers(), /*MaxDepth=*/3);
+  std::printf("[dynamic check to depth 3] %zu stuck term(s)\n",
+              Dynamic.Missing.size());
+  for (size_t I = 0; I < Dynamic.Missing.size() && I < 4; ++I)
+    std::printf("  stuck: %s\n",
+                printTerm(WS.context(), Dynamic.Missing[I].SuggestedLhs)
+                    .c_str());
+  if (Dynamic.Missing.size() > 4)
+    std::printf("  ... and %zu more\n", Dynamic.Missing.size() - 4);
+
+  ConsistencyReport Consistent = WS.checkConsistent();
+  std::printf("[consistency] %s\n",
+              Consistent.render(WS.context()).c_str());
+  return Static.SufficientlyComplete && Dynamic.SufficientlyComplete ? 0
+                                                                     : 2;
+}
+
+} // namespace
+
+int main() {
+  int First = checkDraft("first draft (boundary conditions forgotten)",
+                         FirstDraft);
+  if (First == 1)
+    return 1;
+  std::printf("\nThe user supplies the prompted axioms and resubmits.\n\n");
+  int Second =
+      checkDraft("second draft (prompted axioms supplied)", SecondDraft);
+  if (Second != 0) {
+    std::fprintf(stderr, "unexpected: the completed draft should pass\n");
+    return 1;
+  }
+  std::printf("The axiom set is now sufficiently complete: every "
+              "operation has a meaning on every value.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's language-change scenario (end of section 4): the compiled
+/// language now requires a "knows list" at block entry, and a block
+/// inherits only the listed nonlocal identifiers.
+///
+/// This example shows the whole adaptation:
+///   1. the adapted specification — exactly the ENTERBLOCK axioms differ;
+///   2. the adapted axioms re-check as sufficiently complete and
+///      consistent;
+///   3. the extended compiler front end enforces knows-lists;
+///   4. the spec itself answers visibility queries symbolically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/ScopedTable.h"
+#include "blocklang/Sema.h"
+#include "core/AlgSpec.h"
+#include "support/SourceMgr.h"
+
+#include <cstdio>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+int main() {
+  // 1-2. Load the adapted spec and re-run the checks.
+  Workspace WS;
+  if (Result<void> R =
+          WS.load(specs::KnowsSymboltableAlg, "knows_symboltable.alg");
+      !R) {
+    std::fprintf(stderr, "%s\n", R.error().message().c_str());
+    return 1;
+  }
+  std::printf("Adapted specification loaded: specs");
+  for (const Spec &S : WS.specs())
+    std::printf(" '%s'", S.name().c_str());
+  std::printf(".\n");
+  std::printf("Relative to the plain Symboltable, the changed axioms are "
+              "precisely those mentioning ENTERBLOCK:\n");
+  const Spec *Table = WS.find("Symboltable");
+  for (const Axiom &Ax : Table->axioms()) {
+    std::string Text = printAxiom(WS.context(), Ax);
+    if (Text.find("ENTERBLOCK") != std::string::npos)
+      std::printf("  (%u) %s\n", Ax.Number, Text.c_str());
+  }
+
+  for (const Spec &S : WS.specs()) {
+    CompletenessReport Report = WS.checkComplete(S);
+    std::printf("'%s' sufficiently complete: %s\n", S.name().c_str(),
+                Report.SufficientlyComplete ? "yes" : "NO");
+  }
+  ConsistencyReport Consistency = WS.checkConsistent();
+  std::printf("consistency: %s\n",
+              Consistency.Consistent ? "no contradictions found"
+                                     : "CONTRADICTORY");
+
+  // 3. The extended front end.
+  const char *Program = R"(
+begin
+  var g : int;
+  var h : int;
+  begin knows g;
+    var l : int;
+    l := g;      // fine: g is known
+    l := h;      // error: h is not in the knows-list
+  end;
+end
+)";
+  std::printf("\nCompiling (knows dialect):\n%s\n", Program);
+  SourceMgr SM("program.bl", Program);
+  DiagnosticEngine Diags;
+  KnowsScopedTable Backend;
+  bool Ok = compile(SM, Backend, Diags, Dialect::Knows);
+  std::printf("%s%s\n", Diags.render(&SM).c_str(),
+              Ok ? "accepted" : "rejected (as it should be)");
+
+  // 4. The same question answered by the axioms alone.
+  auto SessionOrErr = WS.session();
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
+    return 1;
+  }
+  Session S = SessionOrErr.take();
+  Result<void> R = S.runProgram(R"(
+    t := ADD(ADD(INIT, 'g, 'int), 'h, 'int)
+    t := ENTERBLOCK(t, APPEND(CREATE, 'g))
+  )");
+  if (!R) {
+    std::fprintf(stderr, "%s\n", R.error().message().c_str());
+    return 1;
+  }
+  std::printf("\nSymbolic interpretation of the adapted spec:\n");
+  std::printf("  RETRIEVE(t, 'g) = %s\n",
+              printTerm(WS.context(), *S.eval("RETRIEVE(t, 'g)")).c_str());
+  std::printf("  RETRIEVE(t, 'h) = %s   (h was not in the knows-list)\n",
+              printTerm(WS.context(), *S.eval("RETRIEVE(t, 'h)")).c_str());
+  return Ok ? 1 : 0; // The program is expected to be rejected.
+}

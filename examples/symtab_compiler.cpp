@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running application: the symbol-table subsystem of a
+/// compiler for a block-structured language.
+///
+/// One scope/type checker runs over four interchangeable symbol-table
+/// backends — three concrete representations and the bare specification
+/// interpreted symbolically — and produces identical diagnostics from
+/// each, demonstrating representation independence end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/FlatSymbolTable.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/SymbolTable.h"
+#include "blocklang/ScopedTable.h"
+#include "blocklang/Sema.h"
+#include "support/SourceMgr.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+namespace {
+
+const char *GoodProgram = R"(
+begin
+  var count : int;
+  var done  : bool;
+  count := 0;
+  while count < 10 do
+    count := count + 1;
+  end;
+  done := count == 10;
+  if done then
+    begin
+      var count : bool;   // shadows the outer int count
+      count := done;
+    end;
+  else
+    count := 0;
+  end;
+  count := count + 1;     // the outer count again
+end
+)";
+
+const char *BadProgram = R"(
+begin
+  var x : int;
+  var x : bool;          // duplicate declaration
+  begin
+    var t : int;
+    t := 1;
+  end;
+  t := 2;                // t's block is gone
+  x := true;             // type error
+  y := 0;                // undeclared
+end
+)";
+
+void runWith(const char *Name, ScopedTable &Table, const char *Source) {
+  SourceMgr SM("program.bl", Source);
+  DiagnosticEngine Diags;
+  SemaStats Stats;
+  bool Ok = compile(SM, Table, Diags, Dialect::Plain, &Stats);
+  std::printf("--- backend: %-28s %s\n", Name,
+              Ok ? "accepted" : "rejected");
+  std::printf("    (%llu declarations, %llu lookups, %llu nested blocks)\n",
+              static_cast<unsigned long long>(Stats.Declarations),
+              static_cast<unsigned long long>(Stats.Lookups),
+              static_cast<unsigned long long>(Stats.BlocksEntered));
+  if (!Ok)
+    std::printf("%s", Diags.render(&SM).c_str());
+}
+
+void runAllBackends(const char *Source, const char *Label) {
+  std::printf("==== %s ====\n%s\n", Label, Source);
+
+  ConcreteScopedTable<adt::SymbolTable<Type>> Hash;
+  runWith("stack of hash arrays", Hash, Source);
+
+  ConcreteScopedTable<adt::ListSymbolTable<Type>> List;
+  runWith("association list", List, Source);
+
+  ConcreteScopedTable<adt::FlatSymbolTable<Type>> Flat;
+  runWith("flat table + undo log", Flat, Source);
+
+  auto SpecOrErr = SpecScopedTable::create();
+  if (!SpecOrErr) {
+    std::fprintf(stderr, "spec backend failed to initialize: %s\n",
+                 SpecOrErr.error().message().c_str());
+    return;
+  }
+  runWith("Symboltable SPEC (no impl!)", **SpecOrErr, Source);
+  std::printf("    spec backend did %llu rewrite steps to answer those "
+              "queries\n\n",
+              static_cast<unsigned long long>((*SpecOrErr)->stats().Steps));
+}
+
+} // namespace
+
+int main() {
+  std::printf("BlockLang compiler front end over interchangeable "
+              "symbol-table backends\n"
+              "(Guttag 1977, section 4: the symbol table of a compiler "
+              "for a block-structured language)\n\n");
+  runAllBackends(GoodProgram, "a well-formed program");
+  runAllBackends(BadProgram, "a program with scope and type errors");
+  return 0;
+}

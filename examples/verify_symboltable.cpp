@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section-4 correctness proof, mechanized: verify that the
+/// Stack-of-Arrays implementation of Symboltable satisfies axioms 1-9.
+///
+/// Three runs reproduce the paper's discussion of Assumption 1:
+///   1. over implementation-reachable values — all axioms hold
+///      (conditional correctness);
+///   2. over all representation values — axiom 9's proof obligation
+///      fails on an empty stack, the exact case Assumption 1 excludes;
+///   3. over values satisfying the representation invariant — all hold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+
+#include <cstdio>
+
+using namespace algspec;
+
+int main() {
+  AlgebraContext Ctx;
+  auto Abstract = specs::loadSymboltable(Ctx);
+  auto Concrete = specs::loadStackArray(Ctx);
+  if (!Abstract || !Concrete) {
+    std::fprintf(stderr, "failed to load builtin specs\n");
+    return 1;
+  }
+  auto Rep = buildSymboltableRep(Ctx);
+  if (!Rep) {
+    std::fprintf(stderr, "%s\n", Rep.error().message().c_str());
+    return 1;
+  }
+
+  std::vector<const Spec *> Sources{&*Abstract};
+  for (const Spec &S : *Concrete)
+    Sources.push_back(&S);
+  for (const Spec &S : Rep->ImplSpecs)
+    Sources.push_back(&S);
+
+  auto report = [&](const char *Title, const VerifyOptions &Options) {
+    std::printf("==== %s ====\n", Title);
+    VerifyReport Report =
+        verifyRepresentation(Ctx, *Abstract, Sources, Rep->Mapping, Options);
+    std::printf("%s\n", Report.render(Ctx).c_str());
+    return Report.AllHold;
+  };
+
+  VerifyOptions Reachable;
+  Reachable.Domain = ValueDomain::Reachable;
+  Reachable.Depth = 4;
+  bool R1 = report("1. generator induction over reachable values "
+                   "(the paper's conditional correctness)",
+                   Reachable);
+
+  VerifyOptions Free;
+  Free.Domain = ValueDomain::FreeTerms;
+  Free.Depth = 3;
+  bool R2 = report("2. all representation values, no assumption "
+                   "(axiom 9 must fail: ADD' onto an empty stack)",
+                   Free);
+
+  VerifyOptions Guarded = Free;
+  Guarded.Invariant = Ctx.lookupOp("VALID_REP?");
+  bool R3 = report("3. all values satisfying the representation "
+                   "invariant (Assumption 1 as a VALID_REP? filter)",
+                   Guarded);
+
+  std::printf("==== 4. the homomorphism conditions (pinning the "
+              "interpretation function itself) ====\n");
+  VerifyReport Hom =
+      verifyHomomorphism(Ctx, *Abstract, Sources, Rep->Mapping, Reachable);
+  std::printf("%s\n", Hom.render(Ctx).c_str());
+  bool R4 = Hom.AllHold;
+
+  if (!R1 || R2 || !R3 || !R4) {
+    std::fprintf(stderr, "unexpected verification outcome\n");
+    return 1;
+  }
+  std::printf("Exactly the paper's story: correct conditionally, and the "
+              "condition is Assumption 1.\n");
+  return 0;
+}

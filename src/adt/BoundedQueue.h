@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BoundedQueue<T, N>: the paper's section-4 Bounded Queue example — a
+/// ring buffer with a top pointer.
+///
+/// The paper uses this representation to show that the abstraction
+/// function Φ need not have a proper inverse: two programs can leave the
+/// buffer in physically different states (different rotation, stale slots
+/// from removed elements) that denote the same abstract queue. The
+/// class's operator== implements abstract equality; rawSlot()/rawTop()
+/// expose the physical state *for the reproduction test only*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_BOUNDEDQUEUE_H
+#define ALGSPEC_ADT_BOUNDEDQUEUE_H
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+namespace algspec {
+namespace adt {
+
+/// Fixed-capacity FIFO queue over a ring buffer. The paper's example has
+/// a maximum length of three; N is a template parameter with that
+/// default.
+template <typename T, size_t N = 3> class BoundedQueue {
+public:
+  static_assert(N > 0, "a bounded queue needs capacity");
+
+  BoundedQueue() = default;
+
+  /// ADD_Q: enqueues; returns false (the algebra's error) when full.
+  bool add(T Item) {
+    if (Size == N)
+      return false;
+    Slots[(First + Size) % N] = std::move(Item);
+    ++Size;
+    return true;
+  }
+
+  /// REMOVE_Q: drops the oldest element; false when empty. The vacated
+  /// slot keeps its stale value — physically observable, abstractly
+  /// meaningless.
+  bool remove() {
+    if (Size == 0)
+      return false;
+    First = (First + 1) % N;
+    --Size;
+    return true;
+  }
+
+  /// FRONT_Q: the oldest element; nullopt when empty.
+  std::optional<T> front() const {
+    if (Size == 0)
+      return std::nullopt;
+    return Slots[First];
+  }
+
+  bool isEmpty() const { return Size == 0; }
+  bool isFull() const { return Size == N; }
+  size_t size() const { return Size; }
+  static constexpr size_t capacity() { return N; }
+
+  /// Abstract equality: same elements in the same order, regardless of
+  /// where they physically sit in the ring (Φ(a) == Φ(b)).
+  friend bool operator==(const BoundedQueue &A, const BoundedQueue &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (size_t I = 0; I != A.Size; ++I)
+      if (!(A.Slots[(A.First + I) % N] == B.Slots[(B.First + I) % N]))
+        return false;
+    return true;
+  }
+
+  /// Physical state inspection — only for demonstrating that Φ⁻¹ is
+  /// one-to-many; not part of the abstract interface.
+  const std::optional<T> &rawSlot(size_t I) const { return Slots[I]; }
+  size_t rawFirst() const { return First; }
+
+private:
+  std::array<std::optional<T>, N> Slots;
+  size_t First = 0;
+  size_t Size = 0;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_BOUNDEDQUEUE_H

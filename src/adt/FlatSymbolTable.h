@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FlatSymbolTable<V>: a single-hash-table representation with an undo
+/// log (in the style LeBlanc and Cook later made standard): one global
+/// table maps each identifier to a stack of (scope, value) bindings, and
+/// each scope records which identifiers it declared so leaveBlock can
+/// undo them.
+///
+/// O(1) retrieval regardless of nesting depth, at the cost of more work
+/// on block exit — the third point in experiment E9's representation
+/// comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_FLATSYMBOLTABLE_H
+#define ALGSPEC_ADT_FLATSYMBOLTABLE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+namespace adt {
+
+/// Symbol table with one global hash table and per-scope undo logs.
+template <typename V> class FlatSymbolTable {
+public:
+  FlatSymbolTable() { UndoLogs.emplace_back(); }
+
+  void enterBlock() { UndoLogs.emplace_back(); }
+
+  bool leaveBlock() {
+    if (UndoLogs.size() <= 1)
+      return false;
+    for (const std::string &Id : UndoLogs.back()) {
+      auto It = Table.find(Id);
+      It->second.pop_back();
+      if (It->second.empty())
+        Table.erase(It);
+    }
+    UndoLogs.pop_back();
+    return true;
+  }
+
+  void add(std::string_view Id, V Attributes) {
+    std::string Key(Id);
+    Table[Key].push_back(
+        Binding{UndoLogs.size() - 1, std::move(Attributes)});
+    UndoLogs.back().push_back(std::move(Key));
+  }
+
+  bool isInBlock(std::string_view Id) const {
+    auto It = Table.find(std::string(Id));
+    if (It == Table.end())
+      return false;
+    return It->second.back().Scope == UndoLogs.size() - 1;
+  }
+
+  std::optional<V> retrieve(std::string_view Id) const {
+    auto It = Table.find(std::string(Id));
+    if (It == Table.end())
+      return std::nullopt;
+    return It->second.back().Value;
+  }
+
+  size_t depth() const { return UndoLogs.size(); }
+
+private:
+  struct Binding {
+    size_t Scope;
+    V Value;
+  };
+
+  std::unordered_map<std::string, std::vector<Binding>> Table;
+  std::vector<std::vector<std::string>> UndoLogs;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_FLATSYMBOLTABLE_H

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KnowsList: the paper's section-4 Knowlist — the list of nonlocal
+/// identifiers a block declares it will use. "The implementation of
+/// abstract type Knowlist is trivial," says the paper; it is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_KNOWSLIST_H
+#define ALGSPEC_ADT_KNOWSLIST_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+namespace adt {
+
+/// CREATE / APPEND / IS_IN? over a private vector.
+class KnowsList {
+public:
+  KnowsList() = default;
+
+  /// APPEND.
+  void append(std::string_view Id) { Ids.emplace_back(Id); }
+
+  /// IS_IN?.
+  bool contains(std::string_view Id) const {
+    for (const std::string &Known : Ids)
+      if (Known == Id)
+        return true;
+    return false;
+  }
+
+  size_t size() const { return Ids.size(); }
+
+  friend bool operator==(const KnowsList &A, const KnowsList &B) {
+    return A.Ids == B.Ids;
+  }
+
+private:
+  std::vector<std::string> Ids;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_KNOWSLIST_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KnowsSymbolTable<V>: the paper's adapted Symboltable for a language
+/// where a block inherits only the nonlocal identifiers listed in its
+/// knows-list. Exactly the ENTERBLOCK-related behaviour differs from
+/// SymbolTable<V>, mirroring how only the ENTERBLOCK axioms changed in
+/// the adapted specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_KNOWSSYMBOLTABLE_H
+#define ALGSPEC_ADT_KNOWSSYMBOLTABLE_H
+
+#include "adt/HashArray.h"
+#include "adt/KnowsList.h"
+#include "adt/Stack.h"
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace algspec {
+namespace adt {
+
+/// Block-structured symbol table with knows-list-restricted inheritance.
+template <typename V> class KnowsSymbolTable {
+public:
+  explicit KnowsSymbolTable(size_t BucketsPerScope = 64)
+      : BucketsPerScope(BucketsPerScope) {
+    // The outermost scope inherits nothing; its knows-list is unused.
+    Scopes.push(Scope{HashArray<V>(BucketsPerScope), KnowsList()});
+  }
+
+  /// ENTERBLOCK now takes the block's knows-list (the one signature
+  /// change visible outside the module).
+  void enterBlock(KnowsList Knows) {
+    Scopes.push(Scope{HashArray<V>(BucketsPerScope), std::move(Knows)});
+  }
+
+  bool leaveBlock() {
+    if (Scopes.size() <= 1)
+      return false;
+    return Scopes.pop();
+  }
+
+  void add(std::string_view Id, V Attributes) {
+    Scope *Top = Scopes.topMutable();
+    assert(Top && "invariant: at least one scope is always open");
+    Top->Bindings.assign(Id, std::move(Attributes));
+  }
+
+  bool isInBlock(std::string_view Id) const {
+    return !Scopes.begin()->Bindings.isUndefined(Id);
+  }
+
+  /// RETRIEVE: local declarations are always visible; each enclosing
+  /// scope is consulted only if every crossed block boundary "knows"
+  /// \p Id (adapted axiom: RETRIEVE(ENTERBLOCK(symtab, klist), id) =
+  /// if IS_IN?(klist, id) then RETRIEVE(symtab, id) else error).
+  std::optional<V> retrieve(std::string_view Id) const {
+    size_t Remaining = Scopes.size();
+    for (const Scope &S : Scopes) {
+      if (std::optional<V> Value = S.Bindings.read(Id))
+        return Value;
+      // Crossing this block's boundary outwards: the knows-list of the
+      // block being left decides visibility (except for the outermost
+      // scope, which has no boundary above it).
+      --Remaining;
+      if (Remaining == 0)
+        break;
+      if (!S.Knows.contains(Id))
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  size_t depth() const { return Scopes.size(); }
+
+  /// Representation equality; see HashArray::operator== for the caveat.
+  friend bool operator==(const KnowsSymbolTable &A,
+                         const KnowsSymbolTable &B) {
+    return A.Scopes == B.Scopes;
+  }
+
+private:
+  struct Scope {
+    HashArray<V> Bindings;
+    KnowsList Knows;
+
+    friend bool operator==(const Scope &A, const Scope &B) {
+      return A.Bindings == B.Bindings && A.Knows == B.Knows;
+    }
+  };
+
+  size_t BucketsPerScope;
+  Stack<Scope> Scopes;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_KNOWSSYMBOLTABLE_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LinearArray<V>: the naive alternative implementation of the paper's
+/// type Array — one unhashed association list, newest entry first.
+///
+/// Same observable behaviour as HashArray (axioms 17-20), different cost
+/// profile: O(1) assign, O(entries) read. bench_array_impls (experiment
+/// E10) compares the two, making the paper's point that the axioms
+/// deliberately leave this choice open.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_LINEARARRAY_H
+#define ALGSPEC_ADT_LINEARARRAY_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+namespace adt {
+
+/// Association-list Array: ASSIGN prepends, READ scans front-to-back.
+template <typename V> class LinearArray {
+public:
+  LinearArray() = default;
+
+  void assign(std::string_view Id, V Value) {
+    Entries.insert(Entries.begin(), Entry{std::string(Id), std::move(Value)});
+  }
+
+  std::optional<V> read(std::string_view Id) const {
+    for (const Entry &E : Entries)
+      if (E.Id == Id)
+        return E.Value;
+    return std::nullopt;
+  }
+
+  bool isUndefined(std::string_view Id) const {
+    for (const Entry &E : Entries)
+      if (E.Id == Id)
+        return false;
+    return true;
+  }
+
+  size_t entryCount() const { return Entries.size(); }
+
+  friend bool operator==(const LinearArray &A, const LinearArray &B) {
+    if (A.Entries.size() != B.Entries.size())
+      return false;
+    for (size_t I = 0; I != A.Entries.size(); ++I)
+      if (A.Entries[I].Id != B.Entries[I].Id ||
+          !(A.Entries[I].Value == B.Entries[I].Value))
+        return false;
+    return true;
+  }
+
+private:
+  struct Entry {
+    std::string Id;
+    V Value;
+  };
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_LINEARARRAY_H

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ListSymbolTable<V>: an association-list representation of the same
+/// abstract Symboltable type — the textbook alternative the paper argues
+/// one should be able to swap in freely.
+///
+/// One flat vector of (scope-marker | binding) entries, newest last.
+/// Retrieval scans backwards; entering/leaving blocks pushes/pops a
+/// marker. Cheap block operations, O(total bindings) retrieval — the
+/// mirror image of the hash representation's costs, which is exactly the
+/// trade-off bench_symtab_reps (experiment E9) measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_LISTSYMBOLTABLE_H
+#define ALGSPEC_ADT_LISTSYMBOLTABLE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+namespace adt {
+
+/// Flat association-list symbol table.
+template <typename V> class ListSymbolTable {
+public:
+  ListSymbolTable() = default;
+
+  void enterBlock() { Entries.push_back(Entry::marker()); }
+
+  bool leaveBlock() {
+    for (size_t I = Entries.size(); I != 0; --I) {
+      if (Entries[I - 1].IsMarker) {
+        Entries.resize(I - 1);
+        return true;
+      }
+    }
+    return false; // No open block: the algebra's error.
+  }
+
+  void add(std::string_view Id, V Attributes) {
+    Entries.push_back(Entry::binding(Id, std::move(Attributes)));
+  }
+
+  bool isInBlock(std::string_view Id) const {
+    for (size_t I = Entries.size(); I != 0; --I) {
+      const Entry &E = Entries[I - 1];
+      if (E.IsMarker)
+        return false;
+      if (E.Id == Id)
+        return true;
+    }
+    return false;
+  }
+
+  std::optional<V> retrieve(std::string_view Id) const {
+    for (size_t I = Entries.size(); I != 0; --I) {
+      const Entry &E = Entries[I - 1];
+      if (!E.IsMarker && E.Id == Id)
+        return E.Value;
+    }
+    return std::nullopt;
+  }
+
+  size_t depth() const {
+    size_t D = 1;
+    for (const Entry &E : Entries)
+      D += E.IsMarker;
+    return D;
+  }
+
+private:
+  struct Entry {
+    bool IsMarker;
+    std::string Id;
+    V Value;
+
+    static Entry marker() { return Entry{true, {}, {}}; }
+    static Entry binding(std::string_view Id, V Value) {
+      return Entry{false, std::string(Id), std::move(Value)};
+    }
+  };
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_LISTSYMBOLTABLE_H

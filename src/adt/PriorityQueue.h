@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PriorityQueue<T>: a binary min-heap implementing the PriorityQueue
+/// specification shipped in examples/specs/priority_queue.alg.
+///
+/// Like the paper's ring buffer, the heap makes Φ⁻¹ one-to-many: the
+/// array layout depends on insertion order while the abstract value is
+/// just the multiset of pending elements, so operator== compares sorted
+/// contents, not the array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_PRIORITYQUEUE_H
+#define ALGSPEC_ADT_PRIORITYQUEUE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+namespace adt {
+
+/// Binary min-heap with value semantics.
+template <typename T> class PriorityQueue {
+public:
+  PriorityQueue() = default;
+
+  /// INSERT.
+  void insert(T Value) {
+    Heap.push_back(std::move(Value));
+    siftUp(Heap.size() - 1);
+  }
+
+  /// MIN: smallest element; nullopt when empty (the spec's error).
+  std::optional<T> min() const {
+    if (Heap.empty())
+      return std::nullopt;
+    return Heap.front();
+  }
+
+  /// DELETE_MIN: removes one smallest element; false when empty.
+  bool deleteMin() {
+    if (Heap.empty())
+      return false;
+    Heap.front() = std::move(Heap.back());
+    Heap.pop_back();
+    if (!Heap.empty())
+      siftDown(0);
+    return true;
+  }
+
+  bool isEmpty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+
+  /// Abstract (multiset) equality: the heap layout is representation
+  /// detail.
+  friend bool operator==(const PriorityQueue &A, const PriorityQueue &B) {
+    if (A.Heap.size() != B.Heap.size())
+      return false;
+    std::vector<T> SA = A.Heap, SB = B.Heap;
+    std::sort(SA.begin(), SA.end());
+    std::sort(SB.begin(), SB.end());
+    return SA == SB;
+  }
+
+  /// Physical layout inspection — for the Φ⁻¹ demonstration only.
+  const std::vector<T> &rawHeap() const { return Heap; }
+
+private:
+  void siftUp(size_t I) {
+    while (I != 0) {
+      size_t Parent = (I - 1) / 2;
+      if (!(Heap[I] < Heap[Parent]))
+        return;
+      std::swap(Heap[I], Heap[Parent]);
+      I = Parent;
+    }
+  }
+
+  void siftDown(size_t I) {
+    while (true) {
+      size_t Left = 2 * I + 1, Right = 2 * I + 2, Smallest = I;
+      if (Left < Heap.size() && Heap[Left] < Heap[Smallest])
+        Smallest = Left;
+      if (Right < Heap.size() && Heap[Right] < Heap[Smallest])
+        Smallest = Right;
+      if (Smallest == I)
+        return;
+      std::swap(Heap[I], Heap[Smallest]);
+      I = Smallest;
+    }
+  }
+
+  std::vector<T> Heap;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_PRIORITYQUEUE_H

@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stack<T>: the paper's section-4 type Stack as a concrete class.
+///
+/// The paper implements Stack in PL/I as a pointer to a list of
+/// (val, prev) structures; this is the same singly linked representation
+/// with C++ ownership. REPLACE — the paper's extensor for updating the
+/// top block in place — is replace().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_STACK_H
+#define ALGSPEC_ADT_STACK_H
+
+#include <optional>
+#include <utility>
+
+namespace algspec {
+namespace adt {
+
+/// LIFO stack over a private singly linked list; deep-copying value
+/// semantics.
+template <typename T> class Stack {
+  struct Node {
+    T Value;
+    Node *Prev;
+  };
+
+public:
+  Stack() = default;
+  ~Stack() { clear(); }
+
+  Stack(const Stack &Other) { copyFrom(Other); }
+  Stack &operator=(const Stack &Other) {
+    if (this != &Other) {
+      clear();
+      copyFrom(Other);
+    }
+    return *this;
+  }
+  Stack(Stack &&Other) noexcept
+      : Top(std::exchange(Other.Top, nullptr)),
+        Size(std::exchange(Other.Size, 0)) {}
+  Stack &operator=(Stack &&Other) noexcept {
+    if (this != &Other) {
+      clear();
+      Top = std::exchange(Other.Top, nullptr);
+      Size = std::exchange(Other.Size, 0);
+    }
+    return *this;
+  }
+
+  /// PUSH.
+  void push(T Value) {
+    Top = new Node{std::move(Value), Top};
+    ++Size;
+  }
+
+  /// POP: false on the empty stack (the algebra's POP(NEWSTACK) = error).
+  bool pop() {
+    if (!Top)
+      return false;
+    Node *N = Top;
+    Top = Top->Prev;
+    delete N;
+    --Size;
+    return true;
+  }
+
+  /// TOP: nullopt on the empty stack.
+  std::optional<T> top() const {
+    if (!Top)
+      return std::nullopt;
+    return Top->Value;
+  }
+
+  /// Mutable access to the top value (used by the symbol table's ADD',
+  /// which updates the current block in place); nullptr when empty.
+  T *topMutable() { return Top ? &Top->Value : nullptr; }
+
+  /// REPLACE: swaps the top value; false on the empty stack.
+  bool replace(T Value) {
+    if (!Top)
+      return false;
+    Top->Value = std::move(Value);
+    return true;
+  }
+
+  /// IS_NEWSTACK?.
+  bool isEmpty() const { return Top == nullptr; }
+
+  size_t size() const { return Size; }
+
+  /// Read-only traversal from the top of the stack downwards. The
+  /// algebraic Stack exposes no iteration; the C++ class may, for its
+  /// implementing clients (the symbol table walks scopes inner-to-outer).
+  class const_iterator {
+  public:
+    using value_type = T;
+    using reference = const T &;
+
+    reference operator*() const { return Cur->Value; }
+    const T *operator->() const { return &Cur->Value; }
+    const_iterator &operator++() {
+      Cur = Cur->Prev;
+      return *this;
+    }
+    friend bool operator==(const_iterator A, const_iterator B) {
+      return A.Cur == B.Cur;
+    }
+
+  private:
+    friend class Stack;
+    explicit const_iterator(const Node *Cur) : Cur(Cur) {}
+    const Node *Cur;
+  };
+
+  const_iterator begin() const { return const_iterator(Top); }
+  const_iterator end() const { return const_iterator(nullptr); }
+
+  friend bool operator==(const Stack &A, const Stack &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (Node *NA = A.Top, *NB = B.Top; NA; NA = NA->Prev, NB = NB->Prev)
+      if (!(NA->Value == NB->Value))
+        return false;
+    return true;
+  }
+
+private:
+  void clear() {
+    while (Top) {
+      Node *N = Top;
+      Top = Top->Prev;
+      delete N;
+    }
+    Size = 0;
+  }
+
+  void copyFrom(const Stack &Other) {
+    // Copy preserving order: collect then push bottom-up.
+    size_t Count = Other.Size;
+    Node const **Nodes = new Node const *[Count];
+    size_t I = Count;
+    for (Node *N = Other.Top; N; N = N->Prev)
+      Nodes[--I] = N;
+    for (size_t J = 0; J != Count; ++J)
+      push(Nodes[J]->Value);
+    delete[] Nodes;
+  }
+
+  Node *Top = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_STACK_H

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SymbolTable<V>: the paper's section-4 Symboltable, represented exactly
+/// as the paper's refinement prescribes — a Stack of (hash) Arrays, one
+/// array per open scope.
+///
+/// The operations mirror the algebraic signature: INIT = the constructor,
+/// ENTERBLOCK = enterBlock, LEAVEBLOCK = leaveBlock, ADD = add,
+/// IS_INBLOCK? = isInBlock, RETRIEVE = retrieve. Assumption 1 holds by
+/// construction: the constructor pushes the outermost scope, and
+/// leaveBlock refuses to pop it, so add() never sees an empty stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_SYMBOLTABLE_H
+#define ALGSPEC_ADT_SYMBOLTABLE_H
+
+#include "adt/HashArray.h"
+#include "adt/Stack.h"
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+
+namespace algspec {
+namespace adt {
+
+/// Block-structured symbol table: a stack of hash arrays.
+template <typename V> class SymbolTable {
+public:
+  /// INIT: allocates the table with its outermost scope established.
+  explicit SymbolTable(size_t BucketsPerScope = 64)
+      : BucketsPerScope(BucketsPerScope) {
+    Scopes.push(HashArray<V>(BucketsPerScope));
+  }
+
+  /// ENTERBLOCK.
+  void enterBlock() { Scopes.push(HashArray<V>(BucketsPerScope)); }
+
+  /// LEAVEBLOCK: discards the most recent scope; false when only the
+  /// outermost scope remains (the algebra's LEAVEBLOCK(INIT) = error —
+  /// a mismatched "end").
+  bool leaveBlock() {
+    if (Scopes.size() <= 1)
+      return false;
+    return Scopes.pop();
+  }
+
+  /// ADD: declares \p Id with \p Attributes in the current scope.
+  void add(std::string_view Id, V Attributes) {
+    HashArray<V> *Top = Scopes.topMutable();
+    assert(Top && "invariant: at least one scope is always open");
+    Top->assign(Id, std::move(Attributes));
+  }
+
+  /// IS_INBLOCK?: declared in the *current* scope? (Used to reject
+  /// duplicate declarations.)
+  bool isInBlock(std::string_view Id) const {
+    return !Scopes.begin()->isUndefined(Id);
+  }
+
+  /// RETRIEVE: attributes from the most local scope declaring \p Id;
+  /// nullopt when undeclared anywhere (the algebra's error).
+  std::optional<V> retrieve(std::string_view Id) const {
+    for (const HashArray<V> &Scope : Scopes)
+      if (std::optional<V> Value = Scope.read(Id))
+        return Value;
+    return std::nullopt;
+  }
+
+  /// Current block-nesting depth (1 = outermost scope only).
+  size_t depth() const { return Scopes.size(); }
+
+  /// Representation equality (scope stacks with their assignment
+  /// histories); see HashArray::operator== for the caveat.
+  friend bool operator==(const SymbolTable &A, const SymbolTable &B) {
+    return A.Scopes == B.Scopes;
+  }
+
+private:
+  size_t BucketsPerScope;
+  Stack<HashArray<V>> Scopes;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_SYMBOLTABLE_H

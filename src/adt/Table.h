@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table<V>: the concrete implementation of the TableAlg specification —
+/// the paper's section-5 suggestion that "a database management system
+/// might be completely characterized by an algebraic specification of
+/// the various operations available to users", scaled to one keyed
+/// table.
+///
+/// Unlike HashArray (which keeps the full assignment history to mirror
+/// the free-constructor reading of the paper's Array), Table stores only
+/// the *visible* rows: per-key overwrite is what the TableAlg observers
+/// specify, so the map representation is already observationally
+/// faithful and operator== is genuine observational equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_TABLE_H
+#define ALGSPEC_ADT_TABLE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace algspec {
+namespace adt {
+
+/// One keyed table with per-key overwrite and value-based selection.
+template <typename V> class Table {
+public:
+  Table() = default;
+
+  /// INSERT_ROW: adds or overwrites the row for \p Key.
+  void insertRow(std::string_view Key, V Value) {
+    Rows[std::string(Key)] = std::move(Value);
+  }
+
+  /// DELETE_ROW: removes the row for \p Key (no-op when absent, like the
+  /// spec's DELETE_ROW(EMPTY_TABLE, k) = EMPTY_TABLE).
+  void deleteRow(std::string_view Key) { Rows.erase(std::string(Key)); }
+
+  /// LOOKUP: the visible value; nullopt when absent (the spec's error).
+  std::optional<V> lookup(std::string_view Key) const {
+    auto It = Rows.find(std::string(Key));
+    if (It == Rows.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// HAS_ROW?.
+  bool hasRow(std::string_view Key) const {
+    return Rows.count(std::string(Key)) != 0;
+  }
+
+  /// ROW_COUNT: number of visible rows.
+  size_t rowCount() const { return Rows.size(); }
+
+  /// SELECT_VAL: the sub-table of rows whose value equals \p Value.
+  Table selectVal(const V &Value) const {
+    Table Result;
+    for (const auto &[Key, Row] : Rows)
+      if (Row == Value)
+        Result.Rows.emplace(Key, Row);
+    return Result;
+  }
+
+  /// Observational equality: same visible rows.
+  friend bool operator==(const Table &A, const Table &B) {
+    return A.Rows == B.Rows;
+  }
+
+private:
+  std::unordered_map<std::string, V> Rows;
+};
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_TABLE_H

@@ -1,0 +1,387 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace algspec;
+
+/// 64-bit mixing step (splitmix64 finalizer); used to combine node fields
+/// into the hash-consing key.
+static uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+AlgebraContext::AlgebraContext() {
+  BoolSortId = addSort("Bool", SortKind::Bool);
+  IntSortId = addSort("Int", SortKind::Int);
+
+  TrueOpId = addOp("true", {}, BoolSortId, OpKind::Constructor);
+  FalseOpId = addOp("false", {}, BoolSortId, OpKind::Constructor);
+  TrueTermId = makeOp(TrueOpId, {});
+  FalseTermId = makeOp(FalseOpId, {});
+
+  auto addBuiltin = [&](std::string_view Name, std::vector<SortId> Args,
+                        SortId Result, BuiltinOp Which) {
+    OpId Id = addOp(Name, std::move(Args), Result, OpKind::Builtin);
+    Ops[Id.index()].Builtin = Which;
+    IntOps.emplace(static_cast<uint8_t>(Which), Id);
+  };
+  addBuiltin("addi", {IntSortId, IntSortId}, IntSortId, BuiltinOp::IntAdd);
+  addBuiltin("subi", {IntSortId, IntSortId}, IntSortId, BuiltinOp::IntSub);
+  addBuiltin("lei", {IntSortId, IntSortId}, BoolSortId, BuiltinOp::IntLe);
+  addBuiltin("lti", {IntSortId, IntSortId}, BoolSortId, BuiltinOp::IntLt);
+  addBuiltin("eqi", {IntSortId, IntSortId}, BoolSortId, BuiltinOp::IntEq);
+  addBuiltin("not", {BoolSortId}, BoolSortId, BuiltinOp::BoolNot);
+  addBuiltin("and", {BoolSortId, BoolSortId}, BoolSortId, BuiltinOp::BoolAnd);
+  addBuiltin("or", {BoolSortId, BoolSortId}, BoolSortId, BuiltinOp::BoolOr);
+}
+
+//===----------------------------------------------------------------------===//
+// Sorts
+//===----------------------------------------------------------------------===//
+
+SortId AlgebraContext::addSort(std::string_view Name, SortKind Kind,
+                               SourceLoc Loc) {
+  Symbol Sym = intern(Name);
+  assert(!SortByName.count(Sym) && "duplicate sort registration");
+  SortId Id(static_cast<uint32_t>(Sorts.size()));
+  Sorts.push_back(SortInfo{Sym, Kind, Loc});
+  SortByName.emplace(Sym, Id);
+  return Id;
+}
+
+SortId AlgebraContext::lookupSort(std::string_view Name) const {
+  Symbol Sym = Interner.lookup(Name);
+  if (!Sym.isValid())
+    return SortId();
+  auto It = SortByName.find(Sym);
+  return It == SortByName.end() ? SortId() : It->second;
+}
+
+SortId AlgebraContext::getOrAddAtomSort(std::string_view Name) {
+  SortId Existing = lookupSort(Name);
+  if (Existing.isValid())
+    return Existing;
+  return addSort(Name, SortKind::Atom);
+}
+
+const SortInfo &AlgebraContext::sort(SortId Id) const {
+  assert(Id.isValid() && Id.index() < Sorts.size() && "bad sort id");
+  return Sorts[Id.index()];
+}
+
+//===----------------------------------------------------------------------===//
+// Operations
+//===----------------------------------------------------------------------===//
+
+OpId AlgebraContext::addOp(std::string_view Name,
+                           std::vector<SortId> ArgSorts, SortId ResultSort,
+                           OpKind Kind, SourceLoc Loc) {
+  assert(ResultSort.isValid() && "operation needs a result sort");
+#ifndef NDEBUG
+  for (SortId Arg : ArgSorts)
+    assert(Arg.isValid() && "operation argument sort invalid");
+#endif
+  Symbol Sym = intern(Name);
+#ifndef NDEBUG
+  if (auto It = OpByName.find(Sym); It != OpByName.end())
+    for (OpId Existing : It->second)
+      assert((Ops[Existing.index()].ArgSorts != ArgSorts ||
+              Ops[Existing.index()].ResultSort != ResultSort) &&
+             "duplicate operation registration (same signature)");
+#endif
+  OpId Id(static_cast<uint32_t>(Ops.size()));
+  Ops.push_back(OpInfo{Sym, std::move(ArgSorts), ResultSort, Kind,
+                       BuiltinOp::None, Loc});
+  OpByName[Sym].push_back(Id);
+  return Id;
+}
+
+OpId AlgebraContext::lookupOp(std::string_view Name) const {
+  Symbol Sym = Interner.lookup(Name);
+  if (!Sym.isValid())
+    return OpId();
+  auto It = OpByName.find(Sym);
+  if (It == OpByName.end() || It->second.size() != 1)
+    return OpId();
+  return It->second.front();
+}
+
+std::vector<OpId> AlgebraContext::lookupOps(std::string_view Name) const {
+  Symbol Sym = Interner.lookup(Name);
+  if (!Sym.isValid())
+    return {};
+  auto It = OpByName.find(Sym);
+  return It == OpByName.end() ? std::vector<OpId>() : It->second;
+}
+
+const OpInfo &AlgebraContext::op(OpId Id) const {
+  assert(Id.isValid() && Id.index() < Ops.size() && "bad op id");
+  return Ops[Id.index()];
+}
+
+void AlgebraContext::setOpKind(OpId Id, OpKind Kind) {
+  assert(Id.isValid() && Id.index() < Ops.size() && "bad op id");
+  assert(Ops[Id.index()].Kind != OpKind::Builtin &&
+         "builtins cannot be reclassified");
+  Ops[Id.index()].Kind = Kind;
+}
+
+std::vector<OpId> AlgebraContext::constructorsOf(SortId Sort) const {
+  std::vector<OpId> Result;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Ops.size()); I != E; ++I)
+    if (Ops[I].Kind == OpKind::Constructor && Ops[I].ResultSort == Sort)
+      Result.push_back(OpId(I));
+  return Result;
+}
+
+OpId AlgebraContext::getIteOp(SortId ResultSort) {
+  auto It = IteOps.find(ResultSort);
+  if (It != IteOps.end())
+    return It->second;
+  std::string Name = "if@" + std::string(sortName(ResultSort));
+  OpId Id = addOp(Name, {BoolSortId, ResultSort, ResultSort}, ResultSort,
+                  OpKind::Builtin);
+  Ops[Id.index()].Builtin = BuiltinOp::Ite;
+  IteOps.emplace(ResultSort, Id);
+  return Id;
+}
+
+OpId AlgebraContext::getSameOp(SortId ArgSort) {
+  auto It = SameOps.find(ArgSort);
+  if (It != SameOps.end())
+    return It->second;
+  std::string Name = "SAME@" + std::string(sortName(ArgSort));
+  OpId Id = addOp(Name, {ArgSort, ArgSort}, BoolSortId, OpKind::Builtin);
+  Ops[Id.index()].Builtin = BuiltinOp::Same;
+  SameOps.emplace(ArgSort, Id);
+  return Id;
+}
+
+OpId AlgebraContext::intOp(BuiltinOp Which) const {
+  auto It = IntOps.find(static_cast<uint8_t>(Which));
+  assert(It != IntOps.end() && "not an eagerly registered builtin");
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+VarId AlgebraContext::addVar(std::string_view Name, SortId Sort) {
+  assert(Sort.isValid() && "variable needs a sort");
+  VarId Id(static_cast<uint32_t>(Vars.size()));
+  Vars.push_back(VarInfo{intern(Name), Sort});
+  return Id;
+}
+
+const VarInfo &AlgebraContext::var(VarId Id) const {
+  assert(Id.isValid() && Id.index() < Vars.size() && "bad var id");
+  return Vars[Id.index()];
+}
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+uint64_t AlgebraContext::hashNode(const TermNode &Node,
+                                  std::span<const TermId> Children) const {
+  uint64_t H = mix(static_cast<uint64_t>(Node.Kind) * 0x1000193u +
+                   Node.Sort.index());
+  switch (Node.Kind) {
+  case TermKind::Op:
+    H = mix(H ^ Node.Op.index());
+    break;
+  case TermKind::Var:
+    H = mix(H ^ Node.Var.index());
+    break;
+  case TermKind::Atom:
+    H = mix(H ^ Node.AtomName.index());
+    break;
+  case TermKind::Int:
+    H = mix(H ^ static_cast<uint64_t>(Node.IntValue));
+    break;
+  case TermKind::Error:
+    break;
+  }
+  for (TermId Child : Children)
+    H = mix(H ^ Child.index());
+  return H;
+}
+
+bool AlgebraContext::nodeEquals(TermId Existing, const TermNode &Node,
+                                std::span<const TermId> Children) const {
+  const TermNode &E = Terms[Existing.index()];
+  if (E.Kind != Node.Kind || E.Sort != Node.Sort ||
+      E.NumChildren != Children.size())
+    return false;
+  switch (Node.Kind) {
+  case TermKind::Op:
+    if (E.Op != Node.Op)
+      return false;
+    break;
+  case TermKind::Var:
+    return E.Var == Node.Var;
+  case TermKind::Atom:
+    return E.AtomName == Node.AtomName;
+  case TermKind::Int:
+    return E.IntValue == Node.IntValue;
+  case TermKind::Error:
+    return true;
+  }
+  for (uint32_t I = 0; I != E.NumChildren; ++I)
+    if (ChildPool[E.ChildBegin + I] != Children[I])
+      return false;
+  return true;
+}
+
+TermId AlgebraContext::internNode(TermNode Node,
+                                  std::span<const TermId> Children) {
+  uint64_t H = hashNode(Node, Children);
+  auto Range = TermTable.equal_range(H);
+  for (auto It = Range.first; It != Range.second; ++It)
+    if (nodeEquals(It->second, Node, Children))
+      return It->second;
+
+  Node.ChildBegin = static_cast<uint32_t>(ChildPool.size());
+  Node.NumChildren = static_cast<uint32_t>(Children.size());
+  ChildPool.insert(ChildPool.end(), Children.begin(), Children.end());
+  TermId Id(static_cast<uint32_t>(Terms.size()));
+  Terms.push_back(Node);
+  TermTable.emplace(H, Id);
+  return Id;
+}
+
+TermId AlgebraContext::makeOp(OpId Op, std::span<const TermId> Children) {
+  const OpInfo &Info = op(Op);
+  assert(Children.size() == Info.arity() && "operation arity mismatch");
+#ifndef NDEBUG
+  for (size_t I = 0; I != Children.size(); ++I)
+    assert(sortOf(Children[I]) == Info.ArgSorts[I] &&
+           "operation argument sort mismatch");
+#endif
+
+  // Strict error propagation (paper section 3): the value of any operation
+  // applied to an argument list containing error is error. If-then-else is
+  // the sole exception: its branches are lazy, only an error *condition*
+  // propagates structurally.
+  if (Info.Builtin == BuiltinOp::Ite) {
+    if (isError(Children[0]))
+      return makeError(Info.ResultSort);
+  } else {
+    for (TermId Child : Children)
+      if (isError(Child))
+        return makeError(Info.ResultSort);
+  }
+
+  TermNode Node;
+  Node.Kind = TermKind::Op;
+  Node.Sort = Info.ResultSort;
+  Node.Op = Op;
+  return internNode(Node, Children);
+}
+
+TermId AlgebraContext::makeVar(VarId Var) {
+  TermNode Node;
+  Node.Kind = TermKind::Var;
+  Node.Sort = var(Var).Sort;
+  Node.Var = Var;
+  return internNode(Node, {});
+}
+
+TermId AlgebraContext::makeError(SortId Sort) {
+  assert(Sort.isValid() && "error needs a sort");
+  TermNode Node;
+  Node.Kind = TermKind::Error;
+  Node.Sort = Sort;
+  return internNode(Node, {});
+}
+
+TermId AlgebraContext::makeAtom(Symbol Name, SortId Sort) {
+  assert(sort(Sort).Kind == SortKind::Atom &&
+         "atom literals only inhabit atom sorts");
+  TermNode Node;
+  Node.Kind = TermKind::Atom;
+  Node.Sort = Sort;
+  Node.AtomName = Name;
+  return internNode(Node, {});
+}
+
+TermId AlgebraContext::makeInt(int64_t Value) {
+  TermNode Node;
+  Node.Kind = TermKind::Int;
+  Node.Sort = IntSortId;
+  Node.IntValue = Value;
+  return internNode(Node, {});
+}
+
+TermId AlgebraContext::makeBool(bool Value) {
+  return Value ? TrueTermId : FalseTermId;
+}
+
+TermId AlgebraContext::makeIte(TermId Cond, TermId Then, TermId Else) {
+  assert(sortOf(Cond) == BoolSortId && "if-then-else condition must be Bool");
+  assert(sortOf(Then) == sortOf(Else) &&
+         "if-then-else branches must share a sort");
+  OpId Ite = getIteOp(sortOf(Then));
+  TermId Args[3] = {Cond, Then, Else};
+  return makeOp(Ite, std::span<const TermId>(Args, 3));
+}
+
+const TermNode &AlgebraContext::node(TermId Id) const {
+  assert(Id.isValid() && Id.index() < Terms.size() && "bad term id");
+  return Terms[Id.index()];
+}
+
+std::span<const TermId> AlgebraContext::children(TermId Id) const {
+  const TermNode &Node = node(Id);
+  return std::span<const TermId>(ChildPool.data() + Node.ChildBegin,
+                                 Node.NumChildren);
+}
+
+bool AlgebraContext::isGround(TermId Id) const {
+  const TermNode &Node = node(Id);
+  if (Node.Kind == TermKind::Var)
+    return false;
+  for (TermId Child : children(Id))
+    if (!isGround(Child))
+      return false;
+  return true;
+}
+
+unsigned AlgebraContext::dagSize(TermId Id) const {
+  std::unordered_set<TermId> Seen;
+  std::vector<TermId> Stack{Id};
+  while (!Stack.empty()) {
+    TermId Cur = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    for (TermId Child : children(Cur))
+      Stack.push_back(Child);
+  }
+  return static_cast<unsigned>(Seen.size());
+}
+
+uint64_t AlgebraContext::treeSize(TermId Id) const {
+  uint64_t Size = 1;
+  for (TermId Child : children(Id))
+    Size += treeSize(Child);
+  return Size;
+}
+
+unsigned AlgebraContext::depth(TermId Id) const {
+  unsigned Max = 0;
+  for (TermId Child : children(Id))
+    Max = std::max(Max, depth(Child));
+  return Max + 1;
+}

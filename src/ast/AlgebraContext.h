@@ -1,0 +1,219 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AlgebraContext: the single owner of sorts, operations, variables, and
+/// hash-consed terms.
+///
+/// Hash-consing gives O(1) structural equality (TermId compare), which the
+/// rewrite engine exploits for memoized normalization and the verifier for
+/// cheap cross-checking of large ground terms.
+///
+/// The context pre-registers the builtin Bool and Int sorts and their
+/// operations. \c if-then-else and \c SAME are sort-indexed and created
+/// lazily per sort on first request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_ALGEBRACONTEXT_H
+#define ALGSPEC_AST_ALGEBRACONTEXT_H
+
+#include "ast/Ids.h"
+#include "ast/Operation.h"
+#include "ast/Sort.h"
+#include "ast/Term.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+/// Descriptor for one typed free variable.
+struct VarInfo {
+  Symbol Name;
+  SortId Sort;
+};
+
+class AlgebraContext {
+public:
+  AlgebraContext();
+
+  AlgebraContext(const AlgebraContext &) = delete;
+  AlgebraContext &operator=(const AlgebraContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Interning
+  //===--------------------------------------------------------------------===
+
+  StringInterner &interner() { return Interner; }
+  Symbol intern(std::string_view Str) { return Interner.intern(Str); }
+  std::string_view str(Symbol Sym) const { return Interner.str(Sym); }
+
+  //===--------------------------------------------------------------------===
+  // Sorts
+  //===--------------------------------------------------------------------===
+
+  /// Registers a new sort. Asserts the name is not already a sort.
+  SortId addSort(std::string_view Name, SortKind Kind,
+                 SourceLoc Loc = SourceLoc());
+
+  /// Finds a sort by name; invalid id when absent.
+  SortId lookupSort(std::string_view Name) const;
+
+  /// Finds a sort by name, or registers it as an Atom (parameter) sort.
+  /// This is how `uses Identifier, Attributelist` introduces parameter
+  /// sorts of a type schema.
+  SortId getOrAddAtomSort(std::string_view Name);
+
+  const SortInfo &sort(SortId Id) const;
+  std::string_view sortName(SortId Id) const { return str(sort(Id).Name); }
+  unsigned numSorts() const { return static_cast<unsigned>(Sorts.size()); }
+
+  SortId boolSort() const { return BoolSortId; }
+  SortId intSort() const { return IntSortId; }
+
+  //===--------------------------------------------------------------------===
+  // Operations
+  //===--------------------------------------------------------------------===
+
+  /// Registers a new operation. Operations may be overloaded by domain
+  /// or range (the paper reuses ADD for both Queue and Symboltable);
+  /// registering two ops with identical signatures asserts.
+  OpId addOp(std::string_view Name, std::vector<SortId> ArgSorts,
+             SortId ResultSort, OpKind Kind, SourceLoc Loc = SourceLoc());
+
+  /// Finds the unique operation with this name. Returns an invalid id when
+  /// the name is absent or ambiguous (overloaded); use \c lookupOps to
+  /// resolve overloads by argument sorts.
+  OpId lookupOp(std::string_view Name) const;
+
+  /// All operations sharing this name (overload set), in registration
+  /// order; empty when absent.
+  std::vector<OpId> lookupOps(std::string_view Name) const;
+
+  const OpInfo &op(OpId Id) const;
+
+  /// Reclassifies an operation (the parser registers ops as Defined and
+  /// upgrades those listed in a `constructors` clause). Builtins cannot be
+  /// reclassified.
+  void setOpKind(OpId Id, OpKind Kind);
+
+  std::string_view opName(OpId Id) const { return str(op(Id).Name); }
+  unsigned numOps() const { return static_cast<unsigned>(Ops.size()); }
+
+  /// All operations whose result sort is \p Sort and which are
+  /// constructors; the canonical generators of the sort's values.
+  std::vector<OpId> constructorsOf(SortId Sort) const;
+
+  /// The lazily created sort-indexed builtins.
+  OpId getIteOp(SortId ResultSort);
+  OpId getSameOp(SortId ArgSort);
+
+  /// True/false constructor ops of Bool.
+  OpId trueOp() const { return TrueOpId; }
+  OpId falseOp() const { return FalseOpId; }
+
+  /// Builtin Int operations (registered eagerly).
+  OpId intOp(BuiltinOp Which) const;
+
+  //===--------------------------------------------------------------------===
+  // Variables
+  //===--------------------------------------------------------------------===
+
+  VarId addVar(std::string_view Name, SortId Sort);
+  const VarInfo &var(VarId Id) const;
+  std::string_view varName(VarId Id) const { return str(var(Id).Name); }
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+
+  //===--------------------------------------------------------------------===
+  // Terms (hash-consed; all creation funnels through these)
+  //===--------------------------------------------------------------------===
+
+  /// Builds Op(Children...). Asserts arity and argument sorts. Strict
+  /// error propagation is structural: if any child is \c error the result
+  /// is \c error of the op's result sort — except for if-then-else, whose
+  /// branches are lazy (only an \c error *condition* poisons it here; see
+  /// paper section 3's definition of error and the FRONT axiom, which
+  /// requires the untaken branch not to poison the taken one).
+  TermId makeOp(OpId Op, std::span<const TermId> Children);
+  TermId makeOp(OpId Op, std::initializer_list<TermId> Children) {
+    return makeOp(Op, std::span<const TermId>(Children.begin(),
+                                              Children.size()));
+  }
+
+  TermId makeVar(VarId Var);
+  TermId makeError(SortId Sort);
+  TermId makeAtom(Symbol Name, SortId Sort);
+  TermId makeAtom(std::string_view Name, SortId Sort) {
+    return makeAtom(intern(Name), Sort);
+  }
+  TermId makeInt(int64_t Value);
+  TermId makeBool(bool Value);
+
+  /// Convenience: if-then-else of the branches' sort.
+  TermId makeIte(TermId Cond, TermId Then, TermId Else);
+
+  const TermNode &node(TermId Id) const;
+  std::span<const TermId> children(TermId Id) const;
+  unsigned numTerms() const { return static_cast<unsigned>(Terms.size()); }
+
+  SortId sortOf(TermId Id) const { return node(Id).Sort; }
+  bool isError(TermId Id) const { return node(Id).Kind == TermKind::Error; }
+  bool isVar(TermId Id) const { return node(Id).Kind == TermKind::Var; }
+  bool isGround(TermId Id) const;
+
+  TermId trueTerm() const { return TrueTermId; }
+  TermId falseTerm() const { return FalseTermId; }
+
+  /// Number of nodes in the term DAG reachable from \p Id, counting shared
+  /// subterms once.
+  unsigned dagSize(TermId Id) const;
+  /// Number of nodes in the term tree (shared subterms counted per
+  /// occurrence).
+  uint64_t treeSize(TermId Id) const;
+  /// Height of the term (a leaf has depth 1).
+  unsigned depth(TermId Id) const;
+
+private:
+  TermId internNode(TermNode Node, std::span<const TermId> Children);
+  uint64_t hashNode(const TermNode &Node,
+                    std::span<const TermId> Children) const;
+  bool nodeEquals(TermId Existing, const TermNode &Node,
+                  std::span<const TermId> Children) const;
+
+  StringInterner Interner;
+
+  std::vector<SortInfo> Sorts;
+  std::unordered_map<Symbol, SortId> SortByName;
+
+  std::vector<OpInfo> Ops;
+  std::unordered_map<Symbol, std::vector<OpId>> OpByName;
+
+  std::vector<VarInfo> Vars;
+
+  std::vector<TermNode> Terms;
+  std::vector<TermId> ChildPool;
+  std::unordered_multimap<uint64_t, TermId> TermTable;
+
+  SortId BoolSortId;
+  SortId IntSortId;
+  OpId TrueOpId;
+  OpId FalseOpId;
+  TermId TrueTermId;
+  TermId FalseTermId;
+
+  std::unordered_map<SortId, OpId> IteOps;
+  std::unordered_map<SortId, OpId> SameOps;
+  std::unordered_map<uint8_t, OpId> IntOps;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_ALGEBRACONTEXT_H

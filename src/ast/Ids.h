@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed index handles for sorts, operations, variables, and terms.
+///
+/// Everything in the algebra layer is stored in tables owned by
+/// \c AlgebraContext and referred to by these 32-bit handles; terms in
+/// particular are hash-consed, so two structurally equal terms always have
+/// the same \c TermId and equality is a single integer compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_IDS_H
+#define ALGSPEC_AST_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace algspec {
+
+namespace detail {
+/// CRTP-free strong index wrapper; \p Tag makes each instantiation a
+/// distinct type so a SortId cannot be passed where an OpId is expected.
+template <typename Tag> class StrongId {
+public:
+  StrongId() = default;
+  explicit StrongId(uint32_t Value) : Value(Value) {}
+
+  bool isValid() const { return Value != Invalid; }
+  uint32_t index() const { return Value; }
+
+  friend bool operator==(StrongId A, StrongId B) { return A.Value == B.Value; }
+  friend bool operator!=(StrongId A, StrongId B) { return A.Value != B.Value; }
+  friend bool operator<(StrongId A, StrongId B) { return A.Value < B.Value; }
+
+private:
+  static constexpr uint32_t Invalid = ~0u;
+  uint32_t Value = Invalid;
+};
+} // namespace detail
+
+struct SortIdTag;
+struct OpIdTag;
+struct VarIdTag;
+struct TermIdTag;
+
+/// Handle for a sort (a carrier set of the heterogeneous algebra).
+using SortId = detail::StrongId<SortIdTag>;
+/// Handle for an operation (name + domain + range).
+using OpId = detail::StrongId<OpIdTag>;
+/// Handle for a typed free variable usable in axioms.
+using VarId = detail::StrongId<VarIdTag>;
+/// Handle for a hash-consed term.
+using TermId = detail::StrongId<TermIdTag>;
+
+} // namespace algspec
+
+namespace std {
+template <typename Tag> struct hash<algspec::detail::StrongId<Tag>> {
+  size_t operator()(algspec::detail::StrongId<Tag> Id) const noexcept {
+    return std::hash<uint32_t>()(Id.index());
+  }
+};
+} // namespace std
+
+#endif // ALGSPEC_AST_IDS_H

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation (function symbol) descriptors: the "syntactic specification"
+/// half of an algebraic type definition (paper, section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_OPERATION_H
+#define ALGSPEC_AST_OPERATION_H
+
+#include "ast/Ids.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+#include <vector>
+
+namespace algspec {
+
+/// Semantic role of an operation within its spec.
+enum class OpKind : uint8_t {
+  /// Generates values of its range sort (NEW, ADD, INIT, ENTERBLOCK, ...).
+  /// Ground constructor terms are the canonical values of a sort; the
+  /// sufficient-completeness checker and the term enumerator rely on this.
+  Constructor,
+  /// Defined entirely by axioms over constructor forms (FRONT, REMOVE,
+  /// RETRIEVE, ...).
+  Defined,
+  /// Evaluated natively by the rewrite engine (if-then-else, SAME on
+  /// atoms, Int arithmetic).
+  Builtin,
+};
+
+/// Which native evaluation rule a Builtin operation uses.
+enum class BuiltinOp : uint8_t {
+  None,
+  Ite,    ///< if-then-else: strict in the condition, lazy in branches.
+  Same,   ///< Literal equality on two atoms (or two ints) of one sort.
+  IntAdd, ///< Int addition.
+  IntSub, ///< Int subtraction (total: may go negative).
+  IntLe,  ///< Int <= returning Bool.
+  IntLt,  ///< Int <  returning Bool.
+  IntEq,  ///< Int == returning Bool.
+  BoolNot,///< Bool negation.
+  BoolAnd,///< Bool conjunction (strict).
+  BoolOr, ///< Bool disjunction (strict).
+};
+
+/// Descriptor for one operation.
+struct OpInfo {
+  Symbol Name;
+  std::vector<SortId> ArgSorts;
+  SortId ResultSort;
+  OpKind Kind = OpKind::Defined;
+  BuiltinOp Builtin = BuiltinOp::None;
+  SourceLoc Loc;
+
+  unsigned arity() const { return static_cast<unsigned>(ArgSorts.size()); }
+  bool isConstructor() const { return Kind == OpKind::Constructor; }
+  bool isDefined() const { return Kind == OpKind::Defined; }
+  bool isBuiltin() const { return Kind == OpKind::Builtin; }
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_OPERATION_H

@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sort (carrier set) descriptors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_SORT_H
+#define ALGSPEC_AST_SORT_H
+
+#include "ast/Ids.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+
+namespace algspec {
+
+/// How a sort's ground values come into existence.
+enum class SortKind : uint8_t {
+  /// Declared by a spec; ground values are constructor terms.
+  User,
+  /// Uninterpreted parameter sort (Identifier, Item, Attributelist, ...);
+  /// ground values are atom literals. The paper treats these as parameters
+  /// of a "type schema".
+  Atom,
+  /// The builtin Bool sort with constructors true/false.
+  Bool,
+  /// The builtin Int sort; ground values are integer literals.
+  Int,
+};
+
+/// Descriptor for one sort.
+struct SortInfo {
+  Symbol Name;
+  SortKind Kind = SortKind::User;
+  SourceLoc Loc;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_SORT_H

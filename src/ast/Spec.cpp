@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Spec.h"
+
+#include "ast/AlgebraContext.h"
+
+using namespace algspec;
+
+std::vector<OpId> Spec::constructorsOf(const AlgebraContext &Ctx,
+                                       SortId Sort) const {
+  std::vector<OpId> Result;
+  for (OpId Op : Operations) {
+    const OpInfo &Info = Ctx.op(Op);
+    if (Info.isConstructor() && Info.ResultSort == Sort)
+      Result.push_back(Op);
+  }
+  return Result;
+}
+
+std::vector<OpId> Spec::definedOps(const AlgebraContext &Ctx) const {
+  std::vector<OpId> Result;
+  for (OpId Op : Operations)
+    if (Ctx.op(Op).isDefined())
+      Result.push_back(Op);
+  return Result;
+}

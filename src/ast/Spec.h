@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Specification objects: an algebraic type definition consisting of a
+/// syntactic specification (sorts + operations) and a set of axioms
+/// (paper, section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_SPEC_H
+#define ALGSPEC_AST_SPEC_H
+
+#include "ast/Ids.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// One axiom: Lhs = Rhs over typed free variables, numbered like the paper
+/// numbers its relations.
+struct Axiom {
+  TermId Lhs;
+  TermId Rhs;
+  SourceLoc Loc;
+  unsigned Number = 0; ///< 1-based position within the spec.
+};
+
+/// One parsed or programmatically built specification.
+///
+/// All ids refer into the AlgebraContext the spec was built against. A Spec
+/// is a value type: cheap to copy, trivially composable (the Symboltable
+/// representation layer combines the Stack, Array, and Symboltable specs
+/// into one rewrite system).
+class Spec {
+public:
+  Spec() = default;
+  explicit Spec(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  /// The sort of interest: the first sort the spec declares (Queue for the
+  /// Queue spec, Symboltable for the Symboltable spec).
+  SortId principalSort() const {
+    return DefinedSorts.empty() ? SortId() : DefinedSorts.front();
+  }
+
+  void addDefinedSort(SortId Sort) { DefinedSorts.push_back(Sort); }
+  void addUsedSort(SortId Sort) { UsedSorts.push_back(Sort); }
+  void addOperation(OpId Op) { Operations.push_back(Op); }
+  void addVariable(VarId Var) { Variables.push_back(Var); }
+
+  /// Appends an axiom, assigning it the next paper-style number.
+  const Axiom &addAxiom(TermId Lhs, TermId Rhs, SourceLoc Loc = SourceLoc()) {
+    Axioms.push_back(
+        Axiom{Lhs, Rhs, Loc, static_cast<unsigned>(Axioms.size()) + 1});
+    return Axioms.back();
+  }
+
+  const std::vector<SortId> &definedSorts() const { return DefinedSorts; }
+  const std::vector<SortId> &usedSorts() const { return UsedSorts; }
+  const std::vector<OpId> &operations() const { return Operations; }
+  const std::vector<VarId> &variables() const { return Variables; }
+  const std::vector<Axiom> &axioms() const { return Axioms; }
+
+  /// Operations declared by this spec whose range is \p Sort and which are
+  /// constructors.
+  std::vector<OpId> constructorsOf(const AlgebraContext &Ctx,
+                                   SortId Sort) const;
+
+  /// Operations declared by this spec that are defined (non-constructor,
+  /// non-builtin).
+  std::vector<OpId> definedOps(const AlgebraContext &Ctx) const;
+
+private:
+  std::string Name;
+  std::vector<SortId> DefinedSorts;
+  std::vector<SortId> UsedSorts;
+  std::vector<OpId> Operations;
+  std::vector<VarId> Variables;
+  std::vector<Axiom> Axioms;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_SPEC_H

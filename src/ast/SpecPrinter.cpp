@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/SpecPrinter.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+
+#include <set>
+
+using namespace algspec;
+
+std::string algspec::printSpec(const AlgebraContext &Ctx, const Spec &S) {
+  std::string Out = "spec " + S.name() + "\n";
+
+  // uses: the spec's own used sorts, plus any atom sort referenced by an
+  // operation but not recorded (programmatically built specs may skip
+  // addUsedSort).
+  std::set<uint32_t> Used;
+  for (SortId Sort : S.usedSorts())
+    Used.insert(Sort.index());
+  for (OpId Op : S.operations()) {
+    const OpInfo &Info = Ctx.op(Op);
+    auto noteAtom = [&](SortId Sort) {
+      if (Ctx.sort(Sort).Kind == SortKind::Atom)
+        Used.insert(Sort.index());
+    };
+    noteAtom(Info.ResultSort);
+    for (SortId Arg : Info.ArgSorts)
+      noteAtom(Arg);
+  }
+  if (!Used.empty()) {
+    Out += "  uses ";
+    bool First = true;
+    for (uint32_t Index : Used) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Ctx.sortName(SortId(Index));
+    }
+    Out += '\n';
+  }
+
+  if (!S.definedSorts().empty()) {
+    Out += "  sorts ";
+    for (size_t I = 0; I != S.definedSorts().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Ctx.sortName(S.definedSorts()[I]);
+    }
+    Out += '\n';
+  }
+
+  if (!S.operations().empty()) {
+    Out += "  ops\n";
+    for (OpId Op : S.operations()) {
+      const OpInfo &Info = Ctx.op(Op);
+      Out += "    ";
+      Out += Ctx.opName(Op);
+      Out += " : ";
+      for (size_t I = 0; I != Info.ArgSorts.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += Ctx.sortName(Info.ArgSorts[I]);
+      }
+      if (!Info.ArgSorts.empty())
+        Out += ' ';
+      Out += "-> ";
+      Out += Ctx.sortName(Info.ResultSort);
+      Out += '\n';
+    }
+  }
+
+  std::string Ctors;
+  for (OpId Op : S.operations()) {
+    if (!Ctx.op(Op).isConstructor())
+      continue;
+    if (!Ctors.empty())
+      Ctors += ", ";
+    Ctors += Ctx.opName(Op);
+  }
+  if (!Ctors.empty())
+    Out += "  constructors " + Ctors + "\n";
+
+  if (!S.variables().empty()) {
+    Out += "  vars\n";
+    for (VarId Var : S.variables()) {
+      Out += "    ";
+      Out += Ctx.varName(Var);
+      Out += " : ";
+      Out += Ctx.sortName(Ctx.var(Var).Sort);
+      Out += '\n';
+    }
+  }
+
+  if (!S.axioms().empty()) {
+    Out += "  axioms\n";
+    for (const Axiom &Ax : S.axioms()) {
+      Out += "    ";
+      Out += printAxiom(Ctx, Ax);
+      Out += '\n';
+    }
+  }
+
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes a Spec back into .alg source text. The output re-parses to
+/// a structurally identical spec (round-trip property, pinned by tests),
+/// which makes specs first-class artifacts: generated or programmatically
+/// transformed specs can be written out, diffed, and version-controlled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_SPECPRINTER_H
+#define ALGSPEC_AST_SPECPRINTER_H
+
+#include <string>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// Renders \p S as .alg text (spec ... end, one section per clause).
+std::string printSpec(const AlgebraContext &Ctx, const Spec &S);
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_SPECPRINTER_H

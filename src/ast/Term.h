@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Term node representation.
+///
+/// A term is one of:
+///   - an operation applied to argument terms,
+///   - a typed free variable (only inside axioms and patterns),
+///   - the distinguished \c error value of some sort (paper, section 3),
+///   - an atom literal (ground value of an uninterpreted parameter sort
+///     such as Identifier or Attributelist; written 'name in specs), or
+///   - an integer literal (ground value of the builtin Int sort).
+///
+/// Nodes live in the \c AlgebraContext arena and are immutable after
+/// creation; children are stored in one contiguous pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_TERM_H
+#define ALGSPEC_AST_TERM_H
+
+#include "ast/Ids.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <span>
+
+namespace algspec {
+
+/// Discriminator for TermNode.
+enum class TermKind : uint8_t {
+  Op,    ///< Operation application.
+  Var,   ///< Typed free variable.
+  Error, ///< The distinguished error value.
+  Atom,  ///< Interned-symbol literal of an atom sort.
+  Int,   ///< Integer literal of the builtin Int sort.
+};
+
+/// One immutable term node. Payload interpretation depends on \c Kind:
+/// Op uses \c Op + the child range, Var uses \c Var, Atom uses \c AtomName,
+/// Int uses \c IntValue; Error carries only its sort.
+struct TermNode {
+  TermKind Kind = TermKind::Error;
+  SortId Sort;
+
+  OpId Op;             ///< Valid iff Kind == Op.
+  VarId Var;           ///< Valid iff Kind == Var.
+  Symbol AtomName;     ///< Valid iff Kind == Atom.
+  int64_t IntValue =0; ///< Valid iff Kind == Int.
+
+  uint32_t ChildBegin = 0; ///< Index into the context child pool.
+  uint32_t NumChildren = 0;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_TERM_H

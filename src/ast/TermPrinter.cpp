@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/TermPrinter.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+
+using namespace algspec;
+
+namespace {
+
+class Printer {
+public:
+  explicit Printer(const AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+  void print(TermId Term, bool Parenthesize) {
+    const TermNode &Node = Ctx.node(Term);
+    switch (Node.Kind) {
+    case TermKind::Error:
+      Out += "error";
+      return;
+    case TermKind::Var:
+      Out += Ctx.varName(Node.Var);
+      return;
+    case TermKind::Atom:
+      Out += '\'';
+      Out += Ctx.str(Node.AtomName);
+      return;
+    case TermKind::Int:
+      Out += std::to_string(Node.IntValue);
+      return;
+    case TermKind::Op:
+      printOp(Term, Node, Parenthesize);
+      return;
+    }
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  void printOp(TermId Term, const TermNode &Node, bool Parenthesize) {
+    const OpInfo &Info = Ctx.op(Node.Op);
+    auto Children = Ctx.children(Term);
+
+    if (Info.Builtin == BuiltinOp::Ite) {
+      if (Parenthesize)
+        Out += '(';
+      Out += "if ";
+      print(Children[0], false);
+      Out += " then ";
+      print(Children[1], true);
+      Out += " else ";
+      print(Children[2], true);
+      if (Parenthesize)
+        Out += ')';
+      return;
+    }
+
+    // Sort-indexed builtins are registered as "SAME@Identifier"; print the
+    // surface name the parser accepts.
+    std::string_view Name = Ctx.opName(Node.Op);
+    if (size_t At = Name.find('@'); At != std::string_view::npos)
+      Name = Name.substr(0, At);
+    Out += Name;
+
+    if (Children.empty())
+      return;
+    Out += '(';
+    for (size_t I = 0; I != Children.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      print(Children[I], false);
+    }
+    Out += ')';
+  }
+
+  const AlgebraContext &Ctx;
+  std::string Out;
+};
+
+} // namespace
+
+std::string algspec::printTerm(const AlgebraContext &Ctx, TermId Term) {
+  Printer P(Ctx);
+  P.print(Term, false);
+  return P.take();
+}
+
+std::string algspec::printAxiom(const AlgebraContext &Ctx, const Axiom &Ax) {
+  return printTerm(Ctx, Ax.Lhs) + " = " + printTerm(Ctx, Ax.Rhs);
+}

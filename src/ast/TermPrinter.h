@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms back into the concrete spec syntax:
+///   ADD(NEW, 'x), if SAME(id, id1) then attrs else RETRIEVE(symtab, id1),
+///   error, 42.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_AST_TERMPRINTER_H
+#define ALGSPEC_AST_TERMPRINTER_H
+
+#include "ast/Ids.h"
+
+#include <string>
+
+namespace algspec {
+
+class AlgebraContext;
+struct Axiom;
+
+/// Renders \p Term as spec-syntax text.
+std::string printTerm(const AlgebraContext &Ctx, TermId Term);
+
+/// Renders "Lhs = Rhs".
+std::string printAxiom(const AlgebraContext &Ctx, const Axiom &Ax);
+
+} // namespace algspec
+
+#endif // ALGSPEC_AST_TERMPRINTER_H

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BlockLang abstract syntax tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_AST_H
+#define ALGSPEC_BLOCKLANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algspec {
+namespace blocklang {
+
+/// BlockLang's two types.
+enum class Type : uint8_t { Int, Bool };
+
+inline const char *typeName(Type T) {
+  return T == Type::Int ? "int" : "bool";
+}
+
+/// Expressions.
+struct Expr {
+  enum class Kind : uint8_t { IntLit, BoolLit, VarRef, Binary };
+  enum class BinOp : uint8_t { Add, Less, Equal };
+
+  Kind K = Kind::IntLit;
+  SourceLoc Loc;
+
+  int64_t IntValue = 0;      ///< IntLit.
+  bool BoolValue = false;    ///< BoolLit.
+  std::string Name;          ///< VarRef.
+  BinOp Op = BinOp::Add;     ///< Binary.
+  std::unique_ptr<Expr> Lhs; ///< Binary.
+  std::unique_ptr<Expr> Rhs; ///< Binary.
+};
+
+struct Block;
+
+/// One item of a block body.
+struct Stmt {
+  enum class Kind : uint8_t { Decl, Assign, Nested, If, While };
+
+  Kind K = Kind::Decl;
+  SourceLoc Loc;
+
+  std::string Name; ///< Decl / Assign target.
+  Type DeclType = Type::Int;       ///< Decl.
+  std::unique_ptr<Expr> Value;     ///< Assign value / If / While condition.
+  std::unique_ptr<Block> Nested;   ///< Nested block.
+  std::vector<Stmt> ThenBody;      ///< If / While body.
+  std::vector<Stmt> ElseBody;      ///< If.
+};
+
+/// A begin...end block; \c Knows is the extended dialect's knows-list
+/// (empty in the plain dialect, where blocks inherit everything).
+struct Block {
+  SourceLoc Loc;
+  std::vector<std::string> Knows;
+  bool HasKnowsClause = false;
+  std::vector<Stmt> Body;
+};
+
+/// A whole program.
+struct Program {
+  std::unique_ptr<Block> Top;
+};
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_AST_H

@@ -1,0 +1,168 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/Interp.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+namespace {
+
+/// Runtime environment: one map per open block, innermost last.
+/// Assignment updates the nearest binding (the plain dialect; the knows
+/// dialect's visibility was already enforced by Sema, and the runtime
+/// semantics of an accepted program are the same).
+class ScopeStack {
+public:
+  void enter() { Scopes.emplace_back(); }
+  void leave() { Scopes.pop_back(); }
+
+  void declare(const std::string &Name, RuntimeValue Value) {
+    Scopes.back()[Name] = Value;
+  }
+
+  RuntimeValue *find(const std::string &Name) {
+    for (size_t I = Scopes.size(); I != 0; --I) {
+      auto It = Scopes[I - 1].find(Name);
+      if (It != Scopes[I - 1].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+
+  const std::unordered_map<std::string, RuntimeValue> &top() const {
+    return Scopes.back();
+  }
+
+private:
+  std::vector<std::unordered_map<std::string, RuntimeValue>> Scopes;
+};
+
+class Interpreter {
+public:
+  Result<std::map<std::string, RuntimeValue>> run(const Program &P) {
+    if (!P.Top)
+      return makeError("no program");
+    Env.enter();
+    if (Result<void> R = execStmts(P.Top->Body); !R)
+      return R.error();
+    std::map<std::string, RuntimeValue> Out;
+    for (const auto &[Name, Value] : Env.top())
+      Out.emplace(Name, Value);
+    Env.leave();
+    return Out;
+  }
+
+private:
+  Result<void> execStmts(const std::vector<Stmt> &Body) {
+    for (const Stmt &S : Body)
+      if (Result<void> R = execStmt(S); !R)
+        return R;
+    return Result<void>();
+  }
+
+  Result<void> execStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Decl:
+      Env.declare(S.Name, S.DeclType == Type::Int
+                              ? RuntimeValue::ofInt(0)
+                              : RuntimeValue::ofBool(false));
+      return Result<void>();
+
+    case Stmt::Kind::Assign: {
+      RuntimeValue *Slot = Env.find(S.Name);
+      if (!Slot)
+        return makeError("runtime: assignment to undeclared '" + S.Name +
+                         "' (program was not checked)");
+      Result<RuntimeValue> Value = eval(*S.Value);
+      if (!Value)
+        return Value.error();
+      *Slot = *Value;
+      return Result<void>();
+    }
+
+    case Stmt::Kind::Nested: {
+      Env.enter();
+      Result<void> R = execStmts(S.Nested->Body);
+      Env.leave();
+      return R;
+    }
+
+    case Stmt::Kind::If: {
+      Result<RuntimeValue> Cond = eval(*S.Value);
+      if (!Cond)
+        return Cond.error();
+      return execStmts(Cond->BoolValue ? S.ThenBody : S.ElseBody);
+    }
+
+    case Stmt::Kind::While: {
+      // Defensive iteration cap: BlockLang has no I/O, so a loop that
+      // spins this long is a runaway, not a program.
+      for (uint64_t Iter = 0;; ++Iter) {
+        if (Iter >= (1u << 24))
+          return makeError("runtime: while-loop iteration limit exceeded");
+        Result<RuntimeValue> Cond = eval(*S.Value);
+        if (!Cond)
+          return Cond.error();
+        if (!Cond->BoolValue)
+          return Result<void>();
+        if (Result<void> R = execStmts(S.ThenBody); !R)
+          return R;
+      }
+    }
+    }
+    return makeError("runtime: unknown statement");
+  }
+
+  Result<RuntimeValue> eval(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return RuntimeValue::ofInt(E.IntValue);
+    case Expr::Kind::BoolLit:
+      return RuntimeValue::ofBool(E.BoolValue);
+    case Expr::Kind::VarRef: {
+      RuntimeValue *Slot = Env.find(E.Name);
+      if (!Slot)
+        return makeError("runtime: use of undeclared '" + E.Name +
+                         "' (program was not checked)");
+      return *Slot;
+    }
+    case Expr::Kind::Binary: {
+      Result<RuntimeValue> L = eval(*E.Lhs);
+      if (!L)
+        return L;
+      Result<RuntimeValue> R = eval(*E.Rhs);
+      if (!R)
+        return R;
+      switch (E.Op) {
+      case Expr::BinOp::Add:
+        return RuntimeValue::ofInt(L->IntValue + R->IntValue);
+      case Expr::BinOp::Less:
+        return RuntimeValue::ofBool(L->IntValue < R->IntValue);
+      case Expr::BinOp::Equal:
+        if (L->T == Type::Int)
+          return RuntimeValue::ofBool(L->IntValue == R->IntValue);
+        return RuntimeValue::ofBool(L->BoolValue == R->BoolValue);
+      }
+      return makeError("runtime: unknown operator");
+    }
+    }
+    return makeError("runtime: unknown expression");
+  }
+
+  ScopeStack Env;
+};
+
+} // namespace
+
+Result<std::map<std::string, RuntimeValue>>
+blocklang::interpret(const Program &P) {
+  Interpreter I;
+  return I.run(P);
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for BlockLang programs.
+///
+/// Runs after scope/type checking (it asserts on constructs Sema would
+/// reject) and returns the final values of the top-level block's
+/// variables — the observable outcome of a program. Scoping at runtime
+/// mirrors the symbol table's compile-time behaviour: a nested block's
+/// variables vanish on exit, shadowed variables reappear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_INTERP_H
+#define ALGSPEC_BLOCKLANG_INTERP_H
+
+#include "blocklang/Ast.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace algspec {
+namespace blocklang {
+
+/// A runtime value.
+struct RuntimeValue {
+  Type T = Type::Int;
+  int64_t IntValue = 0;
+  bool BoolValue = false;
+
+  static RuntimeValue ofInt(int64_t V) {
+    RuntimeValue R;
+    R.T = Type::Int;
+    R.IntValue = V;
+    return R;
+  }
+  static RuntimeValue ofBool(bool V) {
+    RuntimeValue R;
+    R.T = Type::Bool;
+    R.BoolValue = V;
+    return R;
+  }
+
+  friend bool operator==(const RuntimeValue &A, const RuntimeValue &B) {
+    if (A.T != B.T)
+      return false;
+    return A.T == Type::Int ? A.IntValue == B.IntValue
+                            : A.BoolValue == B.BoolValue;
+  }
+};
+
+/// Executes \p P (which must have passed Sema). Returns the final values
+/// of the variables declared in the top-level block; uninitialized
+/// variables default to 0 / false. Fails only on programs Sema would
+/// have rejected (defensive, for callers that skipped checking).
+Result<std::map<std::string, RuntimeValue>> interpret(const Program &P);
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_INTERP_H

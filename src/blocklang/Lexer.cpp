@@ -1,0 +1,202 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/Lexer.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+Lexer::Lexer(const SourceMgr &SM) : SM(SM), Text(SM.text()) {}
+
+const Tok &Lexer::peek() {
+  if (!HasLookahead) {
+    Lookahead = lexImpl();
+    HasLookahead = true;
+  }
+  return Lookahead;
+}
+
+Tok Lexer::next() {
+  if (HasLookahead) {
+    HasLookahead = false;
+    return Lookahead;
+  }
+  return lexImpl();
+}
+
+static TokKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"begin", TokKind::KwBegin}, {"end", TokKind::KwEnd},
+      {"var", TokKind::KwVar},     {"knows", TokKind::KwKnows},
+      {"int", TokKind::KwInt},     {"bool", TokKind::KwBool},
+      {"true", TokKind::KwTrue},   {"false", TokKind::KwFalse},
+      {"if", TokKind::KwIf},       {"then", TokKind::KwThen},
+      {"else", TokKind::KwElse},   {"while", TokKind::KwWhile},
+      {"do", TokKind::KwDo},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokKind::Ident : It->second;
+}
+
+Tok Lexer::lexImpl() {
+  // Skip whitespace and // comments.
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+
+  Tok T;
+  T.Loc = SM.locForOffset(Pos);
+  if (Pos >= Text.size())
+    return T;
+
+  size_t Start = Pos;
+  char C = Text[Pos];
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    ++Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    T.Text = Text.substr(Start, Pos - Start);
+    T.Kind = keywordKind(T.Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    // Accumulate manually, saturating on overflow (std::stoll throws).
+    int64_t Value = 0;
+    bool Overflow = false;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      int Digit = Text[Pos] - '0';
+      if (Value > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
+      ++Pos;
+    }
+    T.Text = Text.substr(Start, Pos - Start);
+    T.Kind = Overflow ? TokKind::Unknown : TokKind::IntLit;
+    T.IntValue = Value;
+    return T;
+  }
+
+  ++Pos;
+  switch (C) {
+  case ':':
+    if (Pos < Text.size() && Text[Pos] == '=') {
+      ++Pos;
+      T.Kind = TokKind::Assign;
+    } else {
+      T.Kind = TokKind::Colon;
+    }
+    break;
+  case ';':
+    T.Kind = TokKind::Semi;
+    break;
+  case ',':
+    T.Kind = TokKind::Comma;
+    break;
+  case '+':
+    T.Kind = TokKind::Plus;
+    break;
+  case '<':
+    T.Kind = TokKind::Less;
+    break;
+  case '=':
+    if (Pos < Text.size() && Text[Pos] == '=') {
+      ++Pos;
+      T.Kind = TokKind::EqEq;
+    } else {
+      T.Kind = TokKind::Unknown;
+    }
+    break;
+  case '(':
+    T.Kind = TokKind::LParen;
+    break;
+  case ')':
+    T.Kind = TokKind::RParen;
+    break;
+  default:
+    T.Kind = TokKind::Unknown;
+    break;
+  }
+  T.Text = Text.substr(Start, Pos - Start);
+  return T;
+}
+
+const char *blocklang::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwBegin:
+    return "'begin'";
+  case TokKind::KwEnd:
+    return "'end'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwKnows:
+    return "'knows'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Unknown:
+    return "unrecognized character";
+  }
+  return "token";
+}

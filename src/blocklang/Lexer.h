@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for BlockLang, the small block-structured language whose
+/// compiler front end is the paper's running application.
+///
+/// Grammar (plain dialect):
+///
+///   program := block
+///   block   := 'begin' [knows] item* 'end'
+///   knows   := 'knows' IDENT (',' IDENT)* ';'        (extended dialect)
+///   item    := 'var' IDENT ':' type ';'
+///            | IDENT ':=' expr ';'
+///            | 'if' expr 'then' item* ['else' item*] 'end' ';'
+///            | 'while' expr 'do' item* 'end' ';'
+///            | block ';'
+///   type    := 'int' | 'bool'
+///   expr    := prim (('+' | '<' | '==') prim)*       (left-assoc)
+///   prim    := IDENT | INT | 'true' | 'false' | '(' expr ')'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_LEXER_H
+#define ALGSPEC_BLOCKLANG_LEXER_H
+
+#include "support/SourceLoc.h"
+#include "support/SourceMgr.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace algspec {
+namespace blocklang {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  KwBegin,
+  KwEnd,
+  KwVar,
+  KwKnows,
+  KwInt,
+  KwBool,
+  KwTrue,
+  KwFalse,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwDo,
+  Assign, ///< :=
+  Colon,
+  Semi,
+  Comma,
+  Plus,
+  Less,
+  EqEq, ///< ==
+  LParen,
+  RParen,
+  Unknown,
+};
+
+struct Tok {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+  int64_t IntValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Single-pass lexer; `//` starts a line comment.
+class Lexer {
+public:
+  explicit Lexer(const SourceMgr &SM);
+
+  Tok next();
+  const Tok &peek();
+
+private:
+  Tok lexImpl();
+
+  const SourceMgr &SM;
+  std::string_view Text;
+  size_t Pos = 0;
+  Tok Lookahead;
+  bool HasLookahead = false;
+};
+
+const char *tokKindName(TokKind Kind);
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_LEXER_H

@@ -1,0 +1,301 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/Parser.h"
+
+#include "blocklang/Lexer.h"
+#include "support/SourceMgr.h"
+
+#include <string>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(const SourceMgr &SM, DiagnosticEngine &Diags, Dialect D)
+      : Diags(Diags), D(D), Lex(SM) {}
+
+  Program parse() {
+    Program P;
+    if (!Lex.peek().is(TokKind::KwBegin)) {
+      Diags.error(Lex.peek().Loc, "a program is one top-level block; "
+                                  "expected 'begin'");
+      return P;
+    }
+    P.Top = parseBlock();
+    if (P.Top && !Lex.peek().is(TokKind::Eof))
+      Diags.error(Lex.peek().Loc, "trailing input after the top-level "
+                                  "block");
+    return P;
+  }
+
+private:
+  bool expect(TokKind Kind, const char *Context) {
+    const Tok &T = Lex.peek();
+    if (T.is(Kind)) {
+      Lex.next();
+      return true;
+    }
+    Diags.error(T.Loc, std::string("expected ") + tokKindName(Kind) + " " +
+                           Context + ", found " + tokKindName(T.Kind));
+    return false;
+  }
+
+  std::unique_ptr<Block> parseBlock() {
+    auto B = std::make_unique<Block>();
+    B->Loc = Lex.peek().Loc;
+    if (!expect(TokKind::KwBegin, "to open a block"))
+      return nullptr;
+
+    if (Lex.peek().is(TokKind::KwKnows)) {
+      SourceLoc KnowsLoc = Lex.next().Loc;
+      B->HasKnowsClause = true;
+      if (D == Dialect::Plain)
+        Diags.error(KnowsLoc,
+                    "knows-lists are not part of the plain dialect");
+      while (true) {
+        const Tok &Name = Lex.peek();
+        if (!expect(TokKind::Ident, "in knows-list"))
+          return nullptr;
+        B->Knows.emplace_back(Name.Text);
+        if (!Lex.peek().is(TokKind::Comma))
+          break;
+        Lex.next();
+      }
+      if (!expect(TokKind::Semi, "after knows-list"))
+        return nullptr;
+    }
+
+    while (!Lex.peek().is(TokKind::KwEnd) &&
+           !Lex.peek().is(TokKind::Eof)) {
+      if (!parseItem(*B))
+        return nullptr;
+    }
+    if (!expect(TokKind::KwEnd, "to close a block"))
+      return nullptr;
+    return B;
+  }
+
+  bool parseItem(Block &B) {
+    const Tok &T = Lex.peek();
+    switch (T.Kind) {
+    case TokKind::KwVar:
+      return parseDecl(B);
+    case TokKind::Ident:
+      return parseAssign(B);
+    case TokKind::KwIf:
+      return parseIf(B);
+    case TokKind::KwWhile:
+      return parseWhile(B);
+    case TokKind::KwBegin: {
+      Stmt S;
+      S.K = Stmt::Kind::Nested;
+      S.Loc = T.Loc;
+      S.Nested = parseBlock();
+      if (!S.Nested)
+        return false;
+      B.Body.push_back(std::move(S));
+      return expect(TokKind::Semi, "after a nested block");
+    }
+    default:
+      Diags.error(T.Loc, std::string("expected a declaration, assignment, "
+                                     "or block, found ") +
+                             tokKindName(T.Kind));
+      return false;
+    }
+  }
+
+  bool parseDecl(Block &B) {
+    Stmt S;
+    S.K = Stmt::Kind::Decl;
+    S.Loc = Lex.next().Loc; // 'var'
+    const Tok &Name = Lex.peek();
+    if (!expect(TokKind::Ident, "after 'var'"))
+      return false;
+    S.Name = std::string(Name.Text);
+    if (!expect(TokKind::Colon, "after variable name"))
+      return false;
+    const Tok &Ty = Lex.peek();
+    if (Ty.is(TokKind::KwInt))
+      S.DeclType = Type::Int;
+    else if (Ty.is(TokKind::KwBool))
+      S.DeclType = Type::Bool;
+    else {
+      Diags.error(Ty.Loc, std::string("expected a type, found ") +
+                              tokKindName(Ty.Kind));
+      return false;
+    }
+    Lex.next();
+    if (!expect(TokKind::Semi, "after declaration"))
+      return false;
+    B.Body.push_back(std::move(S));
+    return true;
+  }
+
+  /// Parses statements until one of the given terminator kinds; the
+  /// terminator itself is not consumed.
+  bool parseItemsUntil(std::vector<Stmt> &Body,
+                       std::initializer_list<TokKind> Terminators) {
+    while (true) {
+      const Tok &T = Lex.peek();
+      for (TokKind K : Terminators)
+        if (T.is(K))
+          return true;
+      if (T.is(TokKind::Eof)) {
+        Diags.error(T.Loc, "unterminated statement body");
+        return false;
+      }
+      Block Scratch;
+      if (!parseItem(Scratch))
+        return false;
+      for (Stmt &S : Scratch.Body)
+        Body.push_back(std::move(S));
+    }
+  }
+
+  bool parseIf(Block &B) {
+    Stmt S;
+    S.K = Stmt::Kind::If;
+    S.Loc = Lex.next().Loc; // 'if'
+    S.Value = parseExpr();
+    if (!S.Value)
+      return false;
+    if (!expect(TokKind::KwThen, "after if condition"))
+      return false;
+    if (!parseItemsUntil(S.ThenBody, {TokKind::KwElse, TokKind::KwEnd}))
+      return false;
+    if (Lex.peek().is(TokKind::KwElse)) {
+      Lex.next();
+      if (!parseItemsUntil(S.ElseBody, {TokKind::KwEnd}))
+        return false;
+    }
+    if (!expect(TokKind::KwEnd, "to close 'if'") ||
+        !expect(TokKind::Semi, "after 'if' statement"))
+      return false;
+    B.Body.push_back(std::move(S));
+    return true;
+  }
+
+  bool parseWhile(Block &B) {
+    Stmt S;
+    S.K = Stmt::Kind::While;
+    S.Loc = Lex.next().Loc; // 'while'
+    S.Value = parseExpr();
+    if (!S.Value)
+      return false;
+    if (!expect(TokKind::KwDo, "after while condition"))
+      return false;
+    if (!parseItemsUntil(S.ThenBody, {TokKind::KwEnd}))
+      return false;
+    if (!expect(TokKind::KwEnd, "to close 'while'") ||
+        !expect(TokKind::Semi, "after 'while' statement"))
+      return false;
+    B.Body.push_back(std::move(S));
+    return true;
+  }
+
+  bool parseAssign(Block &B) {
+    Stmt S;
+    S.K = Stmt::Kind::Assign;
+    const Tok &Name = Lex.next();
+    S.Loc = Name.Loc;
+    S.Name = std::string(Name.Text);
+    if (!expect(TokKind::Assign, "in assignment"))
+      return false;
+    S.Value = parseExpr();
+    if (!S.Value)
+      return false;
+    if (!expect(TokKind::Semi, "after assignment"))
+      return false;
+    B.Body.push_back(std::move(S));
+    return true;
+  }
+
+  std::unique_ptr<Expr> parseExpr() {
+    std::unique_ptr<Expr> Lhs = parsePrimary();
+    if (!Lhs)
+      return nullptr;
+    while (true) {
+      Expr::BinOp Op;
+      switch (Lex.peek().Kind) {
+      case TokKind::Plus:
+        Op = Expr::BinOp::Add;
+        break;
+      case TokKind::Less:
+        Op = Expr::BinOp::Less;
+        break;
+      case TokKind::EqEq:
+        Op = Expr::BinOp::Equal;
+        break;
+      default:
+        return Lhs;
+      }
+      SourceLoc OpLoc = Lex.next().Loc;
+      std::unique_ptr<Expr> Rhs = parsePrimary();
+      if (!Rhs)
+        return nullptr;
+      auto Node = std::make_unique<Expr>();
+      Node->K = Expr::Kind::Binary;
+      Node->Loc = OpLoc;
+      Node->Op = Op;
+      Node->Lhs = std::move(Lhs);
+      Node->Rhs = std::move(Rhs);
+      Lhs = std::move(Node);
+    }
+  }
+
+  std::unique_ptr<Expr> parsePrimary() {
+    const Tok &T = Lex.peek();
+    auto Node = std::make_unique<Expr>();
+    Node->Loc = T.Loc;
+    switch (T.Kind) {
+    case TokKind::IntLit:
+      Node->K = Expr::Kind::IntLit;
+      Node->IntValue = T.IntValue;
+      Lex.next();
+      return Node;
+    case TokKind::KwTrue:
+    case TokKind::KwFalse:
+      Node->K = Expr::Kind::BoolLit;
+      Node->BoolValue = T.is(TokKind::KwTrue);
+      Lex.next();
+      return Node;
+    case TokKind::Ident:
+      Node->K = Expr::Kind::VarRef;
+      Node->Name = std::string(T.Text);
+      Lex.next();
+      return Node;
+    case TokKind::LParen: {
+      Lex.next();
+      std::unique_ptr<Expr> Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!expect(TokKind::RParen, "after parenthesized expression"))
+        return nullptr;
+      return Inner;
+    }
+    default:
+      Diags.error(T.Loc, std::string("expected an expression, found ") +
+                             tokKindName(T.Kind));
+      return nullptr;
+    }
+  }
+
+  DiagnosticEngine &Diags;
+  Dialect D;
+  Lexer Lex;
+};
+
+} // namespace
+
+Program blocklang::parseProgram(const SourceMgr &SM, DiagnosticEngine &Diags,
+                                Dialect D) {
+  ParserImpl P(SM, Diags, D);
+  return P.parse();
+}

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for BlockLang (grammar in Lexer.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_PARSER_H
+#define ALGSPEC_BLOCKLANG_PARSER_H
+
+#include "blocklang/Ast.h"
+#include "support/Diagnostic.h"
+
+namespace algspec {
+
+class SourceMgr;
+
+namespace blocklang {
+
+/// Which dialect to accept.
+enum class Dialect {
+  Plain, ///< Blocks inherit all enclosing declarations.
+  Knows, ///< Blocks must list inherited identifiers (`begin knows x, y;`).
+};
+
+/// Parses a program; returns a Program with a null Top on fatal syntax
+/// errors (diagnostics explain). A knows-clause in Plain dialect is a
+/// diagnosed error, as is its absence being relied upon in Knows dialect
+/// (a block without a clause inherits nothing there).
+Program parseProgram(const SourceMgr &SM, DiagnosticEngine &Diags,
+                     Dialect D = Dialect::Plain);
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_PARSER_H

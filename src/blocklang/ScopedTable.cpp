@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/ScopedTable.h"
+
+#include "ast/AlgebraContext.h"
+
+#include <cassert>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+SpecKnowsScopedTable::~SpecKnowsScopedTable() = default;
+
+Result<std::unique_ptr<SpecKnowsScopedTable>>
+SpecKnowsScopedTable::create() {
+  auto Table =
+      std::unique_ptr<SpecKnowsScopedTable>(new SpecKnowsScopedTable());
+  Table->Ctx = std::make_unique<AlgebraContext>();
+
+  auto Loaded = specs::loadKnowsSymboltable(*Table->Ctx);
+  if (!Loaded)
+    return Loaded.error();
+  Table->Specs = Loaded.take();
+
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : Table->Specs)
+    Ptrs.push_back(&S);
+  auto Created = Session::create(*Table->Ctx, Ptrs);
+  if (!Created)
+    return Created.error();
+  Table->Sess = std::make_unique<Session>(Created.take());
+
+  if (Result<void> R = Table->Sess->run("t := INIT"); !R)
+    return R.error();
+  return Table;
+}
+
+void SpecKnowsScopedTable::enterBlock(
+    const std::vector<std::string> &Knows) {
+  std::string List = "CREATE";
+  for (const std::string &Id : Knows)
+    List = "APPEND(" + List + ", '" + Id + ")";
+  Result<void> R = Sess->run("t := ENTERBLOCK(t, " + List + ")");
+  assert(R && "ENTERBLOCK cannot fail");
+  (void)R;
+}
+
+bool SpecKnowsScopedTable::leaveBlock() {
+  Result<TermId> Probe = Sess->eval("LEAVEBLOCK(t)");
+  assert(Probe && "LEAVEBLOCK evaluation cannot fail");
+  if (Ctx->isError(*Probe))
+    return false;
+  Result<void> R = Sess->assign("t", *Probe);
+  assert(R && "assigning a probed value cannot fail");
+  (void)R;
+  return true;
+}
+
+void SpecKnowsScopedTable::add(std::string_view Id, Type T) {
+  Result<void> R = Sess->run("t := ADD(t, '" + std::string(Id) + ", '" +
+                             typeName(T) + ")");
+  assert(R && "ADD cannot fail");
+  (void)R;
+}
+
+bool SpecKnowsScopedTable::isInBlock(std::string_view Id) {
+  Result<TermId> V = Sess->eval("IS_INBLOCK?(t, '" + std::string(Id) + ")");
+  assert(V && "IS_INBLOCK? evaluation cannot fail");
+  return *V == Ctx->trueTerm();
+}
+
+std::optional<Type> SpecKnowsScopedTable::retrieve(std::string_view Id) {
+  Result<TermId> V = Sess->eval("RETRIEVE(t, '" + std::string(Id) + ")");
+  assert(V && "RETRIEVE evaluation cannot fail");
+  if (Ctx->isError(*V))
+    return std::nullopt;
+  const TermNode &Node = Ctx->node(*V);
+  assert(Node.Kind == TermKind::Atom && "attributes travel as atoms");
+  return Ctx->str(Node.AtomName) == "int" ? Type::Int : Type::Bool;
+}
+
+SpecScopedTable::~SpecScopedTable() = default;
+
+Result<std::unique_ptr<SpecScopedTable>> SpecScopedTable::create() {
+  auto Table = std::unique_ptr<SpecScopedTable>(new SpecScopedTable());
+  Table->Ctx = std::make_unique<AlgebraContext>();
+
+  auto Loaded = specs::loadSymboltable(*Table->Ctx);
+  if (!Loaded)
+    return Loaded.error();
+  Table->TableSpec = Loaded.take();
+
+  auto Created = Session::create(*Table->Ctx, {&Table->TableSpec});
+  if (!Created)
+    return Created.error();
+  Table->Sess = std::make_unique<Session>(Created.take());
+
+  if (Result<void> R = Table->Sess->run("t := INIT"); !R)
+    return R.error();
+  return Table;
+}
+
+void SpecScopedTable::enterBlock(const std::vector<std::string> &Knows) {
+  assert(Knows.empty() && "the plain Symboltable spec has no knows-lists");
+  (void)Knows;
+  Result<void> R = Sess->run("t := ENTERBLOCK(t)");
+  assert(R && "ENTERBLOCK cannot fail");
+  (void)R;
+}
+
+bool SpecScopedTable::leaveBlock() {
+  // Probe first: assigning an error into the register would poison the
+  // table, while the concrete backends leave it untouched on failure.
+  Result<TermId> Probe = Sess->eval("LEAVEBLOCK(t)");
+  assert(Probe && "LEAVEBLOCK evaluation cannot fail");
+  if (Ctx->isError(*Probe))
+    return false;
+  Result<void> R = Sess->assign("t", *Probe);
+  assert(R && "assigning a probed value cannot fail");
+  (void)R;
+  return true;
+}
+
+void SpecScopedTable::add(std::string_view Id, Type T) {
+  std::string Stmt = "t := ADD(t, '" + std::string(Id) + ", '" +
+                     typeName(T) + ")";
+  Result<void> R = Sess->run(Stmt);
+  assert(R && "ADD cannot fail");
+  (void)R;
+}
+
+bool SpecScopedTable::isInBlock(std::string_view Id) {
+  Result<TermId> V = Sess->eval("IS_INBLOCK?(t, '" + std::string(Id) + ")");
+  assert(V && "IS_INBLOCK? evaluation cannot fail");
+  return *V == Ctx->trueTerm();
+}
+
+std::optional<Type> SpecScopedTable::retrieve(std::string_view Id) {
+  Result<TermId> V = Sess->eval("RETRIEVE(t, '" + std::string(Id) + ")");
+  assert(V && "RETRIEVE evaluation cannot fail");
+  if (Ctx->isError(*V))
+    return std::nullopt;
+  const TermNode &Node = Ctx->node(*V);
+  assert(Node.Kind == TermKind::Atom && "attributes travel as atoms");
+  return Ctx->str(Node.AtomName) == "int" ? Type::Int : Type::Bool;
+}

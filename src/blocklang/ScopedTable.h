@@ -1,0 +1,157 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbol-table boundary of the BlockLang front end.
+///
+/// Sema is written against this interface alone — the paper's
+/// information-hiding discipline. Backends provided:
+///
+///  - ConcreteScopedTable<TableT>: any of the three C++ representations
+///    (SymbolTable, ListSymbolTable, FlatSymbolTable).
+///  - KnowsScopedTable: the knows-list C++ representation.
+///  - SpecScopedTable: *no implementation at all* — operations are
+///    interpreted symbolically against the Symboltable specification
+///    (paper section 5: "the lack of an implementation can be made
+///    completely transparent to the user").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_SCOPEDTABLE_H
+#define ALGSPEC_BLOCKLANG_SCOPEDTABLE_H
+
+#include "adt/KnowsSymbolTable.h"
+#include "blocklang/Ast.h"
+#include "interp/Session.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+namespace blocklang {
+
+/// What the scope/type checker needs from a symbol table — the abstract
+/// type's signature, nothing else.
+class ScopedTable {
+public:
+  virtual ~ScopedTable() = default;
+
+  /// ENTERBLOCK. \p Knows is the block's knows-list; backends for the
+  /// plain dialect ignore it.
+  virtual void enterBlock(const std::vector<std::string> &Knows) = 0;
+  /// LEAVEBLOCK; false on the outermost scope (mismatched 'end').
+  virtual bool leaveBlock() = 0;
+  /// ADD.
+  virtual void add(std::string_view Id, Type T) = 0;
+  /// IS_INBLOCK?.
+  virtual bool isInBlock(std::string_view Id) = 0;
+  /// RETRIEVE; nullopt when invisible/undeclared.
+  virtual std::optional<Type> retrieve(std::string_view Id) = 0;
+};
+
+/// Adapter over any of the concrete plain-dialect representations.
+template <typename TableT> class ConcreteScopedTable final
+    : public ScopedTable {
+public:
+  void enterBlock(const std::vector<std::string> &) override {
+    Table.enterBlock();
+  }
+  bool leaveBlock() override { return Table.leaveBlock(); }
+  void add(std::string_view Id, Type T) override { Table.add(Id, T); }
+  bool isInBlock(std::string_view Id) override {
+    return Table.isInBlock(Id);
+  }
+  std::optional<Type> retrieve(std::string_view Id) override {
+    return Table.retrieve(Id);
+  }
+
+  TableT &table() { return Table; }
+
+private:
+  TableT Table;
+};
+
+/// Adapter over the knows-list representation (extended dialect).
+class KnowsScopedTable final : public ScopedTable {
+public:
+  void enterBlock(const std::vector<std::string> &Knows) override {
+    adt::KnowsList List;
+    for (const std::string &Id : Knows)
+      List.append(Id);
+    Table.enterBlock(std::move(List));
+  }
+  bool leaveBlock() override { return Table.leaveBlock(); }
+  void add(std::string_view Id, Type T) override { Table.add(Id, T); }
+  bool isInBlock(std::string_view Id) override {
+    return Table.isInBlock(Id);
+  }
+  std::optional<Type> retrieve(std::string_view Id) override {
+    return Table.retrieve(Id);
+  }
+
+private:
+  adt::KnowsSymbolTable<Type> Table;
+};
+
+/// The specification-backed table for the *knows* dialect: the adapted
+/// Symboltable axioms (ENTERBLOCK takes a Knowlist) interpreted
+/// symbolically. Mirrors how the concrete KnowsScopedTable relates to
+/// the plain ConcreteScopedTable: only ENTERBLOCK changed.
+class SpecKnowsScopedTable final : public ScopedTable {
+public:
+  static Result<std::unique_ptr<SpecKnowsScopedTable>> create();
+
+  ~SpecKnowsScopedTable() override;
+
+  void enterBlock(const std::vector<std::string> &Knows) override;
+  bool leaveBlock() override;
+  void add(std::string_view Id, Type T) override;
+  bool isInBlock(std::string_view Id) override;
+  std::optional<Type> retrieve(std::string_view Id) override;
+
+private:
+  SpecKnowsScopedTable() = default;
+
+  std::unique_ptr<AlgebraContext> Ctx;
+  std::vector<Spec> Specs;
+  std::unique_ptr<Session> Sess;
+};
+
+/// The specification-backed table: every operation is term rewriting
+/// over the Symboltable axioms. Types travel as the atoms 'int / 'bool.
+class SpecScopedTable final : public ScopedTable {
+public:
+  /// Fails only if the embedded spec fails to load (programming error).
+  static Result<std::unique_ptr<SpecScopedTable>> create();
+
+  ~SpecScopedTable() override; // Out of line: AlgebraContext is opaque here.
+
+  void enterBlock(const std::vector<std::string> &Knows) override;
+  bool leaveBlock() override;
+  void add(std::string_view Id, Type T) override;
+  bool isInBlock(std::string_view Id) override;
+  std::optional<Type> retrieve(std::string_view Id) override;
+
+  /// Rewrite-engine statistics — the cost of running without an
+  /// implementation (experiment E8).
+  const EngineStats &stats() const { return Sess->stats(); }
+
+private:
+  SpecScopedTable() = default;
+
+  std::unique_ptr<AlgebraContext> Ctx;
+  Spec TableSpec;
+  std::unique_ptr<Session> Sess;
+};
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_SCOPEDTABLE_H

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blocklang/Sema.h"
+
+#include "support/SourceMgr.h"
+
+#include <optional>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+namespace {
+
+class Checker {
+public:
+  Checker(ScopedTable &Table, DiagnosticEngine &Diags)
+      : Table(Table), Diags(Diags) {}
+
+  SemaStats run(const Program &P) {
+    if (P.Top)
+      checkBlock(*P.Top, /*IsTop=*/true);
+    return Stats;
+  }
+
+private:
+  void checkBlock(const Block &B, bool IsTop) {
+    // The outermost scope is the table's own initial scope; nested
+    // blocks enter/leave.
+    if (!IsTop) {
+      Table.enterBlock(B.Knows);
+      ++Stats.BlocksEntered;
+    }
+    for (const Stmt &S : B.Body)
+      checkStmt(S);
+    if (!IsTop && !Table.leaveBlock())
+      Diags.error(B.Loc, "unbalanced block nesting");
+  }
+
+  void checkStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Decl:
+      if (Table.isInBlock(S.Name))
+        Diags.error(S.Loc,
+                    "duplicate declaration of '" + S.Name +
+                        "' in the same block");
+      else {
+        Table.add(S.Name, S.DeclType);
+        ++Stats.Declarations;
+      }
+      return;
+    case Stmt::Kind::Assign: {
+      std::optional<Type> Target = lookup(S.Name, S.Loc);
+      std::optional<Type> ValueType = checkExpr(*S.Value);
+      if (Target && ValueType && *Target != *ValueType)
+        Diags.error(S.Loc, "assigning " +
+                               std::string(typeName(*ValueType)) +
+                               " to '" + S.Name + "' of type " +
+                               typeName(*Target));
+      return;
+    }
+    case Stmt::Kind::Nested:
+      checkBlock(*S.Nested, /*IsTop=*/false);
+      return;
+    case Stmt::Kind::If:
+    case Stmt::Kind::While: {
+      std::optional<Type> Cond = checkExpr(*S.Value);
+      if (Cond && *Cond != Type::Bool)
+        Diags.error(S.Loc, S.K == Stmt::Kind::If
+                               ? "'if' needs a bool condition"
+                               : "'while' needs a bool condition");
+      // Statement bodies are not scopes: only begin...end opens one, so
+      // declarations must sit at block level (classic block-structured
+      // discipline; it also keeps the symbol-table story exact).
+      checkBody(S.ThenBody);
+      checkBody(S.ElseBody);
+      return;
+    }
+    }
+  }
+
+  void checkBody(const std::vector<Stmt> &Body) {
+    for (const Stmt &S : Body) {
+      if (S.K == Stmt::Kind::Decl) {
+        Diags.error(S.Loc, "declarations are only allowed directly in a "
+                           "block; open a begin...end block");
+        continue;
+      }
+      checkStmt(S);
+    }
+  }
+
+  std::optional<Type> lookup(const std::string &Name, SourceLoc Loc) {
+    ++Stats.Lookups;
+    std::optional<Type> T = Table.retrieve(Name);
+    if (!T)
+      Diags.error(Loc, "use of undeclared (or invisible) identifier '" +
+                           Name + "'");
+    return T;
+  }
+
+  std::optional<Type> checkExpr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return Type::Int;
+    case Expr::Kind::BoolLit:
+      return Type::Bool;
+    case Expr::Kind::VarRef:
+      return lookup(E.Name, E.Loc);
+    case Expr::Kind::Binary: {
+      std::optional<Type> L = checkExpr(*E.Lhs);
+      std::optional<Type> R = checkExpr(*E.Rhs);
+      if (!L || !R)
+        return std::nullopt;
+      switch (E.Op) {
+      case Expr::BinOp::Add:
+        if (*L != Type::Int || *R != Type::Int) {
+          Diags.error(E.Loc, "'+' needs int operands");
+          return std::nullopt;
+        }
+        return Type::Int;
+      case Expr::BinOp::Less:
+        if (*L != Type::Int || *R != Type::Int) {
+          Diags.error(E.Loc, "'<' needs int operands");
+          return std::nullopt;
+        }
+        return Type::Bool;
+      case Expr::BinOp::Equal:
+        if (*L != *R) {
+          Diags.error(E.Loc, "'==' needs operands of one type");
+          return std::nullopt;
+        }
+        return Type::Bool;
+      }
+      return std::nullopt;
+    }
+    }
+    return std::nullopt;
+  }
+
+  ScopedTable &Table;
+  DiagnosticEngine &Diags;
+  SemaStats Stats;
+};
+
+} // namespace
+
+SemaStats blocklang::checkProgram(const Program &P, ScopedTable &Table,
+                                  DiagnosticEngine &Diags) {
+  Checker C(Table, Diags);
+  return C.run(P);
+}
+
+bool blocklang::compile(const SourceMgr &SM, ScopedTable &Table,
+                        DiagnosticEngine &Diags, Dialect D,
+                        SemaStats *StatsOut) {
+  Program P = parseProgram(SM, Diags, D);
+  if (Diags.hasErrors() || !P.Top)
+    return false;
+  SemaStats Stats = checkProgram(P, Table, Diags);
+  if (StatsOut)
+    *StatsOut = Stats;
+  return !Diags.hasErrors();
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scope and type checking for BlockLang, written entirely against the
+/// ScopedTable interface — the compiler subsystem the paper's section 4
+/// designs top-down.
+///
+/// Checks performed:
+///  - duplicate declaration within a block (via IS_INBLOCK?);
+///  - use of an undeclared (or, in the knows dialect, invisible)
+///    identifier (via RETRIEVE);
+///  - assignment type agreement and operator typing (+ on int, < on
+///    int, == on matching types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BLOCKLANG_SEMA_H
+#define ALGSPEC_BLOCKLANG_SEMA_H
+
+#include "blocklang/Ast.h"
+#include "blocklang/Parser.h"
+#include "blocklang/ScopedTable.h"
+#include "support/Diagnostic.h"
+
+#include <cstdint>
+
+namespace algspec {
+
+class SourceMgr;
+
+namespace blocklang {
+
+/// Counters describing how hard the checker leaned on the symbol table —
+/// the workload profile benches E8/E9 replay.
+struct SemaStats {
+  uint64_t Declarations = 0;
+  uint64_t Lookups = 0;
+  uint64_t BlocksEntered = 0;
+};
+
+/// Runs scope/type checking over \p P using \p Table. Diagnostics go to
+/// \p Diags; returns the statistics.
+SemaStats checkProgram(const Program &P, ScopedTable &Table,
+                       DiagnosticEngine &Diags);
+
+/// One-call driver: lex, parse, and check \p Source with \p Table.
+/// Returns true when the program is well-formed.
+bool compile(const SourceMgr &SM, ScopedTable &Table,
+             DiagnosticEngine &Diags, Dialect D = Dialect::Plain,
+             SemaStats *StatsOut = nullptr);
+
+} // namespace blocklang
+} // namespace algspec
+
+#endif // ALGSPEC_BLOCKLANG_SEMA_H

@@ -1,0 +1,393 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Completeness.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace algspec;
+
+namespace {
+
+/// Pattern-matrix coverage analysis for one defined operation.
+///
+/// Rows are the argument patterns of the operation's axiom left-hand
+/// sides; the analysis searches for a constructor-term tuple no row
+/// matches, by column-wise case splitting (in the style of usefulness
+/// checking for ML pattern matching). The witness it returns is rendered
+/// as the left-hand side of the axiom the user still has to write.
+class CoverageAnalysis {
+public:
+  CoverageAnalysis(AlgebraContext &Ctx, CompletenessReport &Report)
+      : Ctx(Ctx), Report(Report) {}
+
+  /// Returns a witness tuple (terms over wildcard variables) that no row
+  /// matches, or nullopt when the matrix covers everything.
+  std::optional<std::vector<TermId>>
+  findUncovered(std::vector<std::vector<TermId>> Rows,
+                std::vector<SortId> Sorts);
+
+  /// One cached wildcard variable per sort, named after the sort so
+  /// prompts read like the paper's axioms (queue, item, symboltable...).
+  TermId wildcard(SortId Sort);
+
+private:
+  bool isVar(TermId Term) const {
+    return Ctx.node(Term).Kind == TermKind::Var;
+  }
+
+  AlgebraContext &Ctx;
+  CompletenessReport &Report;
+  std::unordered_map<SortId, TermId> Wildcards;
+};
+
+} // namespace
+
+TermId CoverageAnalysis::wildcard(SortId Sort) {
+  auto It = Wildcards.find(Sort);
+  if (It != Wildcards.end())
+    return It->second;
+  std::string Name(Ctx.sortName(Sort));
+  for (char &C : Name)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  TermId Var = Ctx.makeVar(Ctx.addVar(Name, Sort));
+  Wildcards.emplace(Sort, Var);
+  return Var;
+}
+
+std::optional<std::vector<TermId>>
+CoverageAnalysis::findUncovered(std::vector<std::vector<TermId>> Rows,
+                                std::vector<SortId> Sorts) {
+  // No rows: everything is uncovered; the all-wildcards tuple witnesses it.
+  if (Rows.empty()) {
+    std::vector<TermId> Witness;
+    Witness.reserve(Sorts.size());
+    for (SortId Sort : Sorts)
+      Witness.push_back(wildcard(Sort));
+    return Witness;
+  }
+
+  // A row of variables matches every tuple.
+  for (const auto &Row : Rows)
+    if (std::all_of(Row.begin(), Row.end(),
+                    [&](TermId P) { return isVar(P); }))
+      return std::nullopt;
+
+  // Pick the first column with a non-variable pattern and case-split on it.
+  size_t Col = 0;
+  while (Col < Sorts.size()) {
+    bool HasNonVar = false;
+    for (const auto &Row : Rows)
+      if (!isVar(Row[Col])) {
+        HasNonVar = true;
+        break;
+      }
+    if (HasNonVar)
+      break;
+    ++Col;
+  }
+  assert(Col < Sorts.size() && "non-wildcard row must have a pattern");
+
+  SortId ColSort = Sorts[Col];
+  const SortInfo &ColInfo = Ctx.sort(ColSort);
+
+  // Helper: the matrix with column Col fixed and (optionally) replaced by
+  // expansion columns; returns the witness with the column re-wrapped.
+  auto specializeByConstructor =
+      [&](OpId Ctor) -> std::optional<std::vector<TermId>> {
+    const OpInfo &CtorInfo = Ctx.op(Ctor);
+    std::vector<std::vector<TermId>> NewRows;
+    for (const auto &Row : Rows) {
+      TermId Pat = Row[Col];
+      std::vector<TermId> NewRow;
+      if (isVar(Pat)) {
+        NewRow = Row;
+        NewRow.erase(NewRow.begin() + Col);
+        for (SortId ArgSort : CtorInfo.ArgSorts)
+          NewRow.push_back(wildcard(ArgSort));
+        NewRows.push_back(std::move(NewRow));
+        continue;
+      }
+      const TermNode &PatNode = Ctx.node(Pat);
+      if (PatNode.Kind != TermKind::Op || PatNode.Op != Ctor)
+        continue; // Other constructor: row cannot match this case.
+      NewRow = Row;
+      NewRow.erase(NewRow.begin() + Col);
+      for (TermId Child : Ctx.children(Pat))
+        NewRow.push_back(Child);
+      NewRows.push_back(std::move(NewRow));
+    }
+    std::vector<SortId> NewSorts = Sorts;
+    NewSorts.erase(NewSorts.begin() + Col);
+    for (SortId ArgSort : CtorInfo.ArgSorts)
+      NewSorts.push_back(ArgSort);
+
+    auto Sub = findUncovered(std::move(NewRows), std::move(NewSorts));
+    if (!Sub)
+      return std::nullopt;
+    // Reassemble: the expansion columns sit at the tail of the witness.
+    size_t Arity = CtorInfo.arity();
+    std::vector<TermId> CtorArgs(Sub->end() - Arity, Sub->end());
+    Sub->resize(Sub->size() - Arity);
+    TermId Wrapped = Ctx.makeOp(Ctor, CtorArgs);
+    Sub->insert(Sub->begin() + Col, Wrapped);
+    return Sub;
+  };
+
+  if (ColInfo.Kind == SortKind::User || ColInfo.Kind == SortKind::Bool) {
+    std::vector<OpId> Ctors = Ctx.constructorsOf(ColSort);
+    if (Ctors.empty()) {
+      Report.Caveats.push_back("sort '" + std::string(Ctx.sortName(ColSort)) +
+                               "' has no constructors; coverage over it "
+                               "cannot be decided");
+      return std::nullopt;
+    }
+    for (OpId Ctor : Ctors)
+      if (auto Witness = specializeByConstructor(Ctor))
+        return Witness;
+    return std::nullopt;
+  }
+
+  // Literal-inhabited sorts (Atom, Int): case-split on each literal
+  // appearing in the column, plus the "any other literal" case, which
+  // only variable rows can cover.
+  std::vector<TermId> Literals;
+  for (const auto &Row : Rows) {
+    TermId Pat = Row[Col];
+    if (!isVar(Pat) &&
+        std::find(Literals.begin(), Literals.end(), Pat) == Literals.end())
+      Literals.push_back(Pat);
+  }
+
+  auto specializeByLiteral =
+      [&](std::optional<TermId> Literal) -> std::optional<std::vector<TermId>> {
+    std::vector<std::vector<TermId>> NewRows;
+    for (const auto &Row : Rows) {
+      TermId Pat = Row[Col];
+      bool Matches = isVar(Pat) || (Literal && Pat == *Literal);
+      if (!Matches)
+        continue;
+      std::vector<TermId> NewRow = Row;
+      NewRow.erase(NewRow.begin() + Col);
+      NewRows.push_back(std::move(NewRow));
+    }
+    std::vector<SortId> NewSorts = Sorts;
+    NewSorts.erase(NewSorts.begin() + Col);
+    auto Sub = findUncovered(std::move(NewRows), std::move(NewSorts));
+    if (!Sub)
+      return std::nullopt;
+    Sub->insert(Sub->begin() + Col,
+                Literal ? *Literal : wildcard(ColSort));
+    return Sub;
+  };
+
+  for (TermId Literal : Literals)
+    if (auto Witness = specializeByLiteral(Literal))
+      return Witness;
+  return specializeByLiteral(std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern validation
+//===----------------------------------------------------------------------===//
+
+/// True when \p Pattern consists only of constructors, literals, and
+/// variables — the shape the coverage analysis can case-split on.
+static bool isConstructorPattern(const AlgebraContext &Ctx, TermId Pattern) {
+  const TermNode &Node = Ctx.node(Pattern);
+  switch (Node.Kind) {
+  case TermKind::Var:
+  case TermKind::Atom:
+  case TermKind::Int:
+    return true;
+  case TermKind::Error:
+    return false; // error never appears in a meaningful LHS.
+  case TermKind::Op: {
+    if (!Ctx.op(Node.Op).isConstructor())
+      return false;
+    for (TermId Child : Ctx.children(Pattern))
+      if (!isConstructorPattern(Ctx, Child))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+/// True when some variable occurs twice in the row (non-linear pattern);
+/// coverage analysis treats variables as independent wildcards, which
+/// over-approximates what a non-linear row matches.
+static bool isNonLinearRow(const AlgebraContext &Ctx,
+                           const std::vector<TermId> &Row) {
+  std::unordered_set<VarId> Seen;
+  bool NonLinear = false;
+  auto Walk = [&](auto &&Self, TermId Term) -> void {
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind == TermKind::Var) {
+      if (!Seen.insert(Node.Var).second)
+        NonLinear = true;
+      return;
+    }
+    for (TermId Child : Ctx.children(Term))
+      Self(Self, Child);
+  };
+  for (TermId Pattern : Row)
+    Walk(Walk, Pattern);
+  return NonLinear;
+}
+
+//===----------------------------------------------------------------------===//
+// Public interface
+//===----------------------------------------------------------------------===//
+
+std::string CompletenessReport::renderPrompt(const AlgebraContext &Ctx) const {
+  if (SufficientlyComplete && Caveats.empty())
+    return "The axiom set is sufficiently complete.\n";
+  std::string Out;
+  if (!Missing.empty()) {
+    Out += "The axiom set is not sufficiently complete. Please supply "
+           "axioms for:\n";
+    for (const MissingCase &Case : Missing) {
+      Out += "  ";
+      Out += printTerm(Ctx, Case.SuggestedLhs);
+      Out += " = ?\n";
+    }
+  }
+  for (const std::string &Caveat : Caveats) {
+    Out += "note: ";
+    Out += Caveat;
+    Out += '\n';
+  }
+  return Out;
+}
+
+CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
+                                              const Spec &S) {
+  CompletenessReport Report;
+  CoverageAnalysis Analysis(Ctx, Report);
+
+  for (OpId Op : S.definedOps(Ctx)) {
+    const OpInfo &Info = Ctx.op(Op);
+
+    // Gather this operation's axiom rows.
+    std::vector<std::vector<TermId>> Rows;
+    for (const Axiom &Ax : S.axioms()) {
+      const TermNode &LhsNode = Ctx.node(Ax.Lhs);
+      if (LhsNode.Kind != TermKind::Op || LhsNode.Op != Op)
+        continue;
+      auto Args = Ctx.children(Ax.Lhs);
+      std::vector<TermId> Row(Args.begin(), Args.end());
+
+      bool Usable = true;
+      for (TermId Pattern : Row)
+        if (!isConstructorPattern(Ctx, Pattern)) {
+          Report.Caveats.push_back(
+              "axiom " + std::to_string(Ax.Number) + " of '" + S.name() +
+              "' has a non-constructor pattern in its left-hand side; it "
+              "is ignored by the static coverage analysis");
+          Usable = false;
+          break;
+        }
+      if (Usable && isNonLinearRow(Ctx, Row))
+        Report.Caveats.push_back(
+            "axiom " + std::to_string(Ax.Number) + " of '" + S.name() +
+            "' repeats a variable in its left-hand side; coverage is "
+            "approximated as if the occurrences were independent");
+      if (Usable)
+        Rows.push_back(std::move(Row));
+    }
+
+    auto Witness =
+        Analysis.findUncovered(std::move(Rows), Info.ArgSorts);
+    if (!Witness)
+      continue;
+    Report.SufficientlyComplete = false;
+    Report.Missing.push_back(
+        MissingCase{Op, Ctx.makeOp(Op, *Witness)});
+  }
+  return Report;
+}
+
+CompletenessReport algspec::checkCompletenessDynamic(
+    AlgebraContext &Ctx, const Spec &S,
+    const std::vector<const Spec *> &AllSpecs, unsigned MaxDepth,
+    EnumeratorOptions EnumOptions) {
+  CompletenessReport Report;
+
+  DiagnosticEngine Diags;
+  RewriteSystem System = RewriteSystem::build(Ctx, AllSpecs, Diags);
+  if (Diags.hasErrors()) {
+    Report.Caveats.push_back("some axioms could not be oriented into "
+                             "rules; the dynamic check skipped them");
+  }
+  RewriteEngine Engine(Ctx, System);
+  TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
+
+  for (OpId Op : S.definedOps(Ctx)) {
+    const OpInfo &Info = Ctx.op(Op);
+
+    // Cartesian product of enumerated argument values.
+    std::vector<const std::vector<TermId> *> ArgSets;
+    bool Empty = false;
+    for (SortId ArgSort : Info.ArgSorts) {
+      const std::vector<TermId> &Set =
+          Enumerator.enumerate(ArgSort, MaxDepth);
+      if (Enumerator.wasTruncated(ArgSort, MaxDepth))
+        Report.Caveats.push_back(
+            "enumeration of sort '" + std::string(Ctx.sortName(ArgSort)) +
+            "' was truncated; the dynamic check is not exhaustive at "
+            "this depth");
+      if (Set.empty())
+        Empty = true;
+      ArgSets.push_back(&Set);
+    }
+    if (Empty || Info.arity() == 0) {
+      if (Info.arity() == 0)
+        Report.Caveats.push_back("nullary defined operation '" +
+                                 std::string(Ctx.opName(Op)) +
+                                 "' has no axiom cases to enumerate");
+      continue;
+    }
+
+    std::vector<size_t> Index(ArgSets.size(), 0);
+    std::vector<TermId> Args(ArgSets.size());
+    while (true) {
+      for (size_t I = 0; I != ArgSets.size(); ++I)
+        Args[I] = (*ArgSets[I])[Index[I]];
+      TermId Application = Ctx.makeOp(Op, Args);
+      Result<TermId> Normal = Engine.normalize(Application);
+      if (!Normal) {
+        Report.Caveats.push_back("normalization of " +
+                                 printTerm(Ctx, Application) +
+                                 " failed: " + Normal.error().message());
+      } else if (Engine.isStuck(*Normal)) {
+        Report.SufficientlyComplete = false;
+        Report.Missing.push_back(MissingCase{Op, Application});
+      }
+
+      size_t Pos = 0;
+      while (Pos != Index.size()) {
+        if (++Index[Pos] < ArgSets[Pos]->size())
+          break;
+        Index[Pos] = 0;
+        ++Pos;
+      }
+      if (Pos == Index.size())
+        break;
+    }
+  }
+  return Report;
+}

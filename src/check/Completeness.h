@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sufficient-completeness checking (paper, section 3).
+///
+/// An axiom set is *sufficiently complete* when every defined operation
+/// applied to ground constructor arguments has a meaning. The paper
+/// describes "a system to mechanically 'verify' the sufficient-
+/// completeness" that "prompts the user to supply the additional
+/// information" — the missing cases. This module is that system:
+///
+///  - The **static** check treats each defined operation's axiom
+///    left-hand sides as a pattern matrix and decides constructor-case
+///    coverage (in the style of pattern-match usefulness checking). Every
+///    uncovered case is reported as a concrete left-hand side the user
+///    should write an axiom for, e.g. `REMOVE(NEW) = ?` — exactly the
+///    boundary condition the paper says people forget.
+///
+///  - The **dynamic** check enumerates ground applications up to a depth
+///    bound, normalizes them, and reports stuck terms. It catches what
+///    the static analysis cannot see (e.g. right-hand sides that lead
+///    into uncovered cases of *other* operations, or guards that never
+///    decide), at the price of being bounded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_COMPLETENESS_H
+#define ALGSPEC_CHECK_COMPLETENESS_H
+
+#include "ast/Ids.h"
+#include "check/TermEnumerator.h"
+
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// One uncovered case: the suggested left-hand side contains fresh
+/// variables for the parts the axioms may bind freely.
+struct MissingCase {
+  OpId Op;
+  TermId SuggestedLhs;
+};
+
+/// Outcome of a completeness check.
+struct CompletenessReport {
+  bool SufficientlyComplete = true;
+  std::vector<MissingCase> Missing;
+  /// Conditions that make the verdict approximate (non-constructor
+  /// patterns, enumerator truncation, uninhabited sorts).
+  std::vector<std::string> Caveats;
+
+  /// Renders the paper-style prompt: one "please supply an axiom for ..."
+  /// line per missing case.
+  std::string renderPrompt(const AlgebraContext &Ctx) const;
+};
+
+/// Static pattern-coverage check over every defined operation of \p S.
+CompletenessReport checkCompleteness(AlgebraContext &Ctx, const Spec &S);
+
+/// Dynamic bounded check: normalizes every ground application of each
+/// defined operation of \p S (arguments enumerated up to \p MaxDepth)
+/// against the rules of \p AllSpecs (which must include \p S) and reports
+/// the stuck ones. \p AllSpecs exists because a spec may rely on
+/// operations of other specs (Stack of Arrays).
+CompletenessReport
+checkCompletenessDynamic(AlgebraContext &Ctx, const Spec &S,
+                         const std::vector<const Spec *> &AllSpecs,
+                         unsigned MaxDepth,
+                         EnumeratorOptions EnumOptions = EnumeratorOptions());
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_COMPLETENESS_H

@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Consistency.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "check/Unify.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace algspec;
+
+std::string ConsistencyReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  if (Consistent)
+    Out += "No contradictions found.\n";
+  for (const Contradiction &C : Contradictions) {
+    Out += "axioms " + std::to_string(C.AxiomA) + " of '" + C.SpecA +
+           "' and " + std::to_string(C.AxiomB) + " of '" + C.SpecB +
+           "' disagree on " + printTerm(Ctx, C.Overlap) + ": " +
+           printTerm(Ctx, C.ResultA) + " vs " + printTerm(Ctx, C.ResultB) +
+           "\n";
+  }
+  for (const std::string &Caveat : Caveats) {
+    Out += "note: ";
+    Out += Caveat;
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Collects the free variables of \p Term in first-occurrence order.
+static void collectVarsOrdered(const AlgebraContext &Ctx, TermId Term,
+                               std::vector<VarId> &Vars,
+                               std::unordered_set<VarId> &Seen) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    if (Seen.insert(Node.Var).second)
+      Vars.push_back(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVarsOrdered(Ctx, Child, Vars, Seen);
+}
+
+
+/// Collects every position (path of child indices) in \p Term whose
+/// subterm is an operation application — the candidate redex positions
+/// for critical-pair overlap.
+static void collectOpPositions(const AlgebraContext &Ctx, TermId Term,
+                               std::vector<uint32_t> &Path,
+                               std::vector<std::vector<uint32_t>> &Out) {
+  if (Ctx.node(Term).Kind != TermKind::Op)
+    return;
+  Out.push_back(Path);
+  auto Children = Ctx.children(Term);
+  for (uint32_t I = 0; I != Children.size(); ++I) {
+    Path.push_back(I);
+    collectOpPositions(Ctx, Children[I], Path, Out);
+    Path.pop_back();
+  }
+}
+
+static std::vector<std::vector<uint32_t>>
+nonVariablePositions(const AlgebraContext &Ctx, TermId Term) {
+  std::vector<uint32_t> Path;
+  std::vector<std::vector<uint32_t>> Out;
+  collectOpPositions(Ctx, Term, Path, Out);
+  return Out;
+}
+
+/// The subterm of \p Term at \p Pos.
+static TermId subtermAt(const AlgebraContext &Ctx, TermId Term,
+                        const std::vector<uint32_t> &Pos) {
+  for (uint32_t Step : Pos)
+    Term = Ctx.children(Term)[Step];
+  return Term;
+}
+
+/// Returns \p Term with the subterm at \p Pos replaced by \p Repl.
+static TermId replaceAt(AlgebraContext &Ctx, TermId Term,
+                        const std::vector<uint32_t> &Pos, TermId Repl,
+                        size_t Depth = 0) {
+  if (Depth == Pos.size())
+    return Repl;
+  // Copy the children out: rebuilding below creates terms, which may
+  // reallocate the child pool under a live span.
+  auto Span = Ctx.children(Term);
+  std::vector<TermId> Children(Span.begin(), Span.end());
+  Children[Pos[Depth]] =
+      replaceAt(Ctx, Children[Pos[Depth]], Pos, Repl, Depth + 1);
+  return Ctx.makeOp(Ctx.node(Term).Op, Children);
+}
+
+ConsistencyReport
+algspec::checkConsistency(AlgebraContext &Ctx,
+                          const std::vector<const Spec *> &Specs,
+                          unsigned GroundDepth,
+                          EnumeratorOptions EnumOptions) {
+  ConsistencyReport Report;
+
+  DiagnosticEngine Diags;
+  RewriteSystem System = RewriteSystem::build(Ctx, Specs, Diags);
+  if (Diags.hasErrors())
+    Report.Caveats.push_back(
+        "some axioms could not be oriented into rules and were skipped");
+  RewriteEngine Engine(Ctx, System);
+  TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
+
+  const std::vector<Rule> &Rules = System.rules();
+
+  auto normalizeOrCaveat = [&](TermId Term) -> TermId {
+    Result<TermId> Normal = Engine.normalize(Term);
+    if (Normal)
+      return *Normal;
+    Report.Caveats.push_back("normalization failed during the check: " +
+                             Normal.error().message());
+    return TermId();
+  };
+
+  // Deduplicate findings: one report per distinct (overlap, results).
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Seen;
+  auto report = [&](const Rule &RuleA, const Rule &RuleB, TermId Overlap,
+                    TermId NormA, TermId NormB) {
+    if (!Seen.insert({Overlap.index(), NormA.index(), NormB.index()})
+             .second)
+      return;
+    Report.Consistent = false;
+    Report.Contradictions.push_back(Contradiction{
+        RuleA.SpecName, RuleB.SpecName, RuleA.AxiomNumber,
+        RuleB.AxiomNumber, Overlap, NormA, NormB});
+  };
+
+  // Full Knuth-Bendix critical pairs: for every rule A, every non-variable
+  // position p of A's left-hand side, and every rule B (renamed apart)
+  // whose left-hand side unifies with A.Lhs|p, the peak sigma(A.Lhs) can
+  // rewrite two ways: by A at the root, or by B at p. Both results must
+  // join; a non-joinable pair is a contradiction between the two axioms.
+  for (size_t AI = 0; AI != Rules.size(); ++AI) {
+    const Rule &RuleA = Rules[AI];
+    std::vector<std::vector<uint32_t>> Positions =
+        nonVariablePositions(Ctx, RuleA.Lhs);
+    for (size_t BI = 0; BI != Rules.size(); ++BI) {
+      const Rule &RuleB = Rules[BI];
+      auto [LhsB, RhsB] = renameRuleApart(Ctx, RuleB.Lhs, RuleB.Rhs);
+
+      for (const std::vector<uint32_t> &Pos : Positions) {
+        bool Root = Pos.empty();
+        // Root overlaps are symmetric: visit each unordered pair once.
+        // A rule trivially overlaps itself at the root; skip that too.
+        if (Root && BI <= AI)
+          continue;
+        TermId Sub = subtermAt(Ctx, RuleA.Lhs, Pos);
+        if (Ctx.node(Sub).Op != RuleB.HeadOp)
+          continue;
+        std::optional<Substitution> Mgu = unifyTerms(Ctx, Sub, LhsB);
+        if (!Mgu)
+          continue;
+
+        TermId Overlap = applySubstitution(Ctx, RuleA.Lhs, *Mgu);
+        TermId InstA = applySubstitution(Ctx, RuleA.Rhs, *Mgu);
+        TermId InstB = applySubstitution(
+            Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
+
+        // Critical pair: both peak reducts must join.
+        TermId NormA = normalizeOrCaveat(InstA);
+        TermId NormB = normalizeOrCaveat(InstB);
+        if (NormA.isValid() && NormB.isValid() && NormA != NormB) {
+          report(RuleA, RuleB, Overlap, NormA, NormB);
+          continue;
+        }
+        if (GroundDepth == 0)
+          continue;
+
+        // Ground pass: instantiate the peak's remaining variables with
+        // enumerated values; divergence may only appear on concrete
+        // atoms (e.g. a SAME guard deciding differently per rule).
+        std::vector<VarId> FreeVars;
+        std::unordered_set<VarId> SeenVars;
+        collectVarsOrdered(Ctx, Overlap, FreeVars, SeenVars);
+        collectVarsOrdered(Ctx, InstA, FreeVars, SeenVars);
+        collectVarsOrdered(Ctx, InstB, FreeVars, SeenVars);
+        if (FreeVars.empty())
+          continue;
+
+        std::vector<const std::vector<TermId> *> Values;
+        bool Empty = false;
+        for (VarId Var : FreeVars) {
+          const std::vector<TermId> &Set =
+              Enumerator.enumerate(Ctx.var(Var).Sort, GroundDepth);
+          if (Set.empty())
+            Empty = true;
+          Values.push_back(&Set);
+        }
+        if (Empty)
+          continue;
+
+        constexpr size_t MaxGroundInstances = 512;
+        size_t Count = 0;
+        std::vector<size_t> Index(FreeVars.size(), 0);
+        bool FoundHere = false;
+        while (!FoundHere && Count < MaxGroundInstances) {
+          Substitution Ground;
+          for (size_t I = 0; I != FreeVars.size(); ++I)
+            Ground.bind(FreeVars[I], (*Values[I])[Index[I]]);
+          TermId GroundA =
+              normalizeOrCaveat(applySubstitution(Ctx, InstA, Ground));
+          TermId GroundB =
+              normalizeOrCaveat(applySubstitution(Ctx, InstB, Ground));
+          if (GroundA.isValid() && GroundB.isValid() &&
+              GroundA != GroundB) {
+            report(RuleA, RuleB,
+                   applySubstitution(Ctx, Overlap, Ground), GroundA,
+                   GroundB);
+            FoundHere = true;
+          }
+          ++Count;
+          size_t P = 0;
+          while (P != Index.size()) {
+            if (++Index[P] < Values[P]->size())
+              break;
+            Index[P] = 0;
+            ++P;
+          }
+          if (P == Index.size())
+            break;
+        }
+      }
+    }
+  }
+  return Report;
+}

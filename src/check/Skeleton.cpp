@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Skeleton.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace algspec;
+
+std::string SkeletonReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  OpId Last;
+  for (const SkeletonCase &Case : Cases) {
+    if (Case.Op != Last) {
+      Out += "-- axioms for ";
+      Out += Ctx.opName(Case.Op);
+      Out += '\n';
+      Last = Case.Op;
+    }
+    Out += "   ";
+    Out += printTerm(Ctx, Case.Lhs);
+    Out += " = ?\n";
+  }
+  for (OpId Op : NoCaseAnalysis) {
+    Out += "-- ";
+    Out += Ctx.opName(Op);
+    Out += " admits no constructor case analysis; define it directly\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// Names fresh variables after their sort, numbering repeats: queue,
+/// item, item1, ...
+class FreshVars {
+public:
+  explicit FreshVars(AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+  TermId fresh(SortId Sort) {
+    std::string Base(Ctx.sortName(Sort));
+    for (char &C : Base)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    unsigned N = Counters[Sort]++;
+    if (N > 0)
+      Base += std::to_string(N);
+    return Ctx.makeVar(Ctx.addVar(Base, Sort));
+  }
+
+  void resetPerCase() { Counters.clear(); }
+
+private:
+  AlgebraContext &Ctx;
+  std::unordered_map<SortId, unsigned> Counters;
+};
+
+} // namespace
+
+SkeletonReport algspec::generateSkeletons(AlgebraContext &Ctx,
+                                          const Spec &S) {
+  SkeletonReport Report;
+  FreshVars Fresh(Ctx);
+
+  for (OpId Op : S.definedOps(Ctx)) {
+    const OpInfo &Info = Ctx.op(Op);
+
+    // Pick the case-analysis argument: the first whose sort has
+    // constructors.
+    int CaseArg = -1;
+    std::vector<OpId> Ctors;
+    for (unsigned I = 0; I != Info.arity(); ++I) {
+      Ctors = Ctx.constructorsOf(Info.ArgSorts[I]);
+      if (!Ctors.empty()) {
+        CaseArg = static_cast<int>(I);
+        break;
+      }
+    }
+
+    if (CaseArg < 0) {
+      Fresh.resetPerCase();
+      std::vector<TermId> Args;
+      for (SortId ArgSort : Info.ArgSorts)
+        Args.push_back(Fresh.fresh(ArgSort));
+      Report.Cases.push_back(SkeletonCase{Op, Ctx.makeOp(Op, Args)});
+      Report.NoCaseAnalysis.push_back(Op);
+      continue;
+    }
+
+    for (OpId Ctor : Ctors) {
+      Fresh.resetPerCase();
+      const OpInfo &CtorInfo = Ctx.op(Ctor);
+      std::vector<TermId> Args;
+      for (unsigned I = 0; I != Info.arity(); ++I) {
+        if (static_cast<int>(I) != CaseArg) {
+          Args.push_back(Fresh.fresh(Info.ArgSorts[I]));
+          continue;
+        }
+        std::vector<TermId> CtorArgs;
+        for (SortId ArgSort : CtorInfo.ArgSorts)
+          CtorArgs.push_back(Fresh.fresh(ArgSort));
+        Args.push_back(Ctx.makeOp(Ctor, CtorArgs));
+      }
+      Report.Cases.push_back(SkeletonCase{Op, Ctx.makeOp(Op, Args)});
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Axiom-skeleton generation: the paper's "heuristics to aid the user in
+/// the initial presentation of an axiomatic specification" (section 3).
+///
+/// Given only the *syntactic* specification (operations plus the
+/// constructor set), the generator produces, for every defined
+/// operation, the complete list of left-hand sides the user should write
+/// axioms for — one per constructor of the operation's case-analysis
+/// argument, with fresh variables everywhere else:
+///
+///   FRONT(NEW) = ?
+///   FRONT(ADD(queue, item)) = ?
+///   REMOVE(NEW) = ?
+///   REMOVE(ADD(queue, item)) = ?
+///   ...
+///
+/// Writing one axiom per skeleton line yields a sufficiently complete
+/// set by construction (the completeness checker will agree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_SKELETON_H
+#define ALGSPEC_CHECK_SKELETON_H
+
+#include "ast/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// One suggested left-hand side.
+struct SkeletonCase {
+  OpId Op;
+  TermId Lhs; ///< The suggested pattern, over fresh variables.
+};
+
+/// The generated schema for a whole spec.
+struct SkeletonReport {
+  std::vector<SkeletonCase> Cases;
+  /// Operations for which no case analysis was possible (no argument of
+  /// a constructor-bearing sort): they get a single all-variable case.
+  std::vector<OpId> NoCaseAnalysis;
+
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Generates the axiom skeletons for every defined operation of \p S.
+/// The case-analysis argument is the first argument whose sort has
+/// constructors (for the paper's types: the first argument of the type
+/// of interest), matching Guttag's heuristic of writing one axiom per
+/// (defined op, constructor) pair.
+SkeletonReport generateSkeletons(AlgebraContext &Ctx, const Spec &S);
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_SKELETON_H

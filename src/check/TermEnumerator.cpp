@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/TermEnumerator.h"
+
+#include "ast/AlgebraContext.h"
+
+#include <cassert>
+#include <cctype>
+#include <string>
+
+using namespace algspec;
+
+TermEnumerator::TermEnumerator(AlgebraContext &Ctx, EnumeratorOptions Options)
+    : Ctx(Ctx), Options(std::move(Options)) {}
+
+const std::vector<TermId> &TermEnumerator::enumerate(SortId Sort,
+                                                     unsigned MaxDepth) {
+  uint64_t K = key(Sort, MaxDepth);
+  auto It = Cache.find(K);
+  if (It != Cache.end())
+    return It->second;
+
+  std::vector<TermId> Result;
+  bool DidTruncate = false;
+  const SortInfo &Info = Ctx.sort(Sort);
+
+  switch (Info.Kind) {
+  case SortKind::Atom: {
+    // Atom leaves exist at every depth >= 1. Atoms are named after the
+    // sort so terms stay readable in reports: 'identifier1, 'identifier2.
+    if (MaxDepth >= 1) {
+      std::string Base(Ctx.sortName(Sort));
+      for (char &C : Base)
+        C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+      for (unsigned I = 1; I <= Options.AtomUniverse; ++I)
+        Result.push_back(Ctx.makeAtom(Base + std::to_string(I), Sort));
+    }
+    break;
+  }
+  case SortKind::Int: {
+    if (MaxDepth >= 1)
+      for (int64_t Value : Options.IntValues)
+        Result.push_back(Ctx.makeInt(Value));
+    break;
+  }
+  case SortKind::Bool:
+  case SortKind::User: {
+    if (MaxDepth == 0)
+      break;
+    for (OpId Ctor : Ctx.constructorsOf(Sort)) {
+      const OpInfo &CtorInfo = Ctx.op(Ctor);
+      if (CtorInfo.arity() == 0) {
+        Result.push_back(Ctx.makeOp(Ctor, {}));
+        continue;
+      }
+      if (MaxDepth == 1)
+        continue; // Children need at least depth 1.
+
+      // Cartesian product of child enumerations at depth - 1.
+      std::vector<const std::vector<TermId> *> ChildSets;
+      bool Empty = false;
+      for (SortId ArgSort : CtorInfo.ArgSorts) {
+        const std::vector<TermId> &Set = enumerate(ArgSort, MaxDepth - 1);
+        if (Set.empty())
+          Empty = true;
+        ChildSets.push_back(&Set);
+      }
+      if (Empty)
+        continue;
+
+      std::vector<size_t> Index(ChildSets.size(), 0);
+      std::vector<TermId> Args(ChildSets.size());
+      while (true) {
+        for (size_t I = 0; I != ChildSets.size(); ++I)
+          Args[I] = (*ChildSets[I])[Index[I]];
+        Result.push_back(Ctx.makeOp(Ctor, Args));
+        if (Result.size() >= Options.MaxTermsPerSort) {
+          DidTruncate = true;
+          break;
+        }
+        // Odometer increment.
+        size_t Pos = 0;
+        while (Pos != Index.size()) {
+          if (++Index[Pos] < ChildSets[Pos]->size())
+            break;
+          Index[Pos] = 0;
+          ++Pos;
+        }
+        if (Pos == Index.size())
+          break;
+      }
+      if (DidTruncate)
+        break;
+    }
+    break;
+  }
+  }
+
+  Truncated[K] = DidTruncate;
+  return Cache.emplace(K, std::move(Result)).first->second;
+}
+
+bool TermEnumerator::wasTruncated(SortId Sort, unsigned MaxDepth) const {
+  auto It = Truncated.find(key(Sort, MaxDepth));
+  return It != Truncated.end() && It->second;
+}
+
+TermId TermEnumerator::sample(SortId Sort, unsigned MaxDepth,
+                              std::mt19937_64 &Rng) {
+  const std::vector<TermId> &All = enumerate(Sort, MaxDepth);
+  if (All.empty())
+    return TermId();
+  std::uniform_int_distribution<size_t> Dist(0, All.size() - 1);
+  return All[Dist(Rng)];
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded enumeration and random sampling of ground constructor terms.
+///
+/// Ground constructor terms are the canonical values of a sort (OpKind
+/// documentation). The enumerator feeds the dynamic completeness check,
+/// the consistency cross-check, the representation verifier's bounded
+/// generator induction, and the model-based tester.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_TERMENUMERATOR_H
+#define ALGSPEC_CHECK_TERMENUMERATOR_H
+
+#include "ast/Ids.h"
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// Tunables for enumeration.
+struct EnumeratorOptions {
+  /// Number of distinct atoms inhabiting each Atom (parameter) sort.
+  /// The paper's proofs quantify over arbitrary Identifiers; two to three
+  /// distinct atoms exercise every SAME branch.
+  unsigned AtomUniverse = 2;
+  /// Ground Int values used for the builtin Int sort.
+  std::vector<int64_t> IntValues = {0, 1, 2};
+  /// Hard cap on terms per (sort, depth) — deep user sorts grow
+  /// exponentially. Enumeration stops (and reports truncation) past it.
+  size_t MaxTermsPerSort = 200000;
+};
+
+/// Enumerates ground constructor terms per sort and depth.
+class TermEnumerator {
+public:
+  TermEnumerator(AlgebraContext &Ctx,
+                 EnumeratorOptions Options = EnumeratorOptions());
+
+  /// All ground constructor terms of \p Sort with depth <= \p MaxDepth
+  /// (a nullary constructor or literal has depth 1). Results are memoized
+  /// per (sort, depth).
+  const std::vector<TermId> &enumerate(SortId Sort, unsigned MaxDepth);
+
+  /// True when the last enumerate() for this key hit MaxTermsPerSort.
+  bool wasTruncated(SortId Sort, unsigned MaxDepth) const;
+
+  /// One uniformly chosen term from enumerate(Sort, MaxDepth); invalid if
+  /// the sort is uninhabited at this depth.
+  TermId sample(SortId Sort, unsigned MaxDepth, std::mt19937_64 &Rng);
+
+  const EnumeratorOptions &options() const { return Options; }
+
+private:
+  uint64_t key(SortId Sort, unsigned Depth) const {
+    return (static_cast<uint64_t>(Sort.index()) << 32) | Depth;
+  }
+
+  AlgebraContext &Ctx;
+  EnumeratorOptions Options;
+  std::unordered_map<uint64_t, std::vector<TermId>> Cache;
+  std::unordered_map<uint64_t, bool> Truncated;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_TERMENUMERATOR_H

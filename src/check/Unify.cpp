@@ -1,0 +1,181 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Unify.h"
+
+#include "ast/AlgebraContext.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+/// Robinson-style unification over hash-consed terms with an explicit
+/// binding map and occurs check.
+class Unifier {
+public:
+  explicit Unifier(AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+  bool unify(TermId A, TermId B) {
+    A = resolve(A);
+    B = resolve(B);
+    if (A == B)
+      return true;
+
+    const TermNode &NodeA = Ctx.node(A);
+    const TermNode &NodeB = Ctx.node(B);
+
+    if (NodeA.Kind == TermKind::Var)
+      return bindVar(NodeA.Var, B);
+    if (NodeB.Kind == TermKind::Var)
+      return bindVar(NodeB.Var, A);
+
+    if (NodeA.Kind != NodeB.Kind)
+      return false;
+    if (NodeA.Kind != TermKind::Op)
+      return false; // Distinct leaves (A == B was checked).
+    if (NodeA.Op != NodeB.Op)
+      return false;
+
+    // Copy out: bindVar does not create terms, but resolve()'s callees in
+    // later iterations may (fullyApply during finish) — children here are
+    // only read before any creation, still copy for uniformity and safety.
+    auto SpanA = Ctx.children(A);
+    auto SpanB = Ctx.children(B);
+    std::vector<TermId> ChildrenA(SpanA.begin(), SpanA.end());
+    std::vector<TermId> ChildrenB(SpanB.begin(), SpanB.end());
+    for (size_t I = 0; I != ChildrenA.size(); ++I)
+      if (!unify(ChildrenA[I], ChildrenB[I]))
+        return false;
+    return true;
+  }
+
+  /// Converts the internal binding map into an idempotent Substitution.
+  Substitution finish() {
+    Substitution Result;
+    for (const auto &[Var, Term] : Bindings)
+      Result.bind(Var, fullyApply(Term));
+    return Result;
+  }
+
+private:
+  /// Follows variable bindings until a non-bound term is reached.
+  TermId resolve(TermId Term) {
+    while (true) {
+      const TermNode &Node = Ctx.node(Term);
+      if (Node.Kind != TermKind::Var)
+        return Term;
+      auto It = Bindings.find(Node.Var);
+      if (It == Bindings.end())
+        return Term;
+      Term = It->second;
+    }
+  }
+
+  bool occurs(VarId Var, TermId Term) {
+    Term = resolve(Term);
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind == TermKind::Var)
+      return Node.Var == Var;
+    auto Span = Ctx.children(Term);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    for (TermId Child : Children)
+      if (occurs(Var, Child))
+        return true;
+    return false;
+  }
+
+  bool bindVar(VarId Var, TermId Term) {
+    if (occurs(Var, Term))
+      return false;
+    Bindings.emplace(Var, Term);
+    return true;
+  }
+
+  /// Substitutes bindings into \p Term to a fixpoint (terminating because
+  /// the occurs check keeps the binding relation acyclic).
+  TermId fullyApply(TermId Term) {
+    TermId Resolved = resolve(Term);
+    const TermNode Node = Ctx.node(Resolved);
+    if (Node.Kind != TermKind::Op)
+      return Resolved;
+    auto Span = Ctx.children(Resolved);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    bool Changed = false;
+    for (TermId &Child : Children) {
+      TermId NewChild = fullyApply(Child);
+      Changed |= NewChild != Child;
+      Child = NewChild;
+    }
+    return Changed ? Ctx.makeOp(Node.Op, Children) : Resolved;
+  }
+
+  AlgebraContext &Ctx;
+  std::unordered_map<VarId, TermId> Bindings;
+};
+
+} // namespace
+
+std::optional<Substitution> algspec::unifyTerms(AlgebraContext &Ctx,
+                                                TermId A, TermId B) {
+  Unifier U(Ctx);
+  if (!U.unify(A, B))
+    return std::nullopt;
+  return U.finish();
+}
+
+/// Shared renaming walker: \p Fresh persists across calls so several
+/// terms can be renamed consistently.
+static TermId renameWithMap(AlgebraContext &Ctx, TermId Term,
+                            std::unordered_map<VarId, TermId> &Fresh) {
+  auto Walk = [&](auto &&Self, TermId Cur) -> TermId {
+    const TermNode Node = Ctx.node(Cur);
+    switch (Node.Kind) {
+    case TermKind::Var: {
+      auto It = Fresh.find(Node.Var);
+      if (It != Fresh.end())
+        return It->second;
+      const VarInfo &Info = Ctx.var(Node.Var);
+      TermId NewVar = Ctx.makeVar(
+          Ctx.addVar(std::string(Ctx.str(Info.Name)) + "'", Info.Sort));
+      Fresh.emplace(Node.Var, NewVar);
+      return NewVar;
+    }
+    case TermKind::Error:
+    case TermKind::Atom:
+    case TermKind::Int:
+      return Cur;
+    case TermKind::Op: {
+      auto Span = Ctx.children(Cur);
+      std::vector<TermId> Children(Span.begin(), Span.end());
+      bool Changed = false;
+      for (TermId &Child : Children) {
+        TermId NewChild = Self(Self, Child);
+        Changed |= NewChild != Child;
+        Child = NewChild;
+      }
+      return Changed ? Ctx.makeOp(Node.Op, Children) : Cur;
+    }
+    }
+    return Cur;
+  };
+  return Walk(Walk, Term);
+}
+
+TermId algspec::renameVarsApart(AlgebraContext &Ctx, TermId Term) {
+  std::unordered_map<VarId, TermId> Fresh;
+  return renameWithMap(Ctx, Term, Fresh);
+}
+
+std::pair<TermId, TermId> algspec::renameRuleApart(AlgebraContext &Ctx,
+                                                   TermId Lhs, TermId Rhs) {
+  std::unordered_map<VarId, TermId> Fresh;
+  TermId NewLhs = renameWithMap(Ctx, Lhs, Fresh);
+  TermId NewRhs = renameWithMap(Ctx, Rhs, Fresh);
+  return {NewLhs, NewRhs};
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic unification of terms, used by the consistency checker to
+/// discover overlapping axiom left-hand sides (critical pairs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_UNIFY_H
+#define ALGSPEC_CHECK_UNIFY_H
+
+#include "ast/Ids.h"
+#include "rewrite/Substitution.h"
+
+#include <optional>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// Computes a most general unifier of \p A and \p B, if one exists.
+/// The unifier is idempotent: applying it once substitutes fully resolved
+/// terms. Occurs-check failures and clashes yield nullopt.
+std::optional<Substitution> unifyTerms(AlgebraContext &Ctx, TermId A,
+                                       TermId B);
+
+/// Returns \p Term with every variable replaced by a fresh one (same
+/// sorts, primed names). Used to rename rules apart before unification.
+TermId renameVarsApart(AlgebraContext &Ctx, TermId Term);
+
+/// Renames the variables of a whole rule (Lhs, Rhs) consistently: shared
+/// variables map to the same fresh variable on both sides.
+std::pair<TermId, TermId> renameRuleApart(AlgebraContext &Ctx, TermId Lhs,
+                                          TermId Rhs);
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_UNIFY_H

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AlgSpec umbrella API: one include for the common workflow
+///
+///   load specs -> check completeness/consistency -> execute or verify.
+///
+/// The fine-grained headers remain the primary API; this facade wires the
+/// usual pipeline together for tools and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CORE_ALGSPEC_H
+#define ALGSPEC_CORE_ALGSPEC_H
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/SpecPrinter.h"
+#include "ast/TermPrinter.h"
+#include "check/Completeness.h"
+#include "check/Consistency.h"
+#include "check/Skeleton.h"
+#include "interp/Session.h"
+#include "model/ModelBinding.h"
+#include "model/ModelTester.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+/// A context plus every spec loaded into it, with the standard checks a
+/// spec author runs before trusting an axiom set.
+class Workspace {
+public:
+  Workspace() : Ctx(std::make_unique<AlgebraContext>()) {}
+
+  AlgebraContext &context() { return *Ctx; }
+
+  /// Parses spec text into the workspace and appends the specs.
+  Result<void> load(std::string_view Text,
+                    std::string BufferName = "<spec>") {
+    auto Parsed = parseSpecText(*Ctx, Text, std::move(BufferName));
+    if (!Parsed)
+      return Parsed.error();
+    for (Spec &S : *Parsed)
+      Specs.push_back(std::move(S));
+    return Result<void>();
+  }
+
+  const std::vector<Spec> &specs() const { return Specs; }
+
+  /// Finds a loaded spec by name; nullptr when absent.
+  const Spec *find(std::string_view Name) const {
+    for (const Spec &S : Specs)
+      if (S.name() == Name)
+        return &S;
+    return nullptr;
+  }
+
+  /// Static sufficient-completeness check of one loaded spec.
+  CompletenessReport checkComplete(const Spec &S) {
+    return checkCompleteness(*Ctx, S);
+  }
+
+  /// Consistency check over every loaded spec.
+  ConsistencyReport checkConsistent(unsigned GroundDepth = 2) {
+    return checkConsistency(*Ctx, specPointers(), GroundDepth);
+  }
+
+  /// A symbolic-interpretation session over every loaded spec.
+  Result<Session> session(EngineOptions Options = EngineOptions()) {
+    return Session::create(*Ctx, specPointers(), Options);
+  }
+
+  /// Pointers to every loaded spec (valid until the next load()).
+  std::vector<const Spec *> specPointers() const {
+    std::vector<const Spec *> Ptrs;
+    Ptrs.reserve(Specs.size());
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+    return Ptrs;
+  }
+
+private:
+  std::unique_ptr<AlgebraContext> Ctx;
+  std::vector<Spec> Specs;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_CORE_ALGSPEC_H

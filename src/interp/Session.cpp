@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Session.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "parser/Parser.h"
+#include "rewrite/Substitution.h"
+
+#include <cctype>
+
+using namespace algspec;
+
+Session::Session(AlgebraContext &Ctx, RewriteSystem SystemIn,
+                 EngineOptions Options)
+    : Ctx(&Ctx), System(std::make_unique<RewriteSystem>(std::move(SystemIn))),
+      Engine(std::make_unique<RewriteEngine>(Ctx, *System, Options)) {}
+
+Result<Session> Session::create(AlgebraContext &Ctx,
+                                std::vector<const Spec *> Specs,
+                                EngineOptions Options) {
+  auto SystemOrErr = RewriteSystem::buildChecked(Ctx, Specs);
+  if (!SystemOrErr)
+    return SystemOrErr.error();
+  return Session(Ctx, SystemOrErr.take(), Options);
+}
+
+Result<TermId> Session::eval(std::string_view TermText) {
+  // Registers appear as free "variables" during parsing and are
+  // substituted with their current values before normalization.
+  VarScope Scope;
+  Substitution RegValues;
+  for (const auto &[Name, Var] : RegisterVars) {
+    Scope.emplace(Name, Var);
+    RegValues.bind(Var, RegisterValues.at(Name));
+  }
+  Result<TermId> Parsed = parseTermText(*Ctx, TermText, &Scope);
+  if (!Parsed)
+    return Parsed;
+  TermId Closed = applySubstitution(*Ctx, *Parsed, RegValues);
+  if (!Ctx->isGround(Closed))
+    return makeError("term references no known register or is not ground");
+  return Engine->normalize(Closed);
+}
+
+Result<void> Session::assign(std::string_view Name, TermId Value) {
+  std::string Key(Name);
+  auto It = RegisterVars.find(Key);
+  if (It != RegisterVars.end()) {
+    SortId Existing = Ctx->var(It->second).Sort;
+    if (Existing != Ctx->sortOf(Value))
+      return makeError("register '" + Key + "' holds sort '" +
+                       std::string(Ctx->sortName(Existing)) +
+                       "' but is assigned sort '" +
+                       std::string(Ctx->sortName(Ctx->sortOf(Value))) + "'");
+  } else {
+    It = RegisterVars.emplace(Key, Ctx->addVar(Name, Ctx->sortOf(Value)))
+             .first;
+  }
+  RegisterValues[Key] = Value;
+  return Result<void>();
+}
+
+TermId Session::lookup(std::string_view Name) const {
+  auto It = RegisterValues.find(std::string(Name));
+  return It == RegisterValues.end() ? TermId() : It->second;
+}
+
+Result<void> Session::run(std::string_view Statement) {
+  // Split at the first `:=` outside of any parentheses (the term grammar
+  // has no :=, so a plain find is safe).
+  size_t Pos = Statement.find(":=");
+  if (Pos == std::string_view::npos) {
+    Result<TermId> Value = eval(Statement);
+    if (!Value)
+      return Value.error();
+    return Result<void>();
+  }
+
+  std::string_view Name = Statement.substr(0, Pos);
+  std::string_view TermText = Statement.substr(Pos + 2);
+  // Trim the register name.
+  while (!Name.empty() && std::isspace(static_cast<unsigned char>(
+                              Name.front())))
+    Name.remove_prefix(1);
+  while (!Name.empty() &&
+         std::isspace(static_cast<unsigned char>(Name.back())))
+    Name.remove_suffix(1);
+  if (Name.empty())
+    return makeError("missing register name before ':='");
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return makeError("invalid register name '" + std::string(Name) + "'");
+
+  Result<TermId> Value = eval(TermText);
+  if (!Value)
+    return Value.error();
+  return assign(Name, *Value);
+}
+
+Result<void> Session::runProgram(std::string_view Program) {
+  // Strip -- comments up front so a ';' inside a comment cannot split a
+  // statement.
+  std::string Clean;
+  Clean.reserve(Program.size());
+  for (size_t I = 0; I < Program.size();) {
+    if (Program[I] == '-' && I + 1 < Program.size() &&
+        Program[I + 1] == '-') {
+      while (I < Program.size() && Program[I] != '\n')
+        ++I;
+      continue;
+    }
+    Clean += Program[I++];
+  }
+
+  std::string_view Rest(Clean);
+  size_t Begin = 0;
+  while (Begin <= Rest.size()) {
+    size_t End = Rest.find_first_of(";\n", Begin);
+    if (End == std::string_view::npos)
+      End = Rest.size();
+    std::string_view Statement = Rest.substr(Begin, End - Begin);
+    while (!Statement.empty() && std::isspace(static_cast<unsigned char>(
+                                     Statement.front())))
+      Statement.remove_prefix(1);
+    if (!Statement.empty()) {
+      if (Result<void> R = run(Statement); !R)
+        return R;
+    }
+    Begin = End + 1;
+  }
+  return Result<void>();
+}

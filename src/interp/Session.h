@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic interpretation of specifications (paper, section 5):
+///
+///   "In the absence of an implementation, the operations of the algebra
+///   may be interpreted symbolically. Thus, except for a significant loss
+///   in efficiency, the lack of an implementation can be made completely
+///   transparent to the user."
+///
+/// A Session holds named registers bound to ground values (normalized
+/// terms) and executes straight-line programs in the paper's assignment
+/// style:
+///
+///   Session S(Ctx, {&QueueSpec});
+///   S.run("x := NEW");
+///   S.run("x := ADD(x, 'a)");
+///   auto Front = S.eval("FRONT(x)");   // normalizes to 'a
+///
+/// Register references inside terms are resolved before normalization, so
+/// any module written against the operations (e.g. the BlockLang compiler
+/// front end) can run on the bare specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_INTERP_SESSION_H
+#define ALGSPEC_INTERP_SESSION_H
+
+#include "ast/Ids.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// One interpretation session over a set of specs.
+class Session {
+public:
+  /// Builds the rewrite system from \p Specs. Fails when an axiom cannot
+  /// be oriented. \p Specs must outlive the session.
+  static Result<Session> create(AlgebraContext &Ctx,
+                                std::vector<const Spec *> Specs,
+                                EngineOptions Options = EngineOptions());
+
+  /// Evaluates a term; register names are in scope as constants.
+  Result<TermId> eval(std::string_view TermText);
+
+  /// Executes one statement of the form `name := term` (the paper's
+  /// program-segment notation) or a bare term (evaluated and discarded).
+  /// Registers are created on first assignment and keep their sort.
+  Result<void> run(std::string_view Statement);
+
+  /// Executes newline/;-separated statements, stopping at the first error.
+  Result<void> runProgram(std::string_view Program);
+
+  /// Assigns an already-built ground value to a register.
+  Result<void> assign(std::string_view Name, TermId Value);
+
+  /// Current value of a register; invalid TermId when absent.
+  TermId lookup(std::string_view Name) const;
+
+  const EngineStats &stats() const { return Engine->stats(); }
+  RewriteEngine &engine() { return *Engine; }
+
+  Session(Session &&) = default;
+  Session &operator=(Session &&) = default;
+
+private:
+  Session(AlgebraContext &Ctx, RewriteSystem System, EngineOptions Options);
+
+  AlgebraContext *Ctx;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+  /// Register name -> (scope variable used during parsing, value).
+  std::unordered_map<std::string, VarId> RegisterVars;
+  std::unordered_map<std::string, TermId> RegisterValues;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_INTERP_SESSION_H

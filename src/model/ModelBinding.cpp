@@ -1,0 +1,153 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ModelBinding.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+
+#include <string>
+#include <vector>
+
+using namespace algspec;
+
+ModelBinding::ModelBinding(AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+void ModelBinding::bindOp(OpId Op, OpFn Fn) {
+  Ops[Op] = std::move(Fn);
+}
+
+void ModelBinding::bindOp(std::string_view Name, OpFn Fn) {
+  OpId Op = Ctx.lookupOp(Name);
+  assert(Op.isValid() && "binding an unknown or ambiguous operation name");
+  bindOp(Op, std::move(Fn));
+}
+
+void ModelBinding::bindAtoms(SortId Sort, AtomFn Fn) {
+  Atoms[Sort] = std::move(Fn);
+}
+
+void ModelBinding::bindEquals(SortId Sort, EqFn Fn) {
+  Equals[Sort] = std::move(Fn);
+}
+
+Result<bool> ModelBinding::equal(SortId Sort, const Value &A,
+                                 const Value &B) {
+  if (A.isError() || B.isError())
+    return A.isError() == B.isError();
+
+  if (auto It = Equals.find(Sort); It != Equals.end())
+    return It->second(A, B);
+
+  const SortInfo &Info = Ctx.sort(Sort);
+  switch (Info.Kind) {
+  case SortKind::Bool:
+    return A.get<bool>() == B.get<bool>();
+  case SortKind::Int:
+    return A.get<int64_t>() == B.get<int64_t>();
+  case SortKind::Atom:
+    // Default atom representation is the atom's name.
+    if (A.holds<std::string>() && B.holds<std::string>())
+      return A.get<std::string>() == B.get<std::string>();
+    return makeError("atoms of sort '" + std::string(Ctx.sortName(Sort)) +
+                     "' use a custom representation; bind an equality");
+  case SortKind::User:
+    return makeError("no equality bound for sort '" +
+                     std::string(Ctx.sortName(Sort)) + "'");
+  }
+  return makeError("unreachable sort kind");
+}
+
+Result<Value> ModelBinding::evaluate(TermId Term) {
+  const TermNode Node = Ctx.node(Term);
+  switch (Node.Kind) {
+  case TermKind::Error:
+    return Value::error();
+  case TermKind::Int:
+    return Value::of<int64_t>(Node.IntValue);
+  case TermKind::Atom: {
+    if (auto It = Atoms.find(Node.Sort); It != Atoms.end())
+      return It->second(Ctx.str(Node.AtomName));
+    return Value::of(std::string(Ctx.str(Node.AtomName)));
+  }
+  case TermKind::Var:
+    return makeError("cannot evaluate open term " + printTerm(Ctx, Term));
+  case TermKind::Op:
+    break;
+  }
+
+  const OpInfo &Info = Ctx.op(Node.Op);
+
+  // Lazy if-then-else.
+  if (Info.Builtin == BuiltinOp::Ite) {
+    auto Children = Ctx.children(Term);
+    TermId CondT = Children[0], ThenT = Children[1], ElseT = Children[2];
+    Result<Value> Cond = evaluate(CondT);
+    if (!Cond)
+      return Cond;
+    if (Cond->isError())
+      return Value::error();
+    return evaluate(Cond->get<bool>() ? ThenT : ElseT);
+  }
+
+  // Strict evaluation of the arguments.
+  auto Span = Ctx.children(Term);
+  std::vector<TermId> ChildTerms(Span.begin(), Span.end());
+  std::vector<Value> Args;
+  Args.reserve(ChildTerms.size());
+  bool AnyError = false;
+  for (TermId Child : ChildTerms) {
+    Result<Value> Arg = evaluate(Child);
+    if (!Arg)
+      return Arg;
+    AnyError |= Arg->isError();
+    Args.push_back(std::move(*Arg));
+  }
+  if (AnyError)
+    return Value::error();
+
+  // Explicit bindings win over builtin defaults (true/false are ops).
+  if (auto It = Ops.find(Node.Op); It != Ops.end())
+    return It->second(Args);
+
+  switch (Info.Builtin) {
+  case BuiltinOp::Same: {
+    Result<bool> Eq = equal(Info.ArgSorts[0], Args[0], Args[1]);
+    if (!Eq)
+      return Eq.error();
+    return Value::of(*Eq);
+  }
+  case BuiltinOp::IntAdd:
+    return Value::of<int64_t>(Args[0].get<int64_t>() +
+                              Args[1].get<int64_t>());
+  case BuiltinOp::IntSub:
+    return Value::of<int64_t>(Args[0].get<int64_t>() -
+                              Args[1].get<int64_t>());
+  case BuiltinOp::IntLe:
+    return Value::of(Args[0].get<int64_t>() <= Args[1].get<int64_t>());
+  case BuiltinOp::IntLt:
+    return Value::of(Args[0].get<int64_t>() < Args[1].get<int64_t>());
+  case BuiltinOp::IntEq:
+    return Value::of(Args[0].get<int64_t>() == Args[1].get<int64_t>());
+  case BuiltinOp::BoolNot:
+    return Value::of(!Args[0].get<bool>());
+  case BuiltinOp::BoolAnd:
+    return Value::of(Args[0].get<bool>() && Args[1].get<bool>());
+  case BuiltinOp::BoolOr:
+    return Value::of(Args[0].get<bool>() || Args[1].get<bool>());
+  case BuiltinOp::Ite:
+  case BuiltinOp::None:
+    break;
+  }
+
+  if (Node.Op == Ctx.trueOp())
+    return Value::of(true);
+  if (Node.Op == Ctx.falseOp())
+    return Value::of(false);
+
+  return makeError("no binding for operation '" +
+                   std::string(Ctx.opName(Node.Op)) + "'");
+}

@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binding of specification operations to concrete C++ implementations.
+///
+/// This realizes the paper's section-5 testing discipline: a programmer
+/// implements a module against the algebraic definition alone; the
+/// binding evaluates ground terms of the algebra by running the real
+/// code, so the ModelTester can check every axiom against the
+/// implementation. It is also the other half of "implementations and
+/// specifications are interchangeable": Session interprets the spec,
+/// ModelBinding runs the code, both evaluate the same terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_MODEL_MODELBINDING_H
+#define ALGSPEC_MODEL_MODELBINDING_H
+
+#include "ast/Ids.h"
+#include "model/Value.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// Evaluates ground terms by dispatching operations to bound callables.
+///
+/// Built-in behaviour (no binding required):
+///  - Bool literals/true/false/not/and/or, Int literals and arithmetic;
+///  - atom literals evaluate to std::string of their name (overridable
+///    per sort with bindAtoms);
+///  - SAME compares through the equality bound for the argument sort
+///    (defaults exist for Bool/Int/atom sorts);
+///  - if-then-else is lazy in its branches, strict in its condition;
+///  - error propagates strictly through every bound operation.
+class ModelBinding {
+public:
+  using OpFn = std::function<Value(std::span<const Value>)>;
+  using AtomFn = std::function<Value(std::string_view)>;
+  using EqFn = std::function<bool(const Value &, const Value &)>;
+
+  explicit ModelBinding(AlgebraContext &Ctx);
+
+  /// Binds an operation to a callable. Arguments arrive error-free (the
+  /// binding short-circuits); return Value::error() to signal the
+  /// algebra's error (e.g. FRONT of an empty queue).
+  void bindOp(OpId Op, OpFn Fn);
+  /// Convenience: binds by unique operation name; asserts existence.
+  void bindOp(std::string_view Name, OpFn Fn);
+
+  /// Overrides how atom literals of \p Sort become runtime values.
+  void bindAtoms(SortId Sort, AtomFn Fn);
+
+  /// Registers equality for values of \p Sort (needed for SAME on that
+  /// sort and for comparing axiom sides of that sort).
+  void bindEquals(SortId Sort, EqFn Fn);
+
+  /// Evaluates a ground term. Fails (Result error) on unbound operations
+  /// or non-ground terms; in-algebra errors come back as
+  /// Value::error().
+  Result<Value> evaluate(TermId Term);
+
+  /// Compares two values of \p Sort; errors compare equal to errors
+  /// only. Fails when no equality is bound for the sort.
+  Result<bool> equal(SortId Sort, const Value &A, const Value &B);
+
+  AlgebraContext &context() { return Ctx; }
+
+private:
+  AlgebraContext &Ctx;
+  std::unordered_map<OpId, OpFn> Ops;
+  std::unordered_map<SortId, AtomFn> Atoms;
+  std::unordered_map<SortId, EqFn> Equals;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_MODEL_MODELBINDING_H

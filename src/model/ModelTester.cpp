@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ModelTester.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "model/ModelBinding.h"
+#include "rewrite/Substitution.h"
+
+#include <unordered_set>
+
+using namespace algspec;
+
+std::string ModelTestReport::render() const {
+  std::string Out;
+  for (const AxiomTestResult &R : Results) {
+    Out += "axiom " + std::to_string(R.AxiomNumber) + ": ";
+    if (R.Passed)
+      Out += "passed (" + std::to_string(R.InstancesChecked) +
+             " instances)\n";
+    else
+      Out += "FAILED\n  " + R.Failure + "\n";
+  }
+  for (const std::string &Caveat : Caveats)
+    Out += "note: " + Caveat + "\n";
+  return Out;
+}
+
+/// Collects the free variables of \p Term in first-occurrence order.
+static void collectVars(const AlgebraContext &Ctx, TermId Term,
+                        std::vector<VarId> &Vars,
+                        std::unordered_set<VarId> &Seen) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    if (Seen.insert(Node.Var).second)
+      Vars.push_back(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVars(Ctx, Child, Vars, Seen);
+}
+
+ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
+                                   ModelBinding &Binding,
+                                   const ModelTestOptions &Options) {
+  ModelTestReport Report;
+  TermEnumerator Enumerator(Ctx, Options.Enum);
+
+  for (const Axiom &Ax : S.axioms()) {
+    AxiomTestResult Result;
+    Result.AxiomNumber = Ax.Number;
+    SortId AxiomSort = Ctx.sortOf(Ax.Lhs);
+
+    std::vector<VarId> Vars;
+    std::unordered_set<VarId> Seen;
+    collectVars(Ctx, Ax.Lhs, Vars, Seen);
+    collectVars(Ctx, Ax.Rhs, Vars, Seen);
+
+    std::vector<const std::vector<TermId> *> Choices;
+    bool Empty = false;
+    for (VarId Var : Vars) {
+      const std::vector<TermId> &Set =
+          Enumerator.enumerate(Ctx.var(Var).Sort, Options.MaxDepth);
+      if (Enumerator.wasTruncated(Ctx.var(Var).Sort, Options.MaxDepth))
+        Report.Caveats.push_back(
+            "enumeration of sort '" +
+            std::string(Ctx.sortName(Ctx.var(Var).Sort)) +
+            "' was truncated");
+      if (Set.empty())
+        Empty = true;
+      Choices.push_back(&Set);
+    }
+    if (Empty) {
+      Report.Caveats.push_back("axiom " + std::to_string(Ax.Number) +
+                               " quantifies over an uninhabited sort; "
+                               "skipped");
+      Report.Results.push_back(std::move(Result));
+      continue;
+    }
+
+    std::vector<size_t> Index(Vars.size(), 0);
+    bool FirstIteration = true;
+    bool Done = false;
+    while ((FirstIteration || !Done) &&
+           Result.InstancesChecked < Options.MaxInstancesPerAxiom) {
+      FirstIteration = false;
+
+      Substitution Sigma;
+      for (size_t I = 0; I != Vars.size(); ++I)
+        Sigma.bind(Vars[I], (*Choices[I])[Index[I]]);
+      TermId Lhs = applySubstitution(Ctx, Ax.Lhs, Sigma);
+      TermId Rhs = applySubstitution(Ctx, Ax.Rhs, Sigma);
+
+      auto LhsV = Binding.evaluate(Lhs);
+      auto RhsV = Binding.evaluate(Rhs);
+      ++Result.InstancesChecked;
+
+      auto fail = [&](std::string Why) {
+        Result.Passed = false;
+        Result.Failure = printTerm(Ctx, Lhs) + " vs " + printTerm(Ctx, Rhs) +
+                         ": " + std::move(Why);
+      };
+
+      if (!LhsV) {
+        fail("evaluation failed: " + LhsV.error().message());
+        break;
+      }
+      if (!RhsV) {
+        fail("evaluation failed: " + RhsV.error().message());
+        break;
+      }
+      auto Eq = Binding.equal(AxiomSort, *LhsV, *RhsV);
+      if (!Eq) {
+        fail("comparison failed: " + Eq.error().message());
+        break;
+      }
+      if (!*Eq) {
+        fail(LhsV->isError()   ? "lhs is error, rhs is not"
+             : RhsV->isError() ? "rhs is error, lhs is not"
+                               : "sides evaluate to different values");
+        break;
+      }
+
+      if (Vars.empty())
+        break;
+      size_t Pos = 0;
+      while (Pos != Index.size()) {
+        if (++Index[Pos] < Choices[Pos]->size())
+          break;
+        Index[Pos] = 0;
+        ++Pos;
+      }
+      Done = Pos == Index.size();
+    }
+    if (Result.InstancesChecked >= Options.MaxInstancesPerAxiom)
+      Report.Caveats.push_back("axiom " + std::to_string(Ax.Number) +
+                               ": instance cap reached");
+
+    Report.AllPassed &= Result.Passed;
+    Report.Results.push_back(std::move(Result));
+  }
+  return Report;
+}

@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Axiom-by-axiom testing of a concrete implementation against its
+/// algebraic specification (paper, section 5).
+///
+/// For every axiom l = r, the tester instantiates the free variables with
+/// enumerated ground constructor terms, evaluates both sides through the
+/// ModelBinding (i.e. by running the real C++ code), and compares the
+/// results with the equality bound for the axiom's sort. Any mismatch is
+/// a bug in the implementation — or evidence the implementor relied on
+/// information the specification does not promise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_MODEL_MODELTESTER_H
+#define ALGSPEC_MODEL_MODELTESTER_H
+
+#include "ast/Ids.h"
+#include "check/TermEnumerator.h"
+
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class ModelBinding;
+class Spec;
+
+/// Tunables for a model test run.
+struct ModelTestOptions {
+  /// Depth bound for enumerated variable instantiations.
+  unsigned MaxDepth = 4;
+  /// Cap on assignments per axiom (exhaustive below the cap).
+  size_t MaxInstancesPerAxiom = 50000;
+  EnumeratorOptions Enum;
+};
+
+/// Outcome for one axiom.
+struct AxiomTestResult {
+  unsigned AxiomNumber = 0;
+  bool Passed = true;
+  uint64_t InstancesChecked = 0;
+  /// First failing assignment and results, rendered.
+  std::string Failure;
+};
+
+/// Outcome of a whole run.
+struct ModelTestReport {
+  bool AllPassed = true;
+  std::vector<AxiomTestResult> Results;
+  std::vector<std::string> Caveats;
+
+  std::string render() const;
+};
+
+/// Tests \p Binding against every axiom of \p S.
+ModelTestReport testModel(AlgebraContext &Ctx, const Spec &S,
+                          ModelBinding &Binding,
+                          const ModelTestOptions &Options = ModelTestOptions());
+
+} // namespace algspec
+
+#endif // ALGSPEC_MODEL_MODELTESTER_H

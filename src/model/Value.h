@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-erased runtime values for model-based testing.
+///
+/// A Value carries either one C++ object of arbitrary type or the
+/// distinguished error (matching the algebra's \c error). Concrete
+/// operations signal failure by returning Value::error(), which then
+/// propagates strictly, exactly like the specification's error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_MODEL_VALUE_H
+#define ALGSPEC_MODEL_VALUE_H
+
+#include <any>
+#include <cassert>
+#include <utility>
+
+namespace algspec {
+
+/// One runtime value or the error mark.
+class Value {
+public:
+  /// Default-constructed values are the error value.
+  Value() = default;
+
+  /// Wraps a concrete object.
+  template <typename T> static Value of(T Object) {
+    Value V;
+    V.Storage = std::move(Object);
+    return V;
+  }
+
+  static Value error() { return Value(); }
+
+  bool isError() const { return !Storage.has_value(); }
+
+  /// Typed access; asserts on type mismatch or error.
+  template <typename T> const T &get() const {
+    assert(!isError() && "accessing the error value");
+    const T *Ptr = std::any_cast<T>(&Storage);
+    assert(Ptr && "Value type mismatch");
+    return *Ptr;
+  }
+
+  /// True when the value holds an object of type T.
+  template <typename T> bool holds() const {
+    return std::any_cast<T>(&Storage) != nullptr;
+  }
+
+private:
+  std::any Storage;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_MODEL_VALUE_H

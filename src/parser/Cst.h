@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Untyped concrete syntax tree for terms.
+///
+/// Terms are parsed to this CST first and elaborated to hash-consed,
+/// sort-checked TermIds second. The split exists because elaboration is
+/// bidirectional: resolving an overloaded operation needs its argument
+/// sorts, while typing an atom literal needs the sort expected by its
+/// context, so neither can be decided in a single left-to-right pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_CST_H
+#define ALGSPEC_PARSER_CST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+/// One untyped term node. \c Text views into the SourceMgr buffer (or the
+/// caller's string for standalone term parsing) and must outlive
+/// elaboration.
+struct CstTerm {
+  enum class Kind : uint8_t {
+    Apply, ///< Name(Children...); Children may be empty for F().
+    Name,  ///< Bare identifier: variable or nullary operation.
+    Atom,  ///< 'name literal.
+    Int,   ///< Integer literal.
+    Error, ///< The distinguished error value.
+    Ite,   ///< Children = {condition, then, else}.
+  };
+
+  Kind K = Kind::Error;
+  std::string_view Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+  std::vector<CstTerm> Children;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_CST_H

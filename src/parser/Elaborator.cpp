@@ -1,0 +1,291 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Elaborator.h"
+
+#include "ast/AlgebraContext.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+TermId Elaborator::elaborate(const CstTerm &Term, SortId Expected) {
+  return elaborateImpl(Term, Expected, /*Quiet=*/false);
+}
+
+TermId Elaborator::elaborateImpl(const CstTerm &Term, SortId Expected,
+                                 bool Quiet) {
+  switch (Term.K) {
+  case CstTerm::Kind::Error: {
+    if (!Expected.isValid()) {
+      emitError(Quiet, Term.Loc,
+                "cannot determine the sort of 'error' here; it takes the "
+                "sort expected by its context");
+      return TermId();
+    }
+    return Ctx.makeError(Expected);
+  }
+
+  case CstTerm::Kind::Int: {
+    if (Expected.isValid() && Expected != Ctx.intSort()) {
+      emitError(Quiet, Term.Loc,
+                "integer literal where sort '" +
+                    std::string(Ctx.sortName(Expected)) + "' is expected");
+      return TermId();
+    }
+    return Ctx.makeInt(Term.IntValue);
+  }
+
+  case CstTerm::Kind::Atom: {
+    if (!Expected.isValid()) {
+      emitError(Quiet, Term.Loc,
+                "cannot determine the sort of atom literal '" +
+                    std::string(Term.Text) +
+                    "'; atoms take the sort expected by their context");
+      return TermId();
+    }
+    if (Ctx.sort(Expected).Kind != SortKind::Atom) {
+      emitError(Quiet, Term.Loc,
+                "atom literal where sort '" +
+                    std::string(Ctx.sortName(Expected)) +
+                    "' (not a parameter sort) is expected");
+      return TermId();
+    }
+    return Ctx.makeAtom(Term.Text, Expected);
+  }
+
+  case CstTerm::Kind::Ite: {
+    assert(Term.Children.size() == 3 && "malformed if-then-else CST");
+    TermId Cond =
+        elaborateImpl(Term.Children[0], Ctx.boolSort(), Quiet);
+    if (!Cond.isValid())
+      return TermId();
+    // Branch sorts: propagate the expectation. When unconstrained, infer
+    // the sort from whichever branch elaborates without an expectation
+    // (probed quietly) and check the other against it.
+    if (Expected.isValid()) {
+      TermId Then = elaborateImpl(Term.Children[1], Expected, Quiet);
+      if (!Then.isValid())
+        return TermId();
+      TermId Else = elaborateImpl(Term.Children[2], Expected, Quiet);
+      if (!Else.isValid())
+        return TermId();
+      return Ctx.makeIte(Cond, Then, Else);
+    }
+    TermId Then =
+        elaborateImpl(Term.Children[1], SortId(), /*Quiet=*/true);
+    if (Then.isValid()) {
+      TermId Else =
+          elaborateImpl(Term.Children[2], Ctx.sortOf(Then), Quiet);
+      if (!Else.isValid())
+        return TermId();
+      return Ctx.makeIte(Cond, Then, Else);
+    }
+    // The then-branch alone was unelaboratable without an expectation
+    // (e.g. a bare atom literal); infer from the else-branch instead.
+    TermId Else =
+        elaborateImpl(Term.Children[2], SortId(), /*Quiet=*/true);
+    if (!Else.isValid()) {
+      emitError(Quiet, Term.Loc,
+                "cannot determine the sort of this if-then-else; neither "
+                "branch has a determinable sort");
+      return TermId();
+    }
+    Then = elaborateImpl(Term.Children[1], Ctx.sortOf(Else), Quiet);
+    if (!Then.isValid())
+      return TermId();
+    return Ctx.makeIte(Cond, Then, Else);
+  }
+
+  case CstTerm::Kind::Name:
+    return elaborateName(Term, Expected, Quiet);
+
+  case CstTerm::Kind::Apply:
+    return elaborateApply(Term, Expected, Quiet);
+  }
+  return TermId();
+}
+
+TermId Elaborator::elaborateName(const CstTerm &Term, SortId Expected,
+                                 bool Quiet) {
+  // Variables shadow nullary operations.
+  if (Scope) {
+    auto It = Scope->find(std::string(Term.Text));
+    if (It != Scope->end()) {
+      VarId Var = It->second;
+      SortId VarSort = Ctx.var(Var).Sort;
+      if (Expected.isValid() && VarSort != Expected) {
+        emitError(Quiet, Term.Loc,
+                  "variable '" + std::string(Term.Text) + "' has sort '" +
+                      std::string(Ctx.sortName(VarSort)) +
+                      "' but sort '" +
+                      std::string(Ctx.sortName(Expected)) +
+                      "' is expected");
+        return TermId();
+      }
+      return Ctx.makeVar(Var);
+    }
+  }
+
+  // Nullary operation.
+  std::vector<OpId> Candidates = Ctx.lookupOps(Term.Text);
+  std::vector<OpId> Viable;
+  for (OpId Op : Candidates) {
+    const OpInfo &Info = Ctx.op(Op);
+    if (Info.arity() != 0)
+      continue;
+    if (Expected.isValid() && Info.ResultSort != Expected)
+      continue;
+    Viable.push_back(Op);
+  }
+  if (Viable.size() == 1)
+    return Ctx.makeOp(Viable.front(), {});
+  if (Viable.empty()) {
+    emitError(Quiet, Term.Loc,
+              "unknown name '" + std::string(Term.Text) +
+                  "'; not a variable in scope or a matching nullary "
+                  "operation");
+    return TermId();
+  }
+  emitError(Quiet, Term.Loc,
+            "ambiguous name '" + std::string(Term.Text) +
+                "'; several nullary operations match");
+  return TermId();
+}
+
+/// Elaborates \p Term as an application of exactly \p Op, with diagnostics
+/// suppressed. Invalid TermId means this candidate does not fit.
+TermId Elaborator::tryCandidate(OpId Op, const CstTerm &Term) {
+  const OpInfo &Info = Ctx.op(Op);
+  std::vector<TermId> Args;
+  Args.reserve(Term.Children.size());
+  for (size_t I = 0; I != Term.Children.size(); ++I) {
+    TermId Arg =
+        elaborateImpl(Term.Children[I], Info.ArgSorts[I], /*Quiet=*/true);
+    if (!Arg.isValid())
+      return TermId();
+    Args.push_back(Arg);
+  }
+  return Ctx.makeOp(Op, Args);
+}
+
+TermId Elaborator::elaborateSame(const CstTerm &Term, bool Quiet) {
+  if (Term.Children.size() != 2) {
+    emitError(Quiet, Term.Loc, "SAME takes exactly two arguments");
+    return TermId();
+  }
+  // The argument sort comes from whichever argument elaborates without an
+  // expectation (a variable or an operation application); the other is
+  // then checked against it. Two bare atom literals are rejected: the
+  // paper types SAME via the independently defined type Identifier, and
+  // at least one side must pin the sort.
+  TermId First = elaborateImpl(Term.Children[0], SortId(), /*Quiet=*/true);
+  TermId Second;
+  if (First.isValid()) {
+    Second = elaborateImpl(Term.Children[1], Ctx.sortOf(First), Quiet);
+    if (!Second.isValid())
+      return TermId();
+  } else {
+    Second = elaborateImpl(Term.Children[1], SortId(), /*Quiet=*/true);
+    if (!Second.isValid()) {
+      emitError(Quiet, Term.Loc,
+                "cannot determine the argument sort of SAME; neither "
+                "argument has a determinable sort");
+      return TermId();
+    }
+    First = elaborateImpl(Term.Children[0], Ctx.sortOf(Second), Quiet);
+    if (!First.isValid())
+      return TermId();
+  }
+  SortId ArgSort = Ctx.sortOf(First);
+  OpId Same = Ctx.getSameOp(ArgSort);
+  TermId Args[2] = {First, Second};
+  return Ctx.makeOp(Same, std::span<const TermId>(Args, 2));
+}
+
+TermId Elaborator::elaborateApply(const CstTerm &Term, SortId Expected,
+                                  bool Quiet) {
+  if (Term.Text == "SAME") {
+    TermId Result = elaborateSame(Term, Quiet);
+    if (Result.isValid() && Expected.isValid() &&
+        Ctx.sortOf(Result) != Expected) {
+      emitError(Quiet, Term.Loc, "SAME yields Bool but sort '" +
+                                     std::string(Ctx.sortName(Expected)) +
+                                     "' is expected");
+      return TermId();
+    }
+    return Result;
+  }
+
+  std::vector<OpId> Candidates = Ctx.lookupOps(Term.Text);
+  std::vector<OpId> Viable;
+  for (OpId Op : Candidates) {
+    const OpInfo &Info = Ctx.op(Op);
+    if (Info.arity() != Term.Children.size())
+      continue;
+    if (Expected.isValid() && Info.ResultSort != Expected)
+      continue;
+    Viable.push_back(Op);
+  }
+
+  if (Viable.empty()) {
+    if (Candidates.empty())
+      emitError(Quiet, Term.Loc,
+                "unknown operation '" + std::string(Term.Text) + "'");
+    else
+      emitError(Quiet, Term.Loc,
+                "no overload of '" + std::string(Term.Text) + "' takes " +
+                    std::to_string(Term.Children.size()) +
+                    " argument(s)" +
+                    (Expected.isValid()
+                         ? " and yields sort '" +
+                               std::string(Ctx.sortName(Expected)) + "'"
+                         : std::string()));
+    return TermId();
+  }
+
+  if (Viable.size() == 1) {
+    // Single candidate: elaborate loudly so argument errors point at the
+    // precise subterm.
+    const OpInfo &Info = Ctx.op(Viable.front());
+    std::vector<TermId> Args;
+    Args.reserve(Term.Children.size());
+    for (size_t I = 0; I != Term.Children.size(); ++I) {
+      TermId Arg =
+          elaborateImpl(Term.Children[I], Info.ArgSorts[I], Quiet);
+      if (!Arg.isValid())
+        return TermId();
+      Args.push_back(Arg);
+    }
+    return Ctx.makeOp(Viable.front(), Args);
+  }
+
+  // Several candidates: speculative elaboration; exactly one must fit.
+  TermId Winner;
+  OpId WinnerOp;
+  unsigned NumFits = 0;
+  for (OpId Op : Viable) {
+    TermId Attempt = tryCandidate(Op, Term);
+    if (Attempt.isValid()) {
+      ++NumFits;
+      Winner = Attempt;
+      WinnerOp = Op;
+    }
+  }
+  if (NumFits == 1)
+    return Winner;
+  if (NumFits == 0) {
+    emitError(Quiet, Term.Loc,
+              "no overload of '" + std::string(Term.Text) +
+                  "' matches these argument sorts");
+    return TermId();
+  }
+  (void)WinnerOp;
+  emitError(Quiet, Term.Loc,
+            "ambiguous call to overloaded operation '" +
+                std::string(Term.Text) + "'");
+  return TermId();
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Elaboration of untyped CST terms into sort-checked TermIds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_ELABORATOR_H
+#define ALGSPEC_PARSER_ELABORATOR_H
+
+#include "ast/Ids.h"
+#include "parser/Cst.h"
+#include "support/Diagnostic.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// Maps variable names in scope to their declarations.
+using VarScope = std::unordered_map<std::string, VarId>;
+
+/// Bidirectional sort checker / overload resolver.
+///
+/// Elaboration proceeds against an optional *expected sort*:
+///  - bare names resolve as variables first, then as nullary operations;
+///  - applications resolve their overload set by arity, expected result
+///    sort, and (when several candidates remain) by speculative
+///    elaboration of the arguments — exactly one candidate must survive;
+///  - atom literals, integer literals, and \c error take the expected sort
+///    of their context (an atom with no expected sort is an error);
+///  - SAME(a, b) resolves to the sort-indexed builtin from its arguments;
+///  - if-then-else checks Bool for the condition and propagates the
+///    expected sort into both branches.
+class Elaborator {
+public:
+  Elaborator(AlgebraContext &Ctx, DiagnosticEngine &Diags,
+             const VarScope *Scope = nullptr)
+      : Ctx(Ctx), Diags(Diags), Scope(Scope) {}
+
+  /// Elaborates \p Term. \p Expected may be invalid (unconstrained).
+  /// Returns an invalid TermId after emitting diagnostics on failure.
+  TermId elaborate(const CstTerm &Term, SortId Expected);
+
+private:
+  TermId elaborateImpl(const CstTerm &Term, SortId Expected, bool Quiet);
+  TermId elaborateApply(const CstTerm &Term, SortId Expected, bool Quiet);
+  TermId elaborateSame(const CstTerm &Term, bool Quiet);
+  TermId elaborateName(const CstTerm &Term, SortId Expected, bool Quiet);
+  TermId tryCandidate(OpId Op, const CstTerm &Term);
+
+  void emitError(bool Quiet, SourceLoc Loc, std::string Message) {
+    if (!Quiet)
+      Diags.error(Loc, std::move(Message));
+  }
+
+  AlgebraContext &Ctx;
+  DiagnosticEngine &Diags;
+  const VarScope *Scope;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_ELABORATOR_H

@@ -1,0 +1,217 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace algspec;
+
+Lexer::Lexer(const SourceMgr &SM) : SM(SM), Text(SM.text()) {}
+
+const Token &Lexer::peek() {
+  if (!HasLookahead) {
+    Lookahead = lexImpl();
+    HasLookahead = true;
+  }
+  return Lookahead;
+}
+
+Token Lexer::next() {
+  if (HasLookahead) {
+    HasLookahead = false;
+    return Lookahead;
+  }
+  return lexImpl();
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '-' && Pos + 1 < Text.size() && Text[Pos + 1] == '-') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static bool isIdentBody(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+static TokenKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"spec", TokenKind::KwSpec},
+      {"uses", TokenKind::KwUses},
+      {"sorts", TokenKind::KwSorts},
+      {"ops", TokenKind::KwOps},
+      {"constructors", TokenKind::KwConstructors},
+      {"vars", TokenKind::KwVars},
+      {"axioms", TokenKind::KwAxioms},
+      {"end", TokenKind::KwEnd},
+      {"if", TokenKind::KwIf},
+      {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},
+      {"error", TokenKind::KwError},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+Token Lexer::lexImpl() {
+  skipTrivia();
+
+  Token Tok;
+  Tok.Loc = SM.locForOffset(Pos);
+  if (Pos >= Text.size()) {
+    Tok.Kind = TokenKind::Eof;
+    return Tok;
+  }
+
+  size_t Start = Pos;
+  char C = Text[Pos];
+
+  if (isIdentStart(C)) {
+    ++Pos;
+    while (Pos < Text.size() && isIdentBody(Text[Pos]))
+      ++Pos;
+    if (Pos < Text.size() && Text[Pos] == '?') // IS_EMPTY?, IS_IN?, ...
+      ++Pos;
+    Tok.Text = Text.substr(Start, Pos - Start);
+    Tok.Kind = keywordKind(Tok.Text);
+    return Tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '-' && Pos + 1 < Text.size() &&
+       std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))) {
+    bool Negative = C == '-';
+    if (Negative)
+      ++Pos;
+    // Accumulate manually, saturating on overflow (std::stoll would
+    // throw, and the library builds without exception handling paths).
+    int64_t Value = 0;
+    bool Overflow = false;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      int Digit = Text[Pos] - '0';
+      if (Value > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
+      ++Pos;
+    }
+    Tok.Text = Text.substr(Start, Pos - Start);
+    Tok.Kind = Overflow ? TokenKind::Unknown : TokenKind::IntLit;
+    Tok.IntValue = Negative ? -Value : Value;
+    return Tok;
+  }
+
+  if (C == '\'') {
+    ++Pos;
+    size_t NameStart = Pos;
+    while (Pos < Text.size() && isIdentBody(Text[Pos]))
+      ++Pos;
+    Tok.Text = Text.substr(NameStart, Pos - NameStart);
+    Tok.Kind = Tok.Text.empty() ? TokenKind::Unknown : TokenKind::AtomLit;
+    return Tok;
+  }
+
+  ++Pos;
+  switch (C) {
+  case ':':
+    Tok.Kind = TokenKind::Colon;
+    break;
+  case ',':
+    Tok.Kind = TokenKind::Comma;
+    break;
+  case '(':
+    Tok.Kind = TokenKind::LParen;
+    break;
+  case ')':
+    Tok.Kind = TokenKind::RParen;
+    break;
+  case '=':
+    Tok.Kind = TokenKind::Equal;
+    break;
+  case '-':
+    if (Pos < Text.size() && Text[Pos] == '>') {
+      ++Pos;
+      Tok.Kind = TokenKind::Arrow;
+      break;
+    }
+    Tok.Kind = TokenKind::Unknown;
+    break;
+  default:
+    Tok.Kind = TokenKind::Unknown;
+    break;
+  }
+  Tok.Text = Text.substr(Start, Pos - Start);
+  return Tok;
+}
+
+const char *algspec::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::AtomLit:
+    return "atom literal";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::KwSpec:
+    return "'spec'";
+  case TokenKind::KwUses:
+    return "'uses'";
+  case TokenKind::KwSorts:
+    return "'sorts'";
+  case TokenKind::KwOps:
+    return "'ops'";
+  case TokenKind::KwConstructors:
+    return "'constructors'";
+  case TokenKind::KwVars:
+    return "'vars'";
+  case TokenKind::KwAxioms:
+    return "'axioms'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwError:
+    return "'error'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::Unknown:
+    return "unrecognized character";
+  }
+  return "token";
+}

@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the .alg specification language.
+///
+/// The surface syntax transliterates the paper's notation:
+///
+///   spec Queue
+///     uses Item
+///     sorts Queue
+///     ops
+///       NEW : -> Queue
+///       ADD : Queue, Item -> Queue
+///       FRONT : Queue -> Item
+///     constructors NEW, ADD
+///     vars
+///       q : Queue
+///       i : Item
+///     axioms
+///       FRONT(NEW) = error
+///       FRONT(ADD(q, i)) = if IS_EMPTY(q) then i else FRONT(q)
+///   end
+///
+/// `--` starts a comment running to end of line. Atom literals (ground
+/// values of parameter sorts such as Identifier) are written 'name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_LEXER_H
+#define ALGSPEC_PARSER_LEXER_H
+
+#include "support/SourceLoc.h"
+#include "support/SourceMgr.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace algspec {
+
+/// Token kinds of the spec language.
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier, ///< Names: sorts, ops, vars. `?` may end a name (IS_EMPTY?).
+  AtomLit,    ///< 'name — the text excludes the quote.
+  IntLit,
+  // Keywords.
+  KwSpec,
+  KwUses,
+  KwSorts,
+  KwOps,
+  KwConstructors,
+  KwVars,
+  KwAxioms,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwError,
+  // Punctuation.
+  Colon,
+  Comma,
+  Arrow, ///< ->
+  LParen,
+  RParen,
+  Equal,
+  Unknown, ///< Any byte the lexer cannot classify.
+};
+
+/// One token; \c Text views into the SourceMgr buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+  int64_t IntValue = 0; ///< Valid iff Kind == IntLit.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  /// True for tokens that start a spec section or close a spec; used to
+  /// detect the end of headerless item lists (ops, vars, axioms).
+  bool startsSection() const {
+    switch (Kind) {
+    case TokenKind::KwUses:
+    case TokenKind::KwSorts:
+    case TokenKind::KwOps:
+    case TokenKind::KwConstructors:
+    case TokenKind::KwVars:
+    case TokenKind::KwAxioms:
+    case TokenKind::KwEnd:
+    case TokenKind::KwSpec:
+    case TokenKind::Eof:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// Hand-written single-pass lexer.
+class Lexer {
+public:
+  explicit Lexer(const SourceMgr &SM);
+
+  /// Lexes and consumes the next token.
+  Token next();
+  /// Lexes the next token without consuming it.
+  const Token &peek();
+
+private:
+  Token lexImpl();
+  void skipTrivia();
+
+  const SourceMgr &SM;
+  std::string_view Text;
+  size_t Pos = 0;
+  Token Lookahead;
+  bool HasLookahead = false;
+};
+
+/// Human-readable token kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_LEXER_H

@@ -1,0 +1,376 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ast/AlgebraContext.h"
+#include "parser/Cst.h"
+#include "parser/Lexer.h"
+#include "parser/TermGrammar.h"
+#include "support/SourceMgr.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+namespace {
+
+/// Parser state for one buffer. Error recovery is coarse: a syntax error
+/// inside a spec skips to the next `spec` / `end`, so independent specs in
+/// one file are diagnosed independently.
+class SpecParserImpl {
+public:
+  SpecParserImpl(AlgebraContext &Ctx, const SourceMgr &SM,
+                 DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags), Lex(SM) {}
+
+  std::vector<Spec> parseFile();
+
+private:
+  bool parseSpec(Spec &S);
+  void parseUses(Spec &S);
+  void parseSorts(Spec &S);
+  void parseOps(Spec &S);
+  void parseConstructors();
+  void parseVars(Spec &S);
+  void parseAxioms(Spec &S);
+
+  SortId lookupSortOrDiagnose(const Token &NameTok);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToSpecBoundary();
+
+  AlgebraContext &Ctx;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+
+  /// Per-spec parse state.
+  VarScope Scope;
+  std::vector<Token> PendingConstructors;
+};
+
+} // namespace
+
+bool SpecParserImpl::expect(TokenKind Kind, const char *Context) {
+  const Token &Tok = Lex.peek();
+  if (Tok.is(Kind)) {
+    Lex.next();
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) + " " +
+                           Context + ", found " + tokenKindName(Tok.Kind));
+  return false;
+}
+
+void SpecParserImpl::skipToSpecBoundary() {
+  while (true) {
+    const Token &Tok = Lex.peek();
+    if (Tok.is(TokenKind::Eof) || Tok.is(TokenKind::KwSpec))
+      return;
+    if (Tok.is(TokenKind::KwEnd)) {
+      Lex.next();
+      return;
+    }
+    Lex.next();
+  }
+}
+
+std::vector<Spec> SpecParserImpl::parseFile() {
+  std::vector<Spec> Specs;
+  while (!Lex.peek().is(TokenKind::Eof)) {
+    if (!Lex.peek().is(TokenKind::KwSpec)) {
+      Diags.error(Lex.peek().Loc, std::string("expected 'spec', found ") +
+                                      tokenKindName(Lex.peek().Kind));
+      skipToSpecBoundary();
+      continue;
+    }
+    unsigned ErrorsBefore = Diags.errorCount();
+    Spec S;
+    if (parseSpec(S) && Diags.errorCount() == ErrorsBefore)
+      Specs.push_back(std::move(S));
+  }
+  return Specs;
+}
+
+bool SpecParserImpl::parseSpec(Spec &S) {
+  Scope.clear();
+  PendingConstructors.clear();
+
+  assert(Lex.peek().is(TokenKind::KwSpec));
+  Lex.next();
+
+  Token NameTok = Lex.peek();
+  if (!expect(TokenKind::Identifier, "after 'spec'")) {
+    skipToSpecBoundary();
+    return false;
+  }
+  S.setName(std::string(NameTok.Text));
+
+  bool Done = false;
+  while (!Done) {
+    const Token &Tok = Lex.peek();
+    switch (Tok.Kind) {
+    case TokenKind::KwEnd:
+      Lex.next();
+      Done = true;
+      break;
+    case TokenKind::Eof:
+      Diags.error(Tok.Loc, "missing 'end' at end of spec '" + S.name() + "'");
+      Done = true;
+      break;
+    case TokenKind::KwUses:
+      parseUses(S);
+      break;
+    case TokenKind::KwSorts:
+      parseSorts(S);
+      break;
+    case TokenKind::KwOps:
+      parseOps(S);
+      break;
+    case TokenKind::KwConstructors:
+      parseConstructors();
+      break;
+    case TokenKind::KwVars:
+      parseVars(S);
+      break;
+    case TokenKind::KwAxioms:
+      parseAxioms(S);
+      break;
+    default:
+      Diags.error(Tok.Loc, std::string("expected a spec section, found ") +
+                               tokenKindName(Tok.Kind));
+      skipToSpecBoundary();
+      return false;
+    }
+  }
+
+  // Apply the constructors clause now that all ops are registered.
+  for (const Token &CtorTok : PendingConstructors) {
+    bool Found = false;
+    for (OpId Op : S.operations())
+      if (Ctx.opName(Op) == CtorTok.Text) {
+        Ctx.setOpKind(Op, OpKind::Constructor);
+        Found = true;
+      }
+    if (!Found)
+      Diags.error(CtorTok.Loc, "constructor '" + std::string(CtorTok.Text) +
+                                   "' is not an operation of this spec");
+  }
+  if (PendingConstructors.empty() && !S.definedSorts().empty())
+    Diags.warning(NameTok.Loc,
+                  "spec '" + S.name() +
+                      "' declares no constructors; the completeness "
+                      "checker and the term enumerator need them");
+  return true;
+}
+
+SortId SpecParserImpl::lookupSortOrDiagnose(const Token &NameTok) {
+  SortId Sort = Ctx.lookupSort(NameTok.Text);
+  if (!Sort.isValid())
+    Diags.error(NameTok.Loc,
+                "unknown sort '" + std::string(NameTok.Text) +
+                    "'; declare it in 'sorts' or import it with 'uses'");
+  return Sort;
+}
+
+void SpecParserImpl::parseUses(Spec &S) {
+  Lex.next(); // 'uses'
+  while (true) {
+    Token NameTok = Lex.peek();
+    if (!expect(TokenKind::Identifier, "in 'uses' list"))
+      return;
+    S.addUsedSort(Ctx.getOrAddAtomSort(NameTok.Text));
+    if (!Lex.peek().is(TokenKind::Comma))
+      return;
+    Lex.next();
+  }
+}
+
+void SpecParserImpl::parseSorts(Spec &S) {
+  Lex.next(); // 'sorts'
+  while (true) {
+    Token NameTok = Lex.peek();
+    if (!expect(TokenKind::Identifier, "in 'sorts' list"))
+      return;
+    if (Ctx.lookupSort(NameTok.Text).isValid())
+      Diags.error(NameTok.Loc,
+                  "sort '" + std::string(NameTok.Text) + "' already exists");
+    else
+      S.addDefinedSort(Ctx.addSort(NameTok.Text, SortKind::User,
+                                   NameTok.Loc));
+    if (!Lex.peek().is(TokenKind::Comma))
+      return;
+    Lex.next();
+  }
+}
+
+void SpecParserImpl::parseOps(Spec &S) {
+  Lex.next(); // 'ops'
+  while (Lex.peek().is(TokenKind::Identifier)) {
+    Token NameTok = Lex.next();
+    if (!expect(TokenKind::Colon, "after operation name"))
+      return;
+
+    std::vector<SortId> ArgSorts;
+    bool ArgsOk = true;
+    if (!Lex.peek().is(TokenKind::Arrow)) {
+      while (true) {
+        Token SortTok = Lex.peek();
+        if (!expect(TokenKind::Identifier, "in operation domain"))
+          return;
+        SortId Sort = lookupSortOrDiagnose(SortTok);
+        if (Sort.isValid())
+          ArgSorts.push_back(Sort);
+        else
+          ArgsOk = false;
+        if (!Lex.peek().is(TokenKind::Comma))
+          break;
+        Lex.next();
+      }
+    }
+    if (!expect(TokenKind::Arrow, "in operation declaration"))
+      return;
+    Token ResultTok = Lex.peek();
+    if (!expect(TokenKind::Identifier, "as operation range"))
+      return;
+    SortId ResultSort = lookupSortOrDiagnose(ResultTok);
+    if (!ResultSort.isValid() || !ArgsOk)
+      continue;
+
+    // Reject an exact redeclaration (same name, domain, and range);
+    // overloads differing in range alone are legal — the elaborator
+    // resolves them from the expected sort.
+    bool Duplicate = false;
+    for (OpId Existing : Ctx.lookupOps(NameTok.Text))
+      if (Ctx.op(Existing).ArgSorts == ArgSorts &&
+          Ctx.op(Existing).ResultSort == ResultSort) {
+        Diags.error(NameTok.Loc, "operation '" + std::string(NameTok.Text) +
+                                     "' with this signature already exists");
+        Duplicate = true;
+      }
+    if (Duplicate)
+      continue;
+    S.addOperation(Ctx.addOp(NameTok.Text, std::move(ArgSorts), ResultSort,
+                             OpKind::Defined, NameTok.Loc));
+  }
+}
+
+void SpecParserImpl::parseConstructors() {
+  Lex.next(); // 'constructors'
+  while (true) {
+    Token NameTok = Lex.peek();
+    if (!expect(TokenKind::Identifier, "in 'constructors' list"))
+      return;
+    PendingConstructors.push_back(NameTok);
+    if (!Lex.peek().is(TokenKind::Comma))
+      return;
+    Lex.next();
+  }
+}
+
+void SpecParserImpl::parseVars(Spec &S) {
+  Lex.next(); // 'vars'
+  while (Lex.peek().is(TokenKind::Identifier)) {
+    std::vector<Token> Names;
+    Names.push_back(Lex.next());
+    while (Lex.peek().is(TokenKind::Comma)) {
+      Lex.next();
+      Token NameTok = Lex.peek();
+      if (!expect(TokenKind::Identifier, "in variable declaration"))
+        return;
+      Names.push_back(NameTok);
+    }
+    if (!expect(TokenKind::Colon, "after variable name(s)"))
+      return;
+    Token SortTok = Lex.peek();
+    if (!expect(TokenKind::Identifier, "as variable sort"))
+      return;
+    SortId Sort = lookupSortOrDiagnose(SortTok);
+    if (!Sort.isValid())
+      continue;
+    for (const Token &NameTok : Names) {
+      std::string Key(NameTok.Text);
+      if (Scope.count(Key)) {
+        Diags.error(NameTok.Loc, "variable '" + Key + "' is already declared");
+        continue;
+      }
+      VarId Var = Ctx.addVar(NameTok.Text, Sort);
+      Scope.emplace(std::move(Key), Var);
+      S.addVariable(Var);
+    }
+  }
+}
+
+void SpecParserImpl::parseAxioms(Spec &S) {
+  Lex.next(); // 'axioms'
+  Elaborator Elab(Ctx, Diags, &Scope);
+  while (!Lex.peek().startsSection()) {
+    bool Ok = true;
+    SourceLoc AxiomLoc = Lex.peek().Loc;
+    CstTerm LhsCst = parseCstTerm(Lex, Diags, Ok);
+    if (!Ok || !expect(TokenKind::Equal, "between axiom sides")) {
+      skipToSpecBoundary();
+      return;
+    }
+    CstTerm RhsCst = parseCstTerm(Lex, Diags, Ok);
+    if (!Ok) {
+      skipToSpecBoundary();
+      return;
+    }
+    // The left-hand side determines the axiom's sort; the right-hand side
+    // (which may be a bare `error` or an atom) is checked against it.
+    TermId Lhs = Elab.elaborate(LhsCst, SortId());
+    if (!Lhs.isValid())
+      continue;
+    TermId Rhs = Elab.elaborate(RhsCst, Ctx.sortOf(Lhs));
+    if (!Rhs.isValid())
+      continue;
+    S.addAxiom(Lhs, Rhs, AxiomLoc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+std::vector<Spec> algspec::parseSpecs(AlgebraContext &Ctx,
+                                      const SourceMgr &SM,
+                                      DiagnosticEngine &Diags) {
+  SpecParserImpl Parser(Ctx, SM, Diags);
+  return Parser.parseFile();
+}
+
+Result<std::vector<Spec>> algspec::parseSpecText(AlgebraContext &Ctx,
+                                                 std::string_view Text,
+                                                 std::string BufferName) {
+  SourceMgr SM(std::move(BufferName), std::string(Text));
+  DiagnosticEngine Diags;
+  std::vector<Spec> Specs = parseSpecs(Ctx, SM, Diags);
+  if (Diags.hasErrors())
+    return makeError(Diags.render(&SM));
+  return Specs;
+}
+
+Result<TermId> algspec::parseTermText(AlgebraContext &Ctx,
+                                      std::string_view Text,
+                                      const VarScope *Scope,
+                                      SortId Expected) {
+  SourceMgr SM("<term>", std::string(Text));
+  DiagnosticEngine Diags;
+  Lexer Lex(SM);
+
+  bool Ok = true;
+  CstTerm Cst = parseCstTerm(Lex, Diags, Ok);
+  if (Ok && !Lex.peek().is(TokenKind::Eof))
+    Diags.error(Lex.peek().Loc, "trailing input after term");
+  if (Diags.hasErrors())
+    return makeError(Diags.render(&SM));
+
+  Elaborator Elab(Ctx, Diags, Scope);
+  TermId Term = Elab.elaborate(Cst, Expected);
+  if (!Term.isValid() || Diags.hasErrors())
+    return makeError(Diags.render(&SM));
+  return Term;
+}

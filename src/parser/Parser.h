@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the .alg specification language.
+///
+/// One buffer may define several specs (the Symboltable representation file
+/// defines Stack, Array, and Symboltable together); they share the
+/// AlgebraContext, so later specs can use sorts and operations of earlier
+/// ones. See Lexer.h for the surface grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_PARSER_H
+#define ALGSPEC_PARSER_PARSER_H
+
+#include "ast/Spec.h"
+#include "parser/Elaborator.h"
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class SourceMgr;
+
+/// Parses every spec in \p SM into \p Ctx. Diagnostics (including
+/// warnings) accumulate in \p Diags; the returned list contains only specs
+/// that parsed without errors.
+std::vector<Spec> parseSpecs(AlgebraContext &Ctx, const SourceMgr &SM,
+                             DiagnosticEngine &Diags);
+
+/// Convenience wrapper: parses \p Text as spec source and fails with the
+/// rendered diagnostics if anything went wrong.
+Result<std::vector<Spec>> parseSpecText(AlgebraContext &Ctx,
+                                        std::string_view Text,
+                                        std::string BufferName = "<spec>");
+
+/// Parses a standalone term (for programs, tests, and the REPL-ish
+/// examples). \p Scope supplies free variables (may be null for ground
+/// terms); \p Expected constrains the term's sort (may be invalid).
+Result<TermId> parseTermText(AlgebraContext &Ctx, std::string_view Text,
+                             const VarScope *Scope = nullptr,
+                             SortId Expected = SortId());
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_PARSER_H

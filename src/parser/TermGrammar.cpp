@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/TermGrammar.h"
+
+#include "parser/Lexer.h"
+#include "support/Diagnostic.h"
+
+using namespace algspec;
+
+static bool expectToken(Lexer &Lex, DiagnosticEngine &Diags, TokenKind Kind,
+                        const char *Context) {
+  const Token &Tok = Lex.peek();
+  if (Tok.is(Kind)) {
+    Lex.next();
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) + " " +
+                           Context + ", found " + tokenKindName(Tok.Kind));
+  return false;
+}
+
+CstTerm algspec::parseCstTerm(Lexer &Lex, DiagnosticEngine &Diags, bool &Ok) {
+  CstTerm Term;
+  Token Tok = Lex.peek();
+  Term.Loc = Tok.Loc;
+
+  switch (Tok.Kind) {
+  case TokenKind::KwError:
+    Lex.next();
+    Term.K = CstTerm::Kind::Error;
+    return Term;
+
+  case TokenKind::IntLit:
+    Lex.next();
+    Term.K = CstTerm::Kind::Int;
+    Term.IntValue = Tok.IntValue;
+    return Term;
+
+  case TokenKind::AtomLit:
+    Lex.next();
+    Term.K = CstTerm::Kind::Atom;
+    Term.Text = Tok.Text;
+    return Term;
+
+  case TokenKind::KwIf: {
+    Lex.next();
+    Term.K = CstTerm::Kind::Ite;
+    Term.Children.push_back(parseCstTerm(Lex, Diags, Ok));
+    if (!Ok || !expectToken(Lex, Diags, TokenKind::KwThen,
+                            "in if-then-else")) {
+      Ok = false;
+      return Term;
+    }
+    Term.Children.push_back(parseCstTerm(Lex, Diags, Ok));
+    if (!Ok || !expectToken(Lex, Diags, TokenKind::KwElse,
+                            "in if-then-else")) {
+      Ok = false;
+      return Term;
+    }
+    Term.Children.push_back(parseCstTerm(Lex, Diags, Ok));
+    return Term;
+  }
+
+  case TokenKind::LParen: {
+    Lex.next();
+    Term = parseCstTerm(Lex, Diags, Ok);
+    if (Ok && !expectToken(Lex, Diags, TokenKind::RParen,
+                           "after parenthesized term"))
+      Ok = false;
+    return Term;
+  }
+
+  case TokenKind::Identifier: {
+    Lex.next();
+    Term.Text = Tok.Text;
+    if (!Lex.peek().is(TokenKind::LParen)) {
+      Term.K = CstTerm::Kind::Name;
+      return Term;
+    }
+    Lex.next(); // '('
+    Term.K = CstTerm::Kind::Apply;
+    if (Lex.peek().is(TokenKind::RParen)) {
+      Lex.next();
+      return Term;
+    }
+    while (true) {
+      Term.Children.push_back(parseCstTerm(Lex, Diags, Ok));
+      if (!Ok)
+        return Term;
+      if (Lex.peek().is(TokenKind::Comma)) {
+        Lex.next();
+        continue;
+      }
+      if (!expectToken(Lex, Diags, TokenKind::RParen,
+                       "after operation arguments"))
+        Ok = false;
+      return Term;
+    }
+  }
+
+  default:
+    Diags.error(Tok.Loc, std::string("expected a term, found ") +
+                             tokenKindName(Tok.Kind));
+    Ok = false;
+    return Term;
+  }
+}

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term grammar shared by the spec parser (axiom sides) and the
+/// standalone term parser (programs, tests). Internal to the parser
+/// library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_TERMGRAMMAR_H
+#define ALGSPEC_PARSER_TERMGRAMMAR_H
+
+#include "parser/Cst.h"
+
+namespace algspec {
+
+class Lexer;
+class DiagnosticEngine;
+
+/// Parses one term:
+///   term := 'if' term 'then' term 'else' term
+///         | 'error' | ATOM | INT
+///         | IDENT [ '(' term (',' term)* ')' ]
+///         | '(' term ')'
+/// On syntax error emits a diagnostic, sets \p Ok to false, and returns a
+/// partial node.
+CstTerm parseCstTerm(Lexer &Lex, DiagnosticEngine &Diags, bool &Ok);
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_TERMGRAMMAR_H

@@ -1,0 +1,234 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Engine.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "rewrite/Matcher.h"
+#include "rewrite/Substitution.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+Result<TermId> RewriteEngine::normalize(TermId Term) {
+  uint64_t Fuel = Options.MaxSteps;
+  return normalizeImpl(Term, Fuel, 0);
+}
+
+TermId RewriteEngine::evalBuiltin(OpId Op, std::span<const TermId> Args) {
+  const OpInfo &Info = Ctx.op(Op);
+  auto intArg = [&](size_t I, int64_t &Out) {
+    const TermNode &Node = Ctx.node(Args[I]);
+    if (Node.Kind != TermKind::Int)
+      return false;
+    Out = Node.IntValue;
+    return true;
+  };
+
+  switch (Info.Builtin) {
+  case BuiltinOp::Same: {
+    const TermNode &A = Ctx.node(Args[0]);
+    const TermNode &B = Ctx.node(Args[1]);
+    if (A.Kind == TermKind::Atom && B.Kind == TermKind::Atom)
+      return Ctx.makeBool(A.AtomName == B.AtomName);
+    if (A.Kind == TermKind::Int && B.Kind == TermKind::Int)
+      return Ctx.makeBool(A.IntValue == B.IntValue);
+    // Identical ground normal forms denote the same value.
+    if (Args[0] == Args[1] && Ctx.isGround(Args[0]))
+      return Ctx.makeBool(true);
+    return TermId();
+  }
+  case BuiltinOp::IntAdd:
+  case BuiltinOp::IntSub:
+  case BuiltinOp::IntLe:
+  case BuiltinOp::IntLt:
+  case BuiltinOp::IntEq: {
+    int64_t A, B;
+    if (!intArg(0, A) || !intArg(1, B))
+      return TermId();
+    switch (Info.Builtin) {
+    case BuiltinOp::IntAdd:
+      return Ctx.makeInt(A + B);
+    case BuiltinOp::IntSub:
+      return Ctx.makeInt(A - B);
+    case BuiltinOp::IntLe:
+      return Ctx.makeBool(A <= B);
+    case BuiltinOp::IntLt:
+      return Ctx.makeBool(A < B);
+    case BuiltinOp::IntEq:
+      return Ctx.makeBool(A == B);
+    default:
+      break;
+    }
+    return TermId();
+  }
+  case BuiltinOp::BoolNot: {
+    if (Args[0] == Ctx.trueTerm())
+      return Ctx.falseTerm();
+    if (Args[0] == Ctx.falseTerm())
+      return Ctx.trueTerm();
+    return TermId();
+  }
+  case BuiltinOp::BoolAnd: {
+    if (Args[0] == Ctx.falseTerm() || Args[1] == Ctx.falseTerm())
+      return Ctx.falseTerm();
+    if (Args[0] == Ctx.trueTerm())
+      return Args[1];
+    if (Args[1] == Ctx.trueTerm())
+      return Args[0];
+    return TermId();
+  }
+  case BuiltinOp::BoolOr: {
+    if (Args[0] == Ctx.trueTerm() || Args[1] == Ctx.trueTerm())
+      return Ctx.trueTerm();
+    if (Args[0] == Ctx.falseTerm())
+      return Args[1];
+    if (Args[1] == Ctx.falseTerm())
+      return Args[0];
+    return TermId();
+  }
+  case BuiltinOp::Ite:
+  case BuiltinOp::None:
+    break;
+  }
+  return TermId();
+}
+
+Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
+                                             unsigned Depth) {
+  if (Depth > Options.MaxDepth)
+    return makeError("rewrite recursion depth exceeded " +
+                     std::to_string(Options.MaxDepth) +
+                     " while normalizing " + printTerm(Ctx, Term));
+  // Rule application and branch selection loop here instead of recursing:
+  // a divergent axiom set must run out of fuel, not out of stack. Only
+  // child normalization recurses (bounded by term height).
+  TermId Current = Term;
+
+  Result<TermId> Normal = [&]() -> Result<TermId> {
+    while (true) {
+      // Take the node by value: the term table reallocates as
+      // normalization creates terms.
+      const TermNode Node = Ctx.node(Current);
+      if (Node.Kind != TermKind::Op)
+        return Current;
+
+      if (Options.Memoize) {
+        auto It = Memo.find(Current);
+        if (It != Memo.end()) {
+          ++Stats.CacheHits;
+          return It->second;
+        }
+      }
+
+      const OpInfo &Info = Ctx.op(Node.Op); // Ops are stable here.
+
+      if (Info.Builtin == BuiltinOp::Ite) {
+        // Copy children out: recursion may reallocate the child pool.
+        auto ChildSpan = Ctx.children(Current);
+        std::vector<TermId> Children(ChildSpan.begin(), ChildSpan.end());
+        Result<TermId> Cond = normalizeImpl(Children[0], Fuel, Depth + 1);
+        if (!Cond)
+          return Cond;
+        if (Ctx.isError(*Cond))
+          return Ctx.makeError(Node.Sort);
+        if (*Cond == Ctx.trueTerm()) {
+          Current = Children[1];
+          continue;
+        }
+        if (*Cond == Ctx.falseTerm()) {
+          Current = Children[2];
+          continue;
+        }
+        // Open condition (symbolic use): normalize both branches, keep
+        // the conditional node.
+        Result<TermId> Then = normalizeImpl(Children[1], Fuel, Depth + 1);
+        if (!Then)
+          return Then;
+        Result<TermId> Else = normalizeImpl(Children[2], Fuel, Depth + 1);
+        if (!Else)
+          return Else;
+        ++Stats.Rebuilds;
+        return Ctx.makeIte(*Cond, *Then, *Else);
+      }
+
+      // Leftmost-innermost: arguments first.
+      auto ChildSpan = Ctx.children(Current);
+      std::vector<TermId> Children(ChildSpan.begin(), ChildSpan.end());
+      std::vector<TermId> NormChildren;
+      NormChildren.reserve(Children.size());
+      bool Changed = false;
+      for (TermId Child : Children) {
+        Result<TermId> NormChild = normalizeImpl(Child, Fuel, Depth + 1);
+        if (!NormChild)
+          return NormChild;
+        Changed |= *NormChild != Child;
+        NormChildren.push_back(*NormChild);
+      }
+      if (Changed) {
+        ++Stats.Rebuilds;
+        Current = Ctx.makeOp(Node.Op, NormChildren);
+        // Child normalization may have exposed an error; strict
+        // propagation happens inside makeOp.
+        if (Ctx.isError(Current))
+          return Current;
+      }
+
+      if (Info.isBuiltin()) {
+        TermId Evaluated = evalBuiltin(Node.Op, Ctx.children(Current));
+        return Evaluated.isValid() ? Evaluated : Current;
+      }
+
+      // Outermost step: first matching rule fires; loop to renormalize.
+      Substitution Subst;
+      bool Fired = false;
+      for (const Rule &R : System.rulesFor(Node.Op)) {
+        Subst.clear();
+        if (!matchTerm(Ctx, R.Lhs, Current, Subst))
+          continue;
+        if (Fuel == 0)
+          return makeError("rewrite fuel exhausted after " +
+                           std::to_string(Options.MaxSteps) +
+                           " steps while normalizing " +
+                           printTerm(Ctx, Term));
+        --Fuel;
+        ++Stats.Steps;
+        TermId Redex = applySubstitution(Ctx, R.Rhs, Subst);
+        if (Options.KeepTrace)
+          Trace.push_back(TraceStep{Current, Redex, &R});
+        Current = Redex;
+        Fired = true;
+        break;
+      }
+      if (!Fired)
+        return Current; // Normal form (possibly stuck).
+    }
+  }();
+
+  if (Normal && Options.Memoize) {
+    Memo.emplace(Term, *Normal);
+    if (Current != Term)
+      Memo.emplace(Current, *Normal);
+  }
+  return Normal;
+}
+
+bool RewriteEngine::isStuck(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind != TermKind::Op)
+    return false;
+  for (TermId Child : Ctx.children(Term))
+    if (isStuck(Child))
+      return true;
+  const OpInfo &Info = Ctx.op(Node.Op);
+  if (!Info.isDefined())
+    return false;
+  // A defined op surviving normalization over ground arguments has no
+  // axiom covering this case.
+  return Ctx.isGround(Term);
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rewrite engine: executes algebraic specifications by normalizing
+/// terms with leftmost-innermost rewriting.
+///
+/// Semantics implemented here, all pinned by tests:
+///  - if-then-else is strict in its condition and lazy in its branches
+///    (required for the paper's FRONT/REMOVE axioms to mean what they
+///    should on boundary values);
+///  - error is strict everywhere else, structurally enforced at term
+///    construction;
+///  - SAME evaluates natively on literal atoms / integers, and on
+///    identical ground terms;
+///  - Int and Bool builtins evaluate natively on literals;
+///  - every rule application consumes fuel; exhausting fuel reports an
+///    error instead of hanging on a divergent axiom set;
+///  - normal forms are memoized per (engine, rule set); the memo makes
+///    repeated observations of one value cheap and is ablatable for the
+///    bench that quantifies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_ENGINE_H
+#define ALGSPEC_REWRITE_ENGINE_H
+
+#include "ast/Ids.h"
+#include "rewrite/RewriteSystem.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// Tunables for a RewriteEngine.
+struct EngineOptions {
+  /// Maximum number of rule applications per normalize() call.
+  uint64_t MaxSteps = 1u << 20;
+  /// Maximum child-recursion depth (terms are at most this high after
+  /// rewriting). Exceeding it reports an error instead of overflowing
+  /// the stack; open recursive definitions can grow terms unboundedly.
+  unsigned MaxDepth = 8000;
+  /// Cache normal forms across calls.
+  bool Memoize = true;
+  /// Record every rule application into the trace buffer.
+  bool KeepTrace = false;
+};
+
+/// Counters accumulated across normalize() calls (reset on demand).
+struct EngineStats {
+  uint64_t Steps = 0;     ///< Rule applications.
+  uint64_t CacheHits = 0; ///< Memo hits.
+  uint64_t Rebuilds = 0;  ///< Term nodes rebuilt after child normalization.
+};
+
+/// One recorded rule application, for traces and debugging.
+struct TraceStep {
+  TermId Before;
+  TermId After;
+  const Rule *AppliedRule;
+};
+
+/// Normalizes terms against one rewrite system.
+class RewriteEngine {
+public:
+  /// \p System must outlive the engine.
+  RewriteEngine(AlgebraContext &Ctx, const RewriteSystem &System,
+                EngineOptions Options = EngineOptions())
+      : Ctx(Ctx), System(System), Options(Options) {}
+
+  /// Rewrites \p Term to normal form. Fails when fuel runs out. Open
+  /// terms are normalized as far as the rules allow (variables are inert).
+  Result<TermId> normalize(TermId Term);
+
+  /// True when \p Term (assumed normal) is a defined operation applied to
+  /// normal arguments, i.e. the axioms gave it no meaning. Sufficient-
+  /// completeness failures surface as stuck terms at runtime; the static
+  /// checker reports them ahead of time.
+  bool isStuck(TermId Term) const;
+
+  const EngineStats &stats() const { return Stats; }
+  void resetStats() { Stats = EngineStats(); }
+
+  const std::vector<TraceStep> &trace() const { return Trace; }
+  void clearTrace() { Trace.clear(); }
+
+  const EngineOptions &options() const { return Options; }
+
+private:
+  Result<TermId> normalizeImpl(TermId Term, uint64_t &Fuel,
+                               unsigned Depth);
+  /// Applies the native semantics of a builtin op to normalized
+  /// arguments; invalid TermId when the builtin does not reduce.
+  TermId evalBuiltin(OpId Op, std::span<const TermId> Args);
+
+  AlgebraContext &Ctx;
+  const RewriteSystem &System;
+  EngineOptions Options;
+  EngineStats Stats;
+  std::unordered_map<TermId, TermId> Memo;
+  std::vector<TraceStep> Trace;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_ENGINE_H

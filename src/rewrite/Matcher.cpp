@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Matcher.h"
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/Substitution.h"
+
+using namespace algspec;
+
+bool algspec::matchTerm(const AlgebraContext &Ctx, TermId Pattern,
+                        TermId Subject, Substitution &Subst) {
+  const TermNode &PatNode = Ctx.node(Pattern);
+
+  if (PatNode.Kind == TermKind::Var)
+    return Subst.bind(PatNode.Var, Subject);
+
+  // Ground pattern leaves: hash-consing makes equality a handle compare,
+  // covering Error, Atom, Int, and nullary ops in one shot.
+  if (Pattern == Subject)
+    return true;
+
+  const TermNode &SubNode = Ctx.node(Subject);
+  if (PatNode.Kind != SubNode.Kind)
+    return false;
+
+  switch (PatNode.Kind) {
+  case TermKind::Op: {
+    if (PatNode.Op != SubNode.Op)
+      return false;
+    auto PatChildren = Ctx.children(Pattern);
+    auto SubChildren = Ctx.children(Subject);
+    for (size_t I = 0, E = PatChildren.size(); I != E; ++I)
+      if (!matchTerm(Ctx, PatChildren[I], SubChildren[I], Subst))
+        return false;
+    return true;
+  }
+  case TermKind::Var:
+  case TermKind::Error:
+  case TermKind::Atom:
+  case TermKind::Int:
+    // Non-identical leaves never match (identical ones returned above).
+    return false;
+  }
+  return false;
+}

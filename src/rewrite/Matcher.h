@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-order syntactic matching of axiom left-hand sides against terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_MATCHER_H
+#define ALGSPEC_REWRITE_MATCHER_H
+
+#include "ast/Ids.h"
+
+namespace algspec {
+
+class AlgebraContext;
+class Substitution;
+
+/// Attempts to match \p Pattern against \p Subject, extending \p Subst
+/// with the variable bindings. Returns false (leaving \p Subst in a
+/// partially extended state — callers reset it) when the terms disagree.
+/// Non-linear patterns are supported: a variable occurring twice must bind
+/// the same subterm both times.
+bool matchTerm(const AlgebraContext &Ctx, TermId Pattern, TermId Subject,
+               Substitution &Subst);
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_MATCHER_H

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/RewriteSystem.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+
+#include <atomic>
+#include <unordered_set>
+
+using namespace algspec;
+
+static std::atomic<uint64_t> NextStamp{1};
+
+RewriteSystem::RewriteSystem() : Stamp(NextStamp.fetch_add(1)) {}
+
+/// Collects the variables occurring in \p Term into \p Vars.
+static void collectVars(const AlgebraContext &Ctx, TermId Term,
+                        std::unordered_set<VarId> &Vars) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    Vars.insert(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVars(Ctx, Child, Vars);
+}
+
+RewriteSystem RewriteSystem::build(const AlgebraContext &Ctx,
+                                   const std::vector<const Spec *> &Specs,
+                                   DiagnosticEngine &Diags) {
+  RewriteSystem System;
+  for (const Spec *S : Specs) {
+    for (const Axiom &Ax : S->axioms()) {
+      const TermNode &LhsNode = Ctx.node(Ax.Lhs);
+      if (LhsNode.Kind != TermKind::Op) {
+        Diags.error(Ax.Loc, "axiom " + std::to_string(Ax.Number) +
+                                " of spec '" + S->name() +
+                                "' cannot be oriented: its left-hand side "
+                                "is not an operation application");
+        continue;
+      }
+      if (Ctx.op(LhsNode.Op).isBuiltin()) {
+        Diags.error(Ax.Loc, "axiom " + std::to_string(Ax.Number) +
+                                " of spec '" + S->name() +
+                                "' redefines builtin operation '" +
+                                std::string(Ctx.opName(LhsNode.Op)) + "'");
+        continue;
+      }
+
+      std::unordered_set<VarId> LhsVars, RhsVars;
+      collectVars(Ctx, Ax.Lhs, LhsVars);
+      collectVars(Ctx, Ax.Rhs, RhsVars);
+      bool Extraneous = false;
+      for (VarId Var : RhsVars)
+        if (!LhsVars.count(Var)) {
+          Diags.error(Ax.Loc,
+                      "axiom " + std::to_string(Ax.Number) + " of spec '" +
+                          S->name() + "' uses variable '" +
+                          std::string(Ctx.varName(Var)) +
+                          "' on the right-hand side only");
+          Extraneous = true;
+        }
+      if (Extraneous)
+        continue;
+
+      Rule R{Ax.Lhs, Ax.Rhs, LhsNode.Op, Ax.Number, S->name()};
+      System.RulesByHead[R.HeadOp].push_back(R);
+      System.AllRules.push_back(std::move(R));
+    }
+  }
+  return System;
+}
+
+Result<RewriteSystem>
+RewriteSystem::buildChecked(const AlgebraContext &Ctx,
+                            const std::vector<const Spec *> &Specs) {
+  DiagnosticEngine Diags;
+  RewriteSystem System = build(Ctx, Specs, Diags);
+  if (Diags.hasErrors())
+    return makeError(Diags.render());
+  return System;
+}
+
+const std::vector<Rule> &RewriteSystem::rulesFor(OpId Op) const {
+  static const std::vector<Rule> Empty;
+  auto It = RulesByHead.find(Op);
+  return It == RulesByHead.end() ? Empty : It->second;
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A rewrite system: spec axioms oriented left-to-right and indexed by
+/// their head operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_REWRITESYSTEM_H
+#define ALGSPEC_REWRITE_REWRITESYSTEM_H
+
+#include "ast/Ids.h"
+#include "support/Diagnostic.h"
+#include "support/Error.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// One oriented rule Lhs -> Rhs.
+struct Rule {
+  TermId Lhs;
+  TermId Rhs;
+  OpId HeadOp;          ///< Head operation of Lhs (index key).
+  unsigned AxiomNumber; ///< Paper-style number within its spec.
+  std::string SpecName; ///< Owning spec, for traces and diagnostics.
+};
+
+/// An immutable set of rules built from one or more specs.
+///
+/// Construction validates each axiom as a rule:
+///  - the left-hand side must be an operation application (not a variable
+///    or a literal) whose head is not a builtin;
+///  - every variable of the right-hand side must occur in the left-hand
+///    side (axioms are executable equations, not general relations).
+/// Violations are diagnosed and the axiom is skipped, mirroring how the
+/// paper's system would reject a malformed relation.
+class RewriteSystem {
+public:
+  /// Builds a system from \p Specs. Diagnostics go to \p Diags.
+  static RewriteSystem build(const AlgebraContext &Ctx,
+                             const std::vector<const Spec *> &Specs,
+                             DiagnosticEngine &Diags);
+
+  /// Convenience: builds from specs and fails if any axiom was rejected.
+  static Result<RewriteSystem>
+  buildChecked(const AlgebraContext &Ctx,
+               const std::vector<const Spec *> &Specs);
+
+  /// Rules whose left-hand side is headed by \p Op (possibly empty).
+  const std::vector<Rule> &rulesFor(OpId Op) const;
+
+  const std::vector<Rule> &rules() const { return AllRules; }
+  size_t size() const { return AllRules.size(); }
+
+  /// Monotonically increasing stamp distinguishing rule sets; engines use
+  /// it to invalidate memo tables when switching systems.
+  uint64_t stamp() const { return Stamp; }
+
+private:
+  RewriteSystem();
+
+  std::vector<Rule> AllRules;
+  std::unordered_map<OpId, std::vector<Rule>> RulesByHead;
+  uint64_t Stamp;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_REWRITESYSTEM_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Substitution.h"
+
+#include "ast/AlgebraContext.h"
+
+#include <vector>
+
+using namespace algspec;
+
+TermId algspec::applySubstitution(AlgebraContext &Ctx, TermId Term,
+                                  const Substitution &Subst) {
+  // Taken by value: recursive substitution may reallocate the term table.
+  const TermNode Node = Ctx.node(Term);
+  switch (Node.Kind) {
+  case TermKind::Var:
+    if (std::optional<TermId> Bound = Subst.lookup(Node.Var))
+      return *Bound;
+    return Term;
+  case TermKind::Error:
+  case TermKind::Atom:
+  case TermKind::Int:
+    return Term;
+  case TermKind::Op: {
+    // Copy the children out: recursive substitution creates terms, which
+    // may reallocate the context's child pool under a live span.
+    auto ChildSpan = Ctx.children(Term);
+    std::vector<TermId> Children(ChildSpan.begin(), ChildSpan.end());
+    std::vector<TermId> NewChildren;
+    NewChildren.reserve(Children.size());
+    bool Changed = false;
+    for (TermId Child : Children) {
+      TermId NewChild = applySubstitution(Ctx, Child, Subst);
+      Changed |= NewChild != Child;
+      NewChildren.push_back(NewChild);
+    }
+    if (!Changed)
+      return Term;
+    return Ctx.makeOp(Node.Op, NewChildren);
+  }
+  }
+  return Term;
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable substitutions and their application to terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_SUBSTITUTION_H
+#define ALGSPEC_REWRITE_SUBSTITUTION_H
+
+#include "ast/Ids.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+/// A finite map from variables to terms. Axiom left-hand sides bind at
+/// most a handful of variables, so a flat vector beats a hash map.
+class Substitution {
+public:
+  /// Returns the binding for \p Var, if any.
+  std::optional<TermId> lookup(VarId Var) const {
+    for (const auto &[BoundVar, Term] : Bindings)
+      if (BoundVar == Var)
+        return Term;
+    return std::nullopt;
+  }
+
+  /// Binds \p Var to \p Term. If \p Var is already bound, returns true iff
+  /// the existing binding equals \p Term (hash-consing makes this one
+  /// compare); a conflicting rebind is refused. This is what makes
+  /// non-linear patterns like SAME(x, x) work during matching.
+  bool bind(VarId Var, TermId Term) {
+    if (std::optional<TermId> Existing = lookup(Var))
+      return *Existing == Term;
+    Bindings.emplace_back(Var, Term);
+    return true;
+  }
+
+  void clear() { Bindings.clear(); }
+  size_t size() const { return Bindings.size(); }
+  bool empty() const { return Bindings.empty(); }
+
+  const std::vector<std::pair<VarId, TermId>> &bindings() const {
+    return Bindings;
+  }
+
+private:
+  std::vector<std::pair<VarId, TermId>> Bindings;
+};
+
+/// Replaces every variable in \p Term by its binding in \p Subst.
+/// Unbound variables stay in place (the caller decides whether open
+/// results are acceptable).
+TermId applySubstitution(AlgebraContext &Ctx, TermId Term,
+                         const Substitution &Subst);
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_SUBSTITUTION_H

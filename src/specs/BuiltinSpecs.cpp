@@ -1,0 +1,446 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "specs/BuiltinSpecs.h"
+
+#include "ast/AlgebraContext.h"
+#include "parser/Parser.h"
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Paper section 3: type Queue (of Items), axioms 1-6.
+//===----------------------------------------------------------------------===//
+
+const std::string_view specs::QueueAlg = R"(
+-- Guttag (CACM 1977), section 3: type Queue (of Items).
+spec Queue
+  uses Item
+  sorts Queue
+  ops
+    NEW       : -> Queue
+    ADD       : Queue, Item -> Queue
+    FRONT     : Queue -> Item
+    REMOVE    : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW, ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    IS_EMPTY?(NEW) = true                                       -- (1)
+    IS_EMPTY?(ADD(q, i)) = false                                -- (2)
+    FRONT(NEW) = error                                          -- (3)
+    FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)     -- (4)
+    REMOVE(NEW) = error                                         -- (5)
+    REMOVE(ADD(q, i)) =
+      if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)           -- (6)
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Paper section 4: type Symboltable, axioms 1-9.
+//===----------------------------------------------------------------------===//
+
+const std::string_view specs::SymboltableAlg = R"(
+-- Guttag (CACM 1977), section 4: type Symboltable.
+spec Symboltable
+  uses Identifier, Attributelist
+  sorts Symboltable
+  ops
+    INIT        : -> Symboltable
+    ENTERBLOCK  : Symboltable -> Symboltable
+    LEAVEBLOCK  : Symboltable -> Symboltable
+    ADD         : Symboltable, Identifier, Attributelist -> Symboltable
+    IS_INBLOCK? : Symboltable, Identifier -> Bool
+    RETRIEVE    : Symboltable, Identifier -> Attributelist
+  constructors INIT, ENTERBLOCK, ADD
+  vars
+    symtab   : Symboltable
+    id, id1  : Identifier
+    attrs    : Attributelist
+  axioms
+    LEAVEBLOCK(INIT) = error                                    -- (1)
+    LEAVEBLOCK(ENTERBLOCK(symtab)) = symtab                     -- (2)
+    LEAVEBLOCK(ADD(symtab, id, attrs)) = LEAVEBLOCK(symtab)     -- (3)
+    IS_INBLOCK?(INIT, id) = false                               -- (4)
+    IS_INBLOCK?(ENTERBLOCK(symtab), id) = false                 -- (5)
+    IS_INBLOCK?(ADD(symtab, id, attrs), id1) =
+      if SAME(id, id1) then true else IS_INBLOCK?(symtab, id1)  -- (6)
+    RETRIEVE(INIT, id) = error                                  -- (7)
+    RETRIEVE(ENTERBLOCK(symtab), id) = RETRIEVE(symtab, id)     -- (8)
+    RETRIEVE(ADD(symtab, id, attrs), id1) =
+      if SAME(id, id1) then attrs else RETRIEVE(symtab, id1)    -- (9)
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Paper section 4: the representation types, axioms 10-16 (Stack) and
+// 17-20 (Array). Stack is a stack of Arrays, exactly as in the paper's
+// Symboltable representation.
+//===----------------------------------------------------------------------===//
+
+const std::string_view specs::StackArrayAlg = R"(
+-- Guttag (CACM 1977), section 4: type Array (of attributelists, indexed
+-- by Identifier), axioms 17-20.
+spec Array
+  uses Identifier, Attributelist
+  sorts Array
+  ops
+    EMPTY         : -> Array
+    ASSIGN        : Array, Identifier, Attributelist -> Array
+    READ          : Array, Identifier -> Attributelist
+    IS_UNDEFINED? : Array, Identifier -> Bool
+  constructors EMPTY, ASSIGN
+  vars
+    arr      : Array
+    id, id1  : Identifier
+    attrs    : Attributelist
+  axioms
+    IS_UNDEFINED?(EMPTY, id) = true                             -- (17)
+    IS_UNDEFINED?(ASSIGN(arr, id, attrs), id1) =
+      if SAME(id, id1) then false else IS_UNDEFINED?(arr, id1)  -- (18)
+    READ(EMPTY, id) = error                                     -- (19)
+    READ(ASSIGN(arr, id, attrs), id1) =
+      if SAME(id, id1) then attrs else READ(arr, id1)           -- (20)
+end
+
+-- Guttag (CACM 1977), section 4: type Stack (of Arrays), axioms 10-16.
+spec Stack
+  sorts Stack
+  ops
+    NEWSTACK      : -> Stack
+    PUSH          : Stack, Array -> Stack
+    POP           : Stack -> Stack
+    TOP           : Stack -> Array
+    IS_NEWSTACK?  : Stack -> Bool
+    REPLACE       : Stack, Array -> Stack
+  constructors NEWSTACK, PUSH
+  vars
+    stk : Stack
+    arr : Array
+  axioms
+    IS_NEWSTACK?(NEWSTACK) = true                               -- (10)
+    IS_NEWSTACK?(PUSH(stk, arr)) = false                        -- (11)
+    POP(NEWSTACK) = error                                       -- (12)
+    POP(PUSH(stk, arr)) = stk                                   -- (13)
+    TOP(NEWSTACK) = error                                       -- (14)
+    TOP(PUSH(stk, arr)) = arr                                   -- (15)
+    REPLACE(stk, arr) =
+      if IS_NEWSTACK?(stk) then error else PUSH(POP(stk), arr)  -- (16)
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Paper section 4 (end): the knows-list extension.
+//===----------------------------------------------------------------------===//
+
+const std::string_view specs::KnowlistAlg = R"(
+-- Guttag (CACM 1977), section 4: type Knowlist.
+spec Knowlist
+  uses Identifier
+  sorts Knowlist
+  ops
+    CREATE : -> Knowlist
+    APPEND : Knowlist, Identifier -> Knowlist
+    IS_IN? : Knowlist, Identifier -> Bool
+  constructors CREATE, APPEND
+  vars
+    klist    : Knowlist
+    id, id1  : Identifier
+  axioms
+    IS_IN?(CREATE, id) = false
+    IS_IN?(APPEND(klist, id), id1) =
+      if SAME(id, id1) then true else IS_IN?(klist, id1)
+end
+)";
+
+const std::string_view specs::KnowsSymboltableAlg = R"(
+-- Guttag (CACM 1977), section 4: the Symboltable adapted to a language
+-- with knows-lists. Relative to the plain spec, exactly the relations
+-- that mention ENTERBLOCK changed (and RETRIEVE through an ENTERBLOCK now
+-- consults the knows-list).
+spec Knowlist
+  uses Identifier
+  sorts Knowlist
+  ops
+    CREATE : -> Knowlist
+    APPEND : Knowlist, Identifier -> Knowlist
+    IS_IN? : Knowlist, Identifier -> Bool
+  constructors CREATE, APPEND
+  vars
+    klist    : Knowlist
+    id, id1  : Identifier
+  axioms
+    IS_IN?(CREATE, id) = false
+    IS_IN?(APPEND(klist, id), id1) =
+      if SAME(id, id1) then true else IS_IN?(klist, id1)
+end
+
+spec Symboltable
+  uses Identifier, Attributelist
+  sorts Symboltable
+  ops
+    INIT        : -> Symboltable
+    ENTERBLOCK  : Symboltable, Knowlist -> Symboltable
+    LEAVEBLOCK  : Symboltable -> Symboltable
+    ADD         : Symboltable, Identifier, Attributelist -> Symboltable
+    IS_INBLOCK? : Symboltable, Identifier -> Bool
+    RETRIEVE    : Symboltable, Identifier -> Attributelist
+  constructors INIT, ENTERBLOCK, ADD
+  vars
+    symtab   : Symboltable
+    klist    : Knowlist
+    id, id1  : Identifier
+    attrs    : Attributelist
+  axioms
+    LEAVEBLOCK(INIT) = error
+    LEAVEBLOCK(ENTERBLOCK(symtab, klist)) = symtab
+    LEAVEBLOCK(ADD(symtab, id, attrs)) = LEAVEBLOCK(symtab)
+    IS_INBLOCK?(INIT, id) = false
+    IS_INBLOCK?(ENTERBLOCK(symtab, klist), id) = false
+    IS_INBLOCK?(ADD(symtab, id, attrs), id1) =
+      if SAME(id, id1) then true else IS_INBLOCK?(symtab, id1)
+    RETRIEVE(INIT, id) = error
+    RETRIEVE(ENTERBLOCK(symtab, klist), id) =
+      if IS_IN?(klist, id) then RETRIEVE(symtab, id) else error
+    RETRIEVE(ADD(symtab, id, attrs), id1) =
+      if SAME(id, id1) then attrs else RETRIEVE(symtab, id1)
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Extra types exercising checkers and the enumerator.
+//===----------------------------------------------------------------------===//
+
+const std::string_view specs::NatAlg = R"(
+-- Peano naturals as a pure user type (the builtin Int is native; this
+-- one exercises recursive constructor specs).
+spec Nat
+  sorts Nat
+  ops
+    ZERO    : -> Nat
+    SUCC    : Nat -> Nat
+    PLUS    : Nat, Nat -> Nat
+    TIMES   : Nat, Nat -> Nat
+    IS_ZERO? : Nat -> Bool
+  constructors ZERO, SUCC
+  vars
+    m, n : Nat
+  axioms
+    PLUS(m, ZERO) = m
+    PLUS(m, SUCC(n)) = SUCC(PLUS(m, n))
+    TIMES(m, ZERO) = ZERO
+    TIMES(m, SUCC(n)) = PLUS(TIMES(m, n), m)
+    IS_ZERO?(ZERO) = true
+    IS_ZERO?(SUCC(n)) = false
+end
+)";
+
+const std::string_view specs::SetAlg = R"(
+-- A set of identifiers with an observer-style size. INSERT is a free
+-- constructor; observers treat duplicates correctly.
+spec Set
+  uses Identifier
+  sorts Set
+  ops
+    EMPTYSET : -> Set
+    INSERT   : Set, Identifier -> Set
+    MEMBER?  : Set, Identifier -> Bool
+    DELETE   : Set, Identifier -> Set
+  constructors EMPTYSET, INSERT
+  vars
+    s      : Set
+    x, y   : Identifier
+  axioms
+    MEMBER?(EMPTYSET, x) = false
+    MEMBER?(INSERT(s, x), y) = if SAME(x, y) then true else MEMBER?(s, y)
+    DELETE(EMPTYSET, x) = EMPTYSET
+    DELETE(INSERT(s, x), y) =
+      if SAME(x, y) then DELETE(s, y) else INSERT(DELETE(s, y), x)
+end
+)";
+
+const std::string_view specs::ListAlg = R"(
+-- Cons-lists of Int with append and length (uses the native Int sort).
+spec List
+  sorts List
+  ops
+    NIL    : -> List
+    CONS   : Int, List -> List
+    APPEND : List, List -> List
+    LENGTH : List -> Int
+    HEAD   : List -> Int
+    TAIL   : List -> List
+  constructors NIL, CONS
+  vars
+    l, l1 : List
+    n     : Int
+  axioms
+    APPEND(NIL, l1) = l1
+    APPEND(CONS(n, l), l1) = CONS(n, APPEND(l, l1))
+    LENGTH(NIL) = 0
+    LENGTH(CONS(n, l)) = addi(1, LENGTH(l))
+    HEAD(NIL) = error
+    HEAD(CONS(n, l)) = n
+    TAIL(NIL) = error
+    TAIL(CONS(n, l)) = l
+end
+)";
+
+const std::string_view specs::BagAlg = R"(
+-- A multiset of identifiers with integer multiplicities (uses the
+-- native Int sort for counting).
+spec Bag
+  uses Identifier
+  sorts Bag
+  ops
+    EMPTYBAG   : -> Bag
+    INSERT     : Bag, Identifier -> Bag
+    COUNT      : Bag, Identifier -> Int
+    DELETE_ONE : Bag, Identifier -> Bag
+    IS_EMPTY?  : Bag -> Bool
+  constructors EMPTYBAG, INSERT
+  vars
+    b    : Bag
+    x, y : Identifier
+  axioms
+    COUNT(EMPTYBAG, x) = 0
+    COUNT(INSERT(b, x), y) =
+      if SAME(x, y) then addi(1, COUNT(b, y)) else COUNT(b, y)
+    DELETE_ONE(EMPTYBAG, x) = EMPTYBAG
+    DELETE_ONE(INSERT(b, x), y) =
+      if SAME(x, y) then b else INSERT(DELETE_ONE(b, y), x)
+    IS_EMPTY?(EMPTYBAG) = true
+    IS_EMPTY?(INSERT(b, x)) = false
+end
+)";
+
+const std::string_view specs::BstAlg = R"(
+-- A binary search tree over Int. INSERT is a *defined* operation that
+-- produces constructor forms maintaining the order invariant; the spec
+-- exercises nested conditionals and the Int comparison builtins.
+spec Bst
+  sorts Bst
+  ops
+    LEAF      : -> Bst
+    NODE      : Bst, Int, Bst -> Bst
+    INSERT    : Bst, Int -> Bst
+    CONTAINS? : Bst, Int -> Bool
+    SIZE      : Bst -> Int
+    IS_LEAF?  : Bst -> Bool
+    TREE_MIN  : Bst -> Int
+  constructors LEAF, NODE
+  vars
+    l, r : Bst
+    m, n : Int
+  axioms
+    INSERT(LEAF, n) = NODE(LEAF, n, LEAF)
+    INSERT(NODE(l, m, r), n) =
+      if lti(n, m) then NODE(INSERT(l, n), m, r)
+      else if lti(m, n) then NODE(l, m, INSERT(r, n))
+      else NODE(l, m, r)
+    CONTAINS?(LEAF, n) = false
+    CONTAINS?(NODE(l, m, r), n) =
+      if eqi(n, m) then true
+      else if lti(n, m) then CONTAINS?(l, n)
+      else CONTAINS?(r, n)
+    SIZE(LEAF) = 0
+    SIZE(NODE(l, m, r)) = addi(1, addi(SIZE(l), SIZE(r)))
+    IS_LEAF?(LEAF) = true
+    IS_LEAF?(NODE(l, m, r)) = false
+    TREE_MIN(LEAF) = error
+    TREE_MIN(NODE(l, m, r)) =
+      if IS_LEAF?(l) then m else TREE_MIN(l)
+end
+)";
+
+const std::string_view specs::TableAlg = R"(
+-- Paper section 5 (conclusions): "A database management system, for
+-- example, might be completely characterized by an algebraic
+-- specification of the various operations available to users." This is
+-- that characterization for a single keyed table: rows are (key, value)
+-- pairs, INSERT_ROW overwrites per key (enforced by the observers),
+-- SELECT_VAL produces a sub-table — an operation whose *result* is
+-- again a value of the type, which none of the paper's own examples
+-- exercise.
+spec Table
+  uses Key, Val
+  sorts Table
+  ops
+    EMPTY_TABLE : -> Table
+    INSERT_ROW  : Table, Key, Val -> Table
+    DELETE_ROW  : Table, Key -> Table
+    LOOKUP      : Table, Key -> Val
+    HAS_ROW?    : Table, Key -> Bool
+    ROW_COUNT   : Table -> Int
+    SELECT_VAL  : Table, Val -> Table
+  constructors EMPTY_TABLE, INSERT_ROW
+  vars
+    t    : Table
+    k, j : Key
+    v, w : Val
+  axioms
+    HAS_ROW?(EMPTY_TABLE, k) = false
+    HAS_ROW?(INSERT_ROW(t, k, v), j) =
+      if SAME(k, j) then true else HAS_ROW?(t, j)
+    LOOKUP(EMPTY_TABLE, k) = error
+    LOOKUP(INSERT_ROW(t, k, v), j) =
+      if SAME(k, j) then v else LOOKUP(t, j)
+    DELETE_ROW(EMPTY_TABLE, k) = EMPTY_TABLE
+    DELETE_ROW(INSERT_ROW(t, k, v), j) =
+      if SAME(k, j) then DELETE_ROW(t, j)
+      else INSERT_ROW(DELETE_ROW(t, j), k, v)
+    ROW_COUNT(EMPTY_TABLE) = 0
+    ROW_COUNT(INSERT_ROW(t, k, v)) =
+      if HAS_ROW?(t, k) then ROW_COUNT(t) else addi(1, ROW_COUNT(t))
+    SELECT_VAL(EMPTY_TABLE, w) = EMPTY_TABLE
+    SELECT_VAL(INSERT_ROW(t, k, v), w) =
+      if SAME(v, w)
+      then INSERT_ROW(SELECT_VAL(DELETE_ROW(t, k), w), k, v)
+      else SELECT_VAL(DELETE_ROW(t, k), w)
+end
+)";
+
+//===----------------------------------------------------------------------===//
+// Loaders
+//===----------------------------------------------------------------------===//
+
+Result<std::vector<Spec>> specs::load(AlgebraContext &Ctx,
+                                      std::string_view Text,
+                                      std::string BufferName) {
+  return parseSpecText(Ctx, Text, std::move(BufferName));
+}
+
+static Result<Spec> loadSingle(AlgebraContext &Ctx, std::string_view Text,
+                               std::string BufferName) {
+  auto Parsed = specs::load(Ctx, Text, std::move(BufferName));
+  if (!Parsed)
+    return Parsed.error();
+  if (Parsed->size() != 1)
+    return makeError("expected exactly one spec in buffer");
+  return std::move(Parsed->front());
+}
+
+Result<Spec> specs::loadQueue(AlgebraContext &Ctx) {
+  return loadSingle(Ctx, QueueAlg, "queue.alg");
+}
+
+Result<Spec> specs::loadSymboltable(AlgebraContext &Ctx) {
+  return loadSingle(Ctx, SymboltableAlg, "symboltable.alg");
+}
+
+Result<std::vector<Spec>> specs::loadStackArray(AlgebraContext &Ctx) {
+  return load(Ctx, StackArrayAlg, "stackarray.alg");
+}
+
+Result<Spec> specs::loadKnowlist(AlgebraContext &Ctx) {
+  return loadSingle(Ctx, KnowlistAlg, "knowlist.alg");
+}
+
+Result<std::vector<Spec>> specs::loadKnowsSymboltable(AlgebraContext &Ctx) {
+  return load(Ctx, KnowsSymboltableAlg, "knows_symboltable.alg");
+}

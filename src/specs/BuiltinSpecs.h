@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's specifications (and a few extras used by tests), embedded
+/// as .alg source text, plus loaders that parse them into a context.
+///
+/// Inventory:
+///  - QueueAlg          — section 3, axioms 1-6.
+///  - SymboltableAlg    — section 4, axioms 1-9.
+///  - StackArrayAlg     — section 4, axioms 10-16 (Stack) and 17-20
+///                        (Array); one buffer, Stack is a stack of Arrays.
+///  - KnowlistAlg       — section 4 (knows-list extension), Knowlist only.
+///  - KnowsSymboltableAlg — the adapted Symboltable whose ENTERBLOCK takes
+///                        a Knowlist; exactly the ENTERBLOCK axioms differ
+///                        from SymboltableAlg.
+///  - NatAlg, SetAlg, ListAlg, BagAlg, BstAlg — extra types exercising
+///    the checkers, the engine's Int builtins, and nested conditionals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SPECS_BUILTINSPECS_H
+#define ALGSPEC_SPECS_BUILTINSPECS_H
+
+#include "ast/Spec.h"
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+namespace specs {
+
+extern const std::string_view QueueAlg;
+extern const std::string_view SymboltableAlg;
+extern const std::string_view StackArrayAlg;
+extern const std::string_view KnowlistAlg;
+extern const std::string_view KnowsSymboltableAlg;
+extern const std::string_view NatAlg;
+extern const std::string_view SetAlg;
+extern const std::string_view ListAlg;
+extern const std::string_view BagAlg;
+extern const std::string_view BstAlg;
+extern const std::string_view TableAlg;
+
+/// Parses one embedded spec text into \p Ctx. The builtin texts are
+/// well-formed by construction (tests pin this), so failures indicate
+/// context clashes (e.g. loading two specs that define the same sort).
+Result<std::vector<Spec>> load(AlgebraContext &Ctx, std::string_view Text,
+                               std::string BufferName);
+
+/// Loads QueueAlg and returns its single spec.
+Result<Spec> loadQueue(AlgebraContext &Ctx);
+/// Loads SymboltableAlg and returns its single spec.
+Result<Spec> loadSymboltable(AlgebraContext &Ctx);
+/// Loads StackArrayAlg and returns {Array, Stack}.
+Result<std::vector<Spec>> loadStackArray(AlgebraContext &Ctx);
+/// Loads KnowlistAlg and returns its single spec.
+Result<Spec> loadKnowlist(AlgebraContext &Ctx);
+/// Loads KnowsSymboltableAlg (which includes Knowlist) and returns
+/// {Knowlist, Symboltable}.
+Result<std::vector<Spec>> loadKnowsSymboltable(AlgebraContext &Ctx);
+
+} // namespace specs
+} // namespace algspec
+
+#endif // ALGSPEC_SPECS_BUILTINSPECS_H

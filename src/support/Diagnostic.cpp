@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include "support/SourceMgr.h"
+
+using namespace algspec;
+
+static const char *kindString(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render(const SourceMgr *SM) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (SM && !SM->name().empty()) {
+      Out += SM->name();
+      Out += ':';
+    }
+    if (D.Loc.isValid()) {
+      Out += std::to_string(D.Loc.line());
+      Out += ':';
+      Out += std::to_string(D.Loc.column());
+      Out += ':';
+      Out += ' ';
+    }
+    Out += kindString(D.Kind);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+    if (SM && D.Loc.isValid()) {
+      std::string_view Line = SM->lineText(D.Loc.line());
+      if (!Line.empty()) {
+        Out.append(Line);
+        Out += '\n';
+        for (uint32_t I = 1; I < D.Loc.column(); ++I)
+          Out += Line[I - 1] == '\t' ? '\t' : ' ';
+        Out += "^\n";
+      }
+    }
+  }
+  return Out;
+}

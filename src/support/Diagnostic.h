@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the spec front end and the checkers.
+///
+/// Parsing and checking never abort on the first problem: they emit
+/// diagnostics into a \c DiagnosticEngine so a user fixing a spec sees every
+/// issue at once, the way the paper's interactive completion system keeps
+/// prompting for all missing cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_DIAGNOSTIC_H
+#define ALGSPEC_SUPPORT_DIAGNOSTIC_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace algspec {
+
+class SourceMgr;
+
+/// Severity of a diagnostic.
+enum class DiagKind {
+  Error,   ///< The spec is unusable (syntax error, unknown sort, ...).
+  Warning, ///< Suspicious but usable (unused variable, shadowed op, ...).
+  Note,    ///< Attached explanation or suggestion (missing axiom LHS, ...).
+};
+
+/// One diagnostic message with an optional location.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  Diagnostic() = default;
+  Diagnostic(DiagKind Kind, SourceLoc Loc, std::string Message)
+      : Kind(Kind), Loc(Loc), Message(std::move(Message)) {}
+};
+
+/// Accumulates diagnostics produced while processing one spec buffer.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.emplace_back(DiagKind::Error, Loc, std::move(Message));
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.emplace_back(DiagKind::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.emplace_back(DiagKind::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+  /// Renders all diagnostics, one per line, in the conventional
+  /// "name:line:col: severity: message" form. When \p SM is non-null the
+  /// offending source line and a caret are appended, clang-style.
+  std::string render(const SourceMgr *SM = nullptr) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_DIAGNOSTIC_H

@@ -1,0 +1,11 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+// Error and Result are header-only; this file exists so the support library
+// always has at least one object file and provides a home for any future
+// out-of-line error utilities.

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec, a reproduction of Guttag's algebraic-specification system
+// (CACM 20(6), 1977). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight error handling for a library built without exceptions.
+///
+/// The library reports recoverable failures (malformed specs, rewrite fuel
+/// exhaustion, failed verification preconditions) through \c Result<T>, a
+/// value-or-error sum type. Programmatic errors are handled with \c assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_ERROR_H
+#define ALGSPEC_SUPPORT_ERROR_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace algspec {
+
+/// A recoverable error: a human-readable message plus an optional source
+/// location pointing into the spec text that caused it.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message, SourceLoc Loc = SourceLoc())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc location() const { return Loc; }
+
+  /// Renders "<line>:<col>: <message>" when a location is attached.
+  std::string str() const {
+    if (!Loc.isValid())
+      return Message;
+    return std::to_string(Loc.line()) + ":" + std::to_string(Loc.column()) +
+           ": " + Message;
+  }
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Value-or-error result type.
+///
+/// Modeled on llvm::Expected but simplified: the error state is a plain
+/// \c Error value and there is no mandatory-check machinery. Converts to
+/// true on success; \c operator* / \c operator-> access the value and
+/// assert on misuse.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Error Err) : Storage(std::move(Err)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  const T &operator*() const & {
+    assert(*this && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  T &operator*() & {
+    assert(*this && "accessing value of failed Result");
+    return std::get<T>(Storage);
+  }
+  T &&operator*() && {
+    assert(*this && "accessing value of failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+  const T *operator->() const {
+    assert(*this && "accessing value of failed Result");
+    return &std::get<T>(Storage);
+  }
+  T *operator->() {
+    assert(*this && "accessing value of failed Result");
+    return &std::get<T>(Storage);
+  }
+
+  const Error &error() const {
+    assert(!*this && "accessing error of successful Result");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out, asserting success.
+  T take() {
+    assert(*this && "taking value of failed Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Result specialization for operations that produce no value.
+template <> class Result<void> {
+public:
+  Result() = default;
+  /*implicit*/ Result(Error Err) : Err(std::move(Err)) {}
+
+  explicit operator bool() const { return !Err.has_value(); }
+  const Error &error() const {
+    assert(Err && "accessing error of successful Result");
+    return *Err;
+  }
+
+private:
+  std::optional<Error> Err;
+};
+
+/// Convenience factory mirroring llvm::createStringError.
+inline Error makeError(std::string Message, SourceLoc Loc = SourceLoc()) {
+  return Error(std::move(Message), Loc);
+}
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_ERROR_H

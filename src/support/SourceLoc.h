@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for diagnostics over specification text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_SOURCELOC_H
+#define ALGSPEC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace algspec {
+
+/// A 1-based (line, column) position in a spec buffer. Line 0 means
+/// "no location" (e.g. errors about programmatically built signatures).
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+  uint32_t line() const { return Line; }
+  uint32_t column() const { return Column; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+
+private:
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+};
+
+/// A half-open [Begin, End) range of positions.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceMgr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace algspec;
+
+SourceMgr::SourceMgr(std::string BufferName, std::string Text)
+    : BufferName(std::move(BufferName)), Text(std::move(Text)) {
+  LineStarts.push_back(0);
+  for (size_t I = 0, E = this->Text.size(); I != E; ++I)
+    if (this->Text[I] == '\n' && I + 1 != E)
+      LineStarts.push_back(I + 1);
+}
+
+SourceLoc SourceMgr::locForOffset(size_t Offset) const {
+  if (LineStarts.empty())
+    return SourceLoc(1, 1);
+  Offset = std::min(Offset, Text.size());
+  // Find the last line start <= Offset.
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+  assert(It != LineStarts.begin() && "LineStarts[0] must be 0");
+  size_t LineIndex = static_cast<size_t>(It - LineStarts.begin()) - 1;
+  uint32_t Column = static_cast<uint32_t>(Offset - LineStarts[LineIndex]) + 1;
+  return SourceLoc(static_cast<uint32_t>(LineIndex) + 1, Column);
+}
+
+std::string_view SourceMgr::lineText(uint32_t Line) const {
+  if (Line == 0 || Line > numLines())
+    return {};
+  size_t Begin = LineStarts[Line - 1];
+  size_t End = Line < LineStarts.size() ? LineStarts[Line] : Text.size();
+  std::string_view View(Text);
+  View = View.substr(Begin, End - Begin);
+  while (!View.empty() && (View.back() == '\n' || View.back() == '\r'))
+    View.remove_suffix(1);
+  return View;
+}
+
+uint32_t SourceMgr::numLines() const {
+  return static_cast<uint32_t>(LineStarts.size());
+}

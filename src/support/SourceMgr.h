@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns a specification text buffer and maps byte offsets to (line, column)
+/// positions for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_SOURCEMGR_H
+#define ALGSPEC_SUPPORT_SOURCEMGR_H
+
+#include "support/SourceLoc.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+/// Holds one spec buffer (plus an optional name, e.g. a file path) and a
+/// lazily built table of line-start offsets used to resolve locations.
+class SourceMgr {
+public:
+  SourceMgr() = default;
+  SourceMgr(std::string BufferName, std::string Text);
+
+  std::string_view text() const { return Text; }
+  const std::string &name() const { return BufferName; }
+
+  /// Translates a byte offset into a 1-based (line, column) location.
+  /// Offsets past the end resolve to the end of the last line.
+  SourceLoc locForOffset(size_t Offset) const;
+
+  /// Returns the full text of the (1-based) line \p Line, without the
+  /// trailing newline; empty if out of range.
+  std::string_view lineText(uint32_t Line) const;
+
+  /// Number of lines in the buffer (a trailing newline does not start a
+  /// new line).
+  uint32_t numLines() const;
+
+private:
+  std::string BufferName;
+  std::string Text;
+  /// Byte offset of the first character of each line; LineStarts[0] == 0.
+  std::vector<size_t> LineStarts;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_SOURCEMGR_H

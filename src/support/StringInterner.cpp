@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Table.find(Str);
+  if (It != Table.end())
+    return Symbol(It->second);
+  uint32_t Index = static_cast<uint32_t>(Strings.size());
+  // std::deque never moves existing elements, so a view into the stored
+  // string stays valid for the interner's lifetime (even for SSO strings,
+  // whose buffer lives inside the stable string object).
+  const std::string &Stored = Strings.emplace_back(Str);
+  Table.emplace(std::string_view(Stored), Index);
+  return Symbol(Index);
+}
+
+Symbol StringInterner::lookup(std::string_view Str) const {
+  auto It = Table.find(Str);
+  if (It == Table.end())
+    return Symbol();
+  return Symbol(It->second);
+}
+
+std::string_view StringInterner::str(Symbol Sym) const {
+  assert(Sym.isValid() && Sym.index() < Strings.size() &&
+         "resolving foreign or invalid symbol");
+  return Strings[Sym.index()];
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String interning. Sorts, operations, variables, and identifier literals
+/// are all referred to by small integer \c Symbol handles; the interner is
+/// the single owner of the underlying strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_STRINGINTERNER_H
+#define ALGSPEC_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace algspec {
+
+/// An interned string handle. Symbols from the same interner compare equal
+/// iff the strings are equal. The default-constructed Symbol is invalid.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Index != InvalidIndex; }
+  uint32_t index() const { return Index; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Index == B.Index; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Index != B.Index; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Index < B.Index; }
+
+private:
+  friend class StringInterner;
+  static constexpr uint32_t InvalidIndex = ~0u;
+  explicit Symbol(uint32_t Index) : Index(Index) {}
+  uint32_t Index = InvalidIndex;
+};
+
+/// Deduplicating string table. Not thread-safe; each AlgebraContext owns one.
+class StringInterner {
+public:
+  /// Interns \p Str, returning its (possibly pre-existing) handle.
+  Symbol intern(std::string_view Str);
+
+  /// Returns the handle for \p Str if already interned, otherwise an
+  /// invalid Symbol.
+  Symbol lookup(std::string_view Str) const;
+
+  /// Resolves a handle back to its string. The view stays valid for the
+  /// interner's lifetime.
+  std::string_view str(Symbol Sym) const;
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Table;
+};
+
+} // namespace algspec
+
+namespace std {
+template <> struct hash<algspec::Symbol> {
+  size_t operator()(algspec::Symbol Sym) const noexcept {
+    return std::hash<uint32_t>()(Sym.index());
+  }
+};
+} // namespace std
+
+#endif // ALGSPEC_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,624 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/RepVerifier.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string VerifyReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  Out += "representation values considered: " +
+         std::to_string(NumRepValues) + "\n";
+  for (const AxiomVerdict &V : Verdicts) {
+    Out += (V.Label.empty() ? "axiom " + std::to_string(V.AxiomNumber)
+                            : V.Label) +
+           ": ";
+    if (V.Holds) {
+      if (V.ProvedSymbolically)
+        Out += "verified (symbolically, for all values)\n";
+      else
+        Out += "verified (" + std::to_string(V.InstancesChecked) +
+               " instances)\n";
+      continue;
+    }
+    Out += "FAILED\n";
+    if (V.Failure) {
+      Out += "  assignment: " + V.Failure->Assignment + "\n";
+      Out += "  lhs " + printTerm(Ctx, V.Failure->Lhs) + " ~> " +
+             printTerm(Ctx, V.Failure->LhsNormal) + "\n";
+      Out += "  rhs " + printTerm(Ctx, V.Failure->Rhs) + " ~> " +
+             printTerm(Ctx, V.Failure->RhsNormal) + "\n";
+    }
+  }
+  for (const std::string &Caveat : Caveats)
+    Out += "note: " + Caveat + "\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Translation: abstract terms to representation terms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rewrites an abstract axiom side into the representation: abstract
+/// operations become their implementations, abstract-sorted variables
+/// become representation-sorted variables (shared across both sides via
+/// the persistent VarMap), and abstract errors become representation
+/// errors.
+class Translator {
+public:
+  Translator(AlgebraContext &Ctx, const RepMapping &Mapping)
+      : Ctx(Ctx), Mapping(Mapping) {}
+
+  TermId translate(TermId Term) {
+    const TermNode Node = Ctx.node(Term);
+    switch (Node.Kind) {
+    case TermKind::Atom:
+    case TermKind::Int:
+      return Term;
+    case TermKind::Error:
+      return Node.Sort == Mapping.AbstractSort
+                 ? Ctx.makeError(Mapping.RepSort)
+                 : Term;
+    case TermKind::Var: {
+      if (Ctx.var(Node.Var).Sort != Mapping.AbstractSort)
+        return Term;
+      auto It = VarMap.find(Node.Var);
+      if (It != VarMap.end())
+        return It->second;
+      TermId Fresh = Ctx.makeVar(
+          Ctx.addVar(std::string(Ctx.varName(Node.Var)) + "_r",
+                     Mapping.RepSort));
+      VarMap.emplace(Node.Var, Fresh);
+      return Fresh;
+    }
+    case TermKind::Op: {
+      auto Span = Ctx.children(Term);
+      std::vector<TermId> Children(Span.begin(), Span.end());
+      for (TermId &Child : Children)
+        Child = translate(Child);
+      const OpInfo &Info = Ctx.op(Node.Op);
+      if (Info.Builtin == BuiltinOp::Ite)
+        return Ctx.makeIte(Children[0], Children[1], Children[2]);
+      auto It = Mapping.OpMap.find(Node.Op);
+      OpId Target = It != Mapping.OpMap.end() ? It->second : Node.Op;
+      return Ctx.makeOp(Target, Children);
+    }
+    }
+    return Term;
+  }
+
+private:
+  AlgebraContext &Ctx;
+  const RepMapping &Mapping;
+  std::unordered_map<VarId, TermId> VarMap;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Representation value domains
+//===----------------------------------------------------------------------===//
+
+/// Enumerates the representation values abstract-sorted variables range
+/// over, according to the configured domain.
+static std::vector<TermId> collectRepValues(AlgebraContext &Ctx,
+                                            const Spec &Abstract,
+                                            const RepMapping &Mapping,
+                                            const VerifyOptions &Options,
+                                            RewriteEngine &Engine,
+                                            TermEnumerator &Enumerator,
+                                            VerifyReport &Report) {
+  std::vector<TermId> Values;
+  std::unordered_set<TermId> Seen;
+
+  auto keep = [&](TermId Value) {
+    if (!Value.isValid() || Ctx.isError(Value))
+      return;
+    if (Options.Invariant.isValid()) {
+      TermId Guard = Ctx.makeOp(Options.Invariant, {Value});
+      Result<TermId> Holds = Engine.normalize(Guard);
+      if (!Holds || *Holds != Ctx.trueTerm())
+        return;
+    }
+    if (Seen.insert(Value).second)
+      Values.push_back(Value);
+  };
+
+  if (Options.Domain == ValueDomain::FreeTerms) {
+    for (TermId Term : Enumerator.enumerate(Mapping.RepSort, Options.Depth)) {
+      Result<TermId> Normal = Engine.normalize(Term);
+      if (!Normal) {
+        Report.Caveats.push_back("normalization of a candidate value "
+                                 "failed: " + Normal.error().message());
+        continue;
+      }
+      keep(*Normal);
+      if (Values.size() >= Options.MaxValues) {
+        Report.Caveats.push_back("representation-value cap reached; the "
+                                 "check is not exhaustive at this depth");
+        break;
+      }
+    }
+    if (Enumerator.wasTruncated(Mapping.RepSort, Options.Depth))
+      Report.Caveats.push_back("enumeration of the representation sort "
+                               "was truncated");
+    return Values;
+  }
+
+  // Reachable domain: close the impl images of the abstract constructors
+  // over themselves, breadth-first, Depth generator applications deep.
+  std::vector<OpId> Generators;
+  for (OpId Ctor : Abstract.constructorsOf(Ctx, Mapping.AbstractSort)) {
+    auto It = Mapping.OpMap.find(Ctor);
+    if (It == Mapping.OpMap.end()) {
+      Report.Caveats.push_back(
+          "abstract constructor '" + std::string(Ctx.opName(Ctor)) +
+          "' has no implementation; reachable values are incomplete");
+      continue;
+    }
+    Generators.push_back(It->second);
+  }
+
+  std::vector<TermId> Frontier;
+  auto emit = [&](TermId Application) -> bool {
+    Result<TermId> Normal = Engine.normalize(Application);
+    if (!Normal) {
+      Report.Caveats.push_back("normalization of a generated value "
+                               "failed: " + Normal.error().message());
+      return true;
+    }
+    if (Ctx.isError(*Normal))
+      return true;
+    if (!Seen.insert(*Normal).second)
+      return true;
+    Values.push_back(*Normal);
+    Frontier.push_back(*Normal);
+    return Values.size() < Options.MaxValues;
+  };
+
+  // Seed: nullary generators.
+  for (OpId Gen : Generators)
+    if (Ctx.op(Gen).arity() == 0)
+      emit(Ctx.makeOp(Gen, {}));
+
+  for (unsigned Level = 1; Level < Options.Depth; ++Level) {
+    std::vector<TermId> Current;
+    std::swap(Current, Frontier);
+    if (Current.empty())
+      break;
+    for (TermId Value : Current) {
+      for (OpId Gen : Generators) {
+        const OpInfo &Info = Ctx.op(Gen);
+        if (Info.arity() == 0)
+          continue;
+        // The first RepSort argument takes the frontier value; remaining
+        // arguments take enumerated ground values.
+        std::vector<std::vector<TermId>> ArgChoices;
+        bool UsedValue = false;
+        for (SortId ArgSort : Info.ArgSorts) {
+          if (!UsedValue && ArgSort == Mapping.RepSort) {
+            ArgChoices.push_back({Value});
+            UsedValue = true;
+            continue;
+          }
+          ArgChoices.push_back(Enumerator.enumerate(ArgSort, 2));
+        }
+        // Odometer over the argument choices.
+        std::vector<size_t> Index(ArgChoices.size(), 0);
+        bool Exhausted = false;
+        while (!Exhausted) {
+          std::vector<TermId> Args(ArgChoices.size());
+          bool Ok = true;
+          for (size_t I = 0; I != ArgChoices.size(); ++I) {
+            if (ArgChoices[I].empty()) {
+              Ok = false;
+              break;
+            }
+            Args[I] = ArgChoices[I][Index[I]];
+          }
+          if (!Ok)
+            break;
+          if (!emit(Ctx.makeOp(Gen, Args))) {
+            Report.Caveats.push_back(
+                "representation-value cap reached; the check is not "
+                "exhaustive at this depth");
+            return Values;
+          }
+          size_t Pos = 0;
+          while (Pos != Index.size()) {
+            if (++Index[Pos] < ArgChoices[Pos].size())
+              break;
+            Index[Pos] = 0;
+            ++Pos;
+          }
+          Exhausted = Pos == Index.size();
+        }
+      }
+    }
+  }
+  return Values;
+}
+
+//===----------------------------------------------------------------------===//
+// Main verification loop
+//===----------------------------------------------------------------------===//
+
+/// Collects the free variables of \p Term in first-occurrence order.
+static void collectVars(const AlgebraContext &Ctx, TermId Term,
+                        std::vector<VarId> &Vars,
+                        std::unordered_set<VarId> &Seen) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    if (Seen.insert(Node.Var).second)
+      Vars.push_back(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVars(Ctx, Child, Vars, Seen);
+}
+
+namespace {
+
+/// Shared state for instantiation-based equation checking.
+struct CheckState {
+  AlgebraContext &Ctx;
+  RewriteEngine &Engine;
+  const RewriteSystem &System;
+  TermEnumerator &Enumerator;
+  const RepMapping &Mapping;
+  const VerifyOptions &Options;
+  const std::vector<TermId> &RepValues;
+  VerifyReport &Report;
+};
+
+/// Checks Lhs = Rhs (open terms over representation-sorted and ground
+/// variables) for every assignment: representation variables range over
+/// the collected value domain, all others over enumerated ground values.
+AxiomVerdict checkEquation(CheckState &CS, std::string Label,
+                           unsigned Number, TermId LhsT, TermId RhsT) {
+  AxiomVerdict Verdict;
+  Verdict.AxiomNumber = Number;
+  Verdict.Label = std::move(Label);
+
+  // Symbolic attempt: if the open sides join, the equation holds for
+  // every assignment — no bound involved. (Sound because rewriting is
+  // equational reasoning; open failure proves nothing, so fall through.)
+  // Open recursive definitions can expand forever, so the attempt runs
+  // on its own engine with a small fuel budget and gives up quietly.
+  if (CS.Options.TrySymbolic) {
+    // Provable obligations join within a few dozen steps; guarded ones
+    // expand their recursion forever, so keep the budget tight.
+    EngineOptions SymOptions = CS.Options.Engine;
+    SymOptions.MaxSteps = std::min<uint64_t>(SymOptions.MaxSteps, 400);
+    SymOptions.MaxDepth = std::min(SymOptions.MaxDepth, 400u);
+    RewriteEngine SymEngine(CS.Ctx, CS.System, SymOptions);
+    Result<TermId> LhsOpen = SymEngine.normalize(LhsT);
+    Result<TermId> RhsOpen = SymEngine.normalize(RhsT);
+    if (LhsOpen && RhsOpen && *LhsOpen == *RhsOpen) {
+      Verdict.ProvedSymbolically = true;
+      return Verdict;
+    }
+  }
+
+  std::vector<VarId> Vars;
+  std::unordered_set<VarId> Seen;
+  collectVars(CS.Ctx, LhsT, Vars, Seen);
+  collectVars(CS.Ctx, RhsT, Vars, Seen);
+
+  std::vector<const std::vector<TermId> *> Choices;
+  bool Empty = false;
+  for (VarId Var : Vars) {
+    SortId Sort = CS.Ctx.var(Var).Sort;
+    const std::vector<TermId> &Set = Sort == CS.Mapping.RepSort
+                                         ? CS.RepValues
+                                         : CS.Enumerator.enumerate(Sort, 2);
+    if (Set.empty())
+      Empty = true;
+    Choices.push_back(&Set);
+  }
+  if (Empty) {
+    CS.Report.Caveats.push_back(Verdict.Label +
+                                " quantifies over an uninhabited sort; "
+                                "skipped");
+    return Verdict;
+  }
+
+  std::vector<size_t> Index(Vars.size(), 0);
+  bool Done = Vars.empty();
+  bool FirstIteration = true;
+  while ((FirstIteration || !Done) &&
+         Verdict.InstancesChecked < CS.Options.MaxInstancesPerAxiom) {
+    FirstIteration = false;
+    Substitution Sigma;
+    for (size_t I = 0; I != Vars.size(); ++I)
+      Sigma.bind(Vars[I], (*Choices[I])[Index[I]]);
+
+    TermId Lhs = applySubstitution(CS.Ctx, LhsT, Sigma);
+    TermId Rhs = applySubstitution(CS.Ctx, RhsT, Sigma);
+    Result<TermId> LhsN = CS.Engine.normalize(Lhs);
+    Result<TermId> RhsN = CS.Engine.normalize(Rhs);
+    ++Verdict.InstancesChecked;
+
+    if (!LhsN || !RhsN) {
+      CS.Report.Caveats.push_back(
+          Verdict.Label + ": normalization failed on an instance: " +
+          (!LhsN ? LhsN.error().message() : RhsN.error().message()));
+    } else if (*LhsN != *RhsN) {
+      Verdict.Holds = false;
+      std::string Assignment;
+      for (size_t I = 0; I != Vars.size(); ++I) {
+        if (I)
+          Assignment += ", ";
+        Assignment += std::string(CS.Ctx.varName(Vars[I])) + " = " +
+                      printTerm(CS.Ctx, (*Choices[I])[Index[I]]);
+      }
+      Verdict.Failure =
+          CounterExample{Lhs, Rhs, *LhsN, *RhsN, std::move(Assignment)};
+      break;
+    }
+
+    if (Vars.empty())
+      break;
+    size_t Pos = 0;
+    while (Pos != Index.size()) {
+      if (++Index[Pos] < Choices[Pos]->size())
+        break;
+      Index[Pos] = 0;
+      ++Pos;
+    }
+    Done = Pos == Index.size();
+  }
+  if (Verdict.InstancesChecked >= CS.Options.MaxInstancesPerAxiom)
+    CS.Report.Caveats.push_back(Verdict.Label + ": instance cap reached");
+  return Verdict;
+}
+
+/// Builds the rewrite system + engine + value domain shared by both
+/// verification entry points. Returns false when nothing can be checked.
+bool setUpCheck(AlgebraContext &Ctx, const Spec &Abstract,
+                const std::vector<const Spec *> &RuleSources,
+                const RepMapping &Mapping, const VerifyOptions &Options,
+                std::optional<RewriteSystem> &System,
+                std::optional<RewriteEngine> &Engine,
+                std::optional<TermEnumerator> &Enumerator,
+                std::vector<TermId> &RepValues, VerifyReport &Report) {
+  auto SystemOrErr = RewriteSystem::buildChecked(Ctx, RuleSources);
+  if (!SystemOrErr) {
+    Report.AllHold = false;
+    Report.Caveats.push_back("rule construction failed: " +
+                             SystemOrErr.error().message());
+    return false;
+  }
+  System.emplace(SystemOrErr.take());
+  Engine.emplace(Ctx, *System, Options.Engine);
+  Enumerator.emplace(Ctx, Options.Enum);
+
+  RepValues = collectRepValues(Ctx, Abstract, Mapping, Options, *Engine,
+                               *Enumerator, Report);
+  Report.NumRepValues = RepValues.size();
+  if (RepValues.empty()) {
+    Report.AllHold = false;
+    Report.Caveats.push_back("no representation values; nothing verified");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+VerifyReport algspec::verifyRepresentation(
+    AlgebraContext &Ctx, const Spec &Abstract,
+    const std::vector<const Spec *> &RuleSources, const RepMapping &Mapping,
+    const VerifyOptions &Options) {
+  VerifyReport Report;
+  std::optional<RewriteSystem> System;
+  std::optional<RewriteEngine> Engine;
+  std::optional<TermEnumerator> Enumerator;
+  std::vector<TermId> RepValues;
+  if (!setUpCheck(Ctx, Abstract, RuleSources, Mapping, Options, System,
+                  Engine, Enumerator, RepValues, Report))
+    return Report;
+
+  CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
+                Mapping, Options, RepValues, Report};
+  Translator Xlate(Ctx, Mapping);
+
+  for (const Axiom &Ax : Abstract.axioms()) {
+    TermId LhsT = Xlate.translate(Ax.Lhs);
+    TermId RhsT = Xlate.translate(Ax.Rhs);
+    if (Ctx.sortOf(Ax.Lhs) == Mapping.AbstractSort) {
+      LhsT = Ctx.makeOp(Mapping.Phi, {LhsT});
+      RhsT = Ctx.makeOp(Mapping.Phi, {RhsT});
+    }
+    AxiomVerdict Verdict = checkEquation(
+        CS, "axiom " + std::to_string(Ax.Number), Ax.Number, LhsT, RhsT);
+    Report.AllHold &= Verdict.Holds;
+    Report.Verdicts.push_back(std::move(Verdict));
+  }
+  return Report;
+}
+
+VerifyReport algspec::verifyHomomorphism(
+    AlgebraContext &Ctx, const Spec &Abstract,
+    const std::vector<const Spec *> &RuleSources, const RepMapping &Mapping,
+    const VerifyOptions &Options) {
+  VerifyReport Report;
+  std::optional<RewriteSystem> System;
+  std::optional<RewriteEngine> Engine;
+  std::optional<TermEnumerator> Enumerator;
+  std::vector<TermId> RepValues;
+  if (!setUpCheck(Ctx, Abstract, RuleSources, Mapping, Options, System,
+                  Engine, Enumerator, RepValues, Report))
+    return Report;
+
+  CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
+                Mapping, Options, RepValues, Report};
+
+  // Deterministic obligation order: follow the spec's operation list.
+  unsigned Number = 0;
+  for (OpId AbstractOp : Abstract.operations()) {
+    auto It = Mapping.OpMap.find(AbstractOp);
+    if (It == Mapping.OpMap.end())
+      continue;
+    OpId ImplOp = It->second;
+    const OpInfo &Info = Ctx.op(AbstractOp);
+
+    // Fresh variables: abstract-sorted positions get representation
+    // variables (used raw on the impl side, Phi-wrapped on the abstract
+    // side); every other position shares one variable across both sides.
+    std::vector<TermId> ImplArgs, AbsArgs;
+    for (SortId ArgSort : Info.ArgSorts) {
+      if (ArgSort == Mapping.AbstractSort) {
+        TermId RepVar = Ctx.makeVar(Ctx.addVar("v", Mapping.RepSort));
+        ImplArgs.push_back(RepVar);
+        AbsArgs.push_back(Ctx.makeOp(Mapping.Phi, {RepVar}));
+      } else {
+        TermId Var = Ctx.makeVar(Ctx.addVar("a", ArgSort));
+        ImplArgs.push_back(Var);
+        AbsArgs.push_back(Var);
+      }
+    }
+    TermId ImplSide = Ctx.makeOp(ImplOp, ImplArgs);
+    TermId AbsSide = Ctx.makeOp(AbstractOp, AbsArgs);
+    if (Info.ResultSort == Mapping.AbstractSort)
+      ImplSide = Ctx.makeOp(Mapping.Phi, {ImplSide});
+
+    ++Number;
+    AxiomVerdict Verdict = checkEquation(
+        CS,
+        "homomorphism for " + std::string(Ctx.opName(AbstractOp)),
+        Number, ImplSide, AbsSide);
+    Report.AllHold &= Verdict.Holds;
+    Report.Verdicts.push_back(std::move(Verdict));
+  }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's Symboltable representation
+//===----------------------------------------------------------------------===//
+
+/// Implementation map (paper: INIT', ENTERBLOCK', ...; `_R` here) and the
+/// representation invariant used by Assumption 1.
+static const std::string_view SymboltableImplAlg = R"(
+-- Guttag (CACM 1977), section 4: the implementation of type Symboltable
+-- as a Stack of Arrays. Each f' of the paper is spelled f_R.
+spec SymboltableImpl
+  ops
+    INIT_R        : -> Stack
+    ENTERBLOCK_R  : Stack -> Stack
+    LEAVEBLOCK_R  : Stack -> Stack
+    ADD_R         : Stack, Identifier, Attributelist -> Stack
+    IS_INBLOCK_R? : Stack, Identifier -> Bool
+    RETRIEVE_R    : Stack, Identifier -> Attributelist
+    VALID_REP?    : Stack -> Bool
+  vars
+    stk   : Stack
+    id    : Identifier
+    attrs : Attributelist
+  axioms
+    INIT_R = PUSH(NEWSTACK, EMPTY)
+    ENTERBLOCK_R(stk) = PUSH(stk, EMPTY)
+    LEAVEBLOCK_R(stk) =
+      if IS_NEWSTACK?(POP(stk)) then error else POP(stk)
+    ADD_R(stk, id, attrs) = REPLACE(stk, ASSIGN(TOP(stk), id, attrs))
+    IS_INBLOCK_R?(stk, id) =
+      if IS_NEWSTACK?(stk) then error
+      else not(IS_UNDEFINED?(TOP(stk), id))
+    RETRIEVE_R(stk, id) =
+      if IS_NEWSTACK?(stk) then error
+      else if IS_UNDEFINED?(TOP(stk), id)
+           then RETRIEVE_R(POP(stk), id)
+           else READ(TOP(stk), id)
+    -- The representation invariant behind Assumption 1: a valid
+    -- symbol-table representation has at least one (pushed) block.
+    VALID_REP?(stk) = not(IS_NEWSTACK?(stk))
+end
+
+-- The interpretation function PHI (the paper's abstraction function).
+spec Phi
+  ops
+    PHI : Stack -> Symboltable
+  vars
+    stk   : Stack
+    arr   : Array
+    id    : Identifier
+    attrs : Attributelist
+  axioms
+    PHI(NEWSTACK) = error
+    PHI(PUSH(stk, EMPTY)) =
+      if IS_NEWSTACK?(stk) then INIT else ENTERBLOCK(PHI(stk))
+    PHI(PUSH(stk, ASSIGN(arr, id, attrs))) =
+      ADD(PHI(PUSH(stk, arr)), id, attrs)
+end
+)";
+
+Result<SymboltableRep> algspec::buildSymboltableRep(AlgebraContext &Ctx) {
+  if (!Ctx.lookupSort("Symboltable").isValid() ||
+      !Ctx.lookupSort("Stack").isValid())
+    return makeError("load SymboltableAlg and StackArrayAlg before "
+                     "building the representation");
+
+  auto Parsed =
+      specs::load(Ctx, SymboltableImplAlg, "symboltable_impl.alg");
+  if (!Parsed)
+    return Parsed.error();
+
+  SymboltableRep Rep;
+  Rep.ImplSpecs = Parsed.take();
+
+  Rep.Mapping.AbstractSort = Ctx.lookupSort("Symboltable");
+  Rep.Mapping.RepSort = Ctx.lookupSort("Stack");
+  Rep.Mapping.Phi = Ctx.lookupOp("PHI");
+
+  // Abstract names like ADD may be overloaded in a shared context (the
+  // paper reuses ADD for Queue); pick the overload that involves the
+  // abstract sort.
+  auto lookupAbstract = [&](const char *Name) -> OpId {
+    for (OpId Op : Ctx.lookupOps(Name)) {
+      const OpInfo &Info = Ctx.op(Op);
+      if (Info.ResultSort == Rep.Mapping.AbstractSort)
+        return Op;
+      for (SortId Arg : Info.ArgSorts)
+        if (Arg == Rep.Mapping.AbstractSort)
+          return Op;
+    }
+    return OpId();
+  };
+  auto mapOp = [&](const char *AbstractName,
+                   const char *ImplName) -> bool {
+    OpId A = lookupAbstract(AbstractName);
+    OpId I = Ctx.lookupOp(ImplName);
+    if (!A.isValid() || !I.isValid())
+      return false;
+    Rep.Mapping.OpMap.emplace(A, I);
+    return true;
+  };
+  if (!mapOp("INIT", "INIT_R") || !mapOp("ENTERBLOCK", "ENTERBLOCK_R") ||
+      !mapOp("LEAVEBLOCK", "LEAVEBLOCK_R") || !mapOp("ADD", "ADD_R") ||
+      !mapOp("IS_INBLOCK?", "IS_INBLOCK_R?") ||
+      !mapOp("RETRIEVE", "RETRIEVE_R"))
+    return makeError("missing abstract or implementation operation while "
+                     "building the Symboltable representation");
+  return Rep;
+}

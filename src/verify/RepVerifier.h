@@ -1,0 +1,173 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Representation-correctness verification (paper, section 4).
+///
+/// A representation of abstract type A consists of (i) an interpretation
+/// of A's operations over a concrete type (the implementation map, given
+/// as a spec defining one impl operation per abstract operation) and (ii)
+/// an abstraction function Φ mapping representation values to abstract
+/// values (also given as a spec). Correctness means every abstract axiom
+/// holds in the representation:
+///
+///   for every relation f(x*) = z derived from A's axioms,
+///     (a) Φ(f'(x*)) = Φ(z')  when f yields the abstract type,
+///     (b) f'(x*) = z'        otherwise,
+///
+/// for all legal assignments to the free variables. The paper proves this
+/// by hand (and cites Musser's mechanical proof); this module checks it by
+/// *bounded generator induction*: abstract-sorted variables range over
+/// representation values, other variables over enumerated ground values,
+/// and both sides are normalized and compared for every assignment.
+///
+/// Representation values come from one of two domains:
+///  - **Reachable**: values produced by sequences of the implementation's
+///    own generators (INIT', ENTERBLOCK', ADD') — the paper's conditional
+///    correctness, where the enclosing program is assumed to respect the
+///    type boundary;
+///  - **FreeTerms**: all ground constructor terms of the representation
+///    sort, optionally filtered by a representation invariant. Without a
+///    guard this domain contains junk like a block-less NEWSTACK and
+///    exposes exactly the failure Assumption 1 exists to rule out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_VERIFY_REPVERIFIER_H
+#define ALGSPEC_VERIFY_REPVERIFIER_H
+
+#include "ast/Ids.h"
+#include "check/TermEnumerator.h"
+#include "rewrite/Engine.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// How abstract-sorted variables are instantiated.
+enum class ValueDomain {
+  Reachable, ///< Generator-induction over impl-generated values.
+  FreeTerms, ///< All constructor terms of the representation sort.
+};
+
+/// Static description of one representation.
+struct RepMapping {
+  SortId AbstractSort; ///< e.g. Symboltable
+  SortId RepSort;      ///< e.g. Stack
+  /// Abstract operation -> implementing operation (INIT -> INIT_R, ...).
+  std::unordered_map<OpId, OpId> OpMap;
+  /// The abstraction function Φ : RepSort -> AbstractSort.
+  OpId Phi;
+};
+
+/// Verification tunables.
+struct VerifyOptions {
+  /// Attempt a symbolic proof first: normalize both sides as *open*
+  /// terms and accept syntactic equality of the normal forms as an
+  /// unbounded proof of the obligation (sound; incompleteness just
+  /// falls through to the bounded sweep).
+  bool TrySymbolic = true;
+  ValueDomain Domain = ValueDomain::Reachable;
+  /// Reachable: maximum generator applications per value.
+  /// FreeTerms: maximum constructor-term depth.
+  unsigned Depth = 4;
+  /// FreeTerms only: candidate representation values v are kept iff
+  /// normalize(Invariant(v)) == true. Invalid OpId disables filtering.
+  /// The operation must be RepSort -> Bool (the representation
+  /// invariant; for the paper's Assumption 1 it is "has at least one
+  /// block", i.e. not(IS_NEWSTACK?(stk))).
+  OpId Invariant;
+  /// Cap on representation values considered (with a caveat when hit).
+  size_t MaxValues = 4000;
+  /// Cap on assignments per axiom (with a caveat when hit).
+  size_t MaxInstancesPerAxiom = 200000;
+  EnumeratorOptions Enum;
+  EngineOptions Engine;
+};
+
+/// One failed assignment.
+struct CounterExample {
+  /// The instantiated (translated) axiom sides and their normal forms.
+  TermId Lhs, Rhs;
+  TermId LhsNormal, RhsNormal;
+  /// Human-readable variable assignment.
+  std::string Assignment;
+};
+
+/// Verdict for one proof obligation (an abstract axiom, or one
+/// homomorphism condition).
+struct AxiomVerdict {
+  unsigned AxiomNumber = 0;
+  /// Display label; "axiom N" for axiom obligations, "Φ∘f' = f∘Φ for
+  /// OP" for homomorphism obligations.
+  std::string Label;
+  bool Holds = true;
+  /// True when the obligation was discharged *symbolically*: both open
+  /// sides normalized to the identical term, so the equation holds for
+  /// every assignment, with no depth bound (paper section 5: "the
+  /// operations of the algebra may be interpreted symbolically"). When
+  /// false, Holds rests on the bounded instance sweep.
+  bool ProvedSymbolically = false;
+  uint64_t InstancesChecked = 0;
+  std::optional<CounterExample> Failure;
+};
+
+/// Outcome of a verification run.
+struct VerifyReport {
+  bool AllHold = true;
+  std::vector<AxiomVerdict> Verdicts;
+  std::vector<std::string> Caveats;
+  size_t NumRepValues = 0;
+
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Verifies that the representation described by \p Mapping satisfies
+/// every axiom of \p Abstract. \p RuleSources must contain every spec
+/// whose axioms execute the check: the concrete specs, the implementation
+/// spec, the Φ spec, and (for comparing abstract normal forms) the
+/// abstract spec itself.
+VerifyReport verifyRepresentation(AlgebraContext &Ctx, const Spec &Abstract,
+                                  const std::vector<const Spec *> &RuleSources,
+                                  const RepMapping &Mapping,
+                                  const VerifyOptions &Options);
+
+/// Checks the abstraction-function homomorphism conditions directly:
+/// for every mapped operation f with implementation f', representation
+/// values v and ground non-abstract arguments a*,
+///
+///   Φ(f'(..v.., a*)) = f(..Φ(v).., a*)   when f yields the abstract sort,
+///   f'(..v.., a*)    = f(..Φ(v).., a*)   otherwise.
+///
+/// This is stronger than \c verifyRepresentation for specs whose axioms
+/// reduce both sides to the same representation value before Φ ever
+/// applies (it pins Φ itself, catching degenerate abstraction
+/// functions). The paper's procedure corresponds to the axiom check;
+/// the homomorphism check is the classical Hoare-style strengthening.
+VerifyReport verifyHomomorphism(AlgebraContext &Ctx, const Spec &Abstract,
+                                const std::vector<const Spec *> &RuleSources,
+                                const RepMapping &Mapping,
+                                const VerifyOptions &Options);
+
+/// Builds the paper's Symboltable-as-Stack-of-Arrays representation: the
+/// implementation spec (INIT_R, ENTERBLOCK_R, ...) and Φ, both parsed
+/// from embedded text, plus the RepMapping. Requires SymboltableAlg and
+/// StackArrayAlg to be loaded into \p Ctx already.
+struct SymboltableRep {
+  std::vector<Spec> ImplSpecs; ///< {implementation spec, Φ spec}
+  RepMapping Mapping;
+};
+Result<SymboltableRep> buildSymboltableRep(AlgebraContext &Ctx);
+
+} // namespace algspec
+
+#endif // ALGSPEC_VERIFY_REPVERIFIER_H

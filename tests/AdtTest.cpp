@@ -1,0 +1,602 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the concrete ADT library: Queue, BoundedQueue (the Φ⁻¹
+/// one-to-many demonstration), Stack, HashArray, the three SymbolTable
+/// representations, KnowsList, and KnowsSymbolTable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/BoundedQueue.h"
+#include "adt/FlatSymbolTable.h"
+#include "adt/HashArray.h"
+#include "adt/KnowsList.h"
+#include "adt/KnowsSymbolTable.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/PriorityQueue.h"
+#include "adt/Queue.h"
+#include "adt/Stack.h"
+#include "adt/Table.h"
+#include "adt/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+using namespace algspec::adt;
+
+//===----------------------------------------------------------------------===//
+// Queue
+//===----------------------------------------------------------------------===//
+
+TEST(QueueTest, NewQueueIsEmpty) {
+  Queue<int> Q;
+  EXPECT_TRUE(Q.isEmpty());
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_FALSE(Q.front().has_value());
+  EXPECT_FALSE(Q.remove());
+}
+
+TEST(QueueTest, FifoOrder) {
+  Queue<int> Q;
+  Q.add(1);
+  Q.add(2);
+  Q.add(3);
+  EXPECT_EQ(Q.front(), 1);
+  EXPECT_TRUE(Q.remove());
+  EXPECT_EQ(Q.front(), 2);
+  EXPECT_TRUE(Q.remove());
+  EXPECT_EQ(Q.front(), 3);
+  EXPECT_TRUE(Q.remove());
+  EXPECT_TRUE(Q.isEmpty());
+}
+
+TEST(QueueTest, DeepCopySemantics) {
+  Queue<std::string> A;
+  A.add("x");
+  Queue<std::string> B = A;
+  B.add("y");
+  EXPECT_EQ(A.size(), 1u);
+  EXPECT_EQ(B.size(), 2u);
+  A.remove();
+  EXPECT_EQ(B.front(), "x");
+}
+
+TEST(QueueTest, CopyAssignmentReplaces) {
+  Queue<int> A, B;
+  A.add(1);
+  B.add(9);
+  B.add(8);
+  B = A;
+  EXPECT_EQ(B.size(), 1u);
+  EXPECT_EQ(B.front(), 1);
+}
+
+TEST(QueueTest, MoveSemantics) {
+  Queue<int> A;
+  A.add(7);
+  Queue<int> B = std::move(A);
+  EXPECT_EQ(B.front(), 7);
+  EXPECT_TRUE(A.isEmpty()); // NOLINT: moved-from is valid-empty here.
+}
+
+TEST(QueueTest, EqualityIsAbstract) {
+  Queue<int> A, B;
+  for (int I : {1, 2, 3})
+    A.add(I);
+  B.add(0);
+  B.add(1);
+  B.remove(); // B went through a different history.
+  B.add(2);
+  B.add(3);
+  EXPECT_EQ(A, B);
+  B.add(4);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(QueueTest, InterleavedAddRemoveStress) {
+  Queue<int> Q;
+  int NextIn = 0, NextOut = 0;
+  for (int Round = 0; Round < 1000; ++Round) {
+    Q.add(NextIn++);
+    if (Round % 3 == 0) {
+      ASSERT_EQ(Q.front(), NextOut);
+      Q.remove();
+      ++NextOut;
+    }
+  }
+  while (!Q.isEmpty()) {
+    ASSERT_EQ(Q.front(), NextOut++);
+    Q.remove();
+  }
+  EXPECT_EQ(NextOut, NextIn);
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedQueue: the ring-buffer Φ example
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedQueueTest, CapacityEnforced) {
+  BoundedQueue<char> Q; // Paper's maximum length of three.
+  EXPECT_TRUE(Q.add('a'));
+  EXPECT_TRUE(Q.add('b'));
+  EXPECT_TRUE(Q.add('c'));
+  EXPECT_TRUE(Q.isFull());
+  EXPECT_FALSE(Q.add('d')); // The algebra's error.
+  EXPECT_EQ(Q.size(), 3u);
+}
+
+TEST(BoundedQueueTest, WrapAround) {
+  BoundedQueue<int> Q;
+  Q.add(1);
+  Q.add(2);
+  Q.add(3);
+  Q.remove();
+  EXPECT_TRUE(Q.add(4)); // Physically wraps into slot 0.
+  EXPECT_EQ(Q.front(), 2);
+  Q.remove();
+  EXPECT_EQ(Q.front(), 3);
+  Q.remove();
+  EXPECT_EQ(Q.front(), 4);
+}
+
+TEST(BoundedQueueTest, PhiInverseIsOneToMany) {
+  // The paper's two program segments: both denote the abstract queue
+  // containing (second, third, fourth additions), but the buffers differ
+  // physically.
+  BoundedQueue<char> X;
+  X.add('A');
+  X.add('B');
+  X.add('C');
+  X.remove();
+  X.add('D'); // Buffer: [D][B][C], first = 1.
+
+  BoundedQueue<char> Y;
+  Y.add('B');
+  Y.add('C');
+  Y.add('D'); // Buffer: [B][C][D], first = 0.
+
+  // Same abstract value (Φ(X) == Φ(Y))...
+  EXPECT_EQ(X, Y);
+  // ...different representations: Φ⁻¹ is one-to-many.
+  EXPECT_NE(X.rawFirst(), Y.rawFirst());
+  EXPECT_NE(X.rawSlot(0), Y.rawSlot(0));
+}
+
+TEST(BoundedQueueTest, EmptyBoundaries) {
+  BoundedQueue<int> Q;
+  EXPECT_TRUE(Q.isEmpty());
+  EXPECT_FALSE(Q.remove());
+  EXPECT_FALSE(Q.front().has_value());
+}
+
+TEST(BoundedQueueTest, OtherCapacities) {
+  BoundedQueue<int, 1> Tiny;
+  EXPECT_TRUE(Tiny.add(1));
+  EXPECT_FALSE(Tiny.add(2));
+  Tiny.remove();
+  EXPECT_TRUE(Tiny.add(2));
+  EXPECT_EQ(Tiny.front(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Stack
+//===----------------------------------------------------------------------===//
+
+TEST(StackTest, LifoOrder) {
+  Stack<int> S;
+  EXPECT_TRUE(S.isEmpty());
+  S.push(1);
+  S.push(2);
+  EXPECT_EQ(S.top(), 2);
+  EXPECT_TRUE(S.pop());
+  EXPECT_EQ(S.top(), 1);
+}
+
+TEST(StackTest, EmptyBoundaries) {
+  Stack<int> S;
+  EXPECT_FALSE(S.pop());
+  EXPECT_FALSE(S.top().has_value());
+  EXPECT_FALSE(S.replace(9));
+  EXPECT_EQ(S.topMutable(), nullptr);
+}
+
+TEST(StackTest, ReplaceSwapsTop) {
+  Stack<std::string> S;
+  S.push("block1");
+  S.push("block2");
+  EXPECT_TRUE(S.replace("patched"));
+  EXPECT_EQ(S.top(), "patched");
+  S.pop();
+  EXPECT_EQ(S.top(), "block1"); // Lower frames untouched.
+}
+
+TEST(StackTest, DeepCopyPreservesOrder) {
+  Stack<int> A;
+  for (int I : {1, 2, 3})
+    A.push(I);
+  Stack<int> B = A;
+  A.pop();
+  EXPECT_EQ(B.size(), 3u);
+  EXPECT_EQ(B.top(), 3);
+  B.pop();
+  EXPECT_EQ(B.top(), 2);
+  B.pop();
+  EXPECT_EQ(B.top(), 1);
+}
+
+TEST(StackTest, IterationTopDown) {
+  Stack<int> S;
+  S.push(1);
+  S.push(2);
+  S.push(3);
+  std::vector<int> Seen;
+  for (int V : S)
+    Seen.push_back(V);
+  EXPECT_EQ(Seen, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(StackTest, Equality) {
+  Stack<int> A, B;
+  A.push(1);
+  B.push(1);
+  EXPECT_EQ(A, B);
+  B.push(2);
+  EXPECT_FALSE(A == B);
+}
+
+//===----------------------------------------------------------------------===//
+// HashArray
+//===----------------------------------------------------------------------===//
+
+TEST(HashArrayTest, UndefinedByDefault) {
+  HashArray<int> A;
+  EXPECT_TRUE(A.isUndefined("x"));
+  EXPECT_FALSE(A.read("x").has_value());
+  EXPECT_EQ(A.entryCount(), 0u);
+}
+
+TEST(HashArrayTest, AssignAndRead) {
+  HashArray<std::string> A;
+  A.assign("x", "int");
+  EXPECT_FALSE(A.isUndefined("x"));
+  EXPECT_EQ(A.read("x"), "int");
+  EXPECT_TRUE(A.isUndefined("y"));
+}
+
+TEST(HashArrayTest, NewestAssignmentShadows) {
+  // Axiom 20: READ(ASSIGN(arr, id, attrs), id) = attrs — the *latest*.
+  HashArray<int> A;
+  A.assign("x", 1);
+  A.assign("x", 2);
+  EXPECT_EQ(A.read("x"), 2);
+  EXPECT_EQ(A.entryCount(), 2u); // History kept, not overwritten.
+}
+
+TEST(HashArrayTest, SingleBucketForcesCollisions) {
+  HashArray<int> A(1); // Every identifier collides.
+  A.assign("a", 1);
+  A.assign("b", 2);
+  A.assign("c", 3);
+  EXPECT_EQ(A.read("a"), 1);
+  EXPECT_EQ(A.read("b"), 2);
+  EXPECT_EQ(A.read("c"), 3);
+  EXPECT_TRUE(A.isUndefined("d"));
+}
+
+TEST(HashArrayTest, DeepCopyKeepsShadowingOrder) {
+  HashArray<int> A(1);
+  A.assign("x", 1);
+  A.assign("y", 5);
+  A.assign("x", 2);
+  HashArray<int> B = A;
+  A.assign("x", 3);
+  EXPECT_EQ(B.read("x"), 2);
+  EXPECT_EQ(B.read("y"), 5);
+  EXPECT_EQ(B.entryCount(), 3u);
+}
+
+TEST(HashArrayTest, ForEachVisibleSkipsShadowed) {
+  HashArray<int> A(2);
+  A.assign("x", 1);
+  A.assign("x", 2);
+  A.assign("y", 7);
+  int Sum = 0, Count = 0;
+  A.forEachVisible([&](std::string_view, const int &V) {
+    Sum += V;
+    ++Count;
+  });
+  EXPECT_EQ(Count, 2);
+  EXPECT_EQ(Sum, 9); // 2 (visible x) + 7 (y).
+}
+
+TEST(HashArrayTest, ManyIdentifiers) {
+  HashArray<int> A(16);
+  for (int I = 0; I < 500; ++I)
+    A.assign("id" + std::to_string(I), I);
+  for (int I = 0; I < 500; ++I)
+    ASSERT_EQ(A.read("id" + std::to_string(I)), I);
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolTable (stack of hash arrays) — shared behaviour of all three
+// representations, run as typed tests.
+//===----------------------------------------------------------------------===//
+
+template <typename Table> class SymbolTableLike : public ::testing::Test {};
+
+using TableTypes =
+    ::testing::Types<SymbolTable<std::string>, ListSymbolTable<std::string>,
+                     FlatSymbolTable<std::string>>;
+TYPED_TEST_SUITE(SymbolTableLike, TableTypes);
+
+TYPED_TEST(SymbolTableLike, FreshTableHasNoBindings) {
+  TypeParam T;
+  EXPECT_FALSE(T.retrieve("x").has_value());
+  EXPECT_FALSE(T.isInBlock("x"));
+  EXPECT_EQ(T.depth(), 1u);
+}
+
+TYPED_TEST(SymbolTableLike, LeaveOutermostIsError) {
+  TypeParam T;
+  EXPECT_FALSE(T.leaveBlock()); // LEAVEBLOCK(INIT) = error.
+  T.enterBlock();
+  EXPECT_TRUE(T.leaveBlock());
+  EXPECT_FALSE(T.leaveBlock());
+}
+
+TYPED_TEST(SymbolTableLike, RetrieveFindsMostLocal) {
+  TypeParam T;
+  T.add("x", "outer");
+  T.enterBlock();
+  T.add("x", "inner");
+  EXPECT_EQ(T.retrieve("x"), "inner");
+  EXPECT_TRUE(T.leaveBlock());
+  EXPECT_EQ(T.retrieve("x"), "outer");
+}
+
+TYPED_TEST(SymbolTableLike, IsInBlockIsScopeLocal) {
+  TypeParam T;
+  T.add("x", "outer");
+  T.enterBlock();
+  EXPECT_FALSE(T.isInBlock("x")); // Declared, but not in *this* block.
+  EXPECT_TRUE(T.retrieve("x").has_value());
+  T.add("y", "inner");
+  EXPECT_TRUE(T.isInBlock("y"));
+}
+
+TYPED_TEST(SymbolTableLike, LeaveBlockDiscardsBindings) {
+  TypeParam T;
+  T.enterBlock();
+  T.add("tmp", "t");
+  EXPECT_TRUE(T.retrieve("tmp").has_value());
+  T.leaveBlock();
+  EXPECT_FALSE(T.retrieve("tmp").has_value());
+}
+
+TYPED_TEST(SymbolTableLike, DeepNestingShadowing) {
+  TypeParam T;
+  for (int Depth = 0; Depth < 20; ++Depth) {
+    T.enterBlock();
+    T.add("v", "level" + std::to_string(Depth));
+  }
+  EXPECT_EQ(T.retrieve("v"), "level19");
+  for (int Depth = 19; Depth > 0; --Depth) {
+    T.leaveBlock();
+    EXPECT_EQ(T.retrieve("v"), "level" + std::to_string(Depth - 1));
+  }
+}
+
+TYPED_TEST(SymbolTableLike, RedeclarationInSameBlockShadows) {
+  TypeParam T;
+  T.add("x", "first");
+  T.add("x", "second");
+  EXPECT_EQ(T.retrieve("x"), "second");
+  EXPECT_TRUE(T.isInBlock("x"));
+}
+
+TYPED_TEST(SymbolTableLike, ManySymbolsAcrossScopes) {
+  TypeParam T;
+  for (int S = 0; S < 5; ++S) {
+    T.enterBlock();
+    for (int I = 0; I < 50; ++I)
+      T.add("s" + std::to_string(S) + "_" + std::to_string(I),
+            std::to_string(S * 100 + I));
+  }
+  EXPECT_EQ(T.retrieve("s0_0"), "0");
+  EXPECT_EQ(T.retrieve("s4_49"), "449");
+  T.leaveBlock();
+  EXPECT_FALSE(T.retrieve("s4_49").has_value());
+  EXPECT_EQ(T.retrieve("s3_10"), "310");
+}
+
+//===----------------------------------------------------------------------===//
+// KnowsList and KnowsSymbolTable
+//===----------------------------------------------------------------------===//
+
+TEST(KnowsListTest, CreateAppendIsIn) {
+  KnowsList K;
+  EXPECT_FALSE(K.contains("x"));
+  K.append("x");
+  K.append("y");
+  EXPECT_TRUE(K.contains("x"));
+  EXPECT_TRUE(K.contains("y"));
+  EXPECT_FALSE(K.contains("z"));
+  EXPECT_EQ(K.size(), 2u);
+}
+
+TEST(KnowsSymbolTableTest, LocalDeclarationsAlwaysVisible) {
+  KnowsSymbolTable<std::string> T;
+  T.enterBlock(KnowsList()); // Knows nothing.
+  T.add("local", "int");
+  EXPECT_EQ(T.retrieve("local"), "int");
+  EXPECT_TRUE(T.isInBlock("local"));
+}
+
+TEST(KnowsSymbolTableTest, InheritanceRequiresKnows) {
+  KnowsSymbolTable<std::string> T;
+  T.add("x", "int");
+  T.add("y", "bool");
+
+  KnowsList OnlyY;
+  OnlyY.append("y");
+  T.enterBlock(OnlyY);
+
+  EXPECT_EQ(T.retrieve("y"), "bool");          // Known: visible.
+  EXPECT_FALSE(T.retrieve("x").has_value());   // Unknown: hidden.
+}
+
+TEST(KnowsSymbolTableTest, EveryCrossedBoundaryMustKnow) {
+  KnowsSymbolTable<std::string> T;
+  T.add("g", "int");
+
+  KnowsList KnowsG;
+  KnowsG.append("g");
+  T.enterBlock(KnowsG); // Middle block knows g.
+
+  KnowsList Nothing;
+  T.enterBlock(Nothing); // Inner block knows nothing.
+  EXPECT_FALSE(T.retrieve("g").has_value());
+  T.leaveBlock();
+  EXPECT_EQ(T.retrieve("g"), "int");
+}
+
+TEST(KnowsSymbolTableTest, ShadowingStillWorks) {
+  KnowsSymbolTable<std::string> T;
+  T.add("x", "outer");
+  KnowsList KnowsX;
+  KnowsX.append("x");
+  T.enterBlock(KnowsX);
+  T.add("x", "inner");
+  EXPECT_EQ(T.retrieve("x"), "inner");
+  T.leaveBlock();
+  EXPECT_EQ(T.retrieve("x"), "outer");
+}
+
+TEST(KnowsSymbolTableTest, LeaveOutermostIsError) {
+  KnowsSymbolTable<int> T;
+  EXPECT_FALSE(T.leaveBlock());
+}
+
+//===----------------------------------------------------------------------===//
+// Table (the section-5 database characterization, E14)
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, InsertOverwritesPerKey) {
+  Table<std::string> T;
+  T.insertRow("k1", "red");
+  T.insertRow("k1", "blue");
+  EXPECT_EQ(T.rowCount(), 1u);
+  EXPECT_EQ(T.lookup("k1"), "blue");
+}
+
+TEST(TableTest, DeleteRemovesOnlyItsKey) {
+  Table<std::string> T;
+  T.insertRow("a", "x");
+  T.insertRow("b", "y");
+  T.deleteRow("a");
+  EXPECT_FALSE(T.hasRow("a"));
+  EXPECT_EQ(T.lookup("b"), "y");
+  T.deleteRow("missing"); // No-op, like the spec.
+  EXPECT_EQ(T.rowCount(), 1u);
+}
+
+TEST(TableTest, SelectValFiltersByValue) {
+  Table<std::string> T;
+  T.insertRow("a", "red");
+  T.insertRow("b", "blue");
+  T.insertRow("c", "red");
+  Table<std::string> Reds = T.selectVal("red");
+  EXPECT_EQ(Reds.rowCount(), 2u);
+  EXPECT_TRUE(Reds.hasRow("a"));
+  EXPECT_TRUE(Reds.hasRow("c"));
+  EXPECT_FALSE(Reds.hasRow("b"));
+}
+
+TEST(TableTest, EqualityIsObservational) {
+  Table<int> A, B;
+  A.insertRow("x", 1);
+  A.insertRow("y", 2);
+  B.insertRow("y", 2);
+  B.insertRow("x", 0);
+  B.insertRow("x", 1); // Different history, same visible rows.
+  EXPECT_EQ(A, B);
+  B.deleteRow("y");
+  EXPECT_FALSE(A == B);
+}
+
+TEST(TableTest, EmptyTableBoundaries) {
+  Table<int> T;
+  EXPECT_EQ(T.rowCount(), 0u);
+  EXPECT_FALSE(T.lookup("k").has_value());
+  EXPECT_FALSE(T.hasRow("k"));
+  EXPECT_EQ(T.selectVal(7).rowCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// PriorityQueue (binary heap for examples/specs/priority_queue.alg)
+//===----------------------------------------------------------------------===//
+
+TEST(PriorityQueueTest, MinOrderAcrossInterleavedOps) {
+  PriorityQueue<int> P;
+  for (int V : {5, 2, 9, 1, 7})
+    P.insert(V);
+  EXPECT_EQ(P.min(), 1);
+  EXPECT_TRUE(P.deleteMin());
+  EXPECT_EQ(P.min(), 2);
+  P.insert(0);
+  EXPECT_EQ(P.min(), 0);
+  EXPECT_TRUE(P.deleteMin());
+  EXPECT_TRUE(P.deleteMin());
+  EXPECT_EQ(P.min(), 5);
+  EXPECT_EQ(P.size(), 3u);
+}
+
+TEST(PriorityQueueTest, EmptyBoundaries) {
+  PriorityQueue<int> P;
+  EXPECT_TRUE(P.isEmpty());
+  EXPECT_FALSE(P.min().has_value());
+  EXPECT_FALSE(P.deleteMin());
+}
+
+TEST(PriorityQueueTest, DuplicatesRemoveOneAtATime) {
+  PriorityQueue<int> P;
+  P.insert(3);
+  P.insert(3);
+  P.insert(3);
+  EXPECT_TRUE(P.deleteMin());
+  EXPECT_EQ(P.size(), 2u);
+  EXPECT_EQ(P.min(), 3);
+}
+
+TEST(PriorityQueueTest, PhiInverseIsOneToManyAgain) {
+  // Different insertion orders, same abstract multiset, (possibly)
+  // different heap layouts — operator== sees through the layout.
+  PriorityQueue<int> A, B;
+  for (int V : {1, 2, 3, 4, 5})
+    A.insert(V);
+  for (int V : {5, 4, 3, 2, 1})
+    B.insert(V);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.rawHeap(), B.rawHeap()); // Physically distinct here.
+}
+
+TEST(PriorityQueueTest, HeapSortProperty) {
+  PriorityQueue<int> P;
+  std::vector<int> Values = {9, 4, 7, 1, 8, 2, 6, 3, 5, 0, 4, 4};
+  for (int V : Values)
+    P.insert(V);
+  std::vector<int> Drained;
+  while (!P.isEmpty()) {
+    Drained.push_back(*P.min());
+    P.deleteMin();
+  }
+  std::vector<int> Expected = Values;
+  std::sort(Expected.begin(), Expected.end());
+  EXPECT_EQ(Drained, Expected);
+}

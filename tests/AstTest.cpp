@@ -1,0 +1,342 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the algebra AST: sorts, operations, hash-consed terms,
+/// structural error propagation, printing, and Spec objects.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/SpecPrinter.h"
+#include "ast/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Shared fixture: a context with the paper's Queue signature (section 3).
+class QueueContext : public ::testing::Test {
+protected:
+  void SetUp() override {
+    QueueSort = Ctx.addSort("Queue", SortKind::User);
+    ItemSort = Ctx.getOrAddAtomSort("Item");
+    NewOp = Ctx.addOp("NEW", {}, QueueSort, OpKind::Constructor);
+    AddOp = Ctx.addOp("ADD", {QueueSort, ItemSort}, QueueSort,
+                      OpKind::Constructor);
+    FrontOp = Ctx.addOp("FRONT", {QueueSort}, ItemSort, OpKind::Defined);
+    RemoveOp = Ctx.addOp("REMOVE", {QueueSort}, QueueSort, OpKind::Defined);
+    IsEmptyOp = Ctx.addOp("IS_EMPTY", {QueueSort}, Ctx.boolSort(),
+                          OpKind::Defined);
+  }
+
+  AlgebraContext Ctx;
+  SortId QueueSort, ItemSort;
+  OpId NewOp, AddOp, FrontOp, RemoveOp, IsEmptyOp;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sorts and operations
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, BuiltinSortsExist) {
+  EXPECT_TRUE(Ctx.boolSort().isValid());
+  EXPECT_TRUE(Ctx.intSort().isValid());
+  EXPECT_EQ(Ctx.sort(Ctx.boolSort()).Kind, SortKind::Bool);
+  EXPECT_EQ(Ctx.sort(Ctx.intSort()).Kind, SortKind::Int);
+}
+
+TEST_F(QueueContext, SortLookup) {
+  EXPECT_EQ(Ctx.lookupSort("Queue"), QueueSort);
+  EXPECT_EQ(Ctx.lookupSort("Item"), ItemSort);
+  EXPECT_FALSE(Ctx.lookupSort("Stack").isValid());
+}
+
+TEST_F(QueueContext, AtomSortIdempotent) {
+  EXPECT_EQ(Ctx.getOrAddAtomSort("Item"), ItemSort);
+  EXPECT_EQ(Ctx.sort(ItemSort).Kind, SortKind::Atom);
+}
+
+TEST_F(QueueContext, OpLookupAndMetadata) {
+  EXPECT_EQ(Ctx.lookupOp("ADD"), AddOp);
+  const OpInfo &Add = Ctx.op(AddOp);
+  EXPECT_EQ(Add.arity(), 2u);
+  EXPECT_EQ(Add.ResultSort, QueueSort);
+  EXPECT_TRUE(Add.isConstructor());
+  EXPECT_TRUE(Ctx.op(FrontOp).isDefined());
+  EXPECT_FALSE(Ctx.lookupOp("POP").isValid());
+}
+
+TEST_F(QueueContext, ConstructorsOfSort) {
+  std::vector<OpId> Ctors = Ctx.constructorsOf(QueueSort);
+  ASSERT_EQ(Ctors.size(), 2u);
+  EXPECT_EQ(Ctors[0], NewOp);
+  EXPECT_EQ(Ctors[1], AddOp);
+}
+
+TEST_F(QueueContext, BoolConstructors) {
+  std::vector<OpId> Ctors = Ctx.constructorsOf(Ctx.boolSort());
+  ASSERT_EQ(Ctors.size(), 2u);
+  EXPECT_EQ(Ctors[0], Ctx.trueOp());
+  EXPECT_EQ(Ctors[1], Ctx.falseOp());
+}
+
+//===----------------------------------------------------------------------===//
+// Hash consing
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, HashConsingDeduplicates) {
+  TermId New1 = Ctx.makeOp(NewOp, {});
+  TermId New2 = Ctx.makeOp(NewOp, {});
+  EXPECT_EQ(New1, New2);
+
+  TermId ItemX = Ctx.makeAtom("x", ItemSort);
+  TermId Add1 = Ctx.makeOp(AddOp, {New1, ItemX});
+  TermId Add2 = Ctx.makeOp(AddOp, {New2, Ctx.makeAtom("x", ItemSort)});
+  EXPECT_EQ(Add1, Add2);
+}
+
+TEST_F(QueueContext, DistinctTermsDistinctIds) {
+  TermId New = Ctx.makeOp(NewOp, {});
+  TermId A = Ctx.makeOp(AddOp, {New, Ctx.makeAtom("a", ItemSort)});
+  TermId B = Ctx.makeOp(AddOp, {New, Ctx.makeAtom("b", ItemSort)});
+  EXPECT_NE(A, B);
+}
+
+TEST_F(QueueContext, AtomsInternBySortAndName) {
+  TermId X1 = Ctx.makeAtom("x", ItemSort);
+  TermId X2 = Ctx.makeAtom("x", ItemSort);
+  EXPECT_EQ(X1, X2);
+  SortId Other = Ctx.getOrAddAtomSort("Identifier");
+  EXPECT_NE(X1, Ctx.makeAtom("x", Other));
+}
+
+TEST_F(QueueContext, IntLiterals) {
+  TermId A = Ctx.makeInt(7);
+  TermId B = Ctx.makeInt(7);
+  TermId C = Ctx.makeInt(-7);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Ctx.node(A).IntValue, 7);
+  EXPECT_EQ(Ctx.sortOf(A), Ctx.intSort());
+}
+
+TEST_F(QueueContext, ErrorsInternPerSort) {
+  EXPECT_EQ(Ctx.makeError(QueueSort), Ctx.makeError(QueueSort));
+  EXPECT_NE(Ctx.makeError(QueueSort), Ctx.makeError(ItemSort));
+}
+
+TEST_F(QueueContext, VariablesInternPerVarId) {
+  VarId Q1 = Ctx.addVar("q", QueueSort);
+  VarId Q2 = Ctx.addVar("q", QueueSort);
+  EXPECT_EQ(Ctx.makeVar(Q1), Ctx.makeVar(Q1));
+  // Distinct declarations are distinct variables even with equal names.
+  EXPECT_NE(Ctx.makeVar(Q1), Ctx.makeVar(Q2));
+}
+
+//===----------------------------------------------------------------------===//
+// Error propagation (paper section 3: f(..., error, ...) = error)
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, StrictErrorPropagation) {
+  TermId ErrQueue = Ctx.makeError(QueueSort);
+  TermId ItemX = Ctx.makeAtom("x", ItemSort);
+  TermId Applied = Ctx.makeOp(AddOp, {ErrQueue, ItemX});
+  EXPECT_TRUE(Ctx.isError(Applied));
+  EXPECT_EQ(Ctx.sortOf(Applied), QueueSort);
+
+  // The error's sort follows the applied op's *result* sort.
+  TermId FrontOfErr = Ctx.makeOp(FrontOp, {ErrQueue});
+  EXPECT_TRUE(Ctx.isError(FrontOfErr));
+  EXPECT_EQ(Ctx.sortOf(FrontOfErr), ItemSort);
+}
+
+TEST_F(QueueContext, IteLazyInBranches) {
+  TermId ErrItem = Ctx.makeError(ItemSort);
+  TermId ItemX = Ctx.makeAtom("x", ItemSort);
+  TermId Ite = Ctx.makeIte(Ctx.trueTerm(), ItemX, ErrItem);
+  // An error in an (untaken) branch must not poison the conditional.
+  EXPECT_FALSE(Ctx.isError(Ite));
+}
+
+TEST_F(QueueContext, IteStrictInCondition) {
+  TermId ErrBool = Ctx.makeError(Ctx.boolSort());
+  TermId ItemX = Ctx.makeAtom("x", ItemSort);
+  TermId Ite = Ctx.makeIte(ErrBool, ItemX, ItemX);
+  EXPECT_TRUE(Ctx.isError(Ite));
+}
+
+//===----------------------------------------------------------------------===//
+// Term structure and metrics
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, ChildrenSpan) {
+  TermId New = Ctx.makeOp(NewOp, {});
+  TermId ItemX = Ctx.makeAtom("x", ItemSort);
+  TermId Add = Ctx.makeOp(AddOp, {New, ItemX});
+  auto Children = Ctx.children(Add);
+  ASSERT_EQ(Children.size(), 2u);
+  EXPECT_EQ(Children[0], New);
+  EXPECT_EQ(Children[1], ItemX);
+}
+
+TEST_F(QueueContext, GroundnessTest) {
+  TermId New = Ctx.makeOp(NewOp, {});
+  EXPECT_TRUE(Ctx.isGround(New));
+  VarId Q = Ctx.addVar("q", QueueSort);
+  TermId WithVar = Ctx.makeOp(RemoveOp, {Ctx.makeVar(Q)});
+  EXPECT_FALSE(Ctx.isGround(WithVar));
+}
+
+TEST_F(QueueContext, SizeMetrics) {
+  TermId New = Ctx.makeOp(NewOp, {});
+  TermId X = Ctx.makeAtom("x", ItemSort);
+  TermId Add1 = Ctx.makeOp(AddOp, {New, X});
+  TermId Add2 = Ctx.makeOp(AddOp, {Add1, X});
+  EXPECT_EQ(Ctx.depth(New), 1u);
+  EXPECT_EQ(Ctx.depth(Add2), 3u);
+  EXPECT_EQ(Ctx.treeSize(Add2), 5u);
+  EXPECT_EQ(Ctx.dagSize(Add2), 4u); // X shared.
+}
+
+//===----------------------------------------------------------------------===//
+// Sort-indexed builtins
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, IteOpPerSort) {
+  OpId IteQueue = Ctx.getIteOp(QueueSort);
+  OpId IteQueue2 = Ctx.getIteOp(QueueSort);
+  OpId IteItem = Ctx.getIteOp(ItemSort);
+  EXPECT_EQ(IteQueue, IteQueue2);
+  EXPECT_NE(IteQueue, IteItem);
+  EXPECT_EQ(Ctx.op(IteQueue).Builtin, BuiltinOp::Ite);
+}
+
+TEST_F(QueueContext, SameOpPerSort) {
+  OpId SameItem = Ctx.getSameOp(ItemSort);
+  EXPECT_EQ(Ctx.getSameOp(ItemSort), SameItem);
+  EXPECT_EQ(Ctx.op(SameItem).ResultSort, Ctx.boolSort());
+  EXPECT_EQ(Ctx.op(SameItem).Builtin, BuiltinOp::Same);
+}
+
+TEST_F(QueueContext, IntBuiltinsRegistered) {
+  OpId Add = Ctx.intOp(BuiltinOp::IntAdd);
+  EXPECT_EQ(Ctx.op(Add).ResultSort, Ctx.intSort());
+  OpId Le = Ctx.intOp(BuiltinOp::IntLe);
+  EXPECT_EQ(Ctx.op(Le).ResultSort, Ctx.boolSort());
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, PrintNullaryOp) {
+  EXPECT_EQ(printTerm(Ctx, Ctx.makeOp(NewOp, {})), "NEW");
+}
+
+TEST_F(QueueContext, PrintNestedTerm) {
+  TermId New = Ctx.makeOp(NewOp, {});
+  TermId Add = Ctx.makeOp(AddOp, {New, Ctx.makeAtom("x", ItemSort)});
+  EXPECT_EQ(printTerm(Ctx, Ctx.makeOp(FrontOp, {Add})), "FRONT(ADD(NEW, 'x))");
+}
+
+TEST_F(QueueContext, PrintErrorAndLiterals) {
+  EXPECT_EQ(printTerm(Ctx, Ctx.makeError(QueueSort)), "error");
+  EXPECT_EQ(printTerm(Ctx, Ctx.makeInt(42)), "42");
+  EXPECT_EQ(printTerm(Ctx, Ctx.trueTerm()), "true");
+}
+
+TEST_F(QueueContext, PrintIteAndSame) {
+  VarId Q = Ctx.addVar("q", QueueSort);
+  VarId I = Ctx.addVar("i", ItemSort);
+  TermId QT = Ctx.makeVar(Q);
+  TermId IT = Ctx.makeVar(I);
+  TermId Cond = Ctx.makeOp(IsEmptyOp, {QT});
+  TermId Ite = Ctx.makeIte(Cond, IT, Ctx.makeOp(FrontOp, {QT}));
+  EXPECT_EQ(printTerm(Ctx, Ite), "if IS_EMPTY(q) then i else FRONT(q)");
+
+  OpId Same = Ctx.getSameOp(ItemSort);
+  TermId SameT = Ctx.makeOp(Same, {IT, IT});
+  EXPECT_EQ(printTerm(Ctx, SameT), "SAME(i, i)");
+}
+
+TEST_F(QueueContext, PrintNestedIteParenthesized) {
+  VarId I = Ctx.addVar("i", ItemSort);
+  TermId IT = Ctx.makeVar(I);
+  TermId Inner = Ctx.makeIte(Ctx.trueTerm(), IT, IT);
+  TermId Outer = Ctx.makeIte(Ctx.falseTerm(), Inner, IT);
+  EXPECT_EQ(printTerm(Ctx, Outer),
+            "if false then (if true then i else i) else i");
+}
+
+//===----------------------------------------------------------------------===//
+// Spec objects
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, SpecBookkeeping) {
+  Spec S("Queue");
+  S.addDefinedSort(QueueSort);
+  S.addUsedSort(ItemSort);
+  for (OpId Op : {NewOp, AddOp, FrontOp, RemoveOp, IsEmptyOp})
+    S.addOperation(Op);
+
+  EXPECT_EQ(S.principalSort(), QueueSort);
+  EXPECT_EQ(S.constructorsOf(Ctx, QueueSort).size(), 2u);
+  std::vector<OpId> Defined = S.definedOps(Ctx);
+  ASSERT_EQ(Defined.size(), 3u);
+  EXPECT_EQ(Defined[0], FrontOp);
+}
+
+TEST_F(QueueContext, AxiomNumbering) {
+  Spec S("Queue");
+  TermId New = Ctx.makeOp(NewOp, {});
+  const Axiom &A1 = S.addAxiom(Ctx.makeOp(IsEmptyOp, {New}), Ctx.trueTerm());
+  EXPECT_EQ(A1.Number, 1u);
+  const Axiom &A2 =
+      S.addAxiom(Ctx.makeOp(FrontOp, {New}), Ctx.makeError(ItemSort));
+  EXPECT_EQ(A2.Number, 2u);
+  EXPECT_EQ(S.axioms().size(), 2u);
+}
+
+TEST_F(QueueContext, PrintAxiom) {
+  Spec S("Queue");
+  TermId New = Ctx.makeOp(NewOp, {});
+  const Axiom &A = S.addAxiom(Ctx.makeOp(IsEmptyOp, {New}), Ctx.trueTerm());
+  EXPECT_EQ(printAxiom(Ctx, A), "IS_EMPTY(NEW) = true");
+}
+
+//===----------------------------------------------------------------------===//
+// SpecPrinter on a programmatically built spec (no parser involved)
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueContext, PrintProgrammaticSpec) {
+  Spec S("Queue");
+  S.addDefinedSort(QueueSort);
+  S.addUsedSort(ItemSort);
+  for (OpId Op : {NewOp, AddOp, FrontOp})
+    S.addOperation(Op);
+  VarId Q = Ctx.addVar("q", QueueSort);
+  VarId I = Ctx.addVar("i", ItemSort);
+  S.addVariable(Q);
+  S.addVariable(I);
+  S.addAxiom(Ctx.makeOp(FrontOp, {Ctx.makeOp(AddOp, {Ctx.makeVar(Q),
+                                                     Ctx.makeVar(I)})}),
+             Ctx.makeVar(I));
+
+  std::string Text = printSpec(Ctx, S);
+  EXPECT_NE(Text.find("spec Queue"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("uses Item"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ADD : Queue, Item -> Queue"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("constructors NEW, ADD"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("FRONT(ADD(q, i)) = i"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("end"), std::string::npos) << Text;
+}

@@ -1,0 +1,624 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the BlockLang compiler front end: lexing, parsing, scope and
+/// type checking — and the interchangeability of the symbol-table
+/// backends, including the specification-interpreted one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/FlatSymbolTable.h"
+#include "adt/ListSymbolTable.h"
+#include "adt/SymbolTable.h"
+#include "blocklang/Interp.h"
+#include "blocklang/Lexer.h"
+#include "blocklang/Parser.h"
+#include "blocklang/ScopedTable.h"
+#include "blocklang/Sema.h"
+#include "support/SourceMgr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace algspec;
+using namespace algspec::blocklang;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(BlockLexerTest, TokensAndComments) {
+  SourceMgr SM("p.bl", "begin // comment\n  var x : int;\n  x := x + 1;\n"
+                       "end");
+  Lexer Lex(SM);
+  std::vector<TokKind> Kinds;
+  while (true) {
+    Tok T = Lex.next();
+    Kinds.push_back(T.Kind);
+    if (T.is(TokKind::Eof))
+      break;
+  }
+  std::vector<TokKind> Expected = {
+      TokKind::KwBegin, TokKind::KwVar,   TokKind::Ident, TokKind::Colon,
+      TokKind::KwInt,   TokKind::Semi,    TokKind::Ident, TokKind::Assign,
+      TokKind::Ident,   TokKind::Plus,    TokKind::IntLit, TokKind::Semi,
+      TokKind::KwEnd,   TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(BlockLexerTest, AssignVsColonVsEqEq) {
+  SourceMgr SM("p.bl", ": := = ==");
+  Lexer Lex(SM);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Colon);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Assign);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Unknown); // Bare '=' is not a token.
+  EXPECT_EQ(Lex.next().Kind, TokKind::EqEq);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+static Program parse(const std::string &Source, DiagnosticEngine &Diags,
+                     Dialect D = Dialect::Plain) {
+  SourceMgr SM("p.bl", Source);
+  return parseProgram(SM, Diags, D);
+}
+
+TEST(BlockParserTest, NestedBlocks) {
+  DiagnosticEngine Diags;
+  Program P = parse(R"(
+begin
+  var x : int;
+  begin
+    var y : bool;
+  end;
+  x := 1;
+end
+)",
+                    Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render();
+  ASSERT_NE(P.Top, nullptr);
+  ASSERT_EQ(P.Top->Body.size(), 3u);
+  EXPECT_EQ(P.Top->Body[0].K, Stmt::Kind::Decl);
+  EXPECT_EQ(P.Top->Body[1].K, Stmt::Kind::Nested);
+  EXPECT_EQ(P.Top->Body[2].K, Stmt::Kind::Assign);
+  EXPECT_EQ(P.Top->Body[1].Nested->Body.size(), 1u);
+}
+
+TEST(BlockParserTest, ExpressionsLeftAssociative) {
+  DiagnosticEngine Diags;
+  Program P = parse("begin var x : int; x := 1 + 2 + 3; end", Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render();
+  const Expr &E = *P.Top->Body[1].Value;
+  ASSERT_EQ(E.K, Expr::Kind::Binary);
+  EXPECT_EQ(E.Rhs->IntValue, 3);
+  ASSERT_EQ(E.Lhs->K, Expr::Kind::Binary);
+  EXPECT_EQ(E.Lhs->Lhs->IntValue, 1);
+}
+
+TEST(BlockParserTest, KnowsClauseParsedInKnowsDialect) {
+  DiagnosticEngine Diags;
+  Program P = parse("begin var g : int; begin knows g; g := 1; end; end",
+                    Diags, Dialect::Knows);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render();
+  const Block &Inner = *P.Top->Body[1].Nested;
+  EXPECT_TRUE(Inner.HasKnowsClause);
+  ASSERT_EQ(Inner.Knows.size(), 1u);
+  EXPECT_EQ(Inner.Knows[0], "g");
+}
+
+TEST(BlockParserTest, KnowsClauseRejectedInPlainDialect) {
+  DiagnosticEngine Diags;
+  parse("begin begin knows g; end; end", Diags, Dialect::Plain);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(BlockParserTest, SyntaxErrorsDiagnosed) {
+  DiagnosticEngine Diags;
+  parse("begin var ; end", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  parse("begin x := ; end", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+  DiagnosticEngine Diags3;
+  parse("begin", Diags3);
+  EXPECT_TRUE(Diags3.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Sema over every backend (typed tests prove interchangeability)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Factory per backend type so typed tests can instantiate uniformly.
+template <typename T> struct MakeTable {
+  static std::unique_ptr<ScopedTable> make() {
+    return std::make_unique<T>();
+  }
+};
+struct SpecBacked {
+  static std::unique_ptr<ScopedTable> make() {
+    auto Created = SpecScopedTable::create();
+    EXPECT_TRUE(static_cast<bool>(Created));
+    return Created ? std::move(*Created) : nullptr;
+  }
+};
+struct HashBacked
+    : MakeTable<ConcreteScopedTable<adt::SymbolTable<Type>>> {};
+struct ListBacked
+    : MakeTable<ConcreteScopedTable<adt::ListSymbolTable<Type>>> {};
+struct FlatBacked
+    : MakeTable<ConcreteScopedTable<adt::FlatSymbolTable<Type>>> {};
+
+template <typename Backend> class SemaOverBackend : public ::testing::Test {
+protected:
+  bool compileSource(const std::string &Source) {
+    std::unique_ptr<ScopedTable> Table = Backend::make();
+    if (!Table)
+      return false;
+    SourceMgr SM("p.bl", Source);
+    Diags.clear();
+    return compile(SM, *Table, Diags, Dialect::Plain, &Stats);
+  }
+
+  DiagnosticEngine Diags;
+  SemaStats Stats;
+};
+
+using Backends =
+    ::testing::Types<HashBacked, ListBacked, FlatBacked, SpecBacked>;
+TYPED_TEST_SUITE(SemaOverBackend, Backends);
+
+} // namespace
+
+TYPED_TEST(SemaOverBackend, WellFormedProgramAccepted) {
+  EXPECT_TRUE(this->compileSource(R"(
+begin
+  var x : int;
+  var flag : bool;
+  x := 3;
+  flag := x < 4;
+  begin
+    var x : bool;
+    x := flag;
+  end;
+  x := x + 1;
+end
+)")) << this->Diags.render();
+  EXPECT_EQ(this->Stats.Declarations, 3u);
+  EXPECT_EQ(this->Stats.BlocksEntered, 1u);
+}
+
+TYPED_TEST(SemaOverBackend, DuplicateDeclarationRejected) {
+  EXPECT_FALSE(this->compileSource(
+      "begin var x : int; var x : bool; end"));
+  std::string Out = this->Diags.render();
+  EXPECT_NE(Out.find("duplicate declaration of 'x'"), std::string::npos);
+}
+
+TYPED_TEST(SemaOverBackend, ShadowingInInnerBlockAllowed) {
+  EXPECT_TRUE(this->compileSource(
+      "begin var x : int; begin var x : bool; x := true; end; end"))
+      << this->Diags.render();
+}
+
+TYPED_TEST(SemaOverBackend, UndeclaredUseRejected) {
+  EXPECT_FALSE(this->compileSource("begin var x : int; x := y; end"));
+  EXPECT_NE(this->Diags.render().find("undeclared"), std::string::npos);
+}
+
+TYPED_TEST(SemaOverBackend, InnerDeclarationsExpireWithBlock) {
+  EXPECT_FALSE(this->compileSource(
+      "begin begin var t : int; t := 1; end; t := 2; end"));
+}
+
+TYPED_TEST(SemaOverBackend, TypeMismatchesRejected) {
+  EXPECT_FALSE(this->compileSource(
+      "begin var x : int; x := true; end"));
+  EXPECT_FALSE(this->compileSource(
+      "begin var b : bool; b := b + 1; end"));
+  EXPECT_FALSE(this->compileSource(
+      "begin var b : bool; var x : int; b := b == x; end"));
+}
+
+TYPED_TEST(SemaOverBackend, ShadowTypeChangesChecked) {
+  // Outer x : int, inner x : bool — the inner assignment must check
+  // against bool, the one after the block against int again.
+  EXPECT_TRUE(this->compileSource(R"(
+begin
+  var x : int;
+  begin
+    var x : bool;
+    x := true;
+  end;
+  x := 5;
+end
+)")) << this->Diags.render();
+  EXPECT_FALSE(this->compileSource(R"(
+begin
+  var x : int;
+  begin
+    var x : bool;
+    x := 1;
+  end;
+end
+)"));
+}
+
+//===----------------------------------------------------------------------===//
+// Knows dialect semantics end-to-end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Both knows-dialect backends: the concrete C++ table and the adapted
+/// specification interpreted symbolically — the paper's "only the
+/// ENTERBLOCK relations changed" claim, demonstrated at the backend
+/// boundary.
+struct ConcreteKnows {
+  static std::unique_ptr<ScopedTable> make() {
+    return std::make_unique<KnowsScopedTable>();
+  }
+};
+struct SpecKnows {
+  static std::unique_ptr<ScopedTable> make() {
+    auto Created = SpecKnowsScopedTable::create();
+    EXPECT_TRUE(static_cast<bool>(Created));
+    return Created ? std::move(*Created) : nullptr;
+  }
+};
+
+template <typename Backend> class KnowsDialect : public ::testing::Test {
+protected:
+  bool compileKnows(const std::string &Source, DiagnosticEngine &Diags) {
+    std::unique_ptr<ScopedTable> Table = Backend::make();
+    if (!Table)
+      return false;
+    SourceMgr SM("p.bl", Source);
+    return compile(SM, *Table, Diags, Dialect::Knows);
+  }
+};
+
+using KnowsBackends = ::testing::Types<ConcreteKnows, SpecKnows>;
+TYPED_TEST_SUITE(KnowsDialect, KnowsBackends);
+
+} // namespace
+
+TYPED_TEST(KnowsDialect, KnownGlobalVisible) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(this->compileKnows(R"(
+begin
+  var g : int;
+  begin knows g;
+    g := 4;
+  end;
+end
+)",
+                           Diags))
+      << Diags.render();
+}
+
+TYPED_TEST(KnowsDialect, UnknownGlobalInvisible) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(this->compileKnows(R"(
+begin
+  var g : int;
+  var h : int;
+  begin knows h;
+    g := 4;
+  end;
+end
+)",
+                            Diags));
+  EXPECT_NE(Diags.render().find("invisible"), std::string::npos);
+}
+
+TYPED_TEST(KnowsDialect, KnowsDoesNotLeakThroughNesting) {
+  // The middle block knows g, the inner one does not.
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(this->compileKnows(R"(
+begin
+  var g : int;
+  begin knows g;
+    begin
+      g := 1;
+    end;
+  end;
+end
+)",
+                            Diags));
+}
+
+TYPED_TEST(KnowsDialect, LocalsNeedNoKnows) {
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(this->compileKnows(R"(
+begin
+  begin
+    var l : bool;
+    l := true;
+  end;
+end
+)",
+                           Diags))
+      << Diags.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::map<std::string, RuntimeValue> runProgram(const std::string &Source) {
+  SourceMgr SM("p.bl", Source);
+  DiagnosticEngine Diags;
+  Program P = parseProgram(SM, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render(&SM);
+  ConcreteScopedTable<adt::SymbolTable<Type>> Table;
+  checkProgram(P, Table, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render(&SM);
+  auto Result = interpret(P);
+  EXPECT_TRUE(static_cast<bool>(Result)) << Result.error().message();
+  return Result ? *Result : std::map<std::string, RuntimeValue>();
+}
+
+} // namespace
+
+TEST(InterpTest, ArithmeticAndAssignment) {
+  auto Vars = runProgram(R"(
+begin
+  var x : int;
+  var y : int;
+  x := 1 + 2 + 3;
+  y := x + 10;
+end
+)");
+  EXPECT_EQ(Vars.at("x"), RuntimeValue::ofInt(6));
+  EXPECT_EQ(Vars.at("y"), RuntimeValue::ofInt(16));
+}
+
+TEST(InterpTest, ComparisonsYieldBools) {
+  auto Vars = runProgram(R"(
+begin
+  var a : bool;
+  var b : bool;
+  var c : bool;
+  a := 1 < 2;
+  b := 2 < 1;
+  c := a == b;
+end
+)");
+  EXPECT_EQ(Vars.at("a"), RuntimeValue::ofBool(true));
+  EXPECT_EQ(Vars.at("b"), RuntimeValue::ofBool(false));
+  EXPECT_EQ(Vars.at("c"), RuntimeValue::ofBool(false));
+}
+
+TEST(InterpTest, ShadowedVariableRestoredAfterBlock) {
+  auto Vars = runProgram(R"(
+begin
+  var x : int;
+  x := 1;
+  begin
+    var x : int;
+    x := 99;
+  end;
+  x := x + 1;
+end
+)");
+  EXPECT_EQ(Vars.at("x"), RuntimeValue::ofInt(2));
+}
+
+TEST(InterpTest, InnerBlockUpdatesOuterVariable) {
+  auto Vars = runProgram(R"(
+begin
+  var total : int;
+  begin
+    total := total + 40;
+    begin
+      total := total + 2;
+    end;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("total"), RuntimeValue::ofInt(42));
+}
+
+TEST(InterpTest, DeclarationsDefaultToZeroFalse) {
+  auto Vars = runProgram("begin var n : int; var f : bool; end");
+  EXPECT_EQ(Vars.at("n"), RuntimeValue::ofInt(0));
+  EXPECT_EQ(Vars.at("f"), RuntimeValue::ofBool(false));
+}
+
+TEST(InterpTest, InnerVariablesDoNotEscape) {
+  auto Vars = runProgram(R"(
+begin
+  var keep : int;
+  begin
+    var gone : int;
+    gone := 7;
+    keep := gone;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("keep"), RuntimeValue::ofInt(7));
+  EXPECT_EQ(Vars.count("gone"), 0u);
+}
+
+TEST(InterpTest, UncheckedBadProgramFailsGracefully) {
+  SourceMgr SM("p.bl", "begin x := 1; end");
+  DiagnosticEngine Diags;
+  Program P = parseProgram(SM, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  auto Result = interpret(P); // Skipped Sema on purpose.
+  ASSERT_FALSE(static_cast<bool>(Result));
+  EXPECT_NE(Result.error().message().find("not checked"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// if / while statements
+//===----------------------------------------------------------------------===//
+
+TEST(ControlFlowTest, IfThenElseParsesAndChecks) {
+  DiagnosticEngine Diags;
+  Program P = parse(R"(
+begin
+  var x : int;
+  if x < 1 then
+    x := 10;
+  else
+    x := 20;
+  end;
+end
+)",
+                    Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render();
+  const Stmt &If = P.Top->Body[1];
+  ASSERT_EQ(If.K, Stmt::Kind::If);
+  EXPECT_EQ(If.ThenBody.size(), 1u);
+  EXPECT_EQ(If.ElseBody.size(), 1u);
+}
+
+TEST(ControlFlowTest, NonBoolConditionRejected) {
+  DiagnosticEngine Diags;
+  Program P = parse("begin var x : int; if x + 1 then x := 1; end; end",
+                    Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ConcreteScopedTable<adt::SymbolTable<Type>> Table;
+  checkProgram(P, Table, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.render().find("bool condition"), std::string::npos);
+}
+
+TEST(ControlFlowTest, DeclarationInsideIfBodyRejected) {
+  DiagnosticEngine Diags;
+  Program P = parse(
+      "begin var b : bool; if b then var x : int; end; end", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ConcreteScopedTable<adt::SymbolTable<Type>> Table;
+  checkProgram(P, Table, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.render().find("only allowed directly in a block"),
+            std::string::npos);
+}
+
+TEST(ControlFlowTest, NestedBlockInsideIfOpensScope) {
+  // Declarations are fine inside an if body when wrapped in a block.
+  auto Vars = runProgram(R"(
+begin
+  var b : bool;
+  var keep : int;
+  b := true;
+  if b then
+    begin
+      var t : int;
+      t := 5;
+      keep := t;
+    end;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("keep"), RuntimeValue::ofInt(5));
+}
+
+TEST(ControlFlowTest, IfTakesCorrectBranch) {
+  auto Vars = runProgram(R"(
+begin
+  var x : int;
+  var y : int;
+  if x == 0 then
+    y := 1;
+  else
+    y := 2;
+  end;
+  if 0 < x then
+    x := 100;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("y"), RuntimeValue::ofInt(1));
+  EXPECT_EQ(Vars.at("x"), RuntimeValue::ofInt(0));
+}
+
+TEST(ControlFlowTest, WhileComputesTriangularNumber) {
+  auto Vars = runProgram(R"(
+begin
+  var i : int;
+  var sum : int;
+  while i < 10 do
+    i := i + 1;
+    sum := sum + i;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("sum"), RuntimeValue::ofInt(55));
+  EXPECT_EQ(Vars.at("i"), RuntimeValue::ofInt(10));
+}
+
+TEST(ControlFlowTest, NestedWhileFibonacci) {
+  auto Vars = runProgram(R"(
+begin
+  var a : int;
+  var b : int;
+  var t : int;
+  var n : int;
+  b := 1;
+  while n < 10 do
+    t := a + b;
+    a := b;
+    b := t;
+    n := n + 1;
+  end;
+end
+)");
+  EXPECT_EQ(Vars.at("a"), RuntimeValue::ofInt(55)); // fib(10)
+}
+
+TEST(ControlFlowTest, RunawayLoopIsCapped) {
+  SourceMgr SM("p.bl", R"(
+begin
+  var b : bool;
+  b := true;
+  while b do
+    b := true;
+  end;
+end
+)");
+  DiagnosticEngine Diags;
+  Program P = parseProgram(SM, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  auto Result = interpret(P);
+  ASSERT_FALSE(static_cast<bool>(Result));
+  EXPECT_NE(Result.error().message().find("iteration limit"),
+            std::string::npos);
+}
+
+TEST(ControlFlowTest, WhileLookupsGoThroughSymbolTable) {
+  // Sema statistics must count the lookups inside statement bodies.
+  SourceMgr SM("p.bl", R"(
+begin
+  var i : int;
+  while i < 3 do
+    i := i + 1;
+  end;
+end
+)");
+  DiagnosticEngine Diags;
+  ConcreteScopedTable<adt::SymbolTable<Type>> Table;
+  SemaStats Stats;
+  ASSERT_TRUE(compile(SM, Table, Diags, Dialect::Plain, &Stats));
+  EXPECT_GE(Stats.Lookups, 3u); // Condition + both sides of the assign.
+}
+
+TEST(BlockLexerTest, HugeIntegerLiteralIsRejectedNotCrash) {
+  SourceMgr SM("p.bl", "99999999999999999999999999");
+  Lexer Lex(SM);
+  EXPECT_EQ(Lex.next().Kind, TokKind::Unknown);
+}

@@ -1,0 +1,637 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the term enumerator, unification, the sufficient-
+/// completeness checker (paper section 3), and the consistency checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/Completeness.h"
+#include "check/Consistency.h"
+#include "check/TermEnumerator.h"
+#include "check/Unify.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Term enumerator
+//===----------------------------------------------------------------------===//
+
+namespace {
+class EnumeratorTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Q = Loaded.take();
+  }
+  AlgebraContext Ctx;
+  Spec Q;
+};
+} // namespace
+
+TEST_F(EnumeratorTest, AtomUniverse) {
+  TermEnumerator Enum(Ctx);
+  SortId Item = Ctx.lookupSort("Item");
+  const auto &Atoms = Enum.enumerate(Item, 1);
+  ASSERT_EQ(Atoms.size(), 2u); // Default universe of two atoms.
+  EXPECT_EQ(printTerm(Ctx, Atoms[0]), "'item1");
+  EXPECT_EQ(printTerm(Ctx, Atoms[1]), "'item2");
+}
+
+TEST_F(EnumeratorTest, BoolSort) {
+  TermEnumerator Enum(Ctx);
+  const auto &Bools = Enum.enumerate(Ctx.boolSort(), 1);
+  ASSERT_EQ(Bools.size(), 2u);
+}
+
+TEST_F(EnumeratorTest, IntValuesConfigurable) {
+  EnumeratorOptions Opts;
+  Opts.IntValues = {7, 8};
+  TermEnumerator Enum(Ctx, Opts);
+  const auto &Ints = Enum.enumerate(Ctx.intSort(), 3);
+  ASSERT_EQ(Ints.size(), 2u);
+  EXPECT_EQ(Ctx.node(Ints[0]).IntValue, 7);
+}
+
+TEST_F(EnumeratorTest, QueueCountsByDepth) {
+  TermEnumerator Enum(Ctx);
+  SortId Queue = Ctx.lookupSort("Queue");
+  // Depth 1: NEW. Depth 2: NEW + ADD(NEW, i) for 2 atoms = 3.
+  // Depth 3: 1 + 2*3 = 7.
+  EXPECT_EQ(Enum.enumerate(Queue, 1).size(), 1u);
+  EXPECT_EQ(Enum.enumerate(Queue, 2).size(), 3u);
+  EXPECT_EQ(Enum.enumerate(Queue, 3).size(), 7u);
+  EXPECT_EQ(Enum.enumerate(Queue, 4).size(), 15u);
+}
+
+TEST_F(EnumeratorTest, AllEnumeratedTermsAreGroundAndWellSorted) {
+  TermEnumerator Enum(Ctx);
+  SortId Queue = Ctx.lookupSort("Queue");
+  for (TermId Term : Enum.enumerate(Queue, 4)) {
+    EXPECT_TRUE(Ctx.isGround(Term));
+    EXPECT_EQ(Ctx.sortOf(Term), Queue);
+    EXPECT_LE(Ctx.depth(Term), 4u);
+  }
+}
+
+TEST_F(EnumeratorTest, DepthZeroIsEmpty) {
+  TermEnumerator Enum(Ctx);
+  EXPECT_TRUE(Enum.enumerate(Ctx.lookupSort("Queue"), 0).empty());
+}
+
+TEST_F(EnumeratorTest, TruncationReported) {
+  EnumeratorOptions Opts;
+  Opts.MaxTermsPerSort = 5;
+  TermEnumerator Enum(Ctx, Opts);
+  SortId Queue = Ctx.lookupSort("Queue");
+  EXPECT_EQ(Enum.enumerate(Queue, 4).size(), 5u);
+  EXPECT_TRUE(Enum.wasTruncated(Queue, 4));
+  EXPECT_FALSE(Enum.wasTruncated(Queue, 1));
+}
+
+TEST_F(EnumeratorTest, SampleReturnsMember) {
+  TermEnumerator Enum(Ctx);
+  SortId Queue = Ctx.lookupSort("Queue");
+  std::mt19937_64 Rng(42);
+  const auto &All = Enum.enumerate(Queue, 3);
+  for (int I = 0; I < 20; ++I) {
+    TermId Term = Enum.sample(Queue, 3, Rng);
+    EXPECT_NE(std::find(All.begin(), All.end(), Term), All.end());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Unification
+//===----------------------------------------------------------------------===//
+
+namespace {
+class UnifyTest : public EnumeratorTest {};
+} // namespace
+
+TEST_F(UnifyTest, UnifiesVarWithTerm) {
+  SortId Queue = Ctx.lookupSort("Queue");
+  VarId Q1 = Ctx.addVar("u1", Queue);
+  auto New = parseTermText(Ctx, "ADD(NEW, 'a)");
+  ASSERT_TRUE(static_cast<bool>(New));
+  auto Mgu = unifyTerms(Ctx, Ctx.makeVar(Q1), *New);
+  ASSERT_TRUE(Mgu.has_value());
+  EXPECT_EQ(*Mgu->lookup(Q1), *New);
+}
+
+TEST_F(UnifyTest, UnifiesTwoOpenTerms) {
+  // REMOVE(ADD(q, i)) vs REMOVE(ADD(NEW, j)) => q -> NEW, i == j.
+  SortId Queue = Ctx.lookupSort("Queue");
+  SortId Item = Ctx.lookupSort("Item");
+  OpId Add = Ctx.lookupOp("ADD");
+  OpId Remove = Ctx.lookupOp("REMOVE");
+  OpId New = Ctx.lookupOp("NEW");
+  VarId Q = Ctx.addVar("uq", Queue);
+  VarId I = Ctx.addVar("ui", Item);
+  VarId J = Ctx.addVar("uj", Item);
+
+  TermId A = Ctx.makeOp(
+      Remove, {Ctx.makeOp(Add, {Ctx.makeVar(Q), Ctx.makeVar(I)})});
+  TermId B = Ctx.makeOp(
+      Remove, {Ctx.makeOp(Add, {Ctx.makeOp(New, {}), Ctx.makeVar(J)})});
+  auto Mgu = unifyTerms(Ctx, A, B);
+  ASSERT_TRUE(Mgu.has_value());
+  EXPECT_EQ(applySubstitution(Ctx, A, *Mgu),
+            applySubstitution(Ctx, B, *Mgu));
+}
+
+TEST_F(UnifyTest, OccursCheckFails) {
+  SortId Queue = Ctx.lookupSort("Queue");
+  SortId Item = Ctx.lookupSort("Item");
+  OpId Add = Ctx.lookupOp("ADD");
+  VarId Q = Ctx.addVar("oq", Queue);
+  TermId QT = Ctx.makeVar(Q);
+  TermId Bigger = Ctx.makeOp(Add, {QT, Ctx.makeAtom("a", Item)});
+  EXPECT_FALSE(unifyTerms(Ctx, QT, Bigger).has_value());
+}
+
+TEST_F(UnifyTest, ClashFails) {
+  auto A = parseTermText(Ctx, "FRONT(NEW)");
+  auto B = parseTermText(Ctx, "FRONT(ADD(NEW, 'a))");
+  ASSERT_TRUE(static_cast<bool>(A) && static_cast<bool>(B));
+  EXPECT_FALSE(unifyTerms(Ctx, *A, *B).has_value());
+}
+
+TEST_F(UnifyTest, RenameRuleApartKeepsSharing) {
+  SortId Queue = Ctx.lookupSort("Queue");
+  VarId Q = Ctx.addVar("rq", Queue);
+  OpId Remove = Ctx.lookupOp("REMOVE");
+  TermId Lhs = Ctx.makeOp(Remove, {Ctx.makeVar(Q)});
+  TermId Rhs = Ctx.makeVar(Q);
+  auto [NewLhs, NewRhs] = renameRuleApart(Ctx, Lhs, Rhs);
+  EXPECT_NE(NewLhs, Lhs);
+  // The fresh variable is shared between both sides.
+  EXPECT_EQ(Ctx.children(NewLhs)[0], NewRhs);
+  EXPECT_NE(NewRhs, Rhs);
+}
+
+//===----------------------------------------------------------------------===//
+// Sufficient completeness: the paper's specs are complete
+//===----------------------------------------------------------------------===//
+
+TEST(CompletenessTest, QueueIsSufficientlyComplete) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  CompletenessReport Report = checkCompleteness(Ctx, *Q);
+  EXPECT_TRUE(Report.SufficientlyComplete) << Report.renderPrompt(Ctx);
+  EXPECT_TRUE(Report.Caveats.empty());
+}
+
+TEST(CompletenessTest, SymboltableIsSufficientlyComplete) {
+  AlgebraContext Ctx;
+  auto S = specs::loadSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(S));
+  CompletenessReport Report = checkCompleteness(Ctx, *S);
+  EXPECT_TRUE(Report.SufficientlyComplete) << Report.renderPrompt(Ctx);
+}
+
+TEST(CompletenessTest, StackAndArrayAreSufficientlyComplete) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadStackArray(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  for (const Spec &S : *Parsed) {
+    CompletenessReport Report = checkCompleteness(Ctx, S);
+    EXPECT_TRUE(Report.SufficientlyComplete)
+        << S.name() << ": " << Report.renderPrompt(Ctx);
+  }
+}
+
+TEST(CompletenessTest, KnowsSymboltableIsSufficientlyComplete) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadKnowsSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  for (const Spec &S : *Parsed) {
+    CompletenessReport Report = checkCompleteness(Ctx, S);
+    EXPECT_TRUE(Report.SufficientlyComplete)
+        << S.name() << ": " << Report.renderPrompt(Ctx);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sufficient completeness: missing boundary cases are prompted
+// (paper: "Boundary conditions, e.g. REMOVE(NEW), are particularly
+// likely to be overlooked.")
+//===----------------------------------------------------------------------===//
+
+static const char *IncompleteQueueText = R"(
+spec Queue
+  uses Item
+  sorts Queue
+  ops
+    NEW       : -> Queue
+    ADD       : Queue, Item -> Queue
+    FRONT     : Queue -> Item
+    REMOVE    : Queue -> Queue
+    IS_EMPTY? : Queue -> Bool
+  constructors NEW, ADD
+  vars
+    q : Queue
+    i : Item
+  axioms
+    IS_EMPTY?(NEW) = true
+    IS_EMPTY?(ADD(q, i)) = false
+    FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+    REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+)";
+
+TEST(CompletenessTest, MissingBoundaryCasesPrompted) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, IncompleteQueueText);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompleteness(Ctx, (*Parsed)[0]);
+  ASSERT_FALSE(Report.SufficientlyComplete);
+  ASSERT_EQ(Report.Missing.size(), 2u);
+
+  std::string Prompt = Report.renderPrompt(Ctx);
+  EXPECT_NE(Prompt.find("FRONT(NEW) = ?"), std::string::npos) << Prompt;
+  EXPECT_NE(Prompt.find("REMOVE(NEW) = ?"), std::string::npos) << Prompt;
+}
+
+TEST(CompletenessTest, MissingNestedCaseFound) {
+  // Coverage must recurse into nested constructor patterns: F covers
+  // ADD(NEW, i) but not ADD(ADD(q, i), j).
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Q
+  uses Item
+  sorts Q
+  ops
+    NEW : -> Q
+    ADD : Q, Item -> Q
+    F : Q -> Bool
+  constructors NEW, ADD
+  vars q : Q   i : Item
+  axioms
+    F(NEW) = true
+    F(ADD(NEW, i)) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompleteness(Ctx, (*Parsed)[0]);
+  ASSERT_FALSE(Report.SufficientlyComplete);
+  ASSERT_EQ(Report.Missing.size(), 1u);
+  EXPECT_EQ(printTerm(Ctx, Report.Missing[0].SuggestedLhs),
+            "F(ADD(ADD(q, item), item))");
+}
+
+TEST(CompletenessTest, AtomLiteralPatternsNeedCatchAll) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec P
+  uses Identifier
+  sorts P
+  ops
+    MK : -> P
+    CLASSIFY : P, Identifier -> Bool
+  constructors MK
+  vars p : P
+  axioms
+    CLASSIFY(p, 'reserved) = true
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompleteness(Ctx, (*Parsed)[0]);
+  ASSERT_FALSE(Report.SufficientlyComplete);
+  ASSERT_EQ(Report.Missing.size(), 1u);
+  // The witness atom position is a wildcard ("any other identifier").
+  EXPECT_EQ(printTerm(Ctx, Report.Missing[0].SuggestedLhs),
+            "CLASSIFY(p, identifier)");
+}
+
+TEST(CompletenessTest, BoolArgumentCoverage) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec B
+  sorts B
+  ops
+    MK : -> B
+    G : Bool -> B
+  constructors MK
+  axioms
+    G(true) = MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompleteness(Ctx, (*Parsed)[0]);
+  ASSERT_FALSE(Report.SufficientlyComplete);
+  EXPECT_EQ(printTerm(Ctx, Report.Missing[0].SuggestedLhs), "G(false)");
+}
+
+TEST(CompletenessTest, NonConstructorPatternIsCaveat) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Q
+  uses Item
+  sorts Q
+  ops
+    NEW : -> Q
+    ADD : Q, Item -> Q
+    R : Q -> Q
+    F : Q -> Q
+  constructors NEW, ADD
+  vars q : Q   i : Item
+  axioms
+    R(NEW) = NEW
+    R(ADD(q, i)) = q
+    F(R(q)) = NEW
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompleteness(Ctx, (*Parsed)[0]);
+  EXPECT_FALSE(Report.Caveats.empty());
+  // F's only axiom was unusable, so F is reported uncovered.
+  EXPECT_FALSE(Report.SufficientlyComplete);
+}
+
+TEST(CompletenessTest, DynamicCheckAgreesOnQueue) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  CompletenessReport Report =
+      checkCompletenessDynamic(Ctx, *Q, {&*Q}, /*MaxDepth=*/4);
+  EXPECT_TRUE(Report.SufficientlyComplete) << Report.renderPrompt(Ctx);
+}
+
+TEST(CompletenessTest, DynamicCheckFindsStuckBoundary) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, IncompleteQueueText);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  CompletenessReport Report = checkCompletenessDynamic(
+      Ctx, (*Parsed)[0], {&(*Parsed)[0]}, /*MaxDepth=*/3);
+  ASSERT_FALSE(Report.SufficientlyComplete);
+  // FRONT(NEW) and REMOVE(NEW) are stuck, and so is every deeper term
+  // whose recursion bottoms out there.
+  bool SawFrontNew = false;
+  for (const MissingCase &Case : Report.Missing)
+    if (printTerm(Ctx, Case.SuggestedLhs) == "FRONT(NEW)")
+      SawFrontNew = true;
+  EXPECT_TRUE(SawFrontNew);
+}
+
+TEST(CompletenessTest, DynamicCheckSeesCrossOpIncompleteness) {
+  // G is covered pattern-wise but its RHS calls uncovered F: only the
+  // dynamic check can see this.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Q
+  sorts Q
+  ops
+    A : -> Q
+    B : -> Q
+    F : Q -> Q
+    G : Q -> Q
+  constructors A, B
+  vars x : Q
+  axioms
+    F(A) = A
+    G(x) = F(x)
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  const Spec &S = (*Parsed)[0];
+  // Static check: F is incomplete, G is fine.
+  CompletenessReport Static = checkCompleteness(Ctx, S);
+  ASSERT_EQ(Static.Missing.size(), 1u);
+  EXPECT_EQ(Static.Missing[0].Op, Ctx.lookupOp("F"));
+  // Dynamic check: both F(B) and G(B) get stuck.
+  CompletenessReport Dynamic =
+      checkCompletenessDynamic(Ctx, S, {&S}, /*MaxDepth=*/1);
+  bool SawG = false;
+  for (const MissingCase &Case : Dynamic.Missing)
+    if (Case.Op == Ctx.lookupOp("G"))
+      SawG = true;
+  EXPECT_TRUE(SawG);
+}
+
+//===----------------------------------------------------------------------===//
+// Consistency
+//===----------------------------------------------------------------------===//
+
+TEST(ConsistencyTest, PaperSpecsAreConsistent) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  auto S = specs::loadSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q) && static_cast<bool>(S));
+  ConsistencyReport Report = checkConsistency(Ctx, {&*Q, &*S});
+  EXPECT_TRUE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, StackArrayConsistent) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadStackArray(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ConsistencyReport Report =
+      checkConsistency(Ctx, {&(*Parsed)[0], &(*Parsed)[1]});
+  EXPECT_TRUE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, DirectContradictionFound) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    F : C -> Bool
+  constructors MK
+  vars x : C
+  axioms
+    F(x) = true
+    F(MK) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(Report.Consistent);
+  ASSERT_EQ(Report.Contradictions.size(), 1u);
+  const Contradiction &C = Report.Contradictions[0];
+  EXPECT_EQ(C.AxiomA, 1u);
+  EXPECT_EQ(C.AxiomB, 2u);
+  EXPECT_EQ(printTerm(Ctx, C.Overlap), "F(MK)");
+}
+
+TEST(ConsistencyTest, OverlapRequiringUnification) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  uses Item
+  sorts C
+  ops
+    NIL : -> C
+    CONS : C, Item -> C
+    LAST : C -> Item
+  constructors NIL, CONS
+  vars c : C   i, j : Item
+  axioms
+    LAST(CONS(c, i)) = i
+    LAST(CONS(CONS(c, i), j)) = LAST(CONS(c, i))
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  // The two LHSs unify on CONS(CONS(c, i), j); rule 1 returns j, rule 2
+  // returns i — a real contradiction (for i != j).
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, GroundOnlyDivergenceFound) {
+  // The critical pair joins symbolically only if SAME stays undecided;
+  // on concrete distinct atoms the two axioms disagree.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  uses Identifier
+  sorts C
+  ops
+    MK : Identifier -> C
+    F : C, Identifier -> Bool
+  constructors MK
+  vars x, y : Identifier
+  axioms
+    F(MK(x), y) = SAME(x, y)
+    F(MK(x), x) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, DuplicateAxiomIsNotContradiction) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    F : C -> C
+  constructors MK
+  vars x : C
+  axioms
+    F(x) = MK
+    F(MK) = MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  EXPECT_TRUE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, RenderMentionsAxiomNumbers) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    F : C -> Bool
+  constructors MK
+  vars x : C
+  axioms
+    F(x) = true
+    F(MK) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  std::string Text = Report.render(Ctx);
+  EXPECT_NE(Text.find("axioms 1 of 'C' and 2 of 'C'"), std::string::npos)
+      << Text;
+}
+
+TEST(ConsistencyTest, NestedCriticalPairFound) {
+  // The overlap is *inside* a left-hand side: F(G(x)) rewrites at the
+  // root to true, but its subterm G(MK) rewrites to MK, giving F(MK) =
+  // false. Only full (Knuth-Bendix) critical pairs, not root overlaps
+  // of same-head rules, can see this.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    G  : C -> C
+    F  : C -> Bool
+  constructors MK
+  vars x : C
+  axioms
+    G(MK) = MK
+    F(G(x)) = true
+    F(MK) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(Report.Consistent) << Report.render(Ctx);
+  bool SawNested = false;
+  for (const Contradiction &C : Report.Contradictions)
+    if (printTerm(Ctx, C.Overlap) == "F(G(MK))")
+      SawNested = true;
+  EXPECT_TRUE(SawNested) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, SelfOverlapAtProperPosition) {
+  // One rule overlapping itself below the root: D(D(x)) = x. The peak
+  // D(D(D(x))) reduces to both D(x) (root) and D(x) (inner) — joinable,
+  // so no contradiction; the checker must consider and discharge it.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    D  : C -> C
+  constructors MK, D
+  vars x : C
+  axioms
+    D(D(x)) = x
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  EXPECT_TRUE(Report.Consistent) << Report.render(Ctx);
+}
+
+TEST(ConsistencyTest, NonJoinableSelfOverlap) {
+  // H(H(x)) = MK overlapping itself: the peak H(H(H(x)))
+  // reduces to MK at the root and to H(MK) via the inner redex —
+  // genuinely contradictory (take x = MK: H(H(H(MK))) equals both).
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec C
+  sorts C
+  ops
+    MK : -> C
+    H  : C -> C
+  constructors MK, H
+  vars x : C
+  axioms
+    H(H(x)) = MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  ConsistencyReport Report = checkConsistency(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(Report.Consistent) << Report.render(Ctx);
+  // Self-overlap: both axiom numbers are 1.
+  EXPECT_EQ(Report.Contradictions[0].AxiomA, 1u);
+  EXPECT_EQ(Report.Contradictions[0].AxiomB, 1u);
+}

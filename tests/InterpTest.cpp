@@ -1,0 +1,189 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the symbolic interpreter (Session), including the
+/// paper's section-4 program-segment notation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "interp/Session.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+class QueueSession : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Q = Loaded.take();
+    auto Created = Session::create(Ctx, {&Q});
+    ASSERT_TRUE(static_cast<bool>(Created)) << Created.error().message();
+    S = std::make_unique<Session>(Created.take());
+  }
+
+  AlgebraContext Ctx;
+  Spec Q;
+  std::unique_ptr<Session> S;
+};
+} // namespace
+
+TEST_F(QueueSession, AssignAndEval) {
+  ASSERT_TRUE(static_cast<bool>(S->run("x := NEW")));
+  ASSERT_TRUE(static_cast<bool>(S->run("x := ADD(x, 'a)")));
+  ASSERT_TRUE(static_cast<bool>(S->run("x := ADD(x, 'b)")));
+  auto Front = S->eval("FRONT(x)");
+  ASSERT_TRUE(static_cast<bool>(Front)) << Front.error().message();
+  EXPECT_EQ(printTerm(Ctx, *Front), "'a");
+}
+
+TEST_F(QueueSession, RegistersHoldNormalForms) {
+  ASSERT_TRUE(static_cast<bool>(S->run("x := REMOVE(ADD(ADD(NEW, 'a), 'b))")));
+  TermId Val = S->lookup("x");
+  ASSERT_TRUE(Val.isValid());
+  EXPECT_EQ(printTerm(Ctx, Val), "ADD(NEW, 'b)");
+}
+
+TEST_F(QueueSession, PaperStyleProgram) {
+  // The program segment style of paper section 4.
+  auto R = S->runProgram(R"(
+    x := NEW
+    x := ADD(x, 'A)
+    x := ADD(x, 'B)
+    x := ADD(x, 'C)
+    x := REMOVE(x)
+    x := ADD(x, 'D)
+  )");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+  auto Front = S->eval("FRONT(x)");
+  ASSERT_TRUE(static_cast<bool>(Front));
+  EXPECT_EQ(printTerm(Ctx, *Front), "'B");
+  EXPECT_EQ(printTerm(Ctx, S->lookup("x")),
+            "ADD(ADD(ADD(NEW, 'B), 'C), 'D)");
+}
+
+TEST_F(QueueSession, SemicolonSeparatedProgram) {
+  auto R = S->runProgram("x := NEW; x := ADD(x, 'a); y := FRONT(x)");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+  EXPECT_EQ(printTerm(Ctx, S->lookup("y")), "'a");
+}
+
+TEST_F(QueueSession, CommentsInPrograms) {
+  auto R = S->runProgram("-- build a queue\nx := NEW\n-- add one\n"
+                         "x := ADD(x, 'a)");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+  EXPECT_TRUE(S->lookup("x").isValid());
+}
+
+TEST_F(QueueSession, ErrorValuesAreFirstClass) {
+  ASSERT_TRUE(static_cast<bool>(S->run("x := NEW")));
+  ASSERT_TRUE(static_cast<bool>(S->run("x := REMOVE(x)")));
+  TermId Val = S->lookup("x");
+  EXPECT_TRUE(Ctx.isError(Val));
+  // Further operations keep yielding error.
+  auto Front = S->eval("FRONT(x)");
+  ASSERT_TRUE(static_cast<bool>(Front));
+  EXPECT_TRUE(Ctx.isError(*Front));
+}
+
+TEST_F(QueueSession, RegisterSortIsStable) {
+  ASSERT_TRUE(static_cast<bool>(S->run("x := NEW")));
+  auto R = S->run("x := FRONT(ADD(NEW, 'a))"); // Item, not Queue.
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("holds sort"), std::string::npos);
+}
+
+TEST_F(QueueSession, UnknownRegisterIsError) {
+  auto R = S->eval("FRONT(nope)");
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+TEST_F(QueueSession, BadStatementReportsError) {
+  auto R = S->run(" := NEW");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.error().message().find("register name"), std::string::npos);
+}
+
+TEST_F(QueueSession, BareTermStatementEvaluates) {
+  ASSERT_TRUE(static_cast<bool>(S->run("x := ADD(NEW, 'a)")));
+  // A bare term is evaluated for effect-free observation.
+  EXPECT_TRUE(static_cast<bool>(S->run("FRONT(x)")));
+}
+
+TEST_F(QueueSession, AssignPrebuiltValue) {
+  SortId Item = Ctx.lookupSort("Item");
+  ASSERT_TRUE(static_cast<bool>(S->assign("i", Ctx.makeAtom("z", Item))));
+  auto R = S->eval("ADD(NEW, i)");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(printTerm(Ctx, *R), "ADD(NEW, 'z)");
+}
+
+TEST(SessionTest, SymboltableScenario) {
+  // A compiler-shaped session against the bare Symboltable spec: the
+  // paper's claim that the lack of an implementation is transparent.
+  AlgebraContext Ctx;
+  auto Loaded = specs::loadSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Loaded));
+  Spec S = Loaded.take();
+  auto Created = Session::create(Ctx, {&S});
+  ASSERT_TRUE(static_cast<bool>(Created));
+  Session Sess = Created.take();
+
+  auto R = Sess.runProgram(R"(
+    t := INIT
+    t := ENTERBLOCK(t)
+    t := ADD(t, 'x, 'int)
+    t := ENTERBLOCK(t)
+    t := ADD(t, 'x, 'bool)
+  )");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+
+  auto Inner = Sess.eval("RETRIEVE(t, 'x)");
+  ASSERT_TRUE(static_cast<bool>(Inner));
+  EXPECT_EQ(printTerm(Ctx, *Inner), "'bool");
+
+  ASSERT_TRUE(static_cast<bool>(Sess.run("t := LEAVEBLOCK(t)")));
+  auto Outer = Sess.eval("RETRIEVE(t, 'x)");
+  ASSERT_TRUE(static_cast<bool>(Outer));
+  EXPECT_EQ(printTerm(Ctx, *Outer), "'int");
+
+  auto InBlock = Sess.eval("IS_INBLOCK?(t, 'x)");
+  ASSERT_TRUE(static_cast<bool>(InBlock));
+  EXPECT_EQ(*InBlock, Ctx.trueTerm());
+}
+
+TEST(SessionTest, CreateFailsOnUnorientableAxioms) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Bad
+  sorts B
+  ops
+    MK : -> B
+    F : B -> B
+  constructors MK
+  vars x, y : B
+  axioms
+    F(x) = y
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  auto Created = Session::create(Ctx, {&(*Parsed)[0]});
+  EXPECT_FALSE(static_cast<bool>(Created));
+}
+
+TEST_F(QueueSession, CommentWithSemicolonDoesNotSplit) {
+  auto R = S->runProgram(
+      "x := NEW -- comment; with a semicolon\nx := ADD(x, 'a)");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+  EXPECT_EQ(printTerm(Ctx, S->lookup("x")), "ADD(NEW, 'a)");
+}

@@ -1,0 +1,558 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-based testing (paper section 5): every concrete ADT is run
+/// against the axioms of its algebraic specification. A deliberately
+/// broken implementation shows the tester catching real bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/HashArray.h"
+#include "adt/KnowsList.h"
+#include "adt/KnowsSymbolTable.h"
+#include "adt/PriorityQueue.h"
+#include "adt/Queue.h"
+#include "adt/Stack.h"
+#include "adt/Table.h"
+#include "adt/SymbolTable.h"
+#include "ast/AlgebraContext.h"
+#include "model/ModelBinding.h"
+#include "model/ModelTester.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace algspec;
+
+using QueueV = adt::Queue<std::string>;
+using ArrayV = adt::HashArray<std::string>;
+using StackV = adt::Stack<ArrayV>;
+using TableV = adt::SymbolTable<std::string>;
+using KTableV = adt::KnowsSymbolTable<std::string>;
+
+//===----------------------------------------------------------------------===//
+// Queue<T> against the Queue spec (axioms 1-6)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Installs the Queue<std::string> bindings used by several tests.
+/// \p BuggyRemove switches in an implementation that removes the *newest*
+/// element (a LIFO bug the axioms must catch).
+void bindQueue(ModelBinding &B, AlgebraContext &Ctx, bool BuggyRemove) {
+  SortId QueueSort = Ctx.lookupSort("Queue");
+
+  B.bindOp("NEW", [](std::span<const Value>) {
+    return Value::of(QueueV());
+  });
+  B.bindOp("ADD", [](std::span<const Value> Args) {
+    QueueV Q = Args[0].get<QueueV>();
+    Q.add(Args[1].get<std::string>());
+    return Value::of(std::move(Q));
+  });
+  B.bindOp("FRONT", [](std::span<const Value> Args) {
+    std::optional<std::string> Front = Args[0].get<QueueV>().front();
+    return Front ? Value::of(*Front) : Value::error();
+  });
+  B.bindOp("REMOVE", [BuggyRemove](std::span<const Value> Args) {
+    QueueV Q = Args[0].get<QueueV>();
+    if (Q.isEmpty())
+      return Value::error();
+    if (!BuggyRemove) {
+      Q.remove();
+      return Value::of(std::move(Q));
+    }
+    // Buggy variant: drop the most recently added element instead.
+    QueueV Rebuilt;
+    while (Q.size() > 1) {
+      Rebuilt.add(*Q.front());
+      Q.remove();
+    }
+    return Value::of(std::move(Rebuilt));
+  });
+  B.bindOp("IS_EMPTY?", [](std::span<const Value> Args) {
+    return Value::of(Args[0].get<QueueV>().isEmpty());
+  });
+  B.bindEquals(QueueSort, [](const Value &A, const Value &B2) {
+    return A.get<QueueV>() == B2.get<QueueV>();
+  });
+}
+
+} // namespace
+
+TEST(ModelQueueTest, RealImplementationSatisfiesAllAxioms) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx);
+  bindQueue(B, Ctx, /*BuggyRemove=*/false);
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 5; // Queues of up to 4 elements, both atoms each.
+  ModelTestReport Report = testModel(Ctx, *Q, B, Options);
+  EXPECT_TRUE(Report.AllPassed) << Report.render();
+  ASSERT_EQ(Report.Results.size(), 6u);
+  for (const AxiomTestResult &R : Report.Results)
+    EXPECT_GT(R.InstancesChecked, 0u);
+}
+
+TEST(ModelQueueTest, LifoBugCaughtByAxiom6) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx);
+  bindQueue(B, Ctx, /*BuggyRemove=*/true);
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 4;
+  ModelTestReport Report = testModel(Ctx, *Q, B, Options);
+  EXPECT_FALSE(Report.AllPassed);
+  // Axiom 6 (REMOVE over a non-empty queue) is the one that pins FIFO.
+  bool Axiom6Failed = false;
+  for (const AxiomTestResult &R : Report.Results)
+    if (R.AxiomNumber == 6 && !R.Passed)
+      Axiom6Failed = true;
+  EXPECT_TRUE(Axiom6Failed) << Report.render();
+}
+
+TEST(ModelQueueTest, EvaluateGroundTermRunsRealCode) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx);
+  bindQueue(B, Ctx, false);
+
+  auto Term = parseTermText(Ctx, "FRONT(REMOVE(ADD(ADD(NEW, 'a), 'b)))");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto V = B.evaluate(*Term);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->get<std::string>(), "b");
+}
+
+TEST(ModelQueueTest, ErrorsPropagateThroughEvaluation) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx);
+  bindQueue(B, Ctx, false);
+
+  auto Term = parseTermText(Ctx, "IS_EMPTY?(REMOVE(NEW))");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto V = B.evaluate(*Term);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_TRUE(V->isError());
+}
+
+//===----------------------------------------------------------------------===//
+// Stack + HashArray against axioms 10-20 (the paper's PL/I code, E6)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void bindStackArray(ModelBinding &B, AlgebraContext &Ctx) {
+  SortId StackSort = Ctx.lookupSort("Stack");
+  SortId ArraySort = Ctx.lookupSort("Array");
+
+  // Array: 4 buckets so collisions occur even in small tests.
+  B.bindOp("EMPTY", [](std::span<const Value>) {
+    return Value::of(ArrayV(4));
+  });
+  B.bindOp("ASSIGN", [](std::span<const Value> Args) {
+    ArrayV A = Args[0].get<ArrayV>();
+    A.assign(Args[1].get<std::string>(), Args[2].get<std::string>());
+    return Value::of(std::move(A));
+  });
+  B.bindOp("READ", [](std::span<const Value> Args) {
+    std::optional<std::string> V =
+        Args[0].get<ArrayV>().read(Args[1].get<std::string>());
+    return V ? Value::of(*V) : Value::error();
+  });
+  B.bindOp("IS_UNDEFINED?", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<ArrayV>().isUndefined(Args[1].get<std::string>()));
+  });
+  B.bindEquals(ArraySort, [](const Value &A, const Value &B2) {
+    return A.get<ArrayV>() == B2.get<ArrayV>();
+  });
+
+  // Stack of arrays.
+  B.bindOp("NEWSTACK", [](std::span<const Value>) {
+    return Value::of(StackV());
+  });
+  B.bindOp("PUSH", [](std::span<const Value> Args) {
+    StackV S = Args[0].get<StackV>();
+    S.push(Args[1].get<ArrayV>());
+    return Value::of(std::move(S));
+  });
+  B.bindOp("POP", [](std::span<const Value> Args) {
+    StackV S = Args[0].get<StackV>();
+    if (!S.pop())
+      return Value::error();
+    return Value::of(std::move(S));
+  });
+  B.bindOp("TOP", [](std::span<const Value> Args) {
+    std::optional<ArrayV> T = Args[0].get<StackV>().top();
+    return T ? Value::of(std::move(*T)) : Value::error();
+  });
+  B.bindOp("IS_NEWSTACK?", [](std::span<const Value> Args) {
+    return Value::of(Args[0].get<StackV>().isEmpty());
+  });
+  B.bindOp("REPLACE", [](std::span<const Value> Args) {
+    StackV S = Args[0].get<StackV>();
+    if (!S.replace(Args[1].get<ArrayV>()))
+      return Value::error();
+    return Value::of(std::move(S));
+  });
+  B.bindEquals(StackSort, [](const Value &A, const Value &B2) {
+    return A.get<StackV>() == B2.get<StackV>();
+  });
+}
+
+} // namespace
+
+TEST(ModelStackArrayTest, PaperImplementationSatisfiesAxioms10To20) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadStackArray(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ModelBinding B(Ctx);
+  bindStackArray(B, Ctx);
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 3;
+  for (const Spec &S : *Parsed) {
+    ModelTestReport Report = testModel(Ctx, S, B, Options);
+    EXPECT_TRUE(Report.AllPassed) << S.name() << ":\n" << Report.render();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolTable against axioms 1-9
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void bindSymbolTable(ModelBinding &B, AlgebraContext &Ctx) {
+  SortId TableSort = Ctx.lookupSort("Symboltable");
+
+  B.bindOp("INIT", [](std::span<const Value>) {
+    return Value::of(TableV(4));
+  });
+  B.bindOp("ENTERBLOCK", [](std::span<const Value> Args) {
+    TableV T = Args[0].get<TableV>();
+    T.enterBlock();
+    return Value::of(std::move(T));
+  });
+  B.bindOp("LEAVEBLOCK", [](std::span<const Value> Args) {
+    TableV T = Args[0].get<TableV>();
+    if (!T.leaveBlock())
+      return Value::error();
+    return Value::of(std::move(T));
+  });
+  B.bindOp("ADD", [](std::span<const Value> Args) {
+    TableV T = Args[0].get<TableV>();
+    T.add(Args[1].get<std::string>(), Args[2].get<std::string>());
+    return Value::of(std::move(T));
+  });
+  B.bindOp("IS_INBLOCK?", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<TableV>().isInBlock(Args[1].get<std::string>()));
+  });
+  B.bindOp("RETRIEVE", [](std::span<const Value> Args) {
+    std::optional<std::string> V =
+        Args[0].get<TableV>().retrieve(Args[1].get<std::string>());
+    return V ? Value::of(*V) : Value::error();
+  });
+  B.bindEquals(TableSort, [](const Value &A, const Value &B2) {
+    return A.get<TableV>() == B2.get<TableV>();
+  });
+}
+
+} // namespace
+
+TEST(ModelSymbolTableTest, StackOfArraysSatisfiesAxioms1To9) {
+  AlgebraContext Ctx;
+  auto S = specs::loadSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(S));
+  ModelBinding B(Ctx);
+  bindSymbolTable(B, Ctx);
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 4;
+  ModelTestReport Report = testModel(Ctx, *S, B, Options);
+  EXPECT_TRUE(Report.AllPassed) << Report.render();
+  EXPECT_EQ(Report.Results.size(), 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// KnowsSymbolTable against the adapted spec (E7)
+//===----------------------------------------------------------------------===//
+
+TEST(ModelKnowsTest, KnowsTableSatisfiesAdaptedAxioms) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadKnowsSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ASSERT_EQ(Parsed->size(), 2u);
+  const Spec &KnowlistSpec = (*Parsed)[0];
+  const Spec &TableSpec = (*Parsed)[1];
+
+  ModelBinding B(Ctx);
+  SortId KnowsSort = Ctx.lookupSort("Knowlist");
+  SortId TableSort = Ctx.lookupSort("Symboltable");
+
+  B.bindOp("CREATE", [](std::span<const Value>) {
+    return Value::of(adt::KnowsList());
+  });
+  B.bindOp("APPEND", [](std::span<const Value> Args) {
+    adt::KnowsList K = Args[0].get<adt::KnowsList>();
+    K.append(Args[1].get<std::string>());
+    return Value::of(std::move(K));
+  });
+  B.bindOp("IS_IN?", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<adt::KnowsList>().contains(Args[1].get<std::string>()));
+  });
+  B.bindEquals(KnowsSort, [](const Value &A, const Value &B2) {
+    return A.get<adt::KnowsList>() == B2.get<adt::KnowsList>();
+  });
+
+  B.bindOp("INIT", [](std::span<const Value>) {
+    return Value::of(KTableV(4));
+  });
+  B.bindOp("ENTERBLOCK", [](std::span<const Value> Args) {
+    KTableV T = Args[0].get<KTableV>();
+    T.enterBlock(Args[1].get<adt::KnowsList>());
+    return Value::of(std::move(T));
+  });
+  B.bindOp("LEAVEBLOCK", [](std::span<const Value> Args) {
+    KTableV T = Args[0].get<KTableV>();
+    if (!T.leaveBlock())
+      return Value::error();
+    return Value::of(std::move(T));
+  });
+  B.bindOp("ADD", [](std::span<const Value> Args) {
+    KTableV T = Args[0].get<KTableV>();
+    T.add(Args[1].get<std::string>(), Args[2].get<std::string>());
+    return Value::of(std::move(T));
+  });
+  B.bindOp("IS_INBLOCK?", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<KTableV>().isInBlock(Args[1].get<std::string>()));
+  });
+  B.bindOp("RETRIEVE", [](std::span<const Value> Args) {
+    std::optional<std::string> V =
+        Args[0].get<KTableV>().retrieve(Args[1].get<std::string>());
+    return V ? Value::of(*V) : Value::error();
+  });
+  B.bindEquals(TableSort, [](const Value &A, const Value &B2) {
+    return A.get<KTableV>() == B2.get<KTableV>();
+  });
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 3;
+  ModelTestReport KReport = testModel(Ctx, KnowlistSpec, B, Options);
+  EXPECT_TRUE(KReport.AllPassed) << KReport.render();
+  ModelTestReport TReport = testModel(Ctx, TableSpec, B, Options);
+  EXPECT_TRUE(TReport.AllPassed) << TReport.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Binding mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(ModelBindingTest, UnboundOperationIsReportedNotCrash) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx); // Nothing bound.
+  auto Term = parseTermText(Ctx, "FRONT(NEW)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto V = B.evaluate(*Term);
+  ASSERT_FALSE(static_cast<bool>(V));
+  EXPECT_NE(V.error().message().find("no binding"), std::string::npos);
+}
+
+TEST(ModelBindingTest, BuiltinsEvaluateWithoutBindings) {
+  AlgebraContext Ctx;
+  auto Term = parseTermText(Ctx, "addi(2, 3)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  ModelBinding B(Ctx);
+  auto V = B.evaluate(*Term);
+  ASSERT_TRUE(static_cast<bool>(V)) << V.error().message();
+  EXPECT_EQ(V->get<int64_t>(), 5);
+}
+
+TEST(ModelBindingTest, IteIsLazyOverRealCode) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q));
+  ModelBinding B(Ctx);
+  bindQueue(B, Ctx, false);
+  // The else-branch would be error; the condition shields it.
+  auto Term =
+      parseTermText(Ctx, "if IS_EMPTY?(NEW) then 'ok else FRONT(NEW)");
+  ASSERT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+  auto V = B.evaluate(*Term);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->get<std::string>(), "ok");
+}
+
+TEST(ModelBindingTest, SameUsesBoundEquality) {
+  AlgebraContext Ctx;
+  SortId Ident = Ctx.getOrAddAtomSort("Identifier");
+  OpId Same = Ctx.getSameOp(Ident);
+  TermId A = Ctx.makeAtom("a", Ident);
+  TermId B2 = Ctx.makeAtom("b", Ident);
+  ModelBinding B(Ctx);
+  auto Eq = B.evaluate(Ctx.makeOp(Same, {A, A}));
+  ASSERT_TRUE(static_cast<bool>(Eq));
+  EXPECT_TRUE(Eq->get<bool>());
+  auto Ne = B.evaluate(Ctx.makeOp(Same, {A, B2}));
+  ASSERT_TRUE(static_cast<bool>(Ne));
+  EXPECT_FALSE(Ne->get<bool>());
+}
+
+//===----------------------------------------------------------------------===//
+// Table against TableAlg (the section-5 database characterization, E14)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using TableImpl = adt::Table<std::string>;
+
+void bindTable(ModelBinding &B, AlgebraContext &Ctx) {
+  B.bindOp("EMPTY_TABLE", [](std::span<const Value>) {
+    return Value::of(TableImpl());
+  });
+  B.bindOp("INSERT_ROW", [](std::span<const Value> Args) {
+    TableImpl T = Args[0].get<TableImpl>();
+    T.insertRow(Args[1].get<std::string>(), Args[2].get<std::string>());
+    return Value::of(std::move(T));
+  });
+  B.bindOp("DELETE_ROW", [](std::span<const Value> Args) {
+    TableImpl T = Args[0].get<TableImpl>();
+    T.deleteRow(Args[1].get<std::string>());
+    return Value::of(std::move(T));
+  });
+  B.bindOp("LOOKUP", [](std::span<const Value> Args) {
+    auto V = Args[0].get<TableImpl>().lookup(Args[1].get<std::string>());
+    return V ? Value::of(*V) : Value::error();
+  });
+  B.bindOp("HAS_ROW?", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<TableImpl>().hasRow(Args[1].get<std::string>()));
+  });
+  B.bindOp("ROW_COUNT", [](std::span<const Value> Args) {
+    return Value::of(
+        static_cast<int64_t>(Args[0].get<TableImpl>().rowCount()));
+  });
+  B.bindOp("SELECT_VAL", [](std::span<const Value> Args) {
+    return Value::of(
+        Args[0].get<TableImpl>().selectVal(Args[1].get<std::string>()));
+  });
+  B.bindEquals(Ctx.lookupSort("Table"),
+               [](const Value &A, const Value &B2) {
+                 return A.get<TableImpl>() == B2.get<TableImpl>();
+               });
+}
+
+} // namespace
+
+TEST(ModelTableTest, DatabaseTableSatisfiesItsSpec) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, specs::TableAlg, "table.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  ModelBinding B(Ctx);
+  bindTable(B, Ctx);
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 4;
+  ModelTestReport Report = testModel(Ctx, (*Parsed)[0], B, Options);
+  EXPECT_TRUE(Report.AllPassed) << Report.render();
+  EXPECT_EQ(Report.Results.size(), 10u);
+}
+
+TEST(ModelTableTest, SelectValThroughRealCode) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, specs::TableAlg, "table.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  ModelBinding B(Ctx);
+  bindTable(B, Ctx);
+
+  auto Term = parseTermText(
+      Ctx, "ROW_COUNT(SELECT_VAL(INSERT_ROW(INSERT_ROW(INSERT_ROW("
+           "EMPTY_TABLE, 'a, 'red), 'b, 'blue), 'c, 'red), 'red))");
+  ASSERT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+  auto V = B.evaluate(*Term);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->get<int64_t>(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// PriorityQueue (binary heap) against the user-written spec file
+//===----------------------------------------------------------------------===//
+
+#ifdef ALGSPEC_SOURCE_DIR
+#include <fstream>
+#include <sstream>
+
+namespace {
+using PQ = adt::PriorityQueue<int64_t>;
+} // namespace
+
+TEST(ModelPriorityQueueTest, HeapSatisfiesTheSpecFile) {
+  // The spec ships as a *file* (exercising the same path a user takes
+  // through the CLI), not as embedded text.
+  std::ifstream In(std::string(ALGSPEC_SOURCE_DIR) +
+                   "/examples/specs/priority_queue.alg");
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, Buffer.str(), "priority_queue.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  const Spec &S = (*Parsed)[0];
+
+  ModelBinding B(Ctx);
+  B.bindOp("EMPTY_PQ",
+           [](std::span<const Value>) { return Value::of(PQ()); });
+  B.bindOp("INSERT", [](std::span<const Value> Args) {
+    PQ P = Args[0].get<PQ>();
+    P.insert(Args[1].get<int64_t>());
+    return Value::of(std::move(P));
+  });
+  B.bindOp("MIN", [](std::span<const Value> Args) {
+    auto M = Args[0].get<PQ>().min();
+    return M ? Value::of(*M) : Value::error();
+  });
+  B.bindOp("DELETE_MIN", [](std::span<const Value> Args) {
+    PQ P = Args[0].get<PQ>();
+    return P.deleteMin() ? Value::of(std::move(P)) : Value::error();
+  });
+  B.bindOp("IS_EMPTY?", [](std::span<const Value> Args) {
+    return Value::of(Args[0].get<PQ>().isEmpty());
+  });
+  B.bindOp("SIZE", [](std::span<const Value> Args) {
+    return Value::of(static_cast<int64_t>(Args[0].get<PQ>().size()));
+  });
+  B.bindEquals(Ctx.lookupSort("PQueue"),
+               [](const Value &A, const Value &B2) {
+                 return A.get<PQ>() == B2.get<PQ>();
+               });
+
+  ModelTestOptions Options;
+  Options.MaxDepth = 5;
+  // Duplicate Int values matter for the lei tie-break; widen the pool.
+  Options.Enum.IntValues = {0, 1, 1, 2};
+  ModelTestReport Report = testModel(Ctx, S, B, Options);
+  EXPECT_TRUE(Report.AllPassed) << Report.render();
+  EXPECT_EQ(Report.Results.size(), 8u);
+}
+#endif // ALGSPEC_SOURCE_DIR

@@ -1,0 +1,533 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for matching, substitution, rule construction, and the
+/// rewrite engine, including the paper's Queue and Symboltable semantics
+/// derived purely by rewriting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "rewrite/Matcher.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Fixture loading the paper's Queue spec and a ready engine.
+class QueueRewrite : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Q = Loaded.take();
+    auto Sys = RewriteSystem::buildChecked(Ctx, {&Q});
+    ASSERT_TRUE(static_cast<bool>(Sys)) << Sys.error().message();
+    System = std::make_unique<RewriteSystem>(Sys.take());
+    Engine = std::make_unique<RewriteEngine>(Ctx, *System);
+  }
+
+  /// Parses and normalizes a ground term, expecting success.
+  TermId norm(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    auto Normal = Engine->normalize(*Term);
+    EXPECT_TRUE(static_cast<bool>(Normal)) << Normal.error().message();
+    return *Normal;
+  }
+
+  std::string normStr(const std::string &Text) {
+    return printTerm(Ctx, norm(Text));
+  }
+
+  AlgebraContext Ctx;
+  Spec Q;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matching and substitution
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueRewrite, MatchBindsVariables) {
+  const Axiom &Ax4 = Q.axioms()[3]; // FRONT(ADD(q, i)) = ...
+  auto Subject = parseTermText(Ctx, "FRONT(ADD(NEW, 'a))");
+  ASSERT_TRUE(static_cast<bool>(Subject));
+  Substitution Subst;
+  ASSERT_TRUE(matchTerm(Ctx, Ax4.Lhs, *Subject, Subst));
+  EXPECT_EQ(Subst.size(), 2u);
+}
+
+TEST_F(QueueRewrite, MatchRejectsWrongHead) {
+  const Axiom &Ax4 = Q.axioms()[3];
+  auto Subject = parseTermText(Ctx, "FRONT(NEW)");
+  ASSERT_TRUE(static_cast<bool>(Subject));
+  Substitution Subst;
+  EXPECT_FALSE(matchTerm(Ctx, Ax4.Lhs, *Subject, Subst));
+}
+
+TEST_F(QueueRewrite, NonLinearPatternNeedsEqualSubterms) {
+  // Build pattern F-like: SAME(i, i) with one variable used twice.
+  SortId Item = Ctx.lookupSort("Item");
+  VarId I = Ctx.addVar("ii", Item);
+  TermId IT = Ctx.makeVar(I);
+  OpId Same = Ctx.getSameOp(Item);
+  TermId Pattern = Ctx.makeOp(Same, {IT, IT});
+
+  TermId A = Ctx.makeAtom("a", Item);
+  TermId B = Ctx.makeAtom("b", Item);
+  Substitution S1;
+  EXPECT_TRUE(matchTerm(Ctx, Pattern, Ctx.makeOp(Same, {A, A}), S1));
+  Substitution S2;
+  EXPECT_FALSE(matchTerm(Ctx, Pattern, Ctx.makeOp(Same, {A, B}), S2));
+}
+
+TEST_F(QueueRewrite, SubstitutionLeavesUnboundVars) {
+  SortId Queue = Ctx.lookupSort("Queue");
+  VarId V1 = Ctx.addVar("v1", Queue);
+  VarId V2 = Ctx.addVar("v2", Queue);
+  OpId Remove = Ctx.lookupOp("REMOVE");
+  TermId Term = Ctx.makeOp(Remove, {Ctx.makeVar(V1)});
+  Substitution Subst;
+  Subst.bind(V2, Ctx.makeOp(Ctx.lookupOp("NEW"), {}));
+  EXPECT_EQ(applySubstitution(Ctx, Term, Subst), Term);
+}
+
+TEST_F(QueueRewrite, SubstitutionIsIdentityOnGround) {
+  auto Ground = parseTermText(Ctx, "ADD(NEW, 'a)");
+  ASSERT_TRUE(static_cast<bool>(Ground));
+  Substitution Subst;
+  EXPECT_EQ(applySubstitution(Ctx, *Ground, Subst), *Ground);
+}
+
+//===----------------------------------------------------------------------===//
+// Rewrite system construction
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueRewrite, RulesIndexedByHead) {
+  EXPECT_EQ(System->size(), 6u);
+  EXPECT_EQ(System->rulesFor(Ctx.lookupOp("FRONT")).size(), 2u);
+  EXPECT_EQ(System->rulesFor(Ctx.lookupOp("IS_EMPTY?")).size(), 2u);
+  EXPECT_TRUE(System->rulesFor(Ctx.lookupOp("ADD")).empty());
+}
+
+TEST(RewriteSystemTest, RejectsRhsOnlyVariable) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Q
+  sorts Q
+  ops
+    MK : -> Q
+    F : Q -> Q
+  constructors MK
+  vars a, b : Q
+  axioms
+    F(a) = b
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(static_cast<bool>(Sys));
+  EXPECT_NE(Sys.error().message().find("right-hand side only"),
+            std::string::npos);
+}
+
+TEST(RewriteSystemTest, RejectsVariableLhs) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Q
+  sorts Q
+  ops MK : -> Q
+  constructors MK
+  vars a : Q
+  axioms
+    a = MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_FALSE(static_cast<bool>(Sys));
+  EXPECT_NE(Sys.error().message().find("not an operation application"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Queue semantics by rewriting (paper section 3)
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueRewrite, FrontIsFifo) {
+  EXPECT_EQ(normStr("FRONT(ADD(ADD(ADD(NEW, 'a), 'b), 'c))"), "'a");
+}
+
+TEST_F(QueueRewrite, RemoveDropsOldest) {
+  EXPECT_EQ(normStr("REMOVE(ADD(ADD(NEW, 'a), 'b))"), "ADD(NEW, 'b)");
+}
+
+TEST_F(QueueRewrite, FrontAfterRemove) {
+  EXPECT_EQ(normStr("FRONT(REMOVE(ADD(ADD(NEW, 'a), 'b)))"), "'b");
+}
+
+TEST_F(QueueRewrite, IsEmptyObservations) {
+  EXPECT_EQ(norm("IS_EMPTY?(NEW)"), Ctx.trueTerm());
+  EXPECT_EQ(norm("IS_EMPTY?(ADD(NEW, 'a))"), Ctx.falseTerm());
+  EXPECT_EQ(norm("IS_EMPTY?(REMOVE(ADD(NEW, 'a)))"), Ctx.trueTerm());
+}
+
+TEST_F(QueueRewrite, BoundaryConditionsYieldError) {
+  EXPECT_TRUE(Ctx.isError(norm("FRONT(NEW)")));
+  EXPECT_TRUE(Ctx.isError(norm("REMOVE(NEW)")));
+  // Errors propagate strictly through enclosing operations.
+  EXPECT_TRUE(Ctx.isError(norm("FRONT(REMOVE(NEW))")));
+  EXPECT_TRUE(Ctx.isError(norm("IS_EMPTY?(REMOVE(NEW))")));
+}
+
+TEST_F(QueueRewrite, LazyIteShieldsUntakenErrorBranch) {
+  // FRONT(ADD(NEW, 'a)) expands to: if IS_EMPTY?(NEW) then 'a else
+  // FRONT(NEW); the else-branch is error but must never poison the taken
+  // then-branch.
+  EXPECT_EQ(normStr("FRONT(ADD(NEW, 'a))"), "'a");
+}
+
+TEST_F(QueueRewrite, LongQueueDrain) {
+  // Drain a 20-element queue one REMOVE at a time; FRONT follows FIFO.
+  std::string Term = "NEW";
+  for (char C = 'a'; C < 'a' + 20; ++C)
+    Term = "ADD(" + Term + ", 'x" + std::string(1, C) + ")";
+  for (int Removed = 0; Removed < 20; ++Removed) {
+    std::string Observe = "FRONT(" + Term + ")";
+    std::string Expect =
+        "'x" + std::string(1, static_cast<char>('a' + Removed));
+    EXPECT_EQ(normStr(Observe), Expect);
+    Term = "REMOVE(" + Term + ")";
+  }
+  EXPECT_EQ(norm("IS_EMPTY?(" + Term + ")"), Ctx.trueTerm());
+}
+
+TEST_F(QueueRewrite, OpenTermsNormalizeSymbolically) {
+  VarScope Scope;
+  Scope.emplace("q", Ctx.addVar("q", Ctx.lookupSort("Queue")));
+  auto Term = parseTermText(Ctx, "REMOVE(ADD(q, 'a))", &Scope);
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto Normal = Engine->normalize(*Term);
+  ASSERT_TRUE(static_cast<bool>(Normal));
+  // With q unknown, IS_EMPTY?(q) cannot decide; the conditional survives.
+  EXPECT_EQ(printTerm(Ctx, *Normal),
+            "if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), 'a)");
+}
+
+//===----------------------------------------------------------------------===//
+// Engine mechanics
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueRewrite, StatsCountSteps) {
+  Engine->resetStats();
+  norm("IS_EMPTY?(NEW)");
+  EXPECT_EQ(Engine->stats().Steps, 1u);
+}
+
+TEST_F(QueueRewrite, MemoizationHitsOnRepeat) {
+  norm("FRONT(ADD(ADD(NEW, 'a), 'b))");
+  Engine->resetStats();
+  norm("FRONT(ADD(ADD(NEW, 'a), 'b))");
+  EXPECT_EQ(Engine->stats().Steps, 0u);
+  EXPECT_GE(Engine->stats().CacheHits, 1u);
+}
+
+TEST_F(QueueRewrite, MemoizationDisabledRecomputes) {
+  EngineOptions Opts;
+  Opts.Memoize = false;
+  RewriteEngine Raw(Ctx, *System, Opts);
+  auto Term = parseTermText(Ctx, "FRONT(ADD(ADD(NEW, 'a), 'b))");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  ASSERT_TRUE(static_cast<bool>(Raw.normalize(*Term)));
+  uint64_t FirstSteps = Raw.stats().Steps;
+  ASSERT_TRUE(static_cast<bool>(Raw.normalize(*Term)));
+  EXPECT_EQ(Raw.stats().Steps, 2 * FirstSteps);
+}
+
+TEST_F(QueueRewrite, TraceRecordsRuleApplications) {
+  EngineOptions Opts;
+  Opts.KeepTrace = true;
+  RewriteEngine Tracer(Ctx, *System, Opts);
+  auto Term = parseTermText(Ctx, "IS_EMPTY?(NEW)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  ASSERT_TRUE(static_cast<bool>(Tracer.normalize(*Term)));
+  ASSERT_EQ(Tracer.trace().size(), 1u);
+  EXPECT_EQ(Tracer.trace()[0].AppliedRule->AxiomNumber, 1u);
+  EXPECT_EQ(Tracer.trace()[0].AppliedRule->SpecName, "Queue");
+}
+
+TEST(EngineTest, FuelExhaustionOnDivergentSpec) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Loop
+  sorts L
+  ops
+    MK : -> L
+    SPIN : L -> L
+  constructors MK
+  vars x : L
+  axioms
+    SPIN(x) = SPIN(SPIN(x))
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  EngineOptions Opts;
+  Opts.MaxSteps = 100;
+  RewriteEngine Engine(Ctx, *Sys, Opts);
+  auto Term = parseTermText(Ctx, "SPIN(MK)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto Normal = Engine.normalize(*Term);
+  ASSERT_FALSE(static_cast<bool>(Normal));
+  EXPECT_NE(Normal.error().message().find("fuel exhausted"),
+            std::string::npos);
+}
+
+TEST(EngineTest, StuckTermDetected) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Partial
+  sorts P
+  ops
+    A : -> P
+    B : -> P
+    F : P -> P
+  constructors A, B
+  vars x : P
+  axioms
+    F(A) = A
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  RewriteEngine Engine(Ctx, *Sys);
+  auto Covered = parseTermText(Ctx, "F(A)");
+  auto Uncovered = parseTermText(Ctx, "F(B)");
+  ASSERT_TRUE(static_cast<bool>(Covered) && static_cast<bool>(Uncovered));
+  EXPECT_FALSE(Engine.isStuck(*Engine.normalize(*Covered)));
+  EXPECT_TRUE(Engine.isStuck(*Engine.normalize(*Uncovered)));
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin evaluation
+//===----------------------------------------------------------------------===//
+
+TEST_F(QueueRewrite, IntBuiltins) {
+  EXPECT_EQ(normStr("addi(2, 3)"), "5");
+  EXPECT_EQ(normStr("subi(2, 3)"), "-1");
+  EXPECT_EQ(norm("lei(2, 2)"), Ctx.trueTerm());
+  EXPECT_EQ(norm("lti(2, 2)"), Ctx.falseTerm());
+  EXPECT_EQ(norm("eqi(4, 4)"), Ctx.trueTerm());
+}
+
+TEST_F(QueueRewrite, BoolBuiltins) {
+  EXPECT_EQ(norm("not(true)"), Ctx.falseTerm());
+  EXPECT_EQ(norm("and(true, false)"), Ctx.falseTerm());
+  EXPECT_EQ(norm("or(false, true)"), Ctx.trueTerm());
+}
+
+TEST_F(QueueRewrite, SameOnAtoms) {
+  SortId Item = Ctx.lookupSort("Item");
+  OpId Same = Ctx.getSameOp(Item);
+  TermId A = Ctx.makeAtom("a", Item);
+  TermId B = Ctx.makeAtom("b", Item);
+  EXPECT_EQ(*Engine->normalize(Ctx.makeOp(Same, {A, A})), Ctx.trueTerm());
+  EXPECT_EQ(*Engine->normalize(Ctx.makeOp(Same, {A, B})), Ctx.falseTerm());
+}
+
+TEST_F(QueueRewrite, SameOnIdenticalGroundTerms) {
+  SortId Queue = Ctx.lookupSort("Queue");
+  OpId Same = Ctx.getSameOp(Queue);
+  auto Q1 = parseTermText(Ctx, "ADD(NEW, 'a)");
+  ASSERT_TRUE(static_cast<bool>(Q1));
+  EXPECT_EQ(*Engine->normalize(Ctx.makeOp(Same, {*Q1, *Q1})),
+            Ctx.trueTerm());
+}
+
+TEST_F(QueueRewrite, SameStaysOpenOnVariables) {
+  SortId Item = Ctx.lookupSort("Item");
+  VarId X = Ctx.addVar("x", Item);
+  OpId Same = Ctx.getSameOp(Item);
+  TermId XT = Ctx.makeVar(X);
+  TermId A = Ctx.makeAtom("a", Item);
+  TermId Open = Ctx.makeOp(Same, {XT, A});
+  EXPECT_EQ(*Engine->normalize(Open), Open);
+}
+
+//===----------------------------------------------------------------------===//
+// Symboltable semantics by rewriting (paper section 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+class SymboltableRewrite : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadSymboltable(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    S = Loaded.take();
+    auto Sys = RewriteSystem::buildChecked(Ctx, {&S});
+    ASSERT_TRUE(static_cast<bool>(Sys)) << Sys.error().message();
+    System = std::make_unique<RewriteSystem>(Sys.take());
+    Engine = std::make_unique<RewriteEngine>(Ctx, *System);
+  }
+
+  TermId norm(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    auto Normal = Engine->normalize(*Term);
+    EXPECT_TRUE(static_cast<bool>(Normal)) << Normal.error().message();
+    return *Normal;
+  }
+
+  std::string normStr(const std::string &Text) {
+    return printTerm(Ctx, norm(Text));
+  }
+
+  AlgebraContext Ctx;
+  Spec S;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+};
+} // namespace
+
+TEST_F(SymboltableRewrite, RetrieveFindsMostLocalScope) {
+  // x declared in outer block with 'int, redeclared in inner with 'bool.
+  std::string Table =
+      "ADD(ENTERBLOCK(ADD(ENTERBLOCK(INIT), 'x, 'int)), 'x, 'bool)";
+  EXPECT_EQ(normStr("RETRIEVE(" + Table + ", 'x)"), "'bool");
+  // After leaving the inner block the outer declaration is visible again.
+  EXPECT_EQ(normStr("RETRIEVE(LEAVEBLOCK(" + Table + "), 'x)"), "'int");
+}
+
+TEST_F(SymboltableRewrite, RetrieveSeesThroughEnterblock) {
+  std::string Table = "ENTERBLOCK(ADD(ENTERBLOCK(INIT), 'y, 'int))";
+  EXPECT_EQ(normStr("RETRIEVE(" + Table + ", 'y)"), "'int");
+}
+
+TEST_F(SymboltableRewrite, IsInblockOnlyChecksCurrentScope) {
+  std::string Inner = "ADD(ENTERBLOCK(ADD(ENTERBLOCK(INIT), 'x, 'int)), "
+                      "'z, 'bool)";
+  EXPECT_EQ(norm("IS_INBLOCK?(" + Inner + ", 'z)"), Ctx.trueTerm());
+  // x is declared, but in the *outer* block.
+  EXPECT_EQ(norm("IS_INBLOCK?(" + Inner + ", 'x)"), Ctx.falseTerm());
+}
+
+TEST_F(SymboltableRewrite, RetrieveUndeclaredIsError) {
+  EXPECT_TRUE(Ctx.isError(norm("RETRIEVE(ENTERBLOCK(INIT), 'nope)")));
+  EXPECT_TRUE(Ctx.isError(norm("RETRIEVE(INIT, 'x)")));
+}
+
+TEST_F(SymboltableRewrite, LeaveblockBoundaries) {
+  EXPECT_TRUE(Ctx.isError(norm("LEAVEBLOCK(INIT)")));
+  EXPECT_EQ(normStr("LEAVEBLOCK(ENTERBLOCK(INIT))"), "INIT");
+  // Leaving a block discards its ADDs (axiom 3 walks past them).
+  EXPECT_EQ(normStr("LEAVEBLOCK(ADD(ENTERBLOCK(INIT), 'x, 'int))"), "INIT");
+}
+
+TEST_F(SymboltableRewrite, ShadowingDepth3) {
+  std::string T = "INIT";
+  T = "ADD(ENTERBLOCK(" + T + "), 'v, 'a1)";
+  T = "ADD(ENTERBLOCK(" + T + "), 'v, 'a2)";
+  T = "ADD(ENTERBLOCK(" + T + "), 'v, 'a3)";
+  EXPECT_EQ(normStr("RETRIEVE(" + T + ", 'v)"), "'a3");
+  EXPECT_EQ(normStr("RETRIEVE(LEAVEBLOCK(" + T + "), 'v)"), "'a2");
+  EXPECT_EQ(normStr("RETRIEVE(LEAVEBLOCK(LEAVEBLOCK(" + T + ")), 'v)"),
+            "'a1");
+}
+
+//===----------------------------------------------------------------------===//
+// Nat and List specs (recursive rules, Int interop)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtraSpecsTest, NatArithmetic) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, specs::NatAlg, "nat.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  RewriteEngine Engine(Ctx, *Sys);
+
+  // 2 * 3 = 6.
+  auto Term = parseTermText(
+      Ctx, "TIMES(SUCC(SUCC(ZERO)), SUCC(SUCC(SUCC(ZERO))))");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto Normal = Engine.normalize(*Term);
+  ASSERT_TRUE(static_cast<bool>(Normal));
+  EXPECT_EQ(printTerm(Ctx, *Normal),
+            "SUCC(SUCC(SUCC(SUCC(SUCC(SUCC(ZERO))))))");
+}
+
+TEST(ExtraSpecsTest, ListAppendAndLength) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, specs::ListAlg, "list.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  RewriteEngine Engine(Ctx, *Sys);
+
+  auto Term = parseTermText(
+      Ctx, "LENGTH(APPEND(CONS(1, CONS(2, NIL)), CONS(3, NIL)))");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto Normal = Engine.normalize(*Term);
+  ASSERT_TRUE(static_cast<bool>(Normal));
+  EXPECT_EQ(printTerm(Ctx, *Normal), "3");
+
+  auto Head = parseTermText(Ctx, "HEAD(TAIL(CONS(1, CONS(2, NIL))))");
+  ASSERT_TRUE(static_cast<bool>(Head));
+  EXPECT_EQ(printTerm(Ctx, *Engine.normalize(*Head)), "2");
+}
+
+TEST(ExtraSpecsTest, SetMembershipWithDuplicates) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, specs::SetAlg, "set.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  RewriteEngine Engine(Ctx, *Sys);
+
+  // Delete must remove *every* inserted duplicate.
+  auto Term = parseTermText(
+      Ctx,
+      "MEMBER?(DELETE(INSERT(INSERT(EMPTYSET, 'a), 'a), 'a), 'a)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  EXPECT_EQ(*Engine.normalize(*Term), Ctx.falseTerm());
+}
+
+TEST(ExtraSpecsTest, KnowsSymboltableRestrictsInheritance) {
+  AlgebraContext Ctx;
+  auto Parsed = specs::loadKnowsSymboltable(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  ASSERT_EQ(Parsed->size(), 2u);
+  std::vector<const Spec *> Ptrs{&(*Parsed)[0], &(*Parsed)[1]};
+  auto Sys = RewriteSystem::buildChecked(Ctx, Ptrs);
+  ASSERT_TRUE(static_cast<bool>(Sys));
+  RewriteEngine Engine(Ctx, *Sys);
+
+  // x is declared outside; the inner block only "knows" y.
+  std::string Outer = "ADD(ADD(INIT, 'x, 'int), 'y, 'bool)";
+  std::string Inner =
+      "ENTERBLOCK(" + Outer + ", APPEND(CREATE, 'y))";
+  auto SeeY = parseTermText(Ctx, "RETRIEVE(" + Inner + ", 'y)");
+  auto SeeX = parseTermText(Ctx, "RETRIEVE(" + Inner + ", 'x)");
+  ASSERT_TRUE(static_cast<bool>(SeeY) && static_cast<bool>(SeeX));
+  EXPECT_EQ(printTerm(Ctx, *Engine.normalize(*SeeY)), "'bool");
+  EXPECT_TRUE(Ctx.isError(*Engine.normalize(*SeeX)));
+}

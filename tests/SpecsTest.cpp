@@ -1,0 +1,325 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the embedded specification library (every builtin spec
+/// parses, is sufficiently complete, and is consistent; behavioural
+/// spot checks for Bag and Bst) and for the axiom-skeleton generator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/Completeness.h"
+#include "check/Consistency.h"
+#include "ast/SpecPrinter.h"
+#include "check/Skeleton.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Every builtin spec parses, checks complete, and checks consistent.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct BuiltinCase {
+  const char *Name;
+  std::string_view Text;
+  size_t ExpectedSpecs;
+};
+
+class BuiltinSpecSweep : public ::testing::TestWithParam<BuiltinCase> {};
+
+} // namespace
+
+TEST_P(BuiltinSpecSweep, ParsesCompleteAndConsistent) {
+  const BuiltinCase &Case = GetParam();
+  AlgebraContext Ctx;
+  auto Parsed = specs::load(Ctx, Case.Text, std::string(Case.Name));
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  EXPECT_EQ(Parsed->size(), Case.ExpectedSpecs);
+
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : *Parsed) {
+    Ptrs.push_back(&S);
+    CompletenessReport Report = checkCompleteness(Ctx, S);
+    EXPECT_TRUE(Report.SufficientlyComplete)
+        << S.name() << ":\n" << Report.renderPrompt(Ctx);
+  }
+  ConsistencyReport Consistency = checkConsistency(Ctx, Ptrs);
+  EXPECT_TRUE(Consistency.Consistent) << Consistency.render(Ctx);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltins, BuiltinSpecSweep,
+    ::testing::Values(
+        BuiltinCase{"queue", specs::QueueAlg, 1},
+        BuiltinCase{"symboltable", specs::SymboltableAlg, 1},
+        BuiltinCase{"stackarray", specs::StackArrayAlg, 2},
+        BuiltinCase{"knowlist", specs::KnowlistAlg, 1},
+        BuiltinCase{"knows_symboltable", specs::KnowsSymboltableAlg, 2},
+        BuiltinCase{"nat", specs::NatAlg, 1},
+        BuiltinCase{"set", specs::SetAlg, 1},
+        BuiltinCase{"list", specs::ListAlg, 1},
+        BuiltinCase{"bag", specs::BagAlg, 1},
+        BuiltinCase{"bst", specs::BstAlg, 1},
+        BuiltinCase{"table", specs::TableAlg, 1}),
+    [](const ::testing::TestParamInfo<BuiltinCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Bag behaviour
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Loads one builtin spec text and wires an engine over it.
+class SpecFixture {
+public:
+  SpecFixture(std::string_view Text, const char *Name) {
+    auto Parsed = specs::load(Ctx, Text, Name);
+    EXPECT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+    Specs = Parsed.take();
+    std::vector<const Spec *> Ptrs;
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+    System = std::make_unique<RewriteSystem>(
+        RewriteSystem::buildChecked(Ctx, Ptrs).take());
+    Engine = std::make_unique<RewriteEngine>(Ctx, *System);
+  }
+
+  std::string norm(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    auto Normal = Engine->normalize(*Term);
+    EXPECT_TRUE(static_cast<bool>(Normal)) << Normal.error().message();
+    return printTerm(Ctx, *Normal);
+  }
+
+  AlgebraContext Ctx;
+  std::vector<Spec> Specs;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+};
+
+} // namespace
+
+TEST(BagSpecTest, CountsMultiplicity) {
+  SpecFixture F(specs::BagAlg, "bag.alg");
+  EXPECT_EQ(F.norm("COUNT(INSERT(INSERT(INSERT(EMPTYBAG, 'a), 'b), 'a), "
+                   "'a)"),
+            "2");
+  EXPECT_EQ(F.norm("COUNT(EMPTYBAG, 'a)"), "0");
+}
+
+TEST(BagSpecTest, DeleteOneRemovesExactlyOne) {
+  SpecFixture F(specs::BagAlg, "bag.alg");
+  std::string TwoAs = "INSERT(INSERT(EMPTYBAG, 'a), 'a)";
+  EXPECT_EQ(F.norm("COUNT(DELETE_ONE(" + TwoAs + ", 'a), 'a)"), "1");
+  EXPECT_EQ(
+      F.norm("COUNT(DELETE_ONE(DELETE_ONE(" + TwoAs + ", 'a), 'a), 'a)"),
+      "0");
+  // Deleting an absent element is the identity.
+  EXPECT_EQ(F.norm("COUNT(DELETE_ONE(" + TwoAs + ", 'b), 'a)"), "2");
+}
+
+//===----------------------------------------------------------------------===//
+// Bst behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(BstSpecTest, InsertMaintainsSearchOrder) {
+  SpecFixture F(specs::BstAlg, "bst.alg");
+  std::string Tree = "INSERT(INSERT(INSERT(LEAF, 5), 2), 8)";
+  EXPECT_EQ(F.norm(Tree),
+            "NODE(NODE(LEAF, 2, LEAF), 5, NODE(LEAF, 8, LEAF))");
+}
+
+TEST(BstSpecTest, ContainsFollowsOrder) {
+  SpecFixture F(specs::BstAlg, "bst.alg");
+  std::string Tree = "INSERT(INSERT(INSERT(INSERT(LEAF, 5), 2), 8), 1)";
+  EXPECT_EQ(F.norm("CONTAINS?(" + Tree + ", 8)"), "true");
+  EXPECT_EQ(F.norm("CONTAINS?(" + Tree + ", 1)"), "true");
+  EXPECT_EQ(F.norm("CONTAINS?(" + Tree + ", 7)"), "false");
+}
+
+TEST(BstSpecTest, DuplicateInsertIsIdentity) {
+  SpecFixture F(specs::BstAlg, "bst.alg");
+  EXPECT_EQ(F.norm("SIZE(INSERT(INSERT(INSERT(LEAF, 5), 5), 5))"), "1");
+}
+
+TEST(BstSpecTest, TreeMinFindsLeftmost) {
+  SpecFixture F(specs::BstAlg, "bst.alg");
+  std::string Tree = "INSERT(INSERT(INSERT(INSERT(LEAF, 5), 2), 8), 1)";
+  EXPECT_EQ(F.norm("TREE_MIN(" + Tree + ")"), "1");
+  EXPECT_EQ(F.norm("TREE_MIN(LEAF)"), "error");
+}
+
+//===----------------------------------------------------------------------===//
+// Skeleton generation (paper section 3's presentation heuristics)
+//===----------------------------------------------------------------------===//
+
+TEST(SkeletonTest, QueueSkeletonsMatchThePaperAxiomCases) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  SkeletonReport Report = generateSkeletons(Ctx, Q);
+  // 3 defined ops x 2 constructors = 6 cases — the paper's axioms 1-6.
+  ASSERT_EQ(Report.Cases.size(), 6u);
+  EXPECT_TRUE(Report.NoCaseAnalysis.empty());
+
+  std::string Text = Report.render(Ctx);
+  EXPECT_NE(Text.find("FRONT(NEW) = ?"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("FRONT(ADD(queue, item)) = ?"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("REMOVE(NEW) = ?"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("IS_EMPTY?(ADD(queue, item)) = ?"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(SkeletonTest, SymboltableSkeletonsCoverNineCases) {
+  AlgebraContext Ctx;
+  Spec S = specs::loadSymboltable(Ctx).take();
+  SkeletonReport Report = generateSkeletons(Ctx, S);
+  // 3 defined ops x 3 constructors = 9 — exactly the paper's axioms 1-9.
+  EXPECT_EQ(Report.Cases.size(), 9u);
+}
+
+TEST(SkeletonTest, SignatureOnlySpecDrivesTheWorkflow) {
+  // The intended workflow: write the signature, generate the skeleton,
+  // fill in the right-hand sides, pass the completeness check.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Pair
+  uses Item
+  sorts Pair
+  ops
+    MK  : Item, Item -> Pair
+    FST : Pair -> Item
+    SND : Pair -> Item
+  constructors MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  SkeletonReport Report = generateSkeletons(Ctx, (*Parsed)[0]);
+  ASSERT_EQ(Report.Cases.size(), 2u);
+  std::string Text = Report.render(Ctx);
+  EXPECT_NE(Text.find("FST(MK(item, item1)) = ?"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("SND(MK(item, item1)) = ?"), std::string::npos)
+      << Text;
+}
+
+TEST(SkeletonTest, FreshVariablesAreNumberedPerCase) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec T
+  uses Item
+  sorts T
+  ops
+    MK : Item -> T
+    F  : T, T -> Bool
+  constructors MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  SkeletonReport Report = generateSkeletons(Ctx, (*Parsed)[0]);
+  ASSERT_EQ(Report.Cases.size(), 1u);
+  // Case analysis on the first T argument; the second stays a variable
+  // named after its sort.
+  EXPECT_EQ(printTerm(Ctx, Report.Cases[0].Lhs), "F(MK(item), t)");
+}
+
+TEST(SkeletonTest, NoCaseAnalysisReported) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec P
+  uses Identifier
+  sorts P
+  ops
+    MK : -> P
+    H  : Identifier -> Bool
+  constructors MK
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  SkeletonReport Report = generateSkeletons(Ctx, (*Parsed)[0]);
+  // H's only argument is an atom sort: no constructors to split on.
+  ASSERT_EQ(Report.NoCaseAnalysis.size(), 1u);
+  ASSERT_EQ(Report.Cases.size(), 1u);
+  EXPECT_EQ(printTerm(Ctx, Report.Cases[0].Lhs), "H(identifier)");
+}
+
+//===----------------------------------------------------------------------===//
+// SpecPrinter round-tripping
+//===----------------------------------------------------------------------===//
+
+namespace {
+class SpecRoundTrip : public ::testing::TestWithParam<BuiltinCase> {};
+} // namespace
+
+TEST_P(SpecRoundTrip, PrintedSpecReparsesIdentically) {
+  const BuiltinCase &Case = GetParam();
+
+  // Parse the original buffer.
+  AlgebraContext Ctx1;
+  auto Parsed1 = specs::load(Ctx1, Case.Text, std::string(Case.Name));
+  ASSERT_TRUE(static_cast<bool>(Parsed1)) << Parsed1.error().message();
+
+  // Print every spec of the buffer, in order, into one new buffer.
+  std::string Printed;
+  for (const Spec &S : *Parsed1)
+    Printed += printSpec(Ctx1, S) + "\n";
+
+  // Reparse into a fresh context.
+  AlgebraContext Ctx2;
+  auto Parsed2 = specs::load(Ctx2, Printed, "printed.alg");
+  ASSERT_TRUE(static_cast<bool>(Parsed2))
+      << Parsed2.error().message() << "\nprinted text:\n" << Printed;
+  ASSERT_EQ(Parsed2->size(), Parsed1->size());
+
+  for (size_t I = 0; I != Parsed1->size(); ++I) {
+    const Spec &A = (*Parsed1)[I];
+    const Spec &B = (*Parsed2)[I];
+    EXPECT_EQ(A.name(), B.name());
+    EXPECT_EQ(A.definedSorts().size(), B.definedSorts().size());
+    EXPECT_EQ(A.operations().size(), B.operations().size());
+    ASSERT_EQ(A.axioms().size(), B.axioms().size());
+    // Axioms agree textually (printed via each spec's own context).
+    for (size_t J = 0; J != A.axioms().size(); ++J)
+      EXPECT_EQ(printAxiom(Ctx1, A.axioms()[J]),
+                printAxiom(Ctx2, B.axioms()[J]))
+          << A.name() << " axiom " << J + 1;
+    // Constructor sets agree.
+    for (size_t J = 0; J != A.operations().size(); ++J)
+      EXPECT_EQ(Ctx1.op(A.operations()[J]).isConstructor(),
+                Ctx2.op(B.operations()[J]).isConstructor());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltins, SpecRoundTrip,
+    ::testing::Values(
+        BuiltinCase{"queue", specs::QueueAlg, 1},
+        BuiltinCase{"symboltable", specs::SymboltableAlg, 1},
+        BuiltinCase{"stackarray", specs::StackArrayAlg, 2},
+        BuiltinCase{"knowlist", specs::KnowlistAlg, 1},
+        BuiltinCase{"knows_symboltable", specs::KnowsSymboltableAlg, 2},
+        BuiltinCase{"nat", specs::NatAlg, 1},
+        BuiltinCase{"set", specs::SetAlg, 1},
+        BuiltinCase{"list", specs::ListAlg, 1},
+        BuiltinCase{"bag", specs::BagAlg, 1},
+        BuiltinCase{"bst", specs::BstAlg, 1},
+        BuiltinCase{"table", specs::TableAlg, 1}),
+    [](const ::testing::TestParamInfo<BuiltinCase> &Info) {
+      return std::string(Info.param.Name);
+    });

@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support library: Result/Error, string interning,
+/// source management, diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+#include "support/Error.h"
+#include "support/SourceMgr.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Error / Result
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, MessageOnly) {
+  Error E("something went wrong");
+  EXPECT_EQ(E.message(), "something went wrong");
+  EXPECT_FALSE(E.location().isValid());
+  EXPECT_EQ(E.str(), "something went wrong");
+}
+
+TEST(ErrorTest, WithLocation) {
+  Error E("bad token", SourceLoc(3, 7));
+  EXPECT_TRUE(E.location().isValid());
+  EXPECT_EQ(E.str(), "3:7: bad token");
+}
+
+TEST(ResultTest, SuccessHoldsValue) {
+  Result<int> R(42);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(ResultTest, FailureHoldsError) {
+  Result<int> R(makeError("nope"));
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.error().message(), "nope");
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> R(std::string("payload"));
+  std::string S = R.take();
+  EXPECT_EQ(S, "payload");
+}
+
+TEST(ResultTest, VoidSpecialization) {
+  Result<void> Ok;
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  Result<void> Bad(makeError("failed"));
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.error().message(), "failed");
+}
+
+TEST(ResultTest, ArrowAccess) {
+  Result<std::string> R(std::string("abc"));
+  EXPECT_EQ(R->size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInternerTest, InternDeduplicates) {
+  StringInterner Interner;
+  Symbol A = Interner.intern("queue");
+  Symbol B = Interner.intern("queue");
+  Symbol C = Interner.intern("stack");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(Interner.size(), 2u);
+}
+
+TEST(StringInternerTest, RoundTrip) {
+  StringInterner Interner;
+  Symbol Sym = Interner.intern("ENTERBLOCK");
+  EXPECT_EQ(Interner.str(Sym), "ENTERBLOCK");
+}
+
+TEST(StringInternerTest, LookupMissing) {
+  StringInterner Interner;
+  Interner.intern("present");
+  EXPECT_TRUE(Interner.lookup("present").isValid());
+  EXPECT_FALSE(Interner.lookup("absent").isValid());
+}
+
+TEST(StringInternerTest, DefaultSymbolInvalid) {
+  Symbol Sym;
+  EXPECT_FALSE(Sym.isValid());
+}
+
+TEST(StringInternerTest, ManyStringsStayStable) {
+  StringInterner Interner;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I < 1000; ++I)
+    Syms.push_back(Interner.intern("sym" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_EQ(Interner.str(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(Interner.lookup("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(StringInternerTest, ShortStringsSurviveGrowth) {
+  // SSO strings must stay resolvable after many inserts (buffer stability).
+  StringInterner Interner;
+  Symbol A = Interner.intern("a");
+  for (int I = 0; I < 5000; ++I)
+    Interner.intern(std::to_string(I));
+  EXPECT_EQ(Interner.str(A), "a");
+  EXPECT_EQ(Interner.lookup("a"), A);
+}
+
+//===----------------------------------------------------------------------===//
+// SourceMgr
+//===----------------------------------------------------------------------===//
+
+TEST(SourceMgrTest, SingleLine) {
+  SourceMgr SM("buf", "hello");
+  EXPECT_EQ(SM.numLines(), 1u);
+  SourceLoc Loc = SM.locForOffset(2);
+  EXPECT_EQ(Loc.line(), 1u);
+  EXPECT_EQ(Loc.column(), 3u);
+  EXPECT_EQ(SM.lineText(1), "hello");
+}
+
+TEST(SourceMgrTest, MultiLine) {
+  SourceMgr SM("buf", "ab\ncdef\ng");
+  EXPECT_EQ(SM.numLines(), 3u);
+  EXPECT_EQ(SM.lineText(2), "cdef");
+  SourceLoc Loc = SM.locForOffset(5); // 'e'
+  EXPECT_EQ(Loc.line(), 2u);
+  EXPECT_EQ(Loc.column(), 3u);
+}
+
+TEST(SourceMgrTest, OffsetAtLineStart) {
+  SourceMgr SM("buf", "ab\ncd");
+  SourceLoc Loc = SM.locForOffset(3);
+  EXPECT_EQ(Loc.line(), 2u);
+  EXPECT_EQ(Loc.column(), 1u);
+}
+
+TEST(SourceMgrTest, OffsetPastEndClamps) {
+  SourceMgr SM("buf", "ab\ncd");
+  SourceLoc Loc = SM.locForOffset(1000);
+  EXPECT_EQ(Loc.line(), 2u);
+}
+
+TEST(SourceMgrTest, TrailingNewlineDoesNotAddLine) {
+  SourceMgr SM("buf", "ab\ncd\n");
+  EXPECT_EQ(SM.numLines(), 2u);
+}
+
+TEST(SourceMgrTest, LineTextOutOfRange) {
+  SourceMgr SM("buf", "ab");
+  EXPECT_EQ(SM.lineText(0), "");
+  EXPECT_EQ(SM.lineText(9), "");
+}
+
+TEST(SourceMgrTest, EmptyBuffer) {
+  SourceMgr SM("buf", "");
+  SourceLoc Loc = SM.locForOffset(0);
+  EXPECT_EQ(Loc.line(), 1u);
+  EXPECT_EQ(Loc.column(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// DiagnosticEngine
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticTest, CountsErrorsOnly) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc(1, 1), "meh");
+  Diags.note(SourceLoc(1, 2), "fyi");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(2, 1), "boom");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticTest, RenderWithoutSourceMgr) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(2, 5), "unexpected token");
+  std::string Out = Diags.render();
+  EXPECT_NE(Out.find("2:5: error: unexpected token"), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderWithCaret) {
+  SourceMgr SM("spec.alg", "spec Queue\n  oops here\n");
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(2, 3), "unknown keyword 'oops'");
+  std::string Out = Diags.render(&SM);
+  EXPECT_NE(Out.find("spec.alg:2:3: error: unknown keyword 'oops'"),
+            std::string::npos);
+  EXPECT_NE(Out.find("  oops here"), std::string::npos);
+  EXPECT_NE(Out.find("  ^"), std::string::npos);
+}
+
+TEST(DiagnosticTest, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(), "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}

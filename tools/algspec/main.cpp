@@ -1,0 +1,532 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The algspec command-line driver.
+///
+///   algspec check <file.alg>...          parse + completeness + consistency
+///   algspec eval  <file.alg> -e <term>   normalize a term against the specs
+///   algspec run   <file.alg> <prog>      run an assignment program (x := ...)
+///   algspec trace <file.alg> -e <term>   normalize, printing every step
+///   algspec enum  <file.alg> -s <sort> -d <depth>
+///                                        enumerate ground constructor terms
+///   algspec axioms <file.alg>            pretty-print the parsed axioms
+///
+/// `--builtin <name>` (queue, symboltable, stackarray, knowlist,
+/// knows_symboltable, nat, set, list) loads an embedded paper spec
+/// instead of (or in addition to) files.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+#include "support/SourceMgr.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+// This is tool code, not library code: std::cin is the natural way to
+// support `algspec run specs.alg -`.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: algspec <command> [options] [files...]\n"
+      "\n"
+      "commands:\n"
+      "  check   parse the specs, then run the sufficient-completeness\n"
+      "          and consistency checkers\n"
+      "  axioms  pretty-print every parsed spec and its axioms\n"
+      "  eval    normalize a term: algspec eval q.alg -e 'FRONT(ADD(NEW, "
+      "'x))'\n"
+      "  trace   like eval, printing each rewrite step\n"
+      "  run     execute an assignment program file (or - for stdin)\n"
+      "  enum    enumerate ground terms: algspec enum q.alg -s Queue -d 3\n"
+      "  skeleton  generate the axiom left-hand sides a new spec needs\n"
+      "            (one per defined-op/constructor pair)\n"
+      "  fmt     reprint the specs in canonical form\n"
+      "  verify  check a representation: --abstract <spec> --rep-sort\n"
+      "          <sort> --phi <op> --map ABSTRACT=IMPL... [--free]\n"
+      "          [--invariant <op>] [--hom] [-d <depth>]\n"
+      "\n"
+      "options:\n"
+      "  --builtin <name>   load an embedded paper spec (queue,\n"
+      "                     symboltable, stackarray, knowlist,\n"
+      "                     knows_symboltable, nat, set, list)\n"
+      "  -e <term>          the term for eval/trace\n"
+      "  -s <sort>          the sort for enum\n"
+      "  -d <depth>         the depth for enum (default 3)\n"
+      "  --dynamic <depth>  also run the dynamic completeness check\n");
+  return 2;
+}
+
+Result<std::string> readFile(const std::string &Path) {
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    return Buffer.str();
+  }
+  std::ifstream In(Path);
+  if (!In)
+    return makeError("cannot open '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::string_view builtinText(const std::string &Name) {
+  if (Name == "queue")
+    return specs::QueueAlg;
+  if (Name == "symboltable")
+    return specs::SymboltableAlg;
+  if (Name == "stackarray")
+    return specs::StackArrayAlg;
+  if (Name == "knowlist")
+    return specs::KnowlistAlg;
+  if (Name == "knows_symboltable")
+    return specs::KnowsSymboltableAlg;
+  if (Name == "nat")
+    return specs::NatAlg;
+  if (Name == "set")
+    return specs::SetAlg;
+  if (Name == "list")
+    return specs::ListAlg;
+  return {};
+}
+
+struct Options {
+  std::string Command;
+  std::vector<std::string> Files;
+  std::vector<std::string> Builtins;
+  std::string TermText;
+  std::string SortName;
+  unsigned Depth = 3;
+  int DynamicDepth = -1;
+  // verify options.
+  std::string AbstractSpec;
+  std::string RepSort;
+  std::string PhiName;
+  std::vector<std::pair<std::string, std::string>> OpMap;
+  std::string InvariantName;
+  bool FreeDomain = false;
+  bool Homomorphism = false;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto needValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--builtin") {
+      const char *V = needValue("--builtin");
+      if (!V)
+        return false;
+      Opts.Builtins.push_back(V);
+    } else if (Arg == "-e") {
+      const char *V = needValue("-e");
+      if (!V)
+        return false;
+      Opts.TermText = V;
+    } else if (Arg == "-s") {
+      const char *V = needValue("-s");
+      if (!V)
+        return false;
+      Opts.SortName = V;
+    } else if (Arg == "-d") {
+      const char *V = needValue("-d");
+      if (!V)
+        return false;
+      Opts.Depth = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--dynamic") {
+      const char *V = needValue("--dynamic");
+      if (!V)
+        return false;
+      Opts.DynamicDepth = std::atoi(V);
+    } else if (Arg == "--abstract") {
+      const char *V = needValue("--abstract");
+      if (!V)
+        return false;
+      Opts.AbstractSpec = V;
+    } else if (Arg == "--rep-sort") {
+      const char *V = needValue("--rep-sort");
+      if (!V)
+        return false;
+      Opts.RepSort = V;
+    } else if (Arg == "--phi") {
+      const char *V = needValue("--phi");
+      if (!V)
+        return false;
+      Opts.PhiName = V;
+    } else if (Arg == "--map") {
+      const char *V = needValue("--map");
+      if (!V)
+        return false;
+      std::string Pair = V;
+      size_t Eq = Pair.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "error: --map wants ABSTRACT=IMPL\n");
+        return false;
+      }
+      Opts.OpMap.emplace_back(Pair.substr(0, Eq), Pair.substr(Eq + 1));
+    } else if (Arg == "--invariant") {
+      const char *V = needValue("--invariant");
+      if (!V)
+        return false;
+      Opts.InvariantName = V;
+    } else if (Arg == "--free") {
+      Opts.FreeDomain = true;
+    } else if (Arg == "--hom") {
+      Opts.Homomorphism = true;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Files.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+/// Loads every requested builtin and file into \p WS. Returns false (with
+/// diagnostics printed) on any failure.
+bool loadAll(Workspace &WS, const Options &Opts,
+             const std::vector<std::string> &Files) {
+  for (const std::string &Name : Opts.Builtins) {
+    std::string_view Text = builtinText(Name);
+    if (Text.empty()) {
+      std::fprintf(stderr, "error: unknown builtin spec '%s'\n",
+                   Name.c_str());
+      return false;
+    }
+    if (Result<void> R = WS.load(Text, Name + ".alg"); !R) {
+      std::fprintf(stderr, "%s", R.error().message().c_str());
+      return false;
+    }
+  }
+  for (const std::string &Path : Files) {
+    Result<std::string> Text = readFile(Path);
+    if (!Text) {
+      std::fprintf(stderr, "error: %s\n", Text.error().message().c_str());
+      return false;
+    }
+    if (Result<void> R = WS.load(*Text, Path); !R) {
+      std::fprintf(stderr, "%s", R.error().message().c_str());
+      return false;
+    }
+  }
+  if (WS.specs().empty()) {
+    std::fprintf(stderr, "error: no specs loaded; pass files or "
+                         "--builtin\n");
+    return false;
+  }
+  return true;
+}
+
+int cmdCheck(Workspace &WS, const Options &Opts) {
+  bool AllGood = true;
+  for (const Spec &S : WS.specs()) {
+    CompletenessReport Report = WS.checkComplete(S);
+    std::printf("spec '%s': %zu operations, %zu axioms\n",
+                S.name().c_str(), S.operations().size(),
+                S.axioms().size());
+    std::printf("  sufficient completeness: %s\n",
+                Report.SufficientlyComplete ? "yes" : "NO");
+    if (!Report.SufficientlyComplete) {
+      AllGood = false;
+      std::printf("%s", Report.renderPrompt(WS.context()).c_str());
+    }
+    for (const std::string &Caveat : Report.Caveats)
+      std::printf("  note: %s\n", Caveat.c_str());
+    if (Opts.DynamicDepth > 0) {
+      CompletenessReport Dynamic = checkCompletenessDynamic(
+          WS.context(), S, WS.specPointers(),
+          static_cast<unsigned>(Opts.DynamicDepth));
+      std::printf("  dynamic check (depth %d): %zu stuck term(s)\n",
+                  Opts.DynamicDepth, Dynamic.Missing.size());
+      AllGood &= Dynamic.SufficientlyComplete;
+    }
+  }
+  ConsistencyReport Consistency = WS.checkConsistent();
+  std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
+  AllGood &= Consistency.Consistent;
+  return AllGood ? 0 : 1;
+}
+
+int cmdAxioms(Workspace &WS) {
+  for (const Spec &S : WS.specs()) {
+    std::printf("spec %s\n", S.name().c_str());
+    for (OpId Op : S.operations()) {
+      const OpInfo &Info = WS.context().op(Op);
+      std::string Domain;
+      for (size_t I = 0; I != Info.ArgSorts.size(); ++I) {
+        if (I)
+          Domain += ", ";
+        Domain += WS.context().sortName(Info.ArgSorts[I]);
+      }
+      std::printf("  %s%-14s : %s -> %s\n",
+                  Info.isConstructor() ? "*" : " ",
+                  std::string(WS.context().opName(Op)).c_str(),
+                  Domain.c_str(),
+                  std::string(WS.context().sortName(Info.ResultSort))
+                      .c_str());
+    }
+    for (const Axiom &Ax : S.axioms())
+      std::printf("  (%u) %s\n", Ax.Number,
+                  printAxiom(WS.context(), Ax).c_str());
+    std::printf("(* marks constructors)\n\n");
+  }
+  return 0;
+}
+
+int cmdEval(Workspace &WS, const Options &Opts, bool Trace) {
+  if (Opts.TermText.empty()) {
+    std::fprintf(stderr, "error: eval/trace need -e <term>\n");
+    return 2;
+  }
+  EngineOptions EngineOpts;
+  EngineOpts.KeepTrace = Trace;
+  auto SessionOrErr = WS.session(EngineOpts);
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
+    return 1;
+  }
+  Session S = SessionOrErr.take();
+  Result<TermId> Term = parseTermText(WS.context(), Opts.TermText);
+  if (!Term) {
+    std::fprintf(stderr, "%s", Term.error().message().c_str());
+    return 1;
+  }
+  Result<TermId> Normal = S.engine().normalize(*Term);
+  if (!Normal) {
+    std::fprintf(stderr, "error: %s\n", Normal.error().message().c_str());
+    return 1;
+  }
+  if (Trace)
+    for (const TraceStep &Step : S.engine().trace())
+      std::printf("%s ~> %s  [axiom %u of %s]\n",
+                  printTerm(WS.context(), Step.Before).c_str(),
+                  printTerm(WS.context(), Step.After).c_str(),
+                  Step.AppliedRule->AxiomNumber,
+                  Step.AppliedRule->SpecName.c_str());
+  std::printf("%s\n", printTerm(WS.context(), *Normal).c_str());
+  return 0;
+}
+
+int cmdRun(Workspace &WS, const Options &Opts,
+           const std::string &ProgramPath) {
+  Result<std::string> Program = readFile(ProgramPath);
+  if (!Program) {
+    std::fprintf(stderr, "error: %s\n", Program.error().message().c_str());
+    return 1;
+  }
+  auto SessionOrErr = WS.session();
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
+    return 1;
+  }
+  Session S = SessionOrErr.take();
+  if (Result<void> R = S.runProgram(*Program); !R) {
+    std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
+    return 1;
+  }
+  // Print the final value of every register assigned by the program, in
+  // program order of first assignment (approximated by scanning lines).
+  std::string Line;
+  std::istringstream In(*Program);
+  std::vector<std::string> Printed;
+  while (std::getline(In, Line)) {
+    size_t Pos = Line.find(":=");
+    if (Pos == std::string::npos)
+      continue;
+    std::string Name = Line.substr(0, Pos);
+    Name.erase(0, Name.find_first_not_of(" \t"));
+    Name.erase(Name.find_last_not_of(" \t") + 1);
+    if (Name.empty() ||
+        std::find(Printed.begin(), Printed.end(), Name) != Printed.end())
+      continue;
+    Printed.push_back(Name);
+    TermId Value = S.lookup(Name);
+    if (Value.isValid())
+      std::printf("%s = %s\n", Name.c_str(),
+                  printTerm(WS.context(), Value).c_str());
+  }
+  (void)Opts;
+  return 0;
+}
+
+int cmdVerify(Workspace &WS, const Options &Opts) {
+  if (Opts.AbstractSpec.empty() || Opts.RepSort.empty() ||
+      Opts.PhiName.empty() || Opts.OpMap.empty()) {
+    std::fprintf(stderr,
+                 "error: verify needs --abstract <spec>, --rep-sort "
+                 "<sort>, --phi <op>, and --map ABSTRACT=IMPL pairs\n");
+    return 2;
+  }
+  const Spec *Abstract = WS.find(Opts.AbstractSpec);
+  if (!Abstract) {
+    std::fprintf(stderr, "error: no loaded spec named '%s'\n",
+                 Opts.AbstractSpec.c_str());
+    return 1;
+  }
+
+  RepMapping Mapping;
+  Mapping.AbstractSort = Abstract->principalSort();
+  Mapping.RepSort = WS.context().lookupSort(Opts.RepSort);
+  Mapping.Phi = WS.context().lookupOp(Opts.PhiName);
+  if (!Mapping.RepSort.isValid() || !Mapping.Phi.isValid()) {
+    std::fprintf(stderr, "error: unknown representation sort or phi\n");
+    return 1;
+  }
+  for (const auto &[AbstractName, ImplName] : Opts.OpMap) {
+    OpId AbstractOp;
+    for (OpId Op : WS.context().lookupOps(AbstractName)) {
+      const OpInfo &Info = WS.context().op(Op);
+      bool Involves = Info.ResultSort == Mapping.AbstractSort;
+      for (SortId S : Info.ArgSorts)
+        Involves |= S == Mapping.AbstractSort;
+      if (Involves)
+        AbstractOp = Op;
+    }
+    OpId ImplOp = WS.context().lookupOp(ImplName);
+    if (!AbstractOp.isValid() || !ImplOp.isValid()) {
+      std::fprintf(stderr, "error: cannot resolve --map %s=%s\n",
+                   AbstractName.c_str(), ImplName.c_str());
+      return 1;
+    }
+    Mapping.OpMap.emplace(AbstractOp, ImplOp);
+  }
+
+  VerifyOptions VOpts;
+  VOpts.Domain =
+      Opts.FreeDomain ? ValueDomain::FreeTerms : ValueDomain::Reachable;
+  VOpts.Depth = Opts.Depth;
+  if (!Opts.InvariantName.empty()) {
+    VOpts.Invariant = WS.context().lookupOp(Opts.InvariantName);
+    if (!VOpts.Invariant.isValid()) {
+      std::fprintf(stderr, "error: unknown invariant operation '%s'\n",
+                   Opts.InvariantName.c_str());
+      return 1;
+    }
+  }
+
+  VerifyReport Report =
+      Opts.Homomorphism
+          ? verifyHomomorphism(WS.context(), *Abstract, WS.specPointers(),
+                               Mapping, VOpts)
+          : verifyRepresentation(WS.context(), *Abstract,
+                                 WS.specPointers(), Mapping, VOpts);
+  std::printf("%s", Report.render(WS.context()).c_str());
+  return Report.AllHold ? 0 : 1;
+}
+
+int cmdEnum(Workspace &WS, const Options &Opts) {
+  if (Opts.SortName.empty()) {
+    std::fprintf(stderr, "error: enum needs -s <sort>\n");
+    return 2;
+  }
+  SortId Sort = WS.context().lookupSort(Opts.SortName);
+  if (!Sort.isValid()) {
+    std::fprintf(stderr, "error: unknown sort '%s'\n",
+                 Opts.SortName.c_str());
+    return 1;
+  }
+  TermEnumerator Enumerator(WS.context());
+  const std::vector<TermId> &Terms = Enumerator.enumerate(Sort, Opts.Depth);
+  for (TermId Term : Terms)
+    std::printf("%s\n", printTerm(WS.context(), Term).c_str());
+  std::fprintf(stderr, "%zu term(s) of sort %s up to depth %u%s\n",
+               Terms.size(), Opts.SortName.c_str(), Opts.Depth,
+               Enumerator.wasTruncated(Sort, Opts.Depth) ? " (truncated)"
+                                                         : "");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  Workspace WS;
+
+  if (Opts.Command == "check") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdCheck(WS, Opts);
+  }
+  if (Opts.Command == "axioms") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdAxioms(WS);
+  }
+  if (Opts.Command == "fmt") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    for (const Spec &S : WS.specs())
+      std::printf("%s\n", printSpec(WS.context(), S).c_str());
+    return 0;
+  }
+  if (Opts.Command == "eval" || Opts.Command == "trace") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdEval(WS, Opts, Opts.Command == "trace");
+  }
+  if (Opts.Command == "run") {
+    // The last file is the program; the rest are specs.
+    if (Opts.Files.empty() && Opts.Builtins.empty()) {
+      std::fprintf(stderr, "error: run needs specs and a program file\n");
+      return 2;
+    }
+    std::vector<std::string> SpecFiles = Opts.Files;
+    if (SpecFiles.empty()) {
+      std::fprintf(stderr, "error: run needs a program file\n");
+      return 2;
+    }
+    std::string ProgramPath = SpecFiles.back();
+    SpecFiles.pop_back();
+    if (!loadAll(WS, Opts, SpecFiles))
+      return 1;
+    return cmdRun(WS, Opts, ProgramPath);
+  }
+  if (Opts.Command == "enum") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdEnum(WS, Opts);
+  }
+  if (Opts.Command == "verify") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdVerify(WS, Opts);
+  }
+  if (Opts.Command == "skeleton") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    for (const Spec &S : WS.specs()) {
+      std::printf("-- skeleton for spec %s\n", S.name().c_str());
+      SkeletonReport Report = generateSkeletons(WS.context(), S);
+      std::printf("%s\n", Report.render(WS.context()).c_str());
+    }
+    return 0;
+  }
+  return usage();
+}
