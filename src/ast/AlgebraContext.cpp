@@ -177,10 +177,11 @@ OpId AlgebraContext::intOp(BuiltinOp Which) const {
 // Variables
 //===----------------------------------------------------------------------===//
 
-VarId AlgebraContext::addVar(std::string_view Name, SortId Sort) {
+VarId AlgebraContext::addVar(std::string_view Name, SortId Sort,
+                             SourceLoc Loc) {
   assert(Sort.isValid() && "variable needs a sort");
   VarId Id(static_cast<uint32_t>(Vars.size()));
-  Vars.push_back(VarInfo{intern(Name), Sort});
+  Vars.push_back(VarInfo{intern(Name), Sort, Loc});
   return Id;
 }
 

@@ -39,6 +39,9 @@ namespace algspec {
 struct VarInfo {
   Symbol Name;
   SortId Sort;
+  /// Where the variable was declared (invalid for programmatically built
+  /// or renamed-apart variables). Lint diagnostics point here.
+  SourceLoc Loc;
 };
 
 class AlgebraContext {
@@ -127,7 +130,8 @@ public:
   // Variables
   //===--------------------------------------------------------------------===
 
-  VarId addVar(std::string_view Name, SortId Sort);
+  VarId addVar(std::string_view Name, SortId Sort,
+               SourceLoc Loc = SourceLoc());
   const VarInfo &var(VarId Id) const;
   std::string_view varName(VarId Id) const { return str(var(Id).Name); }
   unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }

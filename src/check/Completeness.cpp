@@ -375,7 +375,7 @@ CompletenessReport algspec::checkCompletenessDynamic(
                                  " failed: " + Normal.error().message());
       } else if (Engine.isStuck(*Normal)) {
         Report.SufficientlyComplete = false;
-        Report.Missing.push_back(MissingCase{Op, Application});
+        Report.Missing.emplace_back(Op, Application);
       }
 
       size_t Pos = 0;

@@ -137,9 +137,9 @@ algspec::checkConsistency(AlgebraContext &Ctx,
              .second)
       return;
     Report.Consistent = false;
-    Report.Contradictions.push_back(Contradiction{
+    Report.Contradictions.emplace_back(
         RuleA.SpecName, RuleB.SpecName, RuleA.AxiomNumber,
-        RuleB.AxiomNumber, Overlap, NormA, NormB});
+        RuleB.AxiomNumber, Overlap, NormA, NormB);
   };
 
   // Full Knuth-Bendix critical pairs: for every rule A, every non-variable

@@ -1,0 +1,474 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Lint.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "rewrite/Matcher.h"
+#include "rewrite/Substitution.h"
+#include "support/SourceMgr.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// Term walking helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects every variable occurring in \p Term into \p Vars.
+void collectVars(const AlgebraContext &Ctx, TermId Term,
+                 std::unordered_set<VarId> &Vars) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    Vars.insert(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVars(Ctx, Child, Vars);
+}
+
+/// Collects every operation occurring in \p Term into \p Ops.
+void collectOps(const AlgebraContext &Ctx, TermId Term,
+                std::unordered_set<OpId> &Ops) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Op)
+    Ops.insert(Node.Op);
+  for (TermId Child : Ctx.children(Term))
+    collectOps(Ctx, Child, Ops);
+}
+
+std::string axiomLabel(const Axiom &Ax) {
+  return "axiom (" + std::to_string(Ax.Number) + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Rule: unused-variable
+//===----------------------------------------------------------------------===//
+
+/// A variable declared in the vars section that no axiom of the spec
+/// mentions. Usually a leftover from an edit; the paper's assistant would
+/// prompt for the axiom the author meant to write with it.
+class UnusedVariablePass : public LintPass {
+public:
+  std::string_view name() const override { return "unused-variable"; }
+  std::string_view description() const override {
+    return "axiom variables declared but mentioned by no axiom";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    std::unordered_set<VarId> Used;
+    for (const Axiom &Ax : LC.spec().axioms()) {
+      collectVars(Ctx, Ax.Lhs, Used);
+      collectVars(Ctx, Ax.Rhs, Used);
+    }
+    for (VarId Var : LC.spec().variables()) {
+      if (Used.count(Var))
+        continue;
+      const VarInfo &Info = Ctx.var(Var);
+      std::string Name(Ctx.str(Info.Name));
+      LC.report(name(), DiagKind::Warning, Info.Loc,
+                "variable '" + Name + "' of sort '" +
+                    std::string(Ctx.sortName(Info.Sort)) +
+                    "' is declared but appears in no axiom",
+                "please remove '" + Name +
+                    "' from the vars section or supply an axiom "
+                    "mentioning it");
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Rule: unbound-rhs-variable
+//===----------------------------------------------------------------------===//
+
+/// A right-hand-side variable the left-hand side does not bind. The axiom
+/// states a relation but cannot run as a rewrite rule: the engine would
+/// have to invent a value. RewriteSystem::build rejects such axioms at
+/// execution time; this pass reports them at check time, with a repair.
+class UnboundRhsVariablePass : public LintPass {
+public:
+  std::string_view name() const override { return "unbound-rhs-variable"; }
+  std::string_view description() const override {
+    return "right-hand-side variables the left-hand side does not bind";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    for (const Axiom &Ax : LC.spec().axioms()) {
+      std::unordered_set<VarId> LhsVars, RhsVars;
+      collectVars(Ctx, Ax.Lhs, LhsVars);
+      collectVars(Ctx, Ax.Rhs, RhsVars);
+      for (VarId Var : RhsVars) {
+        if (LhsVars.count(Var))
+          continue;
+        std::string Name(Ctx.str(Ctx.var(Var).Name));
+        LC.report(name(), DiagKind::Error, Ax.Loc,
+                  axiomLabel(Ax) + ": variable '" + Name +
+                      "' occurs on the right-hand side but is not bound "
+                      "by the left-hand side; the axiom cannot run as a "
+                      "rewrite rule",
+                  "please make '" + Name +
+                      "' appear in the left-hand side, or replace it "
+                      "with a ground term");
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Rule: non-left-linear
+//===----------------------------------------------------------------------===//
+
+/// A left-hand side that repeats a variable. Matching requires the two
+/// occurrences to be *identical* terms — stronger than the semantic
+/// equality SAME decides — and the static completeness analysis
+/// over-approximates what such a row covers.
+class NonLeftLinearPass : public LintPass {
+public:
+  std::string_view name() const override { return "non-left-linear"; }
+  std::string_view description() const override {
+    return "left-hand sides repeating a variable";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    for (const Axiom &Ax : LC.spec().axioms()) {
+      std::unordered_set<VarId> Seen;
+      VarId Repeated;
+      auto Walk = [&](auto &&Self, TermId Term) -> void {
+        const TermNode &Node = Ctx.node(Term);
+        if (Node.Kind == TermKind::Var) {
+          if (!Seen.insert(Node.Var).second && !Repeated.isValid())
+            Repeated = Node.Var;
+          return;
+        }
+        for (TermId Child : Ctx.children(Term))
+          Self(Self, Child);
+      };
+      Walk(Walk, Ax.Lhs);
+      if (!Repeated.isValid())
+        continue;
+      std::string Name(Ctx.str(Ctx.var(Repeated).Name));
+      LC.report(name(), DiagKind::Warning, Ax.Loc,
+                axiomLabel(Ax) + ": left-hand side repeats variable '" +
+                    Name +
+                    "'; the occurrences only match syntactically equal "
+                    "terms and coverage analysis is approximate",
+                "please introduce a fresh variable and compare with "
+                "SAME(" +
+                    Name + ", ...) on the right-hand side");
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Rule: subsumed-axiom
+//===----------------------------------------------------------------------===//
+
+/// An axiom whose left-hand side is an instance of an *earlier* axiom's
+/// left-hand side. The rewrite engine tries rules in declaration order,
+/// so the later axiom can never apply — it is dead, and if its right-hand
+/// side disagrees with the earlier one it silently states an unreachable
+/// contradiction.
+class SubsumedAxiomPass : public LintPass {
+public:
+  std::string_view name() const override { return "subsumed-axiom"; }
+  std::string_view description() const override {
+    return "axioms shadowed by an earlier, more general axiom";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    const std::vector<Axiom> &Axioms = LC.spec().axioms();
+    for (size_t J = 1; J < Axioms.size(); ++J) {
+      const TermNode &JNode = Ctx.node(Axioms[J].Lhs);
+      if (JNode.Kind != TermKind::Op)
+        continue;
+      for (size_t I = 0; I < J; ++I) {
+        const TermNode &INode = Ctx.node(Axioms[I].Lhs);
+        if (INode.Kind != TermKind::Op || INode.Op != JNode.Op)
+          continue;
+        Substitution Subst;
+        if (!matchTerm(Ctx, Axioms[I].Lhs, Axioms[J].Lhs, Subst))
+          continue;
+        LC.report(
+            name(), DiagKind::Warning, Axioms[J].Loc,
+            axiomLabel(Axioms[J]) + " is subsumed by " +
+                axiomLabel(Axioms[I]) + ": every term it matches, " +
+                printTerm(Ctx, Axioms[I].Lhs) +
+                " already rewrites; the axiom can never apply",
+            "please delete " + axiomLabel(Axioms[J]) +
+                " or make its left-hand side more specific than " +
+                printTerm(Ctx, Axioms[I].Lhs));
+        break; // One subsumer per axiom is enough.
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Rule: non-constructor-lhs
+//===----------------------------------------------------------------------===//
+
+/// Constructor-discipline violations in a left-hand side: the root must
+/// be a defined operation (constructors are canonical values; builtins
+/// are native), and every position below the root must be a constructor
+/// pattern — a defined or builtin operation there makes the axiom
+/// invisible to the static completeness analysis and dependent on
+/// evaluation order.
+class NonConstructorLhsPass : public LintPass {
+public:
+  std::string_view name() const override { return "non-constructor-lhs"; }
+  std::string_view description() const override {
+    return "left-hand sides violating constructor discipline";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    for (const Axiom &Ax : LC.spec().axioms()) {
+      const TermNode &Root = Ctx.node(Ax.Lhs);
+      if (Root.Kind != TermKind::Op) {
+        LC.report(name(), DiagKind::Error, Ax.Loc,
+                  axiomLabel(Ax) + ": left-hand side must be an "
+                                   "operation application, not a variable "
+                                   "or literal",
+                  "please write the left-hand side as a defined "
+                  "operation applied to constructor patterns");
+        continue;
+      }
+      const OpInfo &RootInfo = Ctx.op(Root.Op);
+      if (RootInfo.isConstructor())
+        LC.report(name(), DiagKind::Warning, Ax.Loc,
+                  axiomLabel(Ax) + ": left-hand side is headed by "
+                                   "constructor '" +
+                      std::string(Ctx.opName(Root.Op)) +
+                      "'; rewriting canonical values changes the algebra "
+                      "itself",
+                  "please orient the axiom so a defined operation is at "
+                  "the root");
+      else if (RootInfo.isBuiltin())
+        LC.report(name(), DiagKind::Error, Ax.Loc,
+                  axiomLabel(Ax) + ": left-hand side is headed by "
+                                   "builtin '" +
+                      std::string(Ctx.opName(Root.Op)) +
+                      "', which the engine evaluates natively; the axiom "
+                      "will be rejected",
+                  "please define a new operation instead of re-axiomatizing "
+                  "a builtin");
+      for (TermId Arg : Ctx.children(Ax.Lhs))
+        checkPattern(LC, Ax, Arg);
+    }
+  }
+
+private:
+  void checkPattern(LintContext &LC, const Axiom &Ax, TermId Pattern) {
+    AlgebraContext &Ctx = LC.context();
+    const TermNode &Node = Ctx.node(Pattern);
+    if (Node.Kind == TermKind::Op && !Ctx.op(Node.Op).isConstructor()) {
+      LC.report(name(), DiagKind::Warning, Ax.Loc,
+                axiomLabel(Ax) + ": left-hand side applies "
+                                 "non-constructor operation '" +
+                    std::string(Ctx.opName(Node.Op)) +
+                    "' below the root; the static checks ignore this "
+                    "axiom and matching depends on evaluation order",
+                "please case-split on the constructors of sort '" +
+                    std::string(Ctx.sortName(Node.Sort)) +
+                    "' instead of matching on '" +
+                    std::string(Ctx.opName(Node.Op)) + "'");
+      return; // One finding per offending subtree.
+    }
+    for (TermId Child : Ctx.children(Pattern))
+      checkPattern(LC, Ax, Child);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Rule: unused-declaration
+//===----------------------------------------------------------------------===//
+
+/// Sorts and operations declared by the spec but never used anywhere in
+/// the workspace: a sort no operation signature mentions, or an operation
+/// no axiom applies. Both usually indicate an incomplete presentation.
+class UnusedDeclarationPass : public LintPass {
+public:
+  std::string_view name() const override { return "unused-declaration"; }
+  std::string_view description() const override {
+    return "sorts and operations declared but never used";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+
+    // Usage is workspace-wide: sibling specs legitimately use this
+    // spec's sorts and operations (Stack of Arrays).
+    std::unordered_set<OpId> UsedOps;
+    std::unordered_set<SortId> UsedSorts;
+    for (const Spec *Other : LC.allSpecs()) {
+      for (const Axiom &Ax : Other->axioms()) {
+        collectOps(Ctx, Ax.Lhs, UsedOps);
+        collectOps(Ctx, Ax.Rhs, UsedOps);
+      }
+      for (OpId Op : Other->operations()) {
+        const OpInfo &Info = Ctx.op(Op);
+        UsedSorts.insert(Info.ResultSort);
+        UsedSorts.insert(Info.ArgSorts.begin(), Info.ArgSorts.end());
+      }
+    }
+
+    auto checkSort = [&](SortId Sort, std::string_view How) {
+      if (UsedSorts.count(Sort))
+        return;
+      const SortInfo &Info = Ctx.sort(Sort);
+      std::string Name(Ctx.str(Info.Name));
+      LC.report(name(), DiagKind::Warning, Info.Loc,
+                "sort '" + Name + "' is " + std::string(How) +
+                    " but no operation signature mentions it",
+                "please declare operations over '" + Name +
+                    "' or remove the declaration");
+    };
+    for (SortId Sort : LC.spec().definedSorts())
+      checkSort(Sort, "declared");
+    for (SortId Sort : LC.spec().usedSorts())
+      checkSort(Sort, "imported with 'uses'");
+
+    for (OpId Op : LC.spec().operations()) {
+      if (UsedOps.count(Op))
+        continue;
+      const OpInfo &Info = Ctx.op(Op);
+      std::string Name(Ctx.str(Info.Name));
+      LC.report(name(), DiagKind::Warning, Info.Loc,
+                "operation '" + Name + "' is declared but no axiom "
+                                       "mentions it",
+                Info.isConstructor()
+                    ? "please supply axioms relating the observers to "
+                      "constructor '" +
+                          Name + "'"
+                    : "please supply axioms of the form " + Name +
+                          "(...) = ... defining it over the constructors "
+                          "of its arguments");
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Framework
+//===----------------------------------------------------------------------===//
+
+LintPass::~LintPass() = default;
+
+void LintContext::report(std::string_view Rule, DiagKind Kind, SourceLoc Loc,
+                         std::string Message, std::string FixIt) {
+  Report.Findings.emplace_back(std::string(Rule), Kind, S.name(), Loc,
+                                std::move(Message), std::move(FixIt));
+}
+
+unsigned LintReport::errorCount() const {
+  return static_cast<unsigned>(
+      std::count_if(Findings.begin(), Findings.end(), [](const auto &F) {
+        return F.Kind == DiagKind::Error;
+      }));
+}
+
+unsigned LintReport::warningCount() const {
+  return static_cast<unsigned>(
+      std::count_if(Findings.begin(), Findings.end(), [](const auto &F) {
+        return F.Kind == DiagKind::Warning;
+      }));
+}
+
+std::string algspec::renderFinding(const LintFinding &F,
+                                   const SourceMgr *SM) {
+  std::string Out;
+  auto prefix = [&] {
+    if (SM && !SM->name().empty()) {
+      Out += SM->name();
+      Out += ':';
+    }
+    if (F.Loc.isValid()) {
+      Out += std::to_string(F.Loc.line());
+      Out += ':';
+      Out += std::to_string(F.Loc.column());
+      Out += ": ";
+    }
+  };
+  prefix();
+  Out += F.Kind == DiagKind::Error ? "error: " : "warning: ";
+  Out += F.Message;
+  Out += " [";
+  Out += F.Rule;
+  Out += "]\n";
+  if (SM && F.Loc.isValid()) {
+    std::string_view Line = SM->lineText(F.Loc.line());
+    if (!Line.empty()) {
+      Out.append(Line);
+      Out += '\n';
+      for (uint32_t I = 1; I < F.Loc.column() && I <= Line.size(); ++I)
+        Out += Line[I - 1] == '\t' ? '\t' : ' ';
+      Out += "^\n";
+    }
+  }
+  if (!F.FixIt.empty()) {
+    prefix();
+    Out += "note: ";
+    Out += F.FixIt;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string LintReport::render(const SourceMgr *SM) const {
+  std::string Out;
+  for (const LintFinding &F : Findings)
+    Out += renderFinding(F, SM);
+  return Out;
+}
+
+LintReport Linter::run(AlgebraContext &Ctx,
+                       const std::vector<const Spec *> &Specs) const {
+  LintReport Report;
+  for (const Spec *S : Specs) {
+    size_t SpecBegin = Report.Findings.size();
+    for (const std::unique_ptr<LintPass> &Pass : Passes) {
+      LintContext LC(Ctx, *S, Specs, Report);
+      Pass->run(LC);
+    }
+    // Within one spec, order findings by source position so the output
+    // reads top to bottom regardless of which pass found what.
+    std::stable_sort(Report.Findings.begin() + SpecBegin,
+                     Report.Findings.end(),
+                     [](const LintFinding &A, const LintFinding &B) {
+                       if (A.Loc.line() != B.Loc.line())
+                         return A.Loc.line() < B.Loc.line();
+                       return A.Loc.column() < B.Loc.column();
+                     });
+  }
+  return Report;
+}
+
+Linter Linter::standard() {
+  Linter L;
+  L.addPass(std::make_unique<UnusedVariablePass>());
+  L.addPass(std::make_unique<UnboundRhsVariablePass>());
+  L.addPass(std::make_unique<NonLeftLinearPass>());
+  L.addPass(std::make_unique<SubsumedAxiomPass>());
+  L.addPass(std::make_unique<NonConstructorLhsPass>());
+  L.addPass(std::make_unique<UnusedDeclarationPass>());
+  return L;
+}
+
+LintReport algspec::lintSpecs(AlgebraContext &Ctx,
+                              const std::vector<const Spec *> &Specs) {
+  return Linter::standard().run(Ctx, Specs);
+}

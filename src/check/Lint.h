@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SpecLint: a static-analysis pass framework over .alg specifications.
+///
+/// The paper's mechanical assistant analyzes an axiom set *before* any
+/// implementation exists and "prompts the user to supply the additional
+/// information" (section 3). The completeness and consistency checkers
+/// cover two specific ways a presentation goes wrong; the lint passes here
+/// catch the rest of the common ones statically, each producing a
+/// structured \c LintFinding with a severity, a precise location, and —
+/// where a repair is mechanical — a fix-it suggestion in the paper's
+/// "please supply ..." prompt style.
+///
+/// Standard rules:
+///   unused-variable       a declared axiom variable no axiom mentions
+///   unbound-rhs-variable  a right-hand side variable the left-hand side
+///                         does not bind (the axiom is not executable)
+///   non-left-linear       a left-hand side repeating a variable
+///   subsumed-axiom        an axiom shadowed by an earlier, more general
+///                         axiom of the same operation (via matching)
+///   non-constructor-lhs   a defined or builtin operation at a non-root
+///                         left-hand-side position, or a constructor at
+///                         the root (constructor discipline)
+///   unused-declaration    sorts and operations declared but never used
+///
+/// New passes implement \c LintPass and register in \c standardPasses(),
+/// or are added to a custom \c Linter instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_LINT_H
+#define ALGSPEC_CHECK_LINT_H
+
+#include "ast/Ids.h"
+#include "support/Diagnostic.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class SourceMgr;
+class Spec;
+
+/// One structured lint result.
+struct LintFinding {
+  std::string Rule;     ///< Stable rule name, e.g. "unused-variable".
+  DiagKind Kind = DiagKind::Warning;
+  std::string SpecName; ///< Spec the finding belongs to.
+  SourceLoc Loc;        ///< Precise location (may be invalid for
+                        ///< programmatically built specs).
+  std::string Message;
+  std::string FixIt;    ///< Optional "please supply ..." repair prompt.
+};
+
+/// Options shared by every pass of one lint run.
+struct LintOptions {
+  bool WarningsAsErrors = false;
+};
+
+/// Accumulated findings of one lint run.
+struct LintReport {
+  std::vector<LintFinding> Findings;
+
+  unsigned errorCount() const;
+  unsigned warningCount() const;
+
+  /// True when the run should gate a pipeline: any error, or any warning
+  /// under -Werror.
+  bool failed(const LintOptions &Opts) const {
+    return errorCount() != 0 ||
+           (Opts.WarningsAsErrors && warningCount() != 0);
+  }
+  bool clean() const { return Findings.empty(); }
+
+  /// Renders findings clang-style, one per line, with the offending
+  /// source line and caret when \p SM covers the finding's location.
+  /// \p SM may be null.
+  std::string render(const SourceMgr *SM = nullptr) const;
+};
+
+/// Renders one finding clang-style ("name:line:col: severity: message
+/// [rule]"), with source line, caret, and fix-it note when \p SM is
+/// non-null. Callers with several buffers (the CLI) resolve \p SM per
+/// finding.
+std::string renderFinding(const LintFinding &F, const SourceMgr *SM);
+
+/// Everything a pass sees: the spec under analysis, the full workspace
+/// (axioms may reference operations of sibling specs), and the report to
+/// append to.
+class LintContext {
+public:
+  LintContext(AlgebraContext &Ctx, const Spec &S,
+              const std::vector<const Spec *> &AllSpecs, LintReport &Report)
+      : Ctx(Ctx), S(S), AllSpecs(AllSpecs), Report(Report) {}
+
+  AlgebraContext &context() const { return Ctx; }
+  const Spec &spec() const { return S; }
+  const std::vector<const Spec *> &allSpecs() const { return AllSpecs; }
+
+  void report(std::string_view Rule, DiagKind Kind, SourceLoc Loc,
+              std::string Message, std::string FixIt = std::string());
+
+private:
+  AlgebraContext &Ctx;
+  const Spec &S;
+  const std::vector<const Spec *> &AllSpecs;
+  LintReport &Report;
+};
+
+/// One lint rule. Passes are stateless between runs; \c run is invoked
+/// once per spec.
+class LintPass {
+public:
+  virtual ~LintPass();
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void run(LintContext &LC) = 0;
+};
+
+/// An ordered collection of passes applied to every spec of a workspace.
+class Linter {
+public:
+  Linter() = default;
+
+  void addPass(std::unique_ptr<LintPass> Pass) {
+    Passes.push_back(std::move(Pass));
+  }
+
+  const std::vector<std::unique_ptr<LintPass>> &passes() const {
+    return Passes;
+  }
+
+  /// Runs every pass over every spec; findings arrive grouped by spec in
+  /// pass-registration order.
+  LintReport run(AlgebraContext &Ctx,
+                 const std::vector<const Spec *> &Specs) const;
+
+  /// The standard rule set documented in docs/SPEC_LANGUAGE.md.
+  static Linter standard();
+
+private:
+  std::vector<std::unique_ptr<LintPass>> Passes;
+};
+
+/// Convenience: runs the standard linter over \p Specs.
+LintReport lintSpecs(AlgebraContext &Ctx,
+                     const std::vector<const Spec *> &Specs);
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_LINT_H

@@ -89,7 +89,7 @@ SkeletonReport algspec::generateSkeletons(AlgebraContext &Ctx,
       std::vector<TermId> Args;
       for (SortId ArgSort : Info.ArgSorts)
         Args.push_back(Fresh.fresh(ArgSort));
-      Report.Cases.push_back(SkeletonCase{Op, Ctx.makeOp(Op, Args)});
+      Report.Cases.emplace_back(Op, Ctx.makeOp(Op, Args));
       Report.NoCaseAnalysis.push_back(Op);
       continue;
     }
@@ -108,7 +108,7 @@ SkeletonReport algspec::generateSkeletons(AlgebraContext &Ctx,
           CtorArgs.push_back(Fresh.fresh(ArgSort));
         Args.push_back(Ctx.makeOp(Ctor, CtorArgs));
       }
-      Report.Cases.push_back(SkeletonCase{Op, Ctx.makeOp(Op, Args)});
+      Report.Cases.emplace_back(Op, Ctx.makeOp(Op, Args));
     }
   }
   return Report;

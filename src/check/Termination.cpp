@@ -1,0 +1,378 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Termination.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+/// Appends every operation applied anywhere inside \p Term to \p Order in
+/// first-visit (pre-order) order. Deterministic ordering keeps component
+/// numbering, cycle reports, and the rendered precedence stable across runs.
+void collectOps(const AlgebraContext &Ctx, TermId Term,
+                std::vector<OpId> &Order, std::unordered_set<OpId> &Seen) {
+  const TermNode &N = Ctx.node(Term);
+  if (N.Kind == TermKind::Op && Seen.insert(N.Op).second)
+    Order.push_back(N.Op);
+  for (TermId Child : Ctx.children(Term))
+    collectOps(Ctx, Child, Order, Seen);
+}
+
+/// Tarjan's strongly-connected-components algorithm. Components come out
+/// sinks-first: every component an edge leaves into is emitted before the
+/// component the edge leaves from, so a single forward sweep computes
+/// longest-path ranks.
+class TarjanScc {
+public:
+  explicit TarjanScc(const std::vector<std::vector<unsigned>> &Adj)
+      : ComponentOf(Adj.size(), 0), Adj(Adj), Index(Adj.size(), Unvisited),
+        Low(Adj.size(), 0), OnStack(Adj.size(), false) {
+    for (unsigned N = 0; N < Adj.size(); ++N)
+      if (Index[N] == Unvisited)
+        visit(N);
+  }
+
+  std::vector<std::vector<unsigned>> Components;
+  std::vector<unsigned> ComponentOf;
+
+private:
+  static constexpr unsigned Unvisited = ~0u;
+
+  void visit(unsigned N) {
+    Index[N] = Low[N] = Next++;
+    Stack.push_back(N);
+    OnStack[N] = true;
+    for (unsigned M : Adj[N]) {
+      if (Index[M] == Unvisited) {
+        visit(M);
+        Low[N] = std::min(Low[N], Low[M]);
+      } else if (OnStack[M]) {
+        Low[N] = std::min(Low[N], Index[M]);
+      }
+    }
+    if (Low[N] != Index[N])
+      return;
+    std::vector<unsigned> Component;
+    unsigned M;
+    do {
+      M = Stack.back();
+      Stack.pop_back();
+      OnStack[M] = false;
+      ComponentOf[M] = static_cast<unsigned>(Components.size());
+      Component.push_back(M);
+    } while (M != N);
+    Components.push_back(std::move(Component));
+  }
+
+  const std::vector<std::vector<unsigned>> &Adj;
+  std::vector<unsigned> Index;
+  std::vector<unsigned> Low;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  unsigned Next = 0;
+};
+
+/// The recursive path ordering with lexicographic status over a rank-based
+/// operation precedence. Hash-consing makes structural equality a TermId
+/// compare, so the lexicographic step and the memo table are cheap.
+class Rpo {
+public:
+  Rpo(const AlgebraContext &Ctx,
+      const std::unordered_map<OpId, unsigned> &OpRank)
+      : Ctx(Ctx), OpRank(OpRank) {}
+
+  /// True when S >rpo T.
+  bool greater(TermId S, TermId T) {
+    if (S == T)
+      return false;
+    const TermNode &SN = Ctx.node(S);
+    // A variable dominates nothing but itself.
+    if (SN.Kind == TermKind::Var)
+      return false;
+    const TermNode &TN = Ctx.node(T);
+    // S > x iff x occurs in S.
+    if (TN.Kind == TermKind::Var)
+      return occurs(S, TN.Var);
+    uint64_t Key = (static_cast<uint64_t>(S.index()) << 32) | T.index();
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+    bool Result = compute(S, SN, T, TN);
+    Memo.emplace(Key, Result);
+    return Result;
+  }
+
+private:
+  /// Head-symbol precedence: operations sit at 2 + dependency rank, atom
+  /// and integer literals below every operation, error below everything.
+  /// With literals as minimal constants, "f(...) > 'x" and "anything
+  /// non-error > error" fall out of the ordinary precedence case.
+  int prec(const TermNode &N) const {
+    switch (N.Kind) {
+    case TermKind::Op: {
+      auto It = OpRank.find(N.Op);
+      return 2 + static_cast<int>(It == OpRank.end() ? 0u : It->second);
+    }
+    case TermKind::Atom:
+    case TermKind::Int:
+      return 1;
+    case TermKind::Error:
+      return 0;
+    case TermKind::Var:
+      break; // Handled before prec() is consulted.
+    }
+    return -1;
+  }
+
+  bool occurs(TermId Haystack, VarId V) const {
+    const TermNode &N = Ctx.node(Haystack);
+    if (N.Kind == TermKind::Var)
+      return N.Var == V;
+    for (TermId Child : Ctx.children(Haystack))
+      if (occurs(Child, V))
+        return true;
+    return false;
+  }
+
+  bool compute(TermId S, const TermNode &SN, TermId T, const TermNode &TN) {
+    // Subterm case: some immediate subterm of S equals or dominates T.
+    if (SN.Kind == TermKind::Op)
+      for (TermId Si : Ctx.children(S))
+        if (Si == T || greater(Si, T))
+          return true;
+
+    // Equal heads: compare arguments lexicographically; S must also
+    // dominate every argument of T.
+    if (SN.Kind == TermKind::Op && TN.Kind == TermKind::Op && SN.Op == TN.Op) {
+      std::span<const TermId> SC = Ctx.children(S);
+      std::span<const TermId> TC = Ctx.children(T);
+      size_t K = 0;
+      while (K < SC.size() && SC[K] == TC[K])
+        ++K;
+      if (K == SC.size() || !greater(SC[K], TC[K]))
+        return false;
+      for (TermId Tj : TC)
+        if (!greater(S, Tj))
+          return false;
+      return true;
+    }
+
+    // Precedence case: S's head stands strictly above T's head, and S
+    // dominates every argument of T.
+    if (prec(SN) > prec(TN)) {
+      if (TN.Kind == TermKind::Op)
+        for (TermId Tj : Ctx.children(T))
+          if (!greater(S, Tj))
+            return false;
+      return true;
+    }
+    return false;
+  }
+
+  const AlgebraContext &Ctx;
+  const std::unordered_map<OpId, unsigned> &OpRank;
+  std::unordered_map<uint64_t, bool> Memo;
+};
+
+/// Descends from \p Rhs into the first failing child until every child of
+/// the current subterm is dominated; that innermost failing subterm names
+/// the real obstruction rather than the whole right-hand side.
+TermId findWitness(const AlgebraContext &Ctx, Rpo &Order, TermId Lhs,
+                   TermId Rhs) {
+  TermId Cur = Rhs;
+  for (;;) {
+    if (Ctx.node(Cur).Kind != TermKind::Op)
+      return Cur;
+    TermId Next;
+    for (TermId Child : Ctx.children(Cur))
+      if (Child == Lhs || !Order.greater(Lhs, Child)) {
+        Next = Child;
+        break;
+      }
+    if (!Next.isValid())
+      return Cur;
+    Cur = Next;
+  }
+}
+
+std::string joinOpNames(const AlgebraContext &Ctx,
+                        const std::vector<OpId> &Ops,
+                        std::string_view Separator) {
+  std::string Out;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out.append(Ctx.opName(Ops[I]));
+  }
+  return Out;
+}
+
+} // namespace
+
+bool TerminationReport::provedFor(std::string_view SpecName) const {
+  for (const SpecTermination &ST : PerSpec)
+    if (ST.SpecName == SpecName)
+      return ST.Proved;
+  return false;
+}
+
+std::string TerminationReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  for (const SpecTermination &ST : PerSpec) {
+    Out += "termination of '" + ST.SpecName + "': ";
+    Out += ST.Proved ? "proved (recursive path ordering: every axiom "
+                       "strictly decreases)\n"
+                     : "not proved (runtime fuel bound still applies)\n";
+  }
+  for (const TerminationFailure &F : Failures)
+    Out += "  axiom (" + std::to_string(F.AxiomNumber) + ") of '" +
+           F.SpecName + "': " + F.Reason + "\n";
+  for (const std::vector<OpId> &Cycle : Cycles)
+    Out += "  mutual recursion: " + joinOpNames(Ctx, Cycle, " <-> ") + "\n";
+  return Out;
+}
+
+TerminationReport
+algspec::proveTermination(AlgebraContext &Ctx,
+                          const std::vector<const Spec *> &Specs) {
+  TerminationReport Report;
+
+  // 1. The defined-operation dependency graph: a node per operation the
+  // axioms mention, an edge from each axiom's head to every operation its
+  // right-hand side applies.
+  std::vector<OpId> Nodes;
+  std::unordered_set<OpId> Seen;
+  for (const Spec *S : Specs)
+    for (const Axiom &Ax : S->axioms()) {
+      collectOps(Ctx, Ax.Lhs, Nodes, Seen);
+      collectOps(Ctx, Ax.Rhs, Nodes, Seen);
+    }
+  std::unordered_map<OpId, unsigned> NodeOf;
+  for (unsigned N = 0; N < Nodes.size(); ++N)
+    NodeOf.emplace(Nodes[N], N);
+
+  std::vector<std::vector<unsigned>> Adj(Nodes.size());
+  for (const Spec *S : Specs)
+    for (const Axiom &Ax : S->axioms()) {
+      const TermNode &L = Ctx.node(Ax.Lhs);
+      if (L.Kind != TermKind::Op)
+        continue;
+      unsigned Head = NodeOf[L.Op];
+      std::vector<OpId> RhsOps;
+      std::unordered_set<OpId> RhsSeen;
+      collectOps(Ctx, Ax.Rhs, RhsOps, RhsSeen);
+      for (OpId Op : RhsOps) {
+        unsigned Target = NodeOf[Op];
+        if (std::find(Adj[Head].begin(), Adj[Head].end(), Target) ==
+            Adj[Head].end())
+          Adj[Head].push_back(Target);
+      }
+    }
+
+  // 2. Precedence synthesis. Collapse strongly connected components; a
+  // nontrivial component is mutual recursion, which no strict precedence
+  // can linearize — report it and fail its axioms. Self-loops (direct
+  // structural recursion) are fine: the lexicographic case handles them.
+  TarjanScc Scc(Adj);
+  std::unordered_set<OpId> Cyclic;
+  for (const std::vector<unsigned> &Component : Scc.Components) {
+    if (Component.size() < 2)
+      continue;
+    std::vector<OpId> Cycle;
+    for (unsigned N : Component) {
+      Cycle.push_back(Nodes[N]);
+      Cyclic.insert(Nodes[N]);
+    }
+    std::sort(Cycle.begin(), Cycle.end(), [&](OpId A, OpId B) {
+      return Ctx.opName(A) < Ctx.opName(B);
+    });
+    Report.Cycles.push_back(std::move(Cycle));
+  }
+
+  // Longest-path rank over the component DAG; any linearization of the
+  // dependency order is a valid precedence, and longest-path keeps every
+  // caller strictly above everything it calls.
+  std::vector<unsigned> ComponentRank(Scc.Components.size(), 0);
+  for (unsigned C = 0; C < Scc.Components.size(); ++C)
+    for (unsigned N : Scc.Components[C])
+      for (unsigned M : Adj[N]) {
+        unsigned MC = Scc.ComponentOf[M];
+        if (MC != C)
+          ComponentRank[C] = std::max(ComponentRank[C], ComponentRank[MC] + 1);
+      }
+
+  std::unordered_map<OpId, unsigned> OpRank;
+  for (unsigned N = 0; N < Nodes.size(); ++N)
+    OpRank.emplace(Nodes[N], ComponentRank[Scc.ComponentOf[N]]);
+
+  Report.Precedence = Nodes;
+  std::sort(Report.Precedence.begin(), Report.Precedence.end(),
+            [&](OpId A, OpId B) {
+              unsigned RA = OpRank.at(A), RB = OpRank.at(B);
+              if (RA != RB)
+                return RA > RB;
+              return Ctx.opName(A) < Ctx.opName(B);
+            });
+
+  // 3. Orient every axiom: LHS >rpo RHS.
+  Rpo Order(Ctx, OpRank);
+  for (const Spec *S : Specs) {
+    bool SpecOk = true;
+    for (const Axiom &Ax : S->axioms()) {
+      const TermNode &L = Ctx.node(Ax.Lhs);
+      std::string Reason;
+      if (L.Kind != TermKind::Op) {
+        Reason = "left-hand side is not an operation application, so the "
+                 "axiom is not an orientable rewrite rule";
+      } else if (Cyclic.count(L.Op) != 0) {
+        for (const std::vector<OpId> &Cycle : Report.Cycles)
+          if (std::find(Cycle.begin(), Cycle.end(), L.Op) != Cycle.end()) {
+            Reason = "operations " + joinOpNames(Ctx, Cycle, ", ") +
+                     " are mutually recursive; no strict operation "
+                     "precedence orients their axioms (each would need to "
+                     "stand above the other in the recursive path ordering)";
+            break;
+          }
+      } else if (!Order.greater(Ax.Lhs, Ax.Rhs)) {
+        TermId Witness = findWitness(Ctx, Order, Ax.Lhs, Ax.Rhs);
+        Reason = "left-hand side '" + printTerm(Ctx, Ax.Lhs) +
+                 "' does not dominate right-hand-side subterm '" +
+                 printTerm(Ctx, Witness) + "' in the recursive path ordering";
+        const TermNode &WN = Ctx.node(Witness);
+        if (WN.Kind == TermKind::Op && WN.Op == L.Op)
+          Reason += " (the recursive call is not applied to structurally "
+                    "smaller arguments)";
+      }
+      if (!Reason.empty()) {
+        SpecOk = false;
+        Report.Failures.emplace_back(S->name(), Ax.Number, Ax.Loc,
+                                     std::move(Reason));
+      }
+    }
+    Report.PerSpec.emplace_back(S->name(), SpecOk);
+  }
+  Report.AllProved = Report.Failures.empty();
+  return Report;
+}
+
+TerminationReport algspec::proveTermination(AlgebraContext &Ctx,
+                                            const Spec &S) {
+  std::vector<const Spec *> Specs{&S};
+  return proveTermination(Ctx, Specs);
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A termination prover for axiom sets, based on the recursive path
+/// ordering (RPO) with lexicographic status and a synthesized operation
+/// precedence.
+///
+/// The rewrite engine guards against divergent axiom sets with a runtime
+/// fuel bound (DESIGN.md section 5) — a caveat, not a guarantee. This
+/// module turns the caveat into a verdict: it
+///
+///  1. builds the **defined-operation dependency graph** (an edge from
+///     each axiom's head operation to every operation its right-hand
+///     side applies),
+///  2. synthesizes a strict **operation precedence** from a topological
+///     linearization of the graph's strongly connected components
+///     (mutual recursion — a nontrivial component — admits no strict
+///     precedence and is reported as the offending cycle), and
+///  3. attempts an RPO proof that every axiom's left-hand side strictly
+///     dominates its right-hand side.
+///
+/// When every axiom is oriented the rule set terminates on *all* inputs
+/// under *any* rewrite strategy — an unconditional verdict, so the fuel
+/// caveat can be dropped from check reports. The prover is sound but
+/// incomplete: axioms that recurse through a bare variable under a guard
+/// (RETRIEVE_R in the paper's Symboltable representation) terminate only
+/// by the guard's semantics, which a path ordering cannot see; such specs
+/// keep the fuel caveat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_TERMINATION_H
+#define ALGSPEC_CHECK_TERMINATION_H
+
+#include "ast/Ids.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class Spec;
+
+/// One axiom the ordering could not orient.
+struct TerminationFailure {
+  std::string SpecName;
+  unsigned AxiomNumber = 0;
+  SourceLoc Loc;
+  /// Why the proof failed, naming the offending right-hand-side subterm.
+  std::string Reason;
+};
+
+/// Per-spec verdict within a combined proof.
+struct SpecTermination {
+  std::string SpecName;
+  bool Proved = false;
+};
+
+/// Outcome of a termination proof over one or more specs.
+struct TerminationReport {
+  /// True when every axiom of every spec was oriented.
+  bool AllProved = false;
+  std::vector<SpecTermination> PerSpec;
+  std::vector<TerminationFailure> Failures;
+  /// Mutual-recursion cycles (each a list of distinct operations) that
+  /// blocked precedence synthesis; empty when the dependency graph's
+  /// nontrivial components are all singletons.
+  std::vector<std::vector<OpId>> Cycles;
+  /// The synthesized precedence, highest operation first (ties broken
+  /// arbitrarily); for diagnostics and tests.
+  std::vector<OpId> Precedence;
+
+  bool provedFor(std::string_view SpecName) const;
+
+  /// Renders the verdicts: one line per spec, then failures and cycles.
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Attempts an RPO termination proof over the axioms of every spec in
+/// \p Specs (analyzed together: axioms may call across specs, as Stack
+/// of Arrays does).
+TerminationReport proveTermination(AlgebraContext &Ctx,
+                                   const std::vector<const Spec *> &Specs);
+
+/// Convenience overload for a single spec.
+TerminationReport proveTermination(AlgebraContext &Ctx, const Spec &S);
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_TERMINATION_H

@@ -23,13 +23,17 @@
 #include "ast/TermPrinter.h"
 #include "check/Completeness.h"
 #include "check/Consistency.h"
+#include "check/Lint.h"
 #include "check/Skeleton.h"
+#include "check/Termination.h"
 #include "interp/Session.h"
 #include "model/ModelBinding.h"
 #include "model/ModelTester.h"
 #include "parser/Parser.h"
 #include "rewrite/Engine.h"
 #include "specs/BuiltinSpecs.h"
+#include "support/Diagnostic.h"
+#include "support/SourceMgr.h"
 #include "verify/RepVerifier.h"
 
 #include <memory>
@@ -46,14 +50,22 @@ public:
 
   AlgebraContext &context() { return *Ctx; }
 
-  /// Parses spec text into the workspace and appends the specs.
+  /// Parses spec text into the workspace and appends the specs. The
+  /// workspace keeps the source buffer so later diagnostics (lint
+  /// findings) can render the offending line.
   Result<void> load(std::string_view Text,
                     std::string BufferName = "<spec>") {
-    auto Parsed = parseSpecText(*Ctx, Text, std::move(BufferName));
-    if (!Parsed)
-      return Parsed.error();
-    for (Spec &S : *Parsed)
+    auto SM = std::make_unique<SourceMgr>(std::move(BufferName),
+                                          std::string(Text));
+    DiagnosticEngine Diags;
+    std::vector<Spec> Parsed = parseSpecs(*Ctx, *SM, Diags);
+    if (Diags.hasErrors())
+      return makeError(Diags.render(SM.get()));
+    Buffers.push_back(std::move(SM));
+    for (Spec &S : Parsed) {
       Specs.push_back(std::move(S));
+      SpecBuffer.push_back(Buffers.size() - 1);
+    }
     return Result<void>();
   }
 
@@ -77,6 +89,35 @@ public:
     return checkConsistency(*Ctx, specPointers(), GroundDepth);
   }
 
+  /// Runs the standard lint passes over every loaded spec.
+  LintReport lint() { return lintSpecs(*Ctx, specPointers()); }
+
+  /// Attempts a recursive-path-ordering termination proof over every
+  /// loaded spec's axioms.
+  TerminationReport termination() {
+    return proveTermination(*Ctx, specPointers());
+  }
+
+  /// The source buffer \p S was parsed from; null for specs the workspace
+  /// did not load itself.
+  const SourceMgr *bufferFor(const Spec &S) const {
+    for (size_t I = 0; I < Specs.size(); ++I)
+      if (&Specs[I] == &S)
+        return Buffers[SpecBuffer[I]].get();
+    return nullptr;
+  }
+
+  /// Renders a lint report, resolving each finding's source buffer by its
+  /// spec name (one workspace may hold buffers from several files).
+  std::string renderLint(const LintReport &Report) const {
+    std::string Out;
+    for (const LintFinding &F : Report.Findings) {
+      const Spec *S = find(F.SpecName);
+      Out += renderFinding(F, S != nullptr ? bufferFor(*S) : nullptr);
+    }
+    return Out;
+  }
+
   /// A symbolic-interpretation session over every loaded spec.
   Result<Session> session(EngineOptions Options = EngineOptions()) {
     return Session::create(*Ctx, specPointers(), Options);
@@ -94,6 +135,10 @@ public:
 private:
   std::unique_ptr<AlgebraContext> Ctx;
   std::vector<Spec> Specs;
+  /// Buffers loaded so far; SpecBuffer[I] is the index of the buffer
+  /// Specs[I] was parsed from.
+  std::vector<std::unique_ptr<SourceMgr>> Buffers;
+  std::vector<size_t> SpecBuffer;
 };
 
 } // namespace algspec

@@ -296,7 +296,7 @@ void SpecParserImpl::parseVars(Spec &S) {
         Diags.error(NameTok.Loc, "variable '" + Key + "' is already declared");
         continue;
       }
-      VarId Var = Ctx.addVar(NameTok.Text, Sort);
+      VarId Var = Ctx.addVar(NameTok.Text, Sort, NameTok.Loc);
       Scope.emplace(std::move(Key), Var);
       S.addVariable(Var);
     }

@@ -200,7 +200,7 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
         ++Stats.Steps;
         TermId Redex = applySubstitution(Ctx, R.Rhs, Subst);
         if (Options.KeepTrace)
-          Trace.push_back(TraceStep{Current, Redex, &R});
+          Trace.emplace_back(Current, Redex, &R);
         Current = Redex;
         Fired = true;
         break;

@@ -358,6 +358,49 @@ spec Bst
 end
 )";
 
+const std::string_view specs::BoundedQueueAlg = R"(
+-- A capacity-bounded Queue in the style of section 3, mirroring the
+-- BoundedQueue ADT (src/adt/BoundedQueue.h): ENQUEUE on a full queue is
+-- error, everything else behaves like the paper's Queue. The capacity
+-- rides along in the BNEW constructor, so the observers can recover it
+-- from any constructor form.
+spec BoundedQueue
+  uses Item
+  sorts BoundedQueue
+  ops
+    BNEW       : Int -> BoundedQueue
+    BADD       : BoundedQueue, Item -> BoundedQueue
+    CAPACITY   : BoundedQueue -> Int
+    BSIZE      : BoundedQueue -> Int
+    IS_BEMPTY? : BoundedQueue -> Bool
+    IS_FULL?   : BoundedQueue -> Bool
+    ENQUEUE    : BoundedQueue, Item -> BoundedQueue
+    BFRONT     : BoundedQueue -> Item
+    BREMOVE    : BoundedQueue -> BoundedQueue
+  constructors BNEW, BADD
+  vars
+    q : BoundedQueue
+    i : Item
+    n : Int
+  axioms
+    CAPACITY(BNEW(n)) = n                                       -- (1)
+    CAPACITY(BADD(q, i)) = CAPACITY(q)                          -- (2)
+    BSIZE(BNEW(n)) = 0                                          -- (3)
+    BSIZE(BADD(q, i)) = addi(1, BSIZE(q))                       -- (4)
+    IS_BEMPTY?(BNEW(n)) = true                                  -- (5)
+    IS_BEMPTY?(BADD(q, i)) = false                              -- (6)
+    IS_FULL?(q) = lei(CAPACITY(q), BSIZE(q))                    -- (7)
+    ENQUEUE(q, i) = if IS_FULL?(q) then error else BADD(q, i)   -- (8)
+    BFRONT(BNEW(n)) = error                                     -- (9)
+    BFRONT(BADD(q, i)) =
+      if IS_BEMPTY?(q) then i else BFRONT(q)                    -- (10)
+    BREMOVE(BNEW(n)) = error                                    -- (11)
+    BREMOVE(BADD(q, i)) =
+      if IS_BEMPTY?(q) then BNEW(CAPACITY(q))
+      else BADD(BREMOVE(q), i)                                  -- (12)
+end
+)";
+
 const std::string_view specs::TableAlg = R"(
 -- Paper section 5 (conclusions): "A database management system, for
 -- example, might be completely characterized by an algebraic

@@ -19,6 +19,8 @@
 ///                        from SymboltableAlg.
 ///  - NatAlg, SetAlg, ListAlg, BagAlg, BstAlg — extra types exercising
 ///    the checkers, the engine's Int builtins, and nested conditionals.
+///  - BoundedQueueAlg   — the BoundedQueue ADT's capacity-bounded Queue.
+///  - TableAlg          — section 5's database characterization.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +49,7 @@ extern const std::string_view SetAlg;
 extern const std::string_view ListAlg;
 extern const std::string_view BagAlg;
 extern const std::string_view BstAlg;
+extern const std::string_view BoundedQueueAlg;
 extern const std::string_view TableAlg;
 
 /// Parses one embedded spec text into \p Ctx. The builtin texts are

@@ -45,7 +45,10 @@ std::string DiagnosticEngine::render(const SourceMgr *SM) const {
       if (!Line.empty()) {
         Out.append(Line);
         Out += '\n';
-        for (uint32_t I = 1; I < D.Loc.column(); ++I)
+        // A location may point one past the end of the line (EOF, or a
+        // token spanning the newline); clamp so the padding loop never
+        // reads past the line text.
+        for (uint32_t I = 1; I < D.Loc.column() && I <= Line.size(); ++I)
           Out += Line[I - 1] == '\t' ? '\t' : ' ';
         Out += "^\n";
       }

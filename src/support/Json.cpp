@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+std::string algspec::jsonEscape(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::newline() {
+  Out += '\n';
+  Out.append(2 * Stack.size(), ' ');
+}
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (Stack.empty())
+    return;
+  assert(Stack.back().Kind == Scope::Array &&
+         "object members need a key() before each value");
+  if (Stack.back().HasEntries)
+    Out += ',';
+  Stack.back().HasEntries = true;
+  newline();
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  Stack.push_back(Frame{Scope::Object, false});
+  Out += '{';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().Kind == Scope::Object);
+  bool HadEntries = Stack.back().HasEntries;
+  Stack.pop_back();
+  if (HadEntries)
+    newline();
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  Stack.push_back(Frame{Scope::Array, false});
+  Out += '[';
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().Kind == Scope::Array);
+  bool HadEntries = Stack.back().HasEntries;
+  Stack.pop_back();
+  if (HadEntries)
+    newline();
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  assert(!Stack.empty() && Stack.back().Kind == Scope::Object &&
+         "key() is only valid inside an object");
+  assert(!PendingKey && "key() already pending a value");
+  if (Stack.back().HasEntries)
+    Out += ',';
+  Stack.back().HasEntries = true;
+  newline();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\": ";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view Str) {
+  beforeValue();
+  Out += '"';
+  Out += jsonEscape(Str);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool B) {
+  beforeValue();
+  Out += B ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t N) {
+  beforeValue();
+  Out += std::to_string(N);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t N) {
+  beforeValue();
+  Out += std::to_string(N);
+  return *this;
+}

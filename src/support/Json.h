@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal streaming JSON writer for the machine-readable CLI outputs
+/// (`algspec check --json`, `algspec lint --json`).
+///
+/// The writer tracks nesting and comma placement; callers emit keys and
+/// values in order. There is no reader — the toolkit only produces JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_JSON_H
+#define ALGSPEC_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+/// Escapes \p Str for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(std::string_view Str);
+
+/// Streaming JSON writer with automatic comma and indent handling.
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("findings").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+///   std::string Out = W.str();
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits "name": — must be followed by exactly one value.
+  JsonWriter &key(std::string_view Name);
+
+  JsonWriter &value(std::string_view Str);
+  JsonWriter &value(const char *Str) { return value(std::string_view(Str)); }
+  JsonWriter &value(bool B);
+  JsonWriter &value(int64_t N);
+  JsonWriter &value(uint64_t N);
+  JsonWriter &value(int N) { return value(static_cast<int64_t>(N)); }
+  JsonWriter &value(unsigned N) { return value(static_cast<uint64_t>(N)); }
+
+  const std::string &str() const { return Out; }
+
+private:
+  void beforeValue();
+  void newline();
+
+  enum class Scope : uint8_t { Object, Array };
+  struct Frame {
+    Scope Kind;
+    bool HasEntries = false;
+  };
+
+  std::string Out;
+  std::vector<Frame> Stack;
+  bool PendingKey = false;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_JSON_H

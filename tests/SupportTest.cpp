@@ -12,6 +12,7 @@
 
 #include "support/Diagnostic.h"
 #include "support/Error.h"
+#include "support/Json.h"
 #include "support/SourceMgr.h"
 #include "support/StringInterner.h"
 
@@ -212,4 +213,112 @@ TEST(DiagnosticTest, ClearResets) {
   Diags.clear();
   EXPECT_FALSE(Diags.hasErrors());
   EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(DiagnosticTest, RenderCaretClampsPastEndOfLine) {
+  // Locations may point one past the end of a line (EOF, or a token
+  // spanning the newline); the caret padding must clamp instead of
+  // reading past the line text.
+  SourceMgr SM("spec.alg", "ab\ncd\n");
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 9), "way out there");
+  std::string Out = Diags.render(&SM);
+  EXPECT_NE(Out.find("spec.alg:1:9: error: way out there"),
+            std::string::npos);
+  EXPECT_NE(Out.find("ab\n  ^\n"), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderCaretPreservesTabs) {
+  // Tabs before the caret column are copied through so the caret lines up
+  // under the offending token regardless of the terminal's tab stops.
+  SourceMgr SM("spec.alg", "\t\tbad\n");
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(1, 3), "bad token");
+  std::string Out = Diags.render(&SM);
+  EXPECT_NE(Out.find("\t\tbad\n\t\t^\n"), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderCaretOnMiddleLineOfBuffer) {
+  SourceMgr SM("spec.alg", "spec Q\n  sorts Q\n  axioms\nend\n");
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLoc(2, 9), "trailing sort");
+  std::string Out = Diags.render(&SM);
+  // Only the offending line is echoed, not its neighbors.
+  EXPECT_NE(Out.find("  sorts Q\n        ^\n"), std::string::npos);
+  EXPECT_EQ(Out.find("axioms"), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderAtEofLocation) {
+  // locForOffset(size) on a buffer without a trailing newline lands one
+  // column past the last character; rendering must not read out of
+  // bounds.
+  SourceMgr SM("spec.alg", "end");
+  SourceLoc Eof = SM.locForOffset(3);
+  EXPECT_EQ(Eof.line(), 1u);
+  EXPECT_EQ(Eof.column(), 4u);
+  DiagnosticEngine Diags;
+  Diags.error(Eof, "unexpected end of input");
+  std::string Out = Diags.render(&SM);
+  EXPECT_NE(Out.find("end\n   ^\n"), std::string::npos);
+}
+
+TEST(DiagnosticTest, RenderOnEmptyLineOmitsCaret) {
+  SourceMgr SM("spec.alg", "ab\n\ncd\n");
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(2, 1), "blank surprise");
+  std::string Out = Diags.render(&SM);
+  EXPECT_NE(Out.find("2:1: error: blank surprise"), std::string::npos);
+  // An empty source line has nothing to point at; no caret block.
+  EXPECT_EQ(Out.find('^'), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, WriterNestsAndPlacesCommas) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("a").value(1);
+  W.key("b").beginArray();
+  W.value(true);
+  W.value("x");
+  W.endArray();
+  W.key("c").beginObject();
+  W.endObject();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\n"
+                     "  \"a\": 1,\n"
+                     "  \"b\": [\n"
+                     "    true,\n"
+                     "    \"x\"\n"
+                     "  ],\n"
+                     "  \"c\": {}\n"
+                     "}");
+}
+
+TEST(JsonTest, WriterEmptyContainers) {
+  JsonWriter W;
+  W.beginArray();
+  W.endArray();
+  EXPECT_EQ(W.str(), "[]");
+}
+
+TEST(JsonTest, WriterNumericValues) {
+  JsonWriter W;
+  W.beginArray();
+  W.value(int64_t(-7));
+  W.value(uint64_t(42));
+  W.value(false);
+  W.endArray();
+  EXPECT_EQ(W.str(), "[\n  -7,\n  42,\n  false\n]");
 }

@@ -8,6 +8,9 @@
 /// The algspec command-line driver.
 ///
 ///   algspec check <file.alg>...          parse + completeness + consistency
+///                                        + termination verdicts
+///   algspec lint  <file.alg>...          static-analysis lint passes and
+///                                        the RPO termination prover
 ///   algspec eval  <file.alg> -e <term>   normalize a term against the specs
 ///   algspec run   <file.alg> <prog>      run an assignment program (x := ...)
 ///   algspec trace <file.alg> -e <term>   normalize, printing every step
@@ -16,12 +19,13 @@
 ///   algspec axioms <file.alg>            pretty-print the parsed axioms
 ///
 /// `--builtin <name>` (queue, symboltable, stackarray, knowlist,
-/// knows_symboltable, nat, set, list) loads an embedded paper spec
-/// instead of (or in addition to) files.
+/// knows_symboltable, nat, set, list, bag, bst, table, boundedqueue)
+/// loads an embedded paper spec instead of (or in addition to) files.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/AlgSpec.h"
+#include "support/Json.h"
 #include "support/SourceMgr.h"
 
 #include <algorithm>
@@ -46,7 +50,11 @@ int usage() {
       "\n"
       "commands:\n"
       "  check   parse the specs, then run the sufficient-completeness\n"
-      "          and consistency checkers\n"
+      "          and consistency checkers and the termination prover\n"
+      "  lint    run the static-analysis lint passes (unused variables,\n"
+      "          unbound RHS variables, non-left-linear patterns,\n"
+      "          subsumed axioms, constructor discipline, unused\n"
+      "          declarations) and the RPO termination prover\n"
       "  axioms  pretty-print every parsed spec and its axioms\n"
       "  eval    normalize a term: algspec eval q.alg -e 'FRONT(ADD(NEW, "
       "'x))'\n"
@@ -63,11 +71,14 @@ int usage() {
       "options:\n"
       "  --builtin <name>   load an embedded paper spec (queue,\n"
       "                     symboltable, stackarray, knowlist,\n"
-      "                     knows_symboltable, nat, set, list)\n"
+      "                     knows_symboltable, nat, set, list, bag,\n"
+      "                     bst, table, boundedqueue)\n"
       "  -e <term>          the term for eval/trace\n"
       "  -s <sort>          the sort for enum\n"
       "  -d <depth>         the depth for enum (default 3)\n"
-      "  --dynamic <depth>  also run the dynamic completeness check\n");
+      "  --dynamic <depth>  also run the dynamic completeness check\n"
+      "  --json             machine-readable output (check, lint)\n"
+      "  --Werror           lint: treat warnings as errors\n");
   return 2;
 }
 
@@ -102,6 +113,14 @@ std::string_view builtinText(const std::string &Name) {
     return specs::SetAlg;
   if (Name == "list")
     return specs::ListAlg;
+  if (Name == "bag")
+    return specs::BagAlg;
+  if (Name == "bst")
+    return specs::BstAlg;
+  if (Name == "table")
+    return specs::TableAlg;
+  if (Name == "boundedqueue")
+    return specs::BoundedQueueAlg;
   return {};
 }
 
@@ -113,6 +132,8 @@ struct Options {
   std::string SortName;
   unsigned Depth = 3;
   int DynamicDepth = -1;
+  bool Json = false;
+  bool WarningsAsErrors = false;
   // verify options.
   std::string AbstractSpec;
   std::string RepSort;
@@ -196,6 +217,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.FreeDomain = true;
     } else if (Arg == "--hom") {
       Opts.Homomorphism = true;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--Werror") {
+      Opts.WarningsAsErrors = true;
     } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -241,8 +266,57 @@ bool loadAll(Workspace &WS, const Options &Opts,
   return true;
 }
 
+const char *severityName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
 int cmdCheck(Workspace &WS, const Options &Opts) {
   bool AllGood = true;
+  TerminationReport Term = WS.termination();
+
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("specs").beginArray();
+    for (const Spec &S : WS.specs()) {
+      CompletenessReport Report = WS.checkComplete(S);
+      AllGood &= Report.SufficientlyComplete;
+      W.beginObject();
+      W.key("name").value(S.name());
+      W.key("operations").value(S.operations().size());
+      W.key("axioms").value(S.axioms().size());
+      W.key("sufficientlyComplete").value(Report.SufficientlyComplete);
+      W.key("missing").beginArray();
+      for (const MissingCase &M : Report.Missing)
+        W.value(printTerm(WS.context(), M.SuggestedLhs));
+      W.endArray();
+      W.key("caveats").beginArray();
+      for (const std::string &Caveat : Report.Caveats)
+        W.value(Caveat);
+      W.endArray();
+      W.key("terminationProved").value(Term.provedFor(S.name()));
+      W.endObject();
+    }
+    W.endArray();
+    ConsistencyReport Consistency = WS.checkConsistent();
+    AllGood &= Consistency.Consistent;
+    W.key("consistency").beginObject();
+    W.key("consistent").value(Consistency.Consistent);
+    W.key("contradictions").value(Consistency.Contradictions.size());
+    W.endObject();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+    return AllGood ? 0 : 1;
+  }
+
   for (const Spec &S : WS.specs()) {
     CompletenessReport Report = WS.checkComplete(S);
     std::printf("spec '%s': %zu operations, %zu axioms\n",
@@ -256,6 +330,16 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
     }
     for (const std::string &Caveat : Report.Caveats)
       std::printf("  note: %s\n", Caveat.c_str());
+    // A proved spec terminates under any strategy, so the engine's fuel
+    // bound is no longer a caveat of its verdicts.
+    if (Term.provedFor(S.name())) {
+      std::printf("  termination: proved unconditionally (recursive path "
+                  "ordering)\n");
+    } else {
+      std::printf("  termination: not proved\n");
+      std::printf("  note: normalization relies on the rewrite engine's "
+                  "fuel bound\n");
+    }
     if (Opts.DynamicDepth > 0) {
       CompletenessReport Dynamic = checkCompletenessDynamic(
           WS.context(), S, WS.specPointers(),
@@ -269,6 +353,67 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
   std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
   return AllGood ? 0 : 1;
+}
+
+void writeLintJson(const LintReport &Report, const TerminationReport &Term) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("findings").beginArray();
+  for (const LintFinding &F : Report.Findings) {
+    W.beginObject();
+    W.key("rule").value(F.Rule);
+    W.key("severity").value(severityName(F.Kind));
+    W.key("spec").value(F.SpecName);
+    W.key("line").value(F.Loc.line());
+    W.key("column").value(F.Loc.column());
+    W.key("message").value(F.Message);
+    if (!F.FixIt.empty())
+      W.key("fixit").value(F.FixIt);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("termination").beginArray();
+  for (const SpecTermination &ST : Term.PerSpec) {
+    W.beginObject();
+    W.key("spec").value(ST.SpecName);
+    W.key("proved").value(ST.Proved);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("terminationFailures").beginArray();
+  for (const TerminationFailure &F : Term.Failures) {
+    W.beginObject();
+    W.key("spec").value(F.SpecName);
+    W.key("axiom").value(F.AxiomNumber);
+    W.key("reason").value(F.Reason);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("errors").value(Report.errorCount());
+  W.key("warnings").value(Report.warningCount());
+  W.endObject();
+  std::printf("%s\n", W.str().c_str());
+}
+
+int cmdLint(Workspace &WS, const Options &Opts) {
+  LintOptions LOpts;
+  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
+  LintReport Report = WS.lint();
+  TerminationReport Term = WS.termination();
+  if (Opts.Json) {
+    writeLintJson(Report, Term);
+  } else {
+    std::printf("%s", WS.renderLint(Report).c_str());
+    std::printf("%s", Term.render(WS.context()).c_str());
+    if (Report.clean())
+      std::printf("lint: no findings.\n");
+    else
+      std::printf("%u error(s), %u warning(s) generated.\n",
+                  Report.errorCount(), Report.warningCount());
+  }
+  // Termination verdicts inform but do not gate: an unproved spec may
+  // still terminate under the engine's strategy (RPO is incomplete).
+  return Report.failed(LOpts) ? 1 : 0;
 }
 
 int cmdAxioms(Workspace &WS) {
@@ -473,6 +618,11 @@ int main(int Argc, char **Argv) {
     if (!loadAll(WS, Opts, Opts.Files))
       return 1;
     return cmdCheck(WS, Opts);
+  }
+  if (Opts.Command == "lint") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdLint(WS, Opts);
   }
   if (Opts.Command == "axioms") {
     if (!loadAll(WS, Opts, Opts.Files))
