@@ -99,6 +99,41 @@ void BM_DynamicCompletenessQueue(benchmark::State &State) {
         checkCompletenessDynamic(Ctx, Q, {&Q}, Depth));
 }
 
+/// Thread-scaling series for the sharded dynamic sweep: a fixed deep
+/// workload at jobs = 1, 2, 4, 8. The verdict is byte-identical across
+/// the series; only the wall clock should move. Symboltable checked
+/// against the full Stack-of-Arrays rule set is the deepest shipped
+/// workload: its operations take Identifier and Attributes arguments,
+/// so a widened atom universe multiplies the instance space.
+void BM_DynamicCompletenessJobs(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  std::vector<Spec> SA = specs::loadStackArray(Ctx).take();
+  std::vector<const Spec *> All{&Sym};
+  for (const Spec &S : SA)
+    All.push_back(&S);
+  EnumeratorOptions Enum;
+  Enum.AtomUniverse = 3;
+  ParallelOptions Par;
+  Par.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkCompletenessDynamic(
+        Ctx, Sym, All, /*MaxDepth=*/4, Enum, Par));
+}
+
+/// Thread-scaling series for the sharded critical-pair sweep over a
+/// synthetic spec big enough to have thousands of rule pairs.
+void BM_ConsistencyJobs(benchmark::State &State) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, syntheticSpec(4, 16));
+  Spec S = std::move(Parsed->front());
+  ParallelOptions Par;
+  Par.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(checkConsistency(
+        Ctx, {&S}, /*GroundDepth=*/3, EnumeratorOptions(), Par));
+}
+
 } // namespace
 
 // {constructors, defined ops}
@@ -112,5 +147,19 @@ BENCHMARK(BM_ConsistencySynthetic)->Args({2, 4})->Args({2, 16})->Args({8, 8});
 BENCHMARK(BM_CompletenessPaperSpecs);
 BENCHMARK(BM_ConsistencyPaperSpecs);
 BENCHMARK(BM_DynamicCompletenessQueue)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_DynamicCompletenessJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_ConsistencyJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -78,6 +78,26 @@ void BM_VerifyFreeTerms(benchmark::State &State) {
 }
 
 
+/// Thread-scaling series for the sharded instance sweep: the depth-4
+/// reachable-domain verification at jobs = 1, 2, 4, 8. The symbolic
+/// attempts and value collection stay serial, so this also exposes the
+/// Amdahl fraction of the pipeline.
+void BM_VerifyJobs(benchmark::State &State) {
+  RepFixture F;
+  VerifyOptions Options;
+  Options.Domain = ValueDomain::Reachable;
+  Options.Depth = 4;
+  // Force the sweep to do the work: symbolic proofs would discharge
+  // most obligations before any instance is visited.
+  Options.TrySymbolic = false;
+  Options.Par.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(F.Ctx, F.Abstract, F.Sources,
+                                               F.Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+  }
+}
+
 void BM_VerifyHomomorphism(benchmark::State &State) {
   RepFixture F;
   VerifyOptions Options;
@@ -96,6 +116,8 @@ BENCHMARK(BM_VerifyReachable)->Arg(2)->Arg(3)->Arg(4)->Arg(5)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VerifyFreeTerms)->Arg(2)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifyJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_VerifyHomomorphism)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

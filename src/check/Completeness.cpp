@@ -9,11 +9,13 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/ReplicaWorker.h"
 #include "rewrite/Engine.h"
 #include "rewrite/RewriteSystem.h"
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -324,7 +326,7 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
 CompletenessReport algspec::checkCompletenessDynamic(
     AlgebraContext &Ctx, const Spec &S,
     const std::vector<const Spec *> &AllSpecs, unsigned MaxDepth,
-    EnumeratorOptions EnumOptions) {
+    EnumeratorOptions EnumOptions, ParallelOptions Par) {
   CompletenessReport Report;
 
   DiagnosticEngine Diags;
@@ -335,6 +337,8 @@ CompletenessReport algspec::checkCompletenessDynamic(
   }
   RewriteEngine Engine(Ctx, System);
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
+  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
+      makeReplicaDriver(Par, Ctx, AllSpecs);
 
   for (OpId Op : S.definedOps(Ctx)) {
     const OpInfo &Info = Ctx.op(Op);
@@ -362,12 +366,24 @@ CompletenessReport algspec::checkCompletenessDynamic(
       continue;
     }
 
-    std::vector<size_t> Index(ArgSets.size(), 0);
-    std::vector<TermId> Args(ArgSets.size());
-    while (true) {
-      for (size_t I = 0; I != ArgSets.size(); ++I)
-        Args[I] = (*ArgSets[I])[Index[I]];
-      TermId Application = Ctx.makeOp(Op, Args);
+    // The odometer space flattened: argument 0 is the least significant
+    // digit, matching the serial loop's increment order.
+    size_t Total = 1;
+    bool Oversized = false;
+    for (const std::vector<TermId> *Set : ArgSets) {
+      if (Total > std::numeric_limits<size_t>::max() / Set->size()) {
+        Oversized = true;
+        break;
+      }
+      Total *= Set->size();
+    }
+    auto mainArgsFor = [&](size_t Flat, std::vector<TermId> &Args) {
+      for (size_t I = 0; I != ArgSets.size(); ++I) {
+        Args[I] = (*ArgSets[I])[Flat % ArgSets[I]->size()];
+        Flat /= ArgSets[I]->size();
+      }
+    };
+    auto checkOnMain = [&](TermId Application) {
       Result<TermId> Normal = Engine.normalize(Application);
       if (!Normal) {
         Report.Caveats.push_back("normalization of " +
@@ -377,6 +393,47 @@ CompletenessReport algspec::checkCompletenessDynamic(
         Report.SufficientlyComplete = false;
         Report.Missing.emplace_back(Op, Application);
       }
+    };
+
+    if (Driver && !Oversized) {
+      // Workers classify their shard of the space; anything that is not
+      // clean (stuck, or normalization failed, or no replica engine) is
+      // re-run on the main engine during the in-order merge below, which
+      // regenerates findings with main-context terms and exact serial
+      // messages. Findings are rare, so the re-runs are cheap.
+      std::vector<uint8_t> Flagged = Driver->map<uint8_t>(
+          Total, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
+            if (!W.Engine)
+              return 1;
+            std::vector<TermId> Args(ArgSets.size());
+            mainArgsFor(Flat, Args);
+            for (TermId &Arg : Args)
+              Arg = W.Rep->mapTerm(Arg);
+            TermId Application =
+                W.Rep->context().makeOp(W.Rep->mapOp(Op), Args);
+            Result<TermId> Normal = W.Engine->normalize(Application);
+            if (!Normal)
+              return 1;
+            return W.Engine->isStuck(*Normal) ? 1 : 0;
+          });
+      std::vector<TermId> Args(ArgSets.size());
+      for (size_t Flat = 0; Flat != Total; ++Flat) {
+        if (!Flagged[Flat])
+          continue;
+        mainArgsFor(Flat, Args);
+        checkOnMain(Ctx.makeOp(Op, Args));
+      }
+      continue;
+    }
+
+    // Serial sweep; the odometer needs no flat index, so it also covers
+    // the (absurd) case of a space too large for size_t.
+    std::vector<size_t> Index(ArgSets.size(), 0);
+    std::vector<TermId> Args(ArgSets.size());
+    while (true) {
+      for (size_t I = 0; I != ArgSets.size(); ++I)
+        Args[I] = (*ArgSets[I])[Index[I]];
+      checkOnMain(Ctx.makeOp(Op, Args));
 
       size_t Pos = 0;
       while (Pos != Index.size()) {
@@ -389,5 +446,10 @@ CompletenessReport algspec::checkCompletenessDynamic(
         break;
     }
   }
+  Report.Engine = Engine.stats();
+  if (Driver)
+    for (ReplicaWorker *W : Driver->states())
+      if (W->Engine)
+        Report.Engine += W->Engine->stats();
   return Report;
 }

@@ -33,6 +33,8 @@
 
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
+#include "rewrite/Engine.h"
+#include "support/Parallel.h"
 
 #include <string>
 #include <vector>
@@ -56,6 +58,11 @@ struct CompletenessReport {
   /// Conditions that make the verdict approximate (non-constructor
   /// patterns, enumerator truncation, uninhabited sorts).
   std::vector<std::string> Caveats;
+  /// Rewrite-engine counters for the dynamic check, aggregated over the
+  /// main engine and every worker replica. Not part of the verdict and
+  /// not deterministic across worker counts (memo behaviour depends on
+  /// how the sweep is chunked); the static check leaves them zero.
+  EngineStats Engine;
 
   /// Renders the paper-style prompt: one "please supply an axiom for ..."
   /// line per missing case.
@@ -70,11 +77,18 @@ CompletenessReport checkCompleteness(AlgebraContext &Ctx, const Spec &S);
 /// against the rules of \p AllSpecs (which must include \p S) and reports
 /// the stuck ones. \p AllSpecs exists because a spec may rely on
 /// operations of other specs (Stack of Arrays).
+///
+/// With \p Par asking for more than one job, the enumerated application
+/// space is sharded across a worker pool; each worker normalizes its
+/// share against a private re-elaboration of the specs, and findings are
+/// merged in enumeration order, so the report is byte-identical to the
+/// serial sweep at any job count.
 CompletenessReport
 checkCompletenessDynamic(AlgebraContext &Ctx, const Spec &S,
                          const std::vector<const Spec *> &AllSpecs,
                          unsigned MaxDepth,
-                         EnumeratorOptions EnumOptions = EnumeratorOptions());
+                         EnumeratorOptions EnumOptions = EnumeratorOptions(),
+                         ParallelOptions Par = ParallelOptions());
 
 } // namespace algspec
 

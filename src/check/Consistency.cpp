@@ -9,11 +9,13 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/ReplicaWorker.h"
 #include "check/Unify.h"
 #include "rewrite/Engine.h"
 #include "rewrite/RewriteSystem.h"
 #include "rewrite/Substitution.h"
 
+#include <limits>
 #include <set>
 #include <tuple>
 #include <unordered_map>
@@ -103,11 +105,130 @@ static TermId replaceAt(AlgebraContext &Ctx, TermId Term,
   return Ctx.makeOp(Ctx.node(Term).Op, Children);
 }
 
+namespace {
+/// Everything one rule-pair examination reads and mutates, bundled so
+/// the same code runs on the main context and on worker replicas.
+struct PairSweepState {
+  AlgebraContext &Ctx;
+  RewriteEngine &Engine;
+  TermEnumerator &Enumerator;
+  unsigned GroundDepth;
+};
+} // namespace
+
+/// Examines every critical pair between \p RuleA (any position of its
+/// left-hand side) and \p RuleB (renamed apart, at that position).
+/// \p Report receives each divergent pair; \p NormFailure each
+/// normalization failure message. \p AI / \p BI are the rules' indices
+/// in the system (root overlaps are visited once per unordered pair).
+static void checkRulePair(
+    PairSweepState &PS, const Rule &RuleA, size_t AI, const Rule &RuleB,
+    size_t BI,
+    const std::function<void(const Rule &, const Rule &, TermId, TermId,
+                             TermId)> &Report,
+    const std::function<void(const std::string &)> &NormFailure) {
+  AlgebraContext &Ctx = PS.Ctx;
+  auto normalizeOrCaveat = [&](TermId Term) -> TermId {
+    Result<TermId> Normal = PS.Engine.normalize(Term);
+    if (Normal)
+      return *Normal;
+    NormFailure("normalization failed during the check: " +
+                Normal.error().message());
+    return TermId();
+  };
+
+  std::vector<std::vector<uint32_t>> Positions =
+      nonVariablePositions(Ctx, RuleA.Lhs);
+  auto [LhsB, RhsB] = renameRuleApart(Ctx, RuleB.Lhs, RuleB.Rhs);
+
+  for (const std::vector<uint32_t> &Pos : Positions) {
+    bool Root = Pos.empty();
+    // Root overlaps are symmetric: visit each unordered pair once.
+    // A rule trivially overlaps itself at the root; skip that too.
+    if (Root && BI <= AI)
+      continue;
+    TermId Sub = subtermAt(Ctx, RuleA.Lhs, Pos);
+    if (Ctx.node(Sub).Op != RuleB.HeadOp)
+      continue;
+    std::optional<Substitution> Mgu = unifyTerms(Ctx, Sub, LhsB);
+    if (!Mgu)
+      continue;
+
+    TermId Overlap = applySubstitution(Ctx, RuleA.Lhs, *Mgu);
+    TermId InstA = applySubstitution(Ctx, RuleA.Rhs, *Mgu);
+    TermId InstB = applySubstitution(
+        Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
+
+    // Critical pair: both peak reducts must join.
+    TermId NormA = normalizeOrCaveat(InstA);
+    TermId NormB = normalizeOrCaveat(InstB);
+    if (NormA.isValid() && NormB.isValid() && NormA != NormB) {
+      Report(RuleA, RuleB, Overlap, NormA, NormB);
+      continue;
+    }
+    if (PS.GroundDepth == 0)
+      continue;
+
+    // Ground pass: instantiate the peak's remaining variables with
+    // enumerated values; divergence may only appear on concrete
+    // atoms (e.g. a SAME guard deciding differently per rule).
+    std::vector<VarId> FreeVars;
+    std::unordered_set<VarId> SeenVars;
+    collectVarsOrdered(Ctx, Overlap, FreeVars, SeenVars);
+    collectVarsOrdered(Ctx, InstA, FreeVars, SeenVars);
+    collectVarsOrdered(Ctx, InstB, FreeVars, SeenVars);
+    if (FreeVars.empty())
+      continue;
+
+    std::vector<const std::vector<TermId> *> Values;
+    bool Empty = false;
+    for (VarId Var : FreeVars) {
+      const std::vector<TermId> &Set =
+          PS.Enumerator.enumerate(Ctx.var(Var).Sort, PS.GroundDepth);
+      if (Set.empty())
+        Empty = true;
+      Values.push_back(&Set);
+    }
+    if (Empty)
+      continue;
+
+    constexpr size_t MaxGroundInstances = 512;
+    size_t Count = 0;
+    std::vector<size_t> Index(FreeVars.size(), 0);
+    bool FoundHere = false;
+    while (!FoundHere && Count < MaxGroundInstances) {
+      Substitution Ground;
+      for (size_t I = 0; I != FreeVars.size(); ++I)
+        Ground.bind(FreeVars[I], (*Values[I])[Index[I]]);
+      TermId GroundA =
+          normalizeOrCaveat(applySubstitution(Ctx, InstA, Ground));
+      TermId GroundB =
+          normalizeOrCaveat(applySubstitution(Ctx, InstB, Ground));
+      if (GroundA.isValid() && GroundB.isValid() && GroundA != GroundB) {
+        Report(RuleA, RuleB, applySubstitution(Ctx, Overlap, Ground),
+               GroundA, GroundB);
+        FoundHere = true;
+      }
+      ++Count;
+      size_t P = 0;
+      while (P != Index.size()) {
+        if (++Index[P] < Values[P]->size())
+          break;
+        Index[P] = 0;
+        ++P;
+      }
+      if (P == Index.size())
+        break;
+    }
+  }
+}
+
 ConsistencyReport
 algspec::checkConsistency(AlgebraContext &Ctx,
                           const std::vector<const Spec *> &Specs,
                           unsigned GroundDepth,
-                          EnumeratorOptions EnumOptions) {
+                          EnumeratorOptions EnumOptions,
+                          ParallelOptions Par) {
   ConsistencyReport Report;
 
   DiagnosticEngine Diags;
@@ -116,18 +237,12 @@ algspec::checkConsistency(AlgebraContext &Ctx,
     Report.Caveats.push_back(
         "some axioms could not be oriented into rules and were skipped");
   RewriteEngine Engine(Ctx, System);
+  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
+      makeReplicaDriver(Par, Ctx, Specs, EngineOptions(), EnumOptions);
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
 
   const std::vector<Rule> &Rules = System.rules();
-
-  auto normalizeOrCaveat = [&](TermId Term) -> TermId {
-    Result<TermId> Normal = Engine.normalize(Term);
-    if (Normal)
-      return *Normal;
-    Report.Caveats.push_back("normalization failed during the check: " +
-                             Normal.error().message());
-    return TermId();
-  };
+  PairSweepState PS{Ctx, Engine, Enumerator, GroundDepth};
 
   // Deduplicate findings: one report per distinct (overlap, results).
   std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Seen;
@@ -141,103 +256,53 @@ algspec::checkConsistency(AlgebraContext &Ctx,
         RuleA.SpecName, RuleB.SpecName, RuleA.AxiomNumber,
         RuleB.AxiomNumber, Overlap, NormA, NormB);
   };
+  auto caveat = [&](const std::string &Message) {
+    Report.Caveats.push_back(Message);
+  };
 
   // Full Knuth-Bendix critical pairs: for every rule A, every non-variable
   // position p of A's left-hand side, and every rule B (renamed apart)
   // whose left-hand side unifies with A.Lhs|p, the peak sigma(A.Lhs) can
   // rewrite two ways: by A at the root, or by B at p. Both results must
   // join; a non-joinable pair is a contradiction between the two axioms.
-  for (size_t AI = 0; AI != Rules.size(); ++AI) {
-    const Rule &RuleA = Rules[AI];
-    std::vector<std::vector<uint32_t>> Positions =
-        nonVariablePositions(Ctx, RuleA.Lhs);
-    for (size_t BI = 0; BI != Rules.size(); ++BI) {
-      const Rule &RuleB = Rules[BI];
-      auto [LhsB, RhsB] = renameRuleApart(Ctx, RuleB.Lhs, RuleB.Rhs);
-
-      for (const std::vector<uint32_t> &Pos : Positions) {
-        bool Root = Pos.empty();
-        // Root overlaps are symmetric: visit each unordered pair once.
-        // A rule trivially overlaps itself at the root; skip that too.
-        if (Root && BI <= AI)
-          continue;
-        TermId Sub = subtermAt(Ctx, RuleA.Lhs, Pos);
-        if (Ctx.node(Sub).Op != RuleB.HeadOp)
-          continue;
-        std::optional<Substitution> Mgu = unifyTerms(Ctx, Sub, LhsB);
-        if (!Mgu)
-          continue;
-
-        TermId Overlap = applySubstitution(Ctx, RuleA.Lhs, *Mgu);
-        TermId InstA = applySubstitution(Ctx, RuleA.Rhs, *Mgu);
-        TermId InstB = applySubstitution(
-            Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
-
-        // Critical pair: both peak reducts must join.
-        TermId NormA = normalizeOrCaveat(InstA);
-        TermId NormB = normalizeOrCaveat(InstB);
-        if (NormA.isValid() && NormB.isValid() && NormA != NormB) {
-          report(RuleA, RuleB, Overlap, NormA, NormB);
-          continue;
-        }
-        if (GroundDepth == 0)
-          continue;
-
-        // Ground pass: instantiate the peak's remaining variables with
-        // enumerated values; divergence may only appear on concrete
-        // atoms (e.g. a SAME guard deciding differently per rule).
-        std::vector<VarId> FreeVars;
-        std::unordered_set<VarId> SeenVars;
-        collectVarsOrdered(Ctx, Overlap, FreeVars, SeenVars);
-        collectVarsOrdered(Ctx, InstA, FreeVars, SeenVars);
-        collectVarsOrdered(Ctx, InstB, FreeVars, SeenVars);
-        if (FreeVars.empty())
-          continue;
-
-        std::vector<const std::vector<TermId> *> Values;
-        bool Empty = false;
-        for (VarId Var : FreeVars) {
-          const std::vector<TermId> &Set =
-              Enumerator.enumerate(Ctx.var(Var).Sort, GroundDepth);
-          if (Set.empty())
-            Empty = true;
-          Values.push_back(&Set);
-        }
-        if (Empty)
-          continue;
-
-        constexpr size_t MaxGroundInstances = 512;
-        size_t Count = 0;
-        std::vector<size_t> Index(FreeVars.size(), 0);
-        bool FoundHere = false;
-        while (!FoundHere && Count < MaxGroundInstances) {
-          Substitution Ground;
-          for (size_t I = 0; I != FreeVars.size(); ++I)
-            Ground.bind(FreeVars[I], (*Values[I])[Index[I]]);
-          TermId GroundA =
-              normalizeOrCaveat(applySubstitution(Ctx, InstA, Ground));
-          TermId GroundB =
-              normalizeOrCaveat(applySubstitution(Ctx, InstB, Ground));
-          if (GroundA.isValid() && GroundB.isValid() &&
-              GroundA != GroundB) {
-            report(RuleA, RuleB,
-                   applySubstitution(Ctx, Overlap, Ground), GroundA,
-                   GroundB);
-            FoundHere = true;
-          }
-          ++Count;
-          size_t P = 0;
-          while (P != Index.size()) {
-            if (++Index[P] < Values[P]->size())
-              break;
-            Index[P] = 0;
-            ++P;
-          }
-          if (P == Index.size())
-            break;
-        }
-      }
-    }
+  //
+  // Parallel sweep: workers classify rule pairs (flat index AI*R + BI,
+  // matching the serial loop nesting) against their replicas; pairs with
+  // any finding or failed normalization are re-examined on the main
+  // context in serial order, which regenerates exact messages and keeps
+  // the dedup set's behaviour — so the report is byte-identical.
+  size_t R = Rules.size();
+  if (Driver && R != 0 &&
+      R <= std::numeric_limits<size_t>::max() / R) {
+    std::vector<uint8_t> Flagged = Driver->map<uint8_t>(
+        R * R, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
+          if (!W.Engine || W.System->rules().size() != R)
+            return 1;
+          const std::vector<Rule> &WRules = W.System->rules();
+          bool Hit = false;
+          PairSweepState WPS{W.Rep->context(), *W.Engine, *W.Enum,
+                             GroundDepth};
+          checkRulePair(
+              WPS, WRules[Flat / R], Flat / R, WRules[Flat % R], Flat % R,
+              [&](const Rule &, const Rule &, TermId, TermId, TermId) {
+                Hit = true;
+              },
+              [&](const std::string &) { Hit = true; });
+          return Hit ? 1 : 0;
+        });
+    for (size_t Flat = 0; Flat != R * R; ++Flat)
+      if (Flagged[Flat])
+        checkRulePair(PS, Rules[Flat / R], Flat / R, Rules[Flat % R],
+                      Flat % R, report, caveat);
+  } else {
+    for (size_t AI = 0; AI != R; ++AI)
+      for (size_t BI = 0; BI != R; ++BI)
+        checkRulePair(PS, Rules[AI], AI, Rules[BI], BI, report, caveat);
   }
+  Report.Engine = Engine.stats();
+  if (Driver)
+    for (ReplicaWorker *W : Driver->states())
+      if (W->Engine)
+        Report.Engine += W->Engine->stats();
   return Report;
 }

@@ -34,6 +34,8 @@
 
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
+#include "rewrite/Engine.h"
+#include "support/Parallel.h"
 
 #include <string>
 #include <vector>
@@ -59,16 +61,27 @@ struct ConsistencyReport {
   bool Consistent = true;
   std::vector<Contradiction> Contradictions;
   std::vector<std::string> Caveats;
+  /// Rewrite-engine counters aggregated over the main engine and every
+  /// worker replica; not part of the verdict and not deterministic
+  /// across worker counts.
+  EngineStats Engine;
 
   std::string render(const AlgebraContext &Ctx) const;
 };
 
 /// Critical-pair analysis over all axioms of \p Specs, with bounded
 /// ground instantiation (\p GroundDepth = 0 disables the ground pass).
+///
+/// With \p Par asking for more than one job, rule pairs are sharded
+/// across a worker pool (each worker examining its pairs against a
+/// private re-elaboration of the specs) and findings are merged in the
+/// serial pair order, so the report is byte-identical to the serial
+/// sweep at any job count.
 ConsistencyReport
 checkConsistency(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs,
                  unsigned GroundDepth = 2,
-                 EnumeratorOptions EnumOptions = EnumeratorOptions());
+                 EnumeratorOptions EnumOptions = EnumeratorOptions(),
+                 ParallelOptions Par = ParallelOptions());
 
 } // namespace algspec
 

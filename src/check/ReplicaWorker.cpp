@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ReplicaWorker.h"
+
+#include "ast/AlgebraContext.h"
+
+using namespace algspec;
+
+std::unique_ptr<ReplicaWorker>
+ReplicaWorker::create(const AlgebraContext &Main,
+                      std::vector<const Spec *> Specs,
+                      EngineOptions EngOpts, EnumeratorOptions EnumOpts) {
+  auto W = std::make_unique<ReplicaWorker>();
+  Result<std::unique_ptr<Replica>> Rep = Replica::create(Main, Specs);
+  if (!Rep)
+    return W;
+  W->Rep = Rep.take();
+  // Orientation diagnostics were already reported against the main
+  // context; the replica's are identical by construction.
+  DiagnosticEngine Diags;
+  W->System = std::make_unique<RewriteSystem>(
+      RewriteSystem::build(W->Rep->context(), W->Rep->specPointers(), Diags));
+  W->Engine =
+      std::make_unique<RewriteEngine>(W->Rep->context(), *W->System, EngOpts);
+  W->Enum = std::make_unique<TermEnumerator>(W->Rep->context(),
+                                             std::move(EnumOpts));
+  return W;
+}
+
+std::unique_ptr<ParallelDriver<ReplicaWorker>>
+algspec::makeReplicaDriver(const ParallelOptions &Par,
+                           const AlgebraContext &Main,
+                           const std::vector<const Spec *> &Specs,
+                           EngineOptions EngOpts,
+                           EnumeratorOptions EnumOpts) {
+  if (resolveJobs(Par) <= 1)
+    return nullptr;
+  // Probe once on this thread: replication is deterministic, so if the
+  // spec set round-trips here it round-trips on every worker.
+  if (!Replica::create(Main, Specs))
+    return nullptr;
+  std::vector<const Spec *> OwnedSpecs = Specs;
+  return std::make_unique<ParallelDriver<ReplicaWorker>>(
+      Par, [&Main, OwnedSpecs = std::move(OwnedSpecs), EngOpts, EnumOpts] {
+        return ReplicaWorker::create(Main, OwnedSpecs, EngOpts, EnumOpts);
+      });
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ReplicaWorker: the per-worker state shared by every parallel checker.
+///
+/// A worker owns a private re-elaboration of the spec set (Replica) plus
+/// a rewrite system and engine built over it, so it can normalize its
+/// shard of the enumerated ground-term space without touching the
+/// caller's mutable term arena. See docs/VERIFICATION.md, "Concurrency
+/// model".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_REPLICAWORKER_H
+#define ALGSPEC_CHECK_REPLICAWORKER_H
+
+#include "check/TermEnumerator.h"
+#include "parser/Replicator.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "support/Parallel.h"
+
+#include <memory>
+#include <vector>
+
+namespace algspec {
+
+struct ReplicaWorker {
+  std::unique_ptr<Replica> Rep;
+  std::unique_ptr<RewriteSystem> System;
+  /// Null when replication failed; the caller routes this worker's
+  /// indices back through the main-context engine during the merge.
+  std::unique_ptr<RewriteEngine> Engine;
+  /// Enumerator over the replica context; aligned with the caller's
+  /// (same options, identical constructor registration order).
+  std::unique_ptr<TermEnumerator> Enum;
+
+  /// Builds a worker over a fresh re-elaboration of \p Specs. Reads
+  /// \p Main only, so concurrent calls from several pool threads are
+  /// safe while the caller blocks in wait().
+  static std::unique_ptr<ReplicaWorker>
+  create(const AlgebraContext &Main, std::vector<const Spec *> Specs,
+         EngineOptions EngOpts, EnumeratorOptions EnumOpts);
+};
+
+/// A driver whose per-worker state is a ReplicaWorker over \p Specs, or
+/// null when \p Par resolves to one job or \p Specs does not replicate
+/// (probed on the calling thread) — callers keep the serial sweep then.
+std::unique_ptr<ParallelDriver<ReplicaWorker>>
+makeReplicaDriver(const ParallelOptions &Par, const AlgebraContext &Main,
+                  const std::vector<const Spec *> &Specs,
+                  EngineOptions EngOpts = EngineOptions(),
+                  EnumeratorOptions EnumOpts = EnumeratorOptions());
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_REPLICAWORKER_H

@@ -85,8 +85,10 @@ public:
   }
 
   /// Consistency check over every loaded spec.
-  ConsistencyReport checkConsistent(unsigned GroundDepth = 2) {
-    return checkConsistency(*Ctx, specPointers(), GroundDepth);
+  ConsistencyReport checkConsistent(unsigned GroundDepth = 2,
+                                    ParallelOptions Par = ParallelOptions()) {
+    return checkConsistency(*Ctx, specPointers(), GroundDepth,
+                            EnumeratorOptions(), Par);
   }
 
   /// Runs the standard lint passes over every loaded spec.

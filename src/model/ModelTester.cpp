@@ -10,8 +10,10 @@
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
 #include "model/ModelBinding.h"
+#include "parser/Replicator.h"
 #include "rewrite/Substitution.h"
 
+#include <limits>
 #include <unordered_set>
 
 using namespace algspec;
@@ -45,11 +47,35 @@ static void collectVars(const AlgebraContext &Ctx, TermId Term,
     collectVars(Ctx, Child, Vars, Seen);
 }
 
+namespace {
+/// Per-worker state for the parallel instance sweep: a replica of the
+/// spec plus the user's implementation re-bound against it.
+struct ModelWorker {
+  std::unique_ptr<Replica> Rep;
+  std::unique_ptr<ModelBinding> Binding; ///< Null when replication failed.
+};
+} // namespace
+
 ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
                                    ModelBinding &Binding,
                                    const ModelTestOptions &Options) {
   ModelTestReport Report;
   TermEnumerator Enumerator(Ctx, Options.Enum);
+
+  std::unique_ptr<ParallelDriver<ModelWorker>> Driver;
+  if (resolveJobs(Options.Par) > 1 && Options.BindingFactory &&
+      Replica::create(Ctx, {&S})) {
+    Driver = std::make_unique<ParallelDriver<ModelWorker>>(
+        Options.Par, [&Ctx, &S, &Options] {
+          auto W = std::make_unique<ModelWorker>();
+          Result<std::unique_ptr<Replica>> Rep = Replica::create(Ctx, {&S});
+          if (!Rep)
+            return W;
+          W->Rep = Rep.take();
+          W->Binding = Options.BindingFactory(W->Rep->context());
+          return W;
+        });
+  }
 
   for (const Axiom &Ax : S.axioms()) {
     AxiomTestResult Result;
@@ -83,22 +109,32 @@ ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
       continue;
     }
 
-    std::vector<size_t> Index(Vars.size(), 0);
-    bool FirstIteration = true;
-    bool Done = false;
-    while ((FirstIteration || !Done) &&
-           Result.InstancesChecked < Options.MaxInstancesPerAxiom) {
-      FirstIteration = false;
+    // The odometer space flattened: variable 0 is the least significant
+    // digit. Only min(Total, cap) instances are ever visited.
+    size_t Total = 1;
+    for (const std::vector<TermId> *Set : Choices) {
+      if (Total > std::numeric_limits<size_t>::max() / Set->size()) {
+        Total = std::numeric_limits<size_t>::max();
+        break;
+      }
+      Total *= Set->size();
+    }
+    size_t Capped = std::min(Total, Options.MaxInstancesPerAxiom);
 
+    // Evaluates instance \p Flat on the caller's binding; on mismatch
+    // fills Result.Failure and returns true.
+    auto evalOnMain = [&](size_t Flat) -> bool {
       Substitution Sigma;
-      for (size_t I = 0; I != Vars.size(); ++I)
-        Sigma.bind(Vars[I], (*Choices[I])[Index[I]]);
+      size_t Rem = Flat;
+      for (size_t I = 0; I != Vars.size(); ++I) {
+        Sigma.bind(Vars[I], (*Choices[I])[Rem % Choices[I]->size()]);
+        Rem /= Choices[I]->size();
+      }
       TermId Lhs = applySubstitution(Ctx, Ax.Lhs, Sigma);
       TermId Rhs = applySubstitution(Ctx, Ax.Rhs, Sigma);
 
       auto LhsV = Binding.evaluate(Lhs);
       auto RhsV = Binding.evaluate(Rhs);
-      ++Result.InstancesChecked;
 
       auto fail = [&](std::string Why) {
         Result.Passed = false;
@@ -108,34 +144,76 @@ ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
 
       if (!LhsV) {
         fail("evaluation failed: " + LhsV.error().message());
-        break;
+        return true;
       }
       if (!RhsV) {
         fail("evaluation failed: " + RhsV.error().message());
-        break;
+        return true;
       }
       auto Eq = Binding.equal(AxiomSort, *LhsV, *RhsV);
       if (!Eq) {
         fail("comparison failed: " + Eq.error().message());
-        break;
+        return true;
       }
       if (!*Eq) {
         fail(LhsV->isError()   ? "lhs is error, rhs is not"
              : RhsV->isError() ? "rhs is error, lhs is not"
                                : "sides evaluate to different values");
-        break;
+        return true;
       }
+      return false;
+    };
 
-      if (Vars.empty())
-        break;
-      size_t Pos = 0;
-      while (Pos != Index.size()) {
-        if (++Index[Pos] < Choices[Pos]->size())
+    if (Driver) {
+      // Workers classify their shard; the merge walks flagged indices in
+      // ascending order and re-evaluates them on the caller's binding,
+      // which regenerates the exact serial failure message and stop
+      // point. With a deterministic binding the first flagged index is
+      // the serial failure; re-checking instead of trusting the flag
+      // also tolerates a worker whose replication failed (it flags its
+      // whole shard and the merge sorts it out here).
+      std::vector<uint8_t> Flagged = Driver->map<uint8_t>(
+          Capped, [&](ModelWorker &W, size_t Flat) -> uint8_t {
+            if (!W.Binding)
+              return 1;
+            AlgebraContext &RCtx = W.Rep->context();
+            Substitution Sigma;
+            size_t Rem = Flat;
+            for (size_t I = 0; I != Vars.size(); ++I) {
+              Sigma.bind(W.Rep->mapVar(Vars[I]),
+                         W.Rep->mapTerm((*Choices[I])[Rem %
+                                                      Choices[I]->size()]));
+              Rem /= Choices[I]->size();
+            }
+            TermId Lhs =
+                applySubstitution(RCtx, W.Rep->mapTerm(Ax.Lhs), Sigma);
+            TermId Rhs =
+                applySubstitution(RCtx, W.Rep->mapTerm(Ax.Rhs), Sigma);
+            auto LhsV = W.Binding->evaluate(Lhs);
+            if (!LhsV)
+              return 1;
+            auto RhsV = W.Binding->evaluate(Rhs);
+            if (!RhsV)
+              return 1;
+            auto Eq = W.Binding->equal(W.Rep->mapSort(AxiomSort), *LhsV,
+                                       *RhsV);
+            return (!Eq || !*Eq) ? 1 : 0;
+          });
+      Result.InstancesChecked = Capped;
+      for (size_t Flat = 0; Flat != Capped; ++Flat) {
+        if (!Flagged[Flat])
+          continue;
+        if (evalOnMain(Flat)) {
+          Result.InstancesChecked = Flat + 1;
           break;
-        Index[Pos] = 0;
-        ++Pos;
+        }
       }
-      Done = Pos == Index.size();
+    } else {
+      while (Result.InstancesChecked < Capped) {
+        size_t Flat = Result.InstancesChecked++;
+        if (evalOnMain(Flat))
+          break;
+      }
     }
     if (Result.InstancesChecked >= Options.MaxInstancesPerAxiom)
       Report.Caveats.push_back("axiom " + std::to_string(Ax.Number) +

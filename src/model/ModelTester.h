@@ -22,7 +22,10 @@
 
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
+#include "support/Parallel.h"
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +42,18 @@ struct ModelTestOptions {
   /// Cap on assignments per axiom (exhaustive below the cap).
   size_t MaxInstancesPerAxiom = 50000;
   EnumeratorOptions Enum;
+  /// Degree of parallelism for the instance sweep. Takes effect only
+  /// when BindingFactory is set; the report stays byte-identical to the
+  /// serial run at any job count.
+  ParallelOptions Par;
+  /// Builds a fresh binding over a worker's replica context. A
+  /// ModelBinding wraps arbitrary user callables, so it cannot be
+  /// copied automatically the way specs can; the factory re-binds the
+  /// implementation against the context it is given (by operation
+  /// name). It must be deterministic and its bindings must evaluate
+  /// instances independently of evaluation order.
+  std::function<std::unique_ptr<ModelBinding>(AlgebraContext &)>
+      BindingFactory;
 };
 
 /// Outcome for one axiom.

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Replicator.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/SpecPrinter.h"
+#include "parser/Parser.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+Result<std::unique_ptr<Replica>>
+Replica::create(const AlgebraContext &Main,
+                const std::vector<const Spec *> &Specs) {
+  // One buffer, caller order: later specs may use sorts and operations
+  // of earlier ones, exactly like the original elaboration.
+  std::string Text;
+  for (const Spec *S : Specs)
+    Text += printSpec(Main, *S) + "\n";
+
+  auto R = std::unique_ptr<Replica>(new Replica());
+  R->Main = &Main;
+  R->Ctx = std::make_unique<AlgebraContext>();
+  Result<std::vector<Spec>> Parsed =
+      parseSpecText(*R->Ctx, Text, "<replica>");
+  if (!Parsed)
+    return makeError("spec set does not round-trip for replication: " +
+                     Parsed.error().message());
+  if (Parsed->size() != Specs.size())
+    return makeError("spec set does not round-trip for replication: "
+                     "spec count changed");
+  R->ReplicaSpecs = Parsed.take();
+  return R;
+}
+
+std::vector<const Spec *> Replica::specPointers() const {
+  std::vector<const Spec *> Ptrs;
+  Ptrs.reserve(ReplicaSpecs.size());
+  for (const Spec &S : ReplicaSpecs)
+    Ptrs.push_back(&S);
+  return Ptrs;
+}
+
+SortId Replica::mapSort(SortId MainSort) {
+  auto It = SortMap.find(MainSort);
+  if (It != SortMap.end())
+    return It->second;
+  const SortInfo &Info = Main->sort(MainSort);
+  std::string_view Name = Main->str(Info.Name);
+  SortId Mapped = Ctx->lookupSort(Name);
+  if (!Mapped.isValid())
+    Mapped = Info.Kind == SortKind::Atom ? Ctx->getOrAddAtomSort(Name)
+                                         : Ctx->addSort(Name, Info.Kind);
+  SortMap.emplace(MainSort, Mapped);
+  return Mapped;
+}
+
+OpId Replica::mapOp(OpId MainOp) {
+  auto It = OpMap.find(MainOp);
+  if (It != OpMap.end())
+    return It->second;
+  const OpInfo &Info = Main->op(MainOp);
+
+  OpId Mapped;
+  if (Info.Builtin == BuiltinOp::Ite) {
+    Mapped = Ctx->getIteOp(mapSort(Info.ResultSort));
+  } else if (Info.Builtin == BuiltinOp::Same) {
+    Mapped = Ctx->getSameOp(mapSort(Info.ArgSorts[0]));
+  } else if (Info.Builtin != BuiltinOp::None) {
+    Mapped = Ctx->intOp(Info.Builtin);
+  } else {
+    // Resolve by name + mapped signature (operations may be overloaded).
+    std::vector<SortId> WantArgs;
+    WantArgs.reserve(Info.ArgSorts.size());
+    for (SortId Arg : Info.ArgSorts)
+      WantArgs.push_back(mapSort(Arg));
+    SortId WantResult = mapSort(Info.ResultSort);
+    for (OpId Candidate : Ctx->lookupOps(Main->str(Info.Name))) {
+      const OpInfo &CandInfo = Ctx->op(Candidate);
+      if (CandInfo.ResultSort == WantResult &&
+          CandInfo.ArgSorts == WantArgs) {
+        Mapped = Candidate;
+        break;
+      }
+    }
+    assert(Mapped.isValid() &&
+           "operation absent from the replicated spec set");
+  }
+  OpMap.emplace(MainOp, Mapped);
+  return Mapped;
+}
+
+VarId Replica::mapVar(VarId MainVar) {
+  auto It = VarMap.find(MainVar);
+  if (It != VarMap.end())
+    return It->second;
+  const VarInfo &Info = Main->var(MainVar);
+  VarId Mapped = Ctx->addVar(Main->str(Info.Name), mapSort(Info.Sort));
+  VarMap.emplace(MainVar, Mapped);
+  return Mapped;
+}
+
+TermId Replica::mapTerm(TermId MainTerm) {
+  auto It = TermMap.find(MainTerm);
+  if (It != TermMap.end())
+    return It->second;
+  const TermNode Node = Main->node(MainTerm);
+  TermId Mapped;
+  switch (Node.Kind) {
+  case TermKind::Var:
+    Mapped = Ctx->makeVar(mapVar(Node.Var));
+    break;
+  case TermKind::Error:
+    Mapped = Ctx->makeError(mapSort(Node.Sort));
+    break;
+  case TermKind::Atom:
+    Mapped = Ctx->makeAtom(Main->str(Node.AtomName), mapSort(Node.Sort));
+    break;
+  case TermKind::Int:
+    Mapped = Ctx->makeInt(Node.IntValue);
+    break;
+  case TermKind::Op: {
+    auto Span = Main->children(MainTerm);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    for (TermId &Child : Children)
+      Child = mapTerm(Child);
+    Mapped = Ctx->makeOp(mapOp(Node.Op), Children);
+    break;
+  }
+  }
+  TermMap.emplace(MainTerm, Mapped);
+  return Mapped;
+}

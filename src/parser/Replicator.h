@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replica: a private re-elaboration of a set of specs into a fresh
+/// AlgebraContext, for the parallel checkers' per-worker state.
+///
+/// The hash-consed term arena inside an AlgebraContext is mutated by
+/// every normalization step and is deliberately non-copyable, so worker
+/// threads cannot share the caller's context. Instead each worker
+/// rebuilds its own: the specs are printed to canonical .alg text and
+/// re-parsed into a fresh context (the same elaboration path the
+/// original specs took, so sorts, operations, constructors, and axioms
+/// come back in identical order — which keeps the replica's rewrite
+/// rules and term enumerations index-aligned with the caller's).
+///
+/// On top of the re-elaborated context, the Replica maps the caller's
+/// ids into its own — by name for sorts, by name + mapped signature for
+/// operations (overloads resolve correctly), structurally for terms —
+/// so a worker can take main-context work items (an enumerated argument
+/// tuple, a translated proof obligation) and normalize them privately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_PARSER_REPLICATOR_H
+#define ALGSPEC_PARSER_REPLICATOR_H
+
+#include "ast/Ids.h"
+#include "ast/Spec.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+
+class Replica {
+public:
+  /// Re-elaborates \p Specs (in order) into a fresh context. \p Main is
+  /// only read; concurrent create() calls from several workers are safe
+  /// as long as nothing mutates \p Main meanwhile. Fails when a spec
+  /// does not round-trip through print + parse (e.g. it references
+  /// sorts of a spec missing from \p Specs); callers fall back to the
+  /// serial sweep then.
+  static Result<std::unique_ptr<Replica>>
+  create(const AlgebraContext &Main, const std::vector<const Spec *> &Specs);
+
+  AlgebraContext &context() { return *Ctx; }
+  const std::vector<Spec> &specs() const { return ReplicaSpecs; }
+  std::vector<const Spec *> specPointers() const;
+
+  /// Maps a main-context sort by name. Sorts absent from the replica
+  /// (possible only for ids never mentioned by the replicated specs)
+  /// are created on demand with the same name and kind.
+  SortId mapSort(SortId MainSort);
+
+  /// Maps a main-context operation by name and (mapped) signature.
+  /// Sort-indexed builtins (if-then-else, SAME) and the Bool/Int
+  /// builtins map onto the replica's own instances.
+  OpId mapOp(OpId MainOp);
+
+  /// Maps a main-context variable; one fresh replica variable per main
+  /// variable, cached, so shared variables stay shared across terms.
+  VarId mapVar(VarId MainVar);
+
+  /// Structurally rebuilds a main-context term in the replica.
+  TermId mapTerm(TermId MainTerm);
+
+private:
+  Replica() = default;
+
+  const AlgebraContext *Main = nullptr;
+  std::unique_ptr<AlgebraContext> Ctx;
+  std::vector<Spec> ReplicaSpecs;
+
+  std::unordered_map<SortId, SortId> SortMap;
+  std::unordered_map<OpId, OpId> OpMap;
+  std::unordered_map<VarId, VarId> VarMap;
+  std::unordered_map<TermId, TermId> TermMap;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_PARSER_REPLICATOR_H

@@ -41,6 +41,12 @@ TermId RewriteEngine::evalBuiltin(OpId Op, std::span<const TermId> Args) {
     // Identical ground normal forms denote the same value.
     if (Args[0] == Args[1] && Ctx.isGround(Args[0]))
       return Ctx.makeBool(true);
+    // Distinct constructor-ground normal forms of a freely generated
+    // sort denote distinct values: no rule can rewrite either side, so
+    // the disequality is decided here instead of leaving SAME stuck.
+    if (Args[0] != Args[1] && isConstructorGround(Args[0]) &&
+        isConstructorGround(Args[1]) && isFreeSort(Ctx.sortOf(Args[0])))
+      return Ctx.makeBool(false);
     return TermId();
   }
   case BuiltinOp::IntAdd:
@@ -124,6 +130,7 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
           ++Stats.CacheHits;
           return It->second;
         }
+        ++Stats.CacheMisses;
       }
 
       const OpInfo &Info = Ctx.op(Node.Op); // Ops are stable here.
@@ -211,11 +218,65 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
   }();
 
   if (Normal && Options.Memoize) {
+    if (Memo.size() >= Options.MemoLimit) {
+      Stats.Evictions += Memo.size();
+      Memo.clear();
+    }
     Memo.emplace(Term, *Normal);
     if (Current != Term)
       Memo.emplace(Current, *Normal);
   }
   return Normal;
+}
+
+bool RewriteEngine::isFreeSort(SortId Sort) {
+  auto It = FreeSorts.find(Sort);
+  if (It != FreeSorts.end())
+    return It->second;
+  // Optimistically free: a recursive sort reached through its own
+  // constructor arguments contributes no new constraints (greatest
+  // fixpoint).
+  FreeSorts.emplace(Sort, true);
+  bool Free = true;
+  const SortInfo &Info = Ctx.sort(Sort);
+  if (Info.Kind != SortKind::Atom && Sort != Ctx.intSort()) {
+    for (OpId Ctor : Ctx.constructorsOf(Sort)) {
+      if (!System.rulesFor(Ctor).empty()) {
+        Free = false;
+        break;
+      }
+      for (SortId Arg : Ctx.op(Ctor).ArgSorts) {
+        if (!isFreeSort(Arg)) {
+          Free = false;
+          break;
+        }
+      }
+      if (!Free)
+        break;
+    }
+  }
+  FreeSorts[Sort] = Free;
+  return Free;
+}
+
+bool RewriteEngine::isConstructorGround(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  switch (Node.Kind) {
+  case TermKind::Atom:
+  case TermKind::Int:
+    return true;
+  case TermKind::Var:
+  case TermKind::Error:
+    return false;
+  case TermKind::Op:
+    break;
+  }
+  if (!Ctx.op(Node.Op).isConstructor())
+    return false;
+  for (TermId Child : Ctx.children(Term))
+    if (!isConstructorGround(Child))
+      return false;
+  return true;
 }
 
 bool RewriteEngine::isStuck(TermId Term) const {

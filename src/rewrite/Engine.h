@@ -51,16 +51,33 @@ struct EngineOptions {
   unsigned MaxDepth = 8000;
   /// Cache normal forms across calls.
   bool Memoize = true;
+  /// Maximum entries in the normal-form memo. When an insert would pass
+  /// the bound the whole table is dropped (bulk clear: deterministic and
+  /// amortized O(1), unlike per-entry LRU), so a long verification sweep
+  /// over millions of distinct terms cannot grow the memo without bound.
+  size_t MemoLimit = 1u << 18;
   /// Record every rule application into the trace buffer.
   bool KeepTrace = false;
 };
 
 /// Counters accumulated across normalize() calls (reset on demand).
 struct EngineStats {
-  uint64_t Steps = 0;     ///< Rule applications.
-  uint64_t CacheHits = 0; ///< Memo hits.
-  uint64_t Rebuilds = 0;  ///< Term nodes rebuilt after child normalization.
+  uint64_t Steps = 0;       ///< Rule applications.
+  uint64_t CacheHits = 0;   ///< Memo hits.
+  uint64_t CacheMisses = 0; ///< Memo lookups that found nothing.
+  uint64_t Evictions = 0;   ///< Memo entries dropped at the size bound.
+  uint64_t Rebuilds = 0; ///< Term nodes rebuilt after child normalization.
 };
+
+/// Accumulates \p B into \p A (aggregating worker-replica engines).
+inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
+  A.Steps += B.Steps;
+  A.CacheHits += B.CacheHits;
+  A.CacheMisses += B.CacheMisses;
+  A.Evictions += B.Evictions;
+  A.Rebuilds += B.Rebuilds;
+  return A;
+}
 
 /// One recorded rule application, for traces and debugging.
 struct TraceStep {
@@ -102,11 +119,22 @@ private:
   /// arguments; invalid TermId when the builtin does not reduce.
   TermId evalBuiltin(OpId Op, std::span<const TermId> Args);
 
+  /// True when \p Sort is freely generated under this rule set: no rule
+  /// rewrites a constructor of the sort (or of any sort reachable
+  /// through constructor arguments), so distinct ground constructor
+  /// terms denote distinct values. Atom and Int literals are free.
+  /// Cached per sort; the rule set is fixed for the engine's lifetime.
+  bool isFreeSort(SortId Sort);
+  /// True when \p Term is ground and built from constructors and
+  /// literals only (no stuck defined operation inside).
+  bool isConstructorGround(TermId Term) const;
+
   AlgebraContext &Ctx;
   const RewriteSystem &System;
   EngineOptions Options;
   EngineStats Stats;
   std::unordered_map<TermId, TermId> Memo;
+  std::unordered_map<SortId, bool> FreeSorts;
   std::vector<TraceStep> Trace;
 };
 

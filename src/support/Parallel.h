@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ParallelDriver: shards an index space across a work-stealing pool
+/// with one replica state per worker.
+///
+/// The shape every checker shares: a deterministic enumeration defines
+/// an index space [0, Total); checking index i needs mutable engine
+/// state (term arena, memo table) but no other index; the serial report
+/// visits indices in ascending order. The driver parallelizes exactly
+/// that shape:
+///
+///  - each pool worker lazily builds its own State (for the checkers: a
+///    re-elaborated AlgebraContext + RewriteSystem + RewriteEngine — the
+///    shared, hash-consed arena is mutated during normalization and is
+///    deliberately non-copyable, so workers never share one);
+///  - the index space is cut into contiguous chunks, large enough to
+///    amortize dispatch, small enough for the pool to steal;
+///  - every index writes its result into a preallocated slot, so after
+///    wait() the caller merges in ascending index order and produces
+///    output byte-identical to the serial sweep at any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_PARALLEL_H
+#define ALGSPEC_SUPPORT_PARALLEL_H
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace algspec {
+
+/// Degree-of-parallelism knob shared by every checker entry point.
+struct ParallelOptions {
+  /// Worker threads for the ground-term sweeps. 1 (the default) keeps
+  /// the serial code path; 0 asks for one worker per hardware thread.
+  unsigned Jobs = 1;
+  /// Smallest number of indices handed to one task; chunks below this
+  /// are not worth the dispatch and the per-worker replica state.
+  size_t MinChunk = 64;
+};
+
+/// The worker count \p Opts actually asks for.
+inline unsigned resolveJobs(const ParallelOptions &Opts) {
+  return Opts.Jobs == 0 ? ThreadPool::defaultConcurrency() : Opts.Jobs;
+}
+
+template <typename State> class ParallelDriver {
+public:
+  using StateFactory = std::function<std::unique_ptr<State>()>;
+
+  /// \p MakeState is called at most once per worker, from that worker's
+  /// thread; it must only read shared data (the main context).
+  ParallelDriver(const ParallelOptions &Opts, StateFactory MakeState)
+      : Opts(Opts), MakeState(std::move(MakeState)),
+        Jobs(resolveJobs(Opts)) {
+    if (Jobs > 1) {
+      Pool = std::make_unique<ThreadPool>(Jobs);
+      States.resize(Jobs);
+    } else {
+      States.resize(1);
+    }
+  }
+
+  /// True when the driver runs on a pool (callers pick the serial code
+  /// path otherwise).
+  bool enabled() const { return Pool != nullptr; }
+
+  /// Runs Body(State, I) for every I in [0, Total) and returns the
+  /// results in index order. R must be default-constructible; slots are
+  /// written exactly once, so no result-side locking is needed.
+  template <typename R>
+  std::vector<R> map(size_t Total,
+                     const std::function<R(State &, size_t)> &Body) {
+    std::vector<R> Results(Total);
+    if (Total == 0)
+      return Results;
+    if (!Pool) {
+      State &S = stateFor(0);
+      for (size_t I = 0; I != Total; ++I)
+        Results[I] = Body(S, I);
+      return Results;
+    }
+    // Aim for several chunks per worker so stealing can rebalance
+    // non-uniform normalization costs.
+    size_t Chunk = std::max<size_t>(
+        1, std::max(Opts.MinChunk, Total / (size_t(Jobs) * 8)));
+    for (size_t Begin = 0; Begin < Total; Begin += Chunk) {
+      size_t End = std::min(Begin + Chunk, Total);
+      Pool->submit([this, &Results, &Body, Begin, End] {
+        State &S = stateFor(ThreadPool::currentWorkerIndex());
+        for (size_t I = Begin; I != End; ++I)
+          Results[I] = Body(S, I);
+      });
+    }
+    Pool->wait();
+    return Results;
+  }
+
+  /// Every per-worker state built so far (for stats aggregation). Only
+  /// valid between map() calls — i.e. with no tasks in flight.
+  std::vector<State *> states() {
+    std::vector<State *> Out;
+    for (auto &S : States)
+      if (S)
+        Out.push_back(S.get());
+    return Out;
+  }
+
+private:
+  State &stateFor(unsigned Worker) {
+    assert(Worker < States.size() && "not a pool worker thread");
+    if (!States[Worker])
+      States[Worker] = MakeState();
+    return *States[Worker];
+  }
+
+  ParallelOptions Opts;
+  StateFactory MakeState;
+  unsigned Jobs;
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<std::unique_ptr<State>> States;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_PARALLEL_H

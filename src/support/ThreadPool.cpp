@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+namespace {
+/// Worker index of the current thread; unsigned(-1) off the pool.
+thread_local unsigned CurrentWorker = static_cast<unsigned>(-1);
+} // namespace
+
+unsigned ThreadPool::currentWorkerIndex() { return CurrentWorker; }
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    WorkQueue &Q = *Queues[NextQueue];
+    NextQueue = (NextQueue + 1) % Queues.size();
+    ++Outstanding;
+    std::lock_guard<std::mutex> QLock(Q.Mutex);
+    Q.Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+bool ThreadPool::popOwn(unsigned Index, std::function<void()> &Task) {
+  WorkQueue &Q = *Queues[Index];
+  std::lock_guard<std::mutex> Lock(Q.Mutex);
+  if (Q.Tasks.empty())
+    return false;
+  Task = std::move(Q.Tasks.back());
+  Q.Tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(unsigned Index, std::function<void()> &Task) {
+  for (size_t Offset = 1; Offset < Queues.size(); ++Offset) {
+    WorkQueue &Victim = *Queues[(Index + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Victim.Mutex);
+    if (Victim.Tasks.empty())
+      continue;
+    Task = std::move(Victim.Tasks.front());
+    Victim.Tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentWorker = Index;
+  while (true) {
+    std::function<void()> Task;
+    if (popOwn(Index, Task) || steal(Index, Task)) {
+      Task();
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Outstanding == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      return;
+    // Re-check the deques under the pool lock: a submit between our
+    // failed scan and this wait would otherwise be missed.
+    bool AnyWork = false;
+    for (const auto &Q : Queues) {
+      std::lock_guard<std::mutex> QLock(Q->Mutex);
+      if (!Q->Tasks.empty()) {
+        AnyWork = true;
+        break;
+      }
+    }
+    if (AnyWork)
+      continue;
+    WorkAvailable.wait(Lock);
+  }
+}

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the verification sweeps.
+///
+/// Every checker workload is an embarrassingly parallel sweep over an
+/// enumerated ground-term space, but the chunks are *not* uniform: a
+/// deep instance can take orders of magnitude longer to normalize than
+/// its neighbours. Each worker therefore owns a deque of tasks (pushed
+/// round-robin at submit time) and steals from the other workers' deques
+/// when its own runs dry, so a slow chunk never leaves the rest of the
+/// pool idle.
+///
+/// Determinism does not depend on the pool: callers write results into
+/// per-index slots and merge them in index order after wait().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_THREADPOOL_H
+#define ALGSPEC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace algspec {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task onto the next worker's deque (round-robin). Tasks
+  /// must not throw; a throwing task terminates via std::terminate like
+  /// any unhandled exception on a thread.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished. Establishes
+  /// happens-before with all task effects, so the caller may read
+  /// results written by the workers without further synchronization.
+  void wait();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Index of the calling pool worker in [0, numThreads()), or
+  /// unsigned(-1) when called from a non-pool thread. Per-worker state
+  /// (the checker replicas) is keyed by this.
+  static unsigned currentWorkerIndex();
+
+  /// The number of workers a default-configured pool would spawn:
+  /// std::thread::hardware_concurrency(), at least 1.
+  static unsigned defaultConcurrency();
+
+private:
+  /// One worker's deque. The owner pops from the back (LIFO, warm
+  /// caches); thieves steal from the front (FIFO, oldest chunks first).
+  struct WorkQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Index);
+  bool popOwn(unsigned Index, std::function<void()> &Task);
+  bool steal(unsigned Index, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<WorkQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t Outstanding = 0; ///< Submitted but not yet finished.
+  size_t NextQueue = 0;   ///< Round-robin submit cursor.
+  bool ShuttingDown = false;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_THREADPOOL_H

@@ -9,11 +9,13 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/ReplicaWorker.h"
 #include "rewrite/RewriteSystem.h"
 #include "rewrite/Substitution.h"
 #include "specs/BuiltinSpecs.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <unordered_set>
 
@@ -289,6 +291,8 @@ struct CheckState {
   const VerifyOptions &Options;
   const std::vector<TermId> &RepValues;
   VerifyReport &Report;
+  /// Non-null when the instance sweeps run on a worker pool.
+  ParallelDriver<ReplicaWorker> *Driver = nullptr;
 };
 
 /// Checks Lhs = Rhs (open terms over representation-sorted and ground
@@ -343,27 +347,43 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
     return Verdict;
   }
 
-  std::vector<size_t> Index(Vars.size(), 0);
-  bool Done = Vars.empty();
-  bool FirstIteration = true;
-  while ((FirstIteration || !Done) &&
-         Verdict.InstancesChecked < CS.Options.MaxInstancesPerAxiom) {
-    FirstIteration = false;
+  // The odometer space flattened: variable 0 is the least significant
+  // digit. Only min(Total, cap) instances are ever visited.
+  size_t Total = 1;
+  for (const std::vector<TermId> *Set : Choices) {
+    if (Total > std::numeric_limits<size_t>::max() / Set->size()) {
+      Total = std::numeric_limits<size_t>::max();
+      break;
+    }
+    Total *= Set->size();
+  }
+  size_t Capped = std::min(Total, CS.Options.MaxInstancesPerAxiom);
+
+  // Checks instance \p Flat on the main engine. A normalization failure
+  // adds its caveat and lets the sweep continue; a mismatch records the
+  // counterexample and returns true to stop it.
+  auto checkOnMain = [&](size_t Flat) -> bool {
     Substitution Sigma;
-    for (size_t I = 0; I != Vars.size(); ++I)
+    size_t Rem = Flat;
+    std::vector<size_t> Index(Vars.size());
+    for (size_t I = 0; I != Vars.size(); ++I) {
+      Index[I] = Rem % Choices[I]->size();
+      Rem /= Choices[I]->size();
       Sigma.bind(Vars[I], (*Choices[I])[Index[I]]);
+    }
 
     TermId Lhs = applySubstitution(CS.Ctx, LhsT, Sigma);
     TermId Rhs = applySubstitution(CS.Ctx, RhsT, Sigma);
     Result<TermId> LhsN = CS.Engine.normalize(Lhs);
     Result<TermId> RhsN = CS.Engine.normalize(Rhs);
-    ++Verdict.InstancesChecked;
 
     if (!LhsN || !RhsN) {
       CS.Report.Caveats.push_back(
           Verdict.Label + ": normalization failed on an instance: " +
           (!LhsN ? LhsN.error().message() : RhsN.error().message()));
-    } else if (*LhsN != *RhsN) {
+      return false;
+    }
+    if (*LhsN != *RhsN) {
       Verdict.Holds = false;
       std::string Assignment;
       for (size_t I = 0; I != Vars.size(); ++I) {
@@ -374,19 +394,55 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
       }
       Verdict.Failure =
           CounterExample{Lhs, Rhs, *LhsN, *RhsN, std::move(Assignment)};
-      break;
+      return true;
     }
+    return false;
+  };
 
-    if (Vars.empty())
-      break;
-    size_t Pos = 0;
-    while (Pos != Index.size()) {
-      if (++Index[Pos] < Choices[Pos]->size())
+  if (CS.Driver) {
+    // Workers classify their shard; the merge walks flagged instances in
+    // ascending order on the main engine, which regenerates the exact
+    // serial caveats, counterexample, and stop point. Flagged instances
+    // are failures or normalization errors — rare — so re-running them
+    // costs little.
+    std::vector<uint8_t> Flagged = CS.Driver->map<uint8_t>(
+        Capped, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
+          if (!W.Engine)
+            return 1;
+          AlgebraContext &RCtx = W.Rep->context();
+          Substitution Sigma;
+          size_t Rem = Flat;
+          for (size_t I = 0; I != Vars.size(); ++I) {
+            Sigma.bind(W.Rep->mapVar(Vars[I]),
+                       W.Rep->mapTerm(
+                           (*Choices[I])[Rem % Choices[I]->size()]));
+            Rem /= Choices[I]->size();
+          }
+          TermId Lhs =
+              applySubstitution(RCtx, W.Rep->mapTerm(LhsT), Sigma);
+          TermId Rhs =
+              applySubstitution(RCtx, W.Rep->mapTerm(RhsT), Sigma);
+          Result<TermId> LhsN = W.Engine->normalize(Lhs);
+          Result<TermId> RhsN = W.Engine->normalize(Rhs);
+          if (!LhsN || !RhsN)
+            return 1;
+          return *LhsN != *RhsN ? 1 : 0;
+        });
+    Verdict.InstancesChecked = Capped;
+    for (size_t Flat = 0; Flat != Capped; ++Flat) {
+      if (!Flagged[Flat])
+        continue;
+      if (checkOnMain(Flat)) {
+        Verdict.InstancesChecked = Flat + 1;
         break;
-      Index[Pos] = 0;
-      ++Pos;
+      }
     }
-    Done = Pos == Index.size();
+  } else {
+    while (Verdict.InstancesChecked < Capped) {
+      size_t Flat = Verdict.InstancesChecked++;
+      if (checkOnMain(Flat))
+        break;
+    }
   }
   if (Verdict.InstancesChecked >= CS.Options.MaxInstancesPerAxiom)
     CS.Report.Caveats.push_back(Verdict.Label + ": instance cap reached");
@@ -401,6 +457,7 @@ bool setUpCheck(AlgebraContext &Ctx, const Spec &Abstract,
                 std::optional<RewriteSystem> &System,
                 std::optional<RewriteEngine> &Engine,
                 std::optional<TermEnumerator> &Enumerator,
+                std::unique_ptr<ParallelDriver<ReplicaWorker>> &Driver,
                 std::vector<TermId> &RepValues, VerifyReport &Report) {
   auto SystemOrErr = RewriteSystem::buildChecked(Ctx, RuleSources);
   if (!SystemOrErr) {
@@ -412,6 +469,8 @@ bool setUpCheck(AlgebraContext &Ctx, const Spec &Abstract,
   System.emplace(SystemOrErr.take());
   Engine.emplace(Ctx, *System, Options.Engine);
   Enumerator.emplace(Ctx, Options.Enum);
+  Driver = makeReplicaDriver(Options.Par, Ctx, RuleSources, Options.Engine,
+                             Options.Enum);
 
   RepValues = collectRepValues(Ctx, Abstract, Mapping, Options, *Engine,
                                *Enumerator, Report);
@@ -422,6 +481,17 @@ bool setUpCheck(AlgebraContext &Ctx, const Spec &Abstract,
     return false;
   }
   return true;
+}
+
+/// Folds the main engine's and every worker engine's counters into the
+/// report.
+void aggregateEngineStats(VerifyReport &Report, RewriteEngine &Engine,
+                          ParallelDriver<ReplicaWorker> *Driver) {
+  Report.Engine = Engine.stats();
+  if (Driver)
+    for (ReplicaWorker *W : Driver->states())
+      if (W->Engine)
+        Report.Engine += W->Engine->stats();
 }
 
 } // namespace
@@ -435,12 +505,13 @@ VerifyReport algspec::verifyRepresentation(
   std::optional<RewriteEngine> Engine;
   std::optional<TermEnumerator> Enumerator;
   std::vector<TermId> RepValues;
+  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver;
   if (!setUpCheck(Ctx, Abstract, RuleSources, Mapping, Options, System,
-                  Engine, Enumerator, RepValues, Report))
+                  Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
-                Mapping, Options, RepValues, Report};
+                Mapping, Options, RepValues, Report, Driver.get()};
   Translator Xlate(Ctx, Mapping);
 
   for (const Axiom &Ax : Abstract.axioms()) {
@@ -455,6 +526,7 @@ VerifyReport algspec::verifyRepresentation(
     Report.AllHold &= Verdict.Holds;
     Report.Verdicts.push_back(std::move(Verdict));
   }
+  aggregateEngineStats(Report, *Engine, Driver.get());
   return Report;
 }
 
@@ -467,12 +539,13 @@ VerifyReport algspec::verifyHomomorphism(
   std::optional<RewriteEngine> Engine;
   std::optional<TermEnumerator> Enumerator;
   std::vector<TermId> RepValues;
+  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver;
   if (!setUpCheck(Ctx, Abstract, RuleSources, Mapping, Options, System,
-                  Engine, Enumerator, RepValues, Report))
+                  Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
-                Mapping, Options, RepValues, Report};
+                Mapping, Options, RepValues, Report, Driver.get()};
 
   // Deterministic obligation order: follow the spec's operation list.
   unsigned Number = 0;
@@ -511,6 +584,7 @@ VerifyReport algspec::verifyHomomorphism(
     Report.AllHold &= Verdict.Holds;
     Report.Verdicts.push_back(std::move(Verdict));
   }
+  aggregateEngineStats(Report, *Engine, Driver.get());
   return Report;
 }
 

@@ -42,6 +42,7 @@
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
 #include "rewrite/Engine.h"
+#include "support/Parallel.h"
 
 #include <optional>
 #include <string>
@@ -92,6 +93,10 @@ struct VerifyOptions {
   size_t MaxInstancesPerAxiom = 200000;
   EnumeratorOptions Enum;
   EngineOptions Engine;
+  /// Degree of parallelism for the instance sweeps. Value collection and
+  /// the symbolic attempts stay on the calling thread; the report is
+  /// byte-identical to the serial run at any job count.
+  ParallelOptions Par;
 };
 
 /// One failed assignment.
@@ -127,6 +132,10 @@ struct VerifyReport {
   std::vector<AxiomVerdict> Verdicts;
   std::vector<std::string> Caveats;
   size_t NumRepValues = 0;
+  /// Rewrite-engine counters aggregated over the main engine and every
+  /// worker replica; not part of the verdict and not deterministic
+  /// across worker counts.
+  EngineStats Engine;
 
   std::string render(const AlgebraContext &Ctx) const;
 };

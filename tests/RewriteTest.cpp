@@ -260,6 +260,39 @@ TEST_F(QueueRewrite, MemoizationDisabledRecomputes) {
   EXPECT_EQ(Raw.stats().Steps, 2 * FirstSteps);
 }
 
+TEST_F(QueueRewrite, CacheMissesCounted) {
+  Engine->resetStats();
+  norm("FRONT(ADD(NEW, 'z))");
+  EXPECT_GT(Engine->stats().CacheMisses, 0u);
+  uint64_t MissesAfterFirst = Engine->stats().CacheMisses;
+  norm("FRONT(ADD(NEW, 'z))");
+  // The repeat is answered from the memo at the top, adding no misses.
+  EXPECT_EQ(Engine->stats().CacheMisses, MissesAfterFirst);
+  EXPECT_GE(Engine->stats().CacheHits, 1u);
+}
+
+TEST_F(QueueRewrite, MemoBoundEvictsAndStaysCorrect) {
+  EngineOptions Opts;
+  Opts.MemoLimit = 4;
+  RewriteEngine Small(Ctx, *System, Opts);
+  // A deep queue creates far more than four memo entries, forcing at
+  // least one bulk eviction mid-normalization.
+  std::string T = "NEW";
+  for (char C = 'a'; C <= 'f'; ++C)
+    T = "ADD(" + T + ", '" + std::string(1, C) + ")";
+  auto Term = parseTermText(Ctx, "FRONT(" + T + ")");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  auto Bounded = Small.normalize(*Term);
+  ASSERT_TRUE(static_cast<bool>(Bounded));
+  EXPECT_GT(Small.stats().Evictions, 0u);
+  EXPECT_GT(Small.stats().CacheMisses, 0u);
+  // Eviction is a performance event, not a semantic one.
+  auto Reference = Engine->normalize(*Term);
+  ASSERT_TRUE(static_cast<bool>(Reference));
+  EXPECT_EQ(*Bounded, *Reference);
+  EXPECT_EQ(printTerm(Ctx, *Bounded), "'a");
+}
+
 TEST_F(QueueRewrite, TraceRecordsRuleApplications) {
   EngineOptions Opts;
   Opts.KeepTrace = true;
@@ -370,6 +403,57 @@ TEST_F(QueueRewrite, SameStaysOpenOnVariables) {
   TermId A = Ctx.makeAtom("a", Item);
   TermId Open = Ctx.makeOp(Same, {XT, A});
   EXPECT_EQ(*Engine->normalize(Open), Open);
+}
+
+TEST_F(QueueRewrite, SameDecidesDistinctFreeConstructorTerms) {
+  // No Queue rule rewrites a NEW/ADD-headed term, so Queue is freely
+  // generated and distinct constructor normal forms denote distinct
+  // values: the disequality evaluates to false instead of leaving SAME
+  // stuck.
+  SortId Queue = Ctx.lookupSort("Queue");
+  OpId Same = Ctx.getSameOp(Queue);
+  auto Q1 = parseTermText(Ctx, "ADD(NEW, 'a)");
+  auto Q2 = parseTermText(Ctx, "ADD(ADD(NEW, 'a), 'b)");
+  auto Q3 = parseTermText(Ctx, "NEW");
+  ASSERT_TRUE(static_cast<bool>(Q1) && static_cast<bool>(Q2) &&
+              static_cast<bool>(Q3));
+  EXPECT_EQ(*Engine->normalize(Ctx.makeOp(Same, {*Q1, *Q2})),
+            Ctx.falseTerm());
+  EXPECT_EQ(*Engine->normalize(Ctx.makeOp(Same, {*Q3, *Q1})),
+            Ctx.falseTerm());
+}
+
+TEST(EngineTest, SameStaysOpenOnNonFreeConstructorSort) {
+  // S heads a rule (mod-2 naturals: S(S(Z)) collapses to Z), so M is
+  // not freely generated: distinct constructor normal forms may still
+  // denote equal values under a richer theory, and the fast path must
+  // not fire.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Mod2
+  sorts M
+  ops
+    Z : -> M
+    S : M -> M
+  constructors Z, S
+  vars x : M
+  axioms
+    S(S(x)) = x
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys)) << Sys.error().message();
+  RewriteEngine Engine(Ctx, *Sys);
+  SortId M = Ctx.lookupSort("M");
+  OpId Same = Ctx.getSameOp(M);
+  auto Z = parseTermText(Ctx, "Z");
+  auto SZ = parseTermText(Ctx, "S(Z)");
+  ASSERT_TRUE(static_cast<bool>(Z) && static_cast<bool>(SZ));
+  TermId Diseq = Ctx.makeOp(Same, {*Z, *SZ});
+  // Both sides are distinct constructor normal forms, but the sort is
+  // not free: SAME must stay stuck rather than answer false.
+  EXPECT_EQ(*Engine.normalize(Diseq), Diseq);
 }
 
 //===----------------------------------------------------------------------===//

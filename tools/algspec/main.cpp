@@ -77,7 +77,10 @@ int usage() {
       "  -s <sort>          the sort for enum\n"
       "  -d <depth>         the depth for enum (default 3)\n"
       "  --dynamic <depth>  also run the dynamic completeness check\n"
-      "  --json             machine-readable output (check, lint)\n"
+      "  --jobs <n>         worker threads for the check/verify instance\n"
+      "                     sweeps (0 = hardware concurrency, the\n"
+      "                     default; reports are identical at any n)\n"
+      "  --json             machine-readable output (check, lint, verify)\n"
       "  --Werror           lint: treat warnings as errors\n");
   return 2;
 }
@@ -132,6 +135,7 @@ struct Options {
   std::string SortName;
   unsigned Depth = 3;
   int DynamicDepth = -1;
+  unsigned Jobs = 0; ///< 0 = hardware concurrency.
   bool Json = false;
   bool WarningsAsErrors = false;
   // verify options.
@@ -182,6 +186,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.DynamicDepth = std::atoi(V);
+    } else if (Arg == "--jobs") {
+      const char *V = needValue("--jobs");
+      if (!V)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::atoi(V));
     } else if (Arg == "--abstract") {
       const char *V = needValue("--abstract");
       if (!V)
@@ -278,9 +287,24 @@ const char *severityName(DiagKind Kind) {
   return "unknown";
 }
 
+/// Emits the rewrite-engine counters as `"engine": {...}`. Aggregated
+/// over the main engine and every worker replica; informational only —
+/// the counters vary with the job count even though the verdicts do not.
+void writeEngineStats(JsonWriter &W, const EngineStats &S) {
+  W.key("engine").beginObject();
+  W.key("steps").value(S.Steps);
+  W.key("cacheHits").value(S.CacheHits);
+  W.key("cacheMisses").value(S.CacheMisses);
+  W.key("evictions").value(S.Evictions);
+  W.key("rebuilds").value(S.Rebuilds);
+  W.endObject();
+}
+
 int cmdCheck(Workspace &WS, const Options &Opts) {
   bool AllGood = true;
   TerminationReport Term = WS.termination();
+  ParallelOptions Par;
+  Par.Jobs = Opts.Jobs;
 
   if (Opts.Json) {
     JsonWriter W;
@@ -303,14 +327,35 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
         W.value(Caveat);
       W.endArray();
       W.key("terminationProved").value(Term.provedFor(S.name()));
+      if (Opts.DynamicDepth > 0) {
+        CompletenessReport Dynamic = checkCompletenessDynamic(
+            WS.context(), S, WS.specPointers(),
+            static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
+            Par);
+        AllGood &= Dynamic.SufficientlyComplete;
+        W.key("dynamic").beginObject();
+        W.key("depth").value(Opts.DynamicDepth);
+        W.key("sufficientlyComplete").value(Dynamic.SufficientlyComplete);
+        W.key("stuck").beginArray();
+        for (const MissingCase &M : Dynamic.Missing)
+          W.value(printTerm(WS.context(), M.SuggestedLhs));
+        W.endArray();
+        W.key("caveats").beginArray();
+        for (const std::string &Caveat : Dynamic.Caveats)
+          W.value(Caveat);
+        W.endArray();
+        writeEngineStats(W, Dynamic.Engine);
+        W.endObject();
+      }
       W.endObject();
     }
     W.endArray();
-    ConsistencyReport Consistency = WS.checkConsistent();
+    ConsistencyReport Consistency = WS.checkConsistent(2, Par);
     AllGood &= Consistency.Consistent;
     W.key("consistency").beginObject();
     W.key("consistent").value(Consistency.Consistent);
     W.key("contradictions").value(Consistency.Contradictions.size());
+    writeEngineStats(W, Consistency.Engine);
     W.endObject();
     W.endObject();
     std::printf("%s\n", W.str().c_str());
@@ -343,13 +388,14 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
     if (Opts.DynamicDepth > 0) {
       CompletenessReport Dynamic = checkCompletenessDynamic(
           WS.context(), S, WS.specPointers(),
-          static_cast<unsigned>(Opts.DynamicDepth));
+          static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
+          Par);
       std::printf("  dynamic check (depth %d): %zu stuck term(s)\n",
                   Opts.DynamicDepth, Dynamic.Missing.size());
       AllGood &= Dynamic.SufficientlyComplete;
     }
   }
-  ConsistencyReport Consistency = WS.checkConsistent();
+  ConsistencyReport Consistency = WS.checkConsistent(2, Par);
   std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
   return AllGood ? 0 : 1;
@@ -573,13 +619,51 @@ int cmdVerify(Workspace &WS, const Options &Opts) {
     }
   }
 
+  VOpts.Par.Jobs = Opts.Jobs;
+
   VerifyReport Report =
       Opts.Homomorphism
           ? verifyHomomorphism(WS.context(), *Abstract, WS.specPointers(),
                                Mapping, VOpts)
           : verifyRepresentation(WS.context(), *Abstract,
                                  WS.specPointers(), Mapping, VOpts);
-  std::printf("%s", Report.render(WS.context()).c_str());
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("allHold").value(Report.AllHold);
+    W.key("repValues").value(Report.NumRepValues);
+    W.key("verdicts").beginArray();
+    for (const AxiomVerdict &V : Report.Verdicts) {
+      W.beginObject();
+      W.key("number").value(V.AxiomNumber);
+      W.key("label").value(V.Label);
+      W.key("holds").value(V.Holds);
+      W.key("provedSymbolically").value(V.ProvedSymbolically);
+      W.key("instancesChecked").value(V.InstancesChecked);
+      if (V.Failure) {
+        W.key("counterexample").beginObject();
+        W.key("lhs").value(printTerm(WS.context(), V.Failure->Lhs));
+        W.key("rhs").value(printTerm(WS.context(), V.Failure->Rhs));
+        W.key("lhsNormal")
+            .value(printTerm(WS.context(), V.Failure->LhsNormal));
+        W.key("rhsNormal")
+            .value(printTerm(WS.context(), V.Failure->RhsNormal));
+        W.key("assignment").value(V.Failure->Assignment);
+        W.endObject();
+      }
+      W.endObject();
+    }
+    W.endArray();
+    W.key("caveats").beginArray();
+    for (const std::string &Caveat : Report.Caveats)
+      W.value(Caveat);
+    W.endArray();
+    writeEngineStats(W, Report.Engine);
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  } else {
+    std::printf("%s", Report.render(WS.context()).c_str());
+  }
   return Report.AllHold ? 0 : 1;
 }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in build/bench/ and records one JSON file
+# per binary at the repository root: BENCH_<name>.json. Committing these
+# gives every change a recorded baseline to diff against.
+#
+# usage: tools/run_benches.sh [build-dir] [extra benchmark args...]
+#
+# Extra arguments are passed to every binary, e.g.
+#   tools/run_benches.sh build --benchmark_min_time=0.05
+# for a quick sweep, or
+#   tools/run_benches.sh build --benchmark_filter=Jobs
+# for just the thread-scaling series.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+BENCH_DIR="$REPO_ROOT/$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+    echo "error: $BENCH_DIR does not exist; build the project first" >&2
+    echo "  cmake -S . -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+fi
+
+STATUS=0
+FOUND=0
+for BIN in "$BENCH_DIR"/*; do
+    [ -f "$BIN" ] && [ -x "$BIN" ] || continue
+    FOUND=1
+    NAME="$(basename "$BIN")"
+    OUT="$REPO_ROOT/BENCH_${NAME}.json"
+    echo "== $NAME -> $(basename "$OUT")"
+    if ! "$BIN" --benchmark_format=json "$@" > "$OUT.tmp"; then
+        echo "error: $NAME failed; leaving $(basename "$OUT") untouched" >&2
+        rm -f "$OUT.tmp"
+        STATUS=1
+        continue
+    fi
+    mv "$OUT.tmp" "$OUT"
+done
+
+if [ "$FOUND" = 0 ]; then
+    echo "error: no benchmark binaries in $BENCH_DIR" >&2
+    exit 1
+fi
+exit $STATUS
