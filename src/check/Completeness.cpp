@@ -395,7 +395,7 @@ CompletenessReport algspec::checkCompletenessDynamic(
       }
     };
 
-    if (Driver && !Oversized) {
+    if (Driver && !Oversized && Total <= Par.MaxFlatSpace) {
       // Workers classify their shard of the space; anything that is not
       // clean (stuck, or normalization failed, or no replica engine) is
       // re-run on the main engine during the in-order merge below, which
@@ -405,12 +405,17 @@ CompletenessReport algspec::checkCompletenessDynamic(
           Total, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
             if (!W.Engine)
               return 1;
+            OpId WorkerOp = W.Rep->mapOp(Op);
+            if (!WorkerOp.isValid())
+              return 1;
             std::vector<TermId> Args(ArgSets.size());
             mainArgsFor(Flat, Args);
-            for (TermId &Arg : Args)
+            for (TermId &Arg : Args) {
               Arg = W.Rep->mapTerm(Arg);
-            TermId Application =
-                W.Rep->context().makeOp(W.Rep->mapOp(Op), Args);
+              if (!Arg.isValid())
+                return 1;
+            }
+            TermId Application = W.Rep->context().makeOp(WorkerOp, Args);
             Result<TermId> Normal = W.Engine->normalize(Application);
             if (!Normal)
               return 1;

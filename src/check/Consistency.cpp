@@ -272,8 +272,8 @@ algspec::checkConsistency(AlgebraContext &Ctx,
   // context in serial order, which regenerates exact messages and keeps
   // the dedup set's behaviour — so the report is byte-identical.
   size_t R = Rules.size();
-  if (Driver && R != 0 &&
-      R <= std::numeric_limits<size_t>::max() / R) {
+  if (Driver && R != 0 && R <= std::numeric_limits<size_t>::max() / R &&
+      R * R <= Par.MaxFlatSpace) {
     std::vector<uint8_t> Flagged = Driver->map<uint8_t>(
         R * R, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
           if (!W.Engine || W.System->rules().size() != R)

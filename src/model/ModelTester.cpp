@@ -164,7 +164,7 @@ ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
       return false;
     };
 
-    if (Driver) {
+    if (Driver && Capped <= Options.Par.MaxFlatSpace) {
       // Workers classify their shard; the merge walks flagged indices in
       // ascending order and re-evaluates them on the caller's binding,
       // which regenerates the exact serial failure message and stop
@@ -180,15 +180,19 @@ ModelTestReport algspec::testModel(AlgebraContext &Ctx, const Spec &S,
             Substitution Sigma;
             size_t Rem = Flat;
             for (size_t I = 0; I != Vars.size(); ++I) {
-              Sigma.bind(W.Rep->mapVar(Vars[I]),
-                         W.Rep->mapTerm((*Choices[I])[Rem %
-                                                      Choices[I]->size()]));
+              TermId Value = W.Rep->mapTerm(
+                  (*Choices[I])[Rem % Choices[I]->size()]);
+              if (!Value.isValid())
+                return 1;
+              Sigma.bind(W.Rep->mapVar(Vars[I]), Value);
               Rem /= Choices[I]->size();
             }
-            TermId Lhs =
-                applySubstitution(RCtx, W.Rep->mapTerm(Ax.Lhs), Sigma);
-            TermId Rhs =
-                applySubstitution(RCtx, W.Rep->mapTerm(Ax.Rhs), Sigma);
+            TermId MappedLhs = W.Rep->mapTerm(Ax.Lhs);
+            TermId MappedRhs = W.Rep->mapTerm(Ax.Rhs);
+            if (!MappedLhs.isValid() || !MappedRhs.isValid())
+              return 1;
+            TermId Lhs = applySubstitution(RCtx, MappedLhs, Sigma);
+            TermId Rhs = applySubstitution(RCtx, MappedRhs, Sigma);
             auto LhsV = W.Binding->evaluate(Lhs);
             if (!LhsV)
               return 1;

@@ -50,8 +50,20 @@ struct ModelTestOptions {
   /// ModelBinding wraps arbitrary user callables, so it cannot be
   /// copied automatically the way specs can; the factory re-binds the
   /// implementation against the context it is given (by operation
-  /// name). It must be deterministic and its bindings must evaluate
-  /// instances independently of evaluation order.
+  /// name).
+  ///
+  /// Concurrency contract: the factory is invoked lazily from pool
+  /// worker threads, so it must be safe to call concurrently, and the
+  /// bindings it returns are evaluated concurrently over disjoint
+  /// instance shards. Note the parallel sweep also evaluates instances
+  /// in a different pattern than the serial one: workers evaluate every
+  /// instance of their shard on replica bindings, and the caller's
+  /// \c Binding then re-evaluates only the flagged (failing) instances
+  /// during the merge — whereas the serial sweep evaluates every
+  /// instance up to the first failure on the caller's binding. The
+  /// byte-identical-report guarantee therefore only holds for
+  /// deterministic, effectively stateless bindings whose results do not
+  /// depend on evaluation order or on which binding instance runs them.
   std::function<std::unique_ptr<ModelBinding>(AlgebraContext &)>
       BindingFactory;
 };

@@ -10,8 +10,6 @@
 #include "ast/SpecPrinter.h"
 #include "parser/Parser.h"
 
-#include <cassert>
-
 using namespace algspec;
 
 Result<std::unique_ptr<Replica>>
@@ -88,8 +86,9 @@ OpId Replica::mapOp(OpId MainOp) {
         break;
       }
     }
-    assert(Mapped.isValid() &&
-           "operation absent from the replicated spec set");
+    // No candidate: the operation is absent from the replicated spec
+    // set. The invalid id is cached (the miss is deterministic) and
+    // returned for the caller to check; mapTerm propagates it.
   }
   OpMap.emplace(MainOp, Mapped);
   return Mapped;
@@ -125,11 +124,18 @@ TermId Replica::mapTerm(TermId MainTerm) {
     Mapped = Ctx->makeInt(Node.IntValue);
     break;
   case TermKind::Op: {
+    OpId Op = mapOp(Node.Op);
+    if (!Op.isValid())
+      break; // Cache and return the invalid id; callers check.
     auto Span = Main->children(MainTerm);
     std::vector<TermId> Children(Span.begin(), Span.end());
-    for (TermId &Child : Children)
+    bool ChildrenOk = true;
+    for (TermId &Child : Children) {
       Child = mapTerm(Child);
-    Mapped = Ctx->makeOp(mapOp(Node.Op), Children);
+      ChildrenOk &= Child.isValid();
+    }
+    if (ChildrenOk)
+      Mapped = Ctx->makeOp(Op, Children);
     break;
   }
   }

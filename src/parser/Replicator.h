@@ -62,14 +62,19 @@ public:
 
   /// Maps a main-context operation by name and (mapped) signature.
   /// Sort-indexed builtins (if-then-else, SAME) and the Bool/Int
-  /// builtins map onto the replica's own instances.
+  /// builtins map onto the replica's own instances. Returns an invalid
+  /// id when the operation is absent from the replicated spec set
+  /// (possible when the caller replicates a subset of the specs);
+  /// callers fall back to the serial path then.
   OpId mapOp(OpId MainOp);
 
   /// Maps a main-context variable; one fresh replica variable per main
   /// variable, cached, so shared variables stay shared across terms.
   VarId mapVar(VarId MainVar);
 
-  /// Structurally rebuilds a main-context term in the replica.
+  /// Structurally rebuilds a main-context term in the replica. Returns
+  /// an invalid id when any operation inside the term does not map (see
+  /// mapOp); callers fall back to the serial path then.
   TermId mapTerm(TermId MainTerm);
 
 private:

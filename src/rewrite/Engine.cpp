@@ -230,33 +230,54 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
 }
 
 bool RewriteEngine::isFreeSort(SortId Sort) {
-  auto It = FreeSorts.find(Sort);
-  if (It != FreeSorts.end())
-    return It->second;
-  // Optimistically free: a recursive sort reached through its own
-  // constructor arguments contributes no new constraints (greatest
-  // fixpoint).
-  FreeSorts.emplace(Sort, true);
-  bool Free = true;
-  const SortInfo &Info = Ctx.sort(Sort);
-  if (Info.Kind != SortKind::Atom && Sort != Ctx.intSort()) {
-    for (OpId Ctor : Ctx.constructorsOf(Sort)) {
-      if (!System.rulesFor(Ctor).empty()) {
-        Free = false;
-        break;
-      }
-      for (SortId Arg : Ctx.op(Ctor).ArgSorts) {
-        if (!isFreeSort(Arg)) {
-          Free = false;
-          break;
+  // Freeness is a greatest fixpoint over the constructor-argument
+  // graph, so it is computed for every sort at once: with per-sort
+  // memoization, a query issued mid-recursion observes the optimistic
+  // in-progress 'true' of the sort that triggered it and caches an
+  // answer that a later constructor refutes — wrong for mutually
+  // recursive sorts, and dependent on query order. The table is rebuilt
+  // when sorts were added since the last computation (replica contexts
+  // create sorts on demand); the rule set is fixed for the engine's
+  // lifetime.
+  if (FreeSortsComputedFor != Ctx.numSorts()) {
+    const unsigned N = Ctx.numSorts();
+    FreeSorts.assign(N, true);
+    // Start with every sort free and demote until stable: a sort is not
+    // free when a constructor of it heads a rule, or a constructor
+    // argument reaches a non-free sort.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned I = 0; I != N; ++I) {
+        if (!FreeSorts[I])
+          continue;
+        SortId S(I);
+        if (Ctx.sort(S).Kind == SortKind::Atom || S == Ctx.intSort())
+          continue;
+        bool Free = true;
+        for (OpId Ctor : Ctx.constructorsOf(S)) {
+          if (!System.rulesFor(Ctor).empty()) {
+            Free = false;
+            break;
+          }
+          for (SortId Arg : Ctx.op(Ctor).ArgSorts) {
+            if (!FreeSorts[Arg.index()]) {
+              Free = false;
+              break;
+            }
+          }
+          if (!Free)
+            break;
+        }
+        if (!Free) {
+          FreeSorts[I] = false;
+          Changed = true;
         }
       }
-      if (!Free)
-        break;
     }
+    FreeSortsComputedFor = N;
   }
-  FreeSorts[Sort] = Free;
-  return Free;
+  return FreeSorts[Sort.index()];
 }
 
 bool RewriteEngine::isConstructorGround(TermId Term) const {

@@ -123,7 +123,9 @@ private:
   /// rewrites a constructor of the sort (or of any sort reachable
   /// through constructor arguments), so distinct ground constructor
   /// terms denote distinct values. Atom and Int literals are free.
-  /// Cached per sort; the rule set is fixed for the engine's lifetime.
+  /// Computed as a whole-table fixpoint on first use (per-sort caching
+  /// would be query-order-dependent for mutually recursive sorts); the
+  /// rule set is fixed for the engine's lifetime.
   bool isFreeSort(SortId Sort);
   /// True when \p Term is ground and built from constructors and
   /// literals only (no stuck defined operation inside).
@@ -134,7 +136,10 @@ private:
   EngineOptions Options;
   EngineStats Stats;
   std::unordered_map<TermId, TermId> Memo;
-  std::unordered_map<SortId, bool> FreeSorts;
+  /// Freeness verdict per sort index; valid for the first
+  /// FreeSortsComputedFor sorts of the context.
+  std::vector<bool> FreeSorts;
+  unsigned FreeSortsComputedFor = 0;
   std::vector<TraceStep> Trace;
 };
 

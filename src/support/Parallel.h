@@ -47,6 +47,13 @@ struct ParallelOptions {
   /// Smallest number of indices handed to one task; chunks below this
   /// are not worth the dispatch and the per-worker replica state.
   size_t MinChunk = 64;
+  /// Largest flattened index space a checker hands to the parallel
+  /// path. map() preallocates one result slot per index, so an
+  /// uncapped enumeration product (the dynamic completeness sweep has
+  /// no instance cap) would allocate its whole result vector up front;
+  /// above this bound callers keep the serial sweep, which may run
+  /// long but stays O(1) in memory.
+  size_t MaxFlatSpace = size_t(1) << 26;
 };
 
 /// The worker count \p Opts actually asks for.
@@ -77,7 +84,10 @@ public:
 
   /// Runs Body(State, I) for every I in [0, Total) and returns the
   /// results in index order. R must be default-constructible; slots are
-  /// written exactly once, so no result-side locking is needed.
+  /// written exactly once, so no result-side locking is needed. The
+  /// whole result vector is preallocated, so callers must bound Total
+  /// (ParallelOptions::MaxFlatSpace) and take their serial path above
+  /// the bound.
   template <typename R>
   std::vector<R> map(size_t Total,
                      const std::function<R(State &, size_t)> &Body) {

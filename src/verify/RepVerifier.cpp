@@ -399,7 +399,7 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
     return false;
   };
 
-  if (CS.Driver) {
+  if (CS.Driver && Capped <= CS.Options.Par.MaxFlatSpace) {
     // Workers classify their shard; the merge walks flagged instances in
     // ascending order on the main engine, which regenerates the exact
     // serial caveats, counterexample, and stop point. Flagged instances
@@ -413,15 +413,19 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
           Substitution Sigma;
           size_t Rem = Flat;
           for (size_t I = 0; I != Vars.size(); ++I) {
-            Sigma.bind(W.Rep->mapVar(Vars[I]),
-                       W.Rep->mapTerm(
-                           (*Choices[I])[Rem % Choices[I]->size()]));
+            TermId Value =
+                W.Rep->mapTerm((*Choices[I])[Rem % Choices[I]->size()]);
+            if (!Value.isValid())
+              return 1;
+            Sigma.bind(W.Rep->mapVar(Vars[I]), Value);
             Rem /= Choices[I]->size();
           }
-          TermId Lhs =
-              applySubstitution(RCtx, W.Rep->mapTerm(LhsT), Sigma);
-          TermId Rhs =
-              applySubstitution(RCtx, W.Rep->mapTerm(RhsT), Sigma);
+          TermId MappedLhs = W.Rep->mapTerm(LhsT);
+          TermId MappedRhs = W.Rep->mapTerm(RhsT);
+          if (!MappedLhs.isValid() || !MappedRhs.isValid())
+            return 1;
+          TermId Lhs = applySubstitution(RCtx, MappedLhs, Sigma);
+          TermId Rhs = applySubstitution(RCtx, MappedRhs, Sigma);
           Result<TermId> LhsN = W.Engine->normalize(Lhs);
           Result<TermId> RhsN = W.Engine->normalize(Rhs);
           if (!LhsN || !RhsN)

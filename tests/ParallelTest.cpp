@@ -176,6 +176,21 @@ TEST(ReplicaTest, RoundTripsPaperSpecs) {
   EXPECT_EQ(printTerm((*Rep)->context(), Mapped), printTerm(Ctx, *Term));
 }
 
+TEST(ReplicaTest, MapTermReturnsInvalidForUnreplicatedOp) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  auto Rep = Replica::create(Ctx, {&Q});
+  ASSERT_TRUE(static_cast<bool>(Rep)) << Rep.error().message();
+  // A term headed by a Symboltable operation has no image in a replica
+  // built from the Queue spec alone: mapTerm reports the miss with an
+  // invalid id (the caller falls back to the serial path) instead of
+  // building a term over an invalid operation.
+  auto Term = parseTermText(Ctx, "INIT");
+  ASSERT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+  EXPECT_FALSE((*Rep)->mapTerm(*Term).isValid());
+}
+
 TEST(ReplicaWorkerTest, DriverIsNullForOneJob) {
   AlgebraContext Ctx;
   Spec Q = specs::loadQueue(Ctx).take();
@@ -277,6 +292,24 @@ TEST(ParallelDeterminism, DynamicCompletenessFindsSameStuckTerms) {
   // arena exactly as the serial sweep would have created them.
   for (size_t I = 0; I != Serial.Missing.size(); ++I)
     EXPECT_EQ(Serial.Missing[I].SuggestedLhs, Sharded.Missing[I].SuggestedLhs);
+}
+
+TEST(ParallelDeterminism, FlatSpaceBoundFallsBackToSerial) {
+  // A tiny MaxFlatSpace sends every sweep back down the serial path
+  // (the parallel path preallocates one result slot per index, so an
+  // unbounded space must not reach it); the report stays identical.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, IncompleteSpec);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  Spec &S = Parsed->front();
+  ParallelOptions Bounded = fourJobs();
+  Bounded.MaxFlatSpace = 1;
+  CompletenessReport Serial = checkCompletenessDynamic(Ctx, S, {&S}, 5);
+  CompletenessReport Capped = checkCompletenessDynamic(
+      Ctx, S, {&S}, 5, EnumeratorOptions(), Bounded);
+  EXPECT_EQ(renderCompleteness(Ctx, Serial),
+            renderCompleteness(Ctx, Capped));
+  EXPECT_FALSE(Capped.SufficientlyComplete);
 }
 
 TEST(ParallelDeterminism, ConsistencyCleanAndContradictory) {

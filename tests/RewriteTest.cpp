@@ -456,6 +456,50 @@ end
   EXPECT_EQ(*Engine.normalize(Diseq), Diseq);
 }
 
+TEST(EngineTest, SameFreenessOnMutuallyRecursiveSorts) {
+  // A and B are mutually recursive (CA : B -> A, CB : A -> B) and A's
+  // last constructor heads a rule, so neither sort is free. Freeness
+  // must come out the same at any query order: an implementation that
+  // memoizes the optimistic in-progress 'true' of A while resolving B
+  // would cache B as free when A is queried first — and then decide a
+  // disequality of B terms that a richer theory may equate.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Mutual
+  sorts A, B
+  ops
+    LA : -> A
+    CA : B -> A
+    NA : A -> A
+    LB : -> B
+    CB : A -> B
+  constructors LA, CA, NA, LB, CB
+  vars x : A
+  axioms
+    NA(NA(x)) = x
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&(*Parsed)[0]});
+  ASSERT_TRUE(static_cast<bool>(Sys)) << Sys.error().message();
+  RewriteEngine Engine(Ctx, *Sys);
+  SortId A = Ctx.lookupSort("A");
+  SortId B = Ctx.lookupSort("B");
+  auto LA = parseTermText(Ctx, "LA");
+  auto CALB = parseTermText(Ctx, "CA(LB)");
+  auto LB = parseTermText(Ctx, "LB");
+  auto CBLA = parseTermText(Ctx, "CB(LA)");
+  ASSERT_TRUE(static_cast<bool>(LA) && static_cast<bool>(CALB) &&
+              static_cast<bool>(LB) && static_cast<bool>(CBLA));
+  // Query A first — the order that used to poison B's cached verdict.
+  TermId DiseqA = Ctx.makeOp(Ctx.getSameOp(A), {*LA, *CALB});
+  EXPECT_EQ(*Engine.normalize(DiseqA), DiseqA);
+  // B reaches the non-free A through CB, so SAME must stay stuck here
+  // too, exactly as if B had been queried directly.
+  TermId DiseqB = Ctx.makeOp(Ctx.getSameOp(B), {*LB, *CBLA});
+  EXPECT_EQ(*Engine.normalize(DiseqB), DiseqB);
+}
+
 //===----------------------------------------------------------------------===//
 // Symboltable semantics by rewriting (paper section 4)
 //===----------------------------------------------------------------------===//
