@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Benchmarks for the error-flow analysis (`algspec analyze`): the
+/// per-operation definedness fixpoint and condition extraction over the
+/// paper specs, a synthetic sweep scaling the number of operations and
+/// the call-chain depth the fixpoint must propagate through, and the
+/// verifier's obligation-discharge pass on the paper's Symboltable
+/// representation. Like the checkers, the analysis backs an interactive
+/// command, so it has to answer at interactive speed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "check/ErrorFlow.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+/// A spec with a chain of \p ChainLen operations, each forwarding to the
+/// next, the last one erroring on the nullary constructor: the fixpoint
+/// needs ChainLen rounds to propagate the verdict back to the head, and
+/// condition extraction composes through every link.
+std::string chainSpec(int64_t ChainLen) {
+  std::string S = "spec Chain\n  sorts T\n  ops\n    Z : -> T\n"
+                  "    S : T -> T\n";
+  for (int64_t F = 0; F < ChainLen; ++F)
+    S += "    F" + std::to_string(F) + " : T -> T\n";
+  S += "  constructors Z, S\n  vars x : T\n  axioms\n";
+  for (int64_t F = 0; F + 1 < ChainLen; ++F) {
+    S += "    F" + std::to_string(F) + "(Z) = F" + std::to_string(F + 1) +
+         "(Z)\n";
+    S += "    F" + std::to_string(F) + "(S(x)) = F" + std::to_string(F + 1) +
+         "(x)\n";
+  }
+  S += "    F" + std::to_string(ChainLen - 1) + "(Z) = error\n";
+  S += "    F" + std::to_string(ChainLen - 1) + "(S(x)) = x\n";
+  S += "end\n";
+  return S;
+}
+
+void BM_ErrorFlowPaperSpecs(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Q = specs::loadQueue(Ctx).take();
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  std::vector<Spec> SA = specs::loadStackArray(Ctx).take();
+  std::vector<const Spec *> All{&Q, &Sym};
+  for (const Spec &S : SA)
+    All.push_back(&S);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeErrorFlow(Ctx, All));
+}
+
+void BM_ErrorFlowBoundedQueue(benchmark::State &State) {
+  // The deepest shipped condition extraction: ENQUEUE's guard composes
+  // through IS_FULL?, CAPACITY, and BSIZE.
+  AlgebraContext Ctx;
+  std::vector<Spec> Loaded =
+      specs::load(Ctx, specs::BoundedQueueAlg, "boundedqueue.alg").take();
+  std::vector<const Spec *> All;
+  for (const Spec &S : Loaded)
+    All.push_back(&S);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeErrorFlow(Ctx, All));
+}
+
+void BM_ErrorFlowChain(benchmark::State &State) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, chainSpec(State.range(0)));
+  Spec S = std::move(Parsed->front());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeErrorFlow(Ctx, {&S}));
+}
+
+void BM_ObligationDischarge(benchmark::State &State) {
+  // verifyRepresentation at depth 1: the sweep itself is tiny, so the
+  // timing is dominated by the obligation-discharge pass (error-flow
+  // analysis + per-site unification, guard refutation, and per-head
+  // probes over the Symboltable implementation).
+  AlgebraContext Ctx;
+  Spec Sym = specs::loadSymboltable(Ctx).take();
+  std::vector<Spec> SA = specs::loadStackArray(Ctx).take();
+  SymboltableRep Rep = buildSymboltableRep(Ctx).take();
+  std::vector<const Spec *> Sources{&Sym};
+  for (const Spec &S : SA)
+    Sources.push_back(&S);
+  for (const Spec &S : Rep.ImplSpecs)
+    Sources.push_back(&S);
+  VerifyOptions Options;
+  Options.Domain = State.range(0) == 0 ? ValueDomain::Reachable
+                                       : ValueDomain::FreeTerms;
+  Options.Depth = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        verifyRepresentation(Ctx, Sym, Sources, Rep.Mapping, Options));
+}
+
+} // namespace
+
+BENCHMARK(BM_ErrorFlowPaperSpecs);
+BENCHMARK(BM_ErrorFlowBoundedQueue);
+BENCHMARK(BM_ErrorFlowChain)->Arg(4)->Arg(16)->Arg(64);
+// 0 = Reachable, 1 = FreeTerms (the domain decides which heads the
+// per-head analysis must refute).
+BENCHMARK(BM_ObligationDischarge)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -251,6 +251,20 @@ static bool isNonLinearRow(const AlgebraContext &Ctx,
   return NonLinear;
 }
 
+/// Pins the reported order: by operation id, then by the rendered
+/// suggested left-hand side. The enumeration order that produced the
+/// cases is an implementation detail; golden files diff against this.
+static void sortMissingCases(const AlgebraContext &Ctx,
+                             std::vector<MissingCase> &Missing) {
+  std::stable_sort(Missing.begin(), Missing.end(),
+                   [&Ctx](const MissingCase &A, const MissingCase &B) {
+                     if (A.Op != B.Op)
+                       return A.Op < B.Op;
+                     return printTerm(Ctx, A.SuggestedLhs) <
+                            printTerm(Ctx, B.SuggestedLhs);
+                   });
+}
+
 //===----------------------------------------------------------------------===//
 // Public interface
 //===----------------------------------------------------------------------===//
@@ -320,6 +334,7 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
     Report.Missing.push_back(
         MissingCase{Op, Ctx.makeOp(Op, *Witness)});
   }
+  sortMissingCases(Ctx, Report.Missing);
   return Report;
 }
 
@@ -456,5 +471,6 @@ CompletenessReport algspec::checkCompletenessDynamic(
     for (ReplicaWorker *W : Driver->states())
       if (W->Engine)
         Report.Engine += W->Engine->stats();
+  sortMissingCases(Ctx, Report.Missing);
   return Report;
 }

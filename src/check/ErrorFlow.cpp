@@ -1,0 +1,656 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ErrorFlow.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "check/Completeness.h"
+#include "check/Lint.h"
+#include "check/Unify.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+using namespace algspec;
+
+std::string_view algspec::errorVerdictName(ErrorVerdict V) {
+  switch (V) {
+  case ErrorVerdict::Never:
+    return "never-error";
+  case ErrorVerdict::May:
+    return "may-error";
+  case ErrorVerdict::Always:
+    return "always-error";
+  }
+  return "may-error";
+}
+
+namespace {
+
+/// Chain order Never < May < Always: the worst of two verdicts along one
+/// strict evaluation path (if either poisons, the whole poisons).
+ErrorVerdict chainMax(ErrorVerdict A, ErrorVerdict B) {
+  return A < B ? B : A;
+}
+
+/// Join of two *alternative* paths (distinct constructor cases, the two
+/// branches of an if-then-else): agreeing paths keep their verdict,
+/// disagreeing ones meet at may-error.
+ErrorVerdict caseJoin(ErrorVerdict A, ErrorVerdict B) {
+  return A == B ? A : ErrorVerdict::May;
+}
+
+/// The whole analysis, over one workspace of specs.
+class ErrorFlowAnalyzer {
+public:
+  ErrorFlowAnalyzer(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs)
+      : Ctx(Ctx), Specs(Specs) {}
+
+  ErrorFlowReport run() {
+    collect();
+    runFixpoint();
+    return buildReport();
+  }
+
+private:
+  /// One axiom seen as one constructor case of its head operation.
+  struct CaseRef {
+    const Spec *Owner = nullptr;
+    const Axiom *Ax = nullptr;
+  };
+
+  /// One enclosing if-then-else condition on the path to a subterm.
+  struct Guard {
+    TermId Cond;
+    bool TakenThen; ///< True inside the then branch, false inside else.
+  };
+
+  /// A derived error condition: \c Cond is a *necessary* condition for
+  /// the inspected term to rewrite to error; \c Exact upgrades it to
+  /// necessary and sufficient. The trivial conditions are the literal
+  /// true/false terms.
+  struct Extract {
+    TermId Cond;
+    bool Exact;
+  };
+
+  //===------------------------------------------------------------------===
+  // Setup
+  //===------------------------------------------------------------------===
+
+  void collect() {
+    for (const Spec *S : Specs) {
+      for (OpId Op : S->definedOps(Ctx)) {
+        OpOrder.emplace_back(S, Op);
+        CasesByOp[Op]; // ensure a (possibly empty) case list
+      }
+      for (const Axiom &Ax : S->axioms()) {
+        const TermNode &N = Ctx.node(Ax.Lhs);
+        if (N.Kind != TermKind::Op || !Ctx.op(N.Op).isDefined())
+          continue;
+        CasesByOp[N.Op].push_back(CaseRef{S, &Ax});
+      }
+      CompletenessReport CR = checkCompleteness(Ctx, *S);
+      for (const MissingCase &M : CR.Missing)
+        Incomplete.insert(M.Op);
+      for (const std::string &C : CR.Caveats)
+        Caveats.push_back(S->name() + ": " + C);
+    }
+    Caveats.push_back("stuck terms count as never-error: summaries assume "
+                      "arguments denote covered constructor values");
+    for (const auto &[S, Op] : OpOrder)
+      if (Incomplete.count(Op))
+        Caveats.push_back(S->name() + "." + std::string(Ctx.opName(Op)) +
+                          ": uncovered constructor cases treated as "
+                          "never-error");
+
+    // A small engine over the full rule set decides enclosing guards
+    // under case-composition substitutions.
+    if (Result<RewriteSystem> Sys = RewriteSystem::buildChecked(Ctx, Specs)) {
+      System.emplace(Sys.take());
+      EngineOptions EO;
+      EO.MaxSteps = 4096;
+      EO.MaxDepth = 512;
+      GuardEngine.emplace(Ctx, *System, EO);
+    } else {
+      Caveats.push_back("axiom set did not elaborate into a rewrite system; "
+                        "guard refutation disabled");
+    }
+  }
+
+  //===------------------------------------------------------------------===
+  // Phase 1: verdict-only Kleene fixpoint
+  //===------------------------------------------------------------------===
+
+  ErrorVerdict overallFor(OpId Op) const {
+    auto It = Overall.find(Op);
+    if (It != Overall.end())
+      return It->second;
+    // Defined op outside the analyzed workspace: unknown.
+    return ErrorVerdict::May;
+  }
+
+  /// Abstract value of one axiom right-hand side under the current
+  /// per-operation verdicts. Structural strictness everywhere, laziness
+  /// only in if-then-else branches — exactly AlgebraContext::makeOp.
+  ErrorVerdict evalTerm(TermId T) const {
+    const TermNode &N = Ctx.node(T);
+    switch (N.Kind) {
+    case TermKind::Error:
+      return ErrorVerdict::Always;
+    case TermKind::Var:
+    case TermKind::Atom:
+    case TermKind::Int:
+      return ErrorVerdict::Never;
+    case TermKind::Op:
+      break;
+    }
+    const OpInfo &Info = Ctx.op(N.Op);
+    std::span<const TermId> Kids = Ctx.children(T);
+    if (Info.Builtin == BuiltinOp::Ite)
+      return chainMax(evalTerm(Kids[0]),
+                      caseJoin(evalTerm(Kids[1]), evalTerm(Kids[2])));
+    ErrorVerdict V = ErrorVerdict::Never;
+    for (TermId K : Kids)
+      V = chainMax(V, evalTerm(K));
+    if (Info.isDefined())
+      V = chainMax(V, overallFor(N.Op));
+    return V;
+  }
+
+  ErrorVerdict computeOverall(OpId Op) const {
+    std::optional<ErrorVerdict> Acc;
+    auto It = CasesByOp.find(Op);
+    if (It != CasesByOp.end())
+      for (const CaseRef &C : It->second) {
+        ErrorVerdict V = evalTerm(C.Ax->Rhs);
+        Acc = Acc ? caseJoin(*Acc, V) : V;
+      }
+    if (Incomplete.count(Op))
+      Acc = Acc ? caseJoin(*Acc, ErrorVerdict::Never) : ErrorVerdict::Never;
+    return Acc.value_or(ErrorVerdict::Never);
+  }
+
+  void runFixpoint() {
+    // Optimistic bottom: never-error is sound to start from because
+    // divergence and stuck terms are not the error value.
+    for (const auto &[S, Op] : OpOrder)
+      Overall[Op] = ErrorVerdict::Never;
+    // Each verdict can only climb the three-point chain, so the chaotic
+    // iteration stabilizes after at most 2*|ops| productive rounds.
+    unsigned Limit = 2 * static_cast<unsigned>(OpOrder.size()) + 2;
+    for (unsigned Iter = 0; Iter < Limit; ++Iter) {
+      bool Changed = false;
+      for (const auto &[S, Op] : OpOrder) {
+        ErrorVerdict NV = computeOverall(Op);
+        if (NV != Overall[Op]) {
+          Overall[Op] = NV;
+          Changed = true;
+        }
+      }
+      if (!Changed)
+        return;
+    }
+    assert(false && "error-flow fixpoint failed to stabilize");
+  }
+
+  //===------------------------------------------------------------------===
+  // Phase 2: one-shot error-condition extraction
+  //===------------------------------------------------------------------===
+
+  TermId mkNot(TermId A) {
+    if (A == Ctx.trueTerm())
+      return Ctx.falseTerm();
+    if (A == Ctx.falseTerm())
+      return Ctx.trueTerm();
+    return Ctx.makeOp(Ctx.intOp(BuiltinOp::BoolNot), {A});
+  }
+
+  TermId mkAnd(TermId A, TermId B) {
+    if (A == Ctx.falseTerm() || B == Ctx.falseTerm())
+      return Ctx.falseTerm();
+    if (A == Ctx.trueTerm())
+      return B;
+    if (B == Ctx.trueTerm() || A == B)
+      return A;
+    return Ctx.makeOp(Ctx.intOp(BuiltinOp::BoolAnd), {A, B});
+  }
+
+  TermId mkOr(TermId A, TermId B) {
+    if (A == Ctx.trueTerm() || B == Ctx.trueTerm())
+      return Ctx.trueTerm();
+    if (A == Ctx.falseTerm())
+      return B;
+    if (B == Ctx.falseTerm() || A == B)
+      return A;
+    return Ctx.makeOp(Ctx.intOp(BuiltinOp::BoolOr), {A, B});
+  }
+
+  /// True when \p T is already a constructor normal form pattern:
+  /// variables, literals, and constructor applications only. Only such
+  /// call-site arguments can be composed against case patterns soundly —
+  /// anything else may still reduce before the outer match happens.
+  bool constructorPure(TermId T) const {
+    const TermNode &N = Ctx.node(T);
+    switch (N.Kind) {
+    case TermKind::Var:
+    case TermKind::Atom:
+    case TermKind::Int:
+      return true;
+    case TermKind::Error:
+      return false;
+    case TermKind::Op:
+      break;
+    }
+    if (!Ctx.op(N.Op).isConstructor())
+      return false;
+    for (TermId K : Ctx.children(T))
+      if (!constructorPure(K))
+        return false;
+    return true;
+  }
+
+  void collectVars(TermId T, std::unordered_set<VarId> &Out) const {
+    const TermNode &N = Ctx.node(T);
+    if (N.Kind == TermKind::Var) {
+      Out.insert(N.Var);
+      return;
+    }
+    for (TermId K : Ctx.children(T))
+      collectVars(K, Out);
+  }
+
+  /// True when some enclosing guard is decided *against* its taken branch
+  /// once \p Sigma is applied — the composed case is unreachable.
+  bool guardsRefuted(const Substitution &Sigma,
+                     const std::vector<Guard> &Guards) {
+    if (!GuardEngine)
+      return false;
+    for (const Guard &G : Guards) {
+      TermId Inst = applySubstitution(Ctx, G.Cond, Sigma);
+      Result<TermId> N = GuardEngine->normalize(Inst);
+      if (!N)
+        continue;
+      if ((*N == Ctx.trueTerm() && !G.TakenThen) ||
+          (*N == Ctx.falseTerm() && G.TakenThen))
+        return true;
+    }
+    return false;
+  }
+
+  /// Error contribution of a defined-operation application itself, its
+  /// arguments assumed non-erroring. Composes the call site against the
+  /// callee's cases via unification — one level only, which keeps the
+  /// extraction a single post-fixpoint pass.
+  Extract appExtract(TermId T, const std::vector<Guard> &Guards) {
+    const TermNode N = Ctx.node(T);
+    ErrorVerdict Own = overallFor(N.Op);
+    if (Own == ErrorVerdict::Never)
+      return {Ctx.falseTerm(), true};
+
+    bool Pure = true;
+    for (TermId K : Ctx.children(T))
+      Pure = Pure && constructorPure(K);
+    auto It = CasesByOp.find(N.Op);
+    if (!Pure || It == CasesByOp.end())
+      return {Ctx.trueTerm(), Own == ErrorVerdict::Always};
+
+    std::unordered_set<VarId> SiteVars;
+    collectVars(T, SiteVars);
+
+    TermId Cond = Ctx.falseTerm();
+    bool Exact = true;
+    for (const CaseRef &C : It->second) {
+      auto [RLhs, RRhs] = renameRuleApart(Ctx, C.Ax->Lhs, C.Ax->Rhs);
+      std::optional<Substitution> Sigma = unifyTerms(Ctx, T, RLhs);
+      if (!Sigma)
+        continue; // the site can never take this case
+      if (guardsRefuted(*Sigma, Guards))
+        continue; // the case is dead under the enclosing guards
+
+      // Does the unifier restrict the site (instantiate its variables)?
+      bool Restricting = false;
+      std::unordered_map<TermId, unsigned> VarImages;
+      for (const auto &[V, B] : Sigma->bindings()) {
+        if (!SiteVars.count(V))
+          continue;
+        if (!Ctx.isVar(B) || ++VarImages[B] > 1) {
+          Restricting = true;
+          break;
+        }
+      }
+
+      if (Ctx.isError(RRhs)) {
+        if (!Restricting)
+          return {Ctx.trueTerm(), true}; // always matches, always errors
+        Cond = Ctx.trueTerm(); // errors on the instances the case matches
+        Exact = false;
+        continue;
+      }
+      if (evalTerm(C.Ax->Rhs) == ErrorVerdict::Never)
+        continue;
+      Cond = Ctx.trueTerm();
+      Exact = false;
+    }
+    return {Cond, Exact};
+  }
+
+  /// Necessary (and when possible sufficient) condition for \p T to
+  /// rewrite to error, under the enclosing \p Guards.
+  Extract extract(TermId T, std::vector<Guard> &Guards) {
+    if (Ctx.isError(T))
+      return {Ctx.trueTerm(), true};
+    if (evalTerm(T) == ErrorVerdict::Never)
+      return {Ctx.falseTerm(), true};
+
+    const TermNode N = Ctx.node(T);
+    assert(N.Kind == TermKind::Op && "leaves are never-error");
+    bool IsIte = Ctx.op(N.Op).Builtin == BuiltinOp::Ite;
+    bool IsDefined = Ctx.op(N.Op).isDefined();
+    // Copy the children out of the arena: the recursion below builds new
+    // terms (conditions, renamed rules, guard normal forms), which can
+    // grow the term tables and invalidate spans and references into them.
+    std::span<const TermId> KidsSpan = Ctx.children(T);
+    std::vector<TermId> Kids(KidsSpan.begin(), KidsSpan.end());
+
+    if (IsIte) {
+      ErrorVerdict CV = evalTerm(Kids[0]);
+      if (CV == ErrorVerdict::Always)
+        return {Ctx.trueTerm(), true};
+      if (CV == ErrorVerdict::May)
+        return {Ctx.trueTerm(), false};
+      Guards.push_back(Guard{Kids[0], true});
+      Extract Then = extract(Kids[1], Guards);
+      Guards.back().TakenThen = false;
+      Extract Else = extract(Kids[2], Guards);
+      Guards.pop_back();
+      TermId Cond = mkOr(mkAnd(Kids[0], Then.Cond),
+                         mkAnd(mkNot(Kids[0]), Else.Cond));
+      return {Cond, Then.Exact && Else.Exact};
+    }
+
+    // Strict arguments: the term errors as soon as any argument does.
+    TermId ArgCond = Ctx.falseTerm();
+    bool ArgExact = true;
+    for (TermId K : Kids) {
+      Extract E = extract(K, Guards);
+      ArgCond = mkOr(ArgCond, E.Cond);
+      ArgExact = ArgExact && E.Exact;
+    }
+    if (!IsDefined)
+      return {ArgCond, ArgExact}; // constructors and builtins never error
+    Extract App = appExtract(T, Guards);
+    return {mkOr(ArgCond, App.Cond), ArgExact && App.Exact};
+  }
+
+  //===------------------------------------------------------------------===
+  // Report
+  //===------------------------------------------------------------------===
+
+  ErrorFlowReport buildReport() {
+    ErrorFlowReport R;
+    for (const auto &[S, Op] : OpOrder) {
+      OpSummary Sum;
+      Sum.Op = Op;
+      Sum.SpecName = S->name();
+      std::optional<ErrorVerdict> Acc;
+      for (const CaseRef &C : CasesByOp[Op]) {
+        ErrorCase EC;
+        EC.AxiomNumber = C.Ax->Number;
+        EC.Lhs = C.Ax->Lhs;
+        std::vector<Guard> Guards;
+        Extract E = extract(C.Ax->Rhs, Guards);
+        if (E.Cond == Ctx.falseTerm()) {
+          EC.Verdict = ErrorVerdict::Never;
+        } else if (E.Cond == Ctx.trueTerm() && E.Exact) {
+          EC.Verdict = ErrorVerdict::Always;
+        } else {
+          EC.Verdict = ErrorVerdict::May;
+          if (E.Cond != Ctx.trueTerm()) {
+            EC.ErrorCondition = E.Cond;
+            EC.ConditionExact = E.Exact;
+          }
+        }
+        Acc = Acc ? caseJoin(*Acc, EC.Verdict) : EC.Verdict;
+        Sum.Cases.push_back(EC);
+      }
+      if (Incomplete.count(Op))
+        Acc = Acc ? caseJoin(*Acc, ErrorVerdict::Never) : ErrorVerdict::Never;
+      Sum.Overall = Acc.value_or(ErrorVerdict::Never);
+
+      for (const ErrorCase &EC : Sum.Cases) {
+        bool Unconditional = EC.Verdict == ErrorVerdict::Always;
+        bool ExactGuard = EC.Verdict == ErrorVerdict::May &&
+                          EC.ErrorCondition.isValid() && EC.ConditionExact;
+        if (!Unconditional && !ExactGuard)
+          continue;
+        DefinednessObligation O;
+        O.Op = Op;
+        O.SpecName = Sum.SpecName;
+        O.AxiomNumber = EC.AxiomNumber;
+        O.CaseLhs = EC.Lhs;
+        O.Verdict = EC.Verdict;
+        O.ErrorCondition = EC.ErrorCondition;
+        O.ConditionExact = EC.ConditionExact;
+        R.Obligations.push_back(O);
+      }
+      R.Summaries.push_back(std::move(Sum));
+    }
+    R.Caveats = std::move(Caveats);
+    return R;
+  }
+
+  AlgebraContext &Ctx;
+  const std::vector<const Spec *> &Specs;
+  /// Report order: declaring spec in workspace order, then declaration
+  /// order within the spec.
+  std::vector<std::pair<const Spec *, OpId>> OpOrder;
+  std::unordered_map<OpId, std::vector<CaseRef>> CasesByOp;
+  std::unordered_map<OpId, ErrorVerdict> Overall;
+  std::unordered_set<OpId> Incomplete;
+  std::optional<RewriteSystem> System;
+  std::optional<RewriteEngine> GuardEngine;
+  std::vector<std::string> Caveats;
+};
+
+} // namespace
+
+std::string DefinednessObligation::render(const AlgebraContext &Ctx) const {
+  std::string Out = printTerm(Ctx, CaseLhs) + " = error";
+  if (ErrorCondition.isValid())
+    Out += std::string(ConditionExact ? " iff " : " when ") +
+           printTerm(Ctx, ErrorCondition);
+  return Out;
+}
+
+const OpSummary *ErrorFlowReport::summaryFor(OpId Op) const {
+  for (const OpSummary &S : Summaries)
+    if (S.Op == Op)
+      return &S;
+  return nullptr;
+}
+
+std::string ErrorFlowReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  for (const OpSummary &S : Summaries) {
+    Out += S.SpecName + "." + std::string(Ctx.opName(S.Op)) + ": " +
+           std::string(errorVerdictName(S.Overall)) + "\n";
+    for (const ErrorCase &C : S.Cases) {
+      Out += "  axiom (" + std::to_string(C.AxiomNumber) + ") " +
+             printTerm(Ctx, C.Lhs) + ": " +
+             std::string(errorVerdictName(C.Verdict));
+      if (C.ErrorCondition.isValid())
+        Out += std::string(C.ConditionExact ? " iff " : " when ") +
+               printTerm(Ctx, C.ErrorCondition);
+      Out += "\n";
+    }
+  }
+  if (!Obligations.empty()) {
+    Out += "definedness obligations:\n";
+    for (const DefinednessObligation &O : Obligations)
+      Out += "  " + O.render(Ctx) + "\n";
+  }
+  for (const std::string &C : Caveats)
+    Out += "note: " + C + "\n";
+  return Out;
+}
+
+ErrorFlowReport
+algspec::analyzeErrorFlow(AlgebraContext &Ctx,
+                          const std::vector<const Spec *> &Specs) {
+  return ErrorFlowAnalyzer(Ctx, Specs).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis-backed lint rules
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string axiomLabel(const Axiom &Ax) {
+  return "axiom (" + std::to_string(Ax.Number) + ")";
+}
+
+/// error-swallowed: an axiom right-hand side that provably rewrites to
+/// error without being written as `error` — an erroring subterm reaches a
+/// strict position and no guard can save it.
+class ErrorSwallowedPass : public LintPass {
+public:
+  std::string_view name() const override { return "error-swallowed"; }
+  std::string_view description() const override {
+    return "axiom right-hand side always rewrites to error without "
+           "saying so";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    const Spec &S = LC.spec();
+    ErrorFlowReport R = analyzeErrorFlow(Ctx, LC.allSpecs());
+    for (const Axiom &Ax : S.axioms()) {
+      if (Ctx.isError(Ax.Rhs))
+        continue;
+      const TermNode &N = Ctx.node(Ax.Lhs);
+      if (N.Kind != TermKind::Op)
+        continue;
+      const OpSummary *Sum = R.summaryFor(N.Op);
+      if (!Sum)
+        continue;
+      for (const ErrorCase &C : Sum->Cases) {
+        if (C.Lhs != Ax.Lhs || C.AxiomNumber != Ax.Number ||
+            C.Verdict != ErrorVerdict::Always)
+          continue;
+        LC.report(name(), DiagKind::Warning, Ax.Loc,
+                  "right-hand side of " + axiomLabel(Ax) + " for '" +
+                      std::string(Ctx.opName(N.Op)) +
+                      "' always rewrites to error: an erroring subterm "
+                      "reaches a strict position and no guard decides it",
+                  "please write the axiom as " + printTerm(Ctx, Ax.Lhs) +
+                      " = error, or guard the erroring subterm with "
+                      "if-then-else");
+      }
+    }
+  }
+};
+
+/// always-error-op: every constructor case of the operation errors, so no
+/// application of it is ever defined.
+class AlwaysErrorOpPass : public LintPass {
+public:
+  std::string_view name() const override { return "always-error-op"; }
+  std::string_view description() const override {
+    return "operation whose every case rewrites to error";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    const Spec &S = LC.spec();
+    ErrorFlowReport R = analyzeErrorFlow(Ctx, LC.allSpecs());
+    for (const OpSummary &Sum : R.Summaries) {
+      if (Sum.SpecName != S.name() || Sum.Overall != ErrorVerdict::Always ||
+          Sum.Cases.empty())
+        continue;
+      LC.report(name(), DiagKind::Warning, Ctx.op(Sum.Op).Loc,
+                "every case of '" + std::string(Ctx.opName(Sum.Op)) +
+                    "' rewrites to error; no application of it is "
+                    "defined");
+    }
+  }
+};
+
+/// redundant-error-axiom: an explicit `lhs = error` axiom whose left-hand
+/// side already normalizes to error once the axiom itself is removed —
+/// strict propagation through the remaining rules implies it.
+class RedundantErrorAxiomPass : public LintPass {
+public:
+  std::string_view name() const override { return "redundant-error-axiom"; }
+  std::string_view description() const override {
+    return "explicit error axiom already implied by error propagation";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    const Spec &S = LC.spec();
+    for (const Axiom &Ax : S.axioms()) {
+      if (!Ctx.isError(Ax.Rhs))
+        continue;
+      // Rebuild the workspace with this one axiom dropped.
+      Spec Reduced(S.name());
+      for (const Axiom &Other : S.axioms())
+        if (&Other != &Ax)
+          Reduced.addAxiom(Other.Lhs, Other.Rhs, Other.Loc);
+      std::vector<const Spec *> All;
+      bool Replaced = false;
+      for (const Spec *P : LC.allSpecs()) {
+        if (P == &S) {
+          All.push_back(&Reduced);
+          Replaced = true;
+        } else {
+          All.push_back(P);
+        }
+      }
+      if (!Replaced)
+        All.push_back(&Reduced);
+      Result<RewriteSystem> Sys = RewriteSystem::buildChecked(Ctx, All);
+      if (!Sys)
+        continue;
+      RewriteSystem System = Sys.take();
+      EngineOptions EO;
+      EO.MaxSteps = 4096;
+      EO.MaxDepth = 512;
+      RewriteEngine Engine(Ctx, System, EO);
+      Result<bool> Errs = Engine.normalizesToError(Ax.Lhs);
+      if (!Errs || !*Errs)
+        continue;
+      LC.report(name(), DiagKind::Warning, Ax.Loc,
+                axiomLabel(Ax) + " '" + printTerm(Ctx, Ax.Lhs) +
+                    " = error' is already implied by error propagation "
+                    "through the remaining axioms",
+                "this axiom can be removed");
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass> algspec::makeErrorSwallowedPass() {
+  return std::make_unique<ErrorSwallowedPass>();
+}
+
+std::unique_ptr<LintPass> algspec::makeAlwaysErrorOpPass() {
+  return std::make_unique<AlwaysErrorOpPass>();
+}
+
+std::unique_ptr<LintPass> algspec::makeRedundantErrorAxiomPass() {
+  return std::make_unique<RedundantErrorAxiomPass>();
+}

@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ErrorFlow: a fixpoint abstract interpretation of the rewrite system
+/// that computes, per defined operation, a *definedness summary* on the
+/// three-point lattice
+///
+///   never-error  ⊑  may-error  ⊑  always-error
+///
+/// case-split by constructor patterns exactly as the sufficient-
+/// completeness matrix splits them: each axiom left-hand side is one
+/// case. The interpretation models the paper's section-3 error algebra
+/// precisely as \c AlgebraContext::makeOp enforces it structurally —
+/// every operation is strict in every argument, except if-then-else,
+/// which is strict in its condition and lazy in its branches.
+///
+/// For each erroring case the analysis additionally derives the *guard*
+/// under which the case rewrites to error (e.g. `POP(s)` errors iff
+/// `s = NEWSTACK`; `ENQUEUE(q, i)` errors iff `IS_FULL?(q)`), emitted as
+/// a machine-readable \c DefinednessObligation — the inferred
+/// precondition a caller must establish. The representation verifier
+/// discharges these obligations statically (the paper's Assumption 1,
+/// generalized), and three lint rules are built on the summaries:
+///
+///   error-swallowed       an axiom right-hand side that provably
+///                         rewrites to error without saying `error`
+///   always-error-op       an operation whose every case errors
+///   redundant-error-axiom an explicit error axiom already implied by
+///                         strict propagation through the other rules
+///
+/// Soundness note: the abstract value `never-error` claims no ground
+/// instance rewrites to the error *value*; divergence and stuck terms
+/// are not errors (they surface as fuel failures and completeness
+/// findings respectively), so the optimistic all-`never` start of the
+/// Kleene iteration is sound, and the finite chain makes it converge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_ERRORFLOW_H
+#define ALGSPEC_CHECK_ERRORFLOW_H
+
+#include "ast/Ids.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class LintPass;
+class Spec;
+
+/// One point of the definedness lattice.
+enum class ErrorVerdict : uint8_t {
+  Never = 0,  ///< No ground instance rewrites to error.
+  May = 1,    ///< Some instances might; the analysis cannot decide.
+  Always = 2, ///< Every ground instance rewrites to error.
+};
+
+/// "never-error" / "may-error" / "always-error".
+std::string_view errorVerdictName(ErrorVerdict V);
+
+/// One constructor case of one operation: the axiom whose left-hand side
+/// is the case pattern, the verdict for that case, and — when the case
+/// can error — the derived condition.
+struct ErrorCase {
+  unsigned AxiomNumber = 0;
+  TermId Lhs;
+  ErrorVerdict Verdict = ErrorVerdict::Never;
+  /// Bool-sorted open term over the case's variables: a *necessary*
+  /// condition for the case to error (errors ⟹ condition). Invalid when
+  /// the verdict alone says everything (Never, or Always with no guard).
+  TermId ErrorCondition;
+  /// True when the condition is also sufficient (errors ⟺ condition).
+  bool ConditionExact = false;
+};
+
+/// Definedness summary of one defined operation.
+struct OpSummary {
+  OpId Op;
+  std::string SpecName;
+  /// Join over the cases: equal verdicts keep their value, differing
+  /// cases meet at may-error.
+  ErrorVerdict Overall = ErrorVerdict::Never;
+  std::vector<ErrorCase> Cases;
+};
+
+/// One inferred precondition, machine-readable: applying \c Op to
+/// arguments matching \c CaseLhs rewrites to error — unconditionally
+/// when \c ErrorCondition is invalid, else exactly/at-most when the
+/// condition holds. Callers must avoid the case (the paper's
+/// Assumption 1 is the Symboltable instance of this).
+struct DefinednessObligation {
+  OpId Op;
+  std::string SpecName;
+  unsigned AxiomNumber = 0;
+  TermId CaseLhs;
+  ErrorVerdict Verdict = ErrorVerdict::Always;
+  TermId ErrorCondition;
+  bool ConditionExact = false;
+
+  /// "POP(NEWSTACK) = error" or "ENQUEUE(q, i) = error iff IS_FULL?(q)".
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Outcome of the error-flow analysis over a set of specs.
+struct ErrorFlowReport {
+  /// One summary per defined operation, in spec and declaration order.
+  std::vector<OpSummary> Summaries;
+  /// Every erroring case whose guard is crisp enough to act on: the
+  /// always-error cases plus the exactly-conditional ones.
+  std::vector<DefinednessObligation> Obligations;
+  std::vector<std::string> Caveats;
+
+  const OpSummary *summaryFor(OpId Op) const;
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Runs the fixpoint analysis over every defined operation of \p Specs
+/// (analyzed together: axioms call across specs, as Stack of Arrays
+/// does).
+ErrorFlowReport analyzeErrorFlow(AlgebraContext &Ctx,
+                                 const std::vector<const Spec *> &Specs);
+
+/// The three analysis-backed lint rules (registered in
+/// \c Linter::standard()).
+std::unique_ptr<LintPass> makeErrorSwallowedPass();
+std::unique_ptr<LintPass> makeAlwaysErrorOpPass();
+std::unique_ptr<LintPass> makeRedundantErrorAxiomPass();
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_ERRORFLOW_H

@@ -9,6 +9,7 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/ErrorFlow.h"
 #include "rewrite/Matcher.h"
 #include "rewrite/Substitution.h"
 #include "support/SourceMgr.h"
@@ -465,6 +466,9 @@ Linter Linter::standard() {
   L.addPass(std::make_unique<SubsumedAxiomPass>());
   L.addPass(std::make_unique<NonConstructorLhsPass>());
   L.addPass(std::make_unique<UnusedDeclarationPass>());
+  L.addPass(makeErrorSwallowedPass());
+  L.addPass(makeAlwaysErrorOpPass());
+  L.addPass(makeRedundantErrorAxiomPass());
   return L;
 }
 

@@ -27,6 +27,12 @@
 ///                         left-hand-side position, or a constructor at
 ///                         the root (constructor discipline)
 ///   unused-declaration    sorts and operations declared but never used
+///   error-swallowed       an axiom right-hand side that provably
+///                         rewrites to error without saying `error`
+///                         (analysis-backed; see check/ErrorFlow.h)
+///   always-error-op       an operation whose every case errors
+///   redundant-error-axiom an explicit error axiom already implied by
+///                         strict error propagation
 ///
 /// New passes implement \c LintPass and register in \c standardPasses(),
 /// or are added to a custom \c Linter instance.

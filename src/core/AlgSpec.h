@@ -23,6 +23,7 @@
 #include "ast/TermPrinter.h"
 #include "check/Completeness.h"
 #include "check/Consistency.h"
+#include "check/ErrorFlow.h"
 #include "check/Lint.h"
 #include "check/Skeleton.h"
 #include "check/Termination.h"

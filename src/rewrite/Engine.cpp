@@ -20,6 +20,13 @@ Result<TermId> RewriteEngine::normalize(TermId Term) {
   return normalizeImpl(Term, Fuel, 0);
 }
 
+Result<bool> RewriteEngine::normalizesToError(TermId Term) {
+  Result<TermId> Normal = normalize(Term);
+  if (!Normal)
+    return Normal.error();
+  return Ctx.isError(*Normal);
+}
+
 TermId RewriteEngine::evalBuiltin(OpId Op, std::span<const TermId> Args) {
   const OpInfo &Info = Ctx.op(Op);
   auto intArg = [&](size_t I, int64_t &Out) {

@@ -98,6 +98,12 @@ public:
   /// terms are normalized as far as the rules allow (variables are inert).
   Result<TermId> normalize(TermId Term);
 
+  /// True when \p Term normalizes to the distinguished error value of its
+  /// sort. Fails when fuel runs out, like normalize. The error-flow
+  /// analysis and its lint rules use this to decide guards and spot
+  /// axioms implied by strict error propagation.
+  Result<bool> normalizesToError(TermId Term);
+
   /// True when \p Term (assumed normal) is a defined operation applied to
   /// normal arguments, i.e. the axioms gave it no meaning. Sufficient-
   /// completeness failures surface as stuck terms at runtime; the static

@@ -448,6 +448,59 @@ spec Table
 end
 )";
 
+const std::string_view specs::SymboltableImplAlg = R"(
+-- Guttag (CACM 1977), section 4: the implementation of type Symboltable
+-- as a Stack of Arrays. Each f' of the paper is spelled f_R.
+spec SymboltableImpl
+  ops
+    INIT_R        : -> Stack
+    ENTERBLOCK_R  : Stack -> Stack
+    LEAVEBLOCK_R  : Stack -> Stack
+    ADD_R         : Stack, Identifier, Attributelist -> Stack
+    IS_INBLOCK_R? : Stack, Identifier -> Bool
+    RETRIEVE_R    : Stack, Identifier -> Attributelist
+    VALID_REP?    : Stack -> Bool
+  vars
+    stk   : Stack
+    id    : Identifier
+    attrs : Attributelist
+  axioms
+    INIT_R = PUSH(NEWSTACK, EMPTY)
+    ENTERBLOCK_R(stk) = PUSH(stk, EMPTY)
+    LEAVEBLOCK_R(stk) =
+      if IS_NEWSTACK?(POP(stk)) then error else POP(stk)
+    ADD_R(stk, id, attrs) = REPLACE(stk, ASSIGN(TOP(stk), id, attrs))
+    IS_INBLOCK_R?(stk, id) =
+      if IS_NEWSTACK?(stk) then error
+      else not(IS_UNDEFINED?(TOP(stk), id))
+    RETRIEVE_R(stk, id) =
+      if IS_NEWSTACK?(stk) then error
+      else if IS_UNDEFINED?(TOP(stk), id)
+           then RETRIEVE_R(POP(stk), id)
+           else READ(TOP(stk), id)
+    -- The representation invariant behind Assumption 1: a valid
+    -- symbol-table representation has at least one (pushed) block.
+    VALID_REP?(stk) = not(IS_NEWSTACK?(stk))
+end
+
+-- The interpretation function PHI (the paper's abstraction function).
+spec Phi
+  ops
+    PHI : Stack -> Symboltable
+  vars
+    stk   : Stack
+    arr   : Array
+    id    : Identifier
+    attrs : Attributelist
+  axioms
+    PHI(NEWSTACK) = error
+    PHI(PUSH(stk, EMPTY)) =
+      if IS_NEWSTACK?(stk) then INIT else ENTERBLOCK(PHI(stk))
+    PHI(PUSH(stk, ASSIGN(arr, id, attrs))) =
+      ADD(PHI(PUSH(stk, arr)), id, attrs)
+end
+)";
+
 //===----------------------------------------------------------------------===//
 // Loaders
 //===----------------------------------------------------------------------===//

@@ -21,6 +21,9 @@
 ///    the checkers, the engine's Int builtins, and nested conditionals.
 ///  - BoundedQueueAlg   — the BoundedQueue ADT's capacity-bounded Queue.
 ///  - TableAlg          — section 5's database characterization.
+///  - SymboltableImplAlg — section 4's implementation of Symboltable as a
+///    Stack of Arrays (SymboltableImpl and the abstraction function Phi);
+///    requires SymboltableAlg and StackArrayAlg to be loaded first.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +54,7 @@ extern const std::string_view BagAlg;
 extern const std::string_view BstAlg;
 extern const std::string_view BoundedQueueAlg;
 extern const std::string_view TableAlg;
+extern const std::string_view SymboltableImplAlg;
 
 /// Parses one embedded spec text into \p Ctx. The builtin texts are
 /// well-formed by construction (tests pin this), so failures indicate

@@ -9,7 +9,9 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/ErrorFlow.h"
 #include "check/ReplicaWorker.h"
+#include "check/Unify.h"
 #include "rewrite/RewriteSystem.h"
 #include "rewrite/Substitution.h"
 #include "specs/BuiltinSpecs.h"
@@ -24,6 +26,18 @@ using namespace algspec;
 //===----------------------------------------------------------------------===//
 // Rendering
 //===----------------------------------------------------------------------===//
+
+std::string ObligationVerdict::render(const AlgebraContext &Ctx) const {
+  std::string Out =
+      Status == ObligationStatus::Discharged ? "[discharged] " : "[ASSUMED] ";
+  Out += HostSpec + " axiom (" + std::to_string(HostAxiom) + "), site " +
+         printTerm(Ctx, Site) + ": " + printTerm(Ctx, CaseLhs) + " = error";
+  if (Condition.isValid())
+    Out += " iff " + printTerm(Ctx, Condition);
+  if (!Note.empty())
+    Out += " (" + Note + ")";
+  return Out;
+}
 
 std::string VerifyReport::render(const AlgebraContext &Ctx) const {
   std::string Out;
@@ -49,6 +63,14 @@ std::string VerifyReport::render(const AlgebraContext &Ctx) const {
       Out += "  rhs " + printTerm(Ctx, V.Failure->Rhs) + " ~> " +
              printTerm(Ctx, V.Failure->RhsNormal) + "\n";
     }
+  }
+  if (!Obligations.empty()) {
+    Out += "definedness obligations:\n";
+    for (const ObligationVerdict &O : Obligations)
+      Out += "  " + O.render(Ctx) + "\n";
+    Out += AllObligationsDischarged
+               ? "all definedness obligations discharged\n"
+               : "verification is conditional on the assumptions above\n";
   }
   for (const std::string &Caveat : Caveats)
     Out += "note: " + Caveat + "\n";
@@ -498,6 +520,427 @@ void aggregateEngineStats(VerifyReport &Report, RewriteEngine &Engine,
         Report.Engine += W->Engine->stats();
 }
 
+//===----------------------------------------------------------------------===//
+// Definedness-obligation discharge
+//===----------------------------------------------------------------------===//
+
+/// One enclosing if-then-else condition on the path to a call site.
+struct SiteGuard {
+  TermId Cond;
+  bool TakenThen;
+};
+
+/// Discharges the error-flow obligations of every lower-level operation
+/// at every call site of the implementing specs: a site is safe when no
+/// value the configured domain can supply lets it take the shape of the
+/// callee's erroring case. Runs entirely on the calling thread, so the
+/// verdicts are identical at any job count.
+class ObligationDischarger {
+public:
+  ObligationDischarger(AlgebraContext &Ctx, const Spec &Abstract,
+                       const std::vector<const Spec *> &RuleSources,
+                       const RepMapping &Mapping,
+                       const VerifyOptions &Options,
+                       const RewriteSystem &System, VerifyReport &Report)
+      : Ctx(Ctx), Abstract(Abstract), RuleSources(RuleSources),
+        Mapping(Mapping), Options(Options), Report(Report),
+        Probe(Ctx, System, probeOptions()) {}
+
+  void run() {
+    // Split the workspace: hosts define the implementation map's image
+    // or the abstraction function; lower specs supply the operations the
+    // hosts call. The abstract spec is neither — its own error axioms
+    // are what the equational sweep verifies.
+    std::unordered_set<OpId> ImplOps;
+    for (const auto &Entry : Mapping.OpMap)
+      ImplOps.insert(Entry.second);
+    if (Mapping.Phi.isValid())
+      ImplOps.insert(Mapping.Phi);
+
+    std::vector<const Spec *> Hosts, Lower;
+    for (const Spec *S : RuleSources) {
+      bool IsHost = false;
+      for (OpId Op : S->operations())
+        if (ImplOps.count(Op)) {
+          IsHost = true;
+          break;
+        }
+      if (IsHost) {
+        Hosts.push_back(S);
+        continue;
+      }
+      if (S == &Abstract || S->name() == Abstract.name())
+        continue;
+      Lower.push_back(S);
+    }
+    if (Hosts.empty())
+      return;
+
+    std::unordered_set<OpId> LowerOps;
+    for (const Spec *S : Lower)
+      for (OpId Op : S->definedOps(Ctx))
+        LowerOps.insert(Op);
+
+    Flow = analyzeErrorFlow(Ctx, RuleSources);
+    for (const DefinednessObligation &O : Flow.Obligations)
+      if (LowerOps.count(O.Op))
+        ObsByOp[O.Op].push_back(&O);
+    if (ObsByOp.empty())
+      return;
+
+    Heads = domainHeads();
+    for (size_t I = 0; I != Heads.size(); ++I)
+      HeadsDesc += (I ? ", " : "") + std::string(Ctx.opName(Heads[I]));
+
+    for (const Spec *H : Hosts)
+      for (const Axiom &Ax : H->axioms()) {
+        std::vector<SiteGuard> Guards;
+        walk(*H, Ax, Ax.Rhs, Guards);
+      }
+
+    unsigned AssumptionNumber = 0;
+    for (ObligationVerdict &V : Out)
+      if (V.Status == ObligationStatus::Assumed) {
+        V.Note = "Assumption " + std::to_string(++AssumptionNumber) + ": " +
+                 V.Note;
+        Report.AllObligationsDischarged = false;
+      }
+    if (PartialMatch)
+      Report.Caveats.push_back(
+          "some obligation sites apply an operation to an unreduced "
+          "defined-operation result; unification there is syntactic, so a "
+          "clash at such a site is not a proof of safety");
+    Report.Obligations = std::move(Out);
+  }
+
+private:
+  static EngineOptions probeOptions() {
+    // Obligation conditions and guards are small; a tight budget keeps a
+    // divergent axiom set from stalling the pass (an unfinished
+    // normalization just means "not refuted").
+    EngineOptions O;
+    O.MaxSteps = 4096;
+    O.MaxDepth = 512;
+    return O;
+  }
+
+  /// The operation applied to fresh variables of its argument sorts.
+  TermId freshApplication(OpId Op) {
+    const OpInfo &Info = Ctx.op(Op);
+    std::vector<SortId> ArgSorts(Info.ArgSorts.begin(), Info.ArgSorts.end());
+    std::vector<TermId> Args;
+    for (SortId S : ArgSorts)
+      Args.push_back(Ctx.makeVar(Ctx.addVar("h", S)));
+    return Ctx.makeOp(Op, Args);
+  }
+
+  /// Collects the constructor heads of the symbolic normal form of a
+  /// generator image: if-then-else leaves contribute their heads, error
+  /// leaves nothing, and anything unreduced makes the image unknown.
+  void genImageHeads(TermId Normal, std::unordered_set<OpId> &HeadSet,
+                     bool &Unknown) {
+    const TermNode Node = Ctx.node(Normal);
+    if (Node.Kind == TermKind::Error)
+      return;
+    if (Node.Kind != TermKind::Op) {
+      Unknown = true;
+      return;
+    }
+    const OpInfo &Info = Ctx.op(Node.Op);
+    if (Info.Builtin == BuiltinOp::Ite) {
+      auto Span = Ctx.children(Normal);
+      std::vector<TermId> Kids(Span.begin(), Span.end());
+      genImageHeads(Kids[1], HeadSet, Unknown);
+      genImageHeads(Kids[2], HeadSet, Unknown);
+      return;
+    }
+    if (Info.isConstructor()) {
+      HeadSet.insert(Node.Op);
+      return;
+    }
+    Unknown = true;
+  }
+
+  /// The representation-sort constructor heads the configured value
+  /// domain can put under a representation variable.
+  std::vector<OpId> domainHeads() {
+    std::vector<OpId> All;
+    for (OpId Ctor : Ctx.constructorsOf(Mapping.RepSort))
+      All.push_back(Ctor);
+
+    if (Options.Domain == ValueDomain::FreeTerms) {
+      if (!Options.Invariant.isValid())
+        return All;
+      // Drop heads the invariant excludes wholesale (symbolically: the
+      // guard normalizes to false for the head over fresh arguments).
+      std::vector<OpId> Kept;
+      for (OpId K : All) {
+        TermId Guard =
+            Ctx.makeOp(Options.Invariant, {freshApplication(K)});
+        Result<TermId> Norm = Probe.normalize(Guard);
+        if (Norm && *Norm == Ctx.falseTerm())
+          continue;
+        Kept.push_back(K);
+      }
+      return Kept;
+    }
+
+    // Reachable: heads are whatever the generator implementations can
+    // produce, read off their symbolic normal forms. Any unreduced image
+    // falls back to every constructor.
+    std::unordered_set<OpId> HeadSet;
+    bool Unknown = false;
+    for (OpId Ctor : Abstract.constructorsOf(Ctx, Mapping.AbstractSort)) {
+      auto It = Mapping.OpMap.find(Ctor);
+      if (It == Mapping.OpMap.end())
+        continue; // collectRepValues already caveats this.
+      Result<TermId> Image = Probe.normalize(freshApplication(It->second));
+      if (!Image) {
+        Unknown = true;
+        break;
+      }
+      genImageHeads(*Image, HeadSet, Unknown);
+      if (Unknown)
+        break;
+    }
+    if (Unknown)
+      return All;
+    std::vector<OpId> OutHeads(HeadSet.begin(), HeadSet.end());
+    std::sort(OutHeads.begin(), OutHeads.end());
+    return OutHeads;
+  }
+
+  /// Depth-first over a host axiom right-hand side, tracking the
+  /// if-then-else path; every lower-level application is checked against
+  /// its callee's obligations. Conditions are walked under the enclosing
+  /// guards only: they evaluate before their own branch is chosen.
+  void walk(const Spec &Host, const Axiom &Ax, TermId T,
+            std::vector<SiteGuard> &Guards) {
+    const TermNode Node = Ctx.node(T);
+    if (Node.Kind != TermKind::Op)
+      return;
+    auto Span = Ctx.children(T);
+    std::vector<TermId> Kids(Span.begin(), Span.end());
+    const OpInfo &Info = Ctx.op(Node.Op);
+    if (Info.Builtin == BuiltinOp::Ite) {
+      walk(Host, Ax, Kids[0], Guards);
+      Guards.push_back({Kids[0], true});
+      walk(Host, Ax, Kids[1], Guards);
+      Guards.back().TakenThen = false;
+      walk(Host, Ax, Kids[2], Guards);
+      Guards.pop_back();
+      return;
+    }
+    bool IsDefined = Info.isDefined();
+    for (TermId Kid : Kids)
+      walk(Host, Ax, Kid, Guards);
+    if (!IsDefined)
+      return;
+    auto It = ObsByOp.find(Node.Op);
+    if (It == ObsByOp.end())
+      return;
+    for (const DefinednessObligation *O : It->second)
+      checkSite(Host, Ax, T, *O, Guards);
+  }
+
+  /// True when any proper subterm of \p T is a defined-operation
+  /// application (which blocks syntactic unification with a constructor
+  /// pattern without proving a clash of values).
+  bool hasDefinedOpBelow(TermId T, bool Root) {
+    const TermNode Node = Ctx.node(T);
+    if (Node.Kind != TermKind::Op)
+      return false;
+    if (!Root && Ctx.op(Node.Op).isDefined())
+      return true;
+    for (TermId Kid : Ctx.children(T))
+      if (hasDefinedOpBelow(Kid, false))
+        return true;
+    return false;
+  }
+
+  /// True when some enclosing guard, instantiated by \p Sigma, normalizes
+  /// to the branch-excluding value — the site is dead code under this
+  /// instantiation.
+  bool guardsRefuted(const std::vector<SiteGuard> &Guards,
+                     const Substitution &Sigma) {
+    for (const SiteGuard &G : Guards) {
+      TermId Inst = applySubstitution(Ctx, G.Cond, Sigma);
+      Result<TermId> Norm = Probe.normalize(Inst);
+      if (!Norm)
+        continue;
+      if ((*Norm == Ctx.trueTerm() && !G.TakenThen) ||
+          (*Norm == Ctx.falseTerm() && G.TakenThen))
+        return true;
+    }
+    return false;
+  }
+
+  /// True when the instantiated error condition normalizes to false:
+  /// every instance of the site misses the erroring case.
+  bool conditionRefuted(TermId CaseCond, const Substitution &Sigma) {
+    TermId Inst = applySubstitution(Ctx, CaseCond, Sigma);
+    Result<TermId> Norm = Probe.normalize(Inst);
+    return Norm && *Norm == Ctx.falseTerm();
+  }
+
+  /// The representation-sorted variables of \p Site, in first-occurrence
+  /// order.
+  std::vector<VarId> repVarsOf(TermId Site) {
+    std::vector<VarId> Vars;
+    std::unordered_set<VarId> Seen;
+    collectVars(Ctx, Site, Vars, Seen);
+    std::vector<VarId> Rep;
+    for (VarId V : Vars)
+      if (Ctx.var(V).Sort == Mapping.RepSort)
+        Rep.push_back(V);
+    return Rep;
+  }
+
+  /// True when substituting a \p Head -headed value for \p RepVar cannot
+  /// reach the obligation's erroring case: the head clashes with the
+  /// pattern, an enclosing guard is refuted, or the error condition
+  /// normalizes to false.
+  bool headSafe(TermId Site, const std::vector<SiteGuard> &Guards,
+                const DefinednessObligation &O, VarId RepVar, OpId Head) {
+    Substitution HeadSub;
+    HeadSub.bind(RepVar, freshApplication(Head));
+    TermId SiteH = applySubstitution(Ctx, Site, HeadSub);
+    TermId Cond =
+        O.ErrorCondition.isValid() ? O.ErrorCondition : Ctx.trueTerm();
+    auto [CaseLhs, CaseCond] = renameRuleApart(Ctx, O.CaseLhs, Cond);
+    std::optional<Substitution> Sigma = unifyTerms(Ctx, SiteH, CaseLhs);
+    if (!Sigma)
+      return true;
+    std::vector<SiteGuard> GuardsH;
+    for (const SiteGuard &G : Guards)
+      GuardsH.push_back({applySubstitution(Ctx, G.Cond, HeadSub),
+                         G.TakenThen});
+    if (guardsRefuted(GuardsH, *Sigma))
+      return true;
+    return conditionRefuted(CaseCond, *Sigma);
+  }
+
+  /// Checks one application site against one obligation of its callee.
+  void checkSite(const Spec &Host, const Axiom &Ax, TermId Site,
+                 const DefinednessObligation &O,
+                 const std::vector<SiteGuard> &Guards) {
+    TermId Cond =
+        O.ErrorCondition.isValid() ? O.ErrorCondition : Ctx.trueTerm();
+    auto [CaseLhs, CaseCond] = renameRuleApart(Ctx, O.CaseLhs, Cond);
+    std::optional<Substitution> Sigma = unifyTerms(Ctx, Site, CaseLhs);
+    if (!Sigma) {
+      // The site cannot take the shape of the erroring case. When a
+      // defined operation blocks the unification the clash is syntactic
+      // only; surfaced once as a caveat.
+      if (!PartialMatch && hasDefinedOpBelow(Site, true))
+        PartialMatch = true;
+      return;
+    }
+
+    ObligationVerdict V;
+    V.Callee = O.Op;
+    V.CalleeSpec = O.SpecName;
+    V.CaseLhs = O.CaseLhs;
+    V.Condition = O.ErrorCondition;
+    V.HostSpec = Host.name();
+    V.HostAxiom = Ax.Number;
+    V.Site = Site;
+
+    if (guardsRefuted(Guards, *Sigma)) {
+      V.Status = ObligationStatus::Discharged;
+      V.Note = "unreachable: the enclosing guard rules the case out";
+      record(std::move(V));
+      return;
+    }
+    if (conditionRefuted(CaseCond, *Sigma)) {
+      V.Status = ObligationStatus::Discharged;
+      V.Note = "the error condition normalizes to false at this site";
+      record(std::move(V));
+      return;
+    }
+
+    std::vector<VarId> RepVars = repVarsOf(Site);
+    std::string Unsafe;
+    if (RepVars.empty()) {
+      Unsafe = "the error condition was not refuted at this site";
+    } else {
+      for (VarId RepVar : RepVars) {
+        for (OpId Head : Heads) {
+          if (headSafe(Site, Guards, O, RepVar, Head))
+            continue;
+          Unsafe = "a " + std::string(Ctx.opName(Head)) +
+                   "-headed value for " + std::string(Ctx.varName(RepVar)) +
+                   " may trigger it";
+          break;
+        }
+        if (!Unsafe.empty())
+          break;
+      }
+    }
+    if (Unsafe.empty()) {
+      V.Status = ObligationStatus::Discharged;
+      V.Note = Heads.empty()
+                   ? "the value domain supplies no constructor heads"
+                   : "refuted for every value head the domain supplies (" +
+                         HeadsDesc + ")";
+    } else {
+      V.Status = ObligationStatus::Assumed;
+      V.Note = std::move(Unsafe);
+    }
+    record(std::move(V));
+  }
+
+  /// Appends \p V, merging repeat visits of the same site (one term can
+  /// occur on several if-then-else paths); the worse status wins.
+  void record(ObligationVerdict V) {
+    std::string Key = V.HostSpec + '#' + std::to_string(V.HostAxiom) + '#' +
+                      std::to_string(V.Site.index()) + '#' +
+                      std::to_string(V.Callee.index()) + '#' +
+                      std::to_string(V.CaseLhs.index());
+    auto It = Merge.find(Key);
+    if (It == Merge.end()) {
+      Merge.emplace(std::move(Key), Out.size());
+      Out.push_back(std::move(V));
+      return;
+    }
+    ObligationVerdict &Existing = Out[It->second];
+    if (Existing.Status == ObligationStatus::Discharged &&
+        V.Status == ObligationStatus::Assumed) {
+      Existing.Status = V.Status;
+      Existing.Note = std::move(V.Note);
+    }
+  }
+
+  AlgebraContext &Ctx;
+  const Spec &Abstract;
+  const std::vector<const Spec *> &RuleSources;
+  const RepMapping &Mapping;
+  const VerifyOptions &Options;
+  VerifyReport &Report;
+  RewriteEngine Probe;
+  ErrorFlowReport Flow;
+  std::unordered_map<OpId, std::vector<const DefinednessObligation *>>
+      ObsByOp;
+  std::vector<OpId> Heads;
+  std::string HeadsDesc;
+  std::vector<ObligationVerdict> Out;
+  std::unordered_map<std::string, size_t> Merge;
+  bool PartialMatch = false;
+};
+
+/// Runs the obligation-discharge pass and folds its verdicts into the
+/// report.
+void dischargeObligations(AlgebraContext &Ctx, const Spec &Abstract,
+                          const std::vector<const Spec *> &RuleSources,
+                          const RepMapping &Mapping,
+                          const VerifyOptions &Options,
+                          const RewriteSystem &System,
+                          VerifyReport &Report) {
+  ObligationDischarger(Ctx, Abstract, RuleSources, Mapping, Options, System,
+                       Report)
+      .run();
+}
+
 } // namespace
 
 VerifyReport algspec::verifyRepresentation(
@@ -530,6 +973,8 @@ VerifyReport algspec::verifyRepresentation(
     Report.AllHold &= Verdict.Holds;
     Report.Verdicts.push_back(std::move(Verdict));
   }
+  dischargeObligations(Ctx, Abstract, RuleSources, Mapping, Options, *System,
+                       Report);
   aggregateEngineStats(Report, *Engine, Driver.get());
   return Report;
 }
@@ -588,6 +1033,8 @@ VerifyReport algspec::verifyHomomorphism(
     Report.AllHold &= Verdict.Holds;
     Report.Verdicts.push_back(std::move(Verdict));
   }
+  dischargeObligations(Ctx, Abstract, RuleSources, Mapping, Options, *System,
+                       Report);
   aggregateEngineStats(Report, *Engine, Driver.get());
   return Report;
 }
@@ -596,61 +1043,6 @@ VerifyReport algspec::verifyHomomorphism(
 // The paper's Symboltable representation
 //===----------------------------------------------------------------------===//
 
-/// Implementation map (paper: INIT', ENTERBLOCK', ...; `_R` here) and the
-/// representation invariant used by Assumption 1.
-static const std::string_view SymboltableImplAlg = R"(
--- Guttag (CACM 1977), section 4: the implementation of type Symboltable
--- as a Stack of Arrays. Each f' of the paper is spelled f_R.
-spec SymboltableImpl
-  ops
-    INIT_R        : -> Stack
-    ENTERBLOCK_R  : Stack -> Stack
-    LEAVEBLOCK_R  : Stack -> Stack
-    ADD_R         : Stack, Identifier, Attributelist -> Stack
-    IS_INBLOCK_R? : Stack, Identifier -> Bool
-    RETRIEVE_R    : Stack, Identifier -> Attributelist
-    VALID_REP?    : Stack -> Bool
-  vars
-    stk   : Stack
-    id    : Identifier
-    attrs : Attributelist
-  axioms
-    INIT_R = PUSH(NEWSTACK, EMPTY)
-    ENTERBLOCK_R(stk) = PUSH(stk, EMPTY)
-    LEAVEBLOCK_R(stk) =
-      if IS_NEWSTACK?(POP(stk)) then error else POP(stk)
-    ADD_R(stk, id, attrs) = REPLACE(stk, ASSIGN(TOP(stk), id, attrs))
-    IS_INBLOCK_R?(stk, id) =
-      if IS_NEWSTACK?(stk) then error
-      else not(IS_UNDEFINED?(TOP(stk), id))
-    RETRIEVE_R(stk, id) =
-      if IS_NEWSTACK?(stk) then error
-      else if IS_UNDEFINED?(TOP(stk), id)
-           then RETRIEVE_R(POP(stk), id)
-           else READ(TOP(stk), id)
-    -- The representation invariant behind Assumption 1: a valid
-    -- symbol-table representation has at least one (pushed) block.
-    VALID_REP?(stk) = not(IS_NEWSTACK?(stk))
-end
-
--- The interpretation function PHI (the paper's abstraction function).
-spec Phi
-  ops
-    PHI : Stack -> Symboltable
-  vars
-    stk   : Stack
-    arr   : Array
-    id    : Identifier
-    attrs : Attributelist
-  axioms
-    PHI(NEWSTACK) = error
-    PHI(PUSH(stk, EMPTY)) =
-      if IS_NEWSTACK?(stk) then INIT else ENTERBLOCK(PHI(stk))
-    PHI(PUSH(stk, ASSIGN(arr, id, attrs))) =
-      ADD(PHI(PUSH(stk, arr)), id, attrs)
-end
-)";
-
 Result<SymboltableRep> algspec::buildSymboltableRep(AlgebraContext &Ctx) {
   if (!Ctx.lookupSort("Symboltable").isValid() ||
       !Ctx.lookupSort("Stack").isValid())
@@ -658,7 +1050,7 @@ Result<SymboltableRep> algspec::buildSymboltableRep(AlgebraContext &Ctx) {
                      "building the representation");
 
   auto Parsed =
-      specs::load(Ctx, SymboltableImplAlg, "symboltable_impl.alg");
+      specs::load(Ctx, specs::SymboltableImplAlg, "symboltable_impl.alg");
   if (!Parsed)
     return Parsed.error();
 

@@ -34,6 +34,17 @@
 ///    guard this domain contains junk like a block-less NEWSTACK and
 ///    exposes exactly the failure Assumption 1 exists to rule out.
 ///
+/// Beyond the equational sweep, the verifier runs an *obligation
+/// discharge* pass: the error-flow analysis (check/ErrorFlow.h) infers a
+/// definedness precondition for every lower-level operation the
+/// implementation calls, and each call site inside an implementing axiom
+/// is checked against it — by unification with the erroring case, guard
+/// refutation along the enclosing if-then-else path, and a per-
+/// constructor-head analysis of what the chosen value domain can supply.
+/// Sites the pass cannot discharge become named assumptions in the
+/// report (the paper's Assumption 1 is the Symboltable instance), so a
+/// verification verdict always states what it is conditional on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALGSPEC_VERIFY_REPVERIFIER_H
@@ -126,10 +137,43 @@ struct AxiomVerdict {
   std::optional<CounterExample> Failure;
 };
 
+/// Whether one lower-level definedness obligation at one call site was
+/// discharged statically or remains an assumption the verdict is
+/// conditional on.
+enum class ObligationStatus {
+  Discharged, ///< No value the domain supplies can reach the erroring case.
+  Assumed,    ///< Some supplied value may trigger it; named assumption.
+};
+
+/// One lower-level definedness obligation instantiated at one call site
+/// of an implementing axiom: which callee case can error, where it is
+/// applied, and whether the verifier discharged it.
+struct ObligationVerdict {
+  OpId Callee;            ///< The lower-level operation applied.
+  std::string CalleeSpec; ///< Spec defining the callee.
+  TermId CaseLhs;         ///< The callee's erroring case pattern.
+  /// Exact error condition over the case's variables; invalid when the
+  /// case errors unconditionally.
+  TermId Condition;
+  std::string HostSpec;   ///< Implementing spec containing the site.
+  unsigned HostAxiom = 0; ///< Axiom number within the host spec.
+  TermId Site;            ///< The call site inside the host axiom RHS.
+  ObligationStatus Status = ObligationStatus::Assumed;
+  /// Why the site is safe, or what exactly is being assumed.
+  std::string Note;
+
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
 /// Outcome of a verification run.
 struct VerifyReport {
   bool AllHold = true;
   std::vector<AxiomVerdict> Verdicts;
+  /// Definedness obligations at every lower-level call site of the
+  /// implementation, each discharged or assumed. Computed on the calling
+  /// thread; deterministic at any job count.
+  std::vector<ObligationVerdict> Obligations;
+  bool AllObligationsDischarged = true;
   std::vector<std::string> Caveats;
   size_t NumRepValues = 0;
   /// Rewrite-engine counters aggregated over the main engine and every

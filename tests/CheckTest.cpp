@@ -422,6 +422,85 @@ end
   EXPECT_TRUE(SawG);
 }
 
+TEST(CompletenessTest, MissingCaseOrderIsDeterministic) {
+  // The reported order is part of the tool's contract (golden JSON files
+  // diff against it): missing cases come sorted by operation id, then by
+  // the printed suggested left-hand side — never by whatever order the
+  // coverage walk or the parallel sweep produced them in.
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec M
+  uses Item
+  sorts M
+  ops
+    MK : -> M
+    C  : M, Item -> M
+    G  : M -> Bool
+    F  : M -> Bool
+  constructors MK, C
+  vars m : M   i : Item
+  axioms
+    G(C(MK, i)) = true
+    F(C(MK, i)) = false
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  const Spec &S = (*Parsed)[0];
+
+  auto SortedByContract = [&Ctx](const std::vector<MissingCase> &Missing) {
+    return std::is_sorted(
+        Missing.begin(), Missing.end(),
+        [&Ctx](const MissingCase &A, const MissingCase &B) {
+          if (A.Op != B.Op)
+            return A.Op < B.Op;
+          return printTerm(Ctx, A.SuggestedLhs) <
+                 printTerm(Ctx, B.SuggestedLhs);
+        });
+  };
+
+  // Static: one witness per incomplete op, G before F (declaration
+  // order = op-id order).
+  CompletenessReport Static = checkCompleteness(Ctx, S);
+  ASSERT_EQ(Static.Missing.size(), 2u);
+  EXPECT_EQ(printTerm(Ctx, Static.Missing[0].SuggestedLhs), "G(MK)");
+  EXPECT_EQ(printTerm(Ctx, Static.Missing[1].SuggestedLhs), "F(MK)");
+  EXPECT_TRUE(SortedByContract(Static.Missing));
+
+  // Dynamic: every ground stuck term, grouped by op id, and within each
+  // op ordered by the printed term — "X(C(C(...)))" sorts before
+  // "X(MK)" — not by the order the enumeration sweep hit them.
+  CompletenessReport Serial =
+      checkCompletenessDynamic(Ctx, S, {&S}, /*MaxDepth=*/3);
+  ASSERT_FALSE(Serial.SufficientlyComplete);
+  std::vector<std::string> Rendered;
+  for (const MissingCase &Case : Serial.Missing)
+    Rendered.push_back(printTerm(Ctx, Case.SuggestedLhs));
+  EXPECT_EQ(Rendered, (std::vector<std::string>{
+                          "G(C(C(MK, 'item1), 'item1))",
+                          "G(C(C(MK, 'item1), 'item2))",
+                          "G(C(C(MK, 'item2), 'item1))",
+                          "G(C(C(MK, 'item2), 'item2))",
+                          "G(MK)",
+                          "F(C(C(MK, 'item1), 'item1))",
+                          "F(C(C(MK, 'item1), 'item2))",
+                          "F(C(C(MK, 'item2), 'item1))",
+                          "F(C(C(MK, 'item2), 'item2))",
+                          "F(MK)",
+                      }));
+  EXPECT_TRUE(SortedByContract(Serial.Missing));
+
+  ParallelOptions Par;
+  Par.Jobs = 4;
+  CompletenessReport Parallel = checkCompletenessDynamic(
+      Ctx, S, {&S}, /*MaxDepth=*/3, EnumeratorOptions(), Par);
+  ASSERT_EQ(Parallel.Missing.size(), Serial.Missing.size());
+  for (size_t I = 0; I < Serial.Missing.size(); ++I) {
+    EXPECT_EQ(Parallel.Missing[I].Op, Serial.Missing[I].Op);
+    EXPECT_EQ(printTerm(Ctx, Parallel.Missing[I].SuggestedLhs),
+              printTerm(Ctx, Serial.Missing[I].SuggestedLhs));
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Consistency
 //===----------------------------------------------------------------------===//

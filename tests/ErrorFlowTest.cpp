@@ -1,0 +1,227 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the error-flow analysis: the per-operation definedness
+/// summaries on the never/may/always-error lattice, the derived error
+/// conditions, and the emitted definedness obligations — pinned on the
+/// paper's Queue, Stack-of-Arrays, and BoundedQueue specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/ErrorFlow.h"
+#include "parser/Parser.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Finds the summary of the operation named \p Name, which must exist.
+const OpSummary &summaryOf(const AlgebraContext &Ctx,
+                           const ErrorFlowReport &Report,
+                           std::string_view Name) {
+  for (const OpSummary &Sum : Report.Summaries)
+    if (Ctx.opName(Sum.Op) == Name)
+      return Sum;
+  ADD_FAILURE() << "no summary for " << Name;
+  static OpSummary Empty;
+  return Empty;
+}
+
+/// Finds the case of \p Sum whose left-hand side prints as \p Lhs.
+const ErrorCase &caseOf(const AlgebraContext &Ctx, const OpSummary &Sum,
+                        std::string_view Lhs) {
+  for (const ErrorCase &C : Sum.Cases)
+    if (printTerm(Ctx, C.Lhs) == Lhs)
+      return C;
+  ADD_FAILURE() << "no case " << Lhs;
+  static ErrorCase Empty;
+  return Empty;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Queue (paper section 3)
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorFlowQueue, FrontAndRemoveErrorOnNew) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error().message();
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, {&*Q});
+
+  const OpSummary &Front = summaryOf(Ctx, Report, "FRONT");
+  EXPECT_EQ(Front.Overall, ErrorVerdict::May);
+  EXPECT_EQ(caseOf(Ctx, Front, "FRONT(NEW)").Verdict, ErrorVerdict::Always);
+
+  const OpSummary &Remove = summaryOf(Ctx, Report, "REMOVE");
+  EXPECT_EQ(Remove.Overall, ErrorVerdict::May);
+  EXPECT_EQ(caseOf(Ctx, Remove, "REMOVE(NEW)").Verdict,
+            ErrorVerdict::Always);
+
+  const OpSummary &IsEmpty = summaryOf(Ctx, Report, "IS_EMPTY?");
+  EXPECT_EQ(IsEmpty.Overall, ErrorVerdict::Never);
+}
+
+TEST(ErrorFlowQueue, FrontOfAddIsLazyGuardedMay) {
+  // FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q): the error
+  // can only come from the recursive FRONT(q) in the else branch, so the
+  // case is may-error with a derived (necessary, not exact) condition.
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error().message();
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, {&*Q});
+
+  const ErrorCase &C =
+      caseOf(Ctx, summaryOf(Ctx, Report, "FRONT"), "FRONT(ADD(q, i))");
+  EXPECT_EQ(C.Verdict, ErrorVerdict::May);
+  ASSERT_TRUE(C.ErrorCondition.isValid());
+  EXPECT_FALSE(C.ConditionExact);
+  EXPECT_EQ(printTerm(Ctx, C.ErrorCondition), "not(IS_EMPTY?(q))");
+}
+
+TEST(ErrorFlowQueue, ObligationsListTheAlwaysCases) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error().message();
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, {&*Q});
+
+  std::vector<std::string> Rendered;
+  for (const DefinednessObligation &O : Report.Obligations)
+    Rendered.push_back(O.render(Ctx));
+  ASSERT_EQ(Rendered.size(), 2u);
+  EXPECT_EQ(Rendered[0], "FRONT(NEW) = error");
+  EXPECT_EQ(Rendered[1], "REMOVE(NEW) = error");
+}
+
+//===----------------------------------------------------------------------===//
+// Stack of Arrays (paper section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorFlowStack, PopAndTopPreconditions) {
+  AlgebraContext Ctx;
+  auto Specs = specs::loadStackArray(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Specs)) << Specs.error().message();
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : *Specs)
+    Ptrs.push_back(&S);
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, Ptrs);
+
+  EXPECT_EQ(caseOf(Ctx, summaryOf(Ctx, Report, "POP"), "POP(NEWSTACK)")
+                .Verdict,
+            ErrorVerdict::Always);
+  EXPECT_EQ(caseOf(Ctx, summaryOf(Ctx, Report, "TOP"), "TOP(NEWSTACK)")
+                .Verdict,
+            ErrorVerdict::Always);
+
+  // REPLACE(stk, arr) = if IS_NEWSTACK?(stk) then error else ...: a
+  // single guarded case whose error condition is exact.
+  const ErrorCase &Replace = caseOf(
+      Ctx, summaryOf(Ctx, Report, "REPLACE"), "REPLACE(stk, arr)");
+  EXPECT_EQ(Replace.Verdict, ErrorVerdict::May);
+  ASSERT_TRUE(Replace.ErrorCondition.isValid());
+  EXPECT_TRUE(Replace.ConditionExact);
+  EXPECT_EQ(printTerm(Ctx, Replace.ErrorCondition), "IS_NEWSTACK?(stk)");
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedQueue: conditions that compose through a called operation
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorFlowBoundedQueue, EnqueueErrorsIffFull) {
+  AlgebraContext Ctx;
+  auto Loaded = specs::load(Ctx, specs::BoundedQueueAlg, "boundedqueue.alg");
+  ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : *Loaded)
+    Ptrs.push_back(&S);
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, Ptrs);
+
+  const OpSummary &Enqueue = summaryOf(Ctx, Report, "ENQUEUE");
+  ASSERT_EQ(Enqueue.Cases.size(), 1u);
+  const ErrorCase &C = Enqueue.Cases.front();
+  EXPECT_EQ(C.Verdict, ErrorVerdict::May);
+  ASSERT_TRUE(C.ErrorCondition.isValid());
+  EXPECT_TRUE(C.ConditionExact);
+  EXPECT_EQ(printTerm(Ctx, C.ErrorCondition), "IS_FULL?(q)");
+
+  bool Found = false;
+  for (const DefinednessObligation &O : Report.Obligations)
+    if (O.render(Ctx) == "ENQUEUE(q, i) = error iff IS_FULL?(q)")
+      Found = true;
+  EXPECT_TRUE(Found) << Report.render(Ctx);
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice corners on a synthetic spec
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorFlowSynthetic, AlwaysErrorOpAndSwallowedError) {
+  AlgebraContext Ctx;
+  auto Parsed = parseSpecText(Ctx, R"(
+spec Blob
+  sorts Blob
+  ops
+    MK     : -> Blob
+    BROKEN : Blob -> Blob
+    WRAP   : Blob -> Blob
+  constructors MK
+  vars b : Blob
+  axioms
+    BROKEN(MK) = error
+    WRAP(MK) = BROKEN(MK)
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : *Parsed)
+    Ptrs.push_back(&S);
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, Ptrs);
+
+  // BROKEN's only case errors, so the op is always-error overall; WRAP
+  // swallows that error without spelling it.
+  EXPECT_EQ(summaryOf(Ctx, Report, "BROKEN").Overall, ErrorVerdict::Always);
+  EXPECT_EQ(caseOf(Ctx, summaryOf(Ctx, Report, "WRAP"), "WRAP(MK)").Verdict,
+            ErrorVerdict::Always);
+
+  std::string Text = Report.render(Ctx);
+  EXPECT_NE(Text.find("Blob.BROKEN: always-error"), std::string::npos)
+      << Text;
+}
+
+TEST(ErrorFlowSynthetic, SummariesComposeAcrossSpecs) {
+  // A second spec calling into Stack picks up Stack's summaries: the
+  // analysis is a whole-workspace fixpoint, as Stack-of-Arrays needs.
+  AlgebraContext Ctx;
+  auto Specs = specs::loadStackArray(Ctx);
+  ASSERT_TRUE(static_cast<bool>(Specs)) << Specs.error().message();
+  auto Client = parseSpecText(Ctx, R"(
+spec Client
+  ops
+    PEEL : Stack -> Stack
+  vars stk : Stack
+  axioms
+    PEEL(stk) = POP(POP(stk))
+end
+)");
+  ASSERT_TRUE(static_cast<bool>(Client)) << Client.error().message();
+  std::vector<const Spec *> Ptrs;
+  for (const Spec &S : *Specs)
+    Ptrs.push_back(&S);
+  for (const Spec &S : *Client)
+    Ptrs.push_back(&S);
+  ErrorFlowReport Report = analyzeErrorFlow(Ctx, Ptrs);
+
+  // PEEL inherits POP's may-error: nothing in the case proves the inner
+  // or outer POP safe.
+  EXPECT_EQ(summaryOf(Ctx, Report, "PEEL").Overall, ErrorVerdict::May);
+}

@@ -255,12 +255,95 @@ TEST(LintRuleTest, UsageIsWorkspaceWide) {
 }
 
 //===----------------------------------------------------------------------===//
+// Analysis-backed rules (built on check/ErrorFlow.h)
+//===----------------------------------------------------------------------===//
+
+TEST(LintRuleTest, ErrorSwallowed) {
+  // DRAIN's right-hand side contains REMOVE(NEW) = error in a strict
+  // position of ADD, so every application rewrites to error — without
+  // the axiom ever saying `error`.
+  Workspace WS;
+  ASSERT_TRUE(load(WS, specs::QueueAlg, "queue.alg"));
+  ASSERT_TRUE(load(WS, R"(
+spec Sink
+  ops
+    DRAIN : Queue -> Queue
+  vars
+    q : Queue
+  axioms
+    DRAIN(q) = ADD(REMOVE(NEW), 'item1)
+end
+)"));
+  LintReport Report = WS.lint();
+  ASSERT_EQ(countRule(Report, "error-swallowed"), 1u);
+  const LintFinding &F = *findRule(Report, "error-swallowed");
+  EXPECT_EQ(F.Kind, DiagKind::Warning);
+  EXPECT_NE(F.Message.find("'DRAIN'"), std::string::npos);
+  EXPECT_NE(F.FixIt.find("= error"), std::string::npos);
+}
+
+TEST(LintRuleTest, AlwaysErrorOp) {
+  Workspace WS;
+  ASSERT_TRUE(load(WS, R"(
+spec Dead
+  sorts D
+  ops
+    MKD  : -> D
+    KILL : D -> D
+  constructors MKD
+  axioms
+    KILL(MKD) = error
+end
+)"));
+  LintReport Report = WS.lint();
+  ASSERT_EQ(countRule(Report, "always-error-op"), 1u);
+  const LintFinding &F = *findRule(Report, "always-error-op");
+  EXPECT_EQ(F.Kind, DiagKind::Warning);
+  EXPECT_NE(F.Message.find("'KILL'"), std::string::npos);
+  // The axiom says `error` explicitly, so error-swallowed stays quiet.
+  EXPECT_EQ(countRule(Report, "error-swallowed"), 0u);
+}
+
+TEST(LintRuleTest, RedundantErrorAxiom) {
+  // With the explicit axiom removed, DROP2(NEW) still rewrites to error
+  // through the general axiom and strict propagation: the spelling is
+  // redundant.
+  Workspace WS;
+  ASSERT_TRUE(load(WS, specs::QueueAlg, "queue.alg"));
+  ASSERT_TRUE(load(WS, R"(
+spec Drops
+  ops
+    DROP2 : Queue -> Queue
+  vars
+    q : Queue
+  axioms
+    DROP2(q) = REMOVE(REMOVE(q))
+    DROP2(NEW) = error
+end
+)"));
+  LintReport Report = WS.lint();
+  ASSERT_EQ(countRule(Report, "redundant-error-axiom"), 1u);
+  const LintFinding &F = *findRule(Report, "redundant-error-axiom");
+  EXPECT_EQ(F.Kind, DiagKind::Warning);
+  EXPECT_NE(F.Message.find("DROP2(NEW)"), std::string::npos);
+  EXPECT_NE(F.FixIt.find("removed"), std::string::npos);
+}
+
+TEST(LintRuleTest, NecessaryErrorAxiomNotFlagged) {
+  // Queue's own FRONT(NEW) = error is load-bearing: dropping it leaves
+  // FRONT(NEW) stuck, not erroring, so the rule must not fire on it.
+  Workspace WS;
+  ASSERT_TRUE(load(WS, specs::QueueAlg, "queue.alg"));
+  EXPECT_EQ(countRule(WS.lint(), "redundant-error-axiom"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Framework behavior
 //===----------------------------------------------------------------------===//
 
-TEST(LintFrameworkTest, StandardRegistryHasSixPasses) {
+TEST(LintFrameworkTest, StandardRegistryHasNinePasses) {
   Linter L = Linter::standard();
-  EXPECT_EQ(L.passes().size(), 6u);
+  EXPECT_EQ(L.passes().size(), 9u);
   for (const auto &Pass : L.passes()) {
     EXPECT_FALSE(Pass->name().empty());
     EXPECT_FALSE(Pass->description().empty());

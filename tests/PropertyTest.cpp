@@ -33,6 +33,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 #include <set>
 #include <string>
@@ -356,6 +357,112 @@ TEST_P(SymtabCounts, SymboltableCountMatchesClosedForm) {
 
 INSTANTIATE_TEST_SUITE_P(Depths, SymtabCounts,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+//===----------------------------------------------------------------------===//
+// Error-algebra semantics (paper section 3): strict operations, lazy ITE
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fixture loading Queue with a rewrite engine, for the section 3 error-
+/// propagation properties.
+class ErrorSemantics : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Q = Loaded.take();
+    auto Built = RewriteSystem::buildChecked(Ctx, {&Q});
+    ASSERT_TRUE(static_cast<bool>(Built)) << Built.error().message();
+    System = std::make_unique<RewriteSystem>(Built.take());
+    Engine = std::make_unique<RewriteEngine>(Ctx, *System);
+  }
+
+  TermId normalized(const std::string &Text, SortId Expected = SortId()) {
+    Result<TermId> Parsed = parseTermText(Ctx, Text, nullptr, Expected);
+    EXPECT_TRUE(static_cast<bool>(Parsed)) << Text;
+    Result<TermId> Normal = Engine->normalize(*Parsed);
+    EXPECT_TRUE(static_cast<bool>(Normal)) << Text;
+    return *Normal;
+  }
+
+  AlgebraContext Ctx;
+  Spec Q;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+};
+
+} // namespace
+
+TEST_F(ErrorSemantics, OperationsAreStrictInEveryArgument) {
+  // Section 3: "error carriers propagate" — applying any operation to an
+  // erroring argument yields error, in whichever argument position.
+  EXPECT_TRUE(Ctx.isError(normalized("ADD(REMOVE(NEW), 'item1)")));
+  EXPECT_TRUE(Ctx.isError(normalized("ADD(NEW, FRONT(NEW))")));
+  EXPECT_TRUE(Ctx.isError(normalized("REMOVE(REMOVE(NEW))")));
+  EXPECT_TRUE(Ctx.isError(normalized("FRONT(REMOVE(NEW))")));
+  // Even a total observer is poisoned by an erroring argument.
+  EXPECT_TRUE(Ctx.isError(normalized("IS_EMPTY?(REMOVE(NEW))")));
+}
+
+TEST_F(ErrorSemantics, StrictnessHoldsAtConstructionToo) {
+  // makeOp collapses an error argument structurally, before any rewriting:
+  // the constructed term already is the error carrier of the result sort.
+  SortId Queue = Ctx.lookupSort("Queue");
+  TermId Poisoned = Ctx.makeOp(
+      Ctx.lookupOp("ADD"),
+      {Ctx.makeError(Queue), Ctx.makeAtom("item1", Ctx.lookupSort("Item"))});
+  EXPECT_TRUE(Ctx.isError(Poisoned));
+  EXPECT_EQ(Ctx.sortOf(Poisoned), Queue);
+}
+
+TEST_F(ErrorSemantics, IteConditionIsStrict) {
+  // The condition position of if-then-else is strict: an erroring
+  // condition poisons the whole conditional even though both branches
+  // are fine values.
+  EXPECT_TRUE(Ctx.isError(
+      normalized("if IS_EMPTY?(REMOVE(NEW)) then 'item1 else 'item2",
+                 Ctx.lookupSort("Item"))));
+}
+
+TEST_F(ErrorSemantics, IteBranchesAreLazy) {
+  // The branches are lazy: an error in the *untaken* branch is discarded
+  // rather than propagated.
+  EXPECT_EQ(printTerm(Ctx, normalized("if true then 'item1 else FRONT(NEW)")),
+            "'item1");
+  EXPECT_EQ(printTerm(Ctx, normalized("if false then FRONT(NEW) else 'item2")),
+            "'item2");
+  // ...while the taken branch still propagates.
+  EXPECT_TRUE(
+      Ctx.isError(normalized("if false then 'item1 else FRONT(NEW)")));
+}
+
+TEST_F(ErrorSemantics, FrontOfNonEmptyNeverErrorsThanksToLaziness) {
+  // FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q). When q is
+  // NEW the else branch *mentions* FRONT(NEW) = error, but the lazy ITE
+  // never evaluates it — so FRONT and REMOVE of a non-empty queue are
+  // error-free for every ground queue value. A strict ITE would poison
+  // exactly the q = NEW case.
+  TermEnumerator Enumerator(Ctx);
+  SortId Queue = Ctx.lookupSort("Queue");
+  SortId Item = Ctx.lookupSort("Item");
+  OpId Front = Ctx.lookupOp("FRONT");
+  OpId Remove = Ctx.lookupOp("REMOVE");
+  OpId Add = Ctx.lookupOp("ADD");
+  for (TermId Value : Enumerator.enumerate(Queue, 4))
+    for (TermId Atom : Enumerator.enumerate(Item, 1)) {
+      TermId NonEmpty = Ctx.makeOp(Add, {Value, Atom});
+      Result<TermId> F = Engine->normalize(Ctx.makeOp(Front, {NonEmpty}));
+      ASSERT_TRUE(static_cast<bool>(F));
+      EXPECT_FALSE(Ctx.isError(*F)) << printTerm(Ctx, NonEmpty);
+      Result<TermId> R = Engine->normalize(Ctx.makeOp(Remove, {NonEmpty}));
+      ASSERT_TRUE(static_cast<bool>(R));
+      EXPECT_FALSE(Ctx.isError(*R)) << printTerm(Ctx, NonEmpty);
+    }
+  // The boundary case the laziness exists for:
+  EXPECT_EQ(printTerm(Ctx, normalized("FRONT(ADD(NEW, 'item1))")),
+            "'item1");
+}
 
 //===----------------------------------------------------------------------===//
 // Parser robustness: arbitrary input must diagnose, never crash or hang

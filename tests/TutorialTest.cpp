@@ -185,6 +185,30 @@ TEST(TutorialTest, Step4ChecksPass) {
   EXPECT_TRUE(Dynamic.SufficientlyComplete);
 }
 
+TEST(TutorialTest, Step4AnalyzeReadsTheErrorAlgebra) {
+  Workspace WS;
+  ASSERT_TRUE(static_cast<bool>(WS.load(DictAlg, "dict.alg")));
+  ErrorFlowReport Report =
+      analyzeErrorFlow(WS.context(), WS.specPointers());
+  std::string Text = Report.render(WS.context());
+  EXPECT_NE(Text.find("Dict.GET: may-error"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("GET(EMPTY_DICT, k): always-error"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("GET(BIND(d, k, v), j): may-error when "
+                      "not(SAME(k, j))"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("Dict.HAS?: never-error"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("Dict.UNBIND: never-error"), std::string::npos)
+      << Text;
+  // The one definedness obligation: GET is only owed on bound keys.
+  ASSERT_EQ(Report.Obligations.size(), 1u);
+  EXPECT_EQ(Report.Obligations[0].render(WS.context()),
+            "GET(EMPTY_DICT, k) = error");
+}
+
 TEST(TutorialTest, Step5SymbolicExecution) {
   Workspace WS;
   ASSERT_TRUE(static_cast<bool>(WS.load(DictAlg, "dict.alg")));

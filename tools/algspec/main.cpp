@@ -11,6 +11,9 @@
 ///                                        + termination verdicts
 ///   algspec lint  <file.alg>...          static-analysis lint passes and
 ///                                        the RPO termination prover
+///   algspec analyze <file.alg>...        error-flow analysis: per-operation
+///                                        definedness summaries and the
+///                                        inferred preconditions
 ///   algspec eval  <file.alg> -e <term>   normalize a term against the specs
 ///   algspec run   <file.alg> <prog>      run an assignment program (x := ...)
 ///   algspec trace <file.alg> -e <term>   normalize, printing every step
@@ -19,11 +22,13 @@
 ///   algspec axioms <file.alg>            pretty-print the parsed axioms
 ///
 /// `--builtin <name>` (queue, symboltable, stackarray, knowlist,
-/// knows_symboltable, nat, set, list, bag, bst, table, boundedqueue)
-/// loads an embedded paper spec instead of (or in addition to) files.
+/// knows_symboltable, nat, set, list, bag, bst, table, boundedqueue,
+/// symboltable_impl) loads an embedded paper spec instead of (or in
+/// addition to) files.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/ErrorFlow.h"
 #include "core/AlgSpec.h"
 #include "support/Json.h"
 #include "support/SourceMgr.h"
@@ -54,7 +59,11 @@ int usage() {
       "  lint    run the static-analysis lint passes (unused variables,\n"
       "          unbound RHS variables, non-left-linear patterns,\n"
       "          subsumed axioms, constructor discipline, unused\n"
-      "          declarations) and the RPO termination prover\n"
+      "          declarations, error-flow rules) and the RPO termination\n"
+      "          prover\n"
+      "  analyze run the error-flow analysis: per-operation definedness\n"
+      "          summaries (never/may/always-error per constructor case)\n"
+      "          and the inferred definedness obligations\n"
       "  axioms  pretty-print every parsed spec and its axioms\n"
       "  eval    normalize a term: algspec eval q.alg -e 'FRONT(ADD(NEW, "
       "'x))'\n"
@@ -72,7 +81,7 @@ int usage() {
       "  --builtin <name>   load an embedded paper spec (queue,\n"
       "                     symboltable, stackarray, knowlist,\n"
       "                     knows_symboltable, nat, set, list, bag,\n"
-      "                     bst, table, boundedqueue)\n"
+      "                     bst, table, boundedqueue, symboltable_impl)\n"
       "  -e <term>          the term for eval/trace\n"
       "  -s <sort>          the sort for enum\n"
       "  -d <depth>         the depth for enum (default 3)\n"
@@ -80,8 +89,9 @@ int usage() {
       "  --jobs <n>         worker threads for the check/verify instance\n"
       "                     sweeps (0 = hardware concurrency, the\n"
       "                     default; reports are identical at any n)\n"
-      "  --json             machine-readable output (check, lint, verify)\n"
-      "  --Werror           lint: treat warnings as errors\n");
+      "  --json             machine-readable output (check, lint,\n"
+      "                     analyze, verify)\n"
+      "  --Werror           lint/analyze: treat warnings as errors\n");
   return 2;
 }
 
@@ -124,6 +134,8 @@ std::string_view builtinText(const std::string &Name) {
     return specs::TableAlg;
   if (Name == "boundedqueue")
     return specs::BoundedQueueAlg;
+  if (Name == "symboltable_impl")
+    return specs::SymboltableImplAlg;
   return {};
 }
 
@@ -300,6 +312,30 @@ void writeEngineStats(JsonWriter &W, const EngineStats &S) {
   W.endObject();
 }
 
+/// Emits the error-flow obligations as `"obligations": [...]`. Shared by
+/// analyze and check; deliberately free of engine counters so the output
+/// is byte-identical across build configurations and job counts (CI diffs
+/// it against golden files).
+void writeObligationsJson(JsonWriter &W, const AlgebraContext &Ctx,
+                          const std::vector<DefinednessObligation> &Obs) {
+  W.key("obligations").beginArray();
+  for (const DefinednessObligation &O : Obs) {
+    W.beginObject();
+    W.key("spec").value(O.SpecName);
+    W.key("op").value(std::string(Ctx.opName(O.Op)));
+    W.key("axiom").value(O.AxiomNumber);
+    W.key("case").value(printTerm(Ctx, O.CaseLhs));
+    W.key("verdict").value(std::string(errorVerdictName(O.Verdict)));
+    if (O.ErrorCondition.isValid()) {
+      W.key("condition").value(printTerm(Ctx, O.ErrorCondition));
+      W.key("exact").value(O.ConditionExact);
+    }
+    W.key("rendered").value(O.render(Ctx));
+    W.endObject();
+  }
+  W.endArray();
+}
+
 int cmdCheck(Workspace &WS, const Options &Opts) {
   bool AllGood = true;
   TerminationReport Term = WS.termination();
@@ -357,6 +393,9 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
     W.key("contradictions").value(Consistency.Contradictions.size());
     writeEngineStats(W, Consistency.Engine);
     W.endObject();
+    ErrorFlowReport Flow =
+        analyzeErrorFlow(WS.context(), WS.specPointers());
+    writeObligationsJson(W, WS.context(), Flow.Obligations);
     W.endObject();
     std::printf("%s\n", W.str().c_str());
     return AllGood ? 0 : 1;
@@ -398,6 +437,13 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
   ConsistencyReport Consistency = WS.checkConsistent(2, Par);
   std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
+  ErrorFlowReport Flow = analyzeErrorFlow(WS.context(), WS.specPointers());
+  if (!Flow.Obligations.empty()) {
+    std::printf("definedness obligations:\n");
+    for (const DefinednessObligation &O : Flow.Obligations)
+      std::printf("  %s: %s\n", O.SpecName.c_str(),
+                  O.render(WS.context()).c_str());
+  }
   return AllGood ? 0 : 1;
 }
 
@@ -410,8 +456,12 @@ void writeLintJson(const LintReport &Report, const TerminationReport &Term) {
     W.key("rule").value(F.Rule);
     W.key("severity").value(severityName(F.Kind));
     W.key("spec").value(F.SpecName);
-    W.key("line").value(F.Loc.line());
-    W.key("column").value(F.Loc.column());
+    // Programmatically built specs have no source location; omit the
+    // fields instead of emitting a bogus 0:0.
+    if (F.Loc.isValid()) {
+      W.key("line").value(F.Loc.line());
+      W.key("column").value(F.Loc.column());
+    }
     W.key("message").value(F.Message);
     if (!F.FixIt.empty())
       W.key("fixit").value(F.FixIt);
@@ -460,6 +510,78 @@ int cmdLint(Workspace &WS, const Options &Opts) {
   // Termination verdicts inform but do not gate: an unproved spec may
   // still terminate under the engine's strategy (RPO is incomplete).
   return Report.failed(LOpts) ? 1 : 0;
+}
+
+/// `algspec analyze`: the error-flow analysis on its own — definedness
+/// summaries, obligations, and the three analysis-backed lint rules.
+int cmdAnalyze(Workspace &WS, const Options &Opts) {
+  ErrorFlowReport Report =
+      analyzeErrorFlow(WS.context(), WS.specPointers());
+
+  // Only the analysis-backed rules; `algspec lint` runs the full set.
+  Linter L;
+  L.addPass(makeErrorSwallowedPass());
+  L.addPass(makeAlwaysErrorOpPass());
+  L.addPass(makeRedundantErrorAxiomPass());
+  LintReport Findings = L.run(WS.context(), WS.specPointers());
+  LintOptions LOpts;
+  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
+
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("summaries").beginArray();
+    for (const OpSummary &Sum : Report.Summaries) {
+      W.beginObject();
+      W.key("spec").value(Sum.SpecName);
+      W.key("op").value(std::string(WS.context().opName(Sum.Op)));
+      W.key("overall").value(std::string(errorVerdictName(Sum.Overall)));
+      W.key("cases").beginArray();
+      for (const ErrorCase &C : Sum.Cases) {
+        W.beginObject();
+        W.key("axiom").value(C.AxiomNumber);
+        W.key("lhs").value(printTerm(WS.context(), C.Lhs));
+        W.key("verdict").value(std::string(errorVerdictName(C.Verdict)));
+        if (C.ErrorCondition.isValid()) {
+          W.key("condition")
+              .value(printTerm(WS.context(), C.ErrorCondition));
+          W.key("exact").value(C.ConditionExact);
+        }
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    writeObligationsJson(W, WS.context(), Report.Obligations);
+    W.key("findings").beginArray();
+    for (const LintFinding &F : Findings.Findings) {
+      W.beginObject();
+      W.key("rule").value(F.Rule);
+      W.key("severity").value(severityName(F.Kind));
+      W.key("spec").value(F.SpecName);
+      if (F.Loc.isValid()) {
+        W.key("line").value(F.Loc.line());
+        W.key("column").value(F.Loc.column());
+      }
+      W.key("message").value(F.Message);
+      if (!F.FixIt.empty())
+        W.key("fixit").value(F.FixIt);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("caveats").beginArray();
+    for (const std::string &Caveat : Report.Caveats)
+      W.value(Caveat);
+    W.endArray();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  } else {
+    std::printf("%s", Report.render(WS.context()).c_str());
+    if (!Findings.clean())
+      std::printf("%s", WS.renderLint(Findings).c_str());
+  }
+  return Findings.failed(LOpts) ? 1 : 0;
 }
 
 int cmdAxioms(Workspace &WS) {
@@ -654,6 +776,26 @@ int cmdVerify(Workspace &WS, const Options &Opts) {
       W.endObject();
     }
     W.endArray();
+    W.key("allObligationsDischarged")
+        .value(Report.AllObligationsDischarged);
+    W.key("obligationVerdicts").beginArray();
+    for (const ObligationVerdict &O : Report.Obligations) {
+      W.beginObject();
+      W.key("callee").value(std::string(WS.context().opName(O.Callee)));
+      W.key("calleeSpec").value(O.CalleeSpec);
+      W.key("case").value(printTerm(WS.context(), O.CaseLhs));
+      if (O.Condition.isValid())
+        W.key("condition").value(printTerm(WS.context(), O.Condition));
+      W.key("hostSpec").value(O.HostSpec);
+      W.key("hostAxiom").value(O.HostAxiom);
+      W.key("site").value(printTerm(WS.context(), O.Site));
+      W.key("status").value(O.Status == ObligationStatus::Discharged
+                                ? "discharged"
+                                : "assumed");
+      W.key("note").value(O.Note);
+      W.endObject();
+    }
+    W.endArray();
     W.key("caveats").beginArray();
     for (const std::string &Caveat : Report.Caveats)
       W.value(Caveat);
@@ -707,6 +849,11 @@ int main(int Argc, char **Argv) {
     if (!loadAll(WS, Opts, Opts.Files))
       return 1;
     return cmdLint(WS, Opts);
+  }
+  if (Opts.Command == "analyze") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdAnalyze(WS, Opts);
   }
   if (Opts.Command == "axioms") {
     if (!loadAll(WS, Opts, Opts.Files))
