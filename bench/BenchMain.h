@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared benchmark entry point. Every bench binary uses
+/// ALGSPEC_BENCHMARK_MAIN() instead of BENCHMARK_MAIN() so the reported
+/// context carries the *project's* build type under the key
+/// "algspec_build_type". The stock "library_build_type" key describes
+/// how the benchmark *library* was compiled — with a distro-packaged
+/// libbenchmark that key is frozen at the distro's choice and says
+/// nothing about the flags this code was built with, which once let a
+/// debug-build baseline masquerade as meaningful (tools/run_benches.sh
+/// now refuses to record one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_BENCH_BENCHMAIN_H
+#define ALGSPEC_BENCH_BENCHMAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace algspec_bench {
+
+/// The CMAKE_BUILD_TYPE the bench was compiled under (lowercased), baked
+/// in by bench/CMakeLists.txt; falls back to the NDEBUG state when the
+/// build type string is empty (default CMake configuration).
+inline std::string buildType() {
+#ifdef ALGSPEC_BENCH_BUILD_TYPE
+  std::string Type = ALGSPEC_BENCH_BUILD_TYPE;
+#else
+  std::string Type;
+#endif
+  std::transform(Type.begin(), Type.end(), Type.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (!Type.empty())
+    return Type;
+#ifdef NDEBUG
+  return "unspecified-ndebug";
+#else
+  return "unspecified-assertions";
+#endif
+}
+
+} // namespace algspec_bench
+
+#define ALGSPEC_BENCHMARK_MAIN()                                           \
+  int main(int argc, char **argv) {                                        \
+    benchmark::AddCustomContext("algspec_build_type",                      \
+                                ::algspec_bench::buildType());             \
+    benchmark::Initialize(&argc, argv);                                    \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))                \
+      return 1;                                                            \
+    benchmark::RunSpecifiedBenchmarks();                                   \
+    benchmark::Shutdown();                                                 \
+    return 0;                                                              \
+  }
+
+#endif // ALGSPEC_BENCH_BENCHMAIN_H

@@ -21,6 +21,8 @@
 #include "specs/BuiltinSpecs.h"
 #include "verify/RepVerifier.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -120,4 +122,4 @@ BENCHMARK(BM_ObligationDischarge)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

@@ -16,6 +16,8 @@
 #include "adt/HashArray.h"
 #include "adt/LinearArray.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -94,4 +96,4 @@ BENCHMARK(BM_LinearArrayRead)->Arg(4)->Arg(32)->Arg(256)->Arg(2048);
 BENCHMARK(BM_HashArrayAssign)->Arg(256)->Arg(2048);
 BENCHMARK(BM_LinearArrayAssign)->Arg(256)->Arg(2048);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

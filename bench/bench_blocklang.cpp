@@ -21,6 +21,8 @@
 #include "blocklang/Sema.h"
 #include "support/SourceMgr.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -135,4 +137,4 @@ BENCHMARK(BM_CompileFlatUndo)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_CompileSpecBackend)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

@@ -20,6 +20,8 @@
 #include "parser/Parser.h"
 #include "specs/BuiltinSpecs.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -162,4 +164,4 @@ BENCHMARK(BM_ConsistencyJobs)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

@@ -7,10 +7,13 @@
 /// \file
 /// Experiment E11 — rewrite-engine scalability (supports E8's cost
 /// analysis): normalization time vs term size for Queue observations,
-/// and the ablation of the two design choices DESIGN.md calls out —
+/// the ablation of the two design choices DESIGN.md calls out —
 /// normal-form memoization and hash consing's O(1) equality (approximated
 /// by the memoization toggle, since without the memo every equality
-/// re-derives).
+/// re-derives) — and the compiled-vs-interpreted engine series: matching
+/// automata + RHS templates against the reference rule-scanning
+/// interpreter, including a synthetic many-rule spec where per-redex
+/// dispatch dominates.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +21,8 @@
 #include "parser/Parser.h"
 #include "rewrite/Engine.h"
 #include "specs/BuiltinSpecs.h"
+
+#include "BenchMain.h"
 
 #include <benchmark/benchmark.h>
 
@@ -61,6 +66,7 @@ void BM_FrontOfDeepQueue(benchmark::State &State) {
   EngineOptions Options;
   Options.MaxSteps = 1ull << 30;
   Options.Memoize = State.range(1) != 0;
+  Options.Compile = State.range(2) != 0;
   for (auto _ : State) {
     RewriteEngine Engine(F.Ctx, *F.System, Options);
     benchmark::DoNotOptimize(Engine.normalize(Term));
@@ -78,6 +84,7 @@ void BM_DrainQueue(benchmark::State &State) {
   Term = F.Ctx.makeOp(IsEmpty, {Term});
   EngineOptions Options;
   Options.MaxSteps = 1ull << 30;
+  Options.Compile = State.range(1) != 0;
   for (auto _ : State) {
     RewriteEngine Engine(F.Ctx, *F.System, Options);
     benchmark::DoNotOptimize(Engine.normalize(Term));
@@ -92,23 +99,99 @@ void BM_RepeatedObservationMemoized(benchmark::State &State) {
       F.Ctx.makeOp(Front, {buildQueueTerm(F.Ctx, State.range(0))});
   EngineOptions Options;
   Options.MaxSteps = 1ull << 30;
+  Options.Compile = State.range(1) != 0;
   RewriteEngine Engine(F.Ctx, *F.System, Options);
   (void)Engine.normalize(Term); // Warm.
   for (auto _ : State)
     benchmark::DoNotOptimize(Engine.normalize(Term));
 }
 
+/// A synthetic spec with one rule per constructor of a single defined
+/// op: the workload where rule dispatch, not rewriting, is the cost.
+/// The interpreter scans the rule list per redex; the automaton branches
+/// on the argument's head symbol in one step.
+struct DispatchFixture {
+  explicit DispatchFixture(int64_t NumRules) {
+    std::string Text = "spec Dispatch\n  sorts D\n  ops\n";
+    for (int64_t C = 0; C != NumRules; ++C)
+      Text += "    C" + std::to_string(C) + " : -> D\n";
+    Text += "    F : D -> D\n  constructors";
+    for (int64_t C = 0; C != NumRules; ++C)
+      Text += std::string(C != 0 ? "," : "") + " C" + std::to_string(C);
+    Text += "\n  axioms\n";
+    for (int64_t C = 0; C != NumRules; ++C)
+      Text += "    F(C" + std::to_string(C) + ") = C" +
+              std::to_string((C + 1) % NumRules) + "\n";
+    Text += "end\n";
+    Specs = parseSpecText(Ctx, Text).take();
+    std::vector<const Spec *> Ptrs;
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+    System = std::make_unique<RewriteSystem>(
+        RewriteSystem::buildChecked(Ctx, Ptrs).take());
+  }
+  AlgebraContext Ctx;
+  std::vector<Spec> Specs;
+  std::unique_ptr<RewriteSystem> System;
+};
+
+/// Normalizes F^64(C0), cycling through every rule of the dispatch spec:
+/// 64 redexes, each requiring one rule selection among State.range(0).
+void BM_ManyRuleDispatch(benchmark::State &State) {
+  DispatchFixture F(State.range(0));
+  OpId Op = F.Ctx.lookupOp("F");
+  TermId Term = F.Ctx.makeOp(F.Ctx.lookupOp("C0"), {});
+  for (int I = 0; I != 64; ++I)
+    Term = F.Ctx.makeOp(Op, {Term});
+  EngineOptions Options;
+  Options.MaxSteps = 1ull << 30;
+  // The series measures per-redex dispatch, so the one-time automaton
+  // construction stays outside the timing loop and memoization is off
+  // (with it on, every iteration after the first is a single memo hit).
+  Options.Memoize = false;
+  Options.Compile = State.range(1) != 0;
+  RewriteEngine Engine(F.Ctx, *F.System, Options);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Engine.normalize(Term));
+}
+
 } // namespace
 
-// {queue length, memoize?}
+// {queue length, memoize?, compiled?}
 BENCHMARK(BM_FrontOfDeepQueue)
+    ->Args({64, 1, 1})
+    ->Args({256, 1, 1})
+    ->Args({1024, 1, 1})
+    ->Args({64, 0, 1})
+    ->Args({256, 0, 1})
+    ->Args({1024, 0, 1})
+    ->Args({64, 1, 0})
+    ->Args({256, 1, 0})
+    ->Args({1024, 1, 0})
+    ->Args({64, 0, 0})
+    ->Args({256, 0, 0})
+    ->Args({1024, 0, 0});
+// {queue length, compiled?}
+BENCHMARK(BM_DrainQueue)
+    ->Args({16, 1})
     ->Args({64, 1})
     ->Args({256, 1})
-    ->Args({1024, 1})
+    ->Args({16, 0})
     ->Args({64, 0})
+    ->Args({256, 0});
+// {queue length, compiled?}
+BENCHMARK(BM_RepeatedObservationMemoized)
+    ->Args({256, 1})
+    ->Args({1024, 1})
     ->Args({256, 0})
     ->Args({1024, 0});
-BENCHMARK(BM_DrainQueue)->Arg(16)->Arg(64)->Arg(256);
-BENCHMARK(BM_RepeatedObservationMemoized)->Arg(256)->Arg(1024);
+// {rule count, compiled?}
+BENCHMARK(BM_ManyRuleDispatch)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({128, 1})
+    ->Args({8, 0})
+    ->Args({32, 0})
+    ->Args({128, 0});
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

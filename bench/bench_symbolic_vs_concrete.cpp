@@ -25,6 +25,8 @@
 #include "interp/Session.h"
 #include "specs/BuiltinSpecs.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace algspec;
@@ -116,4 +118,4 @@ BENCHMARK(BM_ConcreteList)->Arg(100)->Arg(400)->Arg(1600);
 BENCHMARK(BM_SymbolicSpec)->Arg(100)->Arg(400)->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

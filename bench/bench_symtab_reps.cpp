@@ -25,6 +25,8 @@
 #include "adt/ListSymbolTable.h"
 #include "adt/SymbolTable.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace algspec;
@@ -78,4 +80,4 @@ BENCHMARK(BM_HashStack)->Apply(shapes);
 BENCHMARK(BM_AssocList)->Apply(shapes);
 BENCHMARK(BM_FlatUndo)->Apply(shapes);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

@@ -17,6 +17,8 @@
 #include "specs/BuiltinSpecs.h"
 #include "verify/RepVerifier.h"
 
+#include "BenchMain.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace algspec;
@@ -121,4 +123,4 @@ BENCHMARK(BM_VerifyJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_VerifyHomomorphism)->Arg(3)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+ALGSPEC_BENCHMARK_MAIN()

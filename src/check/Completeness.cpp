@@ -341,7 +341,7 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
 CompletenessReport algspec::checkCompletenessDynamic(
     AlgebraContext &Ctx, const Spec &S,
     const std::vector<const Spec *> &AllSpecs, unsigned MaxDepth,
-    EnumeratorOptions EnumOptions, ParallelOptions Par) {
+    EnumeratorOptions EnumOptions, ParallelOptions Par, EngineOptions Eng) {
   CompletenessReport Report;
 
   DiagnosticEngine Diags;
@@ -350,10 +350,10 @@ CompletenessReport algspec::checkCompletenessDynamic(
     Report.Caveats.push_back("some axioms could not be oriented into "
                              "rules; the dynamic check skipped them");
   }
-  RewriteEngine Engine(Ctx, System);
+  RewriteEngine Engine(Ctx, System, Eng);
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
   std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
-      makeReplicaDriver(Par, Ctx, AllSpecs);
+      makeReplicaDriver(Par, Ctx, AllSpecs, Eng);
 
   for (OpId Op : S.definedOps(Ctx)) {
     const OpInfo &Info = Ctx.op(Op);

@@ -83,12 +83,16 @@ CompletenessReport checkCompleteness(AlgebraContext &Ctx, const Spec &S);
 /// share against a private re-elaboration of the specs, and findings are
 /// merged in enumeration order, so the report is byte-identical to the
 /// serial sweep at any job count.
+///
+/// \p Eng configures the rewrite engines (main and worker replicas) —
+/// notably EngineOptions::Compile, the compiled-vs-interpreted knob.
 CompletenessReport
 checkCompletenessDynamic(AlgebraContext &Ctx, const Spec &S,
                          const std::vector<const Spec *> &AllSpecs,
                          unsigned MaxDepth,
                          EnumeratorOptions EnumOptions = EnumeratorOptions(),
-                         ParallelOptions Par = ParallelOptions());
+                         ParallelOptions Par = ParallelOptions(),
+                         EngineOptions Eng = EngineOptions());
 
 } // namespace algspec
 

@@ -228,7 +228,7 @@ algspec::checkConsistency(AlgebraContext &Ctx,
                           const std::vector<const Spec *> &Specs,
                           unsigned GroundDepth,
                           EnumeratorOptions EnumOptions,
-                          ParallelOptions Par) {
+                          ParallelOptions Par, EngineOptions Eng) {
   ConsistencyReport Report;
 
   DiagnosticEngine Diags;
@@ -236,9 +236,9 @@ algspec::checkConsistency(AlgebraContext &Ctx,
   if (Diags.hasErrors())
     Report.Caveats.push_back(
         "some axioms could not be oriented into rules and were skipped");
-  RewriteEngine Engine(Ctx, System);
+  RewriteEngine Engine(Ctx, System, Eng);
   std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
-      makeReplicaDriver(Par, Ctx, Specs, EngineOptions(), EnumOptions);
+      makeReplicaDriver(Par, Ctx, Specs, Eng, EnumOptions);
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
 
   const std::vector<Rule> &Rules = System.rules();

@@ -77,11 +77,15 @@ struct ConsistencyReport {
 /// private re-elaboration of the specs) and findings are merged in the
 /// serial pair order, so the report is byte-identical to the serial
 /// sweep at any job count.
+///
+/// \p Eng configures the rewrite engines (main and worker replicas) —
+/// notably EngineOptions::Compile, the compiled-vs-interpreted knob.
 ConsistencyReport
 checkConsistency(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs,
                  unsigned GroundDepth = 2,
                  EnumeratorOptions EnumOptions = EnumeratorOptions(),
-                 ParallelOptions Par = ParallelOptions());
+                 ParallelOptions Par = ParallelOptions(),
+                 EngineOptions Eng = EngineOptions());
 
 } // namespace algspec
 

@@ -54,13 +54,18 @@ ErrorVerdict caseJoin(ErrorVerdict A, ErrorVerdict B) {
 /// The whole analysis, over one workspace of specs.
 class ErrorFlowAnalyzer {
 public:
-  ErrorFlowAnalyzer(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs)
-      : Ctx(Ctx), Specs(Specs) {}
+  ErrorFlowAnalyzer(AlgebraContext &Ctx,
+                    const std::vector<const Spec *> &Specs,
+                    EngineOptions BaseEO)
+      : Ctx(Ctx), Specs(Specs), BaseEO(BaseEO) {}
 
   ErrorFlowReport run() {
     collect();
     runFixpoint();
-    return buildReport();
+    ErrorFlowReport R = buildReport();
+    if (GuardEngine)
+      R.Engine = GuardEngine->stats();
+    return R;
   }
 
 private:
@@ -119,7 +124,9 @@ private:
     // under case-composition substitutions.
     if (Result<RewriteSystem> Sys = RewriteSystem::buildChecked(Ctx, Specs)) {
       System.emplace(Sys.take());
-      EngineOptions EO;
+      // Keep the caller's engine choice (compiled vs interpreted) but pin
+      // the analysis' own conservative fuel and depth bounds.
+      EngineOptions EO = BaseEO;
       EO.MaxSteps = 4096;
       EO.MaxDepth = 512;
       GuardEngine.emplace(Ctx, *System, EO);
@@ -461,6 +468,7 @@ private:
   std::unordered_set<OpId> Incomplete;
   std::optional<RewriteSystem> System;
   std::optional<RewriteEngine> GuardEngine;
+  EngineOptions BaseEO;
   std::vector<std::string> Caveats;
 };
 
@@ -508,8 +516,9 @@ std::string ErrorFlowReport::render(const AlgebraContext &Ctx) const {
 
 ErrorFlowReport
 algspec::analyzeErrorFlow(AlgebraContext &Ctx,
-                          const std::vector<const Spec *> &Specs) {
-  return ErrorFlowAnalyzer(Ctx, Specs).run();
+                          const std::vector<const Spec *> &Specs,
+                          EngineOptions Eng) {
+  return ErrorFlowAnalyzer(Ctx, Specs, Eng).run();
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,7 @@
 #define ALGSPEC_CHECK_ERRORFLOW_H
 
 #include "ast/Ids.h"
+#include "rewrite/Engine.h"
 
 #include <memory>
 #include <string>
@@ -117,6 +118,11 @@ struct ErrorFlowReport {
   /// always-error cases plus the exactly-conditional ones.
   std::vector<DefinednessObligation> Obligations;
   std::vector<std::string> Caveats;
+  /// Guard-engine counters (the bounded engine that decides enclosing
+  /// guards under case-composition substitutions). Informational only —
+  /// never part of the verdicts — and deterministic: the analysis is
+  /// serial and visits operations in spec/declaration order.
+  EngineStats Engine;
 
   const OpSummary *summaryFor(OpId Op) const;
   std::string render(const AlgebraContext &Ctx) const;
@@ -124,9 +130,12 @@ struct ErrorFlowReport {
 
 /// Runs the fixpoint analysis over every defined operation of \p Specs
 /// (analyzed together: axioms call across specs, as Stack of Arrays
-/// does).
+/// does). \p Eng seeds the guard engine's configuration — notably
+/// EngineOptions::Compile — though the analysis pins its own conservative
+/// fuel and depth bounds on top.
 ErrorFlowReport analyzeErrorFlow(AlgebraContext &Ctx,
-                                 const std::vector<const Spec *> &Specs);
+                                 const std::vector<const Spec *> &Specs,
+                                 EngineOptions Eng = EngineOptions());
 
 /// The three analysis-backed lint rules (registered in
 /// \c Linter::standard()).

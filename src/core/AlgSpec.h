@@ -87,9 +87,10 @@ public:
 
   /// Consistency check over every loaded spec.
   ConsistencyReport checkConsistent(unsigned GroundDepth = 2,
-                                    ParallelOptions Par = ParallelOptions()) {
+                                    ParallelOptions Par = ParallelOptions(),
+                                    EngineOptions Eng = EngineOptions()) {
     return checkConsistency(*Ctx, specPointers(), GroundDepth,
-                            EnumeratorOptions(), Par);
+                            EnumeratorOptions(), Par, Eng);
   }
 
   /// Runs the standard lint passes over every loaded spec.

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/Compiled.h"
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/RewriteSystem.h"
+
+#include <cassert>
+
+using namespace algspec;
+
+RhsTemplate
+RhsTemplate::compile(const AlgebraContext &Ctx, TermId Rhs,
+                     const std::vector<std::pair<VarId, uint16_t>> &Slots) {
+  RhsTemplate T;
+  auto Emit = [&](auto &&Self, TermId Term) -> void {
+    // A variable-free subtree is one prebuilt push: instantiation cannot
+    // change it, and applySubstitution would return it unchanged.
+    if (Ctx.isGround(Term)) {
+      T.Code.push_back({TemplateInstr::Kind::PushTerm, Term, 0, OpId(), 0});
+      return;
+    }
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind == TermKind::Var) {
+      for (const auto &[Var, Slot] : Slots) {
+        if (Var == Node.Var) {
+          T.Code.push_back(
+              {TemplateInstr::Kind::PushSlot, TermId(), Slot, OpId(), 0});
+          return;
+        }
+      }
+      // A RHS variable absent from the LHS: RewriteSystem::build rejects
+      // such axioms, but mirror applySubstitution (unbound variables stay
+      // in place) rather than trusting that invariant here.
+      T.Code.push_back({TemplateInstr::Kind::PushTerm, Term, 0, OpId(), 0});
+      return;
+    }
+    assert(Node.Kind == TermKind::Op && "non-ground non-var must be an op");
+    for (TermId Child : Ctx.children(Term))
+      Self(Self, Child);
+    T.Code.push_back({TemplateInstr::Kind::Build, TermId(), 0, Node.Op,
+                      static_cast<uint16_t>(Node.NumChildren)});
+  };
+  Emit(Emit, Rhs);
+  return T;
+}
+
+TermId RhsTemplate::instantiate(AlgebraContext &Ctx,
+                                std::span<const TermId> Slots,
+                                std::vector<TermId> &Stack) const {
+  Stack.clear();
+  for (const TemplateInstr &I : Code) {
+    switch (I.K) {
+    case TemplateInstr::Kind::PushTerm:
+      Stack.push_back(I.Term);
+      break;
+    case TemplateInstr::Kind::PushSlot:
+      Stack.push_back(Slots[I.Slot]);
+      break;
+    case TemplateInstr::Kind::Build: {
+      // makeOp copies the operands before interning, so handing it a span
+      // into our own scratch stack is safe; strict error propagation
+      // happens inside, exactly as when applySubstitution rebuilds.
+      std::span<const TermId> Operands(Stack.data() +
+                                           (Stack.size() - I.Arity),
+                                       I.Arity);
+      TermId Built = Ctx.makeOp(I.Op, Operands);
+      Stack.resize(Stack.size() - I.Arity);
+      Stack.push_back(Built);
+      break;
+    }
+    }
+  }
+  assert(Stack.size() == 1 && "a template builds exactly one term");
+  return Stack.back();
+}
+
+CompiledRuleSet::CompiledRuleSet(const AlgebraContext &Ctx,
+                                 const RewriteSystem &System) {
+  for (const Rule &R : System.rules()) {
+    if (Programs.count(R.HeadOp) != 0)
+      continue;
+    const std::vector<Rule> &Rules = System.rulesFor(R.HeadOp);
+    OpProgram P;
+    P.Automaton = MatchAutomaton::compile(Ctx, Rules);
+    P.Templates.reserve(Rules.size());
+    for (const Rule &Each : Rules)
+      P.Templates.push_back(
+          RhsTemplate::compile(Ctx, Each.Rhs, patternVarSlots(Ctx, Each.Lhs)));
+    P.Rules = &Rules;
+    Programs.emplace(R.HeadOp, std::move(P));
+  }
+}

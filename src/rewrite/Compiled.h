@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form of a rewrite system: one matching automaton plus one
+/// right-hand-side instruction template per rule, indexed by head op.
+///
+/// A template is the axiom's right-hand side flattened into a postorder
+/// build plan: variable-free subtrees are prebuilt once at compile time
+/// (hash-consing makes them plain TermId pushes), variable occurrences
+/// become slot reads filled by the automaton, and each remaining operation
+/// node becomes one makeOp over the value stack — so rule application
+/// assembles its result without re-walking the RHS term, while strict
+/// error propagation still happens inside makeOp exactly as it does for
+/// applySubstitution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_COMPILED_H
+#define ALGSPEC_REWRITE_COMPILED_H
+
+#include "ast/Ids.h"
+#include "rewrite/MatchAutomaton.h"
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class RewriteSystem;
+struct Rule;
+
+/// One step of a right-hand-side build plan.
+struct TemplateInstr {
+  enum class Kind : uint8_t {
+    PushTerm, ///< Push a prebuilt variable-free subterm.
+    PushSlot, ///< Push the subject subterm the automaton bound to a slot.
+    Build,    ///< Pop Arity operands, push makeOp(Op, operands).
+  };
+  Kind K = Kind::PushTerm;
+  TermId Term;       ///< Valid for PushTerm.
+  uint16_t Slot = 0; ///< Valid for PushSlot.
+  OpId Op;           ///< Valid for Build.
+  uint16_t Arity = 0;
+};
+
+/// A compiled right-hand side. Instantiation over a slot assignment
+/// produces the same TermId applySubstitution would (pinned by the
+/// differential tests): hash-consing makes "build bottom-up" and
+/// "substitute into the stored term" literally the same term.
+class RhsTemplate {
+public:
+  /// Compiles \p Rhs against the LHS slot map \p Slots (from
+  /// patternVarSlots on the rule's left-hand side).
+  static RhsTemplate
+  compile(const AlgebraContext &Ctx, TermId Rhs,
+          const std::vector<std::pair<VarId, uint16_t>> &Slots);
+
+  /// Runs the plan. \p Stack is caller-provided scratch.
+  TermId instantiate(AlgebraContext &Ctx, std::span<const TermId> Slots,
+                     std::vector<TermId> &Stack) const;
+
+  const std::vector<TemplateInstr> &code() const { return Code; }
+
+private:
+  std::vector<TemplateInstr> Code;
+};
+
+/// Every rule of a rewrite system compiled for execution: the per-op
+/// automata and templates the machine dispatches through. Built once per
+/// engine (each worker replica compiles its own over its private
+/// context); the rule set is immutable for the engine's lifetime.
+class CompiledRuleSet {
+public:
+  CompiledRuleSet(const AlgebraContext &Ctx, const RewriteSystem &System);
+
+  struct OpProgram {
+    MatchAutomaton Automaton;
+    /// Templates[i] corresponds to rulesFor(op)[i].
+    std::vector<RhsTemplate> Templates;
+    /// The rules compiled from, for trace steps and fuel accounting —
+    /// trace entries must point at the same Rule objects the interpreted
+    /// engine would record.
+    const std::vector<Rule> *Rules = nullptr;
+  };
+
+  /// The compiled program for \p Op; null when no rule is headed by it.
+  const OpProgram *programFor(OpId Op) const {
+    auto It = Programs.find(Op);
+    return It != Programs.end() ? &It->second : nullptr;
+  }
+
+  size_t numPrograms() const { return Programs.size(); }
+
+private:
+  std::unordered_map<OpId, OpProgram> Programs;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_COMPILED_H

@@ -8,6 +8,7 @@
 
 #include "ast/AlgebraContext.h"
 #include "ast/TermPrinter.h"
+#include "rewrite/Compiled.h"
 #include "rewrite/Matcher.h"
 #include "rewrite/Substitution.h"
 
@@ -15,8 +16,17 @@
 
 using namespace algspec;
 
+RewriteEngine::RewriteEngine(AlgebraContext &Ctx,
+                             const RewriteSystem &System,
+                             EngineOptions Options)
+    : Ctx(Ctx), System(System), Options(Options) {}
+
+RewriteEngine::~RewriteEngine() = default;
+
 Result<TermId> RewriteEngine::normalize(TermId Term) {
   uint64_t Fuel = Options.MaxSteps;
+  if (Options.Compile)
+    return normalizeMachine(Term, Fuel);
   return normalizeImpl(Term, Fuel, 0);
 }
 
@@ -203,6 +213,7 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
       bool Fired = false;
       for (const Rule &R : System.rulesFor(Node.Op)) {
         Subst.clear();
+        ++Stats.MatchAttempts;
         if (!matchTerm(Ctx, R.Lhs, Current, Subst))
           continue;
         if (Fuel == 0)
@@ -234,6 +245,229 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
       Memo.emplace(Current, *Normal);
   }
   return Normal;
+}
+
+namespace {
+
+/// One activation of the explicit normalization machine. Stage says what
+/// the frame is waiting for; Orig/Current mirror normalizeImpl's Term
+/// parameter and Current local (the two memo keys).
+struct Frame {
+  enum Stage : uint8_t {
+    StEnter,   ///< (Re-)examine Current from the top of the head loop.
+    StIteCond, ///< Waiting on the normalized ITE condition.
+    StIteThen, ///< Waiting on the normalized then-branch (open cond).
+    StIteElse, ///< Waiting on the normalized else-branch (open cond).
+    StChild,   ///< Waiting on the next argument's normal form.
+  };
+  TermId Orig;
+  TermId Current;
+  unsigned Depth = 0;
+  Stage St = StEnter;
+  std::vector<TermId> Children;
+  std::vector<TermId> NormChildren;
+  bool Changed = false;
+  TermId IteCond;
+  TermId IteThen;
+};
+
+} // namespace
+
+Result<TermId> RewriteEngine::normalizeMachine(TermId Root, uint64_t &Fuel) {
+  if (!Compiled)
+    Compiled = std::make_unique<CompiledRuleSet>(Ctx, System);
+
+  std::vector<Frame> Stack;
+  Frame RootFrame;
+  RootFrame.Orig = RootFrame.Current = Root;
+  Stack.push_back(std::move(RootFrame));
+  // The normal form produced by the frame that finished last; the parent
+  // frame's stage says which slot it fills.
+  TermId Ret;
+
+  MatchScratch Scratch;
+  std::vector<TermId> Slots;
+  std::vector<TermId> BuildStack;
+
+  // Pops the top frame with normal form \p Normal, memoizing under both
+  // keys exactly like normalizeImpl does on return.
+  auto Finish = [&](TermId Normal) {
+    Frame &F = Stack.back();
+    if (Options.Memoize) {
+      if (Memo.size() >= Options.MemoLimit) {
+        Stats.Evictions += Memo.size();
+        Memo.clear();
+      }
+      Memo.emplace(F.Orig, Normal);
+      if (F.Current != F.Orig)
+        Memo.emplace(F.Current, Normal);
+    }
+    Ret = Normal;
+    Stack.pop_back();
+  };
+
+  // Enters \p Term at \p Depth, mirroring normalizeImpl's entry depth
+  // check (same error text, printed for the term being entered). Any
+  // error aborts the machine without memoizing, like a propagated
+  // Result error unwinding the recursion.
+  auto PushFrame = [&](TermId Term, unsigned Depth) -> Result<void> {
+    if (Depth > Options.MaxDepth)
+      return makeError("rewrite recursion depth exceeded " +
+                       std::to_string(Options.MaxDepth) +
+                       " while normalizing " + printTerm(Ctx, Term));
+    Frame F;
+    F.Orig = F.Current = Term;
+    F.Depth = Depth;
+    Stack.push_back(std::move(F));
+    return Result<void>();
+  };
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    switch (F.St) {
+    case Frame::StEnter: {
+      const TermNode Node = Ctx.node(F.Current);
+      if (Node.Kind != TermKind::Op) {
+        Finish(F.Current);
+        continue;
+      }
+      if (Options.Memoize) {
+        auto It = Memo.find(F.Current);
+        if (It != Memo.end()) {
+          ++Stats.CacheHits;
+          Finish(It->second);
+          continue;
+        }
+        ++Stats.CacheMisses;
+      }
+      const OpInfo &Info = Ctx.op(Node.Op);
+      auto ChildSpan = Ctx.children(F.Current);
+      F.Children.assign(ChildSpan.begin(), ChildSpan.end());
+      if (Info.Builtin == BuiltinOp::Ite) {
+        F.St = Frame::StIteCond;
+        TermId Cond = F.Children[0];
+        unsigned ChildDepth = F.Depth + 1;
+        // F may dangle after the push (the frame vector reallocates).
+        if (Result<void> Pushed = PushFrame(Cond, ChildDepth); !Pushed)
+          return Pushed.error();
+        continue;
+      }
+      // Leftmost-innermost: arguments first.
+      F.NormChildren.clear();
+      F.Changed = false;
+      F.St = Frame::StChild;
+      if (!F.Children.empty()) {
+        TermId First = F.Children.front();
+        unsigned ChildDepth = F.Depth + 1;
+        if (Result<void> Pushed = PushFrame(First, ChildDepth); !Pushed)
+          return Pushed.error();
+      }
+      continue;
+    }
+    case Frame::StIteCond: {
+      TermId Cond = Ret;
+      if (Ctx.isError(Cond)) {
+        Finish(Ctx.makeError(Ctx.node(F.Current).Sort));
+        continue;
+      }
+      if (Cond == Ctx.trueTerm()) {
+        F.Current = F.Children[1];
+        F.St = Frame::StEnter;
+        continue;
+      }
+      if (Cond == Ctx.falseTerm()) {
+        F.Current = F.Children[2];
+        F.St = Frame::StEnter;
+        continue;
+      }
+      // Open condition (symbolic use): normalize both branches, keep the
+      // conditional node.
+      F.IteCond = Cond;
+      F.St = Frame::StIteThen;
+      TermId Then = F.Children[1];
+      unsigned ChildDepth = F.Depth + 1;
+      if (Result<void> Pushed = PushFrame(Then, ChildDepth); !Pushed)
+        return Pushed.error();
+      continue;
+    }
+    case Frame::StIteThen: {
+      F.IteThen = Ret;
+      F.St = Frame::StIteElse;
+      TermId Else = F.Children[2];
+      unsigned ChildDepth = F.Depth + 1;
+      if (Result<void> Pushed = PushFrame(Else, ChildDepth); !Pushed)
+        return Pushed.error();
+      continue;
+    }
+    case Frame::StIteElse: {
+      ++Stats.Rebuilds;
+      Finish(Ctx.makeIte(F.IteCond, F.IteThen, Ret));
+      continue;
+    }
+    case Frame::StChild: {
+      if (F.NormChildren.size() != F.Children.size()) {
+        // A child frame just finished; Ret holds its normal form.
+        TermId Before = F.Children[F.NormChildren.size()];
+        F.Changed |= Ret != Before;
+        F.NormChildren.push_back(Ret);
+        if (F.NormChildren.size() != F.Children.size()) {
+          TermId Next = F.Children[F.NormChildren.size()];
+          unsigned ChildDepth = F.Depth + 1;
+          if (Result<void> Pushed = PushFrame(Next, ChildDepth); !Pushed)
+            return Pushed.error();
+          continue;
+        }
+      }
+      // All arguments normal: rebuild, evaluate, or rewrite the head.
+      const TermNode Node = Ctx.node(F.Current);
+      if (F.Changed) {
+        ++Stats.Rebuilds;
+        F.Current = Ctx.makeOp(Node.Op, F.NormChildren);
+        // Child normalization may have exposed an error; strict
+        // propagation happens inside makeOp.
+        if (Ctx.isError(F.Current)) {
+          Finish(F.Current);
+          continue;
+        }
+      }
+      const OpInfo &Info = Ctx.op(Node.Op);
+      if (Info.isBuiltin()) {
+        TermId Evaluated = evalBuiltin(Node.Op, Ctx.children(F.Current));
+        Finish(Evaluated.isValid() ? Evaluated : F.Current);
+        continue;
+      }
+      // Outermost step: the automaton finds the first matching rule in
+      // one traversal; the template assembles the redex contractum.
+      const CompiledRuleSet::OpProgram *Program =
+          Compiled->programFor(Node.Op);
+      int Ordinal =
+          Program != nullptr
+              ? Program->Automaton.match(Ctx, F.Current, Scratch, Slots,
+                                         Stats.AutomatonVisits,
+                                         Stats.MatchAttempts)
+              : -1;
+      if (Ordinal < 0) {
+        Finish(F.Current); // Normal form (possibly stuck).
+        continue;
+      }
+      if (Fuel == 0)
+        return makeError("rewrite fuel exhausted after " +
+                         std::to_string(Options.MaxSteps) +
+                         " steps while normalizing " +
+                         printTerm(Ctx, F.Orig));
+      --Fuel;
+      ++Stats.Steps;
+      TermId Redex =
+          Program->Templates[Ordinal].instantiate(Ctx, Slots, BuildStack);
+      if (Options.KeepTrace)
+        Trace.emplace_back(F.Current, Redex, &(*Program->Rules)[Ordinal]);
+      F.Current = Redex;
+      F.St = Frame::StEnter; // Loop to renormalize the contractum.
+      continue;
+    }
+    }
+  }
+  return Ret;
 }
 
 bool RewriteEngine::isFreeSort(SortId Sort) {

@@ -33,6 +33,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,7 @@
 namespace algspec {
 
 class AlgebraContext;
+class CompiledRuleSet;
 
 /// Tunables for a RewriteEngine.
 struct EngineOptions {
@@ -58,6 +60,14 @@ struct EngineOptions {
   size_t MemoLimit = 1u << 18;
   /// Record every rule application into the trace buffer.
   bool KeepTrace = false;
+  /// Use the compiled engine: per-op matching automata, right-hand-side
+  /// instruction templates, and an explicit work-stack machine whose
+  /// height is bounded by MaxDepth instead of the C++ stack. Off selects
+  /// the reference interpreter (rule-by-rule recursive matching). Both
+  /// paths produce byte-identical normal forms, traces, memo behavior,
+  /// and reports (pinned by the differential tests); the knob exists for
+  /// ablation and differential testing (CLI: --engine=compiled|interp).
+  bool Compile = true;
 };
 
 /// Counters accumulated across normalize() calls (reset on demand).
@@ -67,6 +77,14 @@ struct EngineStats {
   uint64_t CacheMisses = 0; ///< Memo lookups that found nothing.
   uint64_t Evictions = 0;   ///< Memo entries dropped at the size bound.
   uint64_t Rebuilds = 0; ///< Term nodes rebuilt after child normalization.
+  /// Match candidates tried against a redex: rules scanned by the
+  /// interpreter, accept-state candidates by the compiled engine (whose
+  /// decision tree has already excluded structurally impossible rules).
+  uint64_t MatchAttempts = 0;
+  /// Subject positions consumed by the compiled matching automaton; zero
+  /// on the interpreted path. Visits per attempted redex quantify how
+  /// much traversal the shared prefix tests save.
+  uint64_t AutomatonVisits = 0;
 };
 
 /// Accumulates \p B into \p A (aggregating worker-replica engines).
@@ -76,6 +94,8 @@ inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
   A.CacheMisses += B.CacheMisses;
   A.Evictions += B.Evictions;
   A.Rebuilds += B.Rebuilds;
+  A.MatchAttempts += B.MatchAttempts;
+  A.AutomatonVisits += B.AutomatonVisits;
   return A;
 }
 
@@ -89,10 +109,11 @@ struct TraceStep {
 /// Normalizes terms against one rewrite system.
 class RewriteEngine {
 public:
-  /// \p System must outlive the engine.
+  /// \p System must outlive the engine. Defined out of line (with the
+  /// destructor) because CompiledRuleSet is incomplete here.
   RewriteEngine(AlgebraContext &Ctx, const RewriteSystem &System,
-                EngineOptions Options = EngineOptions())
-      : Ctx(Ctx), System(System), Options(Options) {}
+                EngineOptions Options = EngineOptions());
+  ~RewriteEngine();
 
   /// Rewrites \p Term to normal form. Fails when fuel runs out. Open
   /// terms are normalized as far as the rules allow (variables are inert).
@@ -121,6 +142,12 @@ public:
 private:
   Result<TermId> normalizeImpl(TermId Term, uint64_t &Fuel,
                                unsigned Depth);
+  /// The compiled path: an explicit work-stack machine over the per-op
+  /// automata and templates, mirroring normalizeImpl activation for
+  /// activation so every observable (results, traces, memo contents,
+  /// counters other than the match-attempt pair, error messages) is
+  /// byte-identical.
+  Result<TermId> normalizeMachine(TermId Root, uint64_t &Fuel);
   /// Applies the native semantics of a builtin op to normalized
   /// arguments; invalid TermId when the builtin does not reduce.
   TermId evalBuiltin(OpId Op, std::span<const TermId> Args);
@@ -147,6 +174,10 @@ private:
   std::vector<bool> FreeSorts;
   unsigned FreeSortsComputedFor = 0;
   std::vector<TraceStep> Trace;
+  /// Lazily compiled on the first normalize() with Compile set; the rule
+  /// set is fixed for the engine's lifetime, so one compilation serves
+  /// every call (and worker replicas each compile their own).
+  std::unique_ptr<CompiledRuleSet> Compiled;
 };
 
 } // namespace algspec

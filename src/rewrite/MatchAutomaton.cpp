@@ -1,0 +1,340 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/MatchAutomaton.h"
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/RewriteSystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace algspec;
+
+std::vector<std::pair<VarId, uint16_t>>
+algspec::patternVarSlots(const AlgebraContext &Ctx, TermId Pattern) {
+  std::vector<std::pair<VarId, uint16_t>> Slots;
+  auto Walk = [&](auto &&Self, TermId Term) -> void {
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind == TermKind::Var) {
+      for (const auto &[Var, Slot] : Slots)
+        if (Var == Node.Var)
+          return;
+      Slots.emplace_back(Node.Var, static_cast<uint16_t>(Slots.size()));
+      return;
+    }
+    for (TermId Child : Ctx.children(Term))
+      Self(Self, Child);
+  };
+  Walk(Walk, Pattern);
+  return Slots;
+}
+
+/// One pattern row during construction: the columns still to be tested
+/// (aligned with the subject positions the node path will consume) plus
+/// the variable bindings and non-linearity guards accumulated so far.
+/// An invalid TermId column is a wildcard filler: it constrains nothing
+/// and binds nothing (it stands for a subject subtree an earlier
+/// variable of this row already swallowed whole, duplicated under a
+/// constructor edge another row forced).
+struct MatchAutomaton::BuildRow {
+  std::vector<TermId> Cols;
+  uint32_t RuleOrdinal = 0;
+  const std::vector<std::pair<VarId, uint16_t>> *Slots = nullptr;
+  std::vector<std::pair<uint16_t, uint16_t>> Binds;
+  std::vector<std::pair<uint16_t, uint16_t>> Guards;
+};
+
+/// Records that \p Row's variable \p Var stands at position \p Pos: a
+/// first occurrence binds its slot, a repeat becomes an equality guard
+/// against the position of the first occurrence (how SAME(x, x) style
+/// non-linear patterns keep their matchTerm semantics).
+static void recordVar(MatchAutomaton::BuildRow &Row, VarId Var,
+                      uint16_t Pos) {
+  uint16_t Slot = 0;
+  bool Found = false;
+  for (const auto &[V, S] : *Row.Slots) {
+    if (V == Var) {
+      Slot = S;
+      Found = true;
+      break;
+    }
+  }
+  assert(Found && "pattern variable missing from its own slot map");
+  if (!Found)
+    return;
+  for (const auto &[BoundSlot, BoundPos] : Row.Binds) {
+    if (BoundSlot == Slot) {
+      Row.Guards.emplace_back(BoundPos, Pos);
+      return;
+    }
+  }
+  Row.Binds.emplace_back(Slot, Pos);
+}
+
+uint32_t MatchAutomaton::buildNode(const AlgebraContext &Ctx,
+                                   std::vector<BuildRow> Rows,
+                                   uint16_t CurPos) {
+  assert(!Rows.empty() && "a node always keeps at least one viable row");
+  const uint32_t Index = static_cast<uint32_t>(Nodes.size());
+  Nodes.emplace_back();
+
+  if (Rows.front().Cols.empty()) {
+    // Every column consumed: accept state. Specialization preserves the
+    // relative order of surviving rows, so candidates are already in
+    // axiom order; sort anyway to keep first-rule-wins independent of
+    // construction details.
+    std::stable_sort(Rows.begin(), Rows.end(),
+                     [](const BuildRow &A, const BuildRow &B) {
+                       return A.RuleOrdinal < B.RuleOrdinal;
+                     });
+    Node N;
+    N.IsAccept = true;
+    N.AcceptBegin = static_cast<uint32_t>(Accepts.size());
+    N.AcceptCount = static_cast<uint32_t>(Rows.size());
+    for (const BuildRow &R : Rows) {
+      Accept A;
+      A.RuleOrdinal = R.RuleOrdinal;
+      A.BindBegin = static_cast<uint32_t>(BindPool.size());
+      A.BindCount = static_cast<uint32_t>(R.Binds.size());
+      BindPool.insert(BindPool.end(), R.Binds.begin(), R.Binds.end());
+      A.GuardBegin = static_cast<uint32_t>(GuardPool.size());
+      A.GuardCount = static_cast<uint32_t>(R.Guards.size());
+      GuardPool.insert(GuardPool.end(), R.Guards.begin(), R.Guards.end());
+      Accepts.push_back(A);
+    }
+    Nodes[Index] = N;
+    return Index;
+  }
+
+  // Distinct rigid symbols in the first column, in order of first
+  // appearance. Operation applications branch by head op and descend;
+  // atom/int/error pattern leaves branch by exact hash-consed term.
+  struct Head {
+    bool IsOp;
+    OpId Op;
+    TermId Leaf;
+    unsigned Arity;
+  };
+  std::vector<Head> Heads;
+  for (const BuildRow &R : Rows) {
+    TermId C = R.Cols.front();
+    if (!C.isValid())
+      continue;
+    const TermNode &PN = Ctx.node(C);
+    if (PN.Kind == TermKind::Var)
+      continue;
+    Head H;
+    if (PN.Kind == TermKind::Op)
+      H = {true, PN.Op, TermId(), PN.NumChildren};
+    else
+      H = {false, OpId(), C, 0};
+    bool Seen = false;
+    for (const Head &E : Heads) {
+      if (E.IsOp == H.IsOp && (H.IsOp ? E.Op == H.Op : E.Leaf == H.Leaf)) {
+        Seen = true;
+        break;
+      }
+    }
+    if (!Seen)
+      Heads.push_back(H);
+  }
+
+  // Specialize per rigid head. Variable and filler rows survive under
+  // every edge (with the constructor's children as fresh fillers) — the
+  // pattern-matrix move that keeps all still-viable rules on one
+  // deterministic path, which a backtracking trie would not.
+  struct PendingEdge {
+    Head H;
+    uint32_t Target;
+  };
+  std::vector<PendingEdge> Pending;
+  Pending.reserve(Heads.size());
+  for (const Head &H : Heads) {
+    std::vector<BuildRow> Spec;
+    for (const BuildRow &R : Rows) {
+      TermId C = R.Cols.front();
+      BuildRow NR;
+      NR.RuleOrdinal = R.RuleOrdinal;
+      NR.Slots = R.Slots;
+      NR.Binds = R.Binds;
+      NR.Guards = R.Guards;
+      if (!C.isValid()) {
+        NR.Cols.assign(H.Arity, TermId());
+      } else {
+        const TermNode &PN = Ctx.node(C);
+        if (PN.Kind == TermKind::Var) {
+          recordVar(NR, PN.Var, CurPos);
+          NR.Cols.assign(H.Arity, TermId());
+        } else if (H.IsOp && PN.Kind == TermKind::Op && PN.Op == H.Op) {
+          auto Ch = Ctx.children(C);
+          NR.Cols.assign(Ch.begin(), Ch.end());
+        } else if (!H.IsOp && C == H.Leaf) {
+          // Leaf consumed whole; nothing new to test.
+        } else {
+          continue; // Incompatible rigid symbol: this rule cannot match.
+        }
+      }
+      NR.Cols.insert(NR.Cols.end(), R.Cols.begin() + 1, R.Cols.end());
+      Spec.push_back(std::move(NR));
+    }
+    uint32_t Target = buildNode(Ctx, std::move(Spec), CurPos + 1);
+    Pending.push_back({H, Target});
+  }
+
+  // Default branch: the subject's symbol matched no rigid edge, so only
+  // variable/filler rows stay viable; the subject subtree at this
+  // position is consumed whole without descending.
+  std::vector<BuildRow> Def;
+  for (const BuildRow &R : Rows) {
+    TermId C = R.Cols.front();
+    if (C.isValid()) {
+      const TermNode &PN = Ctx.node(C);
+      if (PN.Kind != TermKind::Var)
+        continue;
+    }
+    BuildRow NR;
+    NR.RuleOrdinal = R.RuleOrdinal;
+    NR.Slots = R.Slots;
+    NR.Binds = R.Binds;
+    NR.Guards = R.Guards;
+    if (C.isValid())
+      recordVar(NR, Ctx.node(C).Var, CurPos);
+    NR.Cols.assign(R.Cols.begin() + 1, R.Cols.end());
+    Def.push_back(std::move(NR));
+  }
+  int32_t DefaultTarget =
+      Def.empty() ? -1
+                  : static_cast<int32_t>(
+                        buildNode(Ctx, std::move(Def), CurPos + 1));
+
+  // Child subtrees appended their own edges while recursing; emit this
+  // node's edge blocks contiguously now, sorted for binary search.
+  Node N;
+  N.Default = DefaultTarget;
+  std::vector<PendingEdge> Ops, Leaves;
+  for (const PendingEdge &P : Pending)
+    (P.H.IsOp ? Ops : Leaves).push_back(P);
+  std::sort(Ops.begin(), Ops.end(),
+            [](const PendingEdge &A, const PendingEdge &B) {
+              return A.H.Op.index() < B.H.Op.index();
+            });
+  std::sort(Leaves.begin(), Leaves.end(),
+            [](const PendingEdge &A, const PendingEdge &B) {
+              return A.H.Leaf.index() < B.H.Leaf.index();
+            });
+  N.OpEdgeBegin = static_cast<uint32_t>(OpEdges.size());
+  N.OpEdgeCount = static_cast<uint32_t>(Ops.size());
+  for (const PendingEdge &P : Ops)
+    OpEdges.push_back({P.H.Op, P.Target});
+  N.LeafEdgeBegin = static_cast<uint32_t>(LeafEdges.size());
+  N.LeafEdgeCount = static_cast<uint32_t>(Leaves.size());
+  for (const PendingEdge &P : Leaves)
+    LeafEdges.push_back({P.H.Leaf, P.Target});
+  Nodes[Index] = N;
+  return Index;
+}
+
+MatchAutomaton MatchAutomaton::compile(const AlgebraContext &Ctx,
+                                       const std::vector<Rule> &Rules) {
+  assert(!Rules.empty() && "compile an automaton only for ops with rules");
+  MatchAutomaton A;
+  // Slot maps must outlive construction: rows hold pointers into them.
+  std::vector<std::vector<std::pair<VarId, uint16_t>>> SlotMaps;
+  SlotMaps.reserve(Rules.size());
+  A.RuleSlotCount.reserve(Rules.size());
+  for (const Rule &R : Rules) {
+    SlotMaps.push_back(patternVarSlots(Ctx, R.Lhs));
+    A.RuleSlotCount.push_back(static_cast<uint16_t>(SlotMaps.back().size()));
+  }
+  std::vector<BuildRow> Rows;
+  Rows.reserve(Rules.size());
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    BuildRow R;
+    R.RuleOrdinal = static_cast<uint32_t>(I);
+    R.Slots = &SlotMaps[I];
+    auto Ch = Ctx.children(Rules[I].Lhs);
+    R.Cols.assign(Ch.begin(), Ch.end());
+    Rows.push_back(std::move(R));
+  }
+  A.buildNode(Ctx, std::move(Rows), 0);
+  return A;
+}
+
+int MatchAutomaton::match(const AlgebraContext &Ctx, TermId Subject,
+                          MatchScratch &Scratch, std::vector<TermId> &Slots,
+                          uint64_t &NodeVisits, uint64_t &Attempts) const {
+  std::vector<TermId> &Visited = Scratch.Visited;
+  std::vector<TermId> &Cursor = Scratch.Cursor;
+  Visited.clear();
+  Cursor.clear();
+  // Matching creates no terms, so child spans stay valid throughout.
+  auto Args = Ctx.children(Subject);
+  for (size_t I = Args.size(); I != 0; --I)
+    Cursor.push_back(Args[I - 1]);
+
+  const Node *N = &Nodes.front();
+  while (!N->IsAccept) {
+    TermId T = Cursor.back();
+    Cursor.pop_back();
+    Visited.push_back(T);
+    ++NodeVisits;
+    const TermNode &TN = Ctx.node(T);
+    uint32_t Target = UINT32_MAX;
+    if (TN.Kind == TermKind::Op) {
+      const OpEdge *B = OpEdges.data() + N->OpEdgeBegin;
+      const OpEdge *E = B + N->OpEdgeCount;
+      const OpEdge *It = std::lower_bound(
+          B, E, TN.Op, [](const OpEdge &Edge, OpId Op) {
+            return Edge.Op.index() < Op.index();
+          });
+      if (It != E && It->Op == TN.Op) {
+        Target = It->Target;
+        for (size_t I = TN.NumChildren; I != 0; --I)
+          Cursor.push_back(Ctx.children(T)[I - 1]);
+      }
+    } else {
+      const LeafEdge *B = LeafEdges.data() + N->LeafEdgeBegin;
+      const LeafEdge *E = B + N->LeafEdgeCount;
+      const LeafEdge *It = std::lower_bound(
+          B, E, T, [](const LeafEdge &Edge, TermId Leaf) {
+            return Edge.Leaf.index() < Leaf.index();
+          });
+      if (It != E && It->Leaf == T)
+        Target = It->Target;
+    }
+    if (Target == UINT32_MAX) {
+      if (N->Default < 0)
+        return -1;
+      Target = static_cast<uint32_t>(N->Default);
+    }
+    N = &Nodes[Target];
+  }
+
+  // First candidate (axiom order) whose non-linearity guards hold wins —
+  // exactly the rule the interpreted per-rule scan would fire.
+  for (uint32_t I = 0; I != N->AcceptCount; ++I) {
+    const Accept &A = Accepts[N->AcceptBegin + I];
+    ++Attempts;
+    bool GuardsHold = true;
+    for (uint32_t G = 0; G != A.GuardCount; ++G) {
+      const auto &[P0, P1] = GuardPool[A.GuardBegin + G];
+      if (Visited[P0] != Visited[P1]) {
+        GuardsHold = false;
+        break;
+      }
+    }
+    if (!GuardsHold)
+      continue;
+    Slots.assign(RuleSlotCount[A.RuleOrdinal], TermId());
+    for (uint32_t B = 0; B != A.BindCount; ++B) {
+      const auto &[Slot, Pos] = BindPool[A.BindBegin + B];
+      Slots[Slot] = Visited[Pos];
+    }
+    return static_cast<int>(A.RuleOrdinal);
+  }
+  return -1;
+}

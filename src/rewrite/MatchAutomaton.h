@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A left-to-right matching decision tree over the rules of one head
+/// operation (a Maranget-style pattern-matrix automaton).
+///
+/// The interpreted engine tries each rule in turn, re-walking the subject
+/// once per rule. The automaton walks the subject's argument positions in
+/// preorder exactly once: every node consumes one position and branches on
+/// the symbol found there, so overlapping left-hand sides share their
+/// prefix tests and a subject that matches no rule is rejected in a single
+/// traversal.
+///
+/// Construction follows pattern-matrix specialization rather than a
+/// backtracking trie: all rules still viable for the subject travel down
+/// the same (unique) path together, with variable rows duplicated under
+/// every constructor edge as wildcard fillers. That is what preserves
+/// first-rule-wins order — an accept state holds every rule whose
+/// structural tests succeeded along the path, in axiom order, and the
+/// first whose non-linearity guards pass is the rule the interpreted
+/// scan would have fired.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_MATCHAUTOMATON_H
+#define ALGSPEC_REWRITE_MATCHAUTOMATON_H
+
+#include "ast/Ids.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+struct Rule;
+
+/// Slot numbers for the variables of \p Pattern, assigned by first
+/// occurrence in preorder. The automaton fills slots while matching; RHS
+/// templates read them when instantiating. Shared so both sides agree.
+std::vector<std::pair<VarId, uint16_t>>
+patternVarSlots(const AlgebraContext &Ctx, TermId Pattern);
+
+/// Reusable traversal buffers for MatchAutomaton::match, so a long
+/// normalization run does not reallocate per redex.
+struct MatchScratch {
+  std::vector<TermId> Visited; ///< Subject subterm at each consumed position.
+  std::vector<TermId> Cursor;  ///< Pending positions (preorder worklist).
+};
+
+/// The compiled decision tree for one head operation's rule list.
+class MatchAutomaton {
+public:
+  /// Compiles the decision tree for \p Rules (all headed by one op, in
+  /// axiom order — the order rulesFor() returns).
+  static MatchAutomaton compile(const AlgebraContext &Ctx,
+                                const std::vector<Rule> &Rules);
+
+  /// Runs the tree over \p Subject, whose head must be this automaton's
+  /// operation. Returns the ordinal (index into the compiled rule list)
+  /// of the first matching rule and fills \p Slots with its variable
+  /// bindings; returns -1 when no rule matches. \p NodeVisits counts
+  /// consumed subject positions and \p Attempts counts accept candidates
+  /// tried (both feed EngineStats).
+  int match(const AlgebraContext &Ctx, TermId Subject, MatchScratch &Scratch,
+            std::vector<TermId> &Slots, uint64_t &NodeVisits,
+            uint64_t &Attempts) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Construction-time pattern row (defined in the .cpp; public only so
+  /// file-local helpers there can take it by reference).
+  struct BuildRow;
+
+private:
+  /// Branch on an operation symbol: descend into the subject's children.
+  struct OpEdge {
+    OpId Op;
+    uint32_t Target;
+  };
+  /// Branch on an exact leaf term (atom / int / error literal in a
+  /// pattern): hash-consing makes the test one handle compare, and the
+  /// subject subtree is consumed whole.
+  struct LeafEdge {
+    TermId Leaf;
+    uint32_t Target;
+  };
+  /// One rule whose structural tests all passed on the path to an accept
+  /// node, plus the bindings and non-linearity guards accumulated there.
+  struct Accept {
+    uint32_t RuleOrdinal;
+    uint32_t BindBegin, BindCount;   ///< (slot, position) pairs.
+    uint32_t GuardBegin, GuardCount; ///< (position, position) pairs.
+  };
+  struct Node {
+    uint32_t OpEdgeBegin = 0, OpEdgeCount = 0;
+    uint32_t LeafEdgeBegin = 0, LeafEdgeCount = 0;
+    /// Fallback when no edge matches the subject's symbol; -1 = reject.
+    /// Only variable/wildcard rows survive into the default subtree.
+    int32_t Default = -1;
+    uint32_t AcceptBegin = 0, AcceptCount = 0;
+    /// Accept nodes have consumed every pattern column; inner nodes
+    /// consume exactly one more position.
+    bool IsAccept = false;
+  };
+
+  uint32_t buildNode(const AlgebraContext &Ctx, std::vector<BuildRow> Rows,
+                     uint16_t CurPos);
+
+  std::vector<Node> Nodes; ///< Nodes[0] is the root.
+  std::vector<OpEdge> OpEdges;     ///< Sorted by OpId per node.
+  std::vector<LeafEdge> LeafEdges; ///< Sorted by TermId per node.
+  std::vector<Accept> Accepts;     ///< Sorted by RuleOrdinal per node.
+  std::vector<std::pair<uint16_t, uint16_t>> BindPool;
+  std::vector<std::pair<uint16_t, uint16_t>> GuardPool;
+  /// Slot count per rule ordinal (sizes the Slots output).
+  std::vector<uint16_t> RuleSlotCount;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_MATCHAUTOMATON_H

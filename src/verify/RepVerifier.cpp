@@ -544,7 +544,7 @@ public:
                        const RewriteSystem &System, VerifyReport &Report)
       : Ctx(Ctx), Abstract(Abstract), RuleSources(RuleSources),
         Mapping(Mapping), Options(Options), Report(Report),
-        Probe(Ctx, System, probeOptions()) {}
+        Probe(Ctx, System, probeOptions(Options.Engine)) {}
 
   void run() {
     // Split the workspace: hosts define the implementation map's image
@@ -614,11 +614,11 @@ public:
   }
 
 private:
-  static EngineOptions probeOptions() {
+  static EngineOptions probeOptions(EngineOptions O) {
     // Obligation conditions and guards are small; a tight budget keeps a
     // divergent axiom set from stalling the pass (an unfinished
-    // normalization just means "not refuted").
-    EngineOptions O;
+    // normalization just means "not refuted"). The caller's engine
+    // choice (compiled vs interpreted) is kept.
     O.MaxSteps = 4096;
     O.MaxDepth = 512;
     return O;

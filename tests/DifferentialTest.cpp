@@ -1,0 +1,396 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests pinning the compiled rewrite engine (matching
+/// automata + RHS templates + work-stack machine) to the reference
+/// interpreter. The contract is byte identity of every observable:
+/// normal forms, error results and their messages, stuck verdicts,
+/// traces (including which Rule object fired), memo behaviour, and the
+/// engine-independent counters. The sweep covers every builtin spec and
+/// the example spec files, applying every operation to enumerated
+/// ground arguments; checker and verifier reports are compared across
+/// both engines at several job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/Completeness.h"
+#include "check/Consistency.h"
+#include "check/ErrorFlow.h"
+#include "check/TermEnumerator.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// One differential case: a set of spec buffers loaded together.
+struct DiffCase {
+  const char *Name;
+};
+
+/// The buffers of a case, resolved at runtime (example files are read
+/// from the source tree).
+std::vector<std::pair<std::string, std::string>>
+sourcesFor(const std::string &Name) {
+  auto Builtin = [](std::string_view Text, const char *Buf) {
+    return std::make_pair(std::string(Buf), std::string(Text));
+  };
+  if (Name == "queue")
+    return {Builtin(specs::QueueAlg, "queue.alg")};
+  if (Name == "symboltable")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg")};
+  if (Name == "stackarray")
+    return {Builtin(specs::StackArrayAlg, "stackarray.alg")};
+  if (Name == "knowlist")
+    return {Builtin(specs::KnowlistAlg, "knowlist.alg")};
+  if (Name == "knows_symboltable")
+    return {Builtin(specs::KnowsSymboltableAlg, "knows_symboltable.alg")};
+  if (Name == "nat")
+    return {Builtin(specs::NatAlg, "nat.alg")};
+  if (Name == "set")
+    return {Builtin(specs::SetAlg, "set.alg")};
+  if (Name == "list")
+    return {Builtin(specs::ListAlg, "list.alg")};
+  if (Name == "bag")
+    return {Builtin(specs::BagAlg, "bag.alg")};
+  if (Name == "bst")
+    return {Builtin(specs::BstAlg, "bst.alg")};
+  if (Name == "table")
+    return {Builtin(specs::TableAlg, "table.alg")};
+  if (Name == "boundedqueue")
+    return {Builtin(specs::BoundedQueueAlg, "boundedqueue.alg")};
+  if (Name == "symboltable_impl")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg"),
+            Builtin(specs::StackArrayAlg, "stackarray.alg"),
+            Builtin(specs::SymboltableImplAlg, "symboltable_impl.alg")};
+  if (Name == "priority_queue_example")
+    return {{"priority_queue.alg",
+             readFileOrEmpty(ALGSPEC_SOURCE_DIR
+                             "/examples/specs/priority_queue.alg")}};
+  if (Name == "symboltable_impl_example")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg"),
+            Builtin(specs::StackArrayAlg, "stackarray.alg"),
+            {"symboltable_impl.alg",
+             readFileOrEmpty(ALGSPEC_SOURCE_DIR
+                             "/examples/specs/symboltable_impl.alg")}};
+  return {};
+}
+
+/// Loads one case into a context and wires a compiled and an interpreted
+/// engine over the same rewrite system (rule identity matters: traces
+/// record Rule pointers, and the engines must agree on them).
+class DiffFixture {
+public:
+  explicit DiffFixture(const std::string &Name, bool KeepTrace = true) {
+    auto Sources = sourcesFor(Name);
+    if (Sources.empty()) {
+      ADD_FAILURE() << "unknown case " << Name;
+      Ok = false;
+      return;
+    }
+    for (auto &[Buf, Text] : Sources) {
+      if (Text.empty()) {
+        ADD_FAILURE() << Buf << " is empty or unreadable";
+        Ok = false;
+        return;
+      }
+      auto Parsed = specs::load(Ctx, Text, Buf);
+      if (!Parsed) {
+        ADD_FAILURE() << Parsed.error().message();
+        Ok = false;
+        return;
+      }
+      for (Spec &S : *Parsed)
+        Specs.push_back(std::move(S));
+    }
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+    System = std::make_unique<RewriteSystem>(
+        RewriteSystem::buildChecked(Ctx, Ptrs).take());
+    EngineOptions CompiledOpts;
+    CompiledOpts.Compile = true;
+    CompiledOpts.KeepTrace = KeepTrace;
+    EngineOptions InterpOpts = CompiledOpts;
+    InterpOpts.Compile = false;
+    CompiledEng = std::make_unique<RewriteEngine>(Ctx, *System,
+                                                  CompiledOpts);
+    InterpEng = std::make_unique<RewriteEngine>(Ctx, *System, InterpOpts);
+  }
+
+  bool Ok = true;
+  AlgebraContext Ctx;
+  std::vector<Spec> Specs;
+  std::vector<const Spec *> Ptrs;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> CompiledEng;
+  std::unique_ptr<RewriteEngine> InterpEng;
+};
+
+/// Expects the engine-independent counters to agree. MatchAttempts and
+/// AutomatonVisits are deliberately excluded: they quantify each
+/// engine's own matching work.
+void expectCoreStatsEqual(const EngineStats &A, const EngineStats &B,
+                          const std::string &Where) {
+  EXPECT_EQ(A.Steps, B.Steps) << Where;
+  EXPECT_EQ(A.CacheHits, B.CacheHits) << Where;
+  EXPECT_EQ(A.CacheMisses, B.CacheMisses) << Where;
+  EXPECT_EQ(A.Evictions, B.Evictions) << Where;
+  EXPECT_EQ(A.Rebuilds, B.Rebuilds) << Where;
+}
+
+/// Normalizes \p Term under both engines and expects byte-identical
+/// observables: result kind, error message, normal form, stuck verdict,
+/// and the recorded trace (rule pointers included).
+void diffOneTerm(DiffFixture &F, TermId Term) {
+  std::string Text = printTerm(F.Ctx, Term);
+  F.CompiledEng->clearTrace();
+  F.InterpEng->clearTrace();
+  Result<TermId> C = F.CompiledEng->normalize(Term);
+  Result<TermId> I = F.InterpEng->normalize(Term);
+  ASSERT_EQ(static_cast<bool>(C), static_cast<bool>(I)) << Text;
+  if (!C) {
+    EXPECT_EQ(C.error().message(), I.error().message()) << Text;
+    return;
+  }
+  EXPECT_EQ(*C, *I) << Text << "\n  compiled: " << printTerm(F.Ctx, *C)
+                    << "\n  interp:   " << printTerm(F.Ctx, *I);
+  EXPECT_EQ(F.CompiledEng->isStuck(*C), F.InterpEng->isStuck(*I)) << Text;
+
+  const std::vector<TraceStep> &CT = F.CompiledEng->trace();
+  const std::vector<TraceStep> &IT = F.InterpEng->trace();
+  ASSERT_EQ(CT.size(), IT.size()) << Text;
+  for (size_t S = 0; S != CT.size(); ++S) {
+    EXPECT_EQ(CT[S].Before, IT[S].Before) << Text << " step " << S;
+    EXPECT_EQ(CT[S].After, IT[S].After) << Text << " step " << S;
+    EXPECT_EQ(CT[S].AppliedRule, IT[S].AppliedRule)
+        << Text << " step " << S;
+  }
+}
+
+class EngineDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine-level sweep: every op applied to enumerated ground arguments.
+//===----------------------------------------------------------------------===//
+
+TEST_P(EngineDifferential, NormalFormsTracesAndMemoAgree) {
+  DiffFixture F(GetParam().Name);
+  ASSERT_TRUE(F.Ok);
+  TermEnumerator Enum(F.Ctx);
+  constexpr unsigned ArgDepth = 2;
+  constexpr size_t MaxCombosPerOp = 120;
+
+  for (const Spec *S : F.Ptrs) {
+    for (OpId Op : S->operations()) {
+      const OpInfo &Info = F.Ctx.op(Op);
+      // Cartesian product of the argument enumerations, capped. The cap
+      // walks the product in mixed-radix order, so early arguments vary
+      // fastest and every argument position sees several values.
+      std::vector<const std::vector<TermId> *> Pools;
+      bool Inhabited = true;
+      for (SortId Arg : Info.ArgSorts) {
+        Pools.push_back(&Enum.enumerate(Arg, ArgDepth));
+        Inhabited &= !Pools.back()->empty();
+      }
+      if (!Inhabited)
+        continue;
+      std::vector<size_t> Index(Pools.size(), 0);
+      for (size_t Combo = 0; Combo < MaxCombosPerOp; ++Combo) {
+        std::vector<TermId> Args;
+        for (size_t A = 0; A != Pools.size(); ++A)
+          Args.push_back((*Pools[A])[Index[A]]);
+        diffOneTerm(F, F.Ctx.makeOp(Op, Args));
+        if (::testing::Test::HasFatalFailure())
+          return;
+        // Advance the mixed-radix counter; stop after the last combo.
+        size_t Pos = 0;
+        while (Pos != Index.size() &&
+               ++Index[Pos] == Pools[Pos]->size()) {
+          Index[Pos] = 0;
+          ++Pos;
+        }
+        if (Pos == Index.size())
+          break;
+        if (Pools.empty())
+          break; // Nullary op: one application only.
+      }
+    }
+  }
+  // After the whole sweep the engine-independent counters agree: both
+  // engines did the same rewriting work in the same order against their
+  // own (identically evolving) memo tables.
+  expectCoreStatsEqual(F.CompiledEng->stats(), F.InterpEng->stats(),
+                       GetParam().Name);
+  EXPECT_EQ(F.InterpEng->stats().AutomatonVisits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, EngineDifferential,
+    ::testing::Values(DiffCase{"queue"}, DiffCase{"symboltable"},
+                      DiffCase{"stackarray"}, DiffCase{"knowlist"},
+                      DiffCase{"knows_symboltable"}, DiffCase{"nat"},
+                      DiffCase{"set"}, DiffCase{"list"}, DiffCase{"bag"},
+                      DiffCase{"bst"}, DiffCase{"table"},
+                      DiffCase{"boundedqueue"},
+                      DiffCase{"symboltable_impl"},
+                      DiffCase{"priority_queue_example"},
+                      DiffCase{"symboltable_impl_example"}),
+    [](const ::testing::TestParamInfo<DiffCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Checker-level differential: identical reports at any job count.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The four configurations every checker report must agree across.
+struct CheckerConfig {
+  bool Compile;
+  unsigned Jobs;
+};
+
+const CheckerConfig Configs[] = {
+    {true, 1}, {true, 4}, {false, 1}, {false, 4}};
+
+} // namespace
+
+TEST(CheckerDifferential, DynamicCompletenessReportsAgree) {
+  for (const char *Name : {"queue", "boundedqueue", "bst"}) {
+    std::vector<std::string> Rendered;
+    for (const CheckerConfig &Cfg : Configs) {
+      DiffFixture F(Name, /*KeepTrace=*/false);
+      ASSERT_TRUE(F.Ok);
+      EngineOptions Eng;
+      Eng.Compile = Cfg.Compile;
+      ParallelOptions Par;
+      Par.Jobs = Cfg.Jobs;
+      CompletenessReport R = checkCompletenessDynamic(
+          F.Ctx, F.Specs.front(), F.Ptrs, /*MaxDepth=*/3,
+          EnumeratorOptions(), Par, Eng);
+      std::string Text = R.renderPrompt(F.Ctx);
+      for (const std::string &Caveat : R.Caveats)
+        Text += Caveat + "\n";
+      Text += R.SufficientlyComplete ? "complete" : "incomplete";
+      Rendered.push_back(Text);
+    }
+    for (size_t C = 1; C != Rendered.size(); ++C)
+      EXPECT_EQ(Rendered[0], Rendered[C])
+          << Name << ": config " << C << " diverges";
+  }
+}
+
+TEST(CheckerDifferential, ConsistencyReportsAgree) {
+  for (const char *Name : {"queue", "symboltable_impl", "set"}) {
+    std::vector<std::string> Rendered;
+    for (const CheckerConfig &Cfg : Configs) {
+      DiffFixture F(Name, /*KeepTrace=*/false);
+      ASSERT_TRUE(F.Ok);
+      EngineOptions Eng;
+      Eng.Compile = Cfg.Compile;
+      ParallelOptions Par;
+      Par.Jobs = Cfg.Jobs;
+      ConsistencyReport R = checkConsistency(
+          F.Ctx, F.Ptrs, /*GroundDepth=*/2, EnumeratorOptions(), Par, Eng);
+      Rendered.push_back(R.render(F.Ctx) +
+                         (R.Consistent ? "consistent" : "inconsistent"));
+    }
+    for (size_t C = 1; C != Rendered.size(); ++C)
+      EXPECT_EQ(Rendered[0], Rendered[C])
+          << Name << ": config " << C << " diverges";
+  }
+}
+
+TEST(CheckerDifferential, ErrorFlowReportsAndGuardCountersAgree) {
+  // The analysis is serial, so beyond report identity the guard engine's
+  // engine-independent counters must agree exactly between the compiled
+  // and interpreted engines — the strongest form of the differential
+  // contract (same rewrites, same memo traffic, same order).
+  for (const char *Name :
+       {"queue", "symboltable_impl", "boundedqueue", "bst"}) {
+    DiffFixture FC(Name, /*KeepTrace=*/false);
+    DiffFixture FI(Name, /*KeepTrace=*/false);
+    ASSERT_TRUE(FC.Ok && FI.Ok);
+    EngineOptions CompiledEng;
+    CompiledEng.Compile = true;
+    EngineOptions InterpEng;
+    InterpEng.Compile = false;
+    ErrorFlowReport RC = analyzeErrorFlow(FC.Ctx, FC.Ptrs, CompiledEng);
+    ErrorFlowReport RI = analyzeErrorFlow(FI.Ctx, FI.Ptrs, InterpEng);
+    EXPECT_EQ(RC.render(FC.Ctx), RI.render(FI.Ctx)) << Name;
+    ASSERT_EQ(RC.Obligations.size(), RI.Obligations.size()) << Name;
+    for (size_t O = 0; O != RC.Obligations.size(); ++O)
+      EXPECT_EQ(RC.Obligations[O].render(FC.Ctx),
+                RI.Obligations[O].render(FI.Ctx))
+          << Name << " obligation " << O;
+    expectCoreStatsEqual(RC.Engine, RI.Engine, Name);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier-level differential: the paper's Symboltable proof.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierDifferential, SymboltableReportsAgree) {
+  for (const CheckerConfig &Cfg : Configs) {
+    SCOPED_TRACE(std::string("compile=") + (Cfg.Compile ? "yes" : "no") +
+                 " jobs=" + std::to_string(Cfg.Jobs));
+    AlgebraContext Ctx;
+    auto Abstract = specs::loadSymboltable(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Abstract));
+    Spec AbstractSpec = Abstract.take();
+    auto Concrete = specs::loadStackArray(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Concrete));
+    std::vector<Spec> ConcreteSpecs = Concrete.take();
+    auto Rep = buildSymboltableRep(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Rep));
+    SymboltableRep TheRep = Rep.take();
+    std::vector<const Spec *> Sources = {&AbstractSpec};
+    for (const Spec &S : ConcreteSpecs)
+      Sources.push_back(&S);
+    for (const Spec &S : TheRep.ImplSpecs)
+      Sources.push_back(&S);
+
+    VerifyOptions Options;
+    Options.Domain = ValueDomain::Reachable;
+    Options.Depth = 3;
+    Options.Engine.Compile = Cfg.Compile;
+    Options.Par.Jobs = Cfg.Jobs;
+    VerifyReport R = verifyRepresentation(Ctx, AbstractSpec, Sources,
+                                          TheRep.Mapping, Options);
+    static std::string Reference;
+    std::string Text = R.render(Ctx);
+    if (Reference.empty())
+      Reference = Text;
+    EXPECT_EQ(Text, Reference);
+    EXPECT_TRUE(R.AllHold) << Text;
+  }
+}

@@ -659,3 +659,244 @@ TEST(ExtraSpecsTest, KnowsSymboltableRestrictsInheritance) {
   EXPECT_EQ(printTerm(Ctx, *Engine.normalize(*SeeY)), "'bool");
   EXPECT_TRUE(Ctx.isError(*Engine.normalize(*SeeX)));
 }
+
+//===----------------------------------------------------------------------===//
+// Compiled engine: matching automata, templates, work-stack machine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a compiled and an interpreted engine over one parsed spec
+/// text; helpers normalize under both and expect identical results.
+class EnginePair {
+public:
+  EnginePair(AlgebraContext &Ctx, std::string_view Text,
+             EngineOptions Base = EngineOptions())
+      : Ctx(Ctx) {
+    auto Parsed = parseSpecText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
+    Specs = Parsed.take();
+    std::vector<const Spec *> Ptrs;
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+    System = std::make_unique<RewriteSystem>(
+        RewriteSystem::buildChecked(Ctx, Ptrs).take());
+    Base.Compile = true;
+    CompiledEng = std::make_unique<RewriteEngine>(Ctx, *System, Base);
+    Base.Compile = false;
+    InterpEng = std::make_unique<RewriteEngine>(Ctx, *System, Base);
+  }
+
+  /// Both engines agree and succeed; returns the printed normal form.
+  std::string norm(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    auto C = CompiledEng->normalize(*Term);
+    auto I = InterpEng->normalize(*Term);
+    EXPECT_TRUE(static_cast<bool>(C)) << C.error().message();
+    EXPECT_TRUE(static_cast<bool>(I)) << I.error().message();
+    if (!C || !I)
+      return {};
+    EXPECT_EQ(*C, *I) << Text;
+    return printTerm(Ctx, *C);
+  }
+
+  /// Both engines fail; returns the (asserted identical) messages.
+  std::string err(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    auto C = CompiledEng->normalize(*Term);
+    auto I = InterpEng->normalize(*Term);
+    EXPECT_FALSE(static_cast<bool>(C)) << Text;
+    EXPECT_FALSE(static_cast<bool>(I)) << Text;
+    if (C || I)
+      return {};
+    EXPECT_EQ(C.error().message(), I.error().message()) << Text;
+    return C.error().message();
+  }
+
+  AlgebraContext &Ctx;
+  std::vector<Spec> Specs;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> CompiledEng;
+  std::unique_ptr<RewriteEngine> InterpEng;
+};
+
+} // namespace
+
+TEST(CompiledEngineTest, FirstRuleWinsOnOverlappingPatterns) {
+  // Axiom order is semantics: the specific F(A) case precedes the
+  // catch-all, and the automaton's accept states must preserve that
+  // even though both rules reach the same subject.
+  AlgebraContext Ctx;
+  EnginePair P(Ctx, R"(
+spec Overlap
+  sorts D
+  ops
+    A : -> D
+    B : -> D
+    F : D -> D
+  constructors A, B
+  vars x : D
+  axioms
+    F(A) = A
+    F(x) = B
+end
+)");
+  EXPECT_EQ(P.norm("F(A)"), "A");
+  EXPECT_EQ(P.norm("F(B)"), "B");
+}
+
+TEST(CompiledEngineTest, NonLinearPatternsGuardAtAcceptStates) {
+  // EQ(x, x) matches only equal subtrees; the automaton compiles the
+  // repeated variable into an accept-time position-equality guard.
+  AlgebraContext Ctx;
+  EnginePair P(Ctx, R"(
+spec NonLin
+  sorts D
+  ops
+    A : -> D
+    B : -> D
+    PAIR : D, D -> D
+    EQ : D, D -> D
+  constructors A, B, PAIR
+  vars x, y : D
+  axioms
+    EQ(x, x) = A
+    EQ(x, y) = B
+end
+)");
+  EXPECT_EQ(P.norm("EQ(A, A)"), "A");
+  EXPECT_EQ(P.norm("EQ(A, B)"), "B");
+  EXPECT_EQ(P.norm("EQ(PAIR(A, B), PAIR(A, B))"), "A");
+  EXPECT_EQ(P.norm("EQ(PAIR(A, B), PAIR(B, A))"), "B");
+}
+
+TEST(CompiledEngineTest, NoMatchLeavesTermInNormalForm) {
+  AlgebraContext Ctx;
+  EnginePair P(Ctx, R"(
+spec Partial
+  sorts P
+  ops
+    A : -> P
+    B : -> P
+    F : P -> P
+  constructors A, B
+  vars x : P
+  axioms
+    F(A) = A
+end
+)");
+  EXPECT_EQ(P.norm("F(B)"), "F(B)");
+  auto Term = parseTermText(Ctx, "F(B)");
+  ASSERT_TRUE(static_cast<bool>(Term));
+  EXPECT_TRUE(P.CompiledEng->isStuck(*P.CompiledEng->normalize(*Term)));
+}
+
+TEST(CompiledEngineTest, FuelAndDepthErrorsMatchInterpByteForByte) {
+  // The machine reports resource exhaustion with the exact message the
+  // recursive interpreter would produce, including which term it was
+  // working on when the budget ran out.
+  EngineOptions Tight;
+  Tight.MaxSteps = 50;
+  {
+    AlgebraContext Ctx;
+    EnginePair P(Ctx, R"(
+spec Loop
+  sorts L
+  ops
+    MK : -> L
+    SPIN : L -> L
+  constructors MK
+  vars x : L
+  axioms
+    SPIN(x) = SPIN(SPIN(x))
+end
+)",
+                 Tight);
+    EXPECT_NE(P.err("SPIN(MK)").find("fuel exhausted"),
+              std::string::npos);
+  }
+  {
+    EngineOptions Shallow;
+    Shallow.MaxDepth = 12;
+    AlgebraContext Ctx;
+    EnginePair P(Ctx, R"(
+spec Deep
+  sorts L
+  ops
+    MK : -> L
+    GROW : L -> L
+  constructors MK
+  vars x : L
+  axioms
+    GROW(x) = GROW(GROW(x))
+end
+)",
+                 Shallow);
+    EXPECT_NE(P.err("GROW(MK)").find("depth"), std::string::npos);
+  }
+}
+
+TEST(CompiledEngineTest, ManyRuleDispatchSkipsImpossibleRules) {
+  // One op, one rule per constructor: the interpreter scans rules
+  // linearly per redex while the automaton dispatches on the argument's
+  // head symbol, so its accept states try exactly one candidate.
+  std::string Text = "spec Dispatch\n  sorts D\n  ops\n";
+  constexpr int N = 24;
+  for (int C = 0; C != N; ++C)
+    Text += "    C" + std::to_string(C) + " : -> D\n";
+  Text += "    F : D -> D\n  constructors";
+  for (int C = 0; C != N; ++C)
+    Text += std::string(C ? "," : "") + " C" + std::to_string(C);
+  Text += "\n  axioms\n";
+  for (int C = 0; C != N; ++C)
+    Text += "    F(C" + std::to_string(C) + ") = C" +
+            std::to_string((C + 1) % N) + "\n";
+  Text += "end\n";
+
+  AlgebraContext Ctx;
+  EnginePair P(Ctx, Text);
+  // Hit the first, middle, and last rules.
+  EXPECT_EQ(P.norm("F(C0)"), "C1");
+  EXPECT_EQ(P.norm("F(C11)"), "C12");
+  EXPECT_EQ(P.norm("F(C23)"), "C0");
+
+  const EngineStats &C = P.CompiledEng->stats();
+  const EngineStats &I = P.InterpEng->stats();
+  EXPECT_EQ(C.Steps, I.Steps);
+  EXPECT_EQ(C.CacheHits, I.CacheHits);
+  EXPECT_EQ(C.CacheMisses, I.CacheMisses);
+  EXPECT_EQ(C.Rebuilds, I.Rebuilds);
+  // The dispatch win the counters are built to show: the interpreter
+  // tried many rules per redex, the automaton one.
+  EXPECT_LT(C.MatchAttempts, I.MatchAttempts);
+  EXPECT_GT(C.AutomatonVisits, 0u);
+  EXPECT_EQ(I.AutomatonVisits, 0u);
+}
+
+TEST(CompiledEngineTest, IteStaysConditionStrictBranchLazy) {
+  // The machine's ITE staging must not normalize the untaken branch:
+  // the taken branch is fine, the untaken one would exhaust fuel.
+  EngineOptions Tight;
+  Tight.MaxSteps = 200;
+  AlgebraContext Ctx;
+  EnginePair P(Ctx, R"(
+spec Lazy
+  sorts L
+  ops
+    MK : -> L
+    SPIN : L -> L
+    PICK : Bool, L -> L
+  constructors MK
+  vars x : L   b : Bool
+  axioms
+    SPIN(x) = SPIN(SPIN(x))
+    PICK(b, x) = if b then x else SPIN(x)
+end
+)",
+               Tight);
+  EXPECT_EQ(P.norm("PICK(true, MK)"), "MK");
+  EXPECT_NE(P.err("PICK(false, MK)").find("fuel exhausted"),
+            std::string::npos);
+}

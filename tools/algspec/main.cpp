@@ -89,6 +89,10 @@ int usage() {
       "  --jobs <n>         worker threads for the check/verify instance\n"
       "                     sweeps (0 = hardware concurrency, the\n"
       "                     default; reports are identical at any n)\n"
+      "  --engine <which>   rewrite engine: 'compiled' (matching\n"
+      "                     automata + RHS templates, the default) or\n"
+      "                     'interp' (the reference interpreter);\n"
+      "                     results are identical either way\n"
       "  --json             machine-readable output (check, lint,\n"
       "                     analyze, verify)\n"
       "  --Werror           lint/analyze: treat warnings as errors\n");
@@ -148,6 +152,8 @@ struct Options {
   unsigned Depth = 3;
   int DynamicDepth = -1;
   unsigned Jobs = 0; ///< 0 = hardware concurrency.
+  /// --engine: compiled automata (default) vs the reference interpreter.
+  bool CompileEngine = true;
   bool Json = false;
   bool WarningsAsErrors = false;
   // verify options.
@@ -203,6 +209,27 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--engine" || Arg.rfind("--engine=", 0) == 0) {
+      // Both `--engine interp` and `--engine=interp` are accepted; the
+      // inline form is what the docs show.
+      std::string Which;
+      if (Arg == "--engine") {
+        const char *V = needValue("--engine");
+        if (!V)
+          return false;
+        Which = V;
+      } else {
+        Which = Arg.substr(std::string("--engine=").size());
+      }
+      if (Which == "compiled") {
+        Opts.CompileEngine = true;
+      } else if (Which == "interp") {
+        Opts.CompileEngine = false;
+      } else {
+        std::fprintf(stderr,
+                     "error: --engine wants 'compiled' or 'interp'\n");
+        return false;
+      }
     } else if (Arg == "--abstract") {
       const char *V = needValue("--abstract");
       if (!V)
@@ -309,12 +336,15 @@ void writeEngineStats(JsonWriter &W, const EngineStats &S) {
   W.key("cacheMisses").value(S.CacheMisses);
   W.key("evictions").value(S.Evictions);
   W.key("rebuilds").value(S.Rebuilds);
+  W.key("matchAttempts").value(S.MatchAttempts);
+  W.key("automatonVisits").value(S.AutomatonVisits);
   W.endObject();
 }
 
 /// Emits the error-flow obligations as `"obligations": [...]`. Shared by
-/// analyze and check; deliberately free of engine counters so the output
-/// is byte-identical across build configurations and job counts (CI diffs
+/// analyze and check. The guard-engine counters are emitted separately
+/// (analyze appends them after the report) so this block stays
+/// byte-identical across build configurations and job counts (CI diffs
 /// it against golden files).
 void writeObligationsJson(JsonWriter &W, const AlgebraContext &Ctx,
                           const std::vector<DefinednessObligation> &Obs) {
@@ -341,6 +371,8 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
   TerminationReport Term = WS.termination();
   ParallelOptions Par;
   Par.Jobs = Opts.Jobs;
+  EngineOptions Eng;
+  Eng.Compile = Opts.CompileEngine;
 
   if (Opts.Json) {
     JsonWriter W;
@@ -367,7 +399,7 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
         CompletenessReport Dynamic = checkCompletenessDynamic(
             WS.context(), S, WS.specPointers(),
             static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-            Par);
+            Par, Eng);
         AllGood &= Dynamic.SufficientlyComplete;
         W.key("dynamic").beginObject();
         W.key("depth").value(Opts.DynamicDepth);
@@ -386,7 +418,7 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
       W.endObject();
     }
     W.endArray();
-    ConsistencyReport Consistency = WS.checkConsistent(2, Par);
+    ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
     AllGood &= Consistency.Consistent;
     W.key("consistency").beginObject();
     W.key("consistent").value(Consistency.Consistent);
@@ -394,7 +426,7 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
     writeEngineStats(W, Consistency.Engine);
     W.endObject();
     ErrorFlowReport Flow =
-        analyzeErrorFlow(WS.context(), WS.specPointers());
+        analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
     writeObligationsJson(W, WS.context(), Flow.Obligations);
     W.endObject();
     std::printf("%s\n", W.str().c_str());
@@ -428,16 +460,17 @@ int cmdCheck(Workspace &WS, const Options &Opts) {
       CompletenessReport Dynamic = checkCompletenessDynamic(
           WS.context(), S, WS.specPointers(),
           static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-          Par);
+          Par, Eng);
       std::printf("  dynamic check (depth %d): %zu stuck term(s)\n",
                   Opts.DynamicDepth, Dynamic.Missing.size());
       AllGood &= Dynamic.SufficientlyComplete;
     }
   }
-  ConsistencyReport Consistency = WS.checkConsistent(2, Par);
+  ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
   std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
-  ErrorFlowReport Flow = analyzeErrorFlow(WS.context(), WS.specPointers());
+  ErrorFlowReport Flow =
+      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
   if (!Flow.Obligations.empty()) {
     std::printf("definedness obligations:\n");
     for (const DefinednessObligation &O : Flow.Obligations)
@@ -515,8 +548,10 @@ int cmdLint(Workspace &WS, const Options &Opts) {
 /// `algspec analyze`: the error-flow analysis on its own — definedness
 /// summaries, obligations, and the three analysis-backed lint rules.
 int cmdAnalyze(Workspace &WS, const Options &Opts) {
+  EngineOptions Eng;
+  Eng.Compile = Opts.CompileEngine;
   ErrorFlowReport Report =
-      analyzeErrorFlow(WS.context(), WS.specPointers());
+      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
 
   // Only the analysis-backed rules; `algspec lint` runs the full set.
   Linter L;
@@ -574,6 +609,11 @@ int cmdAnalyze(Workspace &WS, const Options &Opts) {
     for (const std::string &Caveat : Report.Caveats)
       W.value(Caveat);
     W.endArray();
+    // The guard engine is serial and visits operations in declaration
+    // order, so these counters — unlike check/verify's — are identical
+    // at any --jobs and across build configurations; goldens may pin
+    // them (engine choice still changes the engine-specific counters).
+    writeEngineStats(W, Report.Engine);
     W.endObject();
     std::printf("%s\n", W.str().c_str());
   } else {
@@ -617,6 +657,7 @@ int cmdEval(Workspace &WS, const Options &Opts, bool Trace) {
   }
   EngineOptions EngineOpts;
   EngineOpts.KeepTrace = Trace;
+  EngineOpts.Compile = Opts.CompileEngine;
   auto SessionOrErr = WS.session(EngineOpts);
   if (!SessionOrErr) {
     std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
@@ -651,7 +692,9 @@ int cmdRun(Workspace &WS, const Options &Opts,
     std::fprintf(stderr, "error: %s\n", Program.error().message().c_str());
     return 1;
   }
-  auto SessionOrErr = WS.session();
+  EngineOptions EngineOpts;
+  EngineOpts.Compile = Opts.CompileEngine;
+  auto SessionOrErr = WS.session(EngineOpts);
   if (!SessionOrErr) {
     std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
     return 1;
@@ -742,6 +785,7 @@ int cmdVerify(Workspace &WS, const Options &Opts) {
   }
 
   VOpts.Par.Jobs = Opts.Jobs;
+  VOpts.Engine.Compile = Opts.CompileEngine;
 
   VerifyReport Report =
       Opts.Homomorphism

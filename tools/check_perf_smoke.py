@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Advisory compiled-vs-interp perf smoke over a bench_rewrite JSON report.
+
+Reads a google-benchmark JSON file and pairs every
+BM_ManyRuleDispatch/<rules>/1 (compiled) entry with its /<rules>/0
+(interp) twin. Prints the speedup table and emits a GitHub Actions
+``::warning`` line when the compiled engine is slower than the
+interpreter on any rule count. The exit code is always 0: short
+CI timings on shared runners are too noisy to gate a merge, so this
+step logs regressions instead of flaking builds.
+
+usage: tools/check_perf_smoke.py <bench_rewrite.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    # name -> cpu_time, only aggregate-free real runs.
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "iteration":
+            times[bench["name"]] = bench["cpu_time"]
+
+    rows = []
+    for name, compiled in sorted(times.items()):
+        parts = name.split("/")
+        if parts[0] != "BM_ManyRuleDispatch" or parts[-1] != "1":
+            continue
+        twin = "/".join(parts[:-1]) + "/0"
+        if twin not in times:
+            continue
+        rows.append((parts[1], times[twin], compiled))
+
+    if not rows:
+        print("::warning::perf smoke found no BM_ManyRuleDispatch "
+              "compiled/interp pairs in the report")
+        return 0
+
+    slower = []
+    print(f"{'rules':>8} {'interp ns':>12} {'compiled ns':>12} {'speedup':>8}")
+    for rules, interp, compiled in rows:
+        speedup = interp / compiled if compiled else float("inf")
+        print(f"{rules:>8} {interp:>12.1f} {compiled:>12.1f} {speedup:>7.2f}x")
+        if compiled > interp:
+            slower.append(rules)
+
+    if slower:
+        print("::warning::compiled engine slower than interpreter on "
+              f"BM_ManyRuleDispatch rule counts: {', '.join(slower)} "
+              "(advisory; timings on shared runners are noisy)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,16 @@
 # per binary at the repository root: BENCH_<name>.json. Committing these
 # gives every change a recorded baseline to diff against.
 #
-# usage: tools/run_benches.sh [build-dir] [extra benchmark args...]
+# usage: tools/run_benches.sh [--allow-debug] [build-dir] [extra benchmark args...]
+#
+# The build directory must be configured with CMAKE_BUILD_TYPE=Release:
+# numbers from an unoptimized build are not baselines, and the stock
+# "library_build_type" context key only describes the (possibly
+# distro-packaged) benchmark library, not this project. The script reads
+# the real build type from CMakeCache.txt and refuses anything else
+# unless --allow-debug is given (in which case nothing is recorded to
+# the repository root — the JSON lands in BENCH_DEBUG_<name>.json so a
+# debug sweep can never silently become the committed baseline).
 #
 # Extra arguments are passed to every binary, e.g.
 #   tools/run_benches.sh build --benchmark_min_time=0.05
@@ -13,14 +22,41 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+ALLOW_DEBUG=0
+if [ "${1:-}" = "--allow-debug" ]; then
+    ALLOW_DEBUG=1
+    shift
+fi
+
 BUILD_DIR="${1:-build}"
 shift $(( $# > 0 ? 1 : 0 ))
 BENCH_DIR="$REPO_ROOT/$BUILD_DIR/bench"
+CACHE="$REPO_ROOT/$BUILD_DIR/CMakeCache.txt"
 
 if [ ! -d "$BENCH_DIR" ]; then
     echo "error: $BENCH_DIR does not exist; build the project first" >&2
-    echo "  cmake -S . -B $BUILD_DIR && cmake --build $BUILD_DIR -j" >&2
+    echo "  cmake -S . -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
     exit 1
+fi
+
+BUILD_TYPE=""
+if [ -f "$CACHE" ]; then
+    BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE" | head -n 1)"
+fi
+BUILD_TYPE_LOWER="$(printf '%s' "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')"
+
+if [ "$BUILD_TYPE_LOWER" != "release" ]; then
+    if [ "$ALLOW_DEBUG" = 1 ]; then
+        echo "warning: build type is '${BUILD_TYPE:-<unset>}', not Release;" >&2
+        echo "warning: recording to BENCH_DEBUG_*.json only (not baselines)" >&2
+    else
+        echo "error: $BUILD_DIR has CMAKE_BUILD_TYPE='${BUILD_TYPE:-<unset>}', not Release." >&2
+        echo "error: benchmark baselines must come from an optimized build:" >&2
+        echo "  cmake -S . -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+        echo "error: pass --allow-debug to run anyway (results are NOT recorded as baselines)" >&2
+        exit 1
+    fi
 fi
 
 STATUS=0
@@ -29,13 +65,35 @@ for BIN in "$BENCH_DIR"/*; do
     [ -f "$BIN" ] && [ -x "$BIN" ] || continue
     FOUND=1
     NAME="$(basename "$BIN")"
-    OUT="$REPO_ROOT/BENCH_${NAME}.json"
+    if [ "$BUILD_TYPE_LOWER" = "release" ]; then
+        OUT="$REPO_ROOT/BENCH_${NAME}.json"
+    else
+        OUT="$REPO_ROOT/BENCH_DEBUG_${NAME}.json"
+    fi
     echo "== $NAME -> $(basename "$OUT")"
     if ! "$BIN" --benchmark_format=json "$@" > "$OUT.tmp"; then
         echo "error: $NAME failed; leaving $(basename "$OUT") untouched" >&2
         rm -f "$OUT.tmp"
         STATUS=1
         continue
+    fi
+    # The library_build_type key describes how the *benchmark library*
+    # was compiled (a distro libbenchmark reports its own packaging).
+    # Having verified the project's build type from CMakeCache.txt —
+    # and with BenchMain.h stamping algspec_build_type from the compile
+    # itself — rewrite the misleading key to the verified truth.
+    if [ "$BUILD_TYPE_LOWER" = "release" ]; then
+        python3 - "$OUT.tmp" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+ctx = data.get("context", {})
+ctx["library_build_type"] = "release"
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PYEOF
     fi
     mv "$OUT.tmp" "$OUT"
 done
