@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E15 — the serve daemon's round-trip economics. A
+/// long-lived server only pays off if (a) the wire round trip costs
+/// little over calling the command layer directly, and (b) the
+/// workspace cache actually removes the per-request elaboration cost.
+/// This bench measures both: direct dispatch as the floor, cache-hit
+/// and cache-miss round trips against an in-process server on a
+/// loopback socket, and ping-pong throughput as client connections
+/// scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Commands.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "support/Socket.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+
+using namespace algspec;
+using namespace algspec::server;
+
+namespace {
+
+/// One server for the whole binary, drained when statics die (after
+/// benchmark::Shutdown, before process exit).
+class BenchServer {
+public:
+  static BenchServer &instance() {
+    static BenchServer S;
+    return S;
+  }
+
+  const SocketAddress &addr() const { return Addr; }
+
+private:
+  BenchServer() : S(options()) {
+    if (!S.start())
+      std::abort();
+    Addr = *SocketAddress::parse("tcp:127.0.0.1:" +
+                                 std::to_string(S.boundTcpPort()));
+  }
+
+  ~BenchServer() {
+    S.requestStop();
+    S.wait();
+  }
+
+  static ServerOptions options() {
+    ServerOptions O;
+    O.Listen.push_back(*SocketAddress::parse("tcp:127.0.0.1:0"));
+    O.Workers = 2;
+    O.QueueMax = 256;
+    return O;
+  }
+
+  Server S;
+  SocketAddress Addr;
+};
+
+CommandRequest evalRequest() {
+  CommandRequest R;
+  R.Command = "eval";
+  R.Sources.push_back({"queue.alg", std::string(builtinSpecText("queue"))});
+  R.Opts.TermText = "FRONT(ADD(ADD(NEW, 'a), 'b))";
+  R.Opts.Jobs = 1;
+  return R;
+}
+
+/// The floor: the same command through the in-process dispatch path the
+/// one-shot CLI uses — no socket, no JSON, no cache.
+void BM_DirectDispatch(benchmark::State &State) {
+  CommandRequest Req = evalRequest();
+  for (auto _ : State) {
+    CommandResult R = runCommand(Req);
+    benchmark::DoNotOptimize(R.Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DirectDispatch)->Unit(benchmark::kMicrosecond);
+
+/// Steady state: the workspace is already cached, so a round trip pays
+/// only framing, queueing, and the rewrite itself.
+void BM_RoundTripCacheHit(benchmark::State &State) {
+  const SocketAddress &Addr = BenchServer::instance().addr();
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    std::abort();
+  FrameReader Reader(64u << 20);
+  std::string Frame = encodeCommandRequest("1", evalRequest());
+  // Prime the cache so the timed loop measures hits only.
+  (void)roundTrip(*Sock, Reader, Frame);
+  for (auto _ : State) {
+    Result<WireResponse> R = roundTrip(*Sock, Reader, Frame);
+    if (!R || R->Type != "response")
+      std::abort();
+    benchmark::DoNotOptimize(R->Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RoundTripCacheHit)->Unit(benchmark::kMicrosecond);
+
+/// Cold path: every request names a never-seen source buffer (the cache
+/// keys on names and bytes), so the server re-elaborates the workspace
+/// each time. The gap to BM_RoundTripCacheHit is what the cache buys.
+void BM_RoundTripColdWorkspace(benchmark::State &State) {
+  const SocketAddress &Addr = BenchServer::instance().addr();
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    std::abort();
+  FrameReader Reader(64u << 20);
+  static std::atomic<uint64_t> Unique{0};
+  for (auto _ : State) {
+    CommandRequest Req = evalRequest();
+    Req.Sources[0].Name =
+        "queue-" + std::to_string(Unique.fetch_add(1)) + ".alg";
+    Result<WireResponse> R =
+        roundTrip(*Sock, Reader, encodeCommandRequest("1", Req));
+    if (!R || R->Type != "response" || R->Cached)
+      std::abort();
+    benchmark::DoNotOptimize(R->Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RoundTripColdWorkspace)->Unit(benchmark::kMicrosecond);
+
+/// Ping-pong throughput as concurrent client connections scale; each
+/// bench thread holds one connection.
+void BM_ThroughputConnections(benchmark::State &State) {
+  const SocketAddress &Addr = BenchServer::instance().addr();
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    std::abort();
+  FrameReader Reader(64u << 20);
+  std::string Frame = encodeCommandRequest("1", evalRequest());
+  (void)roundTrip(*Sock, Reader, Frame);
+  for (auto _ : State) {
+    Result<WireResponse> R = roundTrip(*Sock, Reader, Frame);
+    if (!R || R->Type != "response")
+      std::abort();
+    benchmark::DoNotOptimize(R->Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ThroughputConnections)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Control-plane latency: a stats request never touches the queue or a
+/// workspace, so this is the floor for one framed round trip.
+void BM_RoundTripControlStats(benchmark::State &State) {
+  const SocketAddress &Addr = BenchServer::instance().addr();
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    std::abort();
+  FrameReader Reader(64u << 20);
+  std::string Frame = encodeControlRequest("1", "stats");
+  for (auto _ : State) {
+    Result<WireResponse> R = roundTrip(*Sock, Reader, Frame);
+    if (!R || R->Type != "stats")
+      std::abort();
+    benchmark::DoNotOptimize(R->Raw.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RoundTripControlStats)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+ALGSPEC_BENCHMARK_MAIN()

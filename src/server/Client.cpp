@@ -1,0 +1,246 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "support/Json.h"
+
+#include <initializer_list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace algspec;
+using namespace algspec::server;
+
+Result<WireResponse> server::roundTrip(const Socket &Sock,
+                                       FrameReader &Reader,
+                                       std::string_view Frame) {
+  if (Result<void> R = sendAll(Sock, Frame); !R)
+    return R.error();
+  std::string Line;
+  FrameStatus Status = Reader.readFrame(Sock, Line);
+  if (Status != FrameStatus::Frame)
+    return makeError("connection closed before a response arrived");
+  Result<JsonValue> Parsed = parseJson(Line);
+  if (!Parsed)
+    return makeError("malformed response frame: " +
+                     Parsed.error().message());
+  WireResponse Out;
+  Out.Raw = Line;
+  if (const JsonValue *Type = Parsed->get("type"))
+    Out.Type = Type->asString();
+  if (const JsonValue *Exit = Parsed->get("exit"))
+    Out.Exit = static_cast<int>(Exit->asInt());
+  if (const JsonValue *Stdout = Parsed->get("stdout"))
+    Out.Out = Stdout->asString();
+  if (const JsonValue *Stderr = Parsed->get("stderr"))
+    Out.Err = Stderr->asString();
+  if (const JsonValue *Cached = Parsed->get("cached"))
+    Out.Cached = Cached->asBool();
+  if (const JsonValue *Err = Parsed->get("error")) {
+    if (const JsonValue *Code = Err->get("code"))
+      Out.ErrorCode = Code->asString();
+    if (const JsonValue *Message = Err->get("message"))
+      Out.ErrorMessage = Message->asString();
+  }
+  return Out;
+}
+
+Result<WireResponse> server::requestOnce(const SocketAddress &Addr,
+                                         std::string_view Frame,
+                                         size_t MaxFrameBytes) {
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    return Sock.error();
+  FrameReader Reader(MaxFrameBytes);
+  return roundTrip(*Sock, Reader, Frame);
+}
+
+//===----------------------------------------------------------------------===//
+// Stress driver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CommandRequest builtinRequest(std::string_view Command,
+                              std::initializer_list<const char *> Builtins,
+                              unsigned Jobs) {
+  CommandRequest R;
+  R.Command = std::string(Command);
+  for (const char *Name : Builtins)
+    R.Sources.push_back({std::string(Name) + ".alg",
+                         std::string(builtinSpecText(Name))});
+  R.Opts.Jobs = Jobs;
+  return R;
+}
+
+/// The deterministic request mix, cheap operations dominating so the
+/// stress load stays latency- rather than compute-bound. Every request
+/// uses only embedded builtins, so client and server agree on the
+/// sources without touching the filesystem.
+std::vector<CommandRequest> stressMix(unsigned Jobs) {
+  std::vector<CommandRequest> Mix;
+
+  CommandRequest Eval = builtinRequest("eval", {"queue"}, Jobs);
+  Eval.Opts.TermText = "FRONT(ADD(ADD(NEW, 'a), 'b))";
+  Mix.push_back(Eval);
+
+  CommandRequest Trace = builtinRequest("trace", {"queue"}, Jobs);
+  Trace.Opts.TermText = "REMOVE(ADD(ADD(NEW, 'a), 'b))";
+  Mix.push_back(Trace);
+
+  Mix.push_back(builtinRequest("lint", {"queue", "symboltable"}, Jobs));
+
+  CommandRequest EvalBq = builtinRequest("eval", {"boundedqueue"}, Jobs);
+  EvalBq.Opts.TermText = "BSIZE(ENQUEUE(ENQUEUE(BNEW(2), 'a), 'b))";
+  Mix.push_back(EvalBq);
+
+  CommandRequest Analyze = builtinRequest("analyze", {"boundedqueue"}, Jobs);
+  Analyze.Opts.Json = true;
+  Mix.push_back(Analyze);
+
+  Mix.push_back(builtinRequest("check", {"queue"}, Jobs));
+
+  CommandRequest LintJson = builtinRequest("lint", {"bst"}, Jobs);
+  LintJson.Opts.Json = true;
+  Mix.push_back(LintJson);
+
+  CommandRequest Verify = builtinRequest(
+      "verify", {"symboltable", "stackarray", "symboltable_impl"}, Jobs);
+  Verify.Opts.AbstractSpec = "Symboltable";
+  Verify.Opts.RepSort = "Stack";
+  Verify.Opts.PhiName = "PHI";
+  Verify.Opts.OpMap = {{"INIT", "INIT_R"},
+                       {"ENTERBLOCK", "ENTERBLOCK_R"},
+                       {"LEAVEBLOCK", "LEAVEBLOCK_R"},
+                       {"ADD", "ADD_R"},
+                       {"IS_INBLOCK?", "IS_INBLOCK_R?"},
+                       {"RETRIEVE", "RETRIEVE_R"}};
+  Verify.Opts.Depth = 3;
+  Mix.push_back(Verify);
+
+  return Mix;
+}
+
+struct StatsCounters {
+  uint64_t Served = 0;
+  uint64_t Rejected = 0;
+  uint64_t QueueDepth = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+Result<StatsCounters> fetchStats(const SocketAddress &Addr) {
+  Result<WireResponse> R =
+      requestOnce(Addr, encodeControlRequest("", "stats"));
+  if (!R)
+    return R.error();
+  Result<JsonValue> Parsed = parseJson(R->Raw);
+  if (!Parsed || !Parsed->isObject())
+    return makeError("malformed stats response");
+  StatsCounters C;
+  if (const JsonValue *V = Parsed->get("requestsServed"))
+    C.Served = static_cast<uint64_t>(V->asInt());
+  if (const JsonValue *V = Parsed->get("requestsRejected"))
+    C.Rejected = static_cast<uint64_t>(V->asInt());
+  if (const JsonValue *V = Parsed->get("queueDepth"))
+    C.QueueDepth = static_cast<uint64_t>(V->asInt());
+  if (const JsonValue *Cache = Parsed->get("cache")) {
+    if (const JsonValue *V = Cache->get("hits"))
+      C.CacheHits = static_cast<uint64_t>(V->asInt());
+    if (const JsonValue *V = Cache->get("misses"))
+      C.CacheMisses = static_cast<uint64_t>(V->asInt());
+  }
+  return C;
+}
+
+} // namespace
+
+Result<StressReport> server::runStress(const SocketAddress &Addr,
+                                       const StressOptions &Opts) {
+  std::vector<CommandRequest> Mix = stressMix(Opts.Jobs);
+  // The local half of the byte-identity check: run every mix entry
+  // through the exact one-shot CLI code path.
+  std::vector<CommandResult> Expected;
+  Expected.reserve(Mix.size());
+  for (const CommandRequest &R : Mix)
+    Expected.push_back(runCommand(R));
+
+  Result<StatsCounters> Before = fetchStats(Addr);
+  if (!Before)
+    return makeError("cannot fetch pre-stress stats: " +
+                     Before.error().message());
+
+  StressReport Report;
+  std::mutex ReportMutex;
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Opts.Connections; ++C) {
+    Threads.emplace_back([&, C] {
+      Result<Socket> Sock = connectSocket(Addr);
+      if (!Sock) {
+        std::lock_guard<std::mutex> Lock(ReportMutex);
+        Report.TransportErrors += Opts.RequestsPerConnection;
+        return;
+      }
+      FrameReader Reader(64u << 20);
+      for (unsigned K = 0; K != Opts.RequestsPerConnection; ++K) {
+        // Stagger the starting offset per connection so concurrent
+        // requests hit different cache entries, not one in lockstep.
+        size_t Pick = (C + K) % Mix.size();
+        int64_t Id = static_cast<int64_t>(C) * 1000000 + K;
+        std::string Frame =
+            encodeCommandRequest(std::to_string(Id), Mix[Pick]);
+        Result<WireResponse> Resp = roundTrip(*Sock, Reader, Frame);
+        std::lock_guard<std::mutex> Lock(ReportMutex);
+        ++Report.Sent;
+        if (!Resp) {
+          ++Report.TransportErrors;
+          if (Report.FirstMismatch.empty())
+            Report.FirstMismatch = "transport: " + Resp.error().message();
+          continue;
+        }
+        const CommandResult &Want = Expected[Pick];
+        if (Resp->Type == "response" && Resp->Exit == Want.ExitCode &&
+            Resp->Out == Want.Out && Resp->Err == Want.Err) {
+          ++Report.Matched;
+        } else {
+          ++Report.Mismatched;
+          if (Report.FirstMismatch.empty())
+            Report.FirstMismatch =
+                Mix[Pick].Command + " (id " + std::to_string(Id) +
+                "): got type=" + Resp->Type +
+                " exit=" + std::to_string(Resp->Exit) +
+                (Resp->ErrorCode.empty() ? ""
+                                         : " error=" + Resp->ErrorCode) +
+                ", want exit=" + std::to_string(Want.ExitCode);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  Result<StatsCounters> After = fetchStats(Addr);
+  if (!After)
+    return makeError("cannot fetch post-stress stats: " +
+                     After.error().message());
+
+  uint64_t ServedDelta = After->Served - Before->Served;
+  uint64_t LookupDelta = (After->CacheHits + After->CacheMisses) -
+                         (Before->CacheHits + Before->CacheMisses);
+  Report.StatsReconciled = ServedDelta == Report.Sent &&
+                           LookupDelta == Report.Sent &&
+                           After->Rejected == Before->Rejected &&
+                           After->QueueDepth == 0;
+  Report.StatsDetail =
+      "served +" + std::to_string(ServedDelta) + ", cache lookups +" +
+      std::to_string(LookupDelta) + ", rejected +" +
+      std::to_string(After->Rejected - Before->Rejected) +
+      ", queue depth " + std::to_string(After->QueueDepth) + " (sent " +
+      std::to_string(Report.Sent) + ")";
+  return Report;
+}

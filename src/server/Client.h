@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `algspec client` side of the serve protocol: a one-request
+/// round-tripper the CLI subcommand uses, and the stress driver that
+/// CI's server smoke and bench_server build on.
+///
+/// The stress driver is also the protocol's strongest test: it
+/// precomputes every expected response *locally* through the very
+/// runCommand() path the one-shot CLI uses, then byte-compares each
+/// served response against it, and finally reconciles the server's
+/// stats counters against the number of requests it sent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SERVER_CLIENT_H
+#define ALGSPEC_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace algspec {
+namespace server {
+
+/// One decoded response frame.
+struct WireResponse {
+  std::string Type; ///< "response", "error", "hello", or "stats".
+  int Exit = 0;
+  std::string Out;
+  std::string Err;
+  bool Cached = false;
+  std::string ErrorCode;    ///< For "error" responses.
+  std::string ErrorMessage; ///< For "error" responses.
+  std::string Raw;          ///< The frame as received (no newline).
+};
+
+/// Sends \p Frame on \p Sock and reads one response frame.
+Result<WireResponse> roundTrip(const Socket &Sock, FrameReader &Reader,
+                               std::string_view Frame);
+
+/// Connects, round-trips one frame, disconnects.
+Result<WireResponse> requestOnce(const SocketAddress &Addr,
+                                 std::string_view Frame,
+                                 size_t MaxFrameBytes = 64u << 20);
+
+struct StressOptions {
+  unsigned Connections = 8;
+  unsigned RequestsPerConnection = 50;
+  /// --jobs forwarded in every request (1 keeps the stress from
+  /// oversubscribing the server's worker pool with per-request pools).
+  unsigned Jobs = 1;
+};
+
+struct StressReport {
+  uint64_t Sent = 0;
+  uint64_t Matched = 0;     ///< Byte-identical to the local CLI result.
+  uint64_t Mismatched = 0;
+  uint64_t TransportErrors = 0;
+  std::string FirstMismatch; ///< Human-readable detail for the first.
+  bool StatsReconciled = false;
+  std::string StatsDetail;
+
+  bool ok() const {
+    return Mismatched == 0 && TransportErrors == 0 && StatsReconciled;
+  }
+};
+
+/// Runs \p Opts.Connections concurrent connections, each ping-ponging
+/// \p Opts.RequestsPerConnection requests drawn from a deterministic
+/// mix over the embedded builtin specs (eval, trace, check, lint,
+/// analyze, and the paper's section-4 verify). Assumes no other client
+/// is talking to the server, since the final step reconciles the
+/// server's served/cache counters against this run's request count.
+Result<StressReport> runStress(const SocketAddress &Addr,
+                               const StressOptions &Opts);
+
+} // namespace server
+} // namespace algspec
+
+#endif // ALGSPEC_SERVER_CLIENT_H

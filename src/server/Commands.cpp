@@ -1,0 +1,635 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The served subcommands, extracted verbatim from the CLI driver. The
+/// printf formats are preserved character for character: any edit here
+/// changes both the CLI and every server response, and the differential
+/// server tests will catch a divergence between the two.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/Commands.h"
+
+#include "check/ErrorFlow.h"
+#include "support/Json.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace algspec;
+using namespace algspec::server;
+
+namespace {
+
+/// printf onto a string: the ported subcommand bodies keep their exact
+/// format strings.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  char Stack[512];
+  int N = std::vsnprintf(Stack, sizeof(Stack), Fmt, Args);
+  va_end(Args);
+  if (N < 0) {
+    va_end(Copy);
+    return;
+  }
+  if (static_cast<size_t>(N) < sizeof(Stack)) {
+    Out.append(Stack, static_cast<size_t>(N));
+  } else {
+    std::vector<char> Heap(static_cast<size_t>(N) + 1);
+    std::vsnprintf(Heap.data(), Heap.size(), Fmt, Copy);
+    Out.append(Heap.data(), static_cast<size_t>(N));
+  }
+  va_end(Copy);
+}
+
+const char *severityName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+/// Emits the rewrite-engine counters as `"engine": {...}`. Aggregated
+/// over the main engine and every worker replica; informational only —
+/// the counters vary with the job count even though the verdicts do not.
+void writeEngineStats(JsonWriter &W, const EngineStats &S) {
+  W.key("engine").beginObject();
+  W.key("steps").value(S.Steps);
+  W.key("cacheHits").value(S.CacheHits);
+  W.key("cacheMisses").value(S.CacheMisses);
+  W.key("evictions").value(S.Evictions);
+  W.key("rebuilds").value(S.Rebuilds);
+  W.key("matchAttempts").value(S.MatchAttempts);
+  W.key("automatonVisits").value(S.AutomatonVisits);
+  W.endObject();
+}
+
+/// Emits the error-flow obligations as `"obligations": [...]`. Shared by
+/// analyze and check. The guard-engine counters are emitted separately
+/// (analyze appends them after the report) so this block stays
+/// byte-identical across build configurations and job counts (CI diffs
+/// it against golden files).
+void writeObligationsJson(JsonWriter &W, const AlgebraContext &Ctx,
+                          const std::vector<DefinednessObligation> &Obs) {
+  W.key("obligations").beginArray();
+  for (const DefinednessObligation &O : Obs) {
+    W.beginObject();
+    W.key("spec").value(O.SpecName);
+    W.key("op").value(std::string(Ctx.opName(O.Op)));
+    W.key("axiom").value(O.AxiomNumber);
+    W.key("case").value(printTerm(Ctx, O.CaseLhs));
+    W.key("verdict").value(std::string(errorVerdictName(O.Verdict)));
+    if (O.ErrorCondition.isValid()) {
+      W.key("condition").value(printTerm(Ctx, O.ErrorCondition));
+      W.key("exact").value(O.ConditionExact);
+    }
+    W.key("rendered").value(O.render(Ctx));
+    W.endObject();
+  }
+  W.endArray();
+}
+
+/// The engine configuration a request asks for: the CLI's --engine knob
+/// plus the server-side fuel clamp (0 keeps the engine default, so bare
+/// CLI invocations are unchanged).
+EngineOptions engineOptions(const CommandOptions &Opts) {
+  EngineOptions Eng;
+  Eng.Compile = Opts.CompileEngine;
+  if (Opts.MaxSteps != 0)
+    Eng.MaxSteps = Opts.MaxSteps;
+  return Eng;
+}
+
+void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
+  bool AllGood = true;
+  TerminationReport Term = WS.termination();
+  ParallelOptions Par;
+  Par.Jobs = Opts.Jobs;
+  EngineOptions Eng = engineOptions(Opts);
+
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("specs").beginArray();
+    for (const Spec &S : WS.specs()) {
+      CompletenessReport Report = WS.checkComplete(S);
+      AllGood &= Report.SufficientlyComplete;
+      W.beginObject();
+      W.key("name").value(S.name());
+      W.key("operations").value(S.operations().size());
+      W.key("axioms").value(S.axioms().size());
+      W.key("sufficientlyComplete").value(Report.SufficientlyComplete);
+      W.key("missing").beginArray();
+      for (const MissingCase &M : Report.Missing)
+        W.value(printTerm(WS.context(), M.SuggestedLhs));
+      W.endArray();
+      W.key("caveats").beginArray();
+      for (const std::string &Caveat : Report.Caveats)
+        W.value(Caveat);
+      W.endArray();
+      W.key("terminationProved").value(Term.provedFor(S.name()));
+      if (Opts.DynamicDepth > 0) {
+        CompletenessReport Dynamic = checkCompletenessDynamic(
+            WS.context(), S, WS.specPointers(),
+            static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
+            Par, Eng);
+        AllGood &= Dynamic.SufficientlyComplete;
+        R.Engine += Dynamic.Engine;
+        W.key("dynamic").beginObject();
+        W.key("depth").value(Opts.DynamicDepth);
+        W.key("sufficientlyComplete").value(Dynamic.SufficientlyComplete);
+        W.key("stuck").beginArray();
+        for (const MissingCase &M : Dynamic.Missing)
+          W.value(printTerm(WS.context(), M.SuggestedLhs));
+        W.endArray();
+        W.key("caveats").beginArray();
+        for (const std::string &Caveat : Dynamic.Caveats)
+          W.value(Caveat);
+        W.endArray();
+        writeEngineStats(W, Dynamic.Engine);
+        W.endObject();
+      }
+      W.endObject();
+    }
+    W.endArray();
+    ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
+    AllGood &= Consistency.Consistent;
+    R.Engine += Consistency.Engine;
+    W.key("consistency").beginObject();
+    W.key("consistent").value(Consistency.Consistent);
+    W.key("contradictions").value(Consistency.Contradictions.size());
+    writeEngineStats(W, Consistency.Engine);
+    W.endObject();
+    ErrorFlowReport Flow =
+        analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
+    R.Engine += Flow.Engine;
+    writeObligationsJson(W, WS.context(), Flow.Obligations);
+    W.endObject();
+    appendf(R.Out, "%s\n", W.str().c_str());
+    R.ExitCode = AllGood ? 0 : 1;
+    return;
+  }
+
+  for (const Spec &S : WS.specs()) {
+    CompletenessReport Report = WS.checkComplete(S);
+    appendf(R.Out, "spec '%s': %zu operations, %zu axioms\n",
+            S.name().c_str(), S.operations().size(), S.axioms().size());
+    appendf(R.Out, "  sufficient completeness: %s\n",
+            Report.SufficientlyComplete ? "yes" : "NO");
+    if (!Report.SufficientlyComplete) {
+      AllGood = false;
+      appendf(R.Out, "%s", Report.renderPrompt(WS.context()).c_str());
+    }
+    for (const std::string &Caveat : Report.Caveats)
+      appendf(R.Out, "  note: %s\n", Caveat.c_str());
+    // A proved spec terminates under any strategy, so the engine's fuel
+    // bound is no longer a caveat of its verdicts.
+    if (Term.provedFor(S.name())) {
+      appendf(R.Out, "  termination: proved unconditionally (recursive "
+                     "path ordering)\n");
+    } else {
+      appendf(R.Out, "  termination: not proved\n");
+      appendf(R.Out, "  note: normalization relies on the rewrite "
+                     "engine's fuel bound\n");
+    }
+    if (Opts.DynamicDepth > 0) {
+      CompletenessReport Dynamic = checkCompletenessDynamic(
+          WS.context(), S, WS.specPointers(),
+          static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
+          Par, Eng);
+      appendf(R.Out, "  dynamic check (depth %d): %zu stuck term(s)\n",
+              Opts.DynamicDepth, Dynamic.Missing.size());
+      AllGood &= Dynamic.SufficientlyComplete;
+      R.Engine += Dynamic.Engine;
+    }
+  }
+  ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
+  appendf(R.Out, "consistency: %s",
+          Consistency.render(WS.context()).c_str());
+  AllGood &= Consistency.Consistent;
+  R.Engine += Consistency.Engine;
+  ErrorFlowReport Flow =
+      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
+  R.Engine += Flow.Engine;
+  if (!Flow.Obligations.empty()) {
+    appendf(R.Out, "definedness obligations:\n");
+    for (const DefinednessObligation &O : Flow.Obligations)
+      appendf(R.Out, "  %s: %s\n", O.SpecName.c_str(),
+              O.render(WS.context()).c_str());
+  }
+  R.ExitCode = AllGood ? 0 : 1;
+}
+
+std::string renderLintJson(const LintReport &Report,
+                           const TerminationReport &Term) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("findings").beginArray();
+  for (const LintFinding &F : Report.Findings) {
+    W.beginObject();
+    W.key("rule").value(F.Rule);
+    W.key("severity").value(severityName(F.Kind));
+    W.key("spec").value(F.SpecName);
+    // Programmatically built specs have no source location; omit the
+    // fields instead of emitting a bogus 0:0.
+    if (F.Loc.isValid()) {
+      W.key("line").value(F.Loc.line());
+      W.key("column").value(F.Loc.column());
+    }
+    W.key("message").value(F.Message);
+    if (!F.FixIt.empty())
+      W.key("fixit").value(F.FixIt);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("termination").beginArray();
+  for (const SpecTermination &ST : Term.PerSpec) {
+    W.beginObject();
+    W.key("spec").value(ST.SpecName);
+    W.key("proved").value(ST.Proved);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("terminationFailures").beginArray();
+  for (const TerminationFailure &F : Term.Failures) {
+    W.beginObject();
+    W.key("spec").value(F.SpecName);
+    W.key("axiom").value(F.AxiomNumber);
+    W.key("reason").value(F.Reason);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("errors").value(Report.errorCount());
+  W.key("warnings").value(Report.warningCount());
+  W.endObject();
+  return W.str();
+}
+
+void runLint(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
+  LintOptions LOpts;
+  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
+  LintReport Report = WS.lint();
+  TerminationReport Term = WS.termination();
+  if (Opts.Json) {
+    appendf(R.Out, "%s\n", renderLintJson(Report, Term).c_str());
+  } else {
+    appendf(R.Out, "%s", WS.renderLint(Report).c_str());
+    appendf(R.Out, "%s", Term.render(WS.context()).c_str());
+    if (Report.clean())
+      appendf(R.Out, "lint: no findings.\n");
+    else
+      appendf(R.Out, "%u error(s), %u warning(s) generated.\n",
+              Report.errorCount(), Report.warningCount());
+  }
+  // Termination verdicts inform but do not gate: an unproved spec may
+  // still terminate under the engine's strategy (RPO is incomplete).
+  R.ExitCode = Report.failed(LOpts) ? 1 : 0;
+}
+
+/// `analyze`: the error-flow analysis on its own — definedness
+/// summaries, obligations, and the three analysis-backed lint rules.
+void runAnalyze(Workspace &WS, const CommandOptions &Opts,
+                CommandResult &R) {
+  EngineOptions Eng = engineOptions(Opts);
+  ErrorFlowReport Report =
+      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
+  R.Engine += Report.Engine;
+
+  // Only the analysis-backed rules; `algspec lint` runs the full set.
+  Linter L;
+  L.addPass(makeErrorSwallowedPass());
+  L.addPass(makeAlwaysErrorOpPass());
+  L.addPass(makeRedundantErrorAxiomPass());
+  LintReport Findings = L.run(WS.context(), WS.specPointers());
+  LintOptions LOpts;
+  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
+
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("summaries").beginArray();
+    for (const OpSummary &Sum : Report.Summaries) {
+      W.beginObject();
+      W.key("spec").value(Sum.SpecName);
+      W.key("op").value(std::string(WS.context().opName(Sum.Op)));
+      W.key("overall").value(std::string(errorVerdictName(Sum.Overall)));
+      W.key("cases").beginArray();
+      for (const ErrorCase &C : Sum.Cases) {
+        W.beginObject();
+        W.key("axiom").value(C.AxiomNumber);
+        W.key("lhs").value(printTerm(WS.context(), C.Lhs));
+        W.key("verdict").value(std::string(errorVerdictName(C.Verdict)));
+        if (C.ErrorCondition.isValid()) {
+          W.key("condition")
+              .value(printTerm(WS.context(), C.ErrorCondition));
+          W.key("exact").value(C.ConditionExact);
+        }
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    writeObligationsJson(W, WS.context(), Report.Obligations);
+    W.key("findings").beginArray();
+    for (const LintFinding &F : Findings.Findings) {
+      W.beginObject();
+      W.key("rule").value(F.Rule);
+      W.key("severity").value(severityName(F.Kind));
+      W.key("spec").value(F.SpecName);
+      if (F.Loc.isValid()) {
+        W.key("line").value(F.Loc.line());
+        W.key("column").value(F.Loc.column());
+      }
+      W.key("message").value(F.Message);
+      if (!F.FixIt.empty())
+        W.key("fixit").value(F.FixIt);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("caveats").beginArray();
+    for (const std::string &Caveat : Report.Caveats)
+      W.value(Caveat);
+    W.endArray();
+    // The guard engine is serial and visits operations in declaration
+    // order, so these counters — unlike check/verify's — are identical
+    // at any --jobs and across build configurations; goldens may pin
+    // them (engine choice still changes the engine-specific counters).
+    writeEngineStats(W, Report.Engine);
+    W.endObject();
+    appendf(R.Out, "%s\n", W.str().c_str());
+  } else {
+    appendf(R.Out, "%s", Report.render(WS.context()).c_str());
+    if (!Findings.clean())
+      appendf(R.Out, "%s", WS.renderLint(Findings).c_str());
+  }
+  R.ExitCode = Findings.failed(LOpts) ? 1 : 0;
+}
+
+void runEval(Workspace &WS, const CommandOptions &Opts, bool Trace,
+             CommandResult &R) {
+  if (Opts.TermText.empty()) {
+    appendf(R.Err, "error: eval/trace need -e <term>\n");
+    R.ExitCode = 2;
+    return;
+  }
+  EngineOptions EngineOpts = engineOptions(Opts);
+  EngineOpts.KeepTrace = Trace;
+  auto SessionOrErr = WS.session(EngineOpts);
+  if (!SessionOrErr) {
+    appendf(R.Err, "%s\n", SessionOrErr.error().message().c_str());
+    R.ExitCode = 1;
+    return;
+  }
+  Session S = SessionOrErr.take();
+  Result<TermId> Term = parseTermText(WS.context(), Opts.TermText);
+  if (!Term) {
+    appendf(R.Err, "%s", Term.error().message().c_str());
+    R.ExitCode = 1;
+    return;
+  }
+  Result<TermId> Normal = S.engine().normalize(*Term);
+  R.Engine += S.stats();
+  if (!Normal) {
+    appendf(R.Err, "error: %s\n", Normal.error().message().c_str());
+    R.ExitCode = 1;
+    return;
+  }
+  if (Trace)
+    for (const TraceStep &Step : S.engine().trace())
+      appendf(R.Out, "%s ~> %s  [axiom %u of %s]\n",
+              printTerm(WS.context(), Step.Before).c_str(),
+              printTerm(WS.context(), Step.After).c_str(),
+              Step.AppliedRule->AxiomNumber,
+              Step.AppliedRule->SpecName.c_str());
+  appendf(R.Out, "%s\n", printTerm(WS.context(), *Normal).c_str());
+  R.ExitCode = 0;
+}
+
+void runVerify(Workspace &WS, const CommandOptions &Opts,
+               CommandResult &R) {
+  if (Opts.AbstractSpec.empty() || Opts.RepSort.empty() ||
+      Opts.PhiName.empty() || Opts.OpMap.empty()) {
+    appendf(R.Err, "error: verify needs --abstract <spec>, --rep-sort "
+                   "<sort>, --phi <op>, and --map ABSTRACT=IMPL pairs\n");
+    R.ExitCode = 2;
+    return;
+  }
+  const Spec *Abstract = WS.find(Opts.AbstractSpec);
+  if (!Abstract) {
+    appendf(R.Err, "error: no loaded spec named '%s'\n",
+            Opts.AbstractSpec.c_str());
+    R.ExitCode = 1;
+    return;
+  }
+
+  RepMapping Mapping;
+  Mapping.AbstractSort = Abstract->principalSort();
+  Mapping.RepSort = WS.context().lookupSort(Opts.RepSort);
+  Mapping.Phi = WS.context().lookupOp(Opts.PhiName);
+  if (!Mapping.RepSort.isValid() || !Mapping.Phi.isValid()) {
+    appendf(R.Err, "error: unknown representation sort or phi\n");
+    R.ExitCode = 1;
+    return;
+  }
+  for (const auto &[AbstractName, ImplName] : Opts.OpMap) {
+    OpId AbstractOp;
+    for (OpId Op : WS.context().lookupOps(AbstractName)) {
+      const OpInfo &Info = WS.context().op(Op);
+      bool Involves = Info.ResultSort == Mapping.AbstractSort;
+      for (SortId S : Info.ArgSorts)
+        Involves |= S == Mapping.AbstractSort;
+      if (Involves)
+        AbstractOp = Op;
+    }
+    OpId ImplOp = WS.context().lookupOp(ImplName);
+    if (!AbstractOp.isValid() || !ImplOp.isValid()) {
+      appendf(R.Err, "error: cannot resolve --map %s=%s\n",
+              AbstractName.c_str(), ImplName.c_str());
+      R.ExitCode = 1;
+      return;
+    }
+    Mapping.OpMap.emplace(AbstractOp, ImplOp);
+  }
+
+  VerifyOptions VOpts;
+  VOpts.Domain =
+      Opts.FreeDomain ? ValueDomain::FreeTerms : ValueDomain::Reachable;
+  VOpts.Depth = Opts.Depth;
+  if (!Opts.InvariantName.empty()) {
+    VOpts.Invariant = WS.context().lookupOp(Opts.InvariantName);
+    if (!VOpts.Invariant.isValid()) {
+      appendf(R.Err, "error: unknown invariant operation '%s'\n",
+              Opts.InvariantName.c_str());
+      R.ExitCode = 1;
+      return;
+    }
+  }
+
+  VOpts.Par.Jobs = Opts.Jobs;
+  VOpts.Engine = engineOptions(Opts);
+
+  VerifyReport Report =
+      Opts.Homomorphism
+          ? verifyHomomorphism(WS.context(), *Abstract, WS.specPointers(),
+                               Mapping, VOpts)
+          : verifyRepresentation(WS.context(), *Abstract,
+                                 WS.specPointers(), Mapping, VOpts);
+  R.Engine += Report.Engine;
+  if (Opts.Json) {
+    JsonWriter W;
+    W.beginObject();
+    W.key("allHold").value(Report.AllHold);
+    W.key("repValues").value(Report.NumRepValues);
+    W.key("verdicts").beginArray();
+    for (const AxiomVerdict &V : Report.Verdicts) {
+      W.beginObject();
+      W.key("number").value(V.AxiomNumber);
+      W.key("label").value(V.Label);
+      W.key("holds").value(V.Holds);
+      W.key("provedSymbolically").value(V.ProvedSymbolically);
+      W.key("instancesChecked").value(V.InstancesChecked);
+      if (V.Failure) {
+        W.key("counterexample").beginObject();
+        W.key("lhs").value(printTerm(WS.context(), V.Failure->Lhs));
+        W.key("rhs").value(printTerm(WS.context(), V.Failure->Rhs));
+        W.key("lhsNormal")
+            .value(printTerm(WS.context(), V.Failure->LhsNormal));
+        W.key("rhsNormal")
+            .value(printTerm(WS.context(), V.Failure->RhsNormal));
+        W.key("assignment").value(V.Failure->Assignment);
+        W.endObject();
+      }
+      W.endObject();
+    }
+    W.endArray();
+    W.key("allObligationsDischarged")
+        .value(Report.AllObligationsDischarged);
+    W.key("obligationVerdicts").beginArray();
+    for (const ObligationVerdict &O : Report.Obligations) {
+      W.beginObject();
+      W.key("callee").value(std::string(WS.context().opName(O.Callee)));
+      W.key("calleeSpec").value(O.CalleeSpec);
+      W.key("case").value(printTerm(WS.context(), O.CaseLhs));
+      if (O.Condition.isValid())
+        W.key("condition").value(printTerm(WS.context(), O.Condition));
+      W.key("hostSpec").value(O.HostSpec);
+      W.key("hostAxiom").value(O.HostAxiom);
+      W.key("site").value(printTerm(WS.context(), O.Site));
+      W.key("status").value(O.Status == ObligationStatus::Discharged
+                                ? "discharged"
+                                : "assumed");
+      W.key("note").value(O.Note);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("caveats").beginArray();
+    for (const std::string &Caveat : Report.Caveats)
+      W.value(Caveat);
+    W.endArray();
+    writeEngineStats(W, Report.Engine);
+    W.endObject();
+    appendf(R.Out, "%s\n", W.str().c_str());
+  } else {
+    appendf(R.Out, "%s", Report.render(WS.context()).c_str());
+  }
+  R.ExitCode = Report.AllHold ? 0 : 1;
+}
+
+} // namespace
+
+bool algspec::server::isServableCommand(std::string_view Command) {
+  return Command == "check" || Command == "lint" || Command == "analyze" ||
+         Command == "eval" || Command == "trace" || Command == "verify";
+}
+
+std::string_view algspec::server::builtinSpecText(std::string_view Name) {
+  if (Name == "queue")
+    return specs::QueueAlg;
+  if (Name == "symboltable")
+    return specs::SymboltableAlg;
+  if (Name == "stackarray")
+    return specs::StackArrayAlg;
+  if (Name == "knowlist")
+    return specs::KnowlistAlg;
+  if (Name == "knows_symboltable")
+    return specs::KnowsSymboltableAlg;
+  if (Name == "nat")
+    return specs::NatAlg;
+  if (Name == "set")
+    return specs::SetAlg;
+  if (Name == "list")
+    return specs::ListAlg;
+  if (Name == "bag")
+    return specs::BagAlg;
+  if (Name == "bst")
+    return specs::BstAlg;
+  if (Name == "table")
+    return specs::TableAlg;
+  if (Name == "boundedqueue")
+    return specs::BoundedQueueAlg;
+  if (Name == "symboltable_impl")
+    return specs::SymboltableImplAlg;
+  return {};
+}
+
+bool algspec::server::loadSources(Workspace &WS,
+                                  const std::vector<SourceFile> &Sources,
+                                  std::string &Err) {
+  for (const SourceFile &Source : Sources) {
+    if (Result<void> R = WS.load(Source.Text, Source.Name); !R) {
+      appendf(Err, "%s", R.error().message().c_str());
+      return false;
+    }
+  }
+  if (WS.specs().empty()) {
+    appendf(Err, "error: no specs loaded; pass files or --builtin\n");
+    return false;
+  }
+  return true;
+}
+
+CommandResult algspec::server::dispatchCommand(Workspace &WS,
+                                               const CommandRequest &R) {
+  CommandResult Out;
+  if (R.Command == "check")
+    runCheck(WS, R.Opts, Out);
+  else if (R.Command == "lint")
+    runLint(WS, R.Opts, Out);
+  else if (R.Command == "analyze")
+    runAnalyze(WS, R.Opts, Out);
+  else if (R.Command == "eval" || R.Command == "trace")
+    runEval(WS, R.Opts, R.Command == "trace", Out);
+  else if (R.Command == "verify")
+    runVerify(WS, R.Opts, Out);
+  else {
+    appendf(Out.Err, "error: unknown command '%s'\n", R.Command.c_str());
+    Out.ExitCode = 2;
+  }
+  return Out;
+}
+
+CommandResult algspec::server::runCommand(const CommandRequest &R) {
+  Workspace WS;
+  CommandResult Out;
+  if (!loadSources(WS, R.Sources, Out.Err)) {
+    Out.ExitCode = 1;
+    return Out;
+  }
+  return dispatchCommand(WS, R);
+}

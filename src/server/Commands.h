@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command layer: the one-shot CLI subcommands (check, lint,
+/// analyze, eval, trace, verify) as pure functions from a request to
+/// captured {exit code, stdout, stderr}.
+///
+/// Both entry points — `tools/algspec` running a subcommand once, and
+/// `algspec serve` dispatching the same subcommand for a network
+/// request — call through here, so a served response is byte-identical
+/// to the one-shot CLI output *by construction*, not by parallel
+/// maintenance of two formatting paths. The server's stress client and
+/// tests/ServerTest.cpp pin that identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SERVER_COMMANDS_H
+#define ALGSPEC_SERVER_COMMANDS_H
+
+#include "core/AlgSpec.h"
+#include "rewrite/Engine.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+namespace server {
+
+/// One spec buffer: a file the CLI read, a builtin resolved by name, or
+/// inline text shipped inside a network request.
+struct SourceFile {
+  std::string Name; ///< Buffer name for diagnostics ("queue.alg").
+  std::string Text; ///< Full spec text.
+};
+
+/// The option subset that affects served commands; field defaults match
+/// the CLI flags' defaults, so an empty request reproduces a bare CLI
+/// invocation.
+struct CommandOptions {
+  std::string TermText; ///< eval/trace: the term (-e).
+  unsigned Depth = 3;   ///< verify: instance depth (-d).
+  int DynamicDepth = -1; ///< check: --dynamic depth, -1 = off.
+  unsigned Jobs = 0;     ///< 0 = hardware concurrency (--jobs).
+  bool CompileEngine = true; ///< --engine compiled|interp.
+  bool Json = false;
+  bool WarningsAsErrors = false;
+  /// Engine fuel override; 0 keeps EngineOptions' default. The server
+  /// clamps this to its own --max-steps cap before dispatch.
+  uint64_t MaxSteps = 0;
+  // verify options.
+  std::string AbstractSpec;
+  std::string RepSort;
+  std::string PhiName;
+  std::vector<std::pair<std::string, std::string>> OpMap;
+  std::string InvariantName;
+  bool FreeDomain = false;
+  bool Homomorphism = false;
+};
+
+struct CommandRequest {
+  /// "check", "lint", "analyze", "eval", "trace", or "verify".
+  std::string Command;
+  /// Spec buffers, in load order (the CLI loads builtins, then files).
+  std::vector<SourceFile> Sources;
+  CommandOptions Opts;
+};
+
+struct CommandResult {
+  int ExitCode = 0;
+  std::string Out; ///< Exactly what the one-shot CLI prints to stdout.
+  std::string Err; ///< Exactly what the one-shot CLI prints to stderr.
+  /// Rewrite-engine counters aggregated over whatever reports the
+  /// command produced (informational; feeds the server's live stats).
+  EngineStats Engine;
+};
+
+/// True for the commands the dispatcher (and the serve protocol)
+/// understands.
+bool isServableCommand(std::string_view Command);
+
+/// Resolves an embedded builtin spec by name ("queue", "symboltable",
+/// ...); empty view when unknown. Shared by the CLI, the server, and
+/// the client so all three agree on the catalogue.
+std::string_view builtinSpecText(std::string_view Name);
+
+/// Loads every source into \p WS. On failure returns false and \p Err
+/// holds the CLI-identical stderr text (parse diagnostics, or the
+/// "no specs loaded" usage error when \p Sources is empty).
+bool loadSources(Workspace &WS, const std::vector<SourceFile> &Sources,
+                 std::string &Err);
+
+/// Runs \p R.Command against the pre-loaded workspace. The workspace
+/// may be reused across calls (the server's session cache does): every
+/// command builds its own engines and reports, so outputs do not depend
+/// on prior calls.
+CommandResult dispatchCommand(Workspace &WS, const CommandRequest &R);
+
+/// Fresh-workspace convenience: load sources, then dispatch. This is
+/// the exact one-shot CLI code path (and what the stress client runs
+/// locally to precompute expected responses).
+CommandResult runCommand(const CommandRequest &R);
+
+} // namespace server
+} // namespace algspec
+
+#endif // ALGSPEC_SERVER_COMMANDS_H

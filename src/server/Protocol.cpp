@@ -1,0 +1,376 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "support/Json.h"
+
+#include <cstdlib>
+
+using namespace algspec;
+using namespace algspec::server;
+
+std::string_view server::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::InvalidRequest:
+    return "invalid_request";
+  case ErrorCode::UnknownType:
+    return "unknown_type";
+  case ErrorCode::OversizedFrame:
+    return "oversized_frame";
+  case ErrorCode::BadUtf8:
+    return "bad_utf8";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ErrorCode::ShuttingDown:
+    return "shutting_down";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+//===----------------------------------------------------------------------===//
+// Request decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fail(ProtocolError &Err, ErrorCode Code, std::string Message) {
+  Err.Code = Code;
+  Err.Message = std::move(Message);
+  return false;
+}
+
+/// Decodes the "options" object into \p Opts. Unknown members are
+/// ignored (forward compatibility); known members with the wrong JSON
+/// kind are an error — a typo'd value must not silently fall back to a
+/// default and produce a misleadingly successful response.
+bool decodeOptions(const JsonValue &V, CommandOptions &Opts,
+                   ProtocolError &Err) {
+  const JsonValue::Object *O = V.object();
+  if (!O)
+    return fail(Err, ErrorCode::InvalidRequest,
+                "'options' must be an object");
+  for (const JsonValue::Member &M : *O) {
+    const std::string &Key = M.first;
+    const JsonValue &Val = M.second;
+    auto wantString = [&](std::string &Into) {
+      if (!Val.isString())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option '" + Key + "' must be a string");
+      Into = Val.asString();
+      return true;
+    };
+    auto wantBool = [&](bool &Into) {
+      if (!Val.isBool())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option '" + Key + "' must be a boolean");
+      Into = Val.asBool();
+      return true;
+    };
+    if (Key == "term") {
+      if (!wantString(Opts.TermText))
+        return false;
+    } else if (Key == "depth") {
+      if (!Val.isInt() || Val.asInt() < 0)
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'depth' must be a non-negative integer");
+      Opts.Depth = static_cast<unsigned>(Val.asInt());
+    } else if (Key == "dynamic") {
+      if (!Val.isInt())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'dynamic' must be an integer");
+      Opts.DynamicDepth = static_cast<int>(Val.asInt());
+    } else if (Key == "jobs") {
+      if (!Val.isInt() || Val.asInt() < 0)
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'jobs' must be a non-negative integer");
+      Opts.Jobs = static_cast<unsigned>(Val.asInt());
+    } else if (Key == "engine") {
+      if (!Val.isString() ||
+          (Val.asString() != "compiled" && Val.asString() != "interp"))
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'engine' must be 'compiled' or 'interp'");
+      Opts.CompileEngine = Val.asString() == "compiled";
+    } else if (Key == "json") {
+      if (!wantBool(Opts.Json))
+        return false;
+    } else if (Key == "werror") {
+      if (!wantBool(Opts.WarningsAsErrors))
+        return false;
+    } else if (Key == "maxSteps") {
+      if (!Val.isInt() || Val.asInt() < 0)
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'maxSteps' must be a non-negative integer");
+      Opts.MaxSteps = static_cast<uint64_t>(Val.asInt());
+    } else if (Key == "abstract") {
+      if (!wantString(Opts.AbstractSpec))
+        return false;
+    } else if (Key == "repSort") {
+      if (!wantString(Opts.RepSort))
+        return false;
+    } else if (Key == "phi") {
+      if (!wantString(Opts.PhiName))
+        return false;
+    } else if (Key == "map") {
+      const JsonValue::Object *Map = Val.object();
+      if (!Map)
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'map' must be an object of "
+                    "ABSTRACT: IMPL pairs");
+      for (const JsonValue::Member &Pair : *Map) {
+        if (!Pair.second.isString())
+          return fail(Err, ErrorCode::InvalidRequest,
+                      "option 'map' values must be strings");
+        Opts.OpMap.emplace_back(Pair.first, Pair.second.asString());
+      }
+    } else if (Key == "invariant") {
+      if (!wantString(Opts.InvariantName))
+        return false;
+    } else if (Key == "free") {
+      if (!wantBool(Opts.FreeDomain))
+        return false;
+    } else if (Key == "hom") {
+      if (!wantBool(Opts.Homomorphism))
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool server::parseRequest(std::string_view Frame, Request &Out,
+                          ProtocolError &Err) {
+  Result<JsonValue> Parsed = parseJson(Frame);
+  if (!Parsed)
+    return fail(Err, ErrorCode::ParseError, Parsed.error().message());
+  const JsonValue &Root = *Parsed;
+  if (!Root.isObject())
+    return fail(Err, ErrorCode::InvalidRequest,
+                "request must be a JSON object");
+
+  if (const JsonValue *Id = Root.get("id")) {
+    if (!Id->isString() && !Id->isNumber())
+      return fail(Err, ErrorCode::InvalidRequest,
+                  "'id' must be a string or a number");
+    Out.IdJson = dumpJson(*Id);
+  }
+
+  const JsonValue *Type = Root.get("type");
+  if (!Type || !Type->isString())
+    return fail(Err, ErrorCode::InvalidRequest,
+                "request needs a string 'type'");
+  Out.Type = Type->asString();
+
+  if (const JsonValue *Deadline = Root.get("deadlineMs")) {
+    if (!Deadline->isInt() || Deadline->asInt() < 0)
+      return fail(Err, ErrorCode::InvalidRequest,
+                  "'deadlineMs' must be a non-negative integer");
+    Out.DeadlineMs = Deadline->asInt();
+  }
+
+  if (isControlRequest(Out.Type))
+    return true;
+
+  if (Out.Type == "sleep") {
+    if (const JsonValue *Ms = Root.get("sleepMs")) {
+      if (!Ms->isInt() || Ms->asInt() < 0)
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "'sleepMs' must be a non-negative integer");
+      Out.SleepMs = Ms->asInt();
+    }
+    return true;
+  }
+
+  if (!isServableCommand(Out.Type))
+    return fail(Err, ErrorCode::UnknownType,
+                "unknown request type '" + Out.Type + "'");
+  Out.Command.Command = Out.Type;
+
+  if (const JsonValue *Builtins = Root.get("builtins")) {
+    const JsonValue::Array *A = Builtins->array();
+    if (!A)
+      return fail(Err, ErrorCode::InvalidRequest,
+                  "'builtins' must be an array of names");
+    for (const JsonValue &Name : *A) {
+      if (!Name.isString())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "'builtins' entries must be strings");
+      std::string_view Text = builtinSpecText(Name.asString());
+      if (Text.empty())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "unknown builtin spec '" + Name.asString() + "'");
+      // The CLI loads a builtin under the buffer name "<name>.alg";
+      // matching it keeps diagnostics byte-identical.
+      Out.Command.Sources.push_back(
+          {Name.asString() + ".alg", std::string(Text)});
+    }
+  }
+
+  if (const JsonValue *Sources = Root.get("sources")) {
+    const JsonValue::Array *A = Sources->array();
+    if (!A)
+      return fail(Err, ErrorCode::InvalidRequest,
+                  "'sources' must be an array of {name, text} objects");
+    for (const JsonValue &S : *A) {
+      const JsonValue *Name = S.get("name");
+      const JsonValue *Text = S.get("text");
+      if (!S.isObject() || !Name || !Name->isString() || !Text ||
+          !Text->isString())
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "'sources' entries must be {name, text} objects "
+                    "with string members");
+      Out.Command.Sources.push_back({Name->asString(), Text->asString()});
+    }
+  }
+
+  if (const JsonValue *Options = Root.get("options"))
+    if (!decodeOptions(*Options, Out.Command.Opts, Err))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Response encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Opens a compact response object and splices the echoed id. The id
+/// was produced by dumpJson() (or validated client-side), so splicing
+/// it raw cannot break the framing.
+void openResponse(std::string &Out, const std::string &IdJson) {
+  Out.clear();
+  Out.push_back('{');
+  if (!IdJson.empty()) {
+    Out += "\"id\": ";
+    Out += IdJson;
+    Out += ", ";
+  }
+}
+
+} // namespace
+
+std::string server::encodeErrorResponse(const std::string &IdJson,
+                                        ErrorCode Code,
+                                        std::string_view Message) {
+  std::string Out;
+  openResponse(Out, IdJson);
+  Out += "\"type\": \"error\", \"error\": {\"code\": \"";
+  Out += errorCodeName(Code);
+  Out += "\", \"message\": \"";
+  Out += jsonEscape(Message);
+  Out += "\"}}\n";
+  return Out;
+}
+
+std::string server::encodeCommandResponse(const std::string &IdJson,
+                                          const CommandResult &R,
+                                          bool CacheHit) {
+  std::string Out;
+  openResponse(Out, IdJson);
+  Out += "\"type\": \"response\", \"exit\": ";
+  Out += std::to_string(R.ExitCode);
+  Out += ", \"stdout\": \"";
+  Out += jsonEscape(R.Out);
+  Out += "\", \"stderr\": \"";
+  Out += jsonEscape(R.Err);
+  Out += "\", \"cached\": ";
+  Out += CacheHit ? "true" : "false";
+  Out += "}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Request encoding
+//===----------------------------------------------------------------------===//
+
+std::string server::encodeCommandRequest(const std::string &IdJson,
+                                         const CommandRequest &Command,
+                                         int64_t DeadlineMs) {
+  JsonWriter W(/*Compact=*/true);
+  W.beginObject();
+  // The writer cannot splice raw JSON; the id is re-emitted from its
+  // parsed form (numbers round-trip through int64).
+  if (!IdJson.empty()) {
+    if (IdJson.front() == '"') {
+      std::string Inner = IdJson.substr(1, IdJson.size() - 2);
+      W.key("id").value(Inner);
+    } else {
+      W.key("id").value(
+          static_cast<int64_t>(std::strtoll(IdJson.c_str(), nullptr, 10)));
+    }
+  }
+  W.key("type").value(Command.Command);
+  W.key("sources").beginArray();
+  for (const SourceFile &S : Command.Sources) {
+    W.beginObject();
+    W.key("name").value(S.Name);
+    W.key("text").value(S.Text);
+    W.endObject();
+  }
+  W.endArray();
+  const CommandOptions &O = Command.Opts;
+  W.key("options").beginObject();
+  if (!O.TermText.empty())
+    W.key("term").value(O.TermText);
+  W.key("depth").value(O.Depth);
+  W.key("dynamic").value(O.DynamicDepth);
+  W.key("jobs").value(O.Jobs);
+  W.key("engine").value(O.CompileEngine ? "compiled" : "interp");
+  W.key("json").value(O.Json);
+  W.key("werror").value(O.WarningsAsErrors);
+  if (O.MaxSteps != 0)
+    W.key("maxSteps").value(O.MaxSteps);
+  if (!O.AbstractSpec.empty())
+    W.key("abstract").value(O.AbstractSpec);
+  if (!O.RepSort.empty())
+    W.key("repSort").value(O.RepSort);
+  if (!O.PhiName.empty())
+    W.key("phi").value(O.PhiName);
+  if (!O.OpMap.empty()) {
+    W.key("map").beginObject();
+    for (const auto &[Abstract, Impl] : O.OpMap)
+      W.key(Abstract).value(Impl);
+    W.endObject();
+  }
+  if (!O.InvariantName.empty())
+    W.key("invariant").value(O.InvariantName);
+  if (O.FreeDomain)
+    W.key("free").value(true);
+  if (O.Homomorphism)
+    W.key("hom").value(true);
+  W.endObject();
+  if (DeadlineMs != 0)
+    W.key("deadlineMs").value(static_cast<int64_t>(DeadlineMs));
+  W.endObject();
+  return W.str() + "\n";
+}
+
+std::string server::encodeControlRequest(const std::string &IdJson,
+                                         std::string_view Type,
+                                         int64_t SleepMs) {
+  JsonWriter W(/*Compact=*/true);
+  W.beginObject();
+  if (!IdJson.empty()) {
+    if (IdJson.front() == '"')
+      W.key("id").value(IdJson.substr(1, IdJson.size() - 2));
+    else
+      W.key("id").value(
+          static_cast<int64_t>(std::strtoll(IdJson.c_str(), nullptr, 10)));
+  }
+  W.key("type").value(Type);
+  if (SleepMs != 0)
+    W.key("sleepMs").value(SleepMs);
+  W.endObject();
+  return W.str() + "\n";
+}

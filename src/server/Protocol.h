@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `algspec serve` wire protocol: newline-delimited single-line
+/// JSON frames, one request object per line, one response object per
+/// line. This header is the schema — request decoding and response
+/// encoding live here so the server, the client, and the tests agree
+/// on every field name and error code. docs/SERVER.md is the prose
+/// version of this file.
+///
+/// A request:
+///
+///   {"id": 7, "type": "check", "builtins": ["queue"],
+///    "sources": [{"name": "q.alg", "text": "spec ..."}],
+///    "options": {"json": true, "jobs": 1}, "deadlineMs": 5000}
+///
+/// A command response:
+///
+///   {"id": 7, "type": "response", "exit": 0, "stdout": "...",
+///    "stderr": "", "cached": true}
+///
+/// An error response:
+///
+///   {"id": 7, "type": "error",
+///    "error": {"code": "overloaded", "message": "..."}}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SERVER_PROTOCOL_H
+#define ALGSPEC_SERVER_PROTOCOL_H
+
+#include "server/Commands.h"
+
+#include <string>
+#include <string_view>
+
+namespace algspec {
+namespace server {
+
+/// Structured error codes a response can carry. Every malformed input
+/// maps to one of these — a bad frame must never tear down the server.
+enum class ErrorCode {
+  ParseError,       ///< Frame is not a single well-formed JSON document.
+  InvalidRequest,   ///< Well-formed JSON, but not a valid request shape.
+  UnknownType,      ///< "type" names no known request type.
+  OversizedFrame,   ///< Frame exceeded the server's size bound.
+  BadUtf8,          ///< Frame bytes are not well-formed UTF-8.
+  Overloaded,       ///< Queue at high-water mark; request rejected.
+  DeadlineExceeded, ///< Deadline expired before a worker picked it up.
+  ShuttingDown,     ///< Server is draining and accepts no new work.
+  Internal,         ///< Server-side failure (always a bug; report it).
+};
+
+/// The wire spelling of \p Code ("parse_error", "overloaded", ...).
+std::string_view errorCodeName(ErrorCode Code);
+
+/// One decoded request.
+struct Request {
+  /// The raw JSON spelling of the "id" member (echoed verbatim into
+  /// the response); empty when the request carried none.
+  std::string IdJson;
+  /// "hello", "stats", "sleep", or a servable command name.
+  std::string Type;
+  /// Filled for command types: builtins are resolved to their embedded
+  /// text here, in request order, before file sources — the CLI's load
+  /// order.
+  CommandRequest Command;
+  /// Milliseconds the client allows before the request must have been
+  /// dequeued; 0 = no deadline.
+  int64_t DeadlineMs = 0;
+  /// "sleep" test hook: how long the worker should hold the slot.
+  int64_t SleepMs = 0;
+};
+
+struct ProtocolError {
+  ErrorCode Code = ErrorCode::InvalidRequest;
+  std::string Message;
+};
+
+/// True for request types handled without touching the worker queue.
+inline bool isControlRequest(std::string_view Type) {
+  return Type == "hello" || Type == "stats";
+}
+
+/// Decodes one frame (already known to be valid UTF-8) into \p Out.
+/// On failure fills \p Err with a structured code and returns false;
+/// the frame never kills the connection by itself.
+bool parseRequest(std::string_view Frame, Request &Out, ProtocolError &Err);
+
+//===----------------------------------------------------------------------===//
+// Response encoding. Every function returns one full frame, trailing
+// '\n' included.
+//===----------------------------------------------------------------------===//
+
+/// {"id": ..., "type": "error", "error": {"code": ..., "message": ...}}
+std::string encodeErrorResponse(const std::string &IdJson, ErrorCode Code,
+                                std::string_view Message);
+
+/// {"id": ..., "type": "response", "exit": ..., "stdout": ...,
+///  "stderr": ..., "cached": ...}
+std::string encodeCommandResponse(const std::string &IdJson,
+                                  const CommandResult &R, bool CacheHit);
+
+//===----------------------------------------------------------------------===//
+// Request encoding (the client side).
+//===----------------------------------------------------------------------===//
+
+/// Encodes a command request frame. \p IdJson is spliced verbatim when
+/// non-empty (pass e.g. "42" or "\"req-1\"").
+std::string encodeCommandRequest(const std::string &IdJson,
+                                 const CommandRequest &Command,
+                                 int64_t DeadlineMs = 0);
+
+/// Encodes a control request frame ("hello", "stats") or a "sleep"
+/// test-hook frame when \p SleepMs is nonzero.
+std::string encodeControlRequest(const std::string &IdJson,
+                                 std::string_view Type,
+                                 int64_t SleepMs = 0);
+
+} // namespace server
+} // namespace algspec
+
+#endif // ALGSPEC_SERVER_PROTOCOL_H

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Version.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace algspec;
+
+std::string server::gitVersion() {
+#ifdef ALGSPEC_GIT_DESCRIBE
+  std::string V = ALGSPEC_GIT_DESCRIBE;
+  if (!V.empty())
+    return V;
+#endif
+  return "unknown";
+}
+
+std::string server::buildType() {
+#ifdef ALGSPEC_BUILD_TYPE
+  std::string Type = ALGSPEC_BUILD_TYPE;
+#else
+  std::string Type;
+#endif
+  std::transform(Type.begin(), Type.end(), Type.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (!Type.empty())
+    return Type;
+#ifdef NDEBUG
+  return "unspecified-ndebug";
+#else
+  return "unspecified-assertions";
+#endif
+}

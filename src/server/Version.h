@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build identification for `algspec version` and the serve protocol's
+/// hello handshake: the git describe string and build type are stamped
+/// in at configure time (src/server/CMakeLists.txt), following the same
+/// honesty rule as bench/BenchMain.h — a client talking to a daemon
+/// must be able to tell a debug build from a release one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SERVER_VERSION_H
+#define ALGSPEC_SERVER_VERSION_H
+
+#include <string>
+
+namespace algspec {
+namespace server {
+
+/// `git describe --always --dirty` at configure time; "unknown" when
+/// the tree was built outside git.
+std::string gitVersion();
+
+/// CMAKE_BUILD_TYPE lowercased; when empty, falls back to the NDEBUG
+/// state ("unspecified-ndebug" / "unspecified-assertions").
+std::string buildType();
+
+/// The engine the server dispatches with unless a request overrides it.
+inline const char *defaultEngineName() { return "compiled"; }
+
+} // namespace server
+} // namespace algspec
+
+#endif // ALGSPEC_SERVER_VERSION_H

@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/WorkspaceCache.h"
+
+using namespace algspec;
+using namespace algspec::server;
+
+uint64_t server::hashSources(const std::vector<SourceFile> &Sources) {
+  uint64_t Hash = 1469598103934665603ull; // FNV offset basis.
+  auto mix = [&Hash](std::string_view Bytes) {
+    for (unsigned char C : Bytes) {
+      Hash ^= C;
+      Hash *= 1099511628211ull; // FNV prime.
+    }
+  };
+  for (const SourceFile &S : Sources) {
+    mix(S.Name);
+    mix(std::string_view("\x00", 1));
+    mix(S.Text);
+    mix(std::string_view("\x01", 1));
+  }
+  return Hash;
+}
+
+WorkspaceSlot &CacheEntry::slotFor(size_t WorkerIndex) {
+  return Slots.at(WorkerIndex);
+}
+
+std::shared_ptr<CacheEntry>
+WorkspaceCache::acquire(const std::vector<SourceFile> &Sources,
+                        bool &WasHit) {
+  uint64_t Hash = hashSources(Sources);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Hash);
+  if (It != Map.end()) {
+    const std::vector<SourceFile> &Cached = It->second.Entry->sources();
+    bool Same = Cached.size() == Sources.size();
+    for (size_t I = 0; Same && I != Cached.size(); ++I)
+      Same = Cached[I].Name == Sources[I].Name &&
+             Cached[I].Text == Sources[I].Text;
+    if (Same) {
+      ++Stats.Hits;
+      Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+      WasHit = true;
+      return It->second.Entry;
+    }
+    // Full-source collision under one 64-bit hash: serve a private,
+    // unshared entry rather than risk dispatching the wrong specs.
+    ++Stats.Misses;
+    WasHit = false;
+    return std::make_shared<CacheEntry>(Sources, Workers);
+  }
+  ++Stats.Misses;
+  WasHit = false;
+  auto Entry = std::make_shared<CacheEntry>(Sources, Workers);
+  Lru.push_front(Hash);
+  Map.emplace(Hash, MapEntry{Entry, Lru.begin()});
+  while (Map.size() > MaxEntries) {
+    uint64_t Victim = Lru.back();
+    Lru.pop_back();
+    Map.erase(Victim);
+    ++Stats.Evictions;
+  }
+  return Entry;
+}
+
+CacheStats WorkspaceCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void WorkspaceCache::noteElaboration() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Elaborations;
+}
+
+Workspace *server::workspaceFor(WorkspaceCache &Cache, CacheEntry &Entry,
+                                size_t WorkerIndex,
+                                std::string &LoadError) {
+  WorkspaceSlot &Slot = Entry.slotFor(WorkerIndex);
+  if (!Slot.Elaborated) {
+    Slot.Elaborated = true;
+    Cache.noteElaboration();
+    auto WS = std::make_unique<Workspace>();
+    std::string Err;
+    if (loadSources(*WS, Entry.sources(), Err)) {
+      Slot.WS = std::move(WS);
+    } else {
+      Slot.LoadFailed = true;
+      Slot.LoadError = std::move(Err);
+    }
+  }
+  if (Slot.LoadFailed) {
+    LoadError = Slot.LoadError;
+    return nullptr;
+  }
+  return Slot.WS.get();
+}

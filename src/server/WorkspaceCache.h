@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server's cache of pre-elaborated workspaces, keyed by a content
+/// hash of the request's ordered (name, text) source list.
+///
+/// Each cache entry holds one private Workspace *per worker thread*,
+/// elaborated lazily from the original source text the first time that
+/// worker serves the spec set. Two rules make this safe and exact:
+///
+///  - Worker i only ever touches slot i, so concurrent requests never
+///    share a mutable AlgebraContext — the same isolation discipline as
+///    the parallel checkers' per-worker Replicator replicas (which still
+///    run *inside* a request whenever it asks for jobs > 1).
+///
+///  - Slots re-elaborate from the original sources rather than from a
+///    replica's canonical re-print, so source locations (lint carets,
+///    JSON line/column fields) stay byte-identical to the one-shot CLI,
+///    which parsed the same bytes.
+///
+/// Reuse across requests is sound because every command entry point
+/// builds its engines, sessions, and reports fresh per call; the only
+/// state that persists in a workspace between requests is the
+/// append-only hash-consed term arena, which affects no printed output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SERVER_WORKSPACECACHE_H
+#define ALGSPEC_SERVER_WORKSPACECACHE_H
+
+#include "server/Commands.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace algspec {
+namespace server {
+
+/// FNV-1a over the ordered (name, text) list, with separators so
+/// ("ab","c") and ("a","bc") hash apart.
+uint64_t hashSources(const std::vector<SourceFile> &Sources);
+
+/// One worker's private slot inside a cache entry.
+struct WorkspaceSlot {
+  bool Elaborated = false;
+  /// Set when loading the entry's sources failed; LoadError then holds
+  /// the CLI-identical stderr text. Failures are cached too — a spec
+  /// set that does not parse will not parse on the next request either.
+  bool LoadFailed = false;
+  std::string LoadError;
+  std::unique_ptr<Workspace> WS;
+};
+
+class WorkspaceCache;
+
+/// A pinned cache entry. Entries are handed out as shared_ptr so an
+/// eviction never pulls a workspace out from under a running request.
+class CacheEntry {
+public:
+  CacheEntry(std::vector<SourceFile> Sources, size_t Workers)
+      : Sources(std::move(Sources)), Slots(Workers) {}
+
+  /// The worker's private slot, elaborating on first use. Only worker
+  /// \p WorkerIndex may call this with that index, which is what makes
+  /// the call safe without a lock.
+  WorkspaceSlot &slotFor(size_t WorkerIndex);
+
+  const std::vector<SourceFile> &sources() const { return Sources; }
+
+private:
+  std::vector<SourceFile> Sources;
+  std::vector<WorkspaceSlot> Slots;
+};
+
+struct CacheStats {
+  uint64_t Hits = 0;      ///< Lookup found the entry.
+  uint64_t Misses = 0;    ///< Lookup created the entry.
+  uint64_t Evictions = 0; ///< Entries dropped at the capacity bound.
+  /// Workspaces actually elaborated (one per worker per entry at most;
+  /// Hits - (Elaborations - Misses) requests reused a warm workspace).
+  uint64_t Elaborations = 0;
+};
+
+/// Hash map + LRU list, both guarded by one mutex. The lock covers only
+/// entry lookup/creation — elaboration and command dispatch run outside
+/// it, on the worker's private slot.
+class WorkspaceCache {
+public:
+  /// \p MaxEntries bounds the cache (LRU eviction); \p Workers fixes
+  /// the per-entry slot count.
+  WorkspaceCache(size_t MaxEntries, size_t Workers)
+      : MaxEntries(MaxEntries ? MaxEntries : 1), Workers(Workers) {}
+
+  /// Finds or creates the entry for \p Sources. Sets \p WasHit to
+  /// whether the entry already existed. On a full-source collision
+  /// under one hash the cache is bypassed with a fresh unshared entry —
+  /// correctness never depends on 64-bit uniqueness.
+  std::shared_ptr<CacheEntry> acquire(const std::vector<SourceFile> &Sources,
+                                      bool &WasHit);
+
+  CacheStats stats() const;
+
+  /// Called by CacheEntry::slotFor on first elaboration.
+  void noteElaboration();
+
+private:
+  const size_t MaxEntries;
+  const size_t Workers;
+
+  mutable std::mutex Mutex;
+  /// Most-recently-used at the front.
+  std::list<uint64_t> Lru;
+  struct MapEntry {
+    std::shared_ptr<CacheEntry> Entry;
+    std::list<uint64_t>::iterator LruPos;
+  };
+  std::unordered_map<uint64_t, MapEntry> Map;
+  CacheStats Stats;
+};
+
+/// The workspace for \p Entry on worker \p WorkerIndex, elaborated from
+/// the original sources if this worker has not seen the entry yet.
+/// Returns nullptr when the sources do not load; \p LoadError then
+/// holds the CLI-identical diagnostics.
+Workspace *workspaceFor(WorkspaceCache &Cache, CacheEntry &Entry,
+                        size_t WorkerIndex, std::string &LoadError);
+
+} // namespace server
+} // namespace algspec
+
+#endif // ALGSPEC_SERVER_WORKSPACECACHE_H

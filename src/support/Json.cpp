@@ -7,44 +7,161 @@
 #include "support/Json.h"
 
 #include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace algspec;
+
+//===----------------------------------------------------------------------===//
+// UTF-8 validation and escaping
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Decodes the UTF-8 sequence starting at Str[I]. On success returns
+/// its length (1..4) and writes the code point; returns 0 on any
+/// malformation (truncation, bad continuation, overlong encoding,
+/// surrogate, > U+10FFFF).
+size_t decodeUtf8(std::string_view Str, size_t I, uint32_t &CodePoint) {
+  unsigned char C0 = static_cast<unsigned char>(Str[I]);
+  if (C0 < 0x80) {
+    CodePoint = C0;
+    return 1;
+  }
+  size_t Len;
+  uint32_t Min;
+  if ((C0 & 0xE0) == 0xC0) {
+    Len = 2;
+    Min = 0x80;
+    CodePoint = C0 & 0x1F;
+  } else if ((C0 & 0xF0) == 0xE0) {
+    Len = 3;
+    Min = 0x800;
+    CodePoint = C0 & 0x0F;
+  } else if ((C0 & 0xF8) == 0xF0) {
+    Len = 4;
+    Min = 0x10000;
+    CodePoint = C0 & 0x07;
+  } else {
+    return 0; // Bare continuation byte or 0xFE/0xFF.
+  }
+  if (I + Len > Str.size())
+    return 0;
+  for (size_t K = 1; K != Len; ++K) {
+    unsigned char C = static_cast<unsigned char>(Str[I + K]);
+    if ((C & 0xC0) != 0x80)
+      return 0;
+    CodePoint = (CodePoint << 6) | (C & 0x3F);
+  }
+  if (CodePoint < Min)
+    return 0; // Overlong encoding.
+  if (CodePoint >= 0xD800 && CodePoint <= 0xDFFF)
+    return 0; // Surrogate half.
+  if (CodePoint > 0x10FFFF)
+    return 0;
+  return Len;
+}
+
+/// Appends \p CodePoint to \p Out as UTF-8. \p CodePoint must be a
+/// scalar value (the string parser checks surrogate pairing first).
+void appendUtf8(std::string &Out, uint32_t CodePoint) {
+  if (CodePoint < 0x80) {
+    Out += static_cast<char>(CodePoint);
+  } else if (CodePoint < 0x800) {
+    Out += static_cast<char>(0xC0 | (CodePoint >> 6));
+    Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+  } else if (CodePoint < 0x10000) {
+    Out += static_cast<char>(0xE0 | (CodePoint >> 12));
+    Out += static_cast<char>(0x80 | ((CodePoint >> 6) & 0x3F));
+    Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+  } else {
+    Out += static_cast<char>(0xF0 | (CodePoint >> 18));
+    Out += static_cast<char>(0x80 | ((CodePoint >> 12) & 0x3F));
+    Out += static_cast<char>(0x80 | ((CodePoint >> 6) & 0x3F));
+    Out += static_cast<char>(0x80 | (CodePoint & 0x3F));
+  }
+}
+
+} // namespace
+
+bool algspec::isValidUtf8(std::string_view Str) {
+  for (size_t I = 0; I < Str.size();) {
+    uint32_t CodePoint;
+    size_t Len = decodeUtf8(Str, I, CodePoint);
+    if (Len == 0)
+      return false;
+    I += Len;
+  }
+  return true;
+}
 
 std::string algspec::jsonEscape(std::string_view Str) {
   std::string Out;
   Out.reserve(Str.size());
-  for (char C : Str) {
+  static const char Hex[] = "0123456789abcdef";
+  for (size_t I = 0; I < Str.size();) {
+    char C = Str[I];
     switch (C) {
     case '"':
       Out += "\\\"";
-      break;
+      ++I;
+      continue;
     case '\\':
       Out += "\\\\";
-      break;
+      ++I;
+      continue;
     case '\n':
       Out += "\\n";
-      break;
+      ++I;
+      continue;
     case '\r':
       Out += "\\r";
-      break;
+      ++I;
+      continue;
     case '\t':
       Out += "\\t";
-      break;
+      ++I;
+      continue;
     default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        static const char Hex[] = "0123456789abcdef";
-        Out += "\\u00";
-        Out += Hex[(C >> 4) & 0xF];
-        Out += Hex[C & 0xF];
-      } else {
-        Out += C;
-      }
+      break;
+    }
+    unsigned char U = static_cast<unsigned char>(C);
+    if (U < 0x20) {
+      Out += "\\u00";
+      Out += Hex[(U >> 4) & 0xF];
+      Out += Hex[U & 0xF];
+      ++I;
+      continue;
+    }
+    if (U < 0x80) {
+      Out += C;
+      ++I;
+      continue;
+    }
+    // Multi-byte sequence: copy only if well-formed; otherwise emit one
+    // escaped replacement character per offending byte so the output is
+    // always valid UTF-8 and the corruption stays visible.
+    uint32_t CodePoint;
+    size_t Len = decodeUtf8(Str, I, CodePoint);
+    if (Len == 0) {
+      Out += "\\ufffd";
+      ++I;
+    } else {
+      Out.append(Str.substr(I, Len));
+      I += Len;
     }
   }
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
 void JsonWriter::newline() {
+  if (Compact)
+    return;
   Out += '\n';
   Out.append(2 * Stack.size(), ' ');
 }
@@ -137,4 +254,354 @@ JsonWriter &JsonWriter::value(uint64_t N) {
   beforeValue();
   Out += std::to_string(N);
   return *this;
+}
+
+JsonWriter &JsonWriter::value(double D) {
+  if (!std::isfinite(D))
+    return null();
+  beforeValue();
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", D);
+  Out += Buffer;
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, JsonParseLimits Limits)
+      : Text(Text), Limits(Limits) {}
+
+  Result<JsonValue> parse() {
+    skipSpace();
+    Result<JsonValue> V = parseValue(0);
+    if (!V)
+      return V;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing bytes after JSON value");
+    return V;
+  }
+
+private:
+  Error fail(const std::string &Why) const {
+    return makeError("JSON parse error at byte " + std::to_string(Pos) +
+                     ": " + Why);
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parseValue(size_t Depth) {
+    if (Depth > Limits.MaxDepth)
+      return fail("nesting deeper than " + std::to_string(Limits.MaxDepth));
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      Result<std::string> S = parseString();
+      if (!S)
+        return S.error();
+      return JsonValue(S.take());
+    }
+    case 't':
+      return parseKeyword("true", JsonValue(true));
+    case 'f':
+      return parseKeyword("false", JsonValue(false));
+    case 'n':
+      return parseKeyword("null", JsonValue());
+    default:
+      return parseNumber();
+    }
+  }
+
+  Result<JsonValue> parseKeyword(std::string_view Word, JsonValue V) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail("invalid literal");
+    Pos += Word.size();
+    return V;
+  }
+
+  Result<JsonValue> parseObject(size_t Depth) {
+    ++Pos; // '{'
+    JsonValue::Object Members;
+    skipSpace();
+    if (consume('}'))
+      return JsonValue(std::move(Members));
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      Result<std::string> Key = parseString();
+      if (!Key)
+        return Key.error();
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipSpace();
+      Result<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      Members.emplace_back(Key.take(), V.take());
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return JsonValue(std::move(Members));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parseArray(size_t Depth) {
+    ++Pos; // '['
+    JsonValue::Array Elements;
+    skipSpace();
+    if (consume(']'))
+      return JsonValue(std::move(Elements));
+    while (true) {
+      skipSpace();
+      Result<JsonValue> V = parseValue(Depth + 1);
+      if (!V)
+        return V;
+      Elements.push_back(V.take());
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return JsonValue(std::move(Elements));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<uint32_t> parseHex4() {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    uint32_t V = 0;
+    for (int K = 0; K != 4; ++K) {
+      char C = Text[Pos + K];
+      V <<= 4;
+      if (C >= '0' && C <= '9')
+        V |= static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        V |= static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        V |= static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape digit");
+    }
+    Pos += 4;
+    return V;
+  }
+
+  Result<std::string> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return Out;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          Result<uint32_t> Hi = parseHex4();
+          if (!Hi)
+            return Hi.error();
+          uint32_t CodePoint = *Hi;
+          if (CodePoint >= 0xD800 && CodePoint <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume('\\') || !consume('u'))
+              return fail("unpaired high surrogate");
+            Result<uint32_t> Lo = parseHex4();
+            if (!Lo)
+              return Lo.error();
+            if (*Lo < 0xDC00 || *Lo > 0xDFFF)
+              return fail("invalid low surrogate");
+            CodePoint =
+                0x10000 + ((CodePoint - 0xD800) << 10) + (*Lo - 0xDC00);
+          } else if (CodePoint >= 0xDC00 && CodePoint <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          appendUtf8(Out, CodePoint);
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+        }
+        continue;
+      }
+      if (C < 0x20)
+        return fail("unescaped control byte in string");
+      if (C < 0x80) {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      uint32_t CodePoint;
+      size_t Len = decodeUtf8(Text, Pos, CodePoint);
+      if (Len == 0)
+        return fail("invalid UTF-8 in string");
+      Out.append(Text.substr(Pos, Len));
+      Pos += Len;
+    }
+  }
+
+  Result<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    (void)consume('-');
+    if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+      return fail("invalid number");
+    // No leading zeros: "0" or [1-9][0-9]*.
+    if (Text[Pos] == '0') {
+      ++Pos;
+    } else {
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    bool Integral = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digits required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digits required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Token(Text.substr(Start, Pos - Start));
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Token.c_str(), &End, 10);
+      if (errno == 0 && End == Token.c_str() + Token.size())
+        return JsonValue(static_cast<int64_t>(V));
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size() || !std::isfinite(D))
+      return fail("number out of range");
+    return JsonValue(D);
+  }
+
+  std::string_view Text;
+  JsonParseLimits Limits;
+  size_t Pos = 0;
+};
+
+void dumpValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    W.null();
+    break;
+  case JsonValue::Kind::Bool:
+    W.value(V.asBool());
+    break;
+  case JsonValue::Kind::Int:
+    W.value(static_cast<int64_t>(V.asInt()));
+    break;
+  case JsonValue::Kind::Double:
+    W.value(V.asDouble());
+    break;
+  case JsonValue::Kind::String:
+    W.value(V.asString());
+    break;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : *V.array())
+      dumpValue(W, E);
+    W.endArray();
+    break;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const JsonValue::Member &M : *V.object()) {
+      W.key(M.first);
+      dumpValue(W, M.second);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+} // namespace
+
+Result<JsonValue> algspec::parseJson(std::string_view Text,
+                                     JsonParseLimits Limits) {
+  return JsonParser(Text, Limits).parse();
+}
+
+std::string algspec::dumpJson(const JsonValue &Value, bool Compact) {
+  JsonWriter W(Compact);
+  dumpValue(W, Value);
+  return W.str();
 }

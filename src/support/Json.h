@@ -5,27 +5,44 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal streaming JSON writer for the machine-readable CLI outputs
-/// (`algspec check --json`, `algspec lint --json`).
+/// Streaming JSON writer and a small strict reader.
 ///
-/// The writer tracks nesting and comma placement; callers emit keys and
-/// values in order. There is no reader — the toolkit only produces JSON.
+/// The writer produces the machine-readable CLI outputs (`algspec check
+/// --json`, `algspec lint --json`) and the server's wire frames; it
+/// tracks nesting and comma placement, and has a compact mode (no
+/// newlines) for single-line wire frames. The reader exists for the
+/// `algspec serve` protocol: it is strict (no comments, no trailing
+/// commas, UTF-8 validated, bounded nesting depth) because it parses
+/// bytes from untrusted network peers.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ALGSPEC_SUPPORT_JSON_H
 #define ALGSPEC_SUPPORT_JSON_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace algspec {
 
-/// Escapes \p Str for inclusion inside a JSON string literal (quotes,
-/// backslashes, control characters).
+/// Escapes \p Str for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters are escaped, and any byte
+/// sequence that is not well-formed UTF-8 is replaced by the escaped
+/// replacement character (\\ufffd, one per offending byte) so the
+/// output is always a valid UTF-8 JSON document no matter what bytes a
+/// spec file or network peer fed in.
 std::string jsonEscape(std::string_view Str);
+
+/// True when \p Str is well-formed UTF-8 (rejects overlong encodings,
+/// surrogates, and code points past U+10FFFF). The wire protocol
+/// validates every inbound frame with this before parsing.
+bool isValidUtf8(std::string_view Str);
 
 /// Streaming JSON writer with automatic comma and indent handling.
 ///
@@ -38,6 +55,10 @@ std::string jsonEscape(std::string_view Str);
 ///   std::string Out = W.str();
 class JsonWriter {
 public:
+  /// \p Compact suppresses newlines and indentation: the document fits
+  /// on one line, as the newline-delimited wire framing requires.
+  explicit JsonWriter(bool Compact = false) : Compact(Compact) {}
+
   JsonWriter &beginObject();
   JsonWriter &endObject();
   JsonWriter &beginArray();
@@ -53,6 +74,11 @@ public:
   JsonWriter &value(uint64_t N);
   JsonWriter &value(int N) { return value(static_cast<int64_t>(N)); }
   JsonWriter &value(unsigned N) { return value(static_cast<uint64_t>(N)); }
+  /// Emits a double with round-trip precision (%.17g); non-finite
+  /// values, which JSON cannot represent, are emitted as null.
+  JsonWriter &value(double D);
+  /// Emits a literal null.
+  JsonWriter &null();
 
   const std::string &str() const { return Out; }
 
@@ -69,7 +95,101 @@ private:
   std::string Out;
   std::vector<Frame> Stack;
   bool PendingKey = false;
+  bool Compact = false;
 };
+
+/// One parsed JSON value. Objects preserve member order; lookup is
+/// linear, which is fine for the protocol's small frames.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : Store(nullptr) {}
+  /*implicit*/ JsonValue(bool B) : Store(B) {}
+  /*implicit*/ JsonValue(int64_t N) : Store(N) {}
+  /*implicit*/ JsonValue(double D) : Store(D) {}
+  /*implicit*/ JsonValue(std::string S) : Store(std::move(S)) {}
+  /*implicit*/ JsonValue(Array A) : Store(std::move(A)) {}
+  /*implicit*/ JsonValue(Object O) : Store(std::move(O)) {}
+
+  Kind kind() const { return static_cast<Kind>(Store.index()); }
+  bool isNull() const { return kind() == Kind::Null; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isInt() const { return kind() == Kind::Int; }
+  bool isDouble() const { return kind() == Kind::Double; }
+  bool isNumber() const { return isInt() || isDouble(); }
+  bool isString() const { return kind() == Kind::String; }
+  bool isArray() const { return kind() == Kind::Array; }
+  bool isObject() const { return kind() == Kind::Object; }
+
+  /// Loose accessors: return the value when the kind matches, the
+  /// default otherwise (protocol fields are all optional-with-default).
+  bool asBool(bool Default = false) const {
+    return isBool() ? std::get<bool>(Store) : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    if (isInt())
+      return std::get<int64_t>(Store);
+    if (isDouble())
+      return static_cast<int64_t>(std::get<double>(Store));
+    return Default;
+  }
+  double asDouble(double Default = 0) const {
+    if (isDouble())
+      return std::get<double>(Store);
+    if (isInt())
+      return static_cast<double>(std::get<int64_t>(Store));
+    return Default;
+  }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return isString() ? std::get<std::string>(Store) : Empty;
+  }
+
+  const Array *array() const {
+    return isArray() ? &std::get<Array>(Store) : nullptr;
+  }
+  const Object *object() const {
+    return isObject() ? &std::get<Object>(Store) : nullptr;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(std::string_view Key) const {
+    if (const Object *O = object())
+      for (const Member &M : *O)
+        if (M.first == Key)
+          return &M.second;
+    return nullptr;
+  }
+
+private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      Store;
+};
+
+/// Limits for parseJson. The defaults fit the wire protocol; the frame
+/// size itself is bounded upstream by the server's read loop.
+struct JsonParseLimits {
+  /// Maximum container nesting depth (a deeply nested frame is an
+  /// attack, not a request).
+  size_t MaxDepth = 64;
+};
+
+/// Parses one complete JSON document (anything but whitespace after the
+/// value is an error). Strict: UTF-8 is validated, control bytes inside
+/// strings must be escaped, surrogate escapes must pair correctly.
+Result<JsonValue> parseJson(std::string_view Text,
+                            JsonParseLimits Limits = JsonParseLimits());
+
+/// Re-encodes a parsed value (compact by default). With the writer's
+/// escaping this gives encode(parse(x)) round-trip stability, pinned by
+/// the support tests.
+std::string dumpJson(const JsonValue &Value, bool Compact = true);
 
 } // namespace algspec
 

@@ -1,0 +1,315 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace algspec;
+
+namespace {
+
+Error errnoError(const std::string &What) {
+  return makeError(What + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Socket
+//===----------------------------------------------------------------------===//
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
+//===----------------------------------------------------------------------===//
+// Addresses
+//===----------------------------------------------------------------------===//
+
+Result<SocketAddress> SocketAddress::parse(std::string_view Text) {
+  SocketAddress Addr;
+  if (Text.rfind("unix:", 0) == 0) {
+    Addr.AddrKind = Kind::Unix;
+    Addr.Path = std::string(Text.substr(5));
+    if (Addr.Path.empty())
+      return makeError("empty unix socket path in '" + std::string(Text) +
+                       "'");
+    return Addr;
+  }
+  if (Text.rfind("tcp:", 0) == 0) {
+    std::string_view Rest = Text.substr(4);
+    size_t Colon = Rest.rfind(':');
+    if (Colon == std::string_view::npos)
+      return makeError("tcp address wants tcp:<host>:<port>, got '" +
+                       std::string(Text) + "'");
+    Addr.AddrKind = Kind::Tcp;
+    Addr.Host = std::string(Rest.substr(0, Colon));
+    std::string PortText(Rest.substr(Colon + 1));
+    char *End = nullptr;
+    long Port = std::strtol(PortText.c_str(), &End, 10);
+    if (PortText.empty() || *End != '\0' || Port < 0 || Port > 65535)
+      return makeError("invalid tcp port '" + PortText + "'");
+    Addr.Port = static_cast<int>(Port);
+    if (Addr.Host.empty())
+      Addr.Host = "127.0.0.1";
+    return Addr;
+  }
+  return makeError("address wants unix:<path> or tcp:<host>:<port>, got '" +
+                   std::string(Text) + "'");
+}
+
+std::string SocketAddress::str() const {
+  if (AddrKind == Kind::Unix)
+    return "unix:" + Path;
+  return "tcp:" + Host + ":" + std::to_string(Port);
+}
+
+//===----------------------------------------------------------------------===//
+// Listeners and connectors
+//===----------------------------------------------------------------------===//
+
+Result<Socket> algspec::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return makeError("unix socket path too long: '" + Path + "'");
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  Socket Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Sock.valid())
+    return errnoError("socket(AF_UNIX)");
+  // A previous server instance that crashed leaves the socket file
+  // behind; bind() would fail with EADDRINUSE on a dead path.
+  ::unlink(Path.c_str());
+  if (::bind(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return errnoError("bind('" + Path + "')");
+  if (::listen(Sock.fd(), Backlog) != 0)
+    return errnoError("listen('" + Path + "')");
+  return Sock;
+}
+
+Result<Socket> algspec::listenTcp(const std::string &Host, int Port,
+                                  int *BoundPort, int Backlog) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError("invalid IPv4 address '" + Host + "'");
+
+  Socket Sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Sock.valid())
+    return errnoError("socket(AF_INET)");
+  int One = 1;
+  ::setsockopt(Sock.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return errnoError("bind(" + Host + ":" + std::to_string(Port) + ")");
+  if (::listen(Sock.fd(), Backlog) != 0)
+    return errnoError("listen(" + Host + ":" + std::to_string(Port) + ")");
+  if (BoundPort != nullptr) {
+    sockaddr_in Bound;
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(Sock.fd(), reinterpret_cast<sockaddr *>(&Bound),
+                      &Len) != 0)
+      return errnoError("getsockname");
+    *BoundPort = ntohs(Bound.sin_port);
+  }
+  return Sock;
+}
+
+Result<Socket> algspec::acceptSocket(const Socket &Listener) {
+  while (true) {
+    int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+    if (Fd >= 0)
+      return Socket(Fd);
+    if (errno == EINTR)
+      continue;
+    return errnoError("accept");
+  }
+}
+
+Result<Socket> algspec::connectSocket(const SocketAddress &Address) {
+  if (Address.AddrKind == SocketAddress::Kind::Unix) {
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Address.Path.size() >= sizeof(Addr.sun_path))
+      return makeError("unix socket path too long: '" + Address.Path + "'");
+    std::memcpy(Addr.sun_path, Address.Path.c_str(),
+                Address.Path.size() + 1);
+    Socket Sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!Sock.valid())
+      return errnoError("socket(AF_UNIX)");
+    if (::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) != 0)
+      return errnoError("connect('" + Address.Path + "')");
+    return Sock;
+  }
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Address.Port));
+  if (::inet_pton(AF_INET, Address.Host.c_str(), &Addr.sin_addr) != 1)
+    return makeError("invalid IPv4 address '" + Address.Host + "'");
+  Socket Sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Sock.valid())
+    return errnoError("socket(AF_INET)");
+  if (::connect(Sock.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0)
+    return errnoError("connect(" + Address.str() + ")");
+  return Sock;
+}
+
+Result<void> algspec::sendAll(const Socket &Sock, std::string_view Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t N = ::send(Sock.fd(), Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errnoError("send");
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return Result<void>();
+}
+
+//===----------------------------------------------------------------------===//
+// FrameReader
+//===----------------------------------------------------------------------===//
+
+FrameStatus FrameReader::readFrame(const Socket &Sock, std::string &Frame) {
+  while (true) {
+    size_t Newline = Buffer.find('\n');
+    if (Newline != std::string::npos) {
+      Frame.assign(Buffer, 0, Newline);
+      Buffer.erase(0, Newline + 1);
+      if (!Frame.empty() && Frame.back() == '\r')
+        Frame.pop_back();
+      if (Frame.size() > MaxBytes)
+        return FrameStatus::Oversized;
+      return FrameStatus::Frame;
+    }
+    if (Buffer.size() > MaxBytes)
+      return FrameStatus::Oversized;
+    char Chunk[4096];
+    ssize_t N = ::recv(Sock.fd(), Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return FrameStatus::Error;
+    }
+    if (N == 0)
+      return Buffer.empty() ? FrameStatus::Eof : FrameStatus::Truncated;
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SignalWatcher
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Write end of the self-pipe; -1 until install(). Written from signal
+/// context, so it must be async-signal-safe plain int (write(2) is on
+/// the async-signal-safe list).
+volatile sig_atomic_t WatcherInstalled = 0;
+int WatcherPipe[2] = {-1, -1};
+
+void signalHandler(int Sig) {
+  if (!WatcherInstalled)
+    return;
+  unsigned char Byte = static_cast<unsigned char>(Sig);
+  // A full pipe just drops the notification; one pending byte is
+  // enough to wake the drain loop.
+  [[maybe_unused]] ssize_t N = ::write(WatcherPipe[1], &Byte, 1);
+}
+
+} // namespace
+
+Result<void> SignalWatcher::install(const std::vector<int> &Signals) {
+  if (!WatcherInstalled) {
+    if (::pipe(WatcherPipe) != 0)
+      return errnoError("pipe");
+    // Non-blocking read end: take() must never hang when called
+    // without a pending notification.
+    int Flags = ::fcntl(WatcherPipe[0], F_GETFL, 0);
+    ::fcntl(WatcherPipe[0], F_SETFL, Flags | O_NONBLOCK);
+    WatcherInstalled = 1;
+  }
+  struct sigaction Action;
+  std::memset(&Action, 0, sizeof(Action));
+  Action.sa_handler = signalHandler;
+  sigemptyset(&Action.sa_mask);
+  for (int Sig : Signals)
+    if (::sigaction(Sig, &Action, nullptr) != 0)
+      return errnoError("sigaction(" + std::to_string(Sig) + ")");
+  return Result<void>();
+}
+
+int SignalWatcher::fd() { return WatcherInstalled ? WatcherPipe[0] : -1; }
+
+int SignalWatcher::take() {
+  if (!WatcherInstalled)
+    return 0;
+  unsigned char Byte = 0;
+  ssize_t N = ::read(WatcherPipe[0], &Byte, 1);
+  return N == 1 ? Byte : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// pollTwo
+//===----------------------------------------------------------------------===//
+
+int algspec::pollTwo(int FdA, int FdB, int TimeoutMs) {
+  pollfd Fds[2];
+  nfds_t Count = 0;
+  if (FdA >= 0) {
+    Fds[Count].fd = FdA;
+    Fds[Count].events = POLLIN;
+    Fds[Count].revents = 0;
+    ++Count;
+  }
+  if (FdB >= 0) {
+    Fds[Count].fd = FdB;
+    Fds[Count].events = POLLIN;
+    Fds[Count].revents = 0;
+    ++Count;
+  }
+  int N = ::poll(Fds, Count, TimeoutMs);
+  if (N < 0)
+    return errno == EINTR ? -1 : -2;
+  if (N == 0)
+    return -1;
+  for (nfds_t I = 0; I != Count; ++I)
+    if (Fds[I].revents != 0)
+      return Fds[I].fd;
+  return -1;
+}

@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket layer for the `algspec serve` wire protocol:
+/// RAII file descriptors, TCP and Unix-domain listeners/connectors,
+/// newline-delimited frame reading with a hard size bound, and a
+/// self-pipe signal watcher for graceful SIGTERM drains.
+///
+/// Everything here is transport: no JSON, no request semantics. Writes
+/// use MSG_NOSIGNAL so a peer that disappears mid-response surfaces as
+/// an error return, never a SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_SUPPORT_SOCKET_H
+#define ALGSPEC_SUPPORT_SOCKET_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+/// A file descriptor with unique ownership. Move-only; closes on
+/// destruction.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Socket &operator=(Socket &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Fd = Other.Fd;
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+  /// shutdown(2) the read side: a reader blocked in recv() on this
+  /// socket wakes with EOF. Used to drain connections on SIGTERM.
+  void shutdownRead();
+
+private:
+  int Fd = -1;
+};
+
+/// A parsed listen/connect address: "unix:<path>" or
+/// "tcp:<host>:<port>".
+struct SocketAddress {
+  enum class Kind { Unix, Tcp } AddrKind = Kind::Unix;
+  std::string Path; ///< Unix socket path.
+  std::string Host; ///< TCP host.
+  int Port = 0;     ///< TCP port.
+
+  static Result<SocketAddress> parse(std::string_view Text);
+  std::string str() const;
+};
+
+/// Binds and listens on a Unix-domain socket, unlinking any stale
+/// socket file at \p Path first.
+Result<Socket> listenUnix(const std::string &Path, int Backlog = 64);
+
+/// Binds and listens on TCP \p Host:\p Port (port 0 picks an ephemeral
+/// port; \p BoundPort receives the resolved one when non-null).
+Result<Socket> listenTcp(const std::string &Host, int Port,
+                         int *BoundPort = nullptr, int Backlog = 64);
+
+/// Accepts one connection from a listener.
+Result<Socket> acceptSocket(const Socket &Listener);
+
+/// Connects to \p Address (either kind).
+Result<Socket> connectSocket(const SocketAddress &Address);
+
+/// Writes all of \p Data, retrying on EINTR and short writes; uses
+/// MSG_NOSIGNAL so a vanished peer is an error, not a signal.
+Result<void> sendAll(const Socket &Sock, std::string_view Data);
+
+/// Outcome of one readFrame() call.
+enum class FrameStatus {
+  Frame,     ///< A complete newline-terminated frame was read.
+  Eof,       ///< Peer closed with no partial frame pending.
+  Truncated, ///< Peer closed mid-frame (bytes after the last newline).
+  Oversized, ///< Frame exceeded the size bound before its newline.
+  Error,     ///< recv(2) failed.
+};
+
+/// Buffered newline-delimited frame reader over one socket. A frame is
+/// everything up to (and excluding) the next '\n'; a trailing '\r' is
+/// stripped so both \n and \r\n peers work. Frames longer than
+/// \p MaxBytes yield Oversized without buffering the remainder — the
+/// caller is expected to drop the connection, since the stream can no
+/// longer be trusted to be in sync.
+class FrameReader {
+public:
+  explicit FrameReader(size_t MaxBytes) : MaxBytes(MaxBytes) {}
+
+  FrameStatus readFrame(const Socket &Sock, std::string &Frame);
+
+private:
+  size_t MaxBytes;
+  std::string Buffer;
+};
+
+/// Self-pipe signal watcher: installs handlers for the given signals;
+/// the handler writes the signal number to a pipe whose read end can be
+/// polled alongside sockets. Process-global (signal dispositions are),
+/// so only one instance may be installed at a time.
+class SignalWatcher {
+public:
+  /// Installs handlers for \p Signals (e.g. {SIGTERM, SIGINT}).
+  static Result<void> install(const std::vector<int> &Signals);
+
+  /// The pollable read end of the pipe; -1 before install().
+  static int fd();
+
+  /// Consumes and returns one delivered signal number, or 0 if none is
+  /// pending.
+  static int take();
+};
+
+/// poll(2) for readability on up to two descriptors (pass -1 to skip
+/// one). Returns the ready fd, -1 on timeout, -2 on poll error.
+int pollTwo(int FdA, int FdB, int TimeoutMs);
+
+} // namespace algspec
+
+#endif // ALGSPEC_SUPPORT_SOCKET_H

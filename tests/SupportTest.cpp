@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 using namespace algspec;
 
 //===----------------------------------------------------------------------===//
@@ -321,4 +324,140 @@ TEST(JsonTest, WriterNumericValues) {
   W.value(false);
   W.endArray();
   EXPECT_EQ(W.str(), "[\n  -7,\n  42,\n  false\n]");
+}
+
+TEST(JsonTest, WriterCompactModeIsOneLine) {
+  JsonWriter W(/*Compact=*/true);
+  W.beginObject();
+  W.key("a").value(1);
+  W.key("b").beginArray();
+  W.value("x");
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"a\": 1,\"b\": [\"x\"]}");
+  EXPECT_EQ(W.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonTest, WriterNonFiniteDoublesBecomeNull) {
+  JsonWriter W(/*Compact=*/true);
+  W.beginArray();
+  W.value(0.5);
+  W.value(std::numeric_limits<double>::infinity());
+  W.value(std::numeric_limits<double>::quiet_NaN());
+  W.endArray();
+  EXPECT_EQ(W.str(), "[0.5,null,null]");
+}
+
+TEST(JsonTest, EscapeReplacesInvalidUtf8WithReplacementChar) {
+  // One escaped U+FFFD per offending byte: the output is always a
+  // valid UTF-8 JSON fragment no matter what bytes came in.
+  EXPECT_EQ(jsonEscape(std::string_view("a\xff\xfe!", 4)),
+            "a\\ufffd\\ufffd!");
+  // A valid multi-byte sequence passes through untouched.
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  // A truncated sequence is replaced, not emitted raw.
+  EXPECT_EQ(jsonEscape(std::string_view("\xc3", 1)), "\\ufffd");
+}
+
+TEST(JsonTest, IsValidUtf8RejectsTheSharpEdges) {
+  EXPECT_TRUE(isValidUtf8("plain ascii"));
+  EXPECT_TRUE(isValidUtf8("caf\xc3\xa9"));              // U+00E9
+  EXPECT_TRUE(isValidUtf8("\xe2\x82\xac"));             // U+20AC
+  EXPECT_TRUE(isValidUtf8("\xf0\x9f\x98\x80"));         // U+1F600
+  EXPECT_FALSE(isValidUtf8(std::string_view("\xff", 1)));
+  EXPECT_FALSE(isValidUtf8(std::string_view("\xc3", 1)));     // truncated
+  EXPECT_FALSE(isValidUtf8(std::string_view("\xc0\xaf", 2))); // overlong
+  EXPECT_FALSE(isValidUtf8("\xed\xa0\x80"));            // surrogate half
+  EXPECT_FALSE(isValidUtf8("\xf4\x90\x80\x80"));        // > U+10FFFF
+}
+
+//===----------------------------------------------------------------------===//
+// JSON reader
+//===----------------------------------------------------------------------===//
+
+TEST(JsonReaderTest, ParsesScalarsAndContainers) {
+  Result<JsonValue> R = parseJson(
+      " {\"n\": null, \"t\": true, \"i\": -42, \"d\": 2.5, "
+      "\"s\": \"hi\", \"a\": [1, [2]], \"o\": {\"k\": \"v\"}} ");
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_TRUE(R->get("n")->isNull());
+  EXPECT_TRUE(R->get("t")->asBool());
+  EXPECT_EQ(R->get("i")->asInt(), -42);
+  EXPECT_EQ(R->get("d")->asDouble(), 2.5);
+  EXPECT_EQ(R->get("s")->asString(), "hi");
+  ASSERT_TRUE(R->get("a")->isArray());
+  EXPECT_EQ((*R->get("a")->array())[0].asInt(), 1);
+  EXPECT_EQ(R->get("o")->get("k")->asString(), "v");
+}
+
+TEST(JsonReaderTest, DecodesEscapesAndSurrogatePairs) {
+  Result<JsonValue> R =
+      parseJson("\"a\\n\\t\\\"\\\\\\/\\u0041\\ud83d\\ude00\"");
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ(R->asString(), "a\n\t\"\\/A\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, Int64BoundariesStayIntegral) {
+  Result<JsonValue> Max = parseJson("9223372036854775807");
+  ASSERT_TRUE(bool(Max));
+  EXPECT_TRUE(Max->isInt());
+  EXPECT_EQ(Max->asInt(), INT64_MAX);
+  // One past the edge degrades to a double rather than failing.
+  Result<JsonValue> Over = parseJson("9223372036854775808");
+  ASSERT_TRUE(bool(Over));
+  EXPECT_TRUE(Over->isDouble());
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  const char *Bad[] = {
+      "",                     // no value at all
+      "{\"a\": 1,}",          // trailing comma
+      "[1 2]",                // missing comma
+      "{\"a\" 1}",            // missing colon
+      "{a: 1}",               // unquoted key
+      "\"unterminated",       // unterminated string
+      "01",                   // leading zero
+      "1.",                   // digits required after the point
+      "1e",                   // digits required in the exponent
+      "nul",                  // truncated keyword
+      "// comment\n1",        // comments are not JSON
+      "1 2",                  // trailing garbage
+      "\"\\ud83d\"",          // unpaired high surrogate
+      "\"\\ude00\"",          // unpaired low surrogate
+      "\"\x01\"",             // raw control byte inside a string
+      "\"\xff\xfe\"",         // invalid UTF-8 inside a string
+  };
+  for (const char *Text : Bad)
+    EXPECT_FALSE(bool(parseJson(Text))) << Text;
+}
+
+TEST(JsonReaderTest, BoundsNestingDepth) {
+  std::string Deep;
+  for (int I = 0; I < 70; ++I)
+    Deep += '[';
+  for (int I = 0; I < 70; ++I)
+    Deep += ']';
+  EXPECT_FALSE(bool(parseJson(Deep)));
+  JsonParseLimits Limits;
+  Limits.MaxDepth = 80;
+  EXPECT_TRUE(bool(parseJson(Deep, Limits)));
+}
+
+TEST(JsonReaderTest, DumpParseRoundTripIsStable) {
+  const char *Docs[] = {
+      "{\"a\": [1, 2.5, true, null], \"s\": \"x\\ny\"}",
+      "[{\"nested\": {\"deep\": [\"\\u0001\", -7]}}]",
+      "\"caf\xc3\xa9 \xf0\x9f\x98\x80\"",
+      "-0.125",
+  };
+  for (const char *Text : Docs) {
+    Result<JsonValue> First = parseJson(Text);
+    ASSERT_TRUE(bool(First)) << Text;
+    std::string Dumped = dumpJson(*First);
+    Result<JsonValue> Second = parseJson(Dumped);
+    ASSERT_TRUE(bool(Second)) << Dumped;
+    // encode(parse(x)) is a fixed point: one more round trip changes
+    // nothing.
+    EXPECT_EQ(dumpJson(*Second), Dumped) << Text;
+  }
 }

@@ -30,6 +30,9 @@
 
 #include "check/ErrorFlow.h"
 #include "core/AlgSpec.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "server/Version.h"
 #include "support/Json.h"
 #include "support/SourceMgr.h"
 
@@ -76,6 +79,15 @@ int usage() {
       "  verify  check a representation: --abstract <spec> --rep-sort\n"
       "          <sort> --phi <op> --map ABSTRACT=IMPL... [--free]\n"
       "          [--invariant <op>] [--hom] [-d <depth>]\n"
+      "  serve   run the request daemon: --listen unix:<path> and/or\n"
+      "          --listen tcp:<host>:<port> [--workers <n>]\n"
+      "          [--queue-max <n>] [--cache-max <n>] [--max-steps <n>]\n"
+      "          [--deadline-ms <n>]\n"
+      "  client  talk to a daemon: --connect <addr> followed by hello,\n"
+      "          stats, or a command with its usual flags; or\n"
+      "          --stress NxM for the differential load driver\n"
+      "  version print the build identification (also reported by the\n"
+      "          serve protocol's hello handshake)\n"
       "\n"
       "options:\n"
       "  --builtin <name>   load an embedded paper spec (queue,\n"
@@ -95,7 +107,17 @@ int usage() {
       "                     results are identical either way\n"
       "  --json             machine-readable output (check, lint,\n"
       "                     analyze, verify)\n"
-      "  --Werror           lint/analyze: treat warnings as errors\n");
+      "  --Werror           lint/analyze: treat warnings as errors\n"
+      "  --listen <addr>    serve: listen address (repeatable)\n"
+      "  --connect <addr>   client: daemon address\n"
+      "  --stress NxM       client: N connections x M requests each\n"
+      "  --workers <n>      serve: worker threads (0 = hw concurrency)\n"
+      "  --queue-max <n>    serve: queue high-water mark (default 64)\n"
+      "  --cache-max <n>    serve: workspace-cache entries (default 16)\n"
+      "  --max-steps <n>    serve: per-request engine fuel cap\n"
+      "  --deadline-ms <n>  client: per-request deadline;\n"
+      "                     serve: default deadline for requests\n"
+      "                     that carry none\n");
   return 2;
 }
 
@@ -111,36 +133,6 @@ Result<std::string> readFile(const std::string &Path) {
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
   return Buffer.str();
-}
-
-std::string_view builtinText(const std::string &Name) {
-  if (Name == "queue")
-    return specs::QueueAlg;
-  if (Name == "symboltable")
-    return specs::SymboltableAlg;
-  if (Name == "stackarray")
-    return specs::StackArrayAlg;
-  if (Name == "knowlist")
-    return specs::KnowlistAlg;
-  if (Name == "knows_symboltable")
-    return specs::KnowsSymboltableAlg;
-  if (Name == "nat")
-    return specs::NatAlg;
-  if (Name == "set")
-    return specs::SetAlg;
-  if (Name == "list")
-    return specs::ListAlg;
-  if (Name == "bag")
-    return specs::BagAlg;
-  if (Name == "bst")
-    return specs::BstAlg;
-  if (Name == "table")
-    return specs::TableAlg;
-  if (Name == "boundedqueue")
-    return specs::BoundedQueueAlg;
-  if (Name == "symboltable_impl")
-    return specs::SymboltableImplAlg;
-  return {};
 }
 
 struct Options {
@@ -164,6 +156,15 @@ struct Options {
   std::string InvariantName;
   bool FreeDomain = false;
   bool Homomorphism = false;
+  // serve/client options.
+  std::vector<std::string> ListenAddrs;
+  std::string ConnectAddr;
+  std::string StressSpec; ///< "NxM"; empty = single-shot client.
+  unsigned ServeWorkers = 0;
+  unsigned QueueMax = 64;
+  unsigned CacheMax = 16;
+  uint64_t MaxSteps = 0;
+  int64_t DeadlineMs = 0;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -265,6 +266,46 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.FreeDomain = true;
     } else if (Arg == "--hom") {
       Opts.Homomorphism = true;
+    } else if (Arg == "--listen") {
+      const char *V = needValue("--listen");
+      if (!V)
+        return false;
+      Opts.ListenAddrs.push_back(V);
+    } else if (Arg == "--connect") {
+      const char *V = needValue("--connect");
+      if (!V)
+        return false;
+      Opts.ConnectAddr = V;
+    } else if (Arg == "--stress") {
+      const char *V = needValue("--stress");
+      if (!V)
+        return false;
+      Opts.StressSpec = V;
+    } else if (Arg == "--workers") {
+      const char *V = needValue("--workers");
+      if (!V)
+        return false;
+      Opts.ServeWorkers = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--queue-max") {
+      const char *V = needValue("--queue-max");
+      if (!V)
+        return false;
+      Opts.QueueMax = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--cache-max") {
+      const char *V = needValue("--cache-max");
+      if (!V)
+        return false;
+      Opts.CacheMax = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--max-steps") {
+      const char *V = needValue("--max-steps");
+      if (!V)
+        return false;
+      Opts.MaxSteps = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--deadline-ms") {
+      const char *V = needValue("--deadline-ms");
+      if (!V)
+        return false;
+      Opts.DeadlineMs = std::atoll(V);
     } else if (Arg == "--json") {
       Opts.Json = true;
     } else if (Arg == "--Werror") {
@@ -284,7 +325,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 bool loadAll(Workspace &WS, const Options &Opts,
              const std::vector<std::string> &Files) {
   for (const std::string &Name : Opts.Builtins) {
-    std::string_view Text = builtinText(Name);
+    std::string_view Text = server::builtinSpecText(Name);
     if (Text.empty()) {
       std::fprintf(stderr, "error: unknown builtin spec '%s'\n",
                    Name.c_str());
@@ -314,315 +355,6 @@ bool loadAll(Workspace &WS, const Options &Opts,
   return true;
 }
 
-const char *severityName(DiagKind Kind) {
-  switch (Kind) {
-  case DiagKind::Error:
-    return "error";
-  case DiagKind::Warning:
-    return "warning";
-  case DiagKind::Note:
-    return "note";
-  }
-  return "unknown";
-}
-
-/// Emits the rewrite-engine counters as `"engine": {...}`. Aggregated
-/// over the main engine and every worker replica; informational only —
-/// the counters vary with the job count even though the verdicts do not.
-void writeEngineStats(JsonWriter &W, const EngineStats &S) {
-  W.key("engine").beginObject();
-  W.key("steps").value(S.Steps);
-  W.key("cacheHits").value(S.CacheHits);
-  W.key("cacheMisses").value(S.CacheMisses);
-  W.key("evictions").value(S.Evictions);
-  W.key("rebuilds").value(S.Rebuilds);
-  W.key("matchAttempts").value(S.MatchAttempts);
-  W.key("automatonVisits").value(S.AutomatonVisits);
-  W.endObject();
-}
-
-/// Emits the error-flow obligations as `"obligations": [...]`. Shared by
-/// analyze and check. The guard-engine counters are emitted separately
-/// (analyze appends them after the report) so this block stays
-/// byte-identical across build configurations and job counts (CI diffs
-/// it against golden files).
-void writeObligationsJson(JsonWriter &W, const AlgebraContext &Ctx,
-                          const std::vector<DefinednessObligation> &Obs) {
-  W.key("obligations").beginArray();
-  for (const DefinednessObligation &O : Obs) {
-    W.beginObject();
-    W.key("spec").value(O.SpecName);
-    W.key("op").value(std::string(Ctx.opName(O.Op)));
-    W.key("axiom").value(O.AxiomNumber);
-    W.key("case").value(printTerm(Ctx, O.CaseLhs));
-    W.key("verdict").value(std::string(errorVerdictName(O.Verdict)));
-    if (O.ErrorCondition.isValid()) {
-      W.key("condition").value(printTerm(Ctx, O.ErrorCondition));
-      W.key("exact").value(O.ConditionExact);
-    }
-    W.key("rendered").value(O.render(Ctx));
-    W.endObject();
-  }
-  W.endArray();
-}
-
-int cmdCheck(Workspace &WS, const Options &Opts) {
-  bool AllGood = true;
-  TerminationReport Term = WS.termination();
-  ParallelOptions Par;
-  Par.Jobs = Opts.Jobs;
-  EngineOptions Eng;
-  Eng.Compile = Opts.CompileEngine;
-
-  if (Opts.Json) {
-    JsonWriter W;
-    W.beginObject();
-    W.key("specs").beginArray();
-    for (const Spec &S : WS.specs()) {
-      CompletenessReport Report = WS.checkComplete(S);
-      AllGood &= Report.SufficientlyComplete;
-      W.beginObject();
-      W.key("name").value(S.name());
-      W.key("operations").value(S.operations().size());
-      W.key("axioms").value(S.axioms().size());
-      W.key("sufficientlyComplete").value(Report.SufficientlyComplete);
-      W.key("missing").beginArray();
-      for (const MissingCase &M : Report.Missing)
-        W.value(printTerm(WS.context(), M.SuggestedLhs));
-      W.endArray();
-      W.key("caveats").beginArray();
-      for (const std::string &Caveat : Report.Caveats)
-        W.value(Caveat);
-      W.endArray();
-      W.key("terminationProved").value(Term.provedFor(S.name()));
-      if (Opts.DynamicDepth > 0) {
-        CompletenessReport Dynamic = checkCompletenessDynamic(
-            WS.context(), S, WS.specPointers(),
-            static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-            Par, Eng);
-        AllGood &= Dynamic.SufficientlyComplete;
-        W.key("dynamic").beginObject();
-        W.key("depth").value(Opts.DynamicDepth);
-        W.key("sufficientlyComplete").value(Dynamic.SufficientlyComplete);
-        W.key("stuck").beginArray();
-        for (const MissingCase &M : Dynamic.Missing)
-          W.value(printTerm(WS.context(), M.SuggestedLhs));
-        W.endArray();
-        W.key("caveats").beginArray();
-        for (const std::string &Caveat : Dynamic.Caveats)
-          W.value(Caveat);
-        W.endArray();
-        writeEngineStats(W, Dynamic.Engine);
-        W.endObject();
-      }
-      W.endObject();
-    }
-    W.endArray();
-    ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
-    AllGood &= Consistency.Consistent;
-    W.key("consistency").beginObject();
-    W.key("consistent").value(Consistency.Consistent);
-    W.key("contradictions").value(Consistency.Contradictions.size());
-    writeEngineStats(W, Consistency.Engine);
-    W.endObject();
-    ErrorFlowReport Flow =
-        analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
-    writeObligationsJson(W, WS.context(), Flow.Obligations);
-    W.endObject();
-    std::printf("%s\n", W.str().c_str());
-    return AllGood ? 0 : 1;
-  }
-
-  for (const Spec &S : WS.specs()) {
-    CompletenessReport Report = WS.checkComplete(S);
-    std::printf("spec '%s': %zu operations, %zu axioms\n",
-                S.name().c_str(), S.operations().size(),
-                S.axioms().size());
-    std::printf("  sufficient completeness: %s\n",
-                Report.SufficientlyComplete ? "yes" : "NO");
-    if (!Report.SufficientlyComplete) {
-      AllGood = false;
-      std::printf("%s", Report.renderPrompt(WS.context()).c_str());
-    }
-    for (const std::string &Caveat : Report.Caveats)
-      std::printf("  note: %s\n", Caveat.c_str());
-    // A proved spec terminates under any strategy, so the engine's fuel
-    // bound is no longer a caveat of its verdicts.
-    if (Term.provedFor(S.name())) {
-      std::printf("  termination: proved unconditionally (recursive path "
-                  "ordering)\n");
-    } else {
-      std::printf("  termination: not proved\n");
-      std::printf("  note: normalization relies on the rewrite engine's "
-                  "fuel bound\n");
-    }
-    if (Opts.DynamicDepth > 0) {
-      CompletenessReport Dynamic = checkCompletenessDynamic(
-          WS.context(), S, WS.specPointers(),
-          static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-          Par, Eng);
-      std::printf("  dynamic check (depth %d): %zu stuck term(s)\n",
-                  Opts.DynamicDepth, Dynamic.Missing.size());
-      AllGood &= Dynamic.SufficientlyComplete;
-    }
-  }
-  ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
-  std::printf("consistency: %s", Consistency.render(WS.context()).c_str());
-  AllGood &= Consistency.Consistent;
-  ErrorFlowReport Flow =
-      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
-  if (!Flow.Obligations.empty()) {
-    std::printf("definedness obligations:\n");
-    for (const DefinednessObligation &O : Flow.Obligations)
-      std::printf("  %s: %s\n", O.SpecName.c_str(),
-                  O.render(WS.context()).c_str());
-  }
-  return AllGood ? 0 : 1;
-}
-
-void writeLintJson(const LintReport &Report, const TerminationReport &Term) {
-  JsonWriter W;
-  W.beginObject();
-  W.key("findings").beginArray();
-  for (const LintFinding &F : Report.Findings) {
-    W.beginObject();
-    W.key("rule").value(F.Rule);
-    W.key("severity").value(severityName(F.Kind));
-    W.key("spec").value(F.SpecName);
-    // Programmatically built specs have no source location; omit the
-    // fields instead of emitting a bogus 0:0.
-    if (F.Loc.isValid()) {
-      W.key("line").value(F.Loc.line());
-      W.key("column").value(F.Loc.column());
-    }
-    W.key("message").value(F.Message);
-    if (!F.FixIt.empty())
-      W.key("fixit").value(F.FixIt);
-    W.endObject();
-  }
-  W.endArray();
-  W.key("termination").beginArray();
-  for (const SpecTermination &ST : Term.PerSpec) {
-    W.beginObject();
-    W.key("spec").value(ST.SpecName);
-    W.key("proved").value(ST.Proved);
-    W.endObject();
-  }
-  W.endArray();
-  W.key("terminationFailures").beginArray();
-  for (const TerminationFailure &F : Term.Failures) {
-    W.beginObject();
-    W.key("spec").value(F.SpecName);
-    W.key("axiom").value(F.AxiomNumber);
-    W.key("reason").value(F.Reason);
-    W.endObject();
-  }
-  W.endArray();
-  W.key("errors").value(Report.errorCount());
-  W.key("warnings").value(Report.warningCount());
-  W.endObject();
-  std::printf("%s\n", W.str().c_str());
-}
-
-int cmdLint(Workspace &WS, const Options &Opts) {
-  LintOptions LOpts;
-  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
-  LintReport Report = WS.lint();
-  TerminationReport Term = WS.termination();
-  if (Opts.Json) {
-    writeLintJson(Report, Term);
-  } else {
-    std::printf("%s", WS.renderLint(Report).c_str());
-    std::printf("%s", Term.render(WS.context()).c_str());
-    if (Report.clean())
-      std::printf("lint: no findings.\n");
-    else
-      std::printf("%u error(s), %u warning(s) generated.\n",
-                  Report.errorCount(), Report.warningCount());
-  }
-  // Termination verdicts inform but do not gate: an unproved spec may
-  // still terminate under the engine's strategy (RPO is incomplete).
-  return Report.failed(LOpts) ? 1 : 0;
-}
-
-/// `algspec analyze`: the error-flow analysis on its own — definedness
-/// summaries, obligations, and the three analysis-backed lint rules.
-int cmdAnalyze(Workspace &WS, const Options &Opts) {
-  EngineOptions Eng;
-  Eng.Compile = Opts.CompileEngine;
-  ErrorFlowReport Report =
-      analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
-
-  // Only the analysis-backed rules; `algspec lint` runs the full set.
-  Linter L;
-  L.addPass(makeErrorSwallowedPass());
-  L.addPass(makeAlwaysErrorOpPass());
-  L.addPass(makeRedundantErrorAxiomPass());
-  LintReport Findings = L.run(WS.context(), WS.specPointers());
-  LintOptions LOpts;
-  LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
-
-  if (Opts.Json) {
-    JsonWriter W;
-    W.beginObject();
-    W.key("summaries").beginArray();
-    for (const OpSummary &Sum : Report.Summaries) {
-      W.beginObject();
-      W.key("spec").value(Sum.SpecName);
-      W.key("op").value(std::string(WS.context().opName(Sum.Op)));
-      W.key("overall").value(std::string(errorVerdictName(Sum.Overall)));
-      W.key("cases").beginArray();
-      for (const ErrorCase &C : Sum.Cases) {
-        W.beginObject();
-        W.key("axiom").value(C.AxiomNumber);
-        W.key("lhs").value(printTerm(WS.context(), C.Lhs));
-        W.key("verdict").value(std::string(errorVerdictName(C.Verdict)));
-        if (C.ErrorCondition.isValid()) {
-          W.key("condition")
-              .value(printTerm(WS.context(), C.ErrorCondition));
-          W.key("exact").value(C.ConditionExact);
-        }
-        W.endObject();
-      }
-      W.endArray();
-      W.endObject();
-    }
-    W.endArray();
-    writeObligationsJson(W, WS.context(), Report.Obligations);
-    W.key("findings").beginArray();
-    for (const LintFinding &F : Findings.Findings) {
-      W.beginObject();
-      W.key("rule").value(F.Rule);
-      W.key("severity").value(severityName(F.Kind));
-      W.key("spec").value(F.SpecName);
-      if (F.Loc.isValid()) {
-        W.key("line").value(F.Loc.line());
-        W.key("column").value(F.Loc.column());
-      }
-      W.key("message").value(F.Message);
-      if (!F.FixIt.empty())
-        W.key("fixit").value(F.FixIt);
-      W.endObject();
-    }
-    W.endArray();
-    W.key("caveats").beginArray();
-    for (const std::string &Caveat : Report.Caveats)
-      W.value(Caveat);
-    W.endArray();
-    // The guard engine is serial and visits operations in declaration
-    // order, so these counters — unlike check/verify's — are identical
-    // at any --jobs and across build configurations; goldens may pin
-    // them (engine choice still changes the engine-specific counters).
-    writeEngineStats(W, Report.Engine);
-    W.endObject();
-    std::printf("%s\n", W.str().c_str());
-  } else {
-    std::printf("%s", Report.render(WS.context()).c_str());
-    if (!Findings.clean())
-      std::printf("%s", WS.renderLint(Findings).c_str());
-  }
-  return Findings.failed(LOpts) ? 1 : 0;
-}
 
 int cmdAxioms(Workspace &WS) {
   for (const Spec &S : WS.specs()) {
@@ -650,40 +382,6 @@ int cmdAxioms(Workspace &WS) {
   return 0;
 }
 
-int cmdEval(Workspace &WS, const Options &Opts, bool Trace) {
-  if (Opts.TermText.empty()) {
-    std::fprintf(stderr, "error: eval/trace need -e <term>\n");
-    return 2;
-  }
-  EngineOptions EngineOpts;
-  EngineOpts.KeepTrace = Trace;
-  EngineOpts.Compile = Opts.CompileEngine;
-  auto SessionOrErr = WS.session(EngineOpts);
-  if (!SessionOrErr) {
-    std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
-    return 1;
-  }
-  Session S = SessionOrErr.take();
-  Result<TermId> Term = parseTermText(WS.context(), Opts.TermText);
-  if (!Term) {
-    std::fprintf(stderr, "%s", Term.error().message().c_str());
-    return 1;
-  }
-  Result<TermId> Normal = S.engine().normalize(*Term);
-  if (!Normal) {
-    std::fprintf(stderr, "error: %s\n", Normal.error().message().c_str());
-    return 1;
-  }
-  if (Trace)
-    for (const TraceStep &Step : S.engine().trace())
-      std::printf("%s ~> %s  [axiom %u of %s]\n",
-                  printTerm(WS.context(), Step.Before).c_str(),
-                  printTerm(WS.context(), Step.After).c_str(),
-                  Step.AppliedRule->AxiomNumber,
-                  Step.AppliedRule->SpecName.c_str());
-  std::printf("%s\n", printTerm(WS.context(), *Normal).c_str());
-  return 0;
-}
 
 int cmdRun(Workspace &WS, const Options &Opts,
            const std::string &ProgramPath) {
@@ -729,129 +427,6 @@ int cmdRun(Workspace &WS, const Options &Opts,
   return 0;
 }
 
-int cmdVerify(Workspace &WS, const Options &Opts) {
-  if (Opts.AbstractSpec.empty() || Opts.RepSort.empty() ||
-      Opts.PhiName.empty() || Opts.OpMap.empty()) {
-    std::fprintf(stderr,
-                 "error: verify needs --abstract <spec>, --rep-sort "
-                 "<sort>, --phi <op>, and --map ABSTRACT=IMPL pairs\n");
-    return 2;
-  }
-  const Spec *Abstract = WS.find(Opts.AbstractSpec);
-  if (!Abstract) {
-    std::fprintf(stderr, "error: no loaded spec named '%s'\n",
-                 Opts.AbstractSpec.c_str());
-    return 1;
-  }
-
-  RepMapping Mapping;
-  Mapping.AbstractSort = Abstract->principalSort();
-  Mapping.RepSort = WS.context().lookupSort(Opts.RepSort);
-  Mapping.Phi = WS.context().lookupOp(Opts.PhiName);
-  if (!Mapping.RepSort.isValid() || !Mapping.Phi.isValid()) {
-    std::fprintf(stderr, "error: unknown representation sort or phi\n");
-    return 1;
-  }
-  for (const auto &[AbstractName, ImplName] : Opts.OpMap) {
-    OpId AbstractOp;
-    for (OpId Op : WS.context().lookupOps(AbstractName)) {
-      const OpInfo &Info = WS.context().op(Op);
-      bool Involves = Info.ResultSort == Mapping.AbstractSort;
-      for (SortId S : Info.ArgSorts)
-        Involves |= S == Mapping.AbstractSort;
-      if (Involves)
-        AbstractOp = Op;
-    }
-    OpId ImplOp = WS.context().lookupOp(ImplName);
-    if (!AbstractOp.isValid() || !ImplOp.isValid()) {
-      std::fprintf(stderr, "error: cannot resolve --map %s=%s\n",
-                   AbstractName.c_str(), ImplName.c_str());
-      return 1;
-    }
-    Mapping.OpMap.emplace(AbstractOp, ImplOp);
-  }
-
-  VerifyOptions VOpts;
-  VOpts.Domain =
-      Opts.FreeDomain ? ValueDomain::FreeTerms : ValueDomain::Reachable;
-  VOpts.Depth = Opts.Depth;
-  if (!Opts.InvariantName.empty()) {
-    VOpts.Invariant = WS.context().lookupOp(Opts.InvariantName);
-    if (!VOpts.Invariant.isValid()) {
-      std::fprintf(stderr, "error: unknown invariant operation '%s'\n",
-                   Opts.InvariantName.c_str());
-      return 1;
-    }
-  }
-
-  VOpts.Par.Jobs = Opts.Jobs;
-  VOpts.Engine.Compile = Opts.CompileEngine;
-
-  VerifyReport Report =
-      Opts.Homomorphism
-          ? verifyHomomorphism(WS.context(), *Abstract, WS.specPointers(),
-                               Mapping, VOpts)
-          : verifyRepresentation(WS.context(), *Abstract,
-                                 WS.specPointers(), Mapping, VOpts);
-  if (Opts.Json) {
-    JsonWriter W;
-    W.beginObject();
-    W.key("allHold").value(Report.AllHold);
-    W.key("repValues").value(Report.NumRepValues);
-    W.key("verdicts").beginArray();
-    for (const AxiomVerdict &V : Report.Verdicts) {
-      W.beginObject();
-      W.key("number").value(V.AxiomNumber);
-      W.key("label").value(V.Label);
-      W.key("holds").value(V.Holds);
-      W.key("provedSymbolically").value(V.ProvedSymbolically);
-      W.key("instancesChecked").value(V.InstancesChecked);
-      if (V.Failure) {
-        W.key("counterexample").beginObject();
-        W.key("lhs").value(printTerm(WS.context(), V.Failure->Lhs));
-        W.key("rhs").value(printTerm(WS.context(), V.Failure->Rhs));
-        W.key("lhsNormal")
-            .value(printTerm(WS.context(), V.Failure->LhsNormal));
-        W.key("rhsNormal")
-            .value(printTerm(WS.context(), V.Failure->RhsNormal));
-        W.key("assignment").value(V.Failure->Assignment);
-        W.endObject();
-      }
-      W.endObject();
-    }
-    W.endArray();
-    W.key("allObligationsDischarged")
-        .value(Report.AllObligationsDischarged);
-    W.key("obligationVerdicts").beginArray();
-    for (const ObligationVerdict &O : Report.Obligations) {
-      W.beginObject();
-      W.key("callee").value(std::string(WS.context().opName(O.Callee)));
-      W.key("calleeSpec").value(O.CalleeSpec);
-      W.key("case").value(printTerm(WS.context(), O.CaseLhs));
-      if (O.Condition.isValid())
-        W.key("condition").value(printTerm(WS.context(), O.Condition));
-      W.key("hostSpec").value(O.HostSpec);
-      W.key("hostAxiom").value(O.HostAxiom);
-      W.key("site").value(printTerm(WS.context(), O.Site));
-      W.key("status").value(O.Status == ObligationStatus::Discharged
-                                ? "discharged"
-                                : "assumed");
-      W.key("note").value(O.Note);
-      W.endObject();
-    }
-    W.endArray();
-    W.key("caveats").beginArray();
-    for (const std::string &Caveat : Report.Caveats)
-      W.value(Caveat);
-    W.endArray();
-    writeEngineStats(W, Report.Engine);
-    W.endObject();
-    std::printf("%s\n", W.str().c_str());
-  } else {
-    std::printf("%s", Report.render(WS.context()).c_str());
-  }
-  return Report.AllHold ? 0 : 1;
-}
 
 int cmdEnum(Workspace &WS, const Options &Opts) {
   if (Opts.SortName.empty()) {
@@ -875,6 +450,196 @@ int cmdEnum(Workspace &WS, const Options &Opts) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// The servable subcommands (check, lint, analyze, eval, trace, verify)
+// run through the shared command layer in src/server/Commands — the
+// same code `algspec serve` dispatches, which is what makes a served
+// response byte-identical to the one-shot CLI by construction.
+//===----------------------------------------------------------------------===//
+
+/// Resolves builtins and reads files into the command layer's source
+/// list, printing the CLI's usual diagnostics on failure.
+bool gatherSources(const Options &Opts,
+                   const std::vector<std::string> &Files,
+                   std::vector<server::SourceFile> &Out) {
+  for (const std::string &Name : Opts.Builtins) {
+    std::string_view Text = server::builtinSpecText(Name);
+    if (Text.empty()) {
+      std::fprintf(stderr, "error: unknown builtin spec '%s'\n",
+                   Name.c_str());
+      return false;
+    }
+    Out.push_back({Name + ".alg", std::string(Text)});
+  }
+  for (const std::string &Path : Files) {
+    Result<std::string> Text = readFile(Path);
+    if (!Text) {
+      std::fprintf(stderr, "error: %s\n", Text.error().message().c_str());
+      return false;
+    }
+    Out.push_back({Path, Text.take()});
+  }
+  return true;
+}
+
+server::CommandOptions toCommandOptions(const Options &Opts) {
+  server::CommandOptions C;
+  C.TermText = Opts.TermText;
+  C.Depth = Opts.Depth;
+  C.DynamicDepth = Opts.DynamicDepth;
+  C.Jobs = Opts.Jobs;
+  C.CompileEngine = Opts.CompileEngine;
+  C.Json = Opts.Json;
+  C.WarningsAsErrors = Opts.WarningsAsErrors;
+  C.AbstractSpec = Opts.AbstractSpec;
+  C.RepSort = Opts.RepSort;
+  C.PhiName = Opts.PhiName;
+  C.OpMap = Opts.OpMap;
+  C.InvariantName = Opts.InvariantName;
+  C.FreeDomain = Opts.FreeDomain;
+  C.Homomorphism = Opts.Homomorphism;
+  return C;
+}
+
+int runServable(const Options &Opts) {
+  server::CommandRequest R;
+  R.Command = Opts.Command;
+  if (!gatherSources(Opts, Opts.Files, R.Sources))
+    return 1;
+  R.Opts = toCommandOptions(Opts);
+  server::CommandResult Res = server::runCommand(R);
+  std::fwrite(Res.Out.data(), 1, Res.Out.size(), stdout);
+  std::fwrite(Res.Err.data(), 1, Res.Err.size(), stderr);
+  return Res.ExitCode;
+}
+
+int cmdVersion() {
+  std::printf("algspec %s (%s build, %s engine)\n",
+              server::gitVersion().c_str(), server::buildType().c_str(),
+              server::defaultEngineName());
+  return 0;
+}
+
+int cmdServe(const Options &Opts) {
+  server::ServerOptions SO;
+  for (const std::string &Text : Opts.ListenAddrs) {
+    Result<SocketAddress> Addr = SocketAddress::parse(Text);
+    if (!Addr) {
+      std::fprintf(stderr, "error: %s\n", Addr.error().message().c_str());
+      return 2;
+    }
+    SO.Listen.push_back(*Addr);
+  }
+  if (SO.Listen.empty()) {
+    std::fprintf(stderr, "error: serve needs --listen unix:<path> or "
+                         "--listen tcp:<host>:<port>\n");
+    return 2;
+  }
+  SO.Workers = Opts.ServeWorkers;
+  SO.QueueMax = Opts.QueueMax;
+  SO.CacheMaxEntries = Opts.CacheMax;
+  SO.MaxSteps = Opts.MaxSteps;
+  SO.DefaultDeadlineMs = Opts.DeadlineMs;
+  SO.Verbose = true;
+  if (Result<void> R = server::serveForever(std::move(SO)); !R) {
+    std::fprintf(stderr, "error: %s\n", R.error().message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdClient(const Options &Opts) {
+  if (Opts.ConnectAddr.empty()) {
+    std::fprintf(stderr, "error: client needs --connect <addr>\n");
+    return 2;
+  }
+  Result<SocketAddress> Addr = SocketAddress::parse(Opts.ConnectAddr);
+  if (!Addr) {
+    std::fprintf(stderr, "error: %s\n", Addr.error().message().c_str());
+    return 2;
+  }
+
+  if (!Opts.StressSpec.empty()) {
+    unsigned Connections = 0, Requests = 0;
+    if (std::sscanf(Opts.StressSpec.c_str(), "%ux%u", &Connections,
+                    &Requests) != 2 ||
+        Connections == 0 || Requests == 0) {
+      std::fprintf(stderr, "error: --stress wants NxM, got '%s'\n",
+                   Opts.StressSpec.c_str());
+      return 2;
+    }
+    server::StressOptions SO;
+    SO.Connections = Connections;
+    SO.RequestsPerConnection = Requests;
+    SO.Jobs = Opts.Jobs ? Opts.Jobs : 1;
+    Result<server::StressReport> Report = server::runStress(*Addr, SO);
+    if (!Report) {
+      std::fprintf(stderr, "error: %s\n",
+                   Report.error().message().c_str());
+      return 1;
+    }
+    std::printf("stress: %llu sent, %llu byte-identical, %llu mismatched, "
+                "%llu transport error(s); stats %s (%s)\n",
+                static_cast<unsigned long long>(Report->Sent),
+                static_cast<unsigned long long>(Report->Matched),
+                static_cast<unsigned long long>(Report->Mismatched),
+                static_cast<unsigned long long>(Report->TransportErrors),
+                Report->StatsReconciled ? "reconciled" : "OFF",
+                Report->StatsDetail.c_str());
+    if (!Report->ok()) {
+      if (!Report->FirstMismatch.empty())
+        std::fprintf(stderr, "first failure: %s\n",
+                     Report->FirstMismatch.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (Opts.Files.empty()) {
+    std::fprintf(stderr, "error: client needs a request type (hello, "
+                         "stats, or a command)\n");
+    return 2;
+  }
+  std::string Type = Opts.Files.front();
+  std::vector<std::string> Rest(Opts.Files.begin() + 1, Opts.Files.end());
+
+  if (server::isControlRequest(Type)) {
+    Result<server::WireResponse> Resp = server::requestOnce(
+        *Addr, server::encodeControlRequest("", Type));
+    if (!Resp) {
+      std::fprintf(stderr, "error: %s\n", Resp.error().message().c_str());
+      return 1;
+    }
+    std::printf("%s\n", Resp->Raw.c_str());
+    return 0;
+  }
+
+  if (!server::isServableCommand(Type)) {
+    std::fprintf(stderr, "error: unknown request type '%s'\n",
+                 Type.c_str());
+    return 2;
+  }
+  server::CommandRequest R;
+  R.Command = Type;
+  if (!gatherSources(Opts, Rest, R.Sources))
+    return 1;
+  R.Opts = toCommandOptions(Opts);
+  Result<server::WireResponse> Resp = server::requestOnce(
+      *Addr, server::encodeCommandRequest("", R, Opts.DeadlineMs));
+  if (!Resp) {
+    std::fprintf(stderr, "error: %s\n", Resp.error().message().c_str());
+    return 1;
+  }
+  if (Resp->Type != "response") {
+    std::fprintf(stderr, "error: server replied %s: %s\n",
+                 Resp->ErrorCode.c_str(), Resp->ErrorMessage.c_str());
+    return 1;
+  }
+  std::fwrite(Resp->Out.data(), 1, Resp->Out.size(), stdout);
+  std::fwrite(Resp->Err.data(), 1, Resp->Err.size(), stderr);
+  return Resp->Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -882,23 +647,17 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
 
+  if (server::isServableCommand(Opts.Command))
+    return runServable(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
+  if (Opts.Command == "client")
+    return cmdClient(Opts);
+  if (Opts.Command == "version")
+    return cmdVersion();
+
   Workspace WS;
 
-  if (Opts.Command == "check") {
-    if (!loadAll(WS, Opts, Opts.Files))
-      return 1;
-    return cmdCheck(WS, Opts);
-  }
-  if (Opts.Command == "lint") {
-    if (!loadAll(WS, Opts, Opts.Files))
-      return 1;
-    return cmdLint(WS, Opts);
-  }
-  if (Opts.Command == "analyze") {
-    if (!loadAll(WS, Opts, Opts.Files))
-      return 1;
-    return cmdAnalyze(WS, Opts);
-  }
   if (Opts.Command == "axioms") {
     if (!loadAll(WS, Opts, Opts.Files))
       return 1;
@@ -910,11 +669,6 @@ int main(int Argc, char **Argv) {
     for (const Spec &S : WS.specs())
       std::printf("%s\n", printSpec(WS.context(), S).c_str());
     return 0;
-  }
-  if (Opts.Command == "eval" || Opts.Command == "trace") {
-    if (!loadAll(WS, Opts, Opts.Files))
-      return 1;
-    return cmdEval(WS, Opts, Opts.Command == "trace");
   }
   if (Opts.Command == "run") {
     // The last file is the program; the rest are specs.
@@ -937,11 +691,6 @@ int main(int Argc, char **Argv) {
     if (!loadAll(WS, Opts, Opts.Files))
       return 1;
     return cmdEnum(WS, Opts);
-  }
-  if (Opts.Command == "verify") {
-    if (!loadAll(WS, Opts, Opts.Files))
-      return 1;
-    return cmdVerify(WS, Opts);
   }
   if (Opts.Command == "skeleton") {
     if (!loadAll(WS, Opts, Opts.Files))
