@@ -1,0 +1,230 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E16 — what a convergence certificate costs and what it
+/// buys. Three series:
+///
+///  1. the certifier itself (termination proof + critical-pair
+///     enumeration + guard-aware joins) on orthogonal and on obstructed
+///     workspaces;
+///  2. the consistency check with and without the certificate — the
+///     certified path proves consistency and skips the R x R
+///     critical-pair sweep entirely, so the gap is the sweep the
+///     certificate replaces;
+///  3. representation verification with and without the decidable-
+///     equality shortcut, on a rep the certificate covers (Switch as
+///     tick counters) and on the paper's Symboltable rep, which stays
+///     uncertified (RETRIEVE_R) and so prices the certifier's overhead
+///     on the honest-unknown path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+#include "specs/BuiltinSpecs.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Switch-as-counter representation: convergent, so the certificate
+/// upgrades every equality to a decision procedure.
+constexpr std::string_view SwitchAlg = R"(
+spec Switch
+  sorts Sw
+  ops
+    OFF : -> Sw
+    FLIP : Sw -> Sw
+    LIT? : Sw -> Bool
+  constructors OFF, FLIP
+  vars s : Sw
+  axioms
+    LIT?(OFF) = false
+    LIT?(FLIP(s)) = not(LIT?(s))
+end
+
+spec Counter
+  sorts Cnt
+  ops
+    ZERO : -> Cnt
+    TICK : Cnt -> Cnt
+    OFF_R : -> Cnt
+    FLIP_R : Cnt -> Cnt
+    LIT_R? : Cnt -> Bool
+  constructors ZERO, TICK
+  vars c : Cnt
+  axioms
+    OFF_R = ZERO
+    FLIP_R(c) = TICK(c)
+    LIT_R?(ZERO) = false
+    LIT_R?(TICK(c)) = not(LIT_R?(c))
+end
+
+spec Abstraction
+  uses Sw, Cnt
+  ops
+    PHI : Cnt -> Sw
+  vars c : Cnt
+  axioms
+    PHI(ZERO) = OFF
+    PHI(TICK(c)) = FLIP(PHI(c))
+end
+)";
+
+/// Four orthogonal builtins analyzed together — the workspace every
+/// certified-consistency series runs on.
+void loadOrthogonalFamily(Workspace &WS) {
+  (void)WS.load(specs::QueueAlg, "queue.alg");
+  (void)WS.load(specs::SymboltableAlg, "symboltable.alg");
+  (void)WS.load(specs::StackArrayAlg, "stackarray.alg");
+  (void)WS.load(specs::BoundedQueueAlg, "boundedqueue.alg");
+}
+
+//===----------------------------------------------------------------------===//
+// 1. Certifier cost
+//===----------------------------------------------------------------------===//
+
+void BM_CertifyOrthogonalFamily(benchmark::State &State) {
+  Workspace WS;
+  loadOrthogonalFamily(WS);
+  for (auto _ : State) {
+    ConvergenceReport Report = WS.convergence();
+    benchmark::DoNotOptimize(Report.Overall);
+  }
+}
+
+void BM_CertifyObstructedFamily(benchmark::State &State) {
+  // SymboltableImpl blocks on termination: the certifier still proves
+  // the siblings and names the obstruction.
+  Workspace WS;
+  (void)WS.load(specs::SymboltableAlg, "symboltable.alg");
+  (void)WS.load(specs::StackArrayAlg, "stackarray.alg");
+  (void)WS.load(specs::SymboltableImplAlg, "symboltable_impl.alg");
+  for (auto _ : State) {
+    ConvergenceReport Report = WS.convergence();
+    benchmark::DoNotOptimize(Report.Overall);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Consistency: certificate vs ground sweep
+//===----------------------------------------------------------------------===//
+
+void BM_ConsistencyCertified(benchmark::State &State) {
+  // The certificate is a once-per-workspace artifact (the serve daemon
+  // computes it when a cached workspace is built); every consistency
+  // check after that reuses it and skips the R x R critical-pair
+  // sweep. This series measures the check with the certificate in
+  // hand — BM_CertifyOrthogonalFamily above prices the one-time
+  // certification it amortizes.
+  Workspace WS;
+  loadOrthogonalFamily(WS);
+  ConvergenceReport Cert = WS.convergence();
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    ConsistencyReport Report =
+        checkConsistency(WS.context(), WS.specPointers(), Depth,
+                         EnumeratorOptions(), ParallelOptions(),
+                         EngineOptions(), &Cert);
+    benchmark::DoNotOptimize(Report.Consistent);
+  }
+}
+
+void BM_ConsistencyGroundSweep(benchmark::State &State) {
+  Workspace WS;
+  loadOrthogonalFamily(WS);
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    ConsistencyReport Report =
+        checkConsistency(WS.context(), WS.specPointers(), Depth,
+                         EnumeratorOptions(), ParallelOptions(),
+                         EngineOptions());
+    benchmark::DoNotOptimize(Report.Consistent);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Verification with and without the shortcut
+//===----------------------------------------------------------------------===//
+
+RepMapping switchMapping(Workspace &WS) {
+  RepMapping Mapping;
+  Mapping.AbstractSort = WS.context().lookupSort("Sw");
+  Mapping.RepSort = WS.context().lookupSort("Cnt");
+  Mapping.Phi = WS.context().lookupOp("PHI");
+  Mapping.OpMap.emplace(WS.context().lookupOp("OFF"),
+                        WS.context().lookupOp("OFF_R"));
+  Mapping.OpMap.emplace(WS.context().lookupOp("FLIP"),
+                        WS.context().lookupOp("FLIP_R"));
+  Mapping.OpMap.emplace(WS.context().lookupOp("LIT?"),
+                        WS.context().lookupOp("LIT_R?"));
+  return Mapping;
+}
+
+/// range(0): verification depth; range(1): UseConvergence off/on.
+void BM_VerifySwitchRep(benchmark::State &State) {
+  Workspace WS;
+  (void)WS.load(SwitchAlg, "switch.alg");
+  const Spec *Abstract = WS.find("Switch");
+  RepMapping Mapping = switchMapping(WS);
+  VerifyOptions Options;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  Options.UseConvergence = State.range(1) != 0;
+  uint64_t Instances = 0;
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(
+        WS.context(), *Abstract, WS.specPointers(), Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+    Instances = 0;
+    for (const AxiomVerdict &V : Report.Verdicts)
+      Instances += V.InstancesChecked;
+  }
+  State.counters["instances"] = static_cast<double>(Instances);
+}
+
+/// The paper's Symboltable rep: the certificate never holds here
+/// (RETRIEVE_R recurses through POP), so range(1) = 1 prices the
+/// certifier's overhead on a verification it cannot shortcut.
+void BM_VerifySymboltableRep(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Abstract = specs::loadSymboltable(Ctx).take();
+  std::vector<Spec> Concrete = specs::loadStackArray(Ctx).take();
+  SymboltableRep Rep = buildSymboltableRep(Ctx).take();
+  std::vector<const Spec *> Sources;
+  Sources.push_back(&Abstract);
+  for (const Spec &S : Concrete)
+    Sources.push_back(&S);
+  for (const Spec &S : Rep.ImplSpecs)
+    Sources.push_back(&S);
+  VerifyOptions Options;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  Options.UseConvergence = State.range(1) != 0;
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(Ctx, Abstract, Sources,
+                                               Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_CertifyOrthogonalFamily)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CertifyObstructedFamily)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConsistencyCertified)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConsistencyGroundSweep)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifySwitchRep)
+    ->Args({4, 0})->Args({4, 1})->Args({6, 0})->Args({6, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifySymboltableRep)->Args({3, 0})->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+ALGSPEC_BENCHMARK_MAIN()

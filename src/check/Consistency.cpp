@@ -9,6 +9,7 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/Convergence.h"
 #include "check/ReplicaWorker.h"
 #include "check/Unify.h"
 #include "rewrite/Engine.h"
@@ -25,7 +26,9 @@ using namespace algspec;
 
 std::string ConsistencyReport::render(const AlgebraContext &Ctx) const {
   std::string Out;
-  if (Consistent)
+  if (Consistent && !ProvenBy.empty())
+    Out += "proven consistent: " + ProvenBy + "\n";
+  else if (Consistent)
     Out += "No contradictions found.\n";
   for (const Contradiction &C : Contradictions) {
     Out += "axioms " + std::to_string(C.AxiomA) + " of '" + C.SpecA +
@@ -163,8 +166,18 @@ static void checkRulePair(
     TermId NormA = normalizeOrCaveat(InstA);
     TermId NormB = normalizeOrCaveat(InstB);
     if (NormA.isValid() && NormB.isValid() && NormA != NormB) {
-      Report(RuleA, RuleB, Overlap, NormA, NormB);
-      continue;
+      // Guard-aware second look before reporting: reducts that differ
+      // only in undecided guard structure may join under case analysis
+      // on the guards' values — reporting them would be a false
+      // positive (every ground instance agrees). The ground pass below
+      // still cross-validates such pairs.
+      GuardJoiner Joiner(Ctx, PS.Engine);
+      GuardJoiner::JoinResult Joined = Joiner.join(InstA, InstB);
+      if (Joined.Status != PairStatus::Joined &&
+          Joined.Status != PairStatus::JoinedByCases) {
+        Report(RuleA, RuleB, Overlap, NormA, NormB);
+        continue;
+      }
     }
     if (PS.GroundDepth == 0)
       continue;
@@ -228,7 +241,8 @@ algspec::checkConsistency(AlgebraContext &Ctx,
                           const std::vector<const Spec *> &Specs,
                           unsigned GroundDepth,
                           EnumeratorOptions EnumOptions,
-                          ParallelOptions Par, EngineOptions Eng) {
+                          ParallelOptions Par, EngineOptions Eng,
+                          const ConvergenceReport *Convergence) {
   ConsistencyReport Report;
 
   DiagnosticEngine Diags;
@@ -236,6 +250,24 @@ algspec::checkConsistency(AlgebraContext &Ctx,
   if (Diags.hasErrors())
     Report.Caveats.push_back(
         "some axioms could not be oriented into rules and were skipped");
+
+  // A convergence certificate covering the whole rule set IS a
+  // consistency proof: normal forms are canonical, so no overlap can
+  // rewrite to two disagreeing results. Skip the sweep it discharged.
+  if (Convergence && Convergence->provenConfluent() && !Diags.hasErrors()) {
+    if (Convergence->Overall == ConvergenceVerdict::Orthogonal)
+      Report.ProvenBy =
+          "orthogonal (left-linear, no critical pairs, terminating); "
+          "normal forms are canonical and the critical-pair sweep was "
+          "skipped";
+    else
+      Report.ProvenBy =
+          "convergent (terminating, every critical pair joins); normal "
+          "forms are canonical and the critical-pair sweep was skipped";
+    for (const std::string &Caveat : Convergence->Caveats)
+      Report.Caveats.push_back(Caveat);
+    return Report;
+  }
   RewriteEngine Engine(Ctx, System, Eng);
   std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
       makeReplicaDriver(Par, Ctx, Specs, Eng, EnumOptions);

@@ -23,9 +23,15 @@
 ///     first, catching divergence that only manifests on concrete
 ///     values.
 ///
-/// Like the paper's notion, this is a refutation procedure: findings are
-/// real contradictions (up to the bounded normalization), but a clean
-/// report is not a consistency proof.
+/// Like the paper's notion, this is at heart a refutation procedure:
+/// findings are real contradictions (up to the bounded normalization).
+/// A clean report alone is not a consistency proof — **unless** the
+/// caller supplies a convergence certificate (check/Convergence.h) that
+/// covers the workspace. A proven-convergent rule set has canonical
+/// normal forms, so no term can rewrite to two disagreeing results; the
+/// checker then reports "proven consistent" and skips the critical-pair
+/// sweep the certificate already discharged. Without a certificate the
+/// bounded-refutation caveat stands.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +50,7 @@ namespace algspec {
 
 class AlgebraContext;
 class Spec;
+struct ConvergenceReport;
 
 /// One detected contradiction between two axioms.
 struct Contradiction {
@@ -61,6 +68,10 @@ struct ConsistencyReport {
   bool Consistent = true;
   std::vector<Contradiction> Contradictions;
   std::vector<std::string> Caveats;
+  /// Non-empty when a convergence certificate upgraded the clean report
+  /// to a proof; describes the proof shape (e.g. "convergent: ...").
+  /// The critical-pair sweep is skipped in that case.
+  std::string ProvenBy;
   /// Rewrite-engine counters aggregated over the main engine and every
   /// worker replica; not part of the verdict and not deterministic
   /// across worker counts.
@@ -80,12 +91,19 @@ struct ConsistencyReport {
 ///
 /// \p Eng configures the rewrite engines (main and worker replicas) —
 /// notably EngineOptions::Compile, the compiled-vs-interpreted knob.
+///
+/// \p Convergence, when non-null and proving the whole rule set
+/// confluent and terminating, upgrades a clean report to "proven
+/// consistent" and skips the sweep (canonical normal forms leave no two
+/// axioms room to disagree). A certificate that does not cover the set
+/// changes nothing.
 ConsistencyReport
 checkConsistency(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs,
                  unsigned GroundDepth = 2,
                  EnumeratorOptions EnumOptions = EnumeratorOptions(),
                  ParallelOptions Par = ParallelOptions(),
-                 EngineOptions Eng = EngineOptions());
+                 EngineOptions Eng = EngineOptions(),
+                 const ConvergenceReport *Convergence = nullptr);
 
 } // namespace algspec
 

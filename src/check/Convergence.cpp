@@ -1,0 +1,810 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Convergence.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "check/Lint.h"
+#include "check/Unify.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace algspec;
+
+std::string_view algspec::convergenceVerdictName(ConvergenceVerdict V) {
+  switch (V) {
+  case ConvergenceVerdict::Orthogonal:
+    return "orthogonal";
+  case ConvergenceVerdict::Convergent:
+    return "convergent";
+  case ConvergenceVerdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view algspec::pairStatusName(PairStatus S) {
+  switch (S) {
+  case PairStatus::Joined:
+    return "joined";
+  case PairStatus::JoinedByCases:
+    return "joined-by-cases";
+  case PairStatus::Unjoinable:
+    return "unjoinable";
+  case PairStatus::Undecided:
+    return "undecided";
+  }
+  return "undecided";
+}
+
+//===----------------------------------------------------------------------===//
+// Term helpers (shared shapes with the consistency checker's sweep)
+//===----------------------------------------------------------------------===//
+
+/// Collects every position (path of child indices) in \p Term whose
+/// subterm is an operation application — the candidate redex positions
+/// for critical-pair overlap.
+static void collectOpPositions(const AlgebraContext &Ctx, TermId Term,
+                               std::vector<uint32_t> &Path,
+                               std::vector<std::vector<uint32_t>> &Out) {
+  if (Ctx.node(Term).Kind != TermKind::Op)
+    return;
+  Out.push_back(Path);
+  auto Children = Ctx.children(Term);
+  for (uint32_t I = 0; I != Children.size(); ++I) {
+    Path.push_back(I);
+    collectOpPositions(Ctx, Children[I], Path, Out);
+    Path.pop_back();
+  }
+}
+
+static std::vector<std::vector<uint32_t>>
+nonVariablePositions(const AlgebraContext &Ctx, TermId Term) {
+  std::vector<uint32_t> Path;
+  std::vector<std::vector<uint32_t>> Out;
+  collectOpPositions(Ctx, Term, Path, Out);
+  return Out;
+}
+
+static TermId subtermAt(const AlgebraContext &Ctx, TermId Term,
+                        const std::vector<uint32_t> &Pos) {
+  for (uint32_t Step : Pos)
+    Term = Ctx.children(Term)[Step];
+  return Term;
+}
+
+static TermId replaceAt(AlgebraContext &Ctx, TermId Term,
+                        const std::vector<uint32_t> &Pos, TermId Repl,
+                        size_t Depth = 0) {
+  if (Depth == Pos.size())
+    return Repl;
+  // Copy the children out: rebuilding below creates terms, which may
+  // reallocate the child pool under a live span.
+  auto Span = Ctx.children(Term);
+  std::vector<TermId> Children(Span.begin(), Span.end());
+  Children[Pos[Depth]] =
+      replaceAt(Ctx, Children[Pos[Depth]], Pos, Repl, Depth + 1);
+  return Ctx.makeOp(Ctx.node(Term).Op, Children);
+}
+
+/// The first variable repeated in \p Term (pre-order); invalid if the
+/// term is linear.
+static VarId firstRepeatedVar(const AlgebraContext &Ctx, TermId Term) {
+  std::unordered_set<VarId> Seen;
+  VarId Repeated;
+  auto Walk = [&](auto &&Self, TermId T) -> void {
+    if (Repeated.isValid())
+      return;
+    const TermNode &Node = Ctx.node(T);
+    if (Node.Kind == TermKind::Var) {
+      if (!Seen.insert(Node.Var).second)
+        Repeated = Node.Var;
+      return;
+    }
+    for (TermId Child : Ctx.children(T))
+      Self(Self, Child);
+  };
+  Walk(Walk, Term);
+  return Repeated;
+}
+
+static void collectOpsInTerm(const AlgebraContext &Ctx, TermId Term,
+                             std::unordered_set<OpId> &Out) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Op)
+    Out.insert(Node.Op);
+  for (TermId Child : Ctx.children(Term))
+    collectOpsInTerm(Ctx, Child, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// GuardJoiner
+//===----------------------------------------------------------------------===//
+
+GuardJoiner::GuardJoiner(AlgebraContext &Ctx, RewriteEngine &Engine,
+                         unsigned MaxCaseSplits)
+    : Ctx(Ctx), Engine(Engine), MaxCaseSplits(MaxCaseSplits) {}
+
+std::optional<TermId>
+GuardJoiner::normalizeTraced(TermId Term, std::vector<JoinStep> *Trace) {
+  bool Collect = Trace && Engine.options().KeepTrace;
+  if (Collect)
+    Engine.clearTrace();
+  Result<TermId> Normal = Engine.normalize(Term);
+  if (!Normal)
+    return std::nullopt;
+  if (Collect) {
+    for (const TraceStep &Step : Engine.trace())
+      Trace->push_back({Step.Before, Step.After,
+                        Step.AppliedRule ? Step.AppliedRule->SpecName
+                                         : std::string(),
+                        Step.AppliedRule ? Step.AppliedRule->AxiomNumber
+                                         : 0u});
+    Engine.clearTrace();
+  }
+  return *Normal;
+}
+
+TermId GuardJoiner::findSplitCondition(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind != TermKind::Op)
+    return TermId();
+  if (Ctx.op(Node.Op).Builtin == BuiltinOp::Ite) {
+    // A surviving if-then-else has an undecided condition (a decided one
+    // would have selected its branch during normalization). Prefer a
+    // split nested inside the condition itself: it is smaller.
+    TermId Cond = Ctx.children(Term)[0];
+    TermId Inner = findSplitCondition(Cond);
+    return Inner.isValid() ? Inner : Cond;
+  }
+  for (TermId Child : Ctx.children(Term)) {
+    TermId Found = findSplitCondition(Child);
+    if (Found.isValid())
+      return Found;
+  }
+  return TermId();
+}
+
+TermId GuardJoiner::replaceCondition(TermId Term, TermId Cond,
+                                     TermId Value) const {
+  // A SAME guard is symmetric; replace the argument-swapped twin too.
+  TermId Swapped;
+  const TermNode &CondNode = Ctx.node(Cond);
+  if (CondNode.Kind == TermKind::Op &&
+      Ctx.op(CondNode.Op).Builtin == BuiltinOp::Same) {
+    auto Args = Ctx.children(Cond);
+    TermId A0 = Args[0], A1 = Args[1];
+    if (A0 != A1)
+      Swapped = Ctx.makeOp(CondNode.Op, {A1, A0});
+  }
+  auto Rec = [&](auto &&Self, TermId T) -> TermId {
+    if (T == Cond || (Swapped.isValid() && T == Swapped))
+      return Value;
+    const TermNode &Node = Ctx.node(T);
+    if (Node.Kind != TermKind::Op)
+      return T;
+    auto Span = Ctx.children(T);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    bool Changed = false;
+    for (TermId &Child : Children) {
+      TermId New = Self(Self, Child);
+      Changed |= New != Child;
+      Child = New;
+    }
+    // makeOp re-applies structural error strictness, so substituting
+    // error for a condition collapses the enclosing if-then-else.
+    return Changed ? Ctx.makeOp(Node.Op, Children) : T;
+  };
+  return Rec(Rec, Term);
+}
+
+bool GuardJoiner::isValue(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  switch (Node.Kind) {
+  case TermKind::Error:
+  case TermKind::Atom:
+  case TermKind::Int:
+    return true;
+  case TermKind::Var:
+    return false;
+  case TermKind::Op:
+    break;
+  }
+  if (!Ctx.op(Node.Op).isConstructor())
+    return false;
+  for (TermId Child : Ctx.children(Term))
+    if (!isValue(Child))
+      return false;
+  return true;
+}
+
+GuardJoiner::JoinResult GuardJoiner::join(TermId A, TermId B) {
+  JoinResult R;
+  std::optional<TermId> NA = normalizeTraced(A, &R.TraceA);
+  std::optional<TermId> NB = normalizeTraced(B, &R.TraceB);
+  if (!NA || !NB) {
+    R.Status = PairStatus::Undecided;
+    R.Note = "normalization ran out of fuel";
+    return R;
+  }
+  R.NormA = *NA;
+  R.NormB = *NB;
+  if (*NA == *NB) {
+    R.Status = PairStatus::Joined;
+    return R;
+  }
+  std::vector<std::string> Splits;
+  JoinResult Rec = joinRec(*NA, *NB, 0, Splits);
+  R.Status = Rec.Status == PairStatus::Joined ? PairStatus::JoinedByCases
+                                              : Rec.Status;
+  R.CaseSplits = Rec.CaseSplits;
+  R.Note = Rec.Note;
+  return R;
+}
+
+GuardJoiner::JoinResult GuardJoiner::joinRec(TermId A, TermId B, unsigned Depth,
+                                         std::vector<std::string> &Splits) {
+  JoinResult R;
+  R.NormA = A;
+  R.NormB = B;
+  if (A == B) {
+    R.Status = PairStatus::Joined;
+    return R;
+  }
+  TermId Cond = findSplitCondition(A);
+  if (!Cond.isValid())
+    Cond = findSplitCondition(B);
+  // No Bool-valued variable is split implicitly; only guard conditions
+  // of surviving if-then-else nodes drive the case analysis.
+  if (!Cond.isValid()) {
+    if (isValue(A) && isValue(B)) {
+      R.Status = PairStatus::Unjoinable;
+      R.Note = "the reducts are distinct ground values";
+    } else {
+      R.Status = PairStatus::Undecided;
+      R.Note = "distinct open normal forms with no guard to split on";
+    }
+    return R;
+  }
+  if (Depth >= MaxCaseSplits) {
+    R.Status = PairStatus::Undecided;
+    R.Note = "guard case-split budget exhausted";
+    return R;
+  }
+
+  // Is the condition a SAME guard whose arguments the true case can
+  // bind via unification? Only when unification can speak for semantic
+  // equality: a clash between value-shaped arguments refutes the case,
+  // while unreduced defined operations make unification inconclusive.
+  const TermNode &CondNode = Ctx.node(Cond);
+  bool IsSame = CondNode.Kind == TermKind::Op &&
+                Ctx.op(CondNode.Op).Builtin == BuiltinOp::Same;
+  TermId SameL, SameR;
+  if (IsSame) {
+    auto Args = Ctx.children(Cond);
+    SameL = Args[0];
+    SameR = Args[1];
+  }
+
+  unsigned MaxBranchSplits = 0;
+  struct Branch {
+    TermId Value;
+    const char *Label;
+  };
+  Branch Branches[3] = {{Ctx.trueTerm(), "true"},
+                        {Ctx.falseTerm(), "false"},
+                        {Ctx.makeError(Ctx.sortOf(Cond)), "error"}};
+  for (const Branch &Br : Branches) {
+    std::optional<Substitution> Mgu;
+    if (IsSame && Br.Value == Ctx.trueTerm()) {
+      Mgu = unifyTerms(Ctx, SameL, SameR);
+      // A clash between ground values refutes SAME(...) = true.
+      if (!Mgu && isValue(SameL) && isValue(SameR))
+        continue;
+    }
+    if (IsSame && Br.Value == Ctx.falseTerm() && SameL == SameR)
+      continue; // SAME(t, t) is never false.
+
+    TermId BA = replaceCondition(A, Cond, Br.Value);
+    TermId BB = replaceCondition(B, Cond, Br.Value);
+    if (Mgu) {
+      BA = applySubstitution(Ctx, BA, *Mgu);
+      BB = applySubstitution(Ctx, BB, *Mgu);
+    }
+    std::optional<TermId> NA = normalizeTraced(BA, nullptr);
+    std::optional<TermId> NB = normalizeTraced(BB, nullptr);
+    if (!NA || !NB) {
+      R.Status = PairStatus::Undecided;
+      R.Note = "normalization ran out of fuel during guard case analysis";
+      return R;
+    }
+    Splits.push_back(printTerm(Ctx, Cond) + " = " + Br.Label);
+    JoinResult Sub = joinRec(*NA, *NB, Depth + 1, Splits);
+    if (Sub.Status != PairStatus::Joined) {
+      R.Status = Sub.Status == PairStatus::Unjoinable
+                     ? PairStatus::Unjoinable
+                     : PairStatus::Undecided;
+      R.NormA = Sub.NormA;
+      R.NormB = Sub.NormB;
+      R.Note = "under " + Splits[0];
+      for (size_t I = 1; I != Splits.size(); ++I)
+        R.Note += ", " + Splits[I];
+      R.Note += ": " + Sub.Note;
+      return R;
+    }
+    MaxBranchSplits = std::max(MaxBranchSplits, 1 + Sub.CaseSplits);
+    Splits.pop_back();
+  }
+  R.Status = PairStatus::Joined;
+  R.CaseSplits = MaxBranchSplits;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Certification
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Rule-set facts the per-spec classification reads.
+struct RuleSetAnalysis {
+  std::vector<Rule> const *Rules = nullptr;
+  /// Rule index -> every operation its sides mention (head included).
+  std::vector<std::vector<OpId>> RuleOps;
+  /// Head op -> rule indices.
+  std::unordered_map<OpId, std::vector<size_t>> RulesByHead;
+  /// Rule index -> repeated LHS variable name (empty when linear).
+  std::vector<std::string> RepeatedVar;
+};
+} // namespace
+
+static RuleSetAnalysis analyzeRules(const AlgebraContext &Ctx,
+                                    const std::vector<Rule> &Rules) {
+  RuleSetAnalysis A;
+  A.Rules = &Rules;
+  A.RuleOps.resize(Rules.size());
+  A.RepeatedVar.resize(Rules.size());
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    const Rule &R = Rules[I];
+    std::unordered_set<OpId> Ops;
+    collectOpsInTerm(Ctx, R.Lhs, Ops);
+    collectOpsInTerm(Ctx, R.Rhs, Ops);
+    A.RuleOps[I].assign(Ops.begin(), Ops.end());
+    A.RulesByHead[R.HeadOp].push_back(I);
+    VarId Repeated = firstRepeatedVar(Ctx, R.Lhs);
+    if (Repeated.isValid())
+      A.RepeatedVar[I] = std::string(Ctx.str(Ctx.var(Repeated).Name));
+  }
+  return A;
+}
+
+/// The indices of every rule reachable from \p Seeds: a rule is relevant
+/// when its head operation is mentioned by a seed or by another relevant
+/// rule's sides.
+static std::vector<size_t>
+relevantRules(const RuleSetAnalysis &A, std::vector<OpId> Seeds) {
+  std::unordered_set<OpId> SeenOps(Seeds.begin(), Seeds.end());
+  std::vector<OpId> Work(Seeds.begin(), Seeds.end());
+  std::unordered_set<size_t> InSet;
+  while (!Work.empty()) {
+    OpId Op = Work.back();
+    Work.pop_back();
+    auto It = A.RulesByHead.find(Op);
+    if (It == A.RulesByHead.end())
+      continue;
+    for (size_t RI : It->second) {
+      if (!InSet.insert(RI).second)
+        continue;
+      for (OpId Next : A.RuleOps[RI])
+        if (SeenOps.insert(Next).second)
+          Work.push_back(Next);
+    }
+  }
+  std::vector<size_t> Out(InSet.begin(), InSet.end());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+static SourceLoc axiomLoc(const Spec *S, unsigned AxiomNumber) {
+  if (!S || AxiomNumber == 0 || AxiomNumber > S->axioms().size())
+    return SourceLoc();
+  return S->axioms()[AxiomNumber - 1].Loc;
+}
+
+const SpecConvergence *
+ConvergenceReport::specVerdict(std::string_view SpecName) const {
+  for (const SpecConvergence &SC : PerSpec)
+    if (SC.SpecName == SpecName)
+      return &SC;
+  return nullptr;
+}
+
+std::string ConvergenceReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  for (const SpecConvergence &SC : PerSpec) {
+    Out += "convergence of '" + SC.SpecName + "': ";
+    switch (SC.Verdict) {
+    case ConvergenceVerdict::Orthogonal:
+      Out += "orthogonal (left-linear, no critical pairs, terminating)";
+      break;
+    case ConvergenceVerdict::Convergent: {
+      Out += "convergent (terminating; " +
+             std::to_string(SC.PairsExamined) + " critical pair" +
+             (SC.PairsExamined == 1 ? "" : "s") + " joined";
+      if (SC.PairsByCases)
+        Out += ", " + std::to_string(SC.PairsByCases) +
+               " by guard case analysis";
+      Out += ")";
+      break;
+    }
+    case ConvergenceVerdict::Unknown:
+      Out += "unknown — " + SC.Obstruction;
+      break;
+    }
+    Out += '\n';
+  }
+  for (const CriticalPair &P : Pairs) {
+    if (P.Status == PairStatus::Joined ||
+        P.Status == PairStatus::JoinedByCases)
+      continue;
+    Out += std::string(pairStatusName(P.Status)) + " critical pair: axioms " +
+           std::to_string(P.AxiomA) + " of '" + P.SpecA + "' and " +
+           std::to_string(P.AxiomB) + " of '" + P.SpecB + "' rewrite " +
+           printTerm(Ctx, P.Peak) + " to " + printTerm(Ctx, P.NormA) +
+           " vs " + printTerm(Ctx, P.NormB) + "\n";
+  }
+  for (const std::string &Caveat : Caveats) {
+    Out += "note: ";
+    Out += Caveat;
+    Out += '\n';
+  }
+  return Out;
+}
+
+ConvergenceReport
+algspec::certifyConvergence(AlgebraContext &Ctx,
+                            const std::vector<const Spec *> &Specs,
+                            const ConvergenceOptions &Options) {
+  ConvergenceReport Report;
+
+  DiagnosticEngine Diags;
+  RewriteSystem System = RewriteSystem::build(Ctx, Specs, Diags);
+  bool OrientationSkipped = Diags.hasErrors();
+  if (OrientationSkipped)
+    Report.Caveats.push_back(
+        "some axioms could not be oriented into rules and were skipped; "
+        "no confluent verdict is claimed");
+  Report.Termination = proveTermination(Ctx, Specs);
+
+  // A tight probe budget: an unprovable (possibly divergent) rule set
+  // must not stall certification — an unfinished normalization just
+  // leaves its pair undecided.
+  EngineOptions EO = Options.Engine;
+  EO.MaxSteps = std::min<uint64_t>(EO.MaxSteps, 4096);
+  EO.MaxDepth = std::min<unsigned>(EO.MaxDepth, 512);
+  if (Options.KeepCertificates) {
+    EO.KeepTrace = true;
+    EO.Memoize = false; // A memo hit would swallow certificate steps.
+  }
+  RewriteEngine Engine(Ctx, System, EO);
+  GuardJoiner Joiner(Ctx, Engine, Options.MaxCaseSplits);
+
+  const std::vector<Rule> &Rules = System.rules();
+  RuleSetAnalysis Analysis = analyzeRules(Ctx, Rules);
+
+  std::unordered_map<std::string_view, const Spec *> SpecByName;
+  for (const Spec *S : Specs)
+    SpecByName.emplace(S->name(), S);
+
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    if (Analysis.RepeatedVar[I].empty())
+      continue;
+    const Rule &R = Rules[I];
+    auto It = SpecByName.find(R.SpecName);
+    Report.NonLeftLinear.push_back(
+        {R.SpecName, R.AxiomNumber,
+         axiomLoc(It == SpecByName.end() ? nullptr : It->second,
+                  R.AxiomNumber),
+         Analysis.RepeatedVar[I]});
+  }
+
+  // Critical pairs, enumerated exactly as in the consistency sweep:
+  // for every rule A, every operation position p of A's left-hand side,
+  // and every rule B (renamed apart) unifying with A.Lhs|p, the peak
+  // σ(A.Lhs) rewrites by A at the root and by B at p. Root overlaps are
+  // symmetric and visited once per unordered pair. Pairs of a rule with
+  // itself at the root are trivial and skipped.
+  std::vector<std::vector<size_t>> PairRules; // parallel to Report.Pairs
+  for (size_t AI = 0; AI != Rules.size(); ++AI) {
+    const Rule &RuleA = Rules[AI];
+    // A non-left-linear left-hand side breaks unification-based overlap
+    // analysis (the repeated variable encodes a semantic equality);
+    // pairs involving such a rule are not enumerated — the rule itself
+    // is already a certification obstruction.
+    if (!Analysis.RepeatedVar[AI].empty())
+      continue;
+    std::vector<std::vector<uint32_t>> Positions =
+        nonVariablePositions(Ctx, RuleA.Lhs);
+    for (size_t BI = 0; BI != Rules.size(); ++BI) {
+      if (!Analysis.RepeatedVar[BI].empty())
+        continue;
+      const Rule &RuleB = Rules[BI];
+      auto [LhsB, RhsB] = renameRuleApart(Ctx, RuleB.Lhs, RuleB.Rhs);
+      for (const std::vector<uint32_t> &Pos : Positions) {
+        bool Root = Pos.empty();
+        if (Root && BI <= AI)
+          continue;
+        TermId Sub = subtermAt(Ctx, RuleA.Lhs, Pos);
+        if (Ctx.node(Sub).Op != RuleB.HeadOp)
+          continue;
+        std::optional<Substitution> Mgu = unifyTerms(Ctx, Sub, LhsB);
+        if (!Mgu)
+          continue;
+
+        CriticalPair P;
+        P.SpecA = RuleA.SpecName;
+        P.SpecB = RuleB.SpecName;
+        P.AxiomA = RuleA.AxiomNumber;
+        P.AxiomB = RuleB.AxiomNumber;
+        auto ItA = SpecByName.find(P.SpecA);
+        auto ItB = SpecByName.find(P.SpecB);
+        P.LocA = axiomLoc(ItA == SpecByName.end() ? nullptr : ItA->second,
+                          P.AxiomA);
+        P.LocB = axiomLoc(ItB == SpecByName.end() ? nullptr : ItB->second,
+                          P.AxiomB);
+        P.Peak = applySubstitution(Ctx, RuleA.Lhs, *Mgu);
+        P.ReductA = applySubstitution(Ctx, RuleA.Rhs, *Mgu);
+        P.ReductB = applySubstitution(
+            Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
+
+        GuardJoiner::JoinResult J = Joiner.join(P.ReductA, P.ReductB);
+        P.Status = J.Status;
+        P.NormA = J.NormA;
+        P.NormB = J.NormB;
+        P.CaseSplits = J.CaseSplits;
+        P.TraceA = std::move(J.TraceA);
+        P.TraceB = std::move(J.TraceB);
+        P.Note = std::move(J.Note);
+        Report.Pairs.push_back(std::move(P));
+        PairRules.push_back({AI, BI});
+      }
+    }
+  }
+
+  bool AnyByCases = false;
+  for (const CriticalPair &P : Report.Pairs)
+    AnyByCases |= P.Status == PairStatus::JoinedByCases;
+  if (AnyByCases)
+    Report.Caveats.push_back(
+        "some critical pairs joined only under guard case analysis, "
+        "which assumes each split condition denotes a value (true, "
+        "false, or error); the confluent verdict is ground convergence "
+        "under that assumption");
+
+  // Classifies the rule subset \p Indices (with \p Contributing spec
+  // names) into a verdict; used per spec and for the whole set.
+  auto classify = [&](const std::vector<size_t> &Indices,
+                      const std::vector<std::string> &Contributing,
+                      SpecConvergence &Out) {
+    std::unordered_set<size_t> InSet(Indices.begin(), Indices.end());
+    Out.LeftLinear = true;
+    for (size_t RI : Indices)
+      if (!Analysis.RepeatedVar[RI].empty()) {
+        Out.LeftLinear = false;
+        if (Out.Obstruction.empty())
+          Out.Obstruction = "axiom " +
+                            std::to_string(Rules[RI].AxiomNumber) +
+                            " of '" + Rules[RI].SpecName +
+                            "' repeats variable '" +
+                            Analysis.RepeatedVar[RI] +
+                            "' on its left-hand side (not left-linear)";
+      }
+
+    Out.TerminationProved = true;
+    std::string TermObstruction;
+    for (const std::string &Name : Contributing) {
+      if (Report.Termination.provedFor(Name))
+        continue;
+      Out.TerminationProved = false;
+      if (!TermObstruction.empty())
+        continue;
+      TermObstruction = "termination of '" + Name + "' is not proved";
+      for (const TerminationFailure &F : Report.Termination.Failures)
+        if (F.SpecName == Name) {
+          TermObstruction += " (axiom " + std::to_string(F.AxiomNumber) +
+                             ": " + F.Reason + ")";
+          break;
+        }
+    }
+
+    std::string PairObstruction;
+    for (size_t PI = 0; PI != Report.Pairs.size(); ++PI) {
+      if (!InSet.count(PairRules[PI][0]) || !InSet.count(PairRules[PI][1]))
+        continue;
+      const CriticalPair &P = Report.Pairs[PI];
+      ++Out.PairsExamined;
+      if (P.Status == PairStatus::Joined)
+        ++Out.PairsJoined;
+      else if (P.Status == PairStatus::JoinedByCases)
+        ++Out.PairsByCases;
+      else if (PairObstruction.empty())
+        PairObstruction =
+            "critical pair of axiom " + std::to_string(P.AxiomA) +
+            " of '" + P.SpecA + "' and axiom " + std::to_string(P.AxiomB) +
+            " of '" + P.SpecB + "' is " +
+            std::string(pairStatusName(P.Status)) + ": " +
+            printTerm(Ctx, P.Peak) + " rewrites to " +
+            printTerm(Ctx, P.NormA) + " vs " + printTerm(Ctx, P.NormB);
+    }
+
+    if (OrientationSkipped) {
+      Out.Verdict = ConvergenceVerdict::Unknown;
+      Out.Obstruction =
+          "some axioms could not be oriented into rules and were skipped";
+      return;
+    }
+    if (!Out.LeftLinear) {
+      Out.Verdict = ConvergenceVerdict::Unknown;
+      return;
+    }
+    Out.Obstruction.clear();
+    if (!Out.TerminationProved) {
+      Out.Verdict = ConvergenceVerdict::Unknown;
+      Out.Obstruction = TermObstruction;
+      return;
+    }
+    if (!PairObstruction.empty()) {
+      Out.Verdict = ConvergenceVerdict::Unknown;
+      Out.Obstruction = PairObstruction;
+      return;
+    }
+    Out.Verdict = Out.PairsExamined == 0 ? ConvergenceVerdict::Orthogonal
+                                         : ConvergenceVerdict::Convergent;
+  };
+
+  for (const Spec *S : Specs) {
+    SpecConvergence SC;
+    SC.SpecName = S->name();
+    // Seeds: the spec's own operations plus every operation its axioms
+    // mention (Stack's axioms call Array's operations).
+    std::unordered_set<OpId> SeedSet(S->operations().begin(),
+                                     S->operations().end());
+    for (const Axiom &Ax : S->axioms()) {
+      collectOpsInTerm(Ctx, Ax.Lhs, SeedSet);
+      collectOpsInTerm(Ctx, Ax.Rhs, SeedSet);
+    }
+    std::vector<size_t> Indices = relevantRules(
+        Analysis, std::vector<OpId>(SeedSet.begin(), SeedSet.end()));
+    std::unordered_set<std::string> ContribSet;
+    std::vector<std::string> Contributing;
+    ContribSet.insert(S->name());
+    Contributing.push_back(S->name());
+    for (size_t RI : Indices)
+      if (ContribSet.insert(Rules[RI].SpecName).second)
+        Contributing.push_back(Rules[RI].SpecName);
+    std::sort(Contributing.begin() + 1, Contributing.end());
+    classify(Indices, Contributing, SC);
+    Report.PerSpec.push_back(std::move(SC));
+  }
+
+  // Whole-set verdict: all rules, all specs contributing.
+  SpecConvergence All;
+  std::vector<size_t> AllIndices(Rules.size());
+  for (size_t I = 0; I != Rules.size(); ++I)
+    AllIndices[I] = I;
+  std::vector<std::string> AllNames;
+  for (const Spec *S : Specs)
+    AllNames.push_back(S->name());
+  classify(AllIndices, AllNames, All);
+  Report.Overall = All.Verdict;
+  Report.Obstruction = All.Obstruction;
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint passes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// `non-left-linear-lhs`: the certification-blocking variant of the
+/// stylistic non-left-linear rule — it fires only on axioms that orient
+/// into rewrite rules (a non-rule axiom never reaches the certifier).
+class NonLeftLinearLhsPass : public LintPass {
+public:
+  std::string_view name() const override { return "non-left-linear-lhs"; }
+  std::string_view description() const override {
+    return "rules whose repeated left-hand-side variables block the "
+           "convergence certificate";
+  }
+
+  void run(LintContext &LC) override {
+    AlgebraContext &Ctx = LC.context();
+    DiagnosticEngine Diags;
+    RewriteSystem System =
+        RewriteSystem::build(Ctx, {&LC.spec()}, Diags);
+    for (const Rule &R : System.rules()) {
+      VarId Repeated = firstRepeatedVar(Ctx, R.Lhs);
+      if (!Repeated.isValid())
+        continue;
+      std::string Name(Ctx.str(Ctx.var(Repeated).Name));
+      auto It = std::find_if(
+          LC.spec().axioms().begin(), LC.spec().axioms().end(),
+          [&](const Axiom &Ax) { return Ax.Number == R.AxiomNumber; });
+      SourceLoc Loc =
+          It == LC.spec().axioms().end() ? SourceLoc() : It->Loc;
+      LC.report(name(), DiagKind::Warning, Loc,
+                "axiom " + std::to_string(R.AxiomNumber) +
+                    ": left-hand side repeats variable '" + Name +
+                    "', so the rule is not left-linear and the spec "
+                    "cannot be certified orthogonal or convergent",
+                "please bind a fresh variable and compare with SAME(" +
+                    Name + ", ...) in the right-hand side");
+    }
+  }
+};
+
+/// `unjoinable-critical-pair`: convergence-backed; surfaces every
+/// unjoinable pair the certifier found, caret-located at each
+/// participating axiom of the spec under analysis.
+class UnjoinableCriticalPairPass : public LintPass {
+public:
+  std::string_view name() const override {
+    return "unjoinable-critical-pair";
+  }
+  std::string_view description() const override {
+    return "critical pairs whose reducts normalize to distinct values";
+  }
+
+  void run(LintContext &LC) override {
+    const std::vector<const Spec *> &Specs = LC.allSpecs();
+    // One certification per workspace: the report is cached across the
+    // per-spec invocations of a single lint run.
+    if (CachedSpecs != Specs || CachedCtx != &LC.context()) {
+      ConvergenceOptions Options;
+      Options.KeepCertificates = false;
+      Cached = certifyConvergence(LC.context(), Specs, Options);
+      CachedSpecs = Specs;
+      CachedCtx = &LC.context();
+    }
+    const AlgebraContext &Ctx = LC.context();
+    for (const CriticalPair &P : Cached.Pairs) {
+      if (P.Status != PairStatus::Unjoinable)
+        continue;
+      std::string Message =
+          "axioms " + std::to_string(P.AxiomA) + " of '" + P.SpecA +
+          "' and " + std::to_string(P.AxiomB) + " of '" + P.SpecB +
+          "' form an unjoinable critical pair: " + printTerm(Ctx, P.Peak) +
+          " rewrites to both " + printTerm(Ctx, P.NormA) + " and " +
+          printTerm(Ctx, P.NormB);
+      bool SameAxiom = P.SpecA == P.SpecB && P.AxiomA == P.AxiomB;
+      if (P.SpecA == LC.spec().name())
+        LC.report(name(), DiagKind::Warning, P.LocA, Message);
+      if (P.SpecB == LC.spec().name() && !SameAxiom)
+        LC.report(name(), DiagKind::Warning, P.LocB, Message);
+    }
+  }
+
+private:
+  std::vector<const Spec *> CachedSpecs;
+  const AlgebraContext *CachedCtx = nullptr;
+  ConvergenceReport Cached;
+};
+
+} // namespace
+
+std::unique_ptr<LintPass> algspec::makeNonLeftLinearLhsPass() {
+  return std::make_unique<NonLeftLinearLhsPass>();
+}
+
+std::unique_ptr<LintPass> algspec::makeUnjoinableCriticalPairPass() {
+  return std::make_unique<UnjoinableCriticalPairPass>();
+}

@@ -1,0 +1,261 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convergence certification: composing termination, left-linearity, and
+/// critical-pair joinability into a proof-level verdict per spec.
+///
+/// The consistency checker (check/Consistency.h) is a refutation
+/// procedure; this module supplies the complementary proof. It examines
+/// the oriented rule set of a workspace and classifies each spec:
+///
+///  - **orthogonal** — every contributing rule is left-linear, the rules
+///    have no critical pairs, and termination is proved (RPO, from
+///    check/Termination.h). Orthogonal systems are confluent; with
+///    termination this makes normal forms canonical.
+///  - **convergent** — termination is proved and every critical pair is
+///    joinable (each peak's two reducts normalize to one term, possibly
+///    after case analysis on undecided guards). Newman's lemma lifts
+///    local confluence to confluence, so normal forms are canonical.
+///  - **unknown** — an honest failure naming the exact obstruction: a
+///    non-left-linear rule, an axiom the path ordering cannot orient, or
+///    a specific unjoinable/undecided critical pair.
+///
+/// Classical orthogonality gives confluence without termination; the
+/// certifier nevertheless demands a termination proof before either
+/// confluent verdict, because the artifact downstream checkers consume
+/// is *decidable equality* — normalize each side once and compare —
+/// which needs both properties. A spec like the paper's Symboltable
+/// representation (RETRIEVE_R recursing through POP under a guard) thus
+/// stays `unknown` even though its rules never overlap.
+///
+/// Critical pairs are enumerated exactly as in the consistency checker
+/// (full Knuth-Bendix over check/Unify). Joinability is guard-aware: two
+/// symbolically distinct reducts are joined by case analysis on the
+/// first undecided if-then-else condition (each of the condition's
+/// possible values — true, false, error — is substituted through both
+/// sides; a SAME guard's true case additionally unifies its arguments).
+/// Every plain join records the two rewrite traces to the common reduct
+/// as a replayable certificate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_CONVERGENCE_H
+#define ALGSPEC_CHECK_CONVERGENCE_H
+
+#include "ast/Ids.h"
+#include "check/Termination.h"
+#include "rewrite/Engine.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class LintPass;
+class Spec;
+
+/// The verdict lattice, weakest evidence last.
+enum class ConvergenceVerdict : uint8_t {
+  /// Left-linear, no critical pairs, terminating: confluent by the
+  /// orthogonality theorem, normal forms canonical.
+  Orthogonal,
+  /// Terminating and every critical pair joins: confluent by Newman's
+  /// lemma, normal forms canonical.
+  Convergent,
+  /// No proof; the report names the obstruction.
+  Unknown,
+};
+
+std::string_view convergenceVerdictName(ConvergenceVerdict V);
+
+/// How one critical pair's two reducts relate.
+enum class PairStatus : uint8_t {
+  /// Both reducts normalize to the same term.
+  Joined,
+  /// Joined after case analysis on undecided guard conditions; holds
+  /// for every instance on which the guards denote values.
+  JoinedByCases,
+  /// The reducts normalize to distinct ground values: a genuine
+  /// counterexample to confluence.
+  Unjoinable,
+  /// Distinct open normal forms survive the case analysis (or fuel ran
+  /// out); neither joined nor refuted.
+  Undecided,
+};
+
+std::string_view pairStatusName(PairStatus S);
+
+/// One step of a join certificate: a rule application recorded during
+/// normalization of a reduct.
+struct JoinStep {
+  TermId Before;
+  TermId After;
+  std::string SpecName;    ///< Spec owning the applied rule; empty for a
+                           ///< builtin evaluation step.
+  unsigned AxiomNumber = 0;
+};
+
+/// One examined critical pair with its joinability certificate.
+struct CriticalPair {
+  std::string SpecA, SpecB;
+  unsigned AxiomA = 0, AxiomB = 0;
+  SourceLoc LocA, LocB;
+  /// The peak: the overlapping instance both axioms rewrite.
+  TermId Peak;
+  /// The two reducts of the peak (rule A at the root, rule B inside).
+  TermId ReductA, ReductB;
+  /// The reducts' normal forms (equal iff Status == Joined).
+  TermId NormA, NormB;
+  PairStatus Status = PairStatus::Undecided;
+  /// Replayable certificate: the rewrite traces from each reduct to its
+  /// normal form. Populated for Joined pairs.
+  std::vector<JoinStep> TraceA, TraceB;
+  /// Guard case splits the join needed (0 for a plain join).
+  unsigned CaseSplits = 0;
+  /// Human-readable detail for JoinedByCases / Undecided / Unjoinable.
+  std::string Note;
+};
+
+/// A rule whose left-hand side repeats a variable, blocking both the
+/// orthogonality route and the critical-pair analysis (such a rule only
+/// matches syntactically equal occurrences).
+struct NonLeftLinearRule {
+  std::string SpecName;
+  unsigned AxiomNumber = 0;
+  SourceLoc Loc;
+  std::string Variable; ///< The repeated variable's name.
+};
+
+/// Per-spec verdict with its supporting counts.
+struct SpecConvergence {
+  std::string SpecName;
+  ConvergenceVerdict Verdict = ConvergenceVerdict::Unknown;
+  /// True when every rule contributing to this spec's rewrites is
+  /// left-linear.
+  bool LeftLinear = true;
+  /// True when termination is proved for every contributing spec.
+  bool TerminationProved = false;
+  /// Critical pairs among the contributing rules.
+  unsigned PairsExamined = 0;
+  unsigned PairsJoined = 0;    ///< Status == Joined.
+  unsigned PairsByCases = 0;   ///< Status == JoinedByCases.
+  /// For Unknown: the exact obstruction, e.g. the failing axiom or the
+  /// unjoinable pair. Empty otherwise.
+  std::string Obstruction;
+};
+
+/// Outcome of a convergence certification over a workspace.
+struct ConvergenceReport {
+  /// Verdict for the whole rule set (all specs analyzed together).
+  ConvergenceVerdict Overall = ConvergenceVerdict::Unknown;
+  /// For an Unknown overall verdict: the first obstruction.
+  std::string Obstruction;
+  std::vector<SpecConvergence> PerSpec;
+  /// Every critical pair examined, in enumeration order.
+  std::vector<CriticalPair> Pairs;
+  std::vector<NonLeftLinearRule> NonLeftLinear;
+  /// The termination proof the verdict composed with; its Precedence is
+  /// the RPO precedence a certificate replay needs.
+  TerminationReport Termination;
+  std::vector<std::string> Caveats;
+
+  /// True when the whole rule set is proved confluent and terminating —
+  /// the license for downstream checkers to claim decidable equality.
+  bool provenConfluent() const {
+    return Overall != ConvergenceVerdict::Unknown;
+  }
+
+  const SpecConvergence *specVerdict(std::string_view SpecName) const;
+
+  /// Renders one verdict line per spec, then obstruction details.
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Tunables for certification.
+struct ConvergenceOptions {
+  /// Bound on nested guard case splits per join attempt.
+  unsigned MaxCaseSplits = 8;
+  /// Engine configuration (compiled vs interpreted); fuel is clamped to
+  /// a small probe budget internally so a divergent rule set cannot
+  /// stall the certifier.
+  EngineOptions Engine;
+  /// Record join traces (certificates). Disables memoization on the
+  /// probe engine so every rule application is observed.
+  bool KeepCertificates = true;
+};
+
+/// Certifies convergence of the combined rule set of \p Specs and
+/// derives per-spec verdicts over each spec's rule closure. Purely
+/// serial and deterministic: reports are byte-identical across runs,
+/// build types, and job counts.
+ConvergenceReport certifyConvergence(AlgebraContext &Ctx,
+                                     const std::vector<const Spec *> &Specs,
+                                     const ConvergenceOptions &Options =
+                                         ConvergenceOptions());
+
+/// Guard-aware joining of two terms, shared by the certifier and the
+/// consistency checker's critical-pair sweep. Normalizes both terms
+/// with \p Engine; on disagreement, case-splits on the first undecided
+/// if-then-else condition (true / false / error, with a SAME guard's
+/// true case unifying its arguments) and requires every feasible branch
+/// to join.
+class GuardJoiner {
+public:
+  GuardJoiner(AlgebraContext &Ctx, RewriteEngine &Engine,
+              unsigned MaxCaseSplits = 8);
+
+  struct JoinResult {
+    PairStatus Status = PairStatus::Undecided;
+    TermId NormA, NormB;
+    /// Guard case splits used (0 for a plain join).
+    unsigned CaseSplits = 0;
+    std::vector<JoinStep> TraceA, TraceB;
+    std::string Note;
+  };
+
+  /// Attempts to join \p A and \p B. Traces are collected when the
+  /// engine was built with EngineOptions::KeepTrace.
+  JoinResult join(TermId A, TermId B);
+
+private:
+  JoinResult joinRec(TermId A, TermId B, unsigned Depth,
+                     std::vector<std::string> &Splits);
+  std::optional<TermId> normalizeTraced(TermId Term,
+                                        std::vector<JoinStep> *Trace);
+  /// The first undecided if-then-else condition in \p Term, pre-order.
+  TermId findSplitCondition(TermId Term) const;
+  /// \p Term with every occurrence of \p Cond (and, for a SAME guard,
+  /// its argument-swapped twin) replaced by \p Value.
+  TermId replaceCondition(TermId Term, TermId Cond, TermId Value) const;
+  /// True when \p Term is a ground value: atoms, ints, error, and
+  /// constructor applications only.
+  bool isValue(TermId Term) const;
+
+  AlgebraContext &Ctx;
+  RewriteEngine &Engine;
+  unsigned MaxCaseSplits;
+};
+
+/// Lint pass `non-left-linear-lhs`: warns, with the repeated variable,
+/// on every oriented rule whose left-hand side is not left-linear —
+/// the obstruction that blocks a convergence certificate outright.
+std::unique_ptr<LintPass> makeNonLeftLinearLhsPass();
+
+/// Lint pass `unjoinable-critical-pair`: surfaces each Unjoinable or
+/// Undecided critical pair the certifier finds, caret-located at both
+/// participating axioms (one finding per axiom), with the peak term and
+/// both reducts in the message.
+std::unique_ptr<LintPass> makeUnjoinableCriticalPairPass();
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_CONVERGENCE_H

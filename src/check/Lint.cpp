@@ -9,6 +9,7 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/Convergence.h"
 #include "check/ErrorFlow.h"
 #include "rewrite/Matcher.h"
 #include "rewrite/Substitution.h"
@@ -469,6 +470,8 @@ Linter Linter::standard() {
   L.addPass(makeErrorSwallowedPass());
   L.addPass(makeAlwaysErrorOpPass());
   L.addPass(makeRedundantErrorAxiomPass());
+  L.addPass(makeNonLeftLinearLhsPass());
+  L.addPass(makeUnjoinableCriticalPairPass());
   return L;
 }
 

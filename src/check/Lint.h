@@ -33,6 +33,13 @@
 ///   always-error-op       an operation whose every case errors
 ///   redundant-error-axiom an explicit error axiom already implied by
 ///                         strict error propagation
+///   non-left-linear-lhs   an oriented rule whose repeated left-hand-side
+///                         variable blocks the convergence certificate
+///                         (analysis-backed; see check/Convergence.h)
+///   unjoinable-critical-pair
+///                         a critical pair whose reducts normalize to
+///                         distinct values — a confluence counterexample,
+///                         caret-located at both participating axioms
 ///
 /// New passes implement \c LintPass and register in \c standardPasses(),
 /// or are added to a custom \c Linter instance.

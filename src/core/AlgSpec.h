@@ -23,6 +23,7 @@
 #include "ast/TermPrinter.h"
 #include "check/Completeness.h"
 #include "check/Consistency.h"
+#include "check/Convergence.h"
 #include "check/ErrorFlow.h"
 #include "check/Lint.h"
 #include "check/Skeleton.h"
@@ -85,12 +86,16 @@ public:
     return checkCompleteness(*Ctx, S);
   }
 
-  /// Consistency check over every loaded spec.
+  /// Consistency check over every loaded spec. A convergence certificate
+  /// is computed first: when it proves the workspace confluent and
+  /// terminating, the report upgrades to "proven consistent" and the
+  /// critical-pair sweep is skipped.
   ConsistencyReport checkConsistent(unsigned GroundDepth = 2,
                                     ParallelOptions Par = ParallelOptions(),
                                     EngineOptions Eng = EngineOptions()) {
+    ConvergenceReport Certificate = convergence(Eng);
     return checkConsistency(*Ctx, specPointers(), GroundDepth,
-                            EnumeratorOptions(), Par, Eng);
+                            EnumeratorOptions(), Par, Eng, &Certificate);
   }
 
   /// Runs the standard lint passes over every loaded spec.
@@ -100,6 +105,14 @@ public:
   /// loaded spec's axioms.
   TerminationReport termination() {
     return proveTermination(*Ctx, specPointers());
+  }
+
+  /// Certifies convergence (confluence + termination) of the loaded
+  /// specs' combined rule set.
+  ConvergenceReport convergence(EngineOptions Eng = EngineOptions()) {
+    ConvergenceOptions Options;
+    Options.Engine = Eng;
+    return certifyConvergence(*Ctx, specPointers(), Options);
   }
 
   /// The source buffer \p S was parsed from; null for specs the workspace

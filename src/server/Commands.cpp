@@ -104,6 +104,110 @@ void writeObligationsJson(JsonWriter &W, const AlgebraContext &Ctx,
   W.endArray();
 }
 
+/// One operation rendered signature-style ("PUSH : Stack, Item -> Stack")
+/// so the RPO precedence in a report is reproducible from the JSON alone:
+/// overloaded names stay distinguishable by their domains.
+std::string opSignature(const AlgebraContext &Ctx, OpId Op) {
+  const OpInfo &Info = Ctx.op(Op);
+  std::string Out(Ctx.opName(Op));
+  Out += " : ";
+  for (size_t I = 0; I != Info.ArgSorts.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Ctx.sortName(Info.ArgSorts[I]);
+  }
+  if (!Info.ArgSorts.empty())
+    Out += ' ';
+  Out += "-> ";
+  Out += Ctx.sortName(Info.ResultSort);
+  return Out;
+}
+
+/// Emits one join certificate trace as an array of rule-application
+/// steps.
+void writeJoinTrace(JsonWriter &W, const AlgebraContext &Ctx,
+                    const char *Key, const std::vector<JoinStep> &Trace) {
+  W.key(Key).beginArray();
+  for (const JoinStep &Step : Trace) {
+    W.beginObject();
+    W.key("before").value(printTerm(Ctx, Step.Before));
+    W.key("after").value(printTerm(Ctx, Step.After));
+    W.key("spec").value(Step.SpecName);
+    W.key("axiom").value(Step.AxiomNumber);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+/// Emits the convergence certificate as `"convergence": {...}`. Shared
+/// by check and analyze. Deliberately free of engine counters: the
+/// certifier is serial and deterministic, so this block is byte-identical
+/// across runs, job counts, and build configurations (CI diffs it against
+/// golden files). The RPO precedence makes every certificate replayable
+/// from the report alone.
+void writeConvergenceJson(JsonWriter &W, const AlgebraContext &Ctx,
+                          const ConvergenceReport &Conv) {
+  W.key("convergence").beginObject();
+  W.key("verdict").value(
+      std::string(convergenceVerdictName(Conv.Overall)));
+  if (!Conv.Obstruction.empty())
+    W.key("obstruction").value(Conv.Obstruction);
+  W.key("perSpec").beginArray();
+  for (const SpecConvergence &SC : Conv.PerSpec) {
+    W.beginObject();
+    W.key("spec").value(SC.SpecName);
+    W.key("verdict").value(std::string(convergenceVerdictName(SC.Verdict)));
+    W.key("leftLinear").value(SC.LeftLinear);
+    W.key("terminationProved").value(SC.TerminationProved);
+    W.key("pairsExamined").value(SC.PairsExamined);
+    W.key("pairsJoined").value(SC.PairsJoined);
+    W.key("pairsByCases").value(SC.PairsByCases);
+    if (!SC.Obstruction.empty())
+      W.key("obstruction").value(SC.Obstruction);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("criticalPairs").beginArray();
+  for (const CriticalPair &P : Conv.Pairs) {
+    W.beginObject();
+    W.key("specA").value(P.SpecA);
+    W.key("axiomA").value(P.AxiomA);
+    W.key("specB").value(P.SpecB);
+    W.key("axiomB").value(P.AxiomB);
+    W.key("peak").value(printTerm(Ctx, P.Peak));
+    W.key("reductA").value(printTerm(Ctx, P.ReductA));
+    W.key("reductB").value(printTerm(Ctx, P.ReductB));
+    W.key("normA").value(printTerm(Ctx, P.NormA));
+    W.key("normB").value(printTerm(Ctx, P.NormB));
+    W.key("status").value(std::string(pairStatusName(P.Status)));
+    W.key("caseSplits").value(P.CaseSplits);
+    if (!P.Note.empty())
+      W.key("note").value(P.Note);
+    writeJoinTrace(W, Ctx, "traceA", P.TraceA);
+    writeJoinTrace(W, Ctx, "traceB", P.TraceB);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("nonLeftLinear").beginArray();
+  for (const NonLeftLinearRule &N : Conv.NonLeftLinear) {
+    W.beginObject();
+    W.key("spec").value(N.SpecName);
+    W.key("axiom").value(N.AxiomNumber);
+    W.key("variable").value(N.Variable);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("rpoPrecedence").beginArray();
+  for (OpId Op : Conv.Termination.Precedence)
+    W.value(opSignature(Ctx, Op));
+  W.endArray();
+  W.key("caveats").beginArray();
+  for (const std::string &Caveat : Conv.Caveats)
+    W.value(Caveat);
+  W.endArray();
+  W.endObject();
+}
+
 /// The engine configuration a request asks for: the CLI's --engine knob
 /// plus the server-side fuel clamp (0 keeps the engine default, so bare
 /// CLI invocations are unchanged).
@@ -167,11 +271,20 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
       W.endObject();
     }
     W.endArray();
-    ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
+    // One certificate serves both the report and the consistency
+    // checker (which skips its sweep when the certificate holds).
+    ConvergenceReport Conv = WS.convergence(Eng);
+    writeConvergenceJson(W, WS.context(), Conv);
+    ConsistencyReport Consistency =
+        checkConsistency(WS.context(), WS.specPointers(), 2,
+                         EnumeratorOptions(), Par, Eng, &Conv);
     AllGood &= Consistency.Consistent;
     R.Engine += Consistency.Engine;
     W.key("consistency").beginObject();
     W.key("consistent").value(Consistency.Consistent);
+    W.key("provenConsistent").value(!Consistency.ProvenBy.empty());
+    if (!Consistency.ProvenBy.empty())
+      W.key("provenBy").value(Consistency.ProvenBy);
     W.key("contradictions").value(Consistency.Contradictions.size());
     writeEngineStats(W, Consistency.Engine);
     W.endObject();
@@ -218,7 +331,11 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
       R.Engine += Dynamic.Engine;
     }
   }
-  ConsistencyReport Consistency = WS.checkConsistent(2, Par, Eng);
+  ConvergenceReport Conv = WS.convergence(Eng);
+  appendf(R.Out, "%s", Conv.render(WS.context()).c_str());
+  ConsistencyReport Consistency =
+      checkConsistency(WS.context(), WS.specPointers(), 2,
+                       EnumeratorOptions(), Par, Eng, &Conv);
   appendf(R.Out, "consistency: %s",
           Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
@@ -301,20 +418,27 @@ void runLint(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
   R.ExitCode = Report.failed(LOpts) ? 1 : 0;
 }
 
-/// `analyze`: the error-flow analysis on its own — definedness
-/// summaries, obligations, and the three analysis-backed lint rules.
+/// `analyze`: the static analyses on their own — error-flow summaries,
+/// definedness obligations, the convergence certificate, and the
+/// analysis-backed lint rules.
 void runAnalyze(Workspace &WS, const CommandOptions &Opts,
                 CommandResult &R) {
   EngineOptions Eng = engineOptions(Opts);
   ErrorFlowReport Report =
       analyzeErrorFlow(WS.context(), WS.specPointers(), Eng);
   R.Engine += Report.Engine;
+  ConvergenceOptions COpts;
+  COpts.Engine = Eng;
+  ConvergenceReport Conv =
+      certifyConvergence(WS.context(), WS.specPointers(), COpts);
 
   // Only the analysis-backed rules; `algspec lint` runs the full set.
   Linter L;
   L.addPass(makeErrorSwallowedPass());
   L.addPass(makeAlwaysErrorOpPass());
   L.addPass(makeRedundantErrorAxiomPass());
+  L.addPass(makeNonLeftLinearLhsPass());
+  L.addPass(makeUnjoinableCriticalPairPass());
   LintReport Findings = L.run(WS.context(), WS.specPointers());
   LintOptions LOpts;
   LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
@@ -346,6 +470,7 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
     }
     W.endArray();
     writeObligationsJson(W, WS.context(), Report.Obligations);
+    writeConvergenceJson(W, WS.context(), Conv);
     W.key("findings").beginArray();
     for (const LintFinding &F : Findings.Findings) {
       W.beginObject();
@@ -375,6 +500,7 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
     appendf(R.Out, "%s\n", W.str().c_str());
   } else {
     appendf(R.Out, "%s", Report.render(WS.context()).c_str());
+    appendf(R.Out, "%s", Conv.render(WS.context()).c_str());
     if (!Findings.clean())
       appendf(R.Out, "%s", WS.renderLint(Findings).c_str());
   }
@@ -495,6 +621,7 @@ void runVerify(Workspace &WS, const CommandOptions &Opts,
     JsonWriter W;
     W.beginObject();
     W.key("allHold").value(Report.AllHold);
+    W.key("decidableEquality").value(Report.DecidableEquality);
     W.key("repValues").value(Report.NumRepValues);
     W.key("verdicts").beginArray();
     for (const AxiomVerdict &V : Report.Verdicts) {

@@ -9,6 +9,7 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/Convergence.h"
 #include "check/ErrorFlow.h"
 #include "check/ReplicaWorker.h"
 #include "check/Unify.h"
@@ -43,6 +44,10 @@ std::string VerifyReport::render(const AlgebraContext &Ctx) const {
   std::string Out;
   Out += "representation values considered: " +
          std::to_string(NumRepValues) + "\n";
+  if (DecidableEquality)
+    Out += "decidable equality: the implementation rules are proven "
+           "convergent, so normal-form comparison decides every "
+           "instance\n";
   for (const AxiomVerdict &V : Verdicts) {
     Out += (V.Label.empty() ? "axiom " + std::to_string(V.AxiomNumber)
                             : V.Label) +
@@ -332,17 +337,30 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
   // Open recursive definitions can expand forever, so the attempt runs
   // on its own engine with a small fuel budget and gives up quietly.
   if (CS.Options.TrySymbolic) {
-    // Provable obligations join within a few dozen steps; guarded ones
-    // expand their recursion forever, so keep the budget tight.
     EngineOptions SymOptions = CS.Options.Engine;
-    SymOptions.MaxSteps = std::min<uint64_t>(SymOptions.MaxSteps, 400);
-    SymOptions.MaxDepth = std::min(SymOptions.MaxDepth, 400u);
+    if (!CS.Report.DecidableEquality) {
+      // Provable obligations join within a few dozen steps; guarded ones
+      // expand their recursion forever, so keep the budget tight. Under
+      // a convergence certificate every normalization terminates, so the
+      // attempt keeps its full fuel instead.
+      SymOptions.MaxSteps = std::min<uint64_t>(SymOptions.MaxSteps, 400);
+      SymOptions.MaxDepth = std::min(SymOptions.MaxDepth, 400u);
+    }
     RewriteEngine SymEngine(CS.Ctx, CS.System, SymOptions);
     Result<TermId> LhsOpen = SymEngine.normalize(LhsT);
     Result<TermId> RhsOpen = SymEngine.normalize(RhsT);
     if (LhsOpen && RhsOpen && *LhsOpen == *RhsOpen) {
       Verdict.ProvedSymbolically = true;
       return Verdict;
+    }
+    // Convergence also licenses sweeping the pre-reduced open sides:
+    // nf(sigma(nf(s))) = nf(sigma(s)), so every instance starts from
+    // the smaller term.
+    if (CS.Report.DecidableEquality) {
+      if (LhsOpen)
+        LhsT = *LhsOpen;
+      if (RhsOpen)
+        RhsT = *RhsOpen;
     }
   }
 
@@ -928,6 +946,29 @@ private:
   bool PartialMatch = false;
 };
 
+/// Attempts the convergence certificate over the rule sources. When the
+/// combined rule set is proven confluent and terminating, normal-form
+/// comparison decides the equational theory: the report claims decidable
+/// equality and checkEquation switches to full-fuel symbolic proofs with
+/// pre-reduced sweeps. Certification runs on the calling thread and is
+/// deterministic, so the verdict is identical at any job count.
+void certifyDecidableEquality(AlgebraContext &Ctx,
+                              const std::vector<const Spec *> &RuleSources,
+                              const VerifyOptions &Options,
+                              VerifyReport &Report) {
+  if (!Options.UseConvergence)
+    return;
+  ConvergenceOptions CO;
+  CO.Engine = Options.Engine;
+  CO.KeepCertificates = false;
+  ConvergenceReport Conv = certifyConvergence(Ctx, RuleSources, CO);
+  if (!Conv.provenConfluent())
+    return;
+  Report.DecidableEquality = true;
+  for (const std::string &Caveat : Conv.Caveats)
+    Report.Caveats.push_back(Caveat);
+}
+
 /// Runs the obligation-discharge pass and folds its verdicts into the
 /// report.
 void dischargeObligations(AlgebraContext &Ctx, const Spec &Abstract,
@@ -957,6 +998,7 @@ VerifyReport algspec::verifyRepresentation(
                   Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
+  certifyDecidableEquality(Ctx, RuleSources, Options, Report);
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
                 Mapping, Options, RepValues, Report, Driver.get()};
   Translator Xlate(Ctx, Mapping);
@@ -993,6 +1035,7 @@ VerifyReport algspec::verifyHomomorphism(
                   Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
+  certifyDecidableEquality(Ctx, RuleSources, Options, Report);
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
                 Mapping, Options, RepValues, Report, Driver.get()};
 

@@ -88,6 +88,15 @@ struct VerifyOptions {
   /// unbounded proof of the obligation (sound; incompleteness just
   /// falls through to the bounded sweep).
   bool TrySymbolic = true;
+  /// Attempt a convergence certificate (check/Convergence.h) over the
+  /// rule sources first. When the combined rule set is proven confluent
+  /// and terminating, equality of normal forms *decides* every
+  /// obligation instance: the symbolic attempt runs with full fuel
+  /// instead of its defensive budget, and the open axiom sides are
+  /// pre-reduced once before the instance sweep (sound because
+  /// nf(sigma(nf(s))) = nf(sigma(s)) under convergence). When the
+  /// certificate does not hold the verifier behaves exactly as before.
+  bool UseConvergence = true;
   ValueDomain Domain = ValueDomain::Reachable;
   /// Reachable: maximum generator applications per value.
   /// FreeTerms: maximum constructor-term depth.
@@ -174,6 +183,11 @@ struct VerifyReport {
   /// thread; deterministic at any job count.
   std::vector<ObligationVerdict> Obligations;
   bool AllObligationsDischarged = true;
+  /// True when the rule sources carry a convergence certificate: normal
+  /// forms are canonical, so normal-form comparison is a decision
+  /// procedure for the equational theory and every symbolically proved
+  /// verdict is a proof (not merely a lucky join).
+  bool DecidableEquality = false;
   std::vector<std::string> Caveats;
   size_t NumRepValues = 0;
   /// Rewrite-engine counters aggregated over the main engine and every

@@ -1,0 +1,433 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the convergence certifier (check/Convergence.h): verdicts
+/// over the builtin specs, critical-pair enumeration and joinability,
+/// guard case analysis, join certificates, the consistency upgrade, the
+/// RepVerifier decidable-equality shortcut, and byte-identity of the
+/// reports across job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+#include "server/Commands.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Loads \p Text into a fresh workspace, asserting parse success.
+void load(Workspace &WS, std::string_view Text,
+          const char *Name = "<test>") {
+  Result<void> R = WS.load(Text, Name);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+}
+
+/// Convergent but not orthogonal: the first two axioms overlap at the
+/// root (F(A) unifies with F(x)), and the reducts A and G(A) join via
+/// the third axiom.
+constexpr std::string_view OverlapAlg = R"(
+spec Overlap
+  sorts S
+  ops
+    A : -> S
+    F : S -> S
+    G : S -> S
+  constructors A
+  vars x : S
+  axioms
+    F(A) = A
+    F(x) = G(x)
+    G(A) = A
+end
+)";
+
+/// The two reducts differ only in the argument order of an undecided
+/// SAME guard, so the join needs case analysis: under SAME(x, y) = true,
+/// false, and error the sides coincide.
+constexpr std::string_view CaseJoinAlg = R"(
+spec CaseJoin
+  uses Key
+  sorts S
+  ops
+    MK : -> S
+    CHOOSE : Key, Key -> Key
+  constructors MK
+  vars x, y : Key
+  axioms
+    CHOOSE(x, y) = if SAME(x, y) then x else y
+    CHOOSE(x, y) = if SAME(y, x) then x else y
+end
+)";
+
+/// Genuinely non-confluent: PICK rewrites to two distinct constructors.
+constexpr std::string_view ChoiceAlg = R"(
+spec Choice
+  sorts Pick
+  ops
+    RED : -> Pick
+    BLUE : -> Pick
+    PICK : -> Pick
+  constructors RED, BLUE
+  axioms
+    PICK = RED
+    PICK = BLUE
+end
+)";
+
+/// Non-left-linear: DUP? repeats i on its left-hand side.
+constexpr std::string_view DuplicateAlg = R"(
+spec Duplicate
+  uses Item
+  sorts Dict
+  ops
+    MKD : -> Dict
+    PUT : Dict, Item -> Dict
+    DUP? : Dict -> Bool
+  constructors MKD, PUT
+  vars d : Dict
+       i : Item
+  axioms
+    DUP?(PUT(PUT(d, i), i)) = true
+    DUP?(MKD) = false
+end
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Builtin specs
+//===----------------------------------------------------------------------===//
+
+TEST(ConvergenceBuiltins, QueueIsOrthogonal) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("queue"), "queue.alg");
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Orthogonal);
+  EXPECT_TRUE(Report.provenConfluent());
+  ASSERT_NE(Report.specVerdict("Queue"), nullptr);
+  EXPECT_EQ(Report.specVerdict("Queue")->Verdict,
+            ConvergenceVerdict::Orthogonal);
+  EXPECT_TRUE(Report.specVerdict("Queue")->LeftLinear);
+  EXPECT_TRUE(Report.specVerdict("Queue")->TerminationProved);
+  EXPECT_EQ(Report.specVerdict("Queue")->PairsExamined, 0u);
+  EXPECT_TRUE(Report.Obstruction.empty());
+}
+
+TEST(ConvergenceBuiltins, OrthogonalFamily) {
+  // Every self-contained builtin whose recursion is structural gets the
+  // strongest verdict.
+  for (const char *Name : {"queue", "symboltable", "stackarray", "knowlist",
+                           "nat", "set", "list", "bag", "bst",
+                           "boundedqueue"}) {
+    Workspace WS;
+    load(WS, server::builtinSpecText(Name), Name);
+    ConvergenceReport Report = WS.convergence();
+    EXPECT_EQ(Report.Overall, ConvergenceVerdict::Orthogonal) << Name;
+  }
+}
+
+TEST(ConvergenceBuiltins, TableStaysUnknownNamingTermination) {
+  // SELECT_VAL recurses through DELETE_ROW, which RPO cannot orient; the
+  // verdict must stay honest and name that exact obstruction, even
+  // though Table's rules never overlap.
+  Workspace WS;
+  load(WS, server::builtinSpecText("table"), "table.alg");
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Unknown);
+  EXPECT_FALSE(Report.provenConfluent());
+  EXPECT_NE(Report.Obstruction.find("termination"), std::string::npos)
+      << Report.Obstruction;
+  EXPECT_NE(Report.Obstruction.find("SELECT_VAL"), std::string::npos)
+      << Report.Obstruction;
+}
+
+TEST(ConvergenceBuiltins, SymboltableImplStaysUnknown) {
+  // RETRIEVE_R recurses through POP under a guard: no silent downgrade
+  // to a confluence claim. The sibling specs keep their own verdicts.
+  Workspace WS;
+  load(WS, server::builtinSpecText("symboltable"), "symboltable.alg");
+  load(WS, server::builtinSpecText("stackarray"), "stackarray.alg");
+  load(WS, server::builtinSpecText("symboltable_impl"),
+       "symboltable_impl.alg");
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Unknown);
+  ASSERT_NE(Report.specVerdict("SymboltableImpl"), nullptr);
+  EXPECT_EQ(Report.specVerdict("SymboltableImpl")->Verdict,
+            ConvergenceVerdict::Unknown);
+  EXPECT_NE(
+      Report.specVerdict("SymboltableImpl")->Obstruction.find("RETRIEVE_R"),
+      std::string::npos);
+  // Specs whose rule closure avoids the unproved recursion stay proved.
+  ASSERT_NE(Report.specVerdict("Symboltable"), nullptr);
+  EXPECT_EQ(Report.specVerdict("Symboltable")->Verdict,
+            ConvergenceVerdict::Orthogonal);
+}
+
+//===----------------------------------------------------------------------===//
+// Critical pairs and certificates
+//===----------------------------------------------------------------------===//
+
+TEST(ConvergencePairs, OverlapIsConvergentWithCertificate) {
+  Workspace WS;
+  load(WS, OverlapAlg);
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Convergent);
+  ASSERT_EQ(Report.Pairs.size(), 1u);
+  const CriticalPair &Pair = Report.Pairs[0];
+  EXPECT_EQ(Pair.Status, PairStatus::Joined);
+  EXPECT_EQ(Pair.NormA, Pair.NormB);
+  EXPECT_EQ(Pair.CaseSplits, 0u);
+  EXPECT_EQ(printTerm(WS.context(), Pair.Peak), "F(A)");
+
+  // The join certificate replays: each trace is a chain from the reduct
+  // to the common normal form, every step naming an axiom.
+  auto checkTrace = [&](const std::vector<JoinStep> &Trace, TermId Reduct) {
+    TermId At = Reduct;
+    for (const JoinStep &Step : Trace) {
+      EXPECT_EQ(Step.Before, At);
+      EXPECT_EQ(Step.SpecName, "Overlap");
+      EXPECT_GE(Step.AxiomNumber, 1u);
+      At = Step.After;
+    }
+    EXPECT_EQ(At, Pair.NormA);
+  };
+  checkTrace(Pair.TraceA, Pair.ReductA);
+  checkTrace(Pair.TraceB, Pair.ReductB);
+  // One reduct (G(A)) genuinely needs a rewrite step to reach A.
+  EXPECT_GE(Pair.TraceA.size() + Pair.TraceB.size(), 1u);
+}
+
+TEST(ConvergencePairs, GuardCaseAnalysisJoins) {
+  Workspace WS;
+  load(WS, CaseJoinAlg);
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Convergent);
+  ASSERT_EQ(Report.Pairs.size(), 1u);
+  EXPECT_EQ(Report.Pairs[0].Status, PairStatus::JoinedByCases);
+  EXPECT_GE(Report.Pairs[0].CaseSplits, 1u);
+  ASSERT_NE(Report.specVerdict("CaseJoin"), nullptr);
+  EXPECT_EQ(Report.specVerdict("CaseJoin")->PairsByCases, 1u);
+  // The case-analysis caveat is announced, not buried.
+  bool Caveated = false;
+  for (const std::string &Caveat : Report.Caveats)
+    Caveated |= Caveat.find("denotes a value") != std::string::npos;
+  EXPECT_TRUE(Caveated);
+}
+
+TEST(ConvergencePairs, UnjoinablePairBlocksTheVerdict) {
+  Workspace WS;
+  load(WS, ChoiceAlg);
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Unknown);
+  ASSERT_EQ(Report.Pairs.size(), 1u);
+  EXPECT_EQ(Report.Pairs[0].Status, PairStatus::Unjoinable);
+  EXPECT_NE(Report.Obstruction.find("unjoinable"), std::string::npos)
+      << Report.Obstruction;
+  // Certifier and ground refutation agree: the consistency checker
+  // finds the same contradiction the unjoinable pair witnesses.
+  ConsistencyReport Consistency = WS.checkConsistent();
+  EXPECT_FALSE(Consistency.Consistent);
+}
+
+TEST(ConvergencePairs, NonLeftLinearRuleIsTheObstruction) {
+  Workspace WS;
+  load(WS, DuplicateAlg);
+  ConvergenceReport Report = WS.convergence();
+  EXPECT_EQ(Report.Overall, ConvergenceVerdict::Unknown);
+  ASSERT_EQ(Report.NonLeftLinear.size(), 1u);
+  EXPECT_EQ(Report.NonLeftLinear[0].SpecName, "Duplicate");
+  EXPECT_EQ(Report.NonLeftLinear[0].Variable, "i");
+  EXPECT_NE(Report.Obstruction.find("repeats variable"), std::string::npos)
+      << Report.Obstruction;
+  ASSERT_NE(Report.specVerdict("Duplicate"), nullptr);
+  EXPECT_FALSE(Report.specVerdict("Duplicate")->LeftLinear);
+}
+
+//===----------------------------------------------------------------------===//
+// Consistency upgrade
+//===----------------------------------------------------------------------===//
+
+TEST(ConvergenceConsistency, CertificateUpgradesCleanReport) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("queue"), "queue.alg");
+  ConsistencyReport Report = WS.checkConsistent();
+  EXPECT_TRUE(Report.Consistent);
+  EXPECT_FALSE(Report.ProvenBy.empty());
+  std::string Rendered = Report.render(WS.context());
+  EXPECT_NE(Rendered.find("proven consistent"), std::string::npos)
+      << Rendered;
+  // The sweep was skipped: no engine work happened.
+  EXPECT_EQ(Report.Engine.Steps, 0u);
+}
+
+TEST(ConvergenceConsistency, UncertifiedSpecStillSweeps) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("table"), "table.alg");
+  ConsistencyReport Report = WS.checkConsistent();
+  EXPECT_TRUE(Report.Consistent);
+  EXPECT_TRUE(Report.ProvenBy.empty());
+  std::string Rendered = Report.render(WS.context());
+  EXPECT_NE(Rendered.find("No contradictions found"), std::string::npos)
+      << Rendered;
+}
+
+//===----------------------------------------------------------------------===//
+// RepVerifier decidable equality
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A convergent representation fixture: abstract switches (OFF, FLIP,
+/// LIT?) implemented by tick counters (ZERO, TICK) with PHI translating
+/// ticks back into flips.
+constexpr std::string_view SwitchAlg = R"(
+spec Switch
+  sorts Sw
+  ops
+    OFF : -> Sw
+    FLIP : Sw -> Sw
+    LIT? : Sw -> Bool
+  constructors OFF, FLIP
+  vars s : Sw
+  axioms
+    LIT?(OFF) = false
+    LIT?(FLIP(s)) = not(LIT?(s))
+end
+
+spec Counter
+  sorts Cnt
+  ops
+    ZERO : -> Cnt
+    TICK : Cnt -> Cnt
+    OFF_R : -> Cnt
+    FLIP_R : Cnt -> Cnt
+    LIT_R? : Cnt -> Bool
+  constructors ZERO, TICK
+  vars c : Cnt
+  axioms
+    OFF_R = ZERO
+    FLIP_R(c) = TICK(c)
+    LIT_R?(ZERO) = false
+    LIT_R?(TICK(c)) = not(LIT_R?(c))
+end
+
+spec Abstraction
+  uses Sw, Cnt
+  ops
+    PHI : Cnt -> Sw
+  vars c : Cnt
+  axioms
+    PHI(ZERO) = OFF
+    PHI(TICK(c)) = FLIP(PHI(c))
+end
+)";
+
+RepMapping switchMapping(Workspace &WS) {
+  RepMapping Mapping;
+  Mapping.AbstractSort = WS.context().lookupSort("Sw");
+  Mapping.RepSort = WS.context().lookupSort("Cnt");
+  Mapping.Phi = WS.context().lookupOp("PHI");
+  Mapping.OpMap.emplace(WS.context().lookupOp("OFF"),
+                        WS.context().lookupOp("OFF_R"));
+  Mapping.OpMap.emplace(WS.context().lookupOp("FLIP"),
+                        WS.context().lookupOp("FLIP_R"));
+  Mapping.OpMap.emplace(WS.context().lookupOp("LIT?"),
+                        WS.context().lookupOp("LIT_R?"));
+  return Mapping;
+}
+
+} // namespace
+
+TEST(ConvergenceVerify, ConvergentRepClaimsDecidableEquality) {
+  Workspace WS;
+  load(WS, SwitchAlg, "switch.alg");
+  const Spec *Abstract = WS.find("Switch");
+  ASSERT_NE(Abstract, nullptr);
+
+  VerifyOptions Options;
+  VerifyReport Report = verifyRepresentation(
+      WS.context(), *Abstract, WS.specPointers(), switchMapping(WS),
+      Options);
+  EXPECT_TRUE(Report.AllHold);
+  EXPECT_TRUE(Report.DecidableEquality);
+  EXPECT_NE(Report.render(WS.context()).find("decidable equality"),
+            std::string::npos);
+
+  // The ablation switch restores the old behaviour.
+  Options.UseConvergence = false;
+  VerifyReport Plain = verifyRepresentation(
+      WS.context(), *Abstract, WS.specPointers(), switchMapping(WS),
+      Options);
+  EXPECT_TRUE(Plain.AllHold);
+  EXPECT_FALSE(Plain.DecidableEquality);
+  // Both configurations agree verdict-for-verdict.
+  ASSERT_EQ(Report.Verdicts.size(), Plain.Verdicts.size());
+  for (size_t I = 0; I != Report.Verdicts.size(); ++I)
+    EXPECT_EQ(Report.Verdicts[I].Holds, Plain.Verdicts[I].Holds);
+}
+
+TEST(ConvergenceVerify, SymboltableRepStaysConditional) {
+  // The paper's representation keeps its exact prior status: RETRIEVE_R
+  // blocks the certificate, so no decidable-equality claim appears.
+  Workspace WS;
+  load(WS, server::builtinSpecText("symboltable"), "symboltable.alg");
+  load(WS, server::builtinSpecText("stackarray"), "stackarray.alg");
+  auto Rep = buildSymboltableRep(WS.context());
+  ASSERT_TRUE(static_cast<bool>(Rep)) << Rep.error().message();
+  std::vector<const Spec *> Sources = WS.specPointers();
+  for (const Spec &S : Rep->ImplSpecs)
+    Sources.push_back(&S);
+  const Spec *Abstract = WS.find("Symboltable");
+  ASSERT_NE(Abstract, nullptr);
+  VerifyOptions Options;
+  Options.Depth = 3;
+  VerifyReport Report = verifyRepresentation(
+      WS.context(), *Abstract, Sources, Rep->Mapping, Options);
+  EXPECT_TRUE(Report.AllHold);
+  EXPECT_FALSE(Report.DecidableEquality);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across job counts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+server::CommandResult runCheck(const char *Builtin, unsigned Jobs) {
+  server::CommandRequest Request;
+  Request.Command = "check";
+  Request.Sources.push_back(
+      {std::string(Builtin) + ".alg",
+       std::string(server::builtinSpecText(Builtin))});
+  Request.Opts.Jobs = Jobs;
+  return server::runCommand(Request);
+}
+
+} // namespace
+
+TEST(ConvergenceDeterminism, CheckOutputByteIdenticalAcrossJobs) {
+  // Both the certified path (queue: sweep skipped) and the uncertified
+  // path (table: full sweep) must render byte-identically at any job
+  // count — the certifier itself is serial by construction.
+  for (const char *Builtin : {"queue", "table"}) {
+    server::CommandResult Serial = runCheck(Builtin, 1);
+    server::CommandResult Parallel = runCheck(Builtin, 4);
+    EXPECT_EQ(Serial.Out, Parallel.Out) << Builtin;
+    EXPECT_EQ(Serial.ExitCode, Parallel.ExitCode) << Builtin;
+  }
+}
+
+TEST(ConvergenceDeterminism, RepeatedCertificationIsStable) {
+  Workspace WS;
+  load(WS, OverlapAlg);
+  ConvergenceReport First = WS.convergence();
+  ConvergenceReport Second = WS.convergence();
+  EXPECT_EQ(First.render(WS.context()), Second.render(WS.context()));
+}

@@ -137,6 +137,67 @@ end
   EXPECT_EQ(F.Kind, DiagKind::Warning);
   EXPECT_NE(F.Message.find("'i'"), std::string::npos);
   EXPECT_NE(F.FixIt.find("SAME"), std::string::npos);
+
+  // The certification-blocking variant fires on the same axiom: it
+  // orients into a rule, so the repeated variable is a convergence
+  // obstruction, not just a coverage approximation.
+  ASSERT_EQ(countRule(Report, "non-left-linear-lhs"), 1u);
+  const LintFinding &G = *findRule(Report, "non-left-linear-lhs");
+  EXPECT_EQ(G.Kind, DiagKind::Warning);
+  EXPECT_NE(G.Message.find("'i'"), std::string::npos);
+  EXPECT_NE(G.Message.find("left-linear"), std::string::npos);
+}
+
+TEST(LintRuleTest, NonLeftLinearLhsCleanOnLinearSpec) {
+  Workspace WS;
+  ASSERT_TRUE(load(WS, specs::QueueAlg, "queue.alg"));
+  EXPECT_EQ(countRule(WS.lint(), "non-left-linear-lhs"), 0u);
+}
+
+TEST(LintRuleTest, UnjoinableCriticalPair) {
+  Workspace WS;
+  ASSERT_TRUE(load(WS, R"(
+spec Choice
+  sorts Pick
+  ops
+    RED  : -> Pick
+    BLUE : -> Pick
+    PICK : -> Pick
+  constructors RED, BLUE
+  axioms
+    PICK = RED
+    PICK = BLUE
+end
+)"));
+  LintReport Report = WS.lint();
+  // One root overlap, reported at both axioms.
+  ASSERT_EQ(countRule(Report, "unjoinable-critical-pair"), 2u);
+  const LintFinding &F = *findRule(Report, "unjoinable-critical-pair");
+  EXPECT_EQ(F.Kind, DiagKind::Warning);
+  EXPECT_NE(F.Message.find("PICK"), std::string::npos);
+  EXPECT_NE(F.Message.find("RED"), std::string::npos);
+  EXPECT_NE(F.Message.find("BLUE"), std::string::npos);
+}
+
+TEST(LintRuleTest, UnjoinableCriticalPairCleanOnOverlapThatJoins) {
+  Workspace WS;
+  ASSERT_TRUE(load(WS, R"(
+spec Overlap
+  sorts O
+  ops
+    A : -> O
+    F : O -> O
+    G : O -> O
+  constructors A
+  vars
+    x : O
+  axioms
+    F(A) = A
+    F(x) = G(x)
+    G(A) = A
+end
+)"));
+  EXPECT_EQ(countRule(WS.lint(), "unjoinable-critical-pair"), 0u);
 }
 
 TEST(LintRuleTest, SubsumedAxiom) {
@@ -341,9 +402,9 @@ TEST(LintRuleTest, NecessaryErrorAxiomNotFlagged) {
 // Framework behavior
 //===----------------------------------------------------------------------===//
 
-TEST(LintFrameworkTest, StandardRegistryHasNinePasses) {
+TEST(LintFrameworkTest, StandardRegistryHasElevenPasses) {
   Linter L = Linter::standard();
-  EXPECT_EQ(L.passes().size(), 9u);
+  EXPECT_EQ(L.passes().size(), 11u);
   for (const auto &Pass : L.passes()) {
     EXPECT_FALSE(Pass->name().empty());
     EXPECT_FALSE(Pass->description().empty());

@@ -1,0 +1,232 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct property tests for syntactic unification (check/Unify.h): MGU
+/// idempotence, occurs-check rejection, clash symmetry, and freshness of
+/// the rename helpers the critical-pair enumeration depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/Unify.h"
+#include "rewrite/Substitution.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace algspec;
+
+namespace {
+
+/// Queue gives a spread of arities: NEW : -> Queue,
+/// ADD : Queue, Item -> Queue, FRONT : Queue -> Item.
+class UnifyTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Queue = Ctx.lookupSort("Queue");
+    Item = Ctx.lookupSort("Item");
+    New = Ctx.lookupOp("NEW");
+    Add = Ctx.lookupOp("ADD");
+    Front = Ctx.lookupOp("FRONT");
+    ASSERT_TRUE(Add.isValid());
+  }
+
+  TermId var(const char *Name, SortId Sort) {
+    return Ctx.makeVar(Ctx.addVar(Name, Sort));
+  }
+
+  AlgebraContext Ctx;
+  SortId Queue, Item;
+  OpId New, Add, Front;
+};
+
+/// Collects every variable occurring in \p Term.
+void collectVars(const AlgebraContext &Ctx, TermId Term,
+                 std::unordered_set<VarId> &Out) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    Out.insert(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVars(Ctx, Child, Out);
+}
+
+} // namespace
+
+TEST_F(UnifyTest, MguUnifiesBothSides) {
+  // ADD(q, i) =? ADD(NEW, 'a): bind q -> NEW, i -> 'a.
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId Pat = Ctx.makeOp(Add, {Q, I});
+  TermId Ground =
+      Ctx.makeOp(Add, {Ctx.makeOp(New, {}), Ctx.makeAtom("a", Item)});
+  auto Mgu = unifyTerms(Ctx, Pat, Ground);
+  ASSERT_TRUE(Mgu.has_value());
+  EXPECT_EQ(applySubstitution(Ctx, Pat, *Mgu), Ground);
+  EXPECT_EQ(applySubstitution(Ctx, Ground, *Mgu), Ground);
+}
+
+TEST_F(UnifyTest, MguIsIdempotent) {
+  // ADD(q1, i1) =? ADD(ADD(q2, i2), i2): the unifier chains bindings
+  // (q1 through q2's term), so idempotence — applying it once resolves
+  // everything — is the property that actually needs testing.
+  TermId Q1 = var("q1", Queue);
+  TermId I1 = var("i1", Item);
+  TermId Q2 = var("q2", Queue);
+  TermId I2 = var("i2", Item);
+  TermId A = Ctx.makeOp(Add, {Q1, I1});
+  TermId B = Ctx.makeOp(Add, {Ctx.makeOp(Add, {Q2, I2}), I2});
+  auto Mgu = unifyTerms(Ctx, A, B);
+  ASSERT_TRUE(Mgu.has_value());
+  TermId Once = applySubstitution(Ctx, A, *Mgu);
+  EXPECT_EQ(applySubstitution(Ctx, Once, *Mgu), Once);
+  EXPECT_EQ(Once, applySubstitution(Ctx, B, *Mgu));
+}
+
+TEST_F(UnifyTest, SharedVariableAcrossBothTerms) {
+  // ADD(q, i) =? ADD(q, 'a): q unifies with itself, i binds to 'a.
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId A = Ctx.makeOp(Add, {Q, I});
+  TermId B = Ctx.makeOp(Add, {Q, Ctx.makeAtom("a", Item)});
+  auto Mgu = unifyTerms(Ctx, A, B);
+  ASSERT_TRUE(Mgu.has_value());
+  EXPECT_EQ(applySubstitution(Ctx, A, *Mgu),
+            applySubstitution(Ctx, B, *Mgu));
+}
+
+TEST_F(UnifyTest, OccursCheckRejectsCyclicBinding) {
+  // q =? ADD(q, i) has no finite unifier.
+  TermId Q = var("q", Queue);
+  TermId Cyclic = Ctx.makeOp(Add, {Q, var("i", Item)});
+  EXPECT_FALSE(unifyTerms(Ctx, Q, Cyclic).has_value());
+  EXPECT_FALSE(unifyTerms(Ctx, Cyclic, Q).has_value());
+}
+
+TEST_F(UnifyTest, OccursCheckRejectsDeepCycle) {
+  // q =? ADD(ADD(q, i1), i2): the cycle sits two constructors down.
+  TermId Q = var("q", Queue);
+  TermId Deep = Ctx.makeOp(
+      Add, {Ctx.makeOp(Add, {Q, var("i1", Item)}), var("i2", Item)});
+  EXPECT_FALSE(unifyTerms(Ctx, Q, Deep).has_value());
+  EXPECT_FALSE(unifyTerms(Ctx, Deep, Q).has_value());
+}
+
+TEST_F(UnifyTest, ClashIsSymmetric) {
+  // NEW and ADD(NEW, 'a) clash at the root in either order; so do two
+  // distinct atoms.
+  TermId Empty = Ctx.makeOp(New, {});
+  TermId One =
+      Ctx.makeOp(Add, {Ctx.makeOp(New, {}), Ctx.makeAtom("a", Item)});
+  EXPECT_FALSE(unifyTerms(Ctx, Empty, One).has_value());
+  EXPECT_FALSE(unifyTerms(Ctx, One, Empty).has_value());
+  TermId AtomA = Ctx.makeAtom("a", Item);
+  TermId AtomB = Ctx.makeAtom("b", Item);
+  EXPECT_FALSE(unifyTerms(Ctx, AtomA, AtomB).has_value());
+  EXPECT_FALSE(unifyTerms(Ctx, AtomB, AtomA).has_value());
+}
+
+TEST_F(UnifyTest, UnifiabilityIsSymmetric) {
+  // unify(a, b) succeeds iff unify(b, a) does, over a mixed batch of
+  // term pairs (some unifiable, some not).
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId Pairs[][2] = {
+      {Ctx.makeOp(Add, {Q, I}), Ctx.makeOp(Add, {Ctx.makeOp(New, {}), I})},
+      {Ctx.makeOp(Front, {Q}), Ctx.makeOp(Front, {Ctx.makeOp(New, {})})},
+      {Ctx.makeOp(New, {}), Ctx.makeOp(New, {})},
+      {Q, Ctx.makeOp(Add, {Q, I})},
+      {Ctx.makeAtom("a", Item), Ctx.makeAtom("b", Item)},
+  };
+  for (const auto &Pair : Pairs) {
+    auto Forward = unifyTerms(Ctx, Pair[0], Pair[1]);
+    auto Backward = unifyTerms(Ctx, Pair[1], Pair[0]);
+    EXPECT_EQ(Forward.has_value(), Backward.has_value())
+        << printTerm(Ctx, Pair[0]) << " vs " << printTerm(Ctx, Pair[1]);
+    // When both succeed they agree on the unified term.
+    if (Forward && Backward)
+      EXPECT_EQ(applySubstitution(Ctx, Pair[0], *Forward),
+                applySubstitution(Ctx, Pair[0], *Backward));
+  }
+}
+
+TEST_F(UnifyTest, RenameVarsApartIsFreshEveryInvocation) {
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId Term = Ctx.makeOp(Add, {Q, I});
+
+  std::unordered_set<VarId> Original;
+  collectVars(Ctx, Term, Original);
+
+  // Each invocation must mint variables disjoint from the input AND from
+  // every earlier invocation — the critical-pair loop renames the same
+  // rule once per partner.
+  std::unordered_set<VarId> SeenFresh;
+  for (int Round = 0; Round != 3; ++Round) {
+    TermId Renamed = renameVarsApart(Ctx, Term);
+    std::unordered_set<VarId> Fresh;
+    collectVars(Ctx, Renamed, Fresh);
+    EXPECT_EQ(Fresh.size(), Original.size());
+    for (VarId V : Fresh) {
+      EXPECT_EQ(Original.count(V), 0u) << "round " << Round;
+      EXPECT_TRUE(SeenFresh.insert(V).second)
+          << "variable reused across invocations in round " << Round;
+    }
+    // Renaming preserves structure: same sorts at the same positions.
+    EXPECT_EQ(Ctx.sortOf(Renamed), Ctx.sortOf(Term));
+  }
+}
+
+TEST_F(UnifyTest, RenameRuleApartKeepsSidesConsistent) {
+  // FRONT(ADD(q, i)) = i: the rule's shared variable i must map to the
+  // same fresh variable on both sides, and q/i must not collide.
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId Lhs = Ctx.makeOp(Front, {Ctx.makeOp(Add, {Q, I})});
+  TermId Rhs = I;
+
+  std::unordered_set<VarId> SeenFresh;
+  for (int Round = 0; Round != 3; ++Round) {
+    auto [NewLhs, NewRhs] = renameRuleApart(Ctx, Lhs, Rhs);
+    // The renamed rule unifies with the original pattern-wise, and the
+    // renamed Rhs is exactly the fresh image of i.
+    const TermNode &RhsNode = Ctx.node(NewRhs);
+    ASSERT_EQ(RhsNode.Kind, TermKind::Var);
+    EXPECT_NE(RhsNode.Var, Ctx.node(Rhs).Var);
+
+    std::unordered_set<VarId> Fresh;
+    collectVars(Ctx, NewLhs, Fresh);
+    EXPECT_EQ(Fresh.size(), 2u);
+    // The shared variable appears in the Lhs image too.
+    EXPECT_EQ(Fresh.count(RhsNode.Var), 1u);
+    for (VarId V : Fresh)
+      EXPECT_TRUE(SeenFresh.insert(V).second)
+          << "variable reused across invocations in round " << Round;
+  }
+}
+
+TEST_F(UnifyTest, RenamedCopiesOfOneRuleUnify) {
+  // Two fresh copies of the same Lhs still unify with each other (they
+  // are equal up to renaming), and the unified instance matches the
+  // original pattern.
+  TermId Q = var("q", Queue);
+  TermId I = var("i", Item);
+  TermId Lhs = Ctx.makeOp(Front, {Ctx.makeOp(Add, {Q, I})});
+  TermId CopyA = renameVarsApart(Ctx, Lhs);
+  TermId CopyB = renameVarsApart(Ctx, Lhs);
+  EXPECT_NE(CopyA, CopyB); // Distinct variables, distinct terms.
+  auto Mgu = unifyTerms(Ctx, CopyA, CopyB);
+  ASSERT_TRUE(Mgu.has_value());
+  EXPECT_EQ(applySubstitution(Ctx, CopyA, *Mgu),
+            applySubstitution(Ctx, CopyB, *Mgu));
+}

@@ -1,61 +1,117 @@
 #!/usr/bin/env python3
-"""Advisory compiled-vs-interp perf smoke over a bench_rewrite JSON report.
+"""Advisory perf smoke over google-benchmark JSON reports.
 
-Reads a google-benchmark JSON file and pairs every
-BM_ManyRuleDispatch/<rules>/1 (compiled) entry with its /<rules>/0
-(interp) twin. Prints the speedup table and emits a GitHub Actions
-``::warning`` line when the compiled engine is slower than the
-interpreter on any rule count. The exit code is always 0: short
+Two series are understood, each optional in the input:
+
+* ``BM_ManyRuleDispatch/<rules>/1`` (compiled) against its
+  ``/<rules>/0`` (interp) twin — the compiled rewrite engine must not
+  be slower than the reference interpreter on the many-rule dispatch
+  workload it exists to win;
+* ``BM_ConsistencyCertified/<depth>`` against
+  ``BM_ConsistencyGroundSweep/<depth>`` — a consistency check holding
+  a convergence certificate skips the R x R critical-pair sweep, so
+  it must beat the uncertified sweep at every depth.
+
+Reads one or more JSON files (their benchmark lists are merged),
+prints a speedup table per series, and emits a GitHub Actions
+``::warning`` line on regression. The exit code is always 0: short
 CI timings on shared runners are too noisy to gate a merge, so this
 step logs regressions instead of flaking builds.
 
-usage: tools/check_perf_smoke.py <bench_rewrite.json>
+usage: tools/check_perf_smoke.py <bench.json> [<bench.json> ...]
 """
 
 import json
 import sys
 
 
+def load_times(paths):
+    """name -> (cpu_time, time_unit), only aggregate-free real runs."""
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        for bench in report.get("benchmarks", []):
+            if bench.get("run_type") == "iteration":
+                times[bench["name"]] = (bench["cpu_time"],
+                                        bench.get("time_unit", "ns"))
+    return times
+
+
+def paired_rows(times, fast_of):
+    """(label, slow_time, fast_time, unit) rows; fast_of: name -> twin."""
+    rows = []
+    for name, (fast, unit) in sorted(times.items()):
+        pair = fast_of(name)
+        if pair is None:
+            continue
+        label, twin = pair
+        if twin in times:
+            rows.append((label, times[twin][0], fast, unit))
+    return rows
+
+
+def dispatch_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_ManyRuleDispatch" or parts[-1] != "1":
+        return None
+    return parts[1], "/".join(parts[:-1]) + "/0"
+
+
+def certified_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_ConsistencyCertified" or len(parts) != 2:
+        return None
+    return parts[1], "BM_ConsistencyGroundSweep/" + parts[1]
+
+
+def report_series(title, key, rows, slow_name, fast_name):
+    """Print one speedup table; return labels where fast lost."""
+    print(title)
+    slower = []
+    unit = rows[0][3]
+    print(f"{key:>8} {slow_name + ' ' + unit:>14} "
+          f"{fast_name + ' ' + unit:>14} {'speedup':>8}")
+    for label, slow, fast, _ in rows:
+        speedup = slow / fast if fast else float("inf")
+        print(f"{label:>8} {slow:>14.3f} {fast:>14.3f} {speedup:>7.2f}x")
+        if fast > slow:
+            slower.append(label)
+    return slower
+
+
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
-        report = json.load(f)
+    times = load_times(sys.argv[1:])
 
-    # name -> cpu_time, only aggregate-free real runs.
-    times = {}
-    for bench in report.get("benchmarks", []):
-        if bench.get("run_type") == "iteration":
-            times[bench["name"]] = bench["cpu_time"]
+    found_any = False
 
-    rows = []
-    for name, compiled in sorted(times.items()):
-        parts = name.split("/")
-        if parts[0] != "BM_ManyRuleDispatch" or parts[-1] != "1":
-            continue
-        twin = "/".join(parts[:-1]) + "/0"
-        if twin not in times:
-            continue
-        rows.append((parts[1], times[twin], compiled))
+    rows = paired_rows(times, dispatch_pair)
+    if rows:
+        found_any = True
+        slower = report_series("compiled engine vs interpreter:", "rules",
+                               rows, "interp", "compiled")
+        if slower:
+            print("::warning::compiled engine slower than interpreter on "
+                  f"BM_ManyRuleDispatch rule counts: {', '.join(slower)} "
+                  "(advisory; timings on shared runners are noisy)")
 
-    if not rows:
-        print("::warning::perf smoke found no BM_ManyRuleDispatch "
-              "compiled/interp pairs in the report")
-        return 0
+    rows = paired_rows(times, certified_pair)
+    if rows:
+        found_any = True
+        slower = report_series("certified consistency vs ground sweep:",
+                               "depth", rows, "sweep", "certified")
+        if slower:
+            print("::warning::certified consistency check slower than the "
+                  "uncertified ground sweep at depths: "
+                  f"{', '.join(slower)} (advisory; timings on shared "
+                  "runners are noisy)")
 
-    slower = []
-    print(f"{'rules':>8} {'interp ns':>12} {'compiled ns':>12} {'speedup':>8}")
-    for rules, interp, compiled in rows:
-        speedup = interp / compiled if compiled else float("inf")
-        print(f"{rules:>8} {interp:>12.1f} {compiled:>12.1f} {speedup:>7.2f}x")
-        if compiled > interp:
-            slower.append(rules)
-
-    if slower:
-        print("::warning::compiled engine slower than interpreter on "
-              f"BM_ManyRuleDispatch rule counts: {', '.join(slower)} "
-              "(advisory; timings on shared runners are noisy)")
+    if not found_any:
+        print("::warning::perf smoke found no known benchmark pairs "
+              "in the report")
     return 0
 
 
