@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E17 — arena epochs and packed term nodes. Three claims,
+/// each measured directly:
+///
+///  - truncating a warm context back to a marked epoch and reusing it
+///    beats tearing the context down and re-elaborating the specs
+///    (BM_EpochTruncateReuse vs BM_FreshContextRebuild);
+///  - the packed 20-byte TermNode keeps traversal cheap — the node_bytes
+///    counter documents the footprint the traversal rate is paid at
+///    (BM_PackedNodeTraversal);
+///  - a daemon serving a sustained request stream holds a flat arena:
+///    after a 10k-request soak the server's high-water mark must sit
+///    near one request's footprint, not 10k of them (BM_DaemonSoak).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "server/Client.h"
+#include "server/Commands.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "specs/BuiltinSpecs.h"
+#include "support/Json.h"
+#include "support/Socket.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+using namespace algspec;
+using namespace algspec::server;
+
+namespace {
+
+/// One request's worth of arena work: build a 64-deep queue with fresh
+/// atom names (new interned strings, new terms) and normalize an
+/// observation over it. Shared verbatim by the reuse/rebuild pair so
+/// their delta is purely the lifecycle strategy.
+void sweepOnce(AlgebraContext &Ctx, RewriteEngine &Engine) {
+  SortId Item = Ctx.lookupSort("Item");
+  OpId New = Ctx.lookupOp("NEW");
+  OpId Add = Ctx.lookupOp("ADD");
+  OpId Front = Ctx.lookupOp("FRONT");
+  TermId Q = Ctx.makeOp(New, {});
+  for (int I = 0; I < 64; ++I)
+    Q = Ctx.makeOp(Add, {Q, Ctx.makeAtom("item" + std::to_string(I), Item)});
+  auto Normal = Engine.normalize(Ctx.makeOp(Front, {Q}));
+  if (!Normal)
+    std::abort();
+  benchmark::DoNotOptimize(Normal->index());
+}
+
+/// Epoch lifecycle: elaborate once, mark, then per request sweep and
+/// truncate back — O(freed) cleanup, the spec and rules stay warm.
+void BM_EpochTruncateReuse(benchmark::State &State) {
+  AlgebraContext Ctx;
+  auto Q = specs::loadQueue(Ctx);
+  if (!Q)
+    std::abort();
+  Spec Queue = Q.take();
+  auto Sys = RewriteSystem::buildChecked(Ctx, {&Queue});
+  if (!Sys)
+    std::abort();
+  RewriteSystem System = Sys.take();
+  RewriteEngine Engine(Ctx, System);
+  Engine.warmup();
+  ArenaEpoch Base = Ctx.markEpoch();
+  for (auto _ : State) {
+    sweepOnce(Ctx, Engine);
+    Ctx.truncateToEpoch(Base);
+  }
+  State.SetItemsProcessed(State.iterations());
+  State.counters["arena_high_water"] =
+      static_cast<double>(Ctx.arenaStats().HighWaterTerms);
+}
+BENCHMARK(BM_EpochTruncateReuse)->Unit(benchmark::kMicrosecond);
+
+/// The alternative the epoch API replaces: a fresh context, spec
+/// elaboration, rule build, and engine per request.
+void BM_FreshContextRebuild(benchmark::State &State) {
+  for (auto _ : State) {
+    AlgebraContext Ctx;
+    auto Q = specs::loadQueue(Ctx);
+    if (!Q)
+      std::abort();
+    Spec Queue = Q.take();
+    auto Sys = RewriteSystem::buildChecked(Ctx, {&Queue});
+    if (!Sys)
+      std::abort();
+    RewriteSystem System = Sys.take();
+    RewriteEngine Engine(Ctx, System);
+    sweepOnce(Ctx, Engine);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FreshContextRebuild)->Unit(benchmark::kMicrosecond);
+
+/// Traversal rate over a large consed DAG. The interesting number is
+/// the per-node cost next to the node_bytes counter: the packed node
+/// exists so more of the arena stays resident per cache line.
+void BM_PackedNodeTraversal(benchmark::State &State) {
+  AlgebraContext Ctx;
+  SortId Queue = Ctx.addSort("Queue", SortKind::User);
+  SortId Item = Ctx.getOrAddAtomSort("Item");
+  OpId New = Ctx.addOp("NEW", {}, Queue, OpKind::Constructor);
+  OpId Add =
+      Ctx.addOp("ADD", {Queue, Item}, Queue, OpKind::Constructor);
+  TermId Root = Ctx.makeOp(New, {});
+  const unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (unsigned I = 0; I < Depth; ++I)
+    Root = Ctx.makeOp(
+        Add, {Root, Ctx.makeAtom("item" + std::to_string(I % 97), Item)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ctx.dagSize(Root));
+  State.SetItemsProcessed(State.iterations() * Ctx.dagSize(Root));
+  State.counters["node_bytes"] = static_cast<double>(sizeof(TermNode));
+}
+BENCHMARK(BM_PackedNodeTraversal)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Unit(benchmark::kMicrosecond);
+
+/// One server for the soak, torn down with statics after Shutdown.
+class SoakServer {
+public:
+  static SoakServer &instance() {
+    static SoakServer S;
+    return S;
+  }
+
+  const SocketAddress &addr() const { return Addr; }
+
+private:
+  SoakServer() : S(options()) {
+    if (!S.start())
+      std::abort();
+    Addr = *SocketAddress::parse("tcp:127.0.0.1:" +
+                                 std::to_string(S.boundTcpPort()));
+  }
+
+  ~SoakServer() {
+    S.requestStop();
+    S.wait();
+  }
+
+  static ServerOptions options() {
+    ServerOptions O;
+    O.Listen.push_back(*SocketAddress::parse("tcp:127.0.0.1:0"));
+    O.Workers = 2;
+    O.QueueMax = 256;
+    return O;
+  }
+
+  Server S;
+  SocketAddress Addr;
+};
+
+/// Sustained daemon soak, pinned at exactly 10k iterations so the run
+/// is the memory-curve experiment and not a timing estimate: after 10k
+/// served requests, soak_high_water_terms must be request-count-
+/// independent (flat curve) and soak_truncations must track the
+/// request count — both read back from the server's own stats frame.
+void BM_DaemonSoak(benchmark::State &State) {
+  const SocketAddress &Addr = SoakServer::instance().addr();
+  Result<Socket> Sock = connectSocket(Addr);
+  if (!Sock)
+    std::abort();
+  FrameReader Reader(64u << 20);
+  CommandRequest Req;
+  Req.Command = "eval";
+  Req.Sources.push_back({"queue.alg", std::string(builtinSpecText("queue"))});
+  Req.Opts.TermText = "FRONT(ADD(ADD(NEW, 'a), 'b))";
+  Req.Opts.Jobs = 1;
+  std::string Frame = encodeCommandRequest("1", Req);
+  for (auto _ : State) {
+    Result<WireResponse> R = roundTrip(*Sock, Reader, Frame);
+    if (!R || R->Type != "response")
+      std::abort();
+    benchmark::DoNotOptimize(R->Out.data());
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  Result<WireResponse> Stats =
+      roundTrip(*Sock, Reader, encodeControlRequest("2", "stats"));
+  if (!Stats)
+    std::abort();
+  Result<JsonValue> Parsed = parseJson(Stats->Raw);
+  if (!Parsed || !Parsed->isObject())
+    std::abort();
+  if (const JsonValue *Arena = Parsed->get("arena")) {
+    if (const JsonValue *V = Arena->get("highWaterTerms"))
+      State.counters["soak_high_water_terms"] =
+          static_cast<double>(V->asInt());
+    if (const JsonValue *V = Arena->get("truncations"))
+      State.counters["soak_truncations"] = static_cast<double>(V->asInt());
+    if (const JsonValue *V = Arena->get("bytesFreed"))
+      State.counters["soak_bytes_freed"] = static_cast<double>(V->asInt());
+  }
+}
+BENCHMARK(BM_DaemonSoak)->Iterations(10000)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+ALGSPEC_BENCHMARK_MAIN()

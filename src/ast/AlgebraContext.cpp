@@ -209,7 +209,7 @@ uint64_t AlgebraContext::hashNode(const TermNode &Node,
     H = mix(H ^ Node.AtomName.index());
     break;
   case TermKind::Int:
-    H = mix(H ^ static_cast<uint64_t>(Node.IntValue));
+    H = mix(H ^ static_cast<uint64_t>(IntPool[Node.IntSlot]));
     break;
   case TermKind::Error:
     break;
@@ -235,7 +235,7 @@ bool AlgebraContext::nodeEquals(TermId Existing, const TermNode &Node,
   case TermKind::Atom:
     return E.AtomName == Node.AtomName;
   case TermKind::Int:
-    return E.IntValue == Node.IntValue;
+    return IntPool[E.IntSlot] == IntPool[Node.IntSlot];
   case TermKind::Error:
     return true;
   }
@@ -321,8 +321,15 @@ TermId AlgebraContext::makeInt(int64_t Value) {
   TermNode Node;
   Node.Kind = TermKind::Int;
   Node.Sort = IntSortId;
-  Node.IntValue = Value;
-  return internNode(Node, {});
+  // Speculative pool slot: hashNode/nodeEquals read the value through
+  // the pool, so it must exist before interning. A dedup hit hands back
+  // the existing node and the slot is popped again.
+  Node.IntSlot = static_cast<uint32_t>(IntPool.size());
+  IntPool.push_back(Value);
+  TermId Id = internNode(Node, {});
+  if (Terms[Id.index()].IntSlot != Node.IntSlot)
+    IntPool.pop_back();
+  return Id;
 }
 
 TermId AlgebraContext::makeBool(bool Value) {
@@ -385,4 +392,101 @@ unsigned AlgebraContext::depth(TermId Id) const {
   for (TermId Child : children(Id))
     Max = std::max(Max, depth(Child));
   return Max + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Epochs
+//===----------------------------------------------------------------------===//
+
+ArenaEpoch AlgebraContext::markEpoch() const {
+  ArenaEpoch E;
+  E.NumSorts = static_cast<uint32_t>(Sorts.size());
+  E.NumOps = static_cast<uint32_t>(Ops.size());
+  E.NumVars = static_cast<uint32_t>(Vars.size());
+  E.NumTerms = static_cast<uint32_t>(Terms.size());
+  E.ChildPoolSize = static_cast<uint32_t>(ChildPool.size());
+  E.IntPoolSize = static_cast<uint32_t>(IntPool.size());
+  E.InternedStrings = static_cast<uint32_t>(Interner.size());
+  return E;
+}
+
+TruncationDelta AlgebraContext::truncateToEpoch(const ArenaEpoch &E) {
+  assert(E.NumSorts <= Sorts.size() && E.NumOps <= Ops.size() &&
+         E.NumVars <= Vars.size() && E.NumTerms <= Terms.size() &&
+         E.ChildPoolSize <= ChildPool.size() &&
+         E.IntPoolSize <= IntPool.size() &&
+         E.InternedStrings <= Interner.size() &&
+         "epoch is younger than the arena (marked on another context?)");
+
+  TruncationDelta Delta;
+  if (E.NumSorts == Sorts.size() && E.NumOps == Ops.size() &&
+      E.NumVars == Vars.size() && E.NumTerms == Terms.size() &&
+      E.ChildPoolSize == ChildPool.size() &&
+      E.IntPoolSize == IntPool.size() &&
+      E.InternedStrings == Interner.size())
+    return Delta; // Nothing younger than the epoch; keep the generation.
+
+  // The peak is about to drop; record it before freeing.
+  Stats.HighWaterTerms =
+      std::max<uint64_t>(Stats.HighWaterTerms, Terms.size());
+
+  // Un-intern every term younger than the epoch. Recomputing the key
+  // from the stored node is what keeps truncation O(freed) without any
+  // per-node back-pointers on the build path. The int pool is still
+  // intact here, so Int hashes come out as they went in.
+  for (uint32_t I = E.NumTerms, N = static_cast<uint32_t>(Terms.size());
+       I != N; ++I) {
+    const TermNode &Node = Terms[I];
+    std::span<const TermId> Kids(ChildPool.data() + Node.ChildBegin,
+                                 Node.NumChildren);
+    uint64_t H = hashNode(Node, Kids);
+    auto Range = TermTable.equal_range(H);
+    for (auto It = Range.first; It != Range.second; ++It) {
+      if (It->second == TermId(I)) {
+        TermTable.erase(It);
+        break;
+      }
+    }
+  }
+  Delta.TermsFreed = Terms.size() - E.NumTerms;
+  Delta.BytesFreed = (Terms.size() - E.NumTerms) * sizeof(TermNode) +
+                     (ChildPool.size() - E.ChildPoolSize) * sizeof(TermId) +
+                     (IntPool.size() - E.IntPoolSize) * sizeof(int64_t);
+  Terms.resize(E.NumTerms);
+  ChildPool.resize(E.ChildPoolSize);
+  IntPool.resize(E.IntPoolSize);
+
+  // Unregister young operations in reverse registration order: the name
+  // map's per-name vectors are append-ordered, so the youngest op with a
+  // name is always at the back. Lazily created if@/SAME@ instances also
+  // drop out of their sort-indexed caches so a later request re-creates
+  // them instead of handing out a dangling id.
+  for (uint32_t I = static_cast<uint32_t>(Ops.size()); I > E.NumOps; --I) {
+    const OpInfo &Info = Ops[I - 1];
+    auto NameIt = OpByName.find(Info.Name);
+    assert(NameIt != OpByName.end() && !NameIt->second.empty() &&
+           NameIt->second.back() == OpId(I - 1) && "op name map out of sync");
+    NameIt->second.pop_back();
+    if (NameIt->second.empty())
+      OpByName.erase(NameIt);
+    if (Info.Builtin == BuiltinOp::Ite)
+      IteOps.erase(Info.ResultSort);
+    else if (Info.Builtin == BuiltinOp::Same)
+      SameOps.erase(Info.ArgSorts[0]);
+  }
+  Ops.resize(E.NumOps);
+
+  for (uint32_t I = static_cast<uint32_t>(Sorts.size()); I > E.NumSorts; --I)
+    SortByName.erase(Sorts[I - 1].Name);
+  Sorts.resize(E.NumSorts);
+  Vars.resize(E.NumVars);
+
+  Delta.BytesFreed += Interner.truncate(E.InternedStrings);
+
+  ++Generation;
+  TruncateLowWater = std::min(TruncateLowWater, E.NumTerms);
+  ++Stats.Truncations;
+  Stats.TermsFreed += Delta.TermsFreed;
+  Stats.BytesFreed += Delta.BytesFreed;
+  return Delta;
 }

@@ -27,6 +27,8 @@
 #include "ast/Term.h"
 #include "support/StringInterner.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -42,6 +44,35 @@ struct VarInfo {
   /// Where the variable was declared (invalid for programmatically built
   /// or renamed-apart variables). Lint diagnostics point here.
   SourceLoc Loc;
+};
+
+/// A snapshot of every arena high-water mark. Registrations and term
+/// creation are strictly append-only between epochs, so restoring these
+/// seven sizes (truncateToEpoch) restores the context exactly to the
+/// marked state.
+struct ArenaEpoch {
+  uint32_t NumSorts = 0;
+  uint32_t NumOps = 0;
+  uint32_t NumVars = 0;
+  uint32_t NumTerms = 0;
+  uint32_t ChildPoolSize = 0;
+  uint32_t IntPoolSize = 0;
+  uint32_t InternedStrings = 0;
+};
+
+/// What one truncateToEpoch call released.
+struct TruncationDelta {
+  uint64_t TermsFreed = 0;
+  uint64_t BytesFreed = 0;
+};
+
+/// Cumulative per-context arena accounting, surfaced through EngineStats
+/// and the server's stats request.
+struct ArenaStats {
+  uint64_t Truncations = 0;   ///< truncateToEpoch calls that freed anything.
+  uint64_t TermsFreed = 0;    ///< Term nodes released across all truncations.
+  uint64_t BytesFreed = 0;    ///< Arena bytes released across all truncations.
+  uint64_t HighWaterTerms = 0; ///< Peak live term count ever observed.
 };
 
 class AlgebraContext {
@@ -173,6 +204,14 @@ public:
   bool isVar(TermId Id) const { return node(Id).Kind == TermKind::Var; }
   bool isGround(TermId Id) const;
 
+  /// The value of an integer literal. Wide values live in a side pool
+  /// (the packed TermNode only stores a 32-bit slot index).
+  int64_t intValue(TermId Id) const {
+    const TermNode &N = node(Id);
+    assert(N.Kind == TermKind::Int && "not an integer literal");
+    return IntPool[N.IntSlot];
+  }
+
   TermId trueTerm() const { return TrueTermId; }
   TermId falseTerm() const { return FalseTermId; }
 
@@ -184,6 +223,55 @@ public:
   uint64_t treeSize(TermId Id) const;
   /// Height of the term (a leaf has depth 1).
   unsigned depth(TermId Id) const;
+
+  //===--------------------------------------------------------------------===
+  // Epochs (region lifecycle)
+  //===--------------------------------------------------------------------===
+  //
+  // The arena is append-only between epochs: markEpoch() captures every
+  // high-water mark, truncateToEpoch() frees everything younger wholesale
+  // in O(freed) — no per-node bookkeeping is ever kept for the common
+  // case of never truncating. Children always precede their parents in
+  // the arena (internNode appends child-pool entries before the node), so
+  // a suffix truncation can never orphan a surviving term.
+  //
+  // Contract for id holders: TermIds (and Op/Var/Sort ids and Symbols)
+  // created before the epoch survive a truncate; anything created after
+  // is dangling once truncateToEpoch runs. Caches keyed or valued by
+  // young ids must validate against generation()/truncateLowWater() (the
+  // engine memo and the term enumerator do).
+
+  /// Captures the current high-water marks.
+  ArenaEpoch markEpoch() const;
+
+  /// Frees every sort, op, var, term, child-pool entry, int-pool entry,
+  /// and interned string created after \p E was marked. O(freed). A call
+  /// that frees nothing is a no-op and does not advance the generation.
+  TruncationDelta truncateToEpoch(const ArenaEpoch &E);
+
+  /// Bumped by every truncation that freed something. Caches holding ids
+  /// minted after a truncation point use this (with truncateLowWater) to
+  /// detect staleness without scanning.
+  uint64_t generation() const { return Generation; }
+
+  /// The smallest term count any truncation ever cut back to; term ids
+  /// below it have never been freed. Starts at ~0u (nothing truncated).
+  uint32_t truncateLowWater() const { return TruncateLowWater; }
+
+  /// Cumulative truncation counters, with the high-water mark refreshed
+  /// to the current live count.
+  ArenaStats arenaStats() const {
+    ArenaStats S = Stats;
+    S.HighWaterTerms = std::max<uint64_t>(S.HighWaterTerms, Terms.size());
+    return S;
+  }
+
+  /// Live bytes held by the term arena proper (nodes + child pool + int
+  /// pool; registries and strings excluded).
+  size_t arenaBytes() const {
+    return Terms.size() * sizeof(TermNode) + ChildPool.size() * sizeof(TermId) +
+           IntPool.size() * sizeof(int64_t);
+  }
 
 private:
   TermId internNode(TermNode Node, std::span<const TermId> Children);
@@ -204,7 +292,14 @@ private:
 
   std::vector<TermNode> Terms;
   std::vector<TermId> ChildPool;
+  /// Values of Int literals; TermNode::IntSlot indexes here (the packed
+  /// node has no room for a 64-bit payload).
+  std::vector<int64_t> IntPool;
   std::unordered_multimap<uint64_t, TermId> TermTable;
+
+  uint64_t Generation = 0;
+  uint32_t TruncateLowWater = ~0u;
+  ArenaStats Stats;
 
   SortId BoolSortId;
   SortId IntSortId;

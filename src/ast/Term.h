@@ -40,21 +40,40 @@ enum class TermKind : uint8_t {
   Int,   ///< Integer literal of the builtin Int sort.
 };
 
-/// One immutable term node. Payload interpretation depends on \c Kind:
-/// Op uses \c Op + the child range, Var uses \c Var, Atom uses \c AtomName,
-/// Int uses \c IntValue; Error carries only its sort.
+/// One immutable term node. Exactly one payload alternative is active,
+/// selected by \c Kind: Op uses \c Op + the child range, Var uses \c Var,
+/// Atom uses \c AtomName, Int uses \c IntSlot (an index into the owning
+/// context's side pool of 64-bit values — see AlgebraContext::intValue);
+/// Error carries only its sort.
+///
+/// The payload alternatives share one 32-bit union slot: normalization
+/// sweeps are bound by how many nodes fit a cache line, and the four
+/// fields are mutually exclusive by construction. All four wrap a plain
+/// uint32_t, so the inactive members stay readable through the common
+/// initial sequence (hashNode/nodeEquals switch on Kind regardless).
 struct TermNode {
   TermKind Kind = TermKind::Error;
   SortId Sort;
 
-  OpId Op;             ///< Valid iff Kind == Op.
-  VarId Var;           ///< Valid iff Kind == Var.
-  Symbol AtomName;     ///< Valid iff Kind == Atom.
-  int64_t IntValue =0; ///< Valid iff Kind == Int.
-
   uint32_t ChildBegin = 0; ///< Index into the context child pool.
   uint32_t NumChildren = 0;
+
+  union {
+    OpId Op;          ///< Valid iff Kind == Op.
+    VarId Var;        ///< Valid iff Kind == Var.
+    Symbol AtomName;  ///< Valid iff Kind == Atom.
+    uint32_t IntSlot; ///< Valid iff Kind == Int.
+  };
+
+  /// The id wrappers' defaulted constructors are non-trivial, so the
+  /// union needs one variant picked by hand; an invalid Op matches the
+  /// Error default of Kind.
+  TermNode() : Op() {}
 };
+
+static_assert(sizeof(TermNode) == 20,
+              "TermNode is deliberately packed: the arena's traversal "
+              "speed tracks bytes per node");
 
 } // namespace algspec
 

@@ -31,7 +31,7 @@ public:
       Out += Ctx.str(Node.AtomName);
       return;
     case TermKind::Int:
-      Out += std::to_string(Node.IntValue);
+      Out += std::to_string(Ctx.intValue(Term));
       return;
     case TermKind::Op:
       printOp(Term, Node, Parenthesize);

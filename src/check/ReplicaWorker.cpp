@@ -28,7 +28,27 @@ ReplicaWorker::create(const AlgebraContext &Main,
       std::make_unique<RewriteEngine>(W->Rep->context(), *W->System, EngOpts);
   W->Enum = std::make_unique<TermEnumerator>(W->Rep->context(),
                                              std::move(EnumOpts));
+  // Force the engine's lazy one-time work (rule compilation, freeness
+  // fixpoint) before marking the base epoch, so none of it lands in a
+  // scratch region that resetScratch() would free.
+  W->Engine->warmup();
+  W->Base = W->Rep->context().markEpoch();
   return W;
+}
+
+void ReplicaWorker::resetScratch() {
+  if (!Engine)
+    return;
+  AlgebraContext &Ctx = Rep->context();
+  if (Enum->fillHighWater() > Base.NumTerms) {
+    // Enumerations cached after the base epoch are worth keeping — the
+    // next shard re-reads them. Pin them by moving the base forward.
+    Base = Ctx.markEpoch();
+  } else {
+    Ctx.truncateToEpoch(Base);
+    Enum->onTruncated();
+  }
+  Engine->syncArenaStats();
 }
 
 std::unique_ptr<ParallelDriver<ReplicaWorker>>
@@ -44,8 +64,13 @@ algspec::makeReplicaDriver(const ParallelOptions &Par,
   if (!Replica::create(Main, Specs))
     return nullptr;
   std::vector<const Spec *> OwnedSpecs = Specs;
-  return std::make_unique<ParallelDriver<ReplicaWorker>>(
+  auto Driver = std::make_unique<ParallelDriver<ReplicaWorker>>(
       Par, [&Main, OwnedSpecs = std::move(OwnedSpecs), EngOpts, EnumOpts] {
         return ReplicaWorker::create(Main, OwnedSpecs, EngOpts, EnumOpts);
       });
+  // Reset each worker's scratch arena between shards: reusing the
+  // replica beats rebuilding it, and truncating beats letting the arena
+  // grow with the whole swept space.
+  Driver->AfterChunk = [](ReplicaWorker &W) { W.resetScratch(); };
+  return Driver;
 }

@@ -18,6 +18,7 @@
 #ifndef ALGSPEC_CHECK_REPLICAWORKER_H
 #define ALGSPEC_CHECK_REPLICAWORKER_H
 
+#include "ast/AlgebraContext.h"
 #include "check/TermEnumerator.h"
 #include "parser/Replicator.h"
 #include "rewrite/Engine.h"
@@ -38,6 +39,9 @@ struct ReplicaWorker {
   /// Enumerator over the replica context; aligned with the caller's
   /// (same options, identical constructor registration order).
   std::unique_ptr<TermEnumerator> Enum;
+  /// Epoch after elaboration, engine warmup, and any pinned cached
+  /// enumerations — everything younger is per-shard scratch.
+  ArenaEpoch Base;
 
   /// Builds a worker over a fresh re-elaboration of \p Specs. Reads
   /// \p Main only, so concurrent calls from several pool threads are
@@ -45,6 +49,14 @@ struct ReplicaWorker {
   static std::unique_ptr<ReplicaWorker>
   create(const AlgebraContext &Main, std::vector<const Spec *> Specs,
          EngineOptions EngOpts, EnumeratorOptions EnumOpts);
+
+  /// Frees the scratch terms of the finished shard (the driver's
+  /// AfterChunk hook): truncates back to Base — resetting the arena
+  /// instead of rebuilding the replica — unless cached enumerations
+  /// extend past it, in which case Base ratchets forward to pin them
+  /// (plus at most one shard's scratch) rather than re-enumerate every
+  /// shard. No-op for a worker whose replication failed.
+  void resetScratch();
 };
 
 /// A driver whose per-worker state is a ReplicaWorker over \p Specs, or

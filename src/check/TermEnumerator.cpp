@@ -8,6 +8,7 @@
 
 #include "ast/AlgebraContext.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
 #include <string>
@@ -21,8 +22,15 @@ const std::vector<TermId> &TermEnumerator::enumerate(SortId Sort,
                                                      unsigned MaxDepth) {
   uint64_t K = key(Sort, MaxDepth);
   auto It = Cache.find(K);
-  if (It != Cache.end())
-    return It->second;
+  if (It != Cache.end()) {
+    CacheEntry &Entry = It->second;
+    if (Entry.Gen == Ctx.generation() ||
+        Entry.FillMark <= Ctx.truncateLowWater())
+      return Entry.Terms;
+    // A truncation freed terms this entry references; rebuild it.
+    Truncated.erase(K);
+    Cache.erase(It);
+  }
 
   std::vector<TermId> Result;
   bool DidTruncate = false;
@@ -101,7 +109,29 @@ const std::vector<TermId> &TermEnumerator::enumerate(SortId Sort,
   }
 
   Truncated[K] = DidTruncate;
-  return Cache.emplace(K, std::move(Result)).first->second;
+  CacheEntry Entry;
+  Entry.Terms = std::move(Result);
+  Entry.FillMark = Ctx.numTerms();
+  Entry.Gen = Ctx.generation();
+  FillHighWater = std::max(FillHighWater, Entry.FillMark);
+  return Cache.emplace(K, std::move(Entry)).first->second.Terms;
+}
+
+void TermEnumerator::onTruncated() {
+  const uint32_t Live = Ctx.numTerms();
+  const uint64_t Gen = Ctx.generation();
+  FillHighWater = 0;
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    if (It->second.FillMark <= Live) {
+      // Suffix truncation: every id below the live count survived.
+      It->second.Gen = Gen;
+      FillHighWater = std::max(FillHighWater, It->second.FillMark);
+      ++It;
+    } else {
+      Truncated.erase(It->first);
+      It = Cache.erase(It);
+    }
+  }
 }
 
 bool TermEnumerator::wasTruncated(SortId Sort, unsigned MaxDepth) const {

@@ -59,17 +59,42 @@ public:
   /// the sort is uninhabited at this depth.
   TermId sample(SortId Sort, unsigned MaxDepth, std::mt19937_64 &Rng);
 
+  /// Notifies the enumerator that its context was just truncated (the
+  /// replica workers call this from their scratch reset; the caller must
+  /// be the context's sole truncator). Entries whose terms were all
+  /// created before the cut survive with refreshed generation stamps;
+  /// younger entries are dropped. Without this, stale entries are still
+  /// caught lazily in enumerate() against generation()/truncateLowWater(),
+  /// but surviving entries filled after an earlier cut would be rebuilt
+  /// needlessly.
+  void onTruncated();
+
+  /// The highest arena mark any cached enumeration was completed at.
+  /// The replica workers compare this against their base epoch to decide
+  /// whether truncating would destroy cached enumerations worth keeping.
+  uint32_t fillHighWater() const { return FillHighWater; }
+
   const EnumeratorOptions &options() const { return Options; }
 
 private:
+  /// One memoized enumeration, stamped like the engine memo: valid while
+  /// the generation matches or every term provably survived (FillMark at
+  /// or below the truncate low-water mark).
+  struct CacheEntry {
+    std::vector<TermId> Terms;
+    uint32_t FillMark = 0; ///< Context term count when filling finished.
+    uint64_t Gen = 0;      ///< Context generation at fill time.
+  };
+
   uint64_t key(SortId Sort, unsigned Depth) const {
     return (static_cast<uint64_t>(Sort.index()) << 32) | Depth;
   }
 
   AlgebraContext &Ctx;
   EnumeratorOptions Options;
-  std::unordered_map<uint64_t, std::vector<TermId>> Cache;
+  std::unordered_map<uint64_t, CacheEntry> Cache;
   std::unordered_map<uint64_t, bool> Truncated;
+  uint32_t FillHighWater = 0;
 };
 
 } // namespace algspec

@@ -67,7 +67,7 @@ Result<Value> ModelBinding::evaluate(TermId Term) {
   case TermKind::Error:
     return Value::error();
   case TermKind::Int:
-    return Value::of<int64_t>(Node.IntValue);
+    return Value::of<int64_t>(Ctx.intValue(Term));
   case TermKind::Atom: {
     if (auto It = Atoms.find(Node.Sort); It != Atoms.end())
       return It->second(Ctx.str(Node.AtomName));

@@ -44,7 +44,19 @@ std::vector<const Spec *> Replica::specPointers() const {
   return Ptrs;
 }
 
+
+void Replica::syncGeneration() {
+  if (Ctx->generation() == SeenGeneration)
+    return;
+  SortMap.clear();
+  OpMap.clear();
+  VarMap.clear();
+  TermMap.clear();
+  SeenGeneration = Ctx->generation();
+}
+
 SortId Replica::mapSort(SortId MainSort) {
+  syncGeneration();
   auto It = SortMap.find(MainSort);
   if (It != SortMap.end())
     return It->second;
@@ -59,6 +71,7 @@ SortId Replica::mapSort(SortId MainSort) {
 }
 
 OpId Replica::mapOp(OpId MainOp) {
+  syncGeneration();
   auto It = OpMap.find(MainOp);
   if (It != OpMap.end())
     return It->second;
@@ -95,6 +108,7 @@ OpId Replica::mapOp(OpId MainOp) {
 }
 
 VarId Replica::mapVar(VarId MainVar) {
+  syncGeneration();
   auto It = VarMap.find(MainVar);
   if (It != VarMap.end())
     return It->second;
@@ -105,6 +119,7 @@ VarId Replica::mapVar(VarId MainVar) {
 }
 
 TermId Replica::mapTerm(TermId MainTerm) {
+  syncGeneration();
   auto It = TermMap.find(MainTerm);
   if (It != TermMap.end())
     return It->second;
@@ -121,7 +136,7 @@ TermId Replica::mapTerm(TermId MainTerm) {
     Mapped = Ctx->makeAtom(Main->str(Node.AtomName), mapSort(Node.Sort));
     break;
   case TermKind::Int:
-    Mapped = Ctx->makeInt(Node.IntValue);
+    Mapped = Ctx->makeInt(Main->intValue(MainTerm));
     break;
   case TermKind::Op: {
     OpId Op = mapOp(Node.Op);

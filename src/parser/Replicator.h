@@ -80,6 +80,13 @@ public:
 private:
   Replica() = default;
 
+  /// Drops the id caches when the replica context was truncated since the
+  /// last map call: the cached values are replica ids, and any minted
+  /// during a scratch epoch dangle after the epoch is freed. Re-mapping
+  /// is deterministic, so a wholesale clear is safe (and cheap next to
+  /// the re-elaboration the maps exist to avoid).
+  void syncGeneration();
+
   const AlgebraContext *Main = nullptr;
   std::unique_ptr<AlgebraContext> Ctx;
   std::vector<Spec> ReplicaSpecs;
@@ -88,6 +95,8 @@ private:
   std::unordered_map<OpId, OpId> OpMap;
   std::unordered_map<VarId, VarId> VarMap;
   std::unordered_map<TermId, TermId> TermMap;
+  /// Replica-context generation the caches were last valid for.
+  uint64_t SeenGeneration = 0;
 };
 
 } // namespace algspec

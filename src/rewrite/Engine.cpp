@@ -19,15 +19,70 @@ using namespace algspec;
 RewriteEngine::RewriteEngine(AlgebraContext &Ctx,
                              const RewriteSystem &System,
                              EngineOptions Options)
-    : Ctx(Ctx), System(System), Options(Options) {}
+    : Ctx(Ctx), System(System), Options(Options),
+      BaseArena(Ctx.arenaStats()) {
+  syncArenaStats();
+}
 
 RewriteEngine::~RewriteEngine() = default;
 
+void RewriteEngine::resetStats() {
+  Stats = EngineStats();
+  BaseArena = Ctx.arenaStats();
+  syncArenaStats();
+}
+
+void RewriteEngine::warmup() {
+  if (Options.Compile && !Compiled)
+    Compiled = std::make_unique<CompiledRuleSet>(Ctx, System);
+  if (Ctx.numSorts() > 0)
+    (void)isFreeSort(SortId(0));
+}
+
+void RewriteEngine::syncArenaStats() {
+  Stats.ArenaTerms = Ctx.numTerms();
+  Stats.ArenaHighWater =
+      std::max<uint64_t>(Stats.ArenaHighWater, Ctx.numTerms());
+  ArenaStats Now = Ctx.arenaStats();
+  Stats.ArenaTruncations = Now.Truncations - BaseArena.Truncations;
+  Stats.ArenaTermsFreed = Now.TermsFreed - BaseArena.TermsFreed;
+  Stats.ArenaBytesFreed = Now.BytesFreed - BaseArena.BytesFreed;
+}
+
+const TermId *RewriteEngine::memoLookup(TermId Key) {
+  auto It = Memo.find(Key);
+  if (It == Memo.end())
+    return nullptr;
+  if (It->second.Gen != Ctx.generation() &&
+      (Key.index() >= Ctx.truncateLowWater() ||
+       It->second.Value.index() >= Ctx.truncateLowWater())) {
+    // Written before a truncation and possibly pointing into freed
+    // arena: drop it. Counted as an ordinary miss by the caller.
+    Memo.erase(It);
+    return nullptr;
+  }
+  return &It->second.Value;
+}
+
+void RewriteEngine::memoInsert(TermId Key, TermId Value) {
+  // First write wins, like the emplace this grew out of — except that a
+  // stale survivor of a truncation is fair game to overwrite. The size
+  // bound stays with the callers (checked once per memoized return, as
+  // before, so eviction timing is unchanged).
+  auto [It, Inserted] =
+      Memo.try_emplace(Key, MemoEntry{Value, Ctx.generation()});
+  if (!Inserted && It->second.Gen != Ctx.generation() &&
+      (Key.index() >= Ctx.truncateLowWater() ||
+       It->second.Value.index() >= Ctx.truncateLowWater()))
+    It->second = MemoEntry{Value, Ctx.generation()};
+}
+
 Result<TermId> RewriteEngine::normalize(TermId Term) {
   uint64_t Fuel = Options.MaxSteps;
-  if (Options.Compile)
-    return normalizeMachine(Term, Fuel);
-  return normalizeImpl(Term, Fuel, 0);
+  Result<TermId> Normal = Options.Compile ? normalizeMachine(Term, Fuel)
+                                          : normalizeImpl(Term, Fuel, 0);
+  syncArenaStats();
+  return Normal;
 }
 
 Result<bool> RewriteEngine::normalizesToError(TermId Term) {
@@ -40,10 +95,9 @@ Result<bool> RewriteEngine::normalizesToError(TermId Term) {
 TermId RewriteEngine::evalBuiltin(OpId Op, std::span<const TermId> Args) {
   const OpInfo &Info = Ctx.op(Op);
   auto intArg = [&](size_t I, int64_t &Out) {
-    const TermNode &Node = Ctx.node(Args[I]);
-    if (Node.Kind != TermKind::Int)
+    if (Ctx.node(Args[I]).Kind != TermKind::Int)
       return false;
-    Out = Node.IntValue;
+    Out = Ctx.intValue(Args[I]);
     return true;
   };
 
@@ -54,7 +108,7 @@ TermId RewriteEngine::evalBuiltin(OpId Op, std::span<const TermId> Args) {
     if (A.Kind == TermKind::Atom && B.Kind == TermKind::Atom)
       return Ctx.makeBool(A.AtomName == B.AtomName);
     if (A.Kind == TermKind::Int && B.Kind == TermKind::Int)
-      return Ctx.makeBool(A.IntValue == B.IntValue);
+      return Ctx.makeBool(Ctx.intValue(Args[0]) == Ctx.intValue(Args[1]));
     // Identical ground normal forms denote the same value.
     if (Args[0] == Args[1] && Ctx.isGround(Args[0]))
       return Ctx.makeBool(true);
@@ -142,10 +196,9 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
         return Current;
 
       if (Options.Memoize) {
-        auto It = Memo.find(Current);
-        if (It != Memo.end()) {
+        if (const TermId *Hit = memoLookup(Current)) {
           ++Stats.CacheHits;
-          return It->second;
+          return *Hit;
         }
         ++Stats.CacheMisses;
       }
@@ -240,9 +293,9 @@ Result<TermId> RewriteEngine::normalizeImpl(TermId Term, uint64_t &Fuel,
       Stats.Evictions += Memo.size();
       Memo.clear();
     }
-    Memo.emplace(Term, *Normal);
+    memoInsert(Term, *Normal);
     if (Current != Term)
-      Memo.emplace(Current, *Normal);
+      memoInsert(Current, *Normal);
   }
   return Normal;
 }
@@ -298,9 +351,9 @@ Result<TermId> RewriteEngine::normalizeMachine(TermId Root, uint64_t &Fuel) {
         Stats.Evictions += Memo.size();
         Memo.clear();
       }
-      Memo.emplace(F.Orig, Normal);
+      memoInsert(F.Orig, Normal);
       if (F.Current != F.Orig)
-        Memo.emplace(F.Current, Normal);
+        memoInsert(F.Current, Normal);
     }
     Ret = Normal;
     Stack.pop_back();
@@ -332,10 +385,9 @@ Result<TermId> RewriteEngine::normalizeMachine(TermId Root, uint64_t &Fuel) {
         continue;
       }
       if (Options.Memoize) {
-        auto It = Memo.find(F.Current);
-        if (It != Memo.end()) {
+        if (const TermId *Hit = memoLookup(F.Current)) {
           ++Stats.CacheHits;
-          Finish(It->second);
+          Finish(*Hit);
           continue;
         }
         ++Stats.CacheMisses;

@@ -28,6 +28,7 @@
 #ifndef ALGSPEC_REWRITE_ENGINE_H
 #define ALGSPEC_REWRITE_ENGINE_H
 
+#include "ast/AlgebraContext.h"
 #include "ast/Ids.h"
 #include "rewrite/RewriteSystem.h"
 #include "support/Error.h"
@@ -40,7 +41,6 @@
 
 namespace algspec {
 
-class AlgebraContext;
 class CompiledRuleSet;
 
 /// Tunables for a RewriteEngine.
@@ -85,9 +85,22 @@ struct EngineStats {
   /// on the interpreted path. Visits per attempted redex quantify how
   /// much traversal the shared prefix tests save.
   uint64_t AutomatonVisits = 0;
+  // Arena-footprint gauges, refreshed by syncArenaStats() after every
+  // normalize() (and by the checkers' per-shard scratch resets). The
+  // truncation triplet is engine-relative — deltas against a baseline
+  // captured at engine construction / resetStats() — so a warm server
+  // workspace reports the same values as a fresh CLI one.
+  uint64_t ArenaTerms = 0;     ///< Live terms in the context at last sync.
+  uint64_t ArenaHighWater = 0; ///< Peak live terms this engine observed.
+  uint64_t ArenaTruncations = 0; ///< Epoch truncations since the baseline.
+  uint64_t ArenaTermsFreed = 0;  ///< Terms those truncations released.
+  uint64_t ArenaBytesFreed = 0;  ///< Bytes those truncations released.
 };
 
-/// Accumulates \p B into \p A (aggregating worker-replica engines).
+/// Accumulates \p B into \p A (aggregating worker-replica engines). The
+/// arena gauges sum too: every engine in an aggregate runs over its own
+/// context in practice, so the sums read as total footprint across the
+/// main context and all worker replicas.
 inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
   A.Steps += B.Steps;
   A.CacheHits += B.CacheHits;
@@ -96,6 +109,11 @@ inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
   A.Rebuilds += B.Rebuilds;
   A.MatchAttempts += B.MatchAttempts;
   A.AutomatonVisits += B.AutomatonVisits;
+  A.ArenaTerms += B.ArenaTerms;
+  A.ArenaHighWater += B.ArenaHighWater;
+  A.ArenaTruncations += B.ArenaTruncations;
+  A.ArenaTermsFreed += B.ArenaTermsFreed;
+  A.ArenaBytesFreed += B.ArenaBytesFreed;
   return A;
 }
 
@@ -132,7 +150,20 @@ public:
   bool isStuck(TermId Term) const;
 
   const EngineStats &stats() const { return Stats; }
-  void resetStats() { Stats = EngineStats(); }
+  /// Zeroes every counter and re-captures the arena baselines, so the
+  /// truncation deltas restart from the context's current state.
+  void resetStats();
+
+  /// Forces the lazy one-time work — rule-set compilation and the
+  /// sort-freeness fixpoint — to happen now. The replica workers call
+  /// this before marking their base epoch so none of it ever lands in
+  /// (and gets truncated with) a scratch epoch.
+  void warmup();
+
+  /// Refreshes the EngineStats arena gauges from the context. Called
+  /// after every normalize(); exposed for the per-shard scratch resets,
+  /// which truncate between normalize() calls.
+  void syncArenaStats();
 
   const std::vector<TraceStep> &trace() const { return Trace; }
   void clearTrace() { Trace.clear(); }
@@ -164,11 +195,32 @@ private:
   /// literals only (no stuck defined operation inside).
   bool isConstructorGround(TermId Term) const;
 
+  /// One normal-form memo entry, stamped with the context generation it
+  /// was written under. After an arena truncation the stamp no longer
+  /// matches; the entry stays usable only when both its key and value
+  /// provably survived every truncation (ids below the context's
+  /// truncate low-water mark), and is dropped lazily on lookup
+  /// otherwise — invalidation by counter, never by scan.
+  struct MemoEntry {
+    TermId Value;
+    uint64_t Gen = 0;
+  };
+
+  /// Memo lookup honoring generation validity; drops stale entries.
+  /// Returns nullptr on miss.
+  const TermId *memoLookup(TermId Key);
+  /// Memo insert with the size-bound bulk clear (counted in Evictions),
+  /// stamping the current generation.
+  void memoInsert(TermId Key, TermId Value);
+
   AlgebraContext &Ctx;
   const RewriteSystem &System;
   EngineOptions Options;
   EngineStats Stats;
-  std::unordered_map<TermId, TermId> Memo;
+  /// Context arena counters at construction / last resetStats(); the
+  /// published arena stats are deltas against this.
+  ArenaStats BaseArena;
+  std::unordered_map<TermId, MemoEntry> Memo;
   /// Freeness verdict per sort index; valid for the first
   /// FreeSortsComputedFor sorts of the context.
   std::vector<bool> FreeSorts;

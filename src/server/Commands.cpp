@@ -76,6 +76,11 @@ void writeEngineStats(JsonWriter &W, const EngineStats &S) {
   W.key("rebuilds").value(S.Rebuilds);
   W.key("matchAttempts").value(S.MatchAttempts);
   W.key("automatonVisits").value(S.AutomatonVisits);
+  W.key("arenaTerms").value(S.ArenaTerms);
+  W.key("arenaHighWater").value(S.ArenaHighWater);
+  W.key("arenaTruncations").value(S.ArenaTruncations);
+  W.key("arenaTermsFreed").value(S.ArenaTermsFreed);
+  W.key("arenaBytesFreed").value(S.ArenaBytesFreed);
   W.endObject();
 }
 

@@ -229,6 +229,17 @@ void Server::handleControl(Connection &Conn, const Request &Req) {
   W.key("rebuilds").value(S.Engine.Rebuilds);
   W.key("matchAttempts").value(S.Engine.MatchAttempts);
   W.key("automatonVisits").value(S.Engine.AutomatonVisits);
+  W.key("arenaTerms").value(S.Engine.ArenaTerms);
+  W.key("arenaHighWater").value(S.Engine.ArenaHighWater);
+  W.key("arenaTruncations").value(S.Engine.ArenaTruncations);
+  W.key("arenaTermsFreed").value(S.Engine.ArenaTermsFreed);
+  W.key("arenaBytesFreed").value(S.Engine.ArenaBytesFreed);
+  W.endObject();
+  W.key("arena").beginObject();
+  W.key("truncations").value(S.Arena.Truncations);
+  W.key("termsFreed").value(S.Arena.TermsFreed);
+  W.key("bytesFreed").value(S.Arena.BytesFreed);
+  W.key("highWaterTerms").value(S.Arena.HighWaterTerms);
   W.endObject();
   W.endObject();
   std::string Frame = W.str() + "\n";
@@ -372,6 +383,8 @@ void Server::serveJob(size_t WorkerIndex, Job &J) {
   Workspace *WS = workspaceFor(Cache, *Entry, WorkerIndex, LoadError);
 
   CommandResult R;
+  TruncationDelta Freed;
+  uint64_t PeakTerms = 0;
   if (!WS) {
     // Exactly the one-shot CLI's behavior for sources that do not load:
     // diagnostics on stderr, exit 1.
@@ -379,10 +392,24 @@ void Server::serveJob(size_t WorkerIndex, Job &J) {
     R.Err = LoadError;
   } else {
     R = dispatchCommand(*WS, J.Req.Command);
+    // Free this request's scratch terms. Dispatch renames rule
+    // variables apart and normalizes into the workspace arena; without
+    // the truncation a warm workspace grows with every request served.
+    // Truncating back to the post-elaboration epoch also restores the
+    // exact state a one-shot CLI run starts from, which is what keeps
+    // warm responses byte-identical to cold ones.
+    AlgebraContext &Ctx = WS->context();
+    Freed = Ctx.truncateToEpoch(Entry->slotFor(WorkerIndex).BaseEpoch);
+    PeakTerms = Ctx.arenaStats().HighWaterTerms;
   }
   {
     std::lock_guard<std::mutex> Lock(EngineMutex);
     Engine += R.Engine;
+    if (Freed.TermsFreed || Freed.BytesFreed)
+      ++Arena.Truncations;
+    Arena.TermsFreed += Freed.TermsFreed;
+    Arena.BytesFreed += Freed.BytesFreed;
+    Arena.HighWaterTerms = std::max(Arena.HighWaterTerms, PeakTerms);
   }
   ++RequestsServed;
   respond(*J.Conn, encodeCommandResponse(J.Req.IdJson, R, CacheHit));
@@ -419,6 +446,7 @@ ServerStatsSnapshot Server::statsSnapshot() {
   {
     std::lock_guard<std::mutex> Lock(EngineMutex);
     S.Engine = Engine;
+    S.Arena = Arena;
   }
   return S;
 }

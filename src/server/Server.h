@@ -77,6 +77,17 @@ struct ServerOptions {
   bool Verbose = false;
 };
 
+/// Cumulative arena accounting across the per-request truncations of
+/// every cached workspace (each served command truncates its worker's
+/// workspace back to the post-elaboration epoch).
+struct ServerArenaStats {
+  uint64_t Truncations = 0; ///< Request truncations that freed anything.
+  uint64_t TermsFreed = 0;  ///< Term nodes those truncations released.
+  uint64_t BytesFreed = 0;  ///< Arena bytes those truncations released.
+  /// Largest peak live term count any workspace context ever reached.
+  uint64_t HighWaterTerms = 0;
+};
+
 /// A point-in-time copy of the live counters, as reported by the
 /// `stats` request.
 struct ServerStatsSnapshot {
@@ -91,6 +102,7 @@ struct ServerStatsSnapshot {
   /// Engine counters aggregated over every served request (including
   /// each request's own worker replicas when it asked for jobs > 1).
   EngineStats Engine;
+  ServerArenaStats Arena;
 };
 
 class Server {
@@ -174,6 +186,7 @@ private:
 
   std::mutex EngineMutex;
   EngineStats Engine;
+  ServerArenaStats Arena; ///< Guarded by EngineMutex.
 };
 
 /// The CLI entry point: start, announce, block until SIGTERM/SIGINT,

@@ -89,6 +89,7 @@ Workspace *server::workspaceFor(WorkspaceCache &Cache, CacheEntry &Entry,
     std::string Err;
     if (loadSources(*WS, Entry.sources(), Err)) {
       Slot.WS = std::move(WS);
+      Slot.BaseEpoch = Slot.WS->context().markEpoch();
     } else {
       Slot.LoadFailed = true;
       Slot.LoadError = std::move(Err);

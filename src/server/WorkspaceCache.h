@@ -32,6 +32,7 @@
 #ifndef ALGSPEC_SERVER_WORKSPACECACHE_H
 #define ALGSPEC_SERVER_WORKSPACECACHE_H
 
+#include "ast/AlgebraContext.h"
 #include "server/Commands.h"
 
 #include <cstdint>
@@ -56,6 +57,12 @@ struct WorkspaceSlot {
   bool LoadFailed = false;
   std::string LoadError;
   std::unique_ptr<Workspace> WS;
+  /// The workspace's arena right after elaboration. Each served request
+  /// truncates back to this epoch afterwards, so a warm workspace's
+  /// arena is request-rate-proof: terms minted while dispatching (the
+  /// rewrite system's renamed-apart rule variables, normalization
+  /// scratch) never accumulate across requests.
+  ArenaEpoch BaseEpoch;
 };
 
 class WorkspaceCache;

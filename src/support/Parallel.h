@@ -82,6 +82,13 @@ public:
   /// path otherwise).
   bool enabled() const { return Pool != nullptr; }
 
+  /// Optional hook run by the chunk's own worker after it finishes each
+  /// contiguous chunk (and once after the whole loop on the in-driver
+  /// serial path). The replica drivers use it to truncate per-worker
+  /// scratch arenas between shards; anything the hook frees must not be
+  /// referenced by already-written result slots.
+  std::function<void(State &)> AfterChunk;
+
   /// Runs Body(State, I) for every I in [0, Total) and returns the
   /// results in index order. R must be default-constructible; slots are
   /// written exactly once, so no result-side locking is needed. The
@@ -98,6 +105,8 @@ public:
       State &S = stateFor(0);
       for (size_t I = 0; I != Total; ++I)
         Results[I] = Body(S, I);
+      if (AfterChunk)
+        AfterChunk(S);
       return Results;
     }
     // Aim for several chunks per worker so stealing can rebalance
@@ -110,6 +119,8 @@ public:
         State &S = stateFor(ThreadPool::currentWorkerIndex());
         for (size_t I = Begin; I != End; ++I)
           Results[I] = Body(S, I);
+        if (AfterChunk)
+          AfterChunk(S);
       });
     }
     Pool->wait();

@@ -35,3 +35,17 @@ std::string_view StringInterner::str(Symbol Sym) const {
          "resolving foreign or invalid symbol");
   return Strings[Sym.index()];
 }
+
+size_t StringInterner::truncate(size_t Size) {
+  assert(Size <= Strings.size() && "truncating to a future size");
+  size_t Bytes = 0;
+  while (Strings.size() > Size) {
+    const std::string &Doomed = Strings.back();
+    Bytes += Doomed.size();
+    // The table key is a view into the stored string; erase it before
+    // the string goes away.
+    Table.erase(std::string_view(Doomed));
+    Strings.pop_back();
+  }
+  return Bytes;
+}

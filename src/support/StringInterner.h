@@ -54,10 +54,18 @@ public:
   Symbol lookup(std::string_view Str) const;
 
   /// Resolves a handle back to its string. The view stays valid for the
-  /// interner's lifetime.
+  /// interner's lifetime (or, if the symbol is younger than a later
+  /// truncate() point, until that truncate).
   std::string_view str(Symbol Sym) const;
 
   size_t size() const { return Strings.size(); }
+
+  /// Drops every string interned at or past \p Size (handles are handed
+  /// out in insertion order, so this frees a pure suffix), removing the
+  /// lookup entries first. Symbols below \p Size stay valid. Returns the
+  /// number of string bytes released. AlgebraContext::truncateToEpoch is
+  /// the only caller.
+  size_t truncate(size_t Size);
 
 private:
   std::deque<std::string> Strings;

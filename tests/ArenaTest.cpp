@@ -1,0 +1,312 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the arena epoch lifecycle: mark/truncate round trips,
+/// registry unwinding (sorts, ops, vars, interned strings, the lazy
+/// sort-indexed builtins), the int side pool, generation counters, and
+/// the epoch-aware caches built on top (engine memo, term enumerator).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "ast/TermPrinter.h"
+#include "check/TermEnumerator.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "specs/BuiltinSpecs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Fixture with the paper's Queue signature and a few pinned terms.
+class ArenaEpochs : public ::testing::Test {
+protected:
+  void SetUp() override {
+    QueueSort = Ctx.addSort("Queue", SortKind::User);
+    ItemSort = Ctx.getOrAddAtomSort("Item");
+    NewOp = Ctx.addOp("NEW", {}, QueueSort, OpKind::Constructor);
+    AddOp = Ctx.addOp("ADD", {QueueSort, ItemSort}, QueueSort,
+                      OpKind::Constructor);
+    NewTerm = Ctx.makeOp(NewOp, {});
+    ItemA = Ctx.makeAtom("a", ItemSort);
+    Pinned = Ctx.makeOp(AddOp, {NewTerm, ItemA});
+  }
+
+  AlgebraContext Ctx;
+  SortId QueueSort, ItemSort;
+  OpId NewOp, AddOp;
+  TermId NewTerm, ItemA, Pinned;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Mark / truncate round trips
+//===----------------------------------------------------------------------===//
+
+TEST_F(ArenaEpochs, TruncateRestoresEveryHighWaterMark) {
+  ArenaEpoch E = Ctx.markEpoch();
+
+  // Scratch: new sort, ops (including the lazy sort-indexed builtins),
+  // var, atom with a fresh interned name, terms.
+  SortId Scratch = Ctx.addSort("Scratch", SortKind::User);
+  Ctx.getIteOp(Scratch);
+  Ctx.getSameOp(ItemSort);
+  VarId V = Ctx.addVar("q", QueueSort);
+  Ctx.makeVar(V);
+  TermId B = Ctx.makeAtom("freshatomname", ItemSort);
+  Ctx.makeOp(AddOp, {Pinned, B});
+
+  ASSERT_GT(Ctx.numTerms(), E.NumTerms);
+  ASSERT_GT(Ctx.numSorts(), E.NumSorts);
+  ASSERT_GT(Ctx.numOps(), E.NumOps);
+  ASSERT_GT(Ctx.numVars(), E.NumVars);
+
+  TruncationDelta D = Ctx.truncateToEpoch(E);
+  EXPECT_GT(D.TermsFreed, 0u);
+  EXPECT_GT(D.BytesFreed, 0u);
+  EXPECT_EQ(Ctx.numTerms(), E.NumTerms);
+  EXPECT_EQ(Ctx.numSorts(), E.NumSorts);
+  EXPECT_EQ(Ctx.numOps(), E.NumOps);
+  EXPECT_EQ(Ctx.numVars(), E.NumVars);
+
+  // Pinned ids survive untouched and still print.
+  EXPECT_EQ(printTerm(Ctx, Pinned), "ADD(NEW, 'a)");
+  EXPECT_FALSE(Ctx.lookupSort("Scratch").isValid());
+}
+
+TEST_F(ArenaEpochs, HashConsingStillFindsSurvivorsAfterTruncate) {
+  ArenaEpoch E = Ctx.markEpoch();
+  Ctx.makeOp(AddOp, {Pinned, ItemA});
+  Ctx.truncateToEpoch(E);
+
+  // Re-making a pre-epoch term must dedup onto the surviving node, and
+  // re-making the freed term must re-intern cleanly at the old index.
+  EXPECT_EQ(Ctx.makeOp(AddOp, {NewTerm, ItemA}), Pinned);
+  TermId Again = Ctx.makeOp(AddOp, {Pinned, ItemA});
+  EXPECT_EQ(Again.index(), E.NumTerms);
+  EXPECT_EQ(printTerm(Ctx, Again), "ADD(ADD(NEW, 'a), 'a)");
+}
+
+TEST_F(ArenaEpochs, LazyBuiltinsRecreateAfterTruncate) {
+  ArenaEpoch E = Ctx.markEpoch();
+  OpId Same = Ctx.getSameOp(ItemSort);
+  OpId Ite = Ctx.getIteOp(QueueSort);
+  Ctx.truncateToEpoch(E);
+
+  // The cached instances were unregistered with the epoch; asking again
+  // must mint fresh ops at the old indices, not hand back dangling ids.
+  OpId Same2 = Ctx.getSameOp(ItemSort);
+  OpId Ite2 = Ctx.getIteOp(QueueSort);
+  EXPECT_TRUE(Same2.isValid());
+  EXPECT_TRUE(Ite2.isValid());
+  EXPECT_EQ(std::min(Same2.index(), Ite2.index()),
+            std::min(Same.index(), Ite.index()));
+  EXPECT_EQ(Ctx.op(Same2).Builtin, BuiltinOp::Same);
+  EXPECT_EQ(Ctx.op(Ite2).Builtin, BuiltinOp::Ite);
+}
+
+TEST_F(ArenaEpochs, InternerTruncationFreesOnlyScratchStrings) {
+  Symbol Kept = Ctx.intern("kept-before-epoch");
+  ArenaEpoch E = Ctx.markEpoch();
+  Ctx.intern("scratch-only-string");
+  TruncationDelta D = Ctx.truncateToEpoch(E);
+  EXPECT_GE(D.BytesFreed, std::string("scratch-only-string").size());
+  EXPECT_EQ(Ctx.str(Kept), "kept-before-epoch");
+  // The freed name re-interns as a fresh symbol without tripping the
+  // table's dangling-view protection.
+  Symbol Again = Ctx.intern("scratch-only-string");
+  EXPECT_EQ(Ctx.str(Again), "scratch-only-string");
+}
+
+TEST_F(ArenaEpochs, IntPoolSurvivesAndDedupsAcrossEpochs) {
+  TermId Old = Ctx.makeInt(1234567890123456789LL);
+  ArenaEpoch E = Ctx.markEpoch();
+  // Dedup onto a pre-epoch literal must not grow the int pool.
+  EXPECT_EQ(Ctx.makeInt(1234567890123456789LL), Old);
+  EXPECT_EQ(Ctx.markEpoch().IntPoolSize, E.IntPoolSize);
+  TermId Fresh = Ctx.makeInt(-42);
+  EXPECT_EQ(Ctx.intValue(Fresh), -42);
+  Ctx.truncateToEpoch(E);
+  EXPECT_EQ(Ctx.intValue(Old), 1234567890123456789LL);
+  TermId Fresh2 = Ctx.makeInt(-42);
+  EXPECT_EQ(Fresh2.index(), E.NumTerms);
+  EXPECT_EQ(Ctx.intValue(Fresh2), -42);
+}
+
+//===----------------------------------------------------------------------===//
+// Generation counter and stats
+//===----------------------------------------------------------------------===//
+
+TEST_F(ArenaEpochs, NoopTruncateKeepsGenerationAndStats) {
+  ArenaEpoch E = Ctx.markEpoch();
+  uint64_t Gen = Ctx.generation();
+  ArenaStats Before = Ctx.arenaStats();
+  TruncationDelta D = Ctx.truncateToEpoch(E);
+  EXPECT_EQ(D.TermsFreed, 0u);
+  EXPECT_EQ(D.BytesFreed, 0u);
+  EXPECT_EQ(Ctx.generation(), Gen);
+  EXPECT_EQ(Ctx.arenaStats().Truncations, Before.Truncations);
+}
+
+TEST_F(ArenaEpochs, TruncationBumpsGenerationAndLowersWaterMark) {
+  ArenaEpoch E = Ctx.markEpoch();
+  Ctx.makeOp(AddOp, {Pinned, ItemA});
+  uint64_t Gen = Ctx.generation();
+  Ctx.truncateToEpoch(E);
+  EXPECT_EQ(Ctx.generation(), Gen + 1);
+  EXPECT_EQ(Ctx.truncateLowWater(), E.NumTerms);
+
+  ArenaStats S = Ctx.arenaStats();
+  EXPECT_EQ(S.Truncations, 1u);
+  EXPECT_EQ(S.TermsFreed, 1u);
+  EXPECT_GT(S.BytesFreed, 0u);
+  EXPECT_EQ(S.HighWaterTerms, E.NumTerms + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Epoch-aware caches: engine memo, enumerator, stats reset
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fixture with the Queue spec, engine, and a marked post-warmup epoch.
+class EngineEpochs : public ::testing::Test {
+protected:
+  void SetUp() override {
+    auto Loaded = specs::loadQueue(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Loaded)) << Loaded.error().message();
+    Q = Loaded.take();
+    auto Sys = RewriteSystem::buildChecked(Ctx, {&Q});
+    ASSERT_TRUE(static_cast<bool>(Sys)) << Sys.error().message();
+    System = std::make_unique<RewriteSystem>(Sys.take());
+    Engine = std::make_unique<RewriteEngine>(Ctx, *System);
+    Engine->warmup();
+    Base = Ctx.markEpoch();
+  }
+
+  TermId parse(const std::string &Text) {
+    auto Term = parseTermText(Ctx, Text);
+    EXPECT_TRUE(static_cast<bool>(Term)) << Term.error().message();
+    return *Term;
+  }
+
+  AlgebraContext Ctx;
+  Spec Q;
+  std::unique_ptr<RewriteSystem> System;
+  std::unique_ptr<RewriteEngine> Engine;
+  ArenaEpoch Base;
+};
+
+} // namespace
+
+TEST_F(EngineEpochs, MemoSurvivesTruncationOfUnrelatedScratch) {
+  // Everything here lives below the epoch we truncate to, so its memo
+  // entries must keep hitting afterwards.
+  TermId Stable = parse("FRONT(ADD(ADD(NEW, 'a), 'b))");
+  ASSERT_TRUE(static_cast<bool>(Engine->normalize(Stable)));
+  ArenaEpoch Mid = Ctx.markEpoch();
+  ASSERT_TRUE(
+      static_cast<bool>(Engine->normalize(parse("REMOVE(ADD(NEW, 'c))"))));
+  Ctx.truncateToEpoch(Mid);
+  Engine->syncArenaStats();
+
+  uint64_t Hits = Engine->stats().CacheHits;
+  auto Again = Engine->normalize(Stable);
+  ASSERT_TRUE(static_cast<bool>(Again));
+  EXPECT_EQ(printTerm(Ctx, *Again), "'a");
+  EXPECT_GT(Engine->stats().CacheHits, Hits);
+}
+
+TEST_F(EngineEpochs, MemoDropsEntriesForFreedTerms) {
+  TermId Scratch = parse("FRONT(ADD(ADD(NEW, 'x), 'y))");
+  auto First = Engine->normalize(Scratch);
+  ASSERT_TRUE(static_cast<bool>(First));
+  Ctx.truncateToEpoch(Base);
+  Engine->syncArenaStats();
+
+  // The same text re-parses to the same indices; the stale entry keyed
+  // there must not short-circuit normalization with a dangling value.
+  TermId Rebuilt = parse("FRONT(ADD(ADD(NEW, 'x), 'y))");
+  auto Second = Engine->normalize(Rebuilt);
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_EQ(printTerm(Ctx, *Second), "'x");
+}
+
+TEST_F(EngineEpochs, ResetStatsZeroesEveryCounterAndRebaselines) {
+  ASSERT_TRUE(static_cast<bool>(
+      Engine->normalize(parse("FRONT(ADD(ADD(NEW, 'a), 'b))"))));
+  ASSERT_TRUE(static_cast<bool>(
+      Engine->normalize(parse("FRONT(ADD(ADD(NEW, 'a), 'b))"))));
+  Ctx.truncateToEpoch(Base);
+  Engine->syncArenaStats();
+
+  const EngineStats &Dirty = Engine->stats();
+  EXPECT_GT(Dirty.Steps, 0u);
+  EXPECT_GT(Dirty.CacheHits, 0u);
+  EXPECT_GT(Dirty.CacheMisses, 0u);
+  EXPECT_GT(Dirty.MatchAttempts, 0u);
+  EXPECT_GT(Dirty.ArenaTruncations, 0u);
+  EXPECT_GT(Dirty.ArenaTermsFreed, 0u);
+  EXPECT_GT(Dirty.ArenaBytesFreed, 0u);
+
+  Engine->resetStats();
+  const EngineStats &S = Engine->stats();
+  // Every counter added since the stats block grew must be audited here:
+  // a field this test does not pin is a field resetStats can miss.
+  EXPECT_EQ(S.Steps, 0u);
+  EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_EQ(S.CacheMisses, 0u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.Rebuilds, 0u);
+  EXPECT_EQ(S.MatchAttempts, 0u);
+  EXPECT_EQ(S.AutomatonVisits, 0u);
+  // The truncation deltas restart from the re-captured baseline; the
+  // arena gauges re-sync to the context's current live state.
+  EXPECT_EQ(S.ArenaTruncations, 0u);
+  EXPECT_EQ(S.ArenaTermsFreed, 0u);
+  EXPECT_EQ(S.ArenaBytesFreed, 0u);
+  EXPECT_EQ(S.ArenaTerms, Ctx.numTerms());
+  EXPECT_EQ(S.ArenaHighWater, Ctx.numTerms());
+}
+
+TEST_F(EngineEpochs, EnumeratorPrunesFreedEntriesAndKeepsSurvivors) {
+  TermEnumerator Enum(Ctx);
+  SortId Item = Ctx.lookupSort("Item");
+  SortId Queue = Ctx.lookupSort("Queue");
+  ASSERT_TRUE(Item.isValid());
+  ASSERT_TRUE(Queue.isValid());
+
+  size_t Items = Enum.enumerate(Item, 1).size();
+  ArenaEpoch Mid = Ctx.markEpoch();
+  size_t Queues = Enum.enumerate(Queue, 3).size();
+  ASSERT_GT(Queues, 0u);
+  ASSERT_GT(Enum.fillHighWater(), Mid.NumTerms);
+
+  Ctx.truncateToEpoch(Mid);
+  Enum.onTruncated();
+  EXPECT_LE(Enum.fillHighWater(), Mid.NumTerms);
+
+  // The surviving entry still serves; the pruned one rebuilds to the
+  // same size (enumeration is deterministic).
+  EXPECT_EQ(Enum.enumerate(Item, 1).size(), Items);
+  EXPECT_EQ(Enum.enumerate(Queue, 3).size(), Queues);
+}
+
+TEST_F(EngineEpochs, EnumeratorLazilyInvalidatesWithoutNotification) {
+  TermEnumerator Enum(Ctx);
+  SortId Queue = Ctx.lookupSort("Queue");
+  size_t Queues = Enum.enumerate(Queue, 3).size();
+  Ctx.truncateToEpoch(Base);
+  // No onTruncated() here: the generation check alone must catch the
+  // stale entry on the next lookup.
+  EXPECT_EQ(Enum.enumerate(Queue, 3).size(), Queues);
+}

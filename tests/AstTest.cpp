@@ -125,7 +125,7 @@ TEST_F(QueueContext, IntLiterals) {
   TermId C = Ctx.makeInt(-7);
   EXPECT_EQ(A, B);
   EXPECT_NE(A, C);
-  EXPECT_EQ(Ctx.node(A).IntValue, 7);
+  EXPECT_EQ(Ctx.intValue(A), 7);
   EXPECT_EQ(Ctx.sortOf(A), Ctx.intSort());
 }
 

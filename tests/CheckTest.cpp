@@ -63,7 +63,7 @@ TEST_F(EnumeratorTest, IntValuesConfigurable) {
   TermEnumerator Enum(Ctx, Opts);
   const auto &Ints = Enum.enumerate(Ctx.intSort(), 3);
   ASSERT_EQ(Ints.size(), 2u);
-  EXPECT_EQ(Ctx.node(Ints[0]).IntValue, 7);
+  EXPECT_EQ(Ctx.intValue(Ints[0]), 7);
 }
 
 TEST_F(EnumeratorTest, QueueCountsByDepth) {

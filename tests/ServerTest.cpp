@@ -249,6 +249,66 @@ TEST(ServerTest, RepeatedWorkspaceIsACacheHit) {
   EXPECT_EQ(S.RequestsServed, 2u);
 }
 
+TEST(ServerTest, EvictionChurnStaysByteIdenticalAndTruncatesArenas) {
+  // A one-entry cache makes every alternation evict the other spec set,
+  // so this exercises eviction of entries whose slots served requests
+  // moments ago — the shared_ptr pin must keep any in-flight workspace
+  // alive, and the per-request truncation must only ever free terms the
+  // finished request minted.
+  ServerOptions O = tcpOptions();
+  O.CacheMaxEntries = 1;
+  LiveServer LS(O);
+  ASSERT_TRUE(LS.started()) << LS.startError();
+
+  CommandRequest EvalQ = builtinCommand("eval", {"queue"});
+  EvalQ.Opts.TermText = "FRONT(ADD(ADD(NEW, 'a), 'b))";
+  CommandRequest CheckS = builtinCommand("check", {"symboltable"});
+  CommandResult ExpectedEval = runCommand(EvalQ);
+  CommandResult ExpectedCheck = runCommand(CheckS);
+
+  Conn C;
+  ASSERT_TRUE(C.connect(LS.addr()));
+  for (int I = 0; I < 8; ++I) {
+    const CommandRequest &Req = (I % 2) ? CheckS : EvalQ;
+    const CommandResult &Expected = (I % 2) ? ExpectedCheck : ExpectedEval;
+    Result<WireResponse> Got =
+        C.rpc(encodeCommandRequest(std::to_string(I), Req));
+    ASSERT_TRUE(bool(Got)) << Got.error().message();
+    EXPECT_EQ(Got->Exit, Expected.ExitCode) << I;
+    EXPECT_EQ(Got->Out, Expected.Out) << I;
+    EXPECT_EQ(Got->Err, Expected.Err) << I;
+  }
+
+  ServerStatsSnapshot S = LS.server().statsSnapshot();
+  EXPECT_GT(S.Cache.Evictions, 0u);
+  // Every dispatch truncated its workspace back to the post-elaboration
+  // epoch, so the arena counters must show real reclamation.
+  EXPECT_GT(S.Arena.Truncations, 0u);
+  EXPECT_GT(S.Arena.TermsFreed, 0u);
+  EXPECT_GT(S.Arena.BytesFreed, 0u);
+  EXPECT_GT(S.Arena.HighWaterTerms, 0u);
+}
+
+TEST(ServerTest, StressSurvivesConstantEviction) {
+  // The concurrent stress driver against a one-entry cache: workers race
+  // acquire/evict/elaborate/truncate constantly. The sanitizer CI matrix
+  // runs this under ASan and TSan, which is what pins "eviction never
+  // frees a workspace a pooled request still holds".
+  ServerOptions O = tcpOptions();
+  O.CacheMaxEntries = 1;
+  LiveServer LS(O);
+  ASSERT_TRUE(LS.started()) << LS.startError();
+
+  StressOptions SO;
+  SO.Connections = 4;
+  SO.RequestsPerConnection = 8;
+  Result<StressReport> R = runStress(LS.addr(), SO);
+  ASSERT_TRUE(bool(R)) << R.error().message();
+  EXPECT_EQ(R->Mismatched, 0u) << R->FirstMismatch;
+  EXPECT_EQ(R->TransportErrors, 0u);
+  EXPECT_TRUE(R->ok());
+}
+
 //===----------------------------------------------------------------------===//
 // Malformed input: every bad frame is a structured error or a clean
 // close, never a crash.

@@ -10,7 +10,11 @@ Two series are understood, each optional in the input:
 * ``BM_ConsistencyCertified/<depth>`` against
   ``BM_ConsistencyGroundSweep/<depth>`` — a consistency check holding
   a convergence certificate skips the R x R critical-pair sweep, so
-  it must beat the uncertified sweep at every depth.
+  it must beat the uncertified sweep at every depth;
+* ``BM_EpochTruncateReuse`` against ``BM_FreshContextRebuild`` —
+  truncating a warm arena back to a marked epoch and reusing it must
+  beat re-elaborating a fresh context per request, which is the whole
+  point of the epoch lifecycle.
 
 Reads one or more JSON files (their benchmark lists are merged),
 prints a speedup table per series, and emits a GitHub Actions
@@ -65,6 +69,12 @@ def certified_pair(name):
     return parts[1], "BM_ConsistencyGroundSweep/" + parts[1]
 
 
+def epoch_pair(name):
+    if name != "BM_EpochTruncateReuse":
+        return None
+    return "reuse", "BM_FreshContextRebuild"
+
+
 def report_series(title, key, rows, slow_name, fast_name):
     """Print one speedup table; return labels where fast lost."""
     print(title)
@@ -108,6 +118,16 @@ def main() -> int:
                   "uncertified ground sweep at depths: "
                   f"{', '.join(slower)} (advisory; timings on shared "
                   "runners are noisy)")
+
+    rows = paired_rows(times, epoch_pair)
+    if rows:
+        found_any = True
+        slower = report_series("epoch truncate+reuse vs fresh rebuild:",
+                               "mode", rows, "rebuild", "reuse")
+        if slower:
+            print("::warning::epoch truncate+reuse slower than rebuilding "
+                  "a fresh context per request (advisory; timings on "
+                  "shared runners are noisy)")
 
     if not found_any:
         print("::warning::perf smoke found no known benchmark pairs "

@@ -71,7 +71,28 @@ for BIN in "$BENCH_DIR"/*; do
         OUT="$REPO_ROOT/BENCH_DEBUG_${NAME}.json"
     fi
     echo "== $NAME -> $(basename "$OUT")"
-    if ! "$BIN" --benchmark_format=json "$@" > "$OUT.tmp"; then
+    # One interpreter per binary so RUSAGE_CHILDREN is exactly this run:
+    # the wrapper records the binary's peak RSS into the report context
+    # (algspec_peak_rss_kb) so committed baselines carry a memory curve
+    # next to the timings.
+    if ! python3 - "$BIN" "$OUT.tmp" "$@" <<'PYEOF'
+import json, resource, subprocess, sys
+
+bin_path, out_path, *extra = sys.argv[1:]
+with open(out_path, "w") as out:
+    rc = subprocess.call([bin_path, "--benchmark_format=json", *extra],
+                         stdout=out)
+if rc != 0:
+    sys.exit(rc)
+peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(out_path) as f:
+    data = json.load(f)
+data.setdefault("context", {})["algspec_peak_rss_kb"] = peak_kb
+with open(out_path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PYEOF
+    then
         echo "error: $NAME failed; leaving $(basename "$OUT") untouched" >&2
         rm -f "$OUT.tmp"
         STATUS=1
