@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E18 — what a static exhaustiveness certificate costs and
+/// what it buys. Three series:
+///
+///  1. the dynamic completeness ground sweep at increasing depths — the
+///     bounded refutation procedure the certificate replaces, whose cost
+///     grows with the enumerated argument universe;
+///  2. the same check holding a covering certificate — the sweep is
+///     skipped outright, so the series prices the fixed overhead of the
+///     skip path and the gap against (1) is what certification buys per
+///     check;
+///  3. the certifier itself as the workspace grows one builtin at a
+///     time — matrix construction and the usefulness sweep scale with
+///     the rule count, and the certificate is a once-per-workspace
+///     artifact amortized over every later check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlgSpec.h"
+#include "specs/BuiltinSpecs.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+
+namespace {
+
+/// The certifying builtins the scaling series accumulates, in a fixed
+/// order so range(0) = N always names the same N-spec workspace.
+const struct {
+  std::string_view Text;
+  const char *Name;
+} Family[] = {
+    {specs::QueueAlg, "queue.alg"},
+    {specs::SymboltableAlg, "symboltable.alg"},
+    {specs::StackArrayAlg, "stackarray.alg"},
+    {specs::BoundedQueueAlg, "boundedqueue.alg"},
+    {specs::ListAlg, "list.alg"},
+    {specs::BstAlg, "bst.alg"},
+};
+
+void loadFamily(Workspace &WS, size_t Count) {
+  for (size_t I = 0; I != Count && I != std::size(Family); ++I)
+    (void)WS.load(Family[I].Text, Family[I].Name);
+}
+
+//===----------------------------------------------------------------------===//
+// 1. The ground sweep the certificate replaces
+//===----------------------------------------------------------------------===//
+
+void BM_CompletenessGroundSweep(benchmark::State &State) {
+  Workspace WS;
+  (void)WS.load(specs::QueueAlg, "queue.alg");
+  const Spec &Q = WS.specs()[0];
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    CompletenessReport Report = checkCompletenessDynamic(
+        WS.context(), Q, WS.specPointers(), Depth);
+    benchmark::DoNotOptimize(Report.SufficientlyComplete);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 2. The certified skip
+//===----------------------------------------------------------------------===//
+
+void BM_CompletenessCertified(benchmark::State &State) {
+  // The certificate is a once-per-workspace artifact; every check after
+  // that reuses it and skips the sweep. BM_ExhaustivenessCertify below
+  // prices the one-time certification this amortizes.
+  Workspace WS;
+  (void)WS.load(specs::QueueAlg, "queue.alg");
+  const Spec &Q = WS.specs()[0];
+  ExhaustivenessReport Cert = WS.exhaustiveness();
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    CompletenessReport Report = checkCompletenessDynamic(
+        WS.context(), Q, WS.specPointers(), Depth, EnumeratorOptions(),
+        ParallelOptions(), EngineOptions(), &Cert);
+    benchmark::DoNotOptimize(Report.SufficientlyComplete);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Certifier scaling with the rule count
+//===----------------------------------------------------------------------===//
+
+void BM_ExhaustivenessCertify(benchmark::State &State) {
+  Workspace WS;
+  loadFamily(WS, static_cast<size_t>(State.range(0)));
+  size_t Rules = 0;
+  for (const Spec &S : WS.specs())
+    Rules += S.axioms().size();
+  for (auto _ : State) {
+    ExhaustivenessReport Report = WS.exhaustiveness();
+    benchmark::DoNotOptimize(Report.Overall);
+  }
+  State.counters["axioms"] = static_cast<double>(Rules);
+}
+
+} // namespace
+
+BENCHMARK(BM_CompletenessGroundSweep)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CompletenessCertified)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExhaustivenessCertify)->Arg(1)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+ALGSPEC_BENCHMARK_MAIN()

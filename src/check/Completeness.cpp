@@ -9,247 +9,18 @@
 #include "ast/AlgebraContext.h"
 #include "ast/Spec.h"
 #include "ast/TermPrinter.h"
+#include "check/Exhaustiveness.h"
 #include "check/ReplicaWorker.h"
 #include "rewrite/Engine.h"
+#include "rewrite/PatternMatrix.h"
 #include "rewrite/RewriteSystem.h"
 
 #include <algorithm>
-#include <cctype>
 #include <limits>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 
 using namespace algspec;
-
-namespace {
-
-/// Pattern-matrix coverage analysis for one defined operation.
-///
-/// Rows are the argument patterns of the operation's axiom left-hand
-/// sides; the analysis searches for a constructor-term tuple no row
-/// matches, by column-wise case splitting (in the style of usefulness
-/// checking for ML pattern matching). The witness it returns is rendered
-/// as the left-hand side of the axiom the user still has to write.
-class CoverageAnalysis {
-public:
-  CoverageAnalysis(AlgebraContext &Ctx, CompletenessReport &Report)
-      : Ctx(Ctx), Report(Report) {}
-
-  /// Returns a witness tuple (terms over wildcard variables) that no row
-  /// matches, or nullopt when the matrix covers everything.
-  std::optional<std::vector<TermId>>
-  findUncovered(std::vector<std::vector<TermId>> Rows,
-                std::vector<SortId> Sorts);
-
-  /// One cached wildcard variable per sort, named after the sort so
-  /// prompts read like the paper's axioms (queue, item, symboltable...).
-  TermId wildcard(SortId Sort);
-
-private:
-  bool isVar(TermId Term) const {
-    return Ctx.node(Term).Kind == TermKind::Var;
-  }
-
-  AlgebraContext &Ctx;
-  CompletenessReport &Report;
-  std::unordered_map<SortId, TermId> Wildcards;
-};
-
-} // namespace
-
-TermId CoverageAnalysis::wildcard(SortId Sort) {
-  auto It = Wildcards.find(Sort);
-  if (It != Wildcards.end())
-    return It->second;
-  std::string Name(Ctx.sortName(Sort));
-  for (char &C : Name)
-    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-  TermId Var = Ctx.makeVar(Ctx.addVar(Name, Sort));
-  Wildcards.emplace(Sort, Var);
-  return Var;
-}
-
-std::optional<std::vector<TermId>>
-CoverageAnalysis::findUncovered(std::vector<std::vector<TermId>> Rows,
-                                std::vector<SortId> Sorts) {
-  // No rows: everything is uncovered; the all-wildcards tuple witnesses it.
-  if (Rows.empty()) {
-    std::vector<TermId> Witness;
-    Witness.reserve(Sorts.size());
-    for (SortId Sort : Sorts)
-      Witness.push_back(wildcard(Sort));
-    return Witness;
-  }
-
-  // A row of variables matches every tuple.
-  for (const auto &Row : Rows)
-    if (std::all_of(Row.begin(), Row.end(),
-                    [&](TermId P) { return isVar(P); }))
-      return std::nullopt;
-
-  // Pick the first column with a non-variable pattern and case-split on it.
-  size_t Col = 0;
-  while (Col < Sorts.size()) {
-    bool HasNonVar = false;
-    for (const auto &Row : Rows)
-      if (!isVar(Row[Col])) {
-        HasNonVar = true;
-        break;
-      }
-    if (HasNonVar)
-      break;
-    ++Col;
-  }
-  assert(Col < Sorts.size() && "non-wildcard row must have a pattern");
-
-  SortId ColSort = Sorts[Col];
-  const SortInfo &ColInfo = Ctx.sort(ColSort);
-
-  // Helper: the matrix with column Col fixed and (optionally) replaced by
-  // expansion columns; returns the witness with the column re-wrapped.
-  auto specializeByConstructor =
-      [&](OpId Ctor) -> std::optional<std::vector<TermId>> {
-    const OpInfo &CtorInfo = Ctx.op(Ctor);
-    std::vector<std::vector<TermId>> NewRows;
-    for (const auto &Row : Rows) {
-      TermId Pat = Row[Col];
-      std::vector<TermId> NewRow;
-      if (isVar(Pat)) {
-        NewRow = Row;
-        NewRow.erase(NewRow.begin() + Col);
-        for (SortId ArgSort : CtorInfo.ArgSorts)
-          NewRow.push_back(wildcard(ArgSort));
-        NewRows.push_back(std::move(NewRow));
-        continue;
-      }
-      const TermNode &PatNode = Ctx.node(Pat);
-      if (PatNode.Kind != TermKind::Op || PatNode.Op != Ctor)
-        continue; // Other constructor: row cannot match this case.
-      NewRow = Row;
-      NewRow.erase(NewRow.begin() + Col);
-      for (TermId Child : Ctx.children(Pat))
-        NewRow.push_back(Child);
-      NewRows.push_back(std::move(NewRow));
-    }
-    std::vector<SortId> NewSorts = Sorts;
-    NewSorts.erase(NewSorts.begin() + Col);
-    for (SortId ArgSort : CtorInfo.ArgSorts)
-      NewSorts.push_back(ArgSort);
-
-    auto Sub = findUncovered(std::move(NewRows), std::move(NewSorts));
-    if (!Sub)
-      return std::nullopt;
-    // Reassemble: the expansion columns sit at the tail of the witness.
-    size_t Arity = CtorInfo.arity();
-    std::vector<TermId> CtorArgs(Sub->end() - Arity, Sub->end());
-    Sub->resize(Sub->size() - Arity);
-    TermId Wrapped = Ctx.makeOp(Ctor, CtorArgs);
-    Sub->insert(Sub->begin() + Col, Wrapped);
-    return Sub;
-  };
-
-  if (ColInfo.Kind == SortKind::User || ColInfo.Kind == SortKind::Bool) {
-    std::vector<OpId> Ctors = Ctx.constructorsOf(ColSort);
-    if (Ctors.empty()) {
-      Report.Caveats.push_back("sort '" + std::string(Ctx.sortName(ColSort)) +
-                               "' has no constructors; coverage over it "
-                               "cannot be decided");
-      return std::nullopt;
-    }
-    for (OpId Ctor : Ctors)
-      if (auto Witness = specializeByConstructor(Ctor))
-        return Witness;
-    return std::nullopt;
-  }
-
-  // Literal-inhabited sorts (Atom, Int): case-split on each literal
-  // appearing in the column, plus the "any other literal" case, which
-  // only variable rows can cover.
-  std::vector<TermId> Literals;
-  for (const auto &Row : Rows) {
-    TermId Pat = Row[Col];
-    if (!isVar(Pat) &&
-        std::find(Literals.begin(), Literals.end(), Pat) == Literals.end())
-      Literals.push_back(Pat);
-  }
-
-  auto specializeByLiteral =
-      [&](std::optional<TermId> Literal) -> std::optional<std::vector<TermId>> {
-    std::vector<std::vector<TermId>> NewRows;
-    for (const auto &Row : Rows) {
-      TermId Pat = Row[Col];
-      bool Matches = isVar(Pat) || (Literal && Pat == *Literal);
-      if (!Matches)
-        continue;
-      std::vector<TermId> NewRow = Row;
-      NewRow.erase(NewRow.begin() + Col);
-      NewRows.push_back(std::move(NewRow));
-    }
-    std::vector<SortId> NewSorts = Sorts;
-    NewSorts.erase(NewSorts.begin() + Col);
-    auto Sub = findUncovered(std::move(NewRows), std::move(NewSorts));
-    if (!Sub)
-      return std::nullopt;
-    Sub->insert(Sub->begin() + Col,
-                Literal ? *Literal : wildcard(ColSort));
-    return Sub;
-  };
-
-  for (TermId Literal : Literals)
-    if (auto Witness = specializeByLiteral(Literal))
-      return Witness;
-  return specializeByLiteral(std::nullopt);
-}
-
-//===----------------------------------------------------------------------===//
-// Pattern validation
-//===----------------------------------------------------------------------===//
-
-/// True when \p Pattern consists only of constructors, literals, and
-/// variables — the shape the coverage analysis can case-split on.
-static bool isConstructorPattern(const AlgebraContext &Ctx, TermId Pattern) {
-  const TermNode &Node = Ctx.node(Pattern);
-  switch (Node.Kind) {
-  case TermKind::Var:
-  case TermKind::Atom:
-  case TermKind::Int:
-    return true;
-  case TermKind::Error:
-    return false; // error never appears in a meaningful LHS.
-  case TermKind::Op: {
-    if (!Ctx.op(Node.Op).isConstructor())
-      return false;
-    for (TermId Child : Ctx.children(Pattern))
-      if (!isConstructorPattern(Ctx, Child))
-        return false;
-    return true;
-  }
-  }
-  return false;
-}
-
-/// True when some variable occurs twice in the row (non-linear pattern);
-/// coverage analysis treats variables as independent wildcards, which
-/// over-approximates what a non-linear row matches.
-static bool isNonLinearRow(const AlgebraContext &Ctx,
-                           const std::vector<TermId> &Row) {
-  std::unordered_set<VarId> Seen;
-  bool NonLinear = false;
-  auto Walk = [&](auto &&Self, TermId Term) -> void {
-    const TermNode &Node = Ctx.node(Term);
-    if (Node.Kind == TermKind::Var) {
-      if (!Seen.insert(Node.Var).second)
-        NonLinear = true;
-      return;
-    }
-    for (TermId Child : Ctx.children(Term))
-      Self(Self, Child);
-  };
-  for (TermId Pattern : Row)
-    Walk(Walk, Pattern);
-  return NonLinear;
-}
 
 /// Pins the reported order: by operation id, then by the rendered
 /// suggested left-hand side. The enumeration order that produced the
@@ -293,23 +64,23 @@ std::string CompletenessReport::renderPrompt(const AlgebraContext &Ctx) const {
 CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
                                               const Spec &S) {
   CompletenessReport Report;
-  CoverageAnalysis Analysis(Ctx, Report);
+  PatternMatrix Matrix(Ctx);
 
   for (OpId Op : S.definedOps(Ctx)) {
     const OpInfo &Info = Ctx.op(Op);
 
     // Gather this operation's axiom rows.
-    std::vector<std::vector<TermId>> Rows;
+    std::vector<PatternMatrix::Row> Rows;
     for (const Axiom &Ax : S.axioms()) {
       const TermNode &LhsNode = Ctx.node(Ax.Lhs);
       if (LhsNode.Kind != TermKind::Op || LhsNode.Op != Op)
         continue;
       auto Args = Ctx.children(Ax.Lhs);
-      std::vector<TermId> Row(Args.begin(), Args.end());
+      PatternMatrix::Row Row(Args.begin(), Args.end());
 
       bool Usable = true;
       for (TermId Pattern : Row)
-        if (!isConstructorPattern(Ctx, Pattern)) {
+        if (!PatternMatrix::isConstructorPattern(Ctx, Pattern)) {
           Report.Caveats.push_back(
               "axiom " + std::to_string(Ax.Number) + " of '" + S.name() +
               "' has a non-constructor pattern in its left-hand side; it "
@@ -317,7 +88,7 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
           Usable = false;
           break;
         }
-      if (Usable && isNonLinearRow(Ctx, Row))
+      if (Usable && !PatternMatrix::isLinearRow(Ctx, Row))
         Report.Caveats.push_back(
             "axiom " + std::to_string(Ax.Number) + " of '" + S.name() +
             "' repeats a variable in its left-hand side; coverage is "
@@ -326,13 +97,17 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
         Rows.push_back(std::move(Row));
     }
 
-    auto Witness =
-        Analysis.findUncovered(std::move(Rows), Info.ArgSorts);
-    if (!Witness)
+    PatternMatrix::Coverage Cov =
+        Matrix.findUncovered(std::move(Rows), Info.ArgSorts);
+    for (SortId Blocked : Cov.BlockedSorts)
+      Report.Caveats.push_back("sort '" +
+                               std::string(Ctx.sortName(Blocked)) +
+                               "' has no constructors; coverage over it "
+                               "cannot be decided");
+    if (!Cov.Witness)
       continue;
     Report.SufficientlyComplete = false;
-    Report.Missing.push_back(
-        MissingCase{Op, Ctx.makeOp(Op, *Witness)});
+    Report.Missing.push_back(MissingCase{Op, Ctx.makeOp(Op, *Cov.Witness)});
   }
   sortMissingCases(Ctx, Report.Missing);
   return Report;
@@ -341,8 +116,23 @@ CompletenessReport algspec::checkCompleteness(AlgebraContext &Ctx,
 CompletenessReport algspec::checkCompletenessDynamic(
     AlgebraContext &Ctx, const Spec &S,
     const std::vector<const Spec *> &AllSpecs, unsigned MaxDepth,
-    EnumeratorOptions EnumOptions, ParallelOptions Par, EngineOptions Eng) {
+    EnumeratorOptions EnumOptions, ParallelOptions Par, EngineOptions Eng,
+    const ExhaustivenessReport *Certificate) {
   CompletenessReport Report;
+
+  // A covering static certificate proves every constructor-ground
+  // application normalizes to a constructor-ground normal form, which is
+  // exactly what the bounded sweep refutes case by case — so the sweep
+  // is skipped outright. (The skipped path naturally omits the sweep's
+  // truncation and nullary caveats; its findings — the missing cases —
+  // are identical: there are none.)
+  if (Certificate && Certificate->coversSpec(S.name())) {
+    Report.ProvenBy =
+        "static exhaustiveness certificate: every defined operation in "
+        "the rule closure is constructor-case covered, guards decide, "
+        "and termination is proved";
+    return Report;
+  }
 
   DiagnosticEngine Diags;
   RewriteSystem System = RewriteSystem::build(Ctx, AllSpecs, Diags);
@@ -354,6 +144,43 @@ CompletenessReport algspec::checkCompletenessDynamic(
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
   std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
       makeReplicaDriver(Par, Ctx, AllSpecs, Eng);
+
+  // Witness minimization: a stuck application found by the sweep is a
+  // first-found deep ground term; generalizing it against the
+  // operation's rule rows yields the smallest constructor skeleton that
+  // is still uncovered — the same shape the static analysis reports.
+  // Gated on every argument sort being freely generated (over non-free
+  // sorts a wildcard would claim unreachable instances); rows include
+  // every rule's patterns, constructor-shaped or not, since syntactic
+  // matching against a constructor-ground tuple is exact either way.
+  PatternMatrix Matrix(Ctx);
+  std::optional<std::vector<bool>> FreeSorts;
+  struct MinimizeInfo {
+    bool Usable = true;
+    std::vector<PatternMatrix::Row> Rows;
+  };
+  std::unordered_map<OpId, MinimizeInfo> MinimizeCache;
+  auto minimizeCase = [&](OpId Op, TermId Application) -> TermId {
+    auto It = MinimizeCache.find(Op);
+    if (It == MinimizeCache.end()) {
+      if (!FreeSorts)
+        FreeSorts = computeFreeSorts(Ctx, System);
+      MinimizeInfo MI;
+      for (SortId Arg : Ctx.op(Op).ArgSorts)
+        MI.Usable &= (*FreeSorts)[Arg.index()];
+      if (MI.Usable)
+        for (const Rule &R : System.rulesFor(Op)) {
+          auto Span = Ctx.children(R.Lhs);
+          MI.Rows.emplace_back(Span.begin(), Span.end());
+        }
+      It = MinimizeCache.emplace(Op, std::move(MI)).first;
+    }
+    if (!It->second.Usable)
+      return Application;
+    auto Span = Ctx.children(Application);
+    PatternMatrix::Row Ground(Span.begin(), Span.end());
+    return Ctx.makeOp(Op, Matrix.generalize(It->second.Rows, Ground));
+  };
 
   for (OpId Op : S.definedOps(Ctx)) {
     const OpInfo &Info = Ctx.op(Op);
@@ -406,7 +233,7 @@ CompletenessReport algspec::checkCompletenessDynamic(
                                  " failed: " + Normal.error().message());
       } else if (Engine.isStuck(*Normal)) {
         Report.SufficientlyComplete = false;
-        Report.Missing.emplace_back(Op, Application);
+        Report.Missing.emplace_back(Op, minimizeCase(Op, Application));
       }
     };
 
@@ -472,5 +299,15 @@ CompletenessReport algspec::checkCompletenessDynamic(
       if (W->Engine)
         Report.Engine += W->Engine->stats();
   sortMissingCases(Ctx, Report.Missing);
+  // Minimization can collapse several deep witnesses of one hole onto
+  // the same skeleton; hash-consing (plus the shared per-sort wildcard
+  // cache) makes equal skeletons id-equal, so adjacent dedup suffices
+  // after the sort above.
+  Report.Missing.erase(
+      std::unique(Report.Missing.begin(), Report.Missing.end(),
+                  [](const MissingCase &A, const MissingCase &B) {
+                    return A.Op == B.Op && A.SuggestedLhs == B.SuggestedLhs;
+                  }),
+      Report.Missing.end());
   return Report;
 }

@@ -43,6 +43,7 @@ namespace algspec {
 
 class AlgebraContext;
 class Spec;
+struct ExhaustivenessReport;
 
 /// One uncovered case: the suggested left-hand side contains fresh
 /// variables for the parts the axioms may bind freely.
@@ -63,6 +64,10 @@ struct CompletenessReport {
   /// not deterministic across worker counts (memo behaviour depends on
   /// how the sweep is chunked); the static check leaves them zero.
   EngineStats Engine;
+  /// Non-empty when the dynamic ground sweep was skipped because a
+  /// static exhaustiveness certificate already proves the verdict;
+  /// names the proof. The sweep's counters stay zero in that case.
+  std::string ProvenBy;
 
   /// Renders the paper-style prompt: one "please supply an axiom for ..."
   /// line per missing case.
@@ -86,13 +91,21 @@ CompletenessReport checkCompleteness(AlgebraContext &Ctx, const Spec &S);
 ///
 /// \p Eng configures the rewrite engines (main and worker replicas) —
 /// notably EngineOptions::Compile, the compiled-vs-interpreted knob.
+///
+/// With a \p Certificate whose verdict covers \p S (see
+/// check/Exhaustiveness.h), the ground sweep is skipped outright: the
+/// certificate proves what the sweep could only fail to refute, and the
+/// report says so in \c ProvenBy. Findings are byte-identical to the
+/// unskipped sweep (both are empty); the sweep-specific truncation and
+/// nullary caveats and engine counters are naturally absent.
 CompletenessReport
 checkCompletenessDynamic(AlgebraContext &Ctx, const Spec &S,
                          const std::vector<const Spec *> &AllSpecs,
                          unsigned MaxDepth,
                          EnumeratorOptions EnumOptions = EnumeratorOptions(),
                          ParallelOptions Par = ParallelOptions(),
-                         EngineOptions Eng = EngineOptions());
+                         EngineOptions Eng = EngineOptions(),
+                         const ExhaustivenessReport *Certificate = nullptr);
 
 } // namespace algspec
 

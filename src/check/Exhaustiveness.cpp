@@ -1,0 +1,769 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Exhaustiveness.h"
+
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "ast/TermPrinter.h"
+#include "check/Lint.h"
+#include "rewrite/PatternMatrix.h"
+#include "rewrite/RewriteSystem.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace algspec;
+
+std::string_view algspec::coverageVerdictName(CoverageVerdict V) {
+  switch (V) {
+  case CoverageVerdict::Complete:
+    return "complete";
+  case CoverageVerdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Term and closure helpers (shared shapes with the convergence certifier)
+//===----------------------------------------------------------------------===//
+
+static void collectOpsInTerm(const AlgebraContext &Ctx, TermId Term,
+                             std::unordered_set<OpId> &Out) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Op)
+    Out.insert(Node.Op);
+  for (TermId Child : Ctx.children(Term))
+    collectOpsInTerm(Ctx, Child, Out);
+}
+
+static SourceLoc axiomLoc(const Spec *S, unsigned AxiomNumber) {
+  if (!S || AxiomNumber == 0 || AxiomNumber > S->axioms().size())
+    return SourceLoc();
+  return S->axioms()[AxiomNumber - 1].Loc;
+}
+
+namespace {
+/// Head index over one rule set, for closure computation.
+struct RuleIndexes {
+  /// Rule index -> every operation its sides mention (head included).
+  std::vector<std::vector<OpId>> RuleOps;
+  /// Head op -> rule indices.
+  std::unordered_map<OpId, std::vector<size_t>> RulesByHead;
+};
+} // namespace
+
+static RuleIndexes indexRules(const AlgebraContext &Ctx,
+                              const std::vector<Rule> &Rules) {
+  RuleIndexes A;
+  A.RuleOps.resize(Rules.size());
+  for (size_t I = 0; I != Rules.size(); ++I) {
+    const Rule &R = Rules[I];
+    std::unordered_set<OpId> Ops;
+    collectOpsInTerm(Ctx, R.Lhs, Ops);
+    collectOpsInTerm(Ctx, R.Rhs, Ops);
+    A.RuleOps[I].assign(Ops.begin(), Ops.end());
+    A.RulesByHead[R.HeadOp].push_back(I);
+  }
+  return A;
+}
+
+/// The indices of every rule reachable from \p Seeds (a rule is relevant
+/// when its head operation is mentioned by a seed or by another relevant
+/// rule's sides) plus every operation seen along the way. Both outputs
+/// are sorted for determinism.
+static void ruleClosure(const RuleIndexes &A, std::vector<OpId> Seeds,
+                        std::vector<size_t> &RuleIndices,
+                        std::vector<OpId> &OpsSeen) {
+  std::unordered_set<OpId> SeenOps(Seeds.begin(), Seeds.end());
+  std::vector<OpId> Work(Seeds.begin(), Seeds.end());
+  std::unordered_set<size_t> InSet;
+  while (!Work.empty()) {
+    OpId Op = Work.back();
+    Work.pop_back();
+    auto It = A.RulesByHead.find(Op);
+    if (It == A.RulesByHead.end())
+      continue;
+    for (size_t RI : It->second) {
+      if (!InSet.insert(RI).second)
+        continue;
+      for (OpId Next : A.RuleOps[RI])
+        if (SeenOps.insert(Next).second)
+          Work.push_back(Next);
+    }
+  }
+  RuleIndices.assign(InSet.begin(), InSet.end());
+  std::sort(RuleIndices.begin(), RuleIndices.end());
+  OpsSeen.assign(SeenOps.begin(), SeenOps.end());
+  std::sort(OpsSeen.begin(), OpsSeen.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Guard decidability
+//===----------------------------------------------------------------------===//
+
+/// The argument sort of the first SAME application in \p Term whose
+/// compared sort is not freely generated (invalid when there is none).
+/// On constructor-ground arguments every other SAME decides natively, so
+/// these are the only guards that can strand an if-then-else in a normal
+/// form.
+static SortId findUndecidedSame(const AlgebraContext &Ctx,
+                                const std::vector<bool> &FreeSorts,
+                                TermId Term) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Op &&
+      Ctx.op(Node.Op).Builtin == BuiltinOp::Same) {
+    SortId Arg = Ctx.sortOf(Ctx.children(Term)[0]);
+    if (Arg.index() >= FreeSorts.size() || !FreeSorts[Arg.index()])
+      return Arg;
+  }
+  for (TermId Child : Ctx.children(Term)) {
+    SortId Found = findUndecidedSame(Ctx, FreeSorts, Child);
+    if (Found.isValid())
+      return Found;
+  }
+  return SortId();
+}
+
+// The split-condition search and condition substitution mirror
+// GuardJoiner's private helpers (check/Convergence.cpp): the probe needs
+// the same notion of an undecided guard and the same SAME-symmetric
+// replacement.
+
+static TermId findSplitCondition(const AlgebraContext &Ctx, TermId Term) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind != TermKind::Op)
+    return TermId();
+  if (Ctx.op(Node.Op).Builtin == BuiltinOp::Ite) {
+    // A surviving if-then-else has an undecided condition (a decided one
+    // would have selected its branch during normalization). Prefer a
+    // split nested inside the condition itself: it is smaller.
+    TermId Cond = Ctx.children(Term)[0];
+    TermId Inner = findSplitCondition(Ctx, Cond);
+    return Inner.isValid() ? Inner : Cond;
+  }
+  for (TermId Child : Ctx.children(Term)) {
+    TermId Found = findSplitCondition(Ctx, Child);
+    if (Found.isValid())
+      return Found;
+  }
+  return TermId();
+}
+
+static TermId replaceCondition(AlgebraContext &Ctx, TermId Term, TermId Cond,
+                               TermId Value) {
+  // A SAME guard is symmetric; replace the argument-swapped twin too.
+  TermId Swapped;
+  const TermNode &CondNode = Ctx.node(Cond);
+  if (CondNode.Kind == TermKind::Op &&
+      Ctx.op(CondNode.Op).Builtin == BuiltinOp::Same) {
+    auto Args = Ctx.children(Cond);
+    TermId A0 = Args[0], A1 = Args[1];
+    if (A0 != A1)
+      Swapped = Ctx.makeOp(CondNode.Op, {A1, A0});
+  }
+  auto Rec = [&](auto &&Self, TermId T) -> TermId {
+    if (T == Cond || (Swapped.isValid() && T == Swapped))
+      return Value;
+    const TermNode &Node = Ctx.node(T);
+    if (Node.Kind != TermKind::Op)
+      return T;
+    auto Span = Ctx.children(T);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    bool Changed = false;
+    for (TermId &Child : Children) {
+      TermId New = Self(Self, Child);
+      Changed |= New != Child;
+      Child = New;
+    }
+    // makeOp re-applies structural error strictness, so substituting
+    // error for a condition collapses the enclosing if-then-else.
+    return Changed ? Ctx.makeOp(Node.Op, Children) : T;
+  };
+  return Rec(Rec, Term);
+}
+
+namespace {
+
+/// Layer-2 guard analysis: symbolically probes the right-hand sides the
+/// syntactic scan flagged (those mentioning SAME over a non-free sort),
+/// normalizing each and case-splitting surviving if-then-else guards
+/// into true/false/error branches. A rule is decided when every branch
+/// bottoms out in a normal form with no undecided SAME left.
+///
+/// The probe abstracts a rule's instances by its open right-hand side,
+/// which is faithful only when the engine's rule choice is
+/// instance-independent — so it is accepted only for rule sets whose
+/// rules are pairwise non-overlapping per head operation. Results are
+/// memoized per rule and per head across the per-spec closures.
+class GuardProber {
+public:
+  GuardProber(AlgebraContext &Ctx, const RewriteSystem &System,
+              const std::vector<bool> &FreeSorts, PatternMatrix &Matrix,
+              const ExhaustivenessOptions &Options)
+      : Ctx(Ctx), System(System), FreeSorts(FreeSorts), Matrix(Matrix),
+        Options(Options) {}
+
+  /// True when the rules for \p Op are all constructor-pattern rows and
+  /// pairwise non-overlapping (a non-usable row is conservatively
+  /// treated as overlapping everything).
+  bool headOverlapFree(OpId Op) {
+    auto It = OverlapFree.find(Op);
+    if (It != OverlapFree.end())
+      return It->second;
+    bool Free = true;
+    std::vector<PatternMatrix::Row> Rows;
+    for (const Rule &R : System.rulesFor(Op)) {
+      auto Span = Ctx.children(R.Lhs);
+      PatternMatrix::Row Row(Span.begin(), Span.end());
+      for (TermId P : Row)
+        Free &= PatternMatrix::isConstructorPattern(Ctx, P);
+      Rows.push_back(std::move(Row));
+    }
+    for (size_t I = 0; Free && I != Rows.size(); ++I)
+      for (size_t J = I + 1; Free && J != Rows.size(); ++J)
+        Free &= !Matrix.rowOverlaps(Rows[I], Rows[J]);
+    OverlapFree.emplace(Op, Free);
+    return Free;
+  }
+
+  /// Probes rule \p RuleIdx's right-hand side; empty string when every
+  /// guard decides, the obstruction otherwise. Memoized.
+  std::string probeRhs(size_t RuleIdx) {
+    auto It = RuleResult.find(RuleIdx);
+    if (It != RuleResult.end())
+      return It->second;
+    std::string Out = probeTerm(System.rules()[RuleIdx].Rhs, 0);
+    RuleResult.emplace(RuleIdx, Out);
+    return Out;
+  }
+
+private:
+  std::string probeTerm(TermId Term, unsigned Depth) {
+    if (!Probe) {
+      // A tight probe budget: an unprovable (possibly divergent) rule
+      // set must not stall certification — an unfinished normalization
+      // just leaves its guards undecided.
+      EngineOptions EO = Options.Engine;
+      EO.MaxSteps = std::min<uint64_t>(EO.MaxSteps, 4096);
+      EO.MaxDepth = std::min<unsigned>(EO.MaxDepth, 512);
+      EO.KeepTrace = false;
+      Probe = std::make_unique<RewriteEngine>(Ctx, System, EO);
+    }
+    Result<TermId> Normal = Probe->normalize(Term);
+    if (!Normal)
+      return "the guard probe ran out of fuel";
+    TermId NF = *Normal;
+    TermId Cond = findSplitCondition(Ctx, NF);
+    if (!Cond.isValid()) {
+      SortId Bad = findUndecidedSame(Ctx, FreeSorts, NF);
+      if (Bad.isValid())
+        return "a SAME comparison over non-free sort '" +
+               std::string(Ctx.sortName(Bad)) +
+               "' survives in a normal form and may not decide";
+      return std::string();
+    }
+    if (Depth >= Options.MaxCaseSplits)
+      return "the guard case-split budget was exhausted";
+    // Splitting assumes the condition denotes a value; a condition that
+    // itself compares non-free values with SAME may denote none.
+    SortId BadCond = findUndecidedSame(Ctx, FreeSorts, Cond);
+    if (BadCond.isValid())
+      return "an if-then-else guard compares values of non-free sort '" +
+             std::string(Ctx.sortName(BadCond)) +
+             "' with SAME, which may not decide";
+    TermId Branches[3] = {Ctx.trueTerm(), Ctx.falseTerm(),
+                          Ctx.makeError(Ctx.sortOf(Cond))};
+    for (TermId Value : Branches) {
+      std::string Sub =
+          probeTerm(replaceCondition(Ctx, NF, Cond, Value), Depth + 1);
+      if (!Sub.empty())
+        return Sub;
+    }
+    return std::string();
+  }
+
+  AlgebraContext &Ctx;
+  const RewriteSystem &System;
+  const std::vector<bool> &FreeSorts;
+  PatternMatrix &Matrix;
+  const ExhaustivenessOptions &Options;
+  std::unique_ptr<RewriteEngine> Probe;
+  std::unordered_map<OpId, bool> OverlapFree;
+  /// Rule index -> obstruction (empty = every guard decides).
+  std::unordered_map<size_t, std::string> RuleResult;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Report accessors and rendering
+//===----------------------------------------------------------------------===//
+
+const SpecExhaustiveness *
+ExhaustivenessReport::specVerdict(std::string_view SpecName) const {
+  for (const SpecExhaustiveness &SE : PerSpec)
+    if (SE.SpecName == SpecName)
+      return &SE;
+  return nullptr;
+}
+
+const OpExhaustiveness *ExhaustivenessReport::opVerdict(OpId Op) const {
+  for (const OpExhaustiveness &OE : PerOp)
+    if (OE.Op == Op)
+      return &OE;
+  return nullptr;
+}
+
+std::string ExhaustivenessReport::render(const AlgebraContext &Ctx) const {
+  std::string Out;
+  for (const SpecExhaustiveness &SE : PerSpec) {
+    Out += "completeness of '" + SE.SpecName + "': ";
+    if (SE.Verdict == CoverageVerdict::Complete)
+      Out += "complete (" + std::to_string(SE.ClosureOps) + " operation" +
+             (SE.ClosureOps == 1 ? "" : "s") + " certified exhaustive)";
+    else
+      Out += "unknown — " + SE.Obstruction;
+    Out += '\n';
+  }
+  for (const OpExhaustiveness &OE : PerOp)
+    if (OE.Witness.isValid())
+      Out += "uncovered case in '" + OE.SpecName +
+             "': please supply an axiom for " + printTerm(Ctx, OE.Witness) +
+             "\n";
+  for (const ShadowedAxiom &SA : Shadowed) {
+    Out += "dead axiom: axiom " + std::to_string(SA.AxiomNumber) + " of '" +
+           SA.SpecName +
+           "' can never apply to constructor-ground arguments (shadowed by ";
+    for (size_t I = 0; I != SA.ShadowedBy.size(); ++I)
+      Out += (I ? ", " : "") + SA.ShadowedBy[I];
+    Out += "; first matching rule wins)\n";
+  }
+  for (const std::string &Caveat : Caveats) {
+    Out += "note: ";
+    Out += Caveat;
+    Out += '\n';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Certification
+//===----------------------------------------------------------------------===//
+
+ExhaustivenessReport
+algspec::certifyExhaustiveness(AlgebraContext &Ctx,
+                               const std::vector<const Spec *> &Specs,
+                               const ExhaustivenessOptions &Options) {
+  ExhaustivenessReport Report;
+
+  DiagnosticEngine Diags;
+  RewriteSystem System = RewriteSystem::build(Ctx, Specs, Diags);
+  bool OrientationSkipped = Diags.hasErrors();
+  if (OrientationSkipped)
+    Report.Caveats.push_back(
+        "some axioms could not be oriented into rules and were skipped; "
+        "no completeness certificate is claimed");
+  Report.Termination = proveTermination(Ctx, Specs);
+
+  const std::vector<Rule> &Rules = System.rules();
+  RuleIndexes Index = indexRules(Ctx, Rules);
+  std::vector<bool> FreeSorts = computeFreeSorts(Ctx, System);
+  PatternMatrix Matrix(Ctx);
+  GuardProber Prober(Ctx, System, FreeSorts, Matrix, Options);
+
+  std::unordered_map<std::string_view, const Spec *> SpecByName;
+  for (const Spec *S : Specs)
+    SpecByName.emplace(S->name(), S);
+
+  // Per-row facts for one operation's rule list.
+  struct RowInfo {
+    PatternMatrix::Row Row;
+    bool Usable = true; ///< Constructor patterns only.
+    bool Linear = true; ///< No repeated variable.
+    const Rule *R = nullptr;
+  };
+  auto gatherRows = [&](OpId Op) {
+    std::vector<RowInfo> Out;
+    for (const Rule &R : System.rulesFor(Op)) {
+      auto Span = Ctx.children(R.Lhs);
+      RowInfo RI;
+      RI.Row.assign(Span.begin(), Span.end());
+      for (TermId P : RI.Row)
+        RI.Usable &= PatternMatrix::isConstructorPattern(Ctx, P);
+      RI.Linear = PatternMatrix::isLinearRow(Ctx, RI.Row);
+      RI.R = &R;
+      Out.push_back(std::move(RI));
+    }
+    return Out;
+  };
+
+  // Sets the witness (when trustworthy: every argument sort freely
+  // generated, so the uncovered tuple is a reachable value) or names the
+  // non-free sort that makes it untrustworthy.
+  auto claimWitness = [&](OpExhaustiveness &OE,
+                          const PatternMatrix::Row &Witness) {
+    TermId Wrapped = Ctx.makeOp(OE.Op, Witness);
+    for (SortId Arg : Ctx.op(OE.Op).ArgSorts)
+      if (!FreeSorts[Arg.index()]) {
+        OE.Obstruction = "sort '" + std::string(Ctx.sortName(Arg)) +
+                         "' is not freely generated (a rule rewrites its "
+                         "constructors), so the uncovered pattern " +
+                         printTerm(Ctx, Wrapped) + " may be unreachable";
+        return;
+      }
+    OE.Witness = Wrapped;
+    OE.Obstruction = "no axiom covers " + printTerm(Ctx, Wrapped);
+  };
+
+  for (const Spec *S : Specs) {
+    for (OpId Op : S->definedOps(Ctx)) {
+      OpExhaustiveness OE;
+      OE.SpecName = S->name();
+      OE.Op = Op;
+      std::vector<RowInfo> Rows = gatherRows(Op);
+      OE.Rules = static_cast<unsigned>(Rows.size());
+
+      // Under-approximation: linear constructor rows only. Dropping a
+      // non-linear row can only shrink coverage, so a "covered" verdict
+      // here is sound; the linearized over-approximation below is only
+      // consulted to locate a witness.
+      std::vector<PatternMatrix::Row> Under, Over;
+      for (const RowInfo &RI : Rows) {
+        if (!RI.Usable)
+          continue;
+        Over.push_back(RI.Row);
+        if (RI.Linear)
+          Under.push_back(RI.Row);
+      }
+      OE.MatrixRows = static_cast<unsigned>(Under.size());
+      std::vector<SortId> Sorts(Ctx.op(Op).ArgSorts);
+
+      PatternMatrix::Coverage Cov = Matrix.findUncovered(Under, Sorts);
+      if (!Cov.BlockedSorts.empty()) {
+        OE.Obstruction =
+            "sort '" + std::string(Ctx.sortName(Cov.BlockedSorts.front())) +
+            "' has no constructors; constructor-case coverage over it "
+            "cannot be decided";
+      } else if (!Cov.Witness) {
+        OE.Verdict = CoverageVerdict::Complete;
+        for (const RowInfo &RI : Rows)
+          if (RI.Usable && RI.Linear)
+            OE.RowsUsed.push_back(
+                {RI.R->SpecName, RI.R->AxiomNumber, RI.R->Lhs});
+      } else if (auto It = std::find_if(Rows.begin(), Rows.end(),
+                                        [](const RowInfo &RI) {
+                                          return !RI.Usable;
+                                        });
+                 It != Rows.end()) {
+        OE.Obstruction = "axiom " + std::to_string(It->R->AxiomNumber) +
+                         " of '" + It->R->SpecName +
+                         "' has a non-constructor left-hand-side pattern, "
+                         "so constructor-case coverage cannot be decided";
+      } else if (Over.size() != Under.size()) {
+        // Non-linear rows were dropped; ask the linearized
+        // over-approximation whether the hole is real.
+        PatternMatrix::Coverage OverCov = Matrix.findUncovered(Over, Sorts);
+        if (!OverCov.BlockedSorts.empty()) {
+          OE.Obstruction =
+              "sort '" +
+              std::string(Ctx.sortName(OverCov.BlockedSorts.front())) +
+              "' has no constructors; constructor-case coverage over it "
+              "cannot be decided";
+        } else if (OverCov.Witness) {
+          // Uncovered even if the repeated variables matched freely: a
+          // genuine hole.
+          claimWitness(OE, *OverCov.Witness);
+        } else {
+          auto NL = std::find_if(Rows.begin(), Rows.end(),
+                                 [](const RowInfo &RI) {
+                                   return !RI.Linear;
+                                 });
+          OE.Obstruction =
+              "axiom " + std::to_string(NL->R->AxiomNumber) + " of '" +
+              NL->R->SpecName +
+              "' repeats a variable in its left-hand side; coverage sits "
+              "between the linear under-approximation and the linearized "
+              "over-approximation";
+        }
+      } else {
+        claimWitness(OE, *Cov.Witness);
+      }
+      Report.PerOp.push_back(std::move(OE));
+
+      // Dead-axiom analysis: a usable row useless relative to the
+      // trusted rows above it can never apply to constructor-ground
+      // arguments (open or stuck-subterm instances may still reach it,
+      // which is why the claim is restricted).
+      for (size_t K = 0; K != Rows.size(); ++K) {
+        if (!Rows[K].Usable)
+          continue;
+        std::vector<PatternMatrix::Row> Earlier;
+        std::vector<const Rule *> EarlierRules;
+        for (size_t I = 0; I != K; ++I)
+          if (Rows[I].Usable && Rows[I].Linear) {
+            Earlier.push_back(Rows[I].Row);
+            EarlierRules.push_back(Rows[I].R);
+          }
+        if (Earlier.empty())
+          continue;
+        if (Matrix.isUseful(Earlier, Rows[K].Row, Sorts))
+          continue;
+        const Rule *Dead = Rows[K].R;
+        auto SpecIt = SpecByName.find(Dead->SpecName);
+        ShadowedAxiom SA;
+        SA.SpecName = Dead->SpecName;
+        SA.AxiomNumber = Dead->AxiomNumber;
+        SA.Loc = axiomLoc(
+            SpecIt == SpecByName.end() ? nullptr : SpecIt->second,
+            Dead->AxiomNumber);
+        SA.Op = Op;
+        for (size_t I = 0; I != Earlier.size(); ++I)
+          if (Matrix.rowOverlaps(Earlier[I], Rows[K].Row))
+            SA.ShadowedBy.push_back(
+                "axiom " + std::to_string(EarlierRules[I]->AxiomNumber) +
+                " of '" + EarlierRules[I]->SpecName + "'");
+        Report.Shadowed.push_back(std::move(SA));
+      }
+    }
+  }
+
+  // Per-spec classification over each spec's rule closure.
+  bool AnyProbed = false;
+  for (const Spec *S : Specs) {
+    SpecExhaustiveness SE;
+    SE.SpecName = S->name();
+
+    // Seeds: the spec's own operations plus every operation its axioms
+    // mention (Stack's axioms call Array's operations).
+    std::unordered_set<OpId> SeedSet(S->operations().begin(),
+                                     S->operations().end());
+    for (const Axiom &Ax : S->axioms()) {
+      collectOpsInTerm(Ctx, Ax.Lhs, SeedSet);
+      collectOpsInTerm(Ctx, Ax.Rhs, SeedSet);
+    }
+    std::vector<size_t> RuleIdxs;
+    std::vector<OpId> ClosureOps;
+    ruleClosure(Index, std::vector<OpId>(SeedSet.begin(), SeedSet.end()),
+                RuleIdxs, ClosureOps);
+
+    // Every defined operation in the closure must certify: the soundness
+    // induction needs normalization of *nested* defined calls too, or a
+    // stuck subterm poisons the outer application.
+    std::string OpObstruction;
+    for (OpId Op : ClosureOps) {
+      if (!Ctx.op(Op).isDefined())
+        continue;
+      ++SE.ClosureOps;
+      const OpExhaustiveness *OV = Report.opVerdict(Op);
+      if (OV && OV->Verdict == CoverageVerdict::Complete) {
+        ++SE.OpsComplete;
+        continue;
+      }
+      if (!OpObstruction.empty())
+        continue;
+      std::string Name(Ctx.opName(Op));
+      if (!OV)
+        OpObstruction = "operation '" + Name +
+                        "' is declared outside the analyzed specs, so "
+                        "its coverage is unknown";
+      else if (OV->Witness.isValid())
+        OpObstruction = "operation '" + Name + "' is uncovered: " +
+                        OV->Obstruction;
+      else
+        OpObstruction = "operation '" + Name + "' is not certified: " +
+                        OV->Obstruction;
+    }
+
+    std::unordered_set<std::string> ContribSet;
+    std::vector<std::string> Contributing;
+    ContribSet.insert(S->name());
+    Contributing.push_back(S->name());
+    for (size_t RI : RuleIdxs)
+      if (ContribSet.insert(Rules[RI].SpecName).second)
+        Contributing.push_back(Rules[RI].SpecName);
+    std::sort(Contributing.begin() + 1, Contributing.end());
+
+    SE.TerminationProved = true;
+    std::string TermObstruction;
+    for (const std::string &Name : Contributing) {
+      if (Report.Termination.provedFor(Name))
+        continue;
+      SE.TerminationProved = false;
+      if (!TermObstruction.empty())
+        continue;
+      TermObstruction = "termination of '" + Name + "' is not proved";
+      for (const TerminationFailure &F : Report.Termination.Failures)
+        if (F.SpecName == Name) {
+          TermObstruction += " (axiom " + std::to_string(F.AxiomNumber) +
+                             ": " + F.Reason + ")";
+          break;
+        }
+    }
+
+    // Guard decidability, two layers. Layer 1 is syntactic and airtight:
+    // a closure whose rules never mention SAME over a non-free sort
+    // cannot strand a guard (SAME over free sorts decides natively on
+    // constructor-ground arguments).
+    std::string GuardObstruction;
+    std::vector<size_t> Flagged;
+    for (size_t RI : RuleIdxs)
+      if (findUndecidedSame(Ctx, FreeSorts, Rules[RI].Rhs).isValid())
+        Flagged.push_back(RI);
+    if (!Flagged.empty()) {
+      std::vector<OpId> Heads;
+      {
+        std::unordered_set<OpId> HeadSet;
+        for (size_t RI : RuleIdxs)
+          if (HeadSet.insert(Rules[RI].HeadOp).second)
+            Heads.push_back(Rules[RI].HeadOp);
+        std::sort(Heads.begin(), Heads.end());
+      }
+      for (OpId H : Heads)
+        if (!Prober.headOverlapFree(H)) {
+          SE.GuardsDecided = false;
+          GuardObstruction = "rules for operation '" +
+                             std::string(Ctx.opName(H)) +
+                             "' overlap, so the guard probe cannot "
+                             "represent every instance";
+          break;
+        }
+      if (SE.GuardsDecided) {
+        for (size_t RI : Flagged) {
+          std::string Sub = Prober.probeRhs(RI);
+          if (Sub.empty())
+            continue;
+          SE.GuardsDecided = false;
+          GuardObstruction = "axiom " +
+                             std::to_string(Rules[RI].AxiomNumber) +
+                             " of '" + Rules[RI].SpecName + "': " + Sub;
+          break;
+        }
+        AnyProbed |= SE.GuardsDecided;
+      }
+    }
+
+    // Obstruction precedence: orientation, then the first uncertified
+    // closure operation (ascending OpId), then termination, then guards.
+    if (OrientationSkipped)
+      SE.Obstruction =
+          "some axioms could not be oriented into rules and were skipped";
+    else if (!OpObstruction.empty())
+      SE.Obstruction = OpObstruction;
+    else if (!SE.TerminationProved)
+      SE.Obstruction = TermObstruction;
+    else if (!SE.GuardsDecided)
+      SE.Obstruction = "guards are not decided: " + GuardObstruction;
+    SE.Verdict = SE.Obstruction.empty() ? CoverageVerdict::Complete
+                                        : CoverageVerdict::Unknown;
+    Report.PerSpec.push_back(std::move(SE));
+  }
+  if (AnyProbed)
+    Report.Caveats.push_back(
+        "guard decidability was established by symbolic probing, which "
+        "case-splits each surviving if-then-else guard into true, false, "
+        "and error");
+
+  for (const SpecExhaustiveness &SE : Report.PerSpec)
+    if (SE.Verdict != CoverageVerdict::Complete) {
+      Report.Overall = CoverageVerdict::Unknown;
+      Report.Obstruction = "spec '" + SE.SpecName + "': " + SE.Obstruction;
+      break;
+    }
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint passes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared caching base: one certification per workspace, reused across
+/// the per-spec invocations of a single lint run.
+class ExhaustivenessBackedPass : public LintPass {
+protected:
+  const ExhaustivenessReport &report(LintContext &LC) {
+    const std::vector<const Spec *> &Specs = LC.allSpecs();
+    if (CachedSpecs != Specs || CachedCtx != &LC.context()) {
+      Cached = certifyExhaustiveness(LC.context(), Specs);
+      CachedSpecs = Specs;
+      CachedCtx = &LC.context();
+    }
+    return Cached;
+  }
+
+private:
+  std::vector<const Spec *> CachedSpecs;
+  const AlgebraContext *CachedCtx = nullptr;
+  ExhaustivenessReport Cached;
+};
+
+/// `unreachable-axiom`: analysis-backed; surfaces each axiom the
+/// usefulness analysis proves shadowed by the axioms above it.
+class UnreachableAxiomPass : public ExhaustivenessBackedPass {
+public:
+  std::string_view name() const override { return "unreachable-axiom"; }
+  std::string_view description() const override {
+    return "axioms whose left-hand sides are entirely covered by earlier "
+           "axioms of the same operation";
+  }
+
+  void run(LintContext &LC) override {
+    const ExhaustivenessReport &Report = report(LC);
+    for (const ShadowedAxiom &SA : Report.Shadowed) {
+      if (SA.SpecName != LC.spec().name())
+        continue;
+      std::string By;
+      for (size_t I = 0; I != SA.ShadowedBy.size(); ++I)
+        By += (I ? ", " : "") + SA.ShadowedBy[I];
+      LC.report(name(), DiagKind::Warning, SA.Loc,
+                "axiom " + std::to_string(SA.AxiomNumber) +
+                    ": every constructor-ground argument tuple it matches "
+                    "is already matched by " + By +
+                    ", so under first-matching-rule-wins it is dead code",
+                "delete the axiom or move it above the axioms that "
+                "shadow it");
+    }
+  }
+};
+
+/// `non-exhaustive-op`: analysis-backed; points each defined operation
+/// with a trustworthy missing-pattern witness at the axiom to supply.
+class NonExhaustiveOpPass : public ExhaustivenessBackedPass {
+public:
+  std::string_view name() const override { return "non-exhaustive-op"; }
+  std::string_view description() const override {
+    return "defined operations whose axioms miss a constructor case";
+  }
+
+  void run(LintContext &LC) override {
+    const ExhaustivenessReport &Report = report(LC);
+    const AlgebraContext &Ctx = LC.context();
+    for (const OpExhaustiveness &OE : Report.PerOp) {
+      if (OE.SpecName != LC.spec().name() || !OE.Witness.isValid())
+        continue;
+      std::string Case = printTerm(Ctx, OE.Witness);
+      LC.report(name(), DiagKind::Warning, Ctx.op(OE.Op).Loc,
+                "operation '" + std::string(Ctx.opName(OE.Op)) +
+                    "' is not sufficiently complete: no axiom covers " +
+                    Case,
+                "please supply an axiom for " + Case);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<LintPass> algspec::makeUnreachableAxiomPass() {
+  return std::make_unique<UnreachableAxiomPass>();
+}
+
+std::unique_ptr<LintPass> algspec::makeNonExhaustiveOpPass() {
+  return std::make_unique<NonExhaustiveOpPass>();
+}

@@ -1,0 +1,202 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static sufficient-completeness certification: pattern-matrix
+/// exhaustiveness per defined operation, composed with termination and a
+/// guard-decidability analysis into a per-spec certificate the dynamic
+/// sweep (check/Completeness.h) can skip under.
+///
+/// The dynamic completeness checker is a bounded refutation procedure —
+/// it can only ever say "no stuck term found up to depth d". This module
+/// supplies the complementary proof. Per defined operation, the axiom
+/// left-hand sides form a pattern matrix over the constructor signatures
+/// of the argument sorts (rewrite/PatternMatrix.h); a matrix that covers
+/// every constructor tuple certifies the operation. A spec certifies
+/// `complete` when
+///
+///  - every axiom oriented into a rule (none skipped),
+///  - every defined operation in its rule closure is covered by linear
+///    constructor rows (non-linear rows are dropped before trusting a
+///    "covered" verdict — a sound under-approximation, never an unsound
+///    "complete"),
+///  - termination is proved for every contributing spec (so innermost
+///    normalization reaches the normal form the coverage argument is
+///    about), and
+///  - every guard decides: no rule's right-hand side can leave an
+///    undecided SAME over a non-freely-generated sort in a normal form
+///    (checked syntactically, then — for flagged rules of closures whose
+///    rules are pairwise non-overlapping — by a symbolic probe that
+///    normalizes the right-hand side and case-splits surviving
+///    if-then-else guards into true/false/error branches, the same
+///    refutation discipline the convergence certifier uses).
+///
+/// Verdicts form the lattice `complete ⊑ unknown`; an `unknown` names
+/// its obstruction honestly (non-free sort, unoriented axiom, missing
+/// termination proof, undecidable guard, or an uncovered case). Two
+/// payload kinds accompany the verdicts: a minimal missing-pattern
+/// witness (constructor skeleton with wildcards) when a matrix is
+/// non-exhaustive and the witness is trustworthy, and a usefulness
+/// report marking axioms shadowed by earlier rows — dead code under the
+/// engine's first-matching-rule-wins semantics.
+///
+/// The analysis is purely serial and deterministic: reports are
+/// byte-identical across runs, build types, and job counts, so the
+/// per-operation row lists serve as replayable certificates in the CLI's
+/// JSON output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_CHECK_EXHAUSTIVENESS_H
+#define ALGSPEC_CHECK_EXHAUSTIVENESS_H
+
+#include "ast/Ids.h"
+#include "check/Termination.h"
+#include "rewrite/Engine.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class LintPass;
+class Spec;
+
+/// The verdict lattice: complete ⊑ unknown.
+enum class CoverageVerdict : uint8_t {
+  /// Every constructor tuple is covered (per operation), or every
+  /// certification obligation holds (per spec).
+  Complete,
+  /// No proof; the obstruction names why.
+  Unknown,
+};
+
+std::string_view coverageVerdictName(CoverageVerdict V);
+
+/// Matrix verdict for one defined operation.
+struct OpExhaustiveness {
+  /// The spec declaring the operation (rules may come from others).
+  std::string SpecName;
+  OpId Op;
+  CoverageVerdict Verdict = CoverageVerdict::Unknown;
+  /// For Unknown: the named obstruction (uncovered case, non-free sort,
+  /// non-constructor pattern, constructor-less sort).
+  std::string Obstruction;
+  /// Minimal missing-pattern witness, wrapped as a full left-hand side
+  /// (constructor skeleton with wildcard variables). Valid only when
+  /// the matrix is non-exhaustive *and* the claim is trustworthy (all
+  /// rows usable, argument sorts freely generated).
+  TermId Witness;
+  /// Rules oriented for this operation (across all loaded specs).
+  unsigned Rules = 0;
+  /// Rows entering the trusted (linear, constructor-pattern) matrix.
+  unsigned MatrixRows = 0;
+  /// One trusted matrix row: the certificate is replayable by re-running
+  /// the exhaustiveness algorithm over exactly these left-hand sides.
+  struct MatrixRow {
+    std::string SpecName;
+    unsigned AxiomNumber = 0;
+    TermId Lhs;
+  };
+  std::vector<MatrixRow> RowsUsed;
+};
+
+/// An axiom whose left-hand side is entirely covered by earlier axioms
+/// of the same operation: under first-matching-rule-wins it can never
+/// apply to constructor-ground arguments.
+struct ShadowedAxiom {
+  std::string SpecName;
+  unsigned AxiomNumber = 0;
+  SourceLoc Loc;
+  OpId Op;
+  /// The earlier axioms overlapping it ("axiom N of 'S'" each).
+  std::vector<std::string> ShadowedBy;
+};
+
+/// Per-spec certificate verdict with its supporting facts.
+struct SpecExhaustiveness {
+  std::string SpecName;
+  CoverageVerdict Verdict = CoverageVerdict::Unknown;
+  /// For Unknown: the first obstruction, in precedence order (uncovered
+  /// operation, then termination, then guards).
+  std::string Obstruction;
+  bool TerminationProved = false;
+  /// True when no rule in the closure can leave an undecided SAME over
+  /// a non-free sort in a normal form.
+  bool GuardsDecided = true;
+  /// Defined operations in this spec's rule closure.
+  unsigned ClosureOps = 0;
+  /// How many of them certify Complete.
+  unsigned OpsComplete = 0;
+};
+
+/// Outcome of a static exhaustiveness certification over a workspace.
+struct ExhaustivenessReport {
+  /// Verdict for the whole workspace (meet over the per-spec verdicts).
+  CoverageVerdict Overall = CoverageVerdict::Complete;
+  /// For an Unknown overall verdict: the first obstruction.
+  std::string Obstruction;
+  std::vector<SpecExhaustiveness> PerSpec;
+  /// Every defined operation of every spec, in declaration order.
+  std::vector<OpExhaustiveness> PerOp;
+  /// Dead axioms, in rule order per operation.
+  std::vector<ShadowedAxiom> Shadowed;
+  /// The termination proof the verdicts composed with.
+  TerminationReport Termination;
+  std::vector<std::string> Caveats;
+
+  const SpecExhaustiveness *specVerdict(std::string_view SpecName) const;
+  const OpExhaustiveness *opVerdict(OpId Op) const;
+
+  /// True when \p SpecName certifies Complete — the license for the
+  /// dynamic completeness checker to skip its ground sweep.
+  bool coversSpec(std::string_view SpecName) const {
+    const SpecExhaustiveness *SE = specVerdict(SpecName);
+    return SE && SE->Verdict == CoverageVerdict::Complete;
+  }
+
+  /// Renders one verdict line per spec, then witnesses, dead axioms,
+  /// and caveats.
+  std::string render(const AlgebraContext &Ctx) const;
+};
+
+/// Tunables for certification.
+struct ExhaustivenessOptions {
+  /// Bound on nested guard case splits per probed right-hand side.
+  unsigned MaxCaseSplits = 8;
+  /// Engine configuration for the guard probe (compiled vs interpreted);
+  /// fuel is clamped to a small probe budget internally so a divergent
+  /// rule set cannot stall the certifier.
+  EngineOptions Engine;
+};
+
+/// Certifies sufficient completeness of \p Specs and derives per-spec
+/// verdicts over each spec's rule closure. Purely serial and
+/// deterministic: reports are byte-identical across runs, build types,
+/// and job counts.
+ExhaustivenessReport
+certifyExhaustiveness(AlgebraContext &Ctx,
+                      const std::vector<const Spec *> &Specs,
+                      const ExhaustivenessOptions &Options =
+                          ExhaustivenessOptions());
+
+/// Lint pass `unreachable-axiom`: warns on each axiom the usefulness
+/// analysis proves shadowed by the axioms above it, with a fix-it
+/// suggesting deletion or reordering.
+std::unique_ptr<LintPass> makeUnreachableAxiomPass();
+
+/// Lint pass `non-exhaustive-op`: warns, at the operation declaration,
+/// on each defined operation with a trustworthy missing-pattern witness,
+/// pointing at the exact left-hand side to supply.
+std::unique_ptr<LintPass> makeNonExhaustiveOpPass();
+
+} // namespace algspec
+
+#endif // ALGSPEC_CHECK_EXHAUSTIVENESS_H

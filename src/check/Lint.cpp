@@ -11,6 +11,7 @@
 #include "ast/TermPrinter.h"
 #include "check/Convergence.h"
 #include "check/ErrorFlow.h"
+#include "check/Exhaustiveness.h"
 #include "rewrite/Matcher.h"
 #include "rewrite/Substitution.h"
 #include "support/SourceMgr.h"
@@ -472,6 +473,8 @@ Linter Linter::standard() {
   L.addPass(makeRedundantErrorAxiomPass());
   L.addPass(makeNonLeftLinearLhsPass());
   L.addPass(makeUnjoinableCriticalPairPass());
+  L.addPass(makeUnreachableAxiomPass());
+  L.addPass(makeNonExhaustiveOpPass());
   return L;
 }
 

@@ -40,6 +40,14 @@
 ///                         a critical pair whose reducts normalize to
 ///                         distinct values — a confluence counterexample,
 ///                         caret-located at both participating axioms
+///   unreachable-axiom     an axiom whose left-hand side is entirely
+///                         covered by earlier axioms of the same
+///                         operation — dead code under first-matching-
+///                         rule-wins (analysis-backed; see
+///                         check/Exhaustiveness.h)
+///   non-exhaustive-op     a defined operation with a proven missing
+///                         constructor case, pointing at the exact
+///                         left-hand side to supply (analysis-backed)
 ///
 /// New passes implement \c LintPass and register in \c standardPasses(),
 /// or are added to a custom \c Linter instance.

@@ -25,6 +25,7 @@
 #include "check/Consistency.h"
 #include "check/Convergence.h"
 #include "check/ErrorFlow.h"
+#include "check/Exhaustiveness.h"
 #include "check/Lint.h"
 #include "check/Skeleton.h"
 #include "check/Termination.h"
@@ -113,6 +114,16 @@ public:
     ConvergenceOptions Options;
     Options.Engine = Eng;
     return certifyConvergence(*Ctx, specPointers(), Options);
+  }
+
+  /// Certifies static sufficient-completeness (constructor-case
+  /// exhaustiveness) of every loaded spec's defined operations. A spec
+  /// whose verdict is complete lets checkCompletenessDynamic skip its
+  /// ground sweep.
+  ExhaustivenessReport exhaustiveness(EngineOptions Eng = EngineOptions()) {
+    ExhaustivenessOptions Options;
+    Options.Engine = Eng;
+    return certifyExhaustiveness(*Ctx, specPointers(), Options);
   }
 
   /// The source buffer \p S was parsed from; null for specs the workspace

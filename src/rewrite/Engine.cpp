@@ -522,6 +522,46 @@ Result<TermId> RewriteEngine::normalizeMachine(TermId Root, uint64_t &Fuel) {
   return Ret;
 }
 
+std::vector<bool> algspec::computeFreeSorts(const AlgebraContext &Ctx,
+                                            const RewriteSystem &System) {
+  const unsigned N = Ctx.numSorts();
+  std::vector<bool> FreeSorts(N, true);
+  // Start with every sort free and demote until stable: a sort is not
+  // free when a constructor of it heads a rule, or a constructor
+  // argument reaches a non-free sort.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0; I != N; ++I) {
+      if (!FreeSorts[I])
+        continue;
+      SortId S(I);
+      if (Ctx.sort(S).Kind == SortKind::Atom || S == Ctx.intSort())
+        continue;
+      bool Free = true;
+      for (OpId Ctor : Ctx.constructorsOf(S)) {
+        if (!System.rulesFor(Ctor).empty()) {
+          Free = false;
+          break;
+        }
+        for (SortId Arg : Ctx.op(Ctor).ArgSorts) {
+          if (!FreeSorts[Arg.index()]) {
+            Free = false;
+            break;
+          }
+        }
+        if (!Free)
+          break;
+      }
+      if (!Free) {
+        FreeSorts[I] = false;
+        Changed = true;
+      }
+    }
+  }
+  return FreeSorts;
+}
+
 bool RewriteEngine::isFreeSort(SortId Sort) {
   // Freeness is a greatest fixpoint over the constructor-argument
   // graph, so it is computed for every sort at once: with per-sort
@@ -533,42 +573,8 @@ bool RewriteEngine::isFreeSort(SortId Sort) {
   // create sorts on demand); the rule set is fixed for the engine's
   // lifetime.
   if (FreeSortsComputedFor != Ctx.numSorts()) {
-    const unsigned N = Ctx.numSorts();
-    FreeSorts.assign(N, true);
-    // Start with every sort free and demote until stable: a sort is not
-    // free when a constructor of it heads a rule, or a constructor
-    // argument reaches a non-free sort.
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (unsigned I = 0; I != N; ++I) {
-        if (!FreeSorts[I])
-          continue;
-        SortId S(I);
-        if (Ctx.sort(S).Kind == SortKind::Atom || S == Ctx.intSort())
-          continue;
-        bool Free = true;
-        for (OpId Ctor : Ctx.constructorsOf(S)) {
-          if (!System.rulesFor(Ctor).empty()) {
-            Free = false;
-            break;
-          }
-          for (SortId Arg : Ctx.op(Ctor).ArgSorts) {
-            if (!FreeSorts[Arg.index()]) {
-              Free = false;
-              break;
-            }
-          }
-          if (!Free)
-            break;
-        }
-        if (!Free) {
-          FreeSorts[I] = false;
-          Changed = true;
-        }
-      }
-    }
-    FreeSortsComputedFor = N;
+    FreeSorts = computeFreeSorts(Ctx, System);
+    FreeSortsComputedFor = Ctx.numSorts();
   }
   return FreeSorts[Sort.index()];
 }

@@ -117,6 +117,17 @@ inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
   return A;
 }
 
+/// Freeness verdict per sort index of \p Ctx under \p System: a sort is
+/// freely generated when no rule rewrites a constructor of it or of any
+/// sort reachable through constructor arguments, so distinct ground
+/// constructor terms denote distinct values. Atom and Int literals are
+/// always free. Computed as a whole-table greatest fixpoint (per-sort
+/// memoization would be query-order-dependent for mutually recursive
+/// sorts); the engine caches it internally, and the static completeness
+/// analyses call it directly.
+std::vector<bool> computeFreeSorts(const AlgebraContext &Ctx,
+                                   const RewriteSystem &System);
+
 /// One recorded rule application, for traces and debugging.
 struct TraceStep {
   TermId Before;

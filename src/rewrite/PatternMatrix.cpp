@@ -1,0 +1,436 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewrite/PatternMatrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <unordered_set>
+
+using namespace algspec;
+
+TermId PatternMatrix::wildcard(SortId Sort) {
+  auto It = Wildcards.find(Sort);
+  if (It != Wildcards.end())
+    return It->second;
+  std::string Name(Ctx.sortName(Sort));
+  for (char &C : Name)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  // Reuse an existing variable of the right name and sort before minting
+  // a new one: witness TermIds then agree across matrix instances in one
+  // context (serial vs sharded sweeps, static vs minimized reports).
+  Symbol Sym = Ctx.intern(Name);
+  VarId Var;
+  for (unsigned I = 0; I != Ctx.numVars(); ++I) {
+    const VarInfo &VI = Ctx.var(VarId(I));
+    if (VI.Name == Sym && VI.Sort == Sort) {
+      Var = VarId(I);
+      break;
+    }
+  }
+  if (!Var.isValid())
+    Var = Ctx.addVar(Name, Sort);
+  TermId Term = Ctx.makeVar(Var);
+  Wildcards.emplace(Sort, Term);
+  return Term;
+}
+
+bool PatternMatrix::isConstructorPattern(const AlgebraContext &Ctx,
+                                         TermId Pattern) {
+  const TermNode &Node = Ctx.node(Pattern);
+  switch (Node.Kind) {
+  case TermKind::Var:
+  case TermKind::Atom:
+  case TermKind::Int:
+    return true;
+  case TermKind::Error:
+    return false; // error never appears in a meaningful LHS.
+  case TermKind::Op: {
+    if (!Ctx.op(Node.Op).isConstructor())
+      return false;
+    for (TermId Child : Ctx.children(Pattern))
+      if (!isConstructorPattern(Ctx, Child))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool PatternMatrix::isLinearRow(const AlgebraContext &Ctx, const Row &R) {
+  std::unordered_set<VarId> Seen;
+  bool Linear = true;
+  auto Walk = [&](auto &&Self, TermId Term) -> void {
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind == TermKind::Var) {
+      if (!Seen.insert(Node.Var).second)
+        Linear = false;
+      return;
+    }
+    for (TermId Child : Ctx.children(Term))
+      Self(Self, Child);
+  };
+  for (TermId Pattern : R)
+    Walk(Walk, Pattern);
+  return Linear;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustiveness
+//===----------------------------------------------------------------------===//
+
+PatternMatrix::Coverage
+PatternMatrix::findUncovered(std::vector<Row> Rows,
+                             std::vector<SortId> Sorts) {
+  Coverage Out;
+  Out.Witness =
+      findUncoveredImpl(std::move(Rows), std::move(Sorts), Out.BlockedSorts);
+  return Out;
+}
+
+std::optional<PatternMatrix::Row>
+PatternMatrix::findUncoveredImpl(std::vector<Row> Rows,
+                                 std::vector<SortId> Sorts,
+                                 std::vector<SortId> &Blocked) {
+  // No rows: everything is uncovered; the all-wildcards tuple witnesses it.
+  if (Rows.empty()) {
+    Row Witness;
+    Witness.reserve(Sorts.size());
+    for (SortId Sort : Sorts)
+      Witness.push_back(wildcard(Sort));
+    return Witness;
+  }
+
+  // A row of variables matches every tuple.
+  for (const Row &R : Rows)
+    if (std::all_of(R.begin(), R.end(),
+                    [&](TermId P) { return isVar(P); }))
+      return std::nullopt;
+
+  // Pick the first column with a non-variable pattern and case-split on it.
+  size_t Col = 0;
+  while (Col < Sorts.size()) {
+    bool HasNonVar = false;
+    for (const Row &R : Rows)
+      if (!isVar(R[Col])) {
+        HasNonVar = true;
+        break;
+      }
+    if (HasNonVar)
+      break;
+    ++Col;
+  }
+  assert(Col < Sorts.size() && "non-wildcard row must have a pattern");
+
+  SortId ColSort = Sorts[Col];
+  const SortInfo &ColInfo = Ctx.sort(ColSort);
+
+  // Helper: the matrix with column Col fixed and (optionally) replaced by
+  // expansion columns; returns the witness with the column re-wrapped.
+  auto specializeByConstructor = [&](OpId Ctor) -> std::optional<Row> {
+    const OpInfo &CtorInfo = Ctx.op(Ctor);
+    std::vector<Row> NewRows;
+    for (const Row &R : Rows) {
+      TermId Pat = R[Col];
+      Row NewRow;
+      if (isVar(Pat)) {
+        NewRow = R;
+        NewRow.erase(NewRow.begin() + Col);
+        for (SortId ArgSort : CtorInfo.ArgSorts)
+          NewRow.push_back(wildcard(ArgSort));
+        NewRows.push_back(std::move(NewRow));
+        continue;
+      }
+      const TermNode &PatNode = Ctx.node(Pat);
+      if (PatNode.Kind != TermKind::Op || PatNode.Op != Ctor)
+        continue; // Other constructor: row cannot match this case.
+      NewRow = R;
+      NewRow.erase(NewRow.begin() + Col);
+      for (TermId Child : Ctx.children(Pat))
+        NewRow.push_back(Child);
+      NewRows.push_back(std::move(NewRow));
+    }
+    std::vector<SortId> NewSorts = Sorts;
+    NewSorts.erase(NewSorts.begin() + Col);
+    for (SortId ArgSort : CtorInfo.ArgSorts)
+      NewSorts.push_back(ArgSort);
+
+    auto Sub =
+        findUncoveredImpl(std::move(NewRows), std::move(NewSorts), Blocked);
+    if (!Sub)
+      return std::nullopt;
+    // Reassemble: the expansion columns sit at the tail of the witness.
+    size_t Arity = CtorInfo.arity();
+    std::vector<TermId> CtorArgs(Sub->end() - Arity, Sub->end());
+    Sub->resize(Sub->size() - Arity);
+    TermId Wrapped = Ctx.makeOp(Ctor, CtorArgs);
+    Sub->insert(Sub->begin() + Col, Wrapped);
+    return Sub;
+  };
+
+  if (ColInfo.Kind == SortKind::User || ColInfo.Kind == SortKind::Bool) {
+    std::vector<OpId> Ctors = Ctx.constructorsOf(ColSort);
+    if (Ctors.empty()) {
+      Blocked.push_back(ColSort);
+      return std::nullopt;
+    }
+    for (OpId Ctor : Ctors)
+      if (auto Witness = specializeByConstructor(Ctor))
+        return Witness;
+    return std::nullopt;
+  }
+
+  // Literal-inhabited sorts (Atom, Int): case-split on each literal
+  // appearing in the column, plus the "any other literal" case, which
+  // only variable rows can cover.
+  std::vector<TermId> Literals;
+  for (const Row &R : Rows) {
+    TermId Pat = R[Col];
+    if (!isVar(Pat) &&
+        std::find(Literals.begin(), Literals.end(), Pat) == Literals.end())
+      Literals.push_back(Pat);
+  }
+
+  auto specializeByLiteral =
+      [&](std::optional<TermId> Literal) -> std::optional<Row> {
+    std::vector<Row> NewRows;
+    for (const Row &R : Rows) {
+      TermId Pat = R[Col];
+      bool Matches = isVar(Pat) || (Literal && Pat == *Literal);
+      if (!Matches)
+        continue;
+      Row NewRow = R;
+      NewRow.erase(NewRow.begin() + Col);
+      NewRows.push_back(std::move(NewRow));
+    }
+    std::vector<SortId> NewSorts = Sorts;
+    NewSorts.erase(NewSorts.begin() + Col);
+    auto Sub =
+        findUncoveredImpl(std::move(NewRows), std::move(NewSorts), Blocked);
+    if (!Sub)
+      return std::nullopt;
+    Sub->insert(Sub->begin() + Col, Literal ? *Literal : wildcard(ColSort));
+    return Sub;
+  };
+
+  for (TermId Literal : Literals)
+    if (auto Witness = specializeByLiteral(Literal))
+      return Witness;
+  return specializeByLiteral(std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Usefulness
+//===----------------------------------------------------------------------===//
+
+bool PatternMatrix::isUseful(std::vector<Row> Rows, Row Query,
+                             std::vector<SortId> Sorts) {
+  assert(Query.size() == Sorts.size() && "query/sort arity mismatch");
+  if (Query.empty())
+    return Rows.empty();
+
+  TermId Q0 = Query[0];
+  const TermNode &QNode = Ctx.node(Q0);
+  SortId ColSort = Sorts[0];
+
+  // Specializes one row to constructor \p Ctor at column 0: the pattern's
+  // children (or fresh wildcards for a variable row) replace the column
+  // in place; rows headed by another constructor drop out.
+  auto specializeRow = [&](const Row &R, OpId Ctor) -> std::optional<Row> {
+    const OpInfo &CtorInfo = Ctx.op(Ctor);
+    TermId Pat = R[0];
+    Row Out;
+    Out.reserve(CtorInfo.arity() + R.size() - 1);
+    if (isVar(Pat)) {
+      for (SortId ArgSort : CtorInfo.ArgSorts)
+        Out.push_back(wildcard(ArgSort));
+    } else {
+      const TermNode &PatNode = Ctx.node(Pat);
+      if (PatNode.Kind != TermKind::Op || PatNode.Op != Ctor)
+        return std::nullopt;
+      auto Children = Ctx.children(Pat);
+      Out.assign(Children.begin(), Children.end());
+    }
+    Out.insert(Out.end(), R.begin() + 1, R.end());
+    return Out;
+  };
+
+  auto specializedSorts = [&](OpId Ctor) {
+    const OpInfo &CtorInfo = Ctx.op(Ctor);
+    std::vector<SortId> Out(CtorInfo.ArgSorts.begin(),
+                            CtorInfo.ArgSorts.end());
+    Out.insert(Out.end(), Sorts.begin() + 1, Sorts.end());
+    return Out;
+  };
+
+  if (QNode.Kind == TermKind::Op) {
+    OpId Ctor = QNode.Op;
+    std::vector<Row> SRows;
+    for (const Row &R : Rows)
+      if (auto SR = specializeRow(R, Ctor))
+        SRows.push_back(std::move(*SR));
+    Row SQuery = *specializeRow(Query, Ctor);
+    return isUseful(std::move(SRows), std::move(SQuery),
+                    specializedSorts(Ctor));
+  }
+
+  if (QNode.Kind == TermKind::Atom || QNode.Kind == TermKind::Int) {
+    std::vector<Row> SRows;
+    for (const Row &R : Rows) {
+      TermId Pat = R[0];
+      if (!isVar(Pat) && Pat != Q0)
+        continue;
+      Row NewRow(R.begin() + 1, R.end());
+      SRows.push_back(std::move(NewRow));
+    }
+    return isUseful(std::move(SRows), Row(Query.begin() + 1, Query.end()),
+                    std::vector<SortId>(Sorts.begin() + 1, Sorts.end()));
+  }
+
+  // Query wildcard. When the column's row heads form a complete
+  // constructor signature, the wildcard is useful iff it is useful under
+  // some constructor; otherwise the default matrix (variable rows only)
+  // decides. Literal sorts and sorts without constructors never have a
+  // complete signature.
+  const SortInfo &ColInfo = Ctx.sort(ColSort);
+  if (ColInfo.Kind == SortKind::User || ColInfo.Kind == SortKind::Bool) {
+    std::vector<OpId> Ctors = Ctx.constructorsOf(ColSort);
+    std::unordered_set<OpId> Heads;
+    for (const Row &R : Rows) {
+      const TermNode &PatNode = Ctx.node(R[0]);
+      if (PatNode.Kind == TermKind::Op)
+        Heads.insert(PatNode.Op);
+    }
+    bool Complete = !Ctors.empty();
+    for (OpId Ctor : Ctors)
+      Complete &= Heads.count(Ctor) != 0;
+    if (Complete) {
+      for (OpId Ctor : Ctors) {
+        std::vector<Row> SRows;
+        for (const Row &R : Rows)
+          if (auto SR = specializeRow(R, Ctor))
+            SRows.push_back(std::move(*SR));
+        Row SQuery = *specializeRow(Query, Ctor);
+        if (isUseful(std::move(SRows), std::move(SQuery),
+                     specializedSorts(Ctor)))
+          return true;
+      }
+      return false;
+    }
+  }
+
+  std::vector<Row> DRows;
+  for (const Row &R : Rows) {
+    if (!isVar(R[0]))
+      continue;
+    DRows.push_back(Row(R.begin() + 1, R.end()));
+  }
+  return isUseful(std::move(DRows), Row(Query.begin() + 1, Query.end()),
+                  std::vector<SortId>(Sorts.begin() + 1, Sorts.end()));
+}
+
+//===----------------------------------------------------------------------===//
+// Overlap and witness minimization
+//===----------------------------------------------------------------------===//
+
+bool PatternMatrix::patternOverlaps(TermId Pattern, TermId Candidate,
+                                    bool OtherLiteralWildcards) const {
+  if (isVar(Pattern))
+    return true;
+  const TermNode &CNode = Ctx.node(Candidate);
+  const TermNode &PNode = Ctx.node(Pattern);
+  if (CNode.Kind == TermKind::Var) {
+    if (!OtherLiteralWildcards)
+      return true;
+    // An "any other literal" wildcard never meets an explicit literal.
+    return PNode.Kind != TermKind::Atom && PNode.Kind != TermKind::Int;
+  }
+  if (PNode.Kind != CNode.Kind)
+    return false;
+  switch (PNode.Kind) {
+  case TermKind::Atom:
+  case TermKind::Int:
+    return Pattern == Candidate; // Literals are interned.
+  case TermKind::Op: {
+    if (PNode.Op != CNode.Op)
+      return false;
+    auto PC = Ctx.children(Pattern);
+    auto CC = Ctx.children(Candidate);
+    for (size_t I = 0; I != PC.size(); ++I)
+      if (!patternOverlaps(PC[I], CC[I], OtherLiteralWildcards))
+        return false;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+bool PatternMatrix::rowOverlaps(const Row &Pattern, const Row &Candidate,
+                                bool OtherLiteralWildcards) const {
+  assert(Pattern.size() == Candidate.size() && "row arity mismatch");
+  for (size_t I = 0; I != Pattern.size(); ++I)
+    if (!patternOverlaps(Pattern[I], Candidate[I], OtherLiteralWildcards))
+      return false;
+  return true;
+}
+
+/// \p Term with the subterm at \p Pos replaced by \p Repl, rebuilding the
+/// spine above it.
+static TermId replaceAtPath(AlgebraContext &Ctx, TermId Term,
+                            const std::vector<uint32_t> &Pos, TermId Repl,
+                            size_t Depth = 0) {
+  if (Depth == Pos.size())
+    return Repl;
+  // Copy the children out: rebuilding below creates terms, which may
+  // reallocate the child pool under a live span.
+  auto Span = Ctx.children(Term);
+  std::vector<TermId> Children(Span.begin(), Span.end());
+  Children[Pos[Depth]] =
+      replaceAtPath(Ctx, Children[Pos[Depth]], Pos, Repl, Depth + 1);
+  return Ctx.makeOp(Ctx.node(Term).Op, Children);
+}
+
+PatternMatrix::Row PatternMatrix::generalize(const std::vector<Row> &Rows,
+                                             const Row &Ground) {
+  auto Accepted = [&](const Row &Tuple) {
+    for (const Row &R : Rows)
+      if (rowOverlaps(R, Tuple, /*OtherLiteralWildcards=*/true))
+        return false;
+    return true;
+  };
+  // The ground tuple matching a row means the stuckness that produced it
+  // lives inside the arguments (another operation's missing case), not in
+  // this operation's patterns: nothing here to generalize.
+  if (!Accepted(Ground))
+    return Ground;
+
+  Row Cur = Ground;
+  for (size_t Col = 0; Col != Cur.size(); ++Col) {
+    std::vector<uint32_t> Path;
+    auto Walk = [&](auto &&Self, TermId Term) -> void {
+      Row Trial = Cur;
+      Trial[Col] =
+          replaceAtPath(Ctx, Cur[Col], Path, wildcard(Ctx.sortOf(Term)));
+      if (Accepted(Trial)) {
+        Cur = std::move(Trial);
+        return; // Maximally general here; nothing below survives.
+      }
+      if (Ctx.node(Term).Kind != TermKind::Op)
+        return;
+      auto Span = Ctx.children(Term);
+      std::vector<TermId> Children(Span.begin(), Span.end());
+      for (uint32_t I = 0; I != Children.size(); ++I) {
+        Path.push_back(I);
+        Self(Self, Children[I]);
+        Path.pop_back();
+      }
+    };
+    Walk(Walk, Ground[Col]);
+  }
+  return Cur;
+}

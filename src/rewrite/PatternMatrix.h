@@ -1,0 +1,131 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pattern-matrix algorithms over constructor signatures, shared by the
+/// sufficient-completeness checkers (check/Completeness.h) and the static
+/// exhaustiveness certifier (check/Exhaustiveness.h).
+///
+/// A *row* is the tuple of argument patterns of one axiom left-hand side;
+/// a matrix stacks every row of one defined operation. Three questions
+/// are answered, all in the style of usefulness checking for ML pattern
+/// matching (Maranget):
+///
+///  - **findUncovered** — is there a constructor-term tuple no row
+///    matches? The witness comes back as a minimal constructor skeleton
+///    with wildcard variables, ready to render as the left-hand side of
+///    the axiom the user still has to write.
+///  - **isUseful** — does a query row match anything the matrix does
+///    not? A row that is not useful relative to the rows above it is
+///    dead code under first-matching-rule-wins semantics.
+///  - **generalize** — given a ground tuple no row matches, the smallest
+///    constructor skeleton (prefix of the ground term, wildcards below)
+///    that still matches no row. The dynamic sweep uses it to minimize
+///    its first-found deep witnesses into the same shape the static
+///    analysis reports.
+///
+/// Variables are treated as independent wildcards throughout; a
+/// non-linear row is thereby over-approximated (it appears to match
+/// more), which is the sound direction for usefulness and for overlap
+/// queries but not for claiming exhaustiveness — callers drop non-linear
+/// rows before trusting a "covered" verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_REWRITE_PATTERNMATRIX_H
+#define ALGSPEC_REWRITE_PATTERNMATRIX_H
+
+#include "ast/AlgebraContext.h"
+#include "ast/Ids.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class PatternMatrix {
+public:
+  /// One axiom's argument patterns, in declaration order.
+  using Row = std::vector<TermId>;
+
+  explicit PatternMatrix(AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+  /// Outcome of an exhaustiveness query.
+  struct Coverage {
+    /// A tuple (over wildcard variables) no row matches; nullopt when
+    /// the matrix covers every constructor tuple.
+    std::optional<Row> Witness;
+    /// Sorts with no constructors the case split ran into, in hit
+    /// order (repeats included). Coverage over such a column cannot be
+    /// decided; the subproblem is treated as covered and the caller
+    /// must weaken its verdict.
+    std::vector<SortId> BlockedSorts;
+  };
+
+  /// Searches for a constructor tuple no row matches, column-wise
+  /// case-splitting on constructor signatures (literal-inhabited sorts
+  /// split per literal plus an "any other literal" case only variable
+  /// rows cover).
+  Coverage findUncovered(std::vector<Row> Rows, std::vector<SortId> Sorts);
+
+  /// True when some constructor tuple matches \p Query but no row of
+  /// \p Rows — i.e. \p Query adds coverage. Variables on both sides
+  /// are wildcards; a sort with no constructors (or a literal sort,
+  /// whose signature is never complete) takes the default-matrix path,
+  /// which under-approximates the matrix's coverage — sound for dead-
+  /// row claims (fewer rows reported dead, never a live row).
+  bool isUseful(std::vector<Row> Rows, Row Query, std::vector<SortId> Sorts);
+
+  /// Greedy pre-order minimization of a ground tuple no row matches:
+  /// outermost-first, each subterm is replaced by a wildcard whenever
+  /// the result still overlaps no row. Wildcards at literal-sorted
+  /// positions mean "any literal other than those in the rows" (the
+  /// same reading findUncovered gives its witness wildcards). When the
+  /// ground tuple itself overlaps a row — the stuckness that produced
+  /// it lives deeper than this operation's patterns — it is returned
+  /// unchanged.
+  Row generalize(const std::vector<Row> &Rows, const Row &Ground);
+
+  /// True when some tuple matches both \p Pattern (a pattern row, its
+  /// variables matching anything) and \p Candidate. With
+  /// \p OtherLiteralWildcards set, a variable in \p Candidate at a
+  /// literal position is read as "any literal not named by the rows"
+  /// and so never meets an explicit literal pattern.
+  bool rowOverlaps(const Row &Pattern, const Row &Candidate,
+                   bool OtherLiteralWildcards = false) const;
+
+  /// One cached wildcard variable per sort, named after the sort so
+  /// witnesses read like the paper's axioms (queue, item, symboltable
+  /// ...). Shared across queries: repeated wildcard positions of one
+  /// sort render identically.
+  TermId wildcard(SortId Sort);
+
+  /// True when \p Pattern consists only of constructors, literals, and
+  /// variables — the shape the matrix can case-split on.
+  static bool isConstructorPattern(const AlgebraContext &Ctx,
+                                   TermId Pattern);
+
+  /// True when no variable occurs twice across the row's patterns.
+  static bool isLinearRow(const AlgebraContext &Ctx, const Row &R);
+
+private:
+  std::optional<Row> findUncoveredImpl(std::vector<Row> Rows,
+                                       std::vector<SortId> Sorts,
+                                       std::vector<SortId> &Blocked);
+  bool patternOverlaps(TermId Pattern, TermId Candidate,
+                       bool OtherLiteralWildcards) const;
+  bool isVar(TermId Term) const {
+    return Ctx.node(Term).Kind == TermKind::Var;
+  }
+
+  AlgebraContext &Ctx;
+  std::unordered_map<SortId, TermId> Wildcards;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_REWRITE_PATTERNMATRIX_H

@@ -213,6 +213,76 @@ void writeConvergenceJson(JsonWriter &W, const AlgebraContext &Ctx,
   W.endObject();
 }
 
+/// Emits the static sufficient-completeness certificate as
+/// `"exhaustiveness": {...}`. Shared by check and analyze. Like the
+/// convergence block it carries no engine counters: the certifier is
+/// serial and deterministic, so the block is byte-identical across runs,
+/// job counts, and build configurations, and every verdict is replayable
+/// from the recorded pattern-matrix rows alone.
+void writeExhaustivenessJson(JsonWriter &W, const AlgebraContext &Ctx,
+                             const ExhaustivenessReport &Exh) {
+  W.key("exhaustiveness").beginObject();
+  W.key("verdict").value(std::string(coverageVerdictName(Exh.Overall)));
+  if (!Exh.Obstruction.empty())
+    W.key("obstruction").value(Exh.Obstruction);
+  W.key("perSpec").beginArray();
+  for (const SpecExhaustiveness &SE : Exh.PerSpec) {
+    W.beginObject();
+    W.key("spec").value(SE.SpecName);
+    W.key("verdict").value(std::string(coverageVerdictName(SE.Verdict)));
+    W.key("terminationProved").value(SE.TerminationProved);
+    W.key("guardsDecided").value(SE.GuardsDecided);
+    W.key("closureOps").value(SE.ClosureOps);
+    W.key("opsComplete").value(SE.OpsComplete);
+    if (!SE.Obstruction.empty())
+      W.key("obstruction").value(SE.Obstruction);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("operations").beginArray();
+  for (const OpExhaustiveness &OE : Exh.PerOp) {
+    W.beginObject();
+    W.key("spec").value(OE.SpecName);
+    W.key("op").value(opSignature(Ctx, OE.Op));
+    W.key("verdict").value(std::string(coverageVerdictName(OE.Verdict)));
+    W.key("rules").value(OE.Rules);
+    W.key("matrixRows").value(OE.MatrixRows);
+    W.key("rows").beginArray();
+    for (const OpExhaustiveness::MatrixRow &Row : OE.RowsUsed) {
+      W.beginObject();
+      W.key("spec").value(Row.SpecName);
+      W.key("axiom").value(Row.AxiomNumber);
+      W.key("lhs").value(printTerm(Ctx, Row.Lhs));
+      W.endObject();
+    }
+    W.endArray();
+    if (OE.Witness.isValid())
+      W.key("witness").value(printTerm(Ctx, OE.Witness));
+    if (!OE.Obstruction.empty())
+      W.key("obstruction").value(OE.Obstruction);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("shadowed").beginArray();
+  for (const ShadowedAxiom &SA : Exh.Shadowed) {
+    W.beginObject();
+    W.key("spec").value(SA.SpecName);
+    W.key("axiom").value(SA.AxiomNumber);
+    W.key("op").value(std::string(Ctx.opName(SA.Op)));
+    W.key("shadowedBy").beginArray();
+    for (const std::string &By : SA.ShadowedBy)
+      W.value(By);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("caveats").beginArray();
+  for (const std::string &Caveat : Exh.Caveats)
+    W.value(Caveat);
+  W.endArray();
+  W.endObject();
+}
+
 /// The engine configuration a request asks for: the CLI's --engine knob
 /// plus the server-side fuel clamp (0 keeps the engine default, so bare
 /// CLI invocations are unchanged).
@@ -230,6 +300,12 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
   ParallelOptions Par;
   Par.Jobs = Opts.Jobs;
   EngineOptions Eng = engineOptions(Opts);
+  // One static certificate serves the whole run: the report block below
+  // and the dynamic sweeps, which are skipped per spec when the
+  // certificate covers that spec. Informative only — a spec whose
+  // coverage stays `unknown` (an honest obstruction, not a defect) must
+  // not fail the check.
+  ExhaustivenessReport Exh = WS.exhaustiveness(Eng);
 
   if (Opts.Json) {
     JsonWriter W;
@@ -256,12 +332,15 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
         CompletenessReport Dynamic = checkCompletenessDynamic(
             WS.context(), S, WS.specPointers(),
             static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-            Par, Eng);
+            Par, Eng, &Exh);
         AllGood &= Dynamic.SufficientlyComplete;
         R.Engine += Dynamic.Engine;
         W.key("dynamic").beginObject();
         W.key("depth").value(Opts.DynamicDepth);
         W.key("sufficientlyComplete").value(Dynamic.SufficientlyComplete);
+        W.key("provenComplete").value(!Dynamic.ProvenBy.empty());
+        if (!Dynamic.ProvenBy.empty())
+          W.key("provenBy").value(Dynamic.ProvenBy);
         W.key("stuck").beginArray();
         for (const MissingCase &M : Dynamic.Missing)
           W.value(printTerm(WS.context(), M.SuggestedLhs));
@@ -276,6 +355,7 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
       W.endObject();
     }
     W.endArray();
+    writeExhaustivenessJson(W, WS.context(), Exh);
     // One certificate serves both the report and the consistency
     // checker (which skips its sweep when the certificate holds).
     ConvergenceReport Conv = WS.convergence(Eng);
@@ -329,13 +409,18 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
       CompletenessReport Dynamic = checkCompletenessDynamic(
           WS.context(), S, WS.specPointers(),
           static_cast<unsigned>(Opts.DynamicDepth), EnumeratorOptions(),
-          Par, Eng);
-      appendf(R.Out, "  dynamic check (depth %d): %zu stuck term(s)\n",
-              Opts.DynamicDepth, Dynamic.Missing.size());
+          Par, Eng, &Exh);
+      if (!Dynamic.ProvenBy.empty())
+        appendf(R.Out, "  dynamic check (depth %d): skipped — %s\n",
+                Opts.DynamicDepth, Dynamic.ProvenBy.c_str());
+      else
+        appendf(R.Out, "  dynamic check (depth %d): %zu stuck term(s)\n",
+                Opts.DynamicDepth, Dynamic.Missing.size());
       AllGood &= Dynamic.SufficientlyComplete;
       R.Engine += Dynamic.Engine;
     }
   }
+  appendf(R.Out, "%s", Exh.render(WS.context()).c_str());
   ConvergenceReport Conv = WS.convergence(Eng);
   appendf(R.Out, "%s", Conv.render(WS.context()).c_str());
   ConsistencyReport Consistency =
@@ -436,6 +521,7 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
   COpts.Engine = Eng;
   ConvergenceReport Conv =
       certifyConvergence(WS.context(), WS.specPointers(), COpts);
+  ExhaustivenessReport Exh = WS.exhaustiveness(Eng);
 
   // Only the analysis-backed rules; `algspec lint` runs the full set.
   Linter L;
@@ -444,6 +530,8 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
   L.addPass(makeRedundantErrorAxiomPass());
   L.addPass(makeNonLeftLinearLhsPass());
   L.addPass(makeUnjoinableCriticalPairPass());
+  L.addPass(makeUnreachableAxiomPass());
+  L.addPass(makeNonExhaustiveOpPass());
   LintReport Findings = L.run(WS.context(), WS.specPointers());
   LintOptions LOpts;
   LOpts.WarningsAsErrors = Opts.WarningsAsErrors;
@@ -476,6 +564,7 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
     W.endArray();
     writeObligationsJson(W, WS.context(), Report.Obligations);
     writeConvergenceJson(W, WS.context(), Conv);
+    writeExhaustivenessJson(W, WS.context(), Exh);
     W.key("findings").beginArray();
     for (const LintFinding &F : Findings.Findings) {
       W.beginObject();
@@ -506,6 +595,7 @@ void runAnalyze(Workspace &WS, const CommandOptions &Opts,
   } else {
     appendf(R.Out, "%s", Report.render(WS.context()).c_str());
     appendf(R.Out, "%s", Conv.render(WS.context()).c_str());
+    appendf(R.Out, "%s", Exh.render(WS.context()).c_str());
     if (!Findings.clean())
       appendf(R.Out, "%s", WS.renderLint(Findings).c_str());
   }

@@ -1,0 +1,546 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the static exhaustiveness certifier (check/Exhaustiveness.h)
+/// and the shared pattern-matrix algorithms (rewrite/PatternMatrix.h):
+/// usefulness over linear, non-linear, and guarded rows, witness
+/// minimality, honesty about non-free sorts and undecided guards,
+/// dead-axiom detection, the certificate-skip contract with the dynamic
+/// completeness checker, and byte-identity of the reports across job
+/// counts and engine choices.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/TermPrinter.h"
+#include "core/AlgSpec.h"
+#include "rewrite/PatternMatrix.h"
+#include "server/Commands.h"
+
+#include <gtest/gtest.h>
+
+using namespace algspec;
+
+namespace {
+
+/// Loads \p Text into a fresh workspace, asserting parse success.
+void load(Workspace &WS, std::string_view Text,
+          const char *Name = "<test>") {
+  Result<void> R = WS.load(Text, Name);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+}
+
+/// Incomplete: SIZE misses the PUSH case (examples/specs/incomplete.alg).
+constexpr std::string_view PileAlg = R"(
+spec Pile
+  uses Item
+  sorts Pile
+  ops
+    MKP  : -> Pile
+    PUSH : Pile, Item -> Pile
+    SIZE : Pile -> Int
+    TOP  : Pile -> Item
+  constructors MKP, PUSH
+  vars
+    p : Pile
+    i : Item
+  axioms
+    SIZE(MKP) = 0
+    TOP(MKP) = error
+    TOP(PUSH(p, i)) = i
+end
+)";
+
+/// Shadowed: the third EMPTY? axiom is dead under first-rule-wins
+/// (examples/specs/shadowed.alg).
+constexpr std::string_view SackAlg = R"(
+spec Sack
+  uses Item
+  sorts Sack
+  ops
+    MKS    : -> Sack
+    INS    : Sack, Item -> Sack
+    EMPTY? : Sack -> Bool
+  constructors MKS, INS
+  vars
+    s : Sack
+    i : Item
+    j : Item
+  axioms
+    EMPTY?(MKS) = true
+    EMPTY?(INS(s, i)) = false
+    EMPTY?(INS(INS(s, i), j)) = false
+end
+)";
+
+/// Non-linear: DUP?'s first axiom repeats i, so the trusted matrix drops
+/// the row and coverage sits strictly between the approximations.
+constexpr std::string_view DupAlg = R"(
+spec Duplicate
+  uses Item
+  sorts Dict
+  ops
+    MKD  : -> Dict
+    PUT  : Dict, Item -> Dict
+    DUP? : Dict -> Bool
+  constructors MKD, PUT
+  vars
+    d : Dict
+    i : Item
+  axioms
+    DUP?(PUT(PUT(d, i), i)) = true
+    DUP?(MKD) = false
+end
+)";
+
+/// Non-linear with a covering linearization: read with the repeated i as
+/// independent wildcards the axioms cover everything, read strictly they
+/// miss PUT(PUT(d, i), j) with distinct items — so the truth sits in the
+/// gap between the approximations and no verdict may be claimed.
+constexpr std::string_view DupCoveredAlg = R"(
+spec Duplicate
+  uses Item
+  sorts Dict
+  ops
+    MKD  : -> Dict
+    PUT  : Dict, Item -> Dict
+    DUP? : Dict -> Bool
+  constructors MKD, PUT
+  vars
+    d : Dict
+    i : Item
+  axioms
+    DUP?(PUT(PUT(d, i), i)) = true
+    DUP?(PUT(MKD, i)) = false
+    DUP?(MKD) = false
+end
+)";
+
+/// Non-free: the first axiom rewrites the constructor S, so an uncovered
+/// pattern over M may denote a reachable normal form or not — the
+/// witness claim must be withheld.
+constexpr std::string_view NormAlg = R"(
+spec Norm
+  sorts M
+  ops
+    Z : -> M
+    S : M -> M
+    F : M -> Bool
+  constructors Z, S
+  vars m : M
+  axioms
+    S(S(m)) = S(m)
+    F(Z) = true
+end
+)";
+
+/// A SAME guard over the non-free sort M that cannot be discharged: the
+/// comparison survives in PICK's normal form for distinct arguments.
+constexpr std::string_view UndecidedGuardAlg = R"(
+spec Undecided
+  sorts M
+  ops
+    Z : -> M
+    S : M -> M
+    PICK : M, M -> M
+  constructors Z, S
+  vars
+    m : M
+    x : M
+    y : M
+  axioms
+    S(S(m)) = S(m)
+    PICK(x, y) = if SAME(x, y) then x else y
+end
+)";
+
+/// A SAME guard over the non-free sort M that the symbolic probe *does*
+/// discharge: both comparands are the same ground term, so the guard
+/// normalizes away before any case split is needed.
+constexpr std::string_view ProbedGuardAlg = R"(
+spec Probed
+  sorts M
+  ops
+    Z : -> M
+    S : M -> M
+    CONST : -> Bool
+  constructors Z, S
+  vars m : M
+  axioms
+    S(S(m)) = S(m)
+    CONST = if SAME(S(Z), S(Z)) then true else false
+end
+)";
+
+/// The argument-pattern row of axiom \p Index of \p S.
+PatternMatrix::Row axiomRow(const AlgebraContext &Ctx, const Spec &S,
+                            size_t Index) {
+  auto Args = Ctx.children(S.axioms()[Index].Lhs);
+  return PatternMatrix::Row(Args.begin(), Args.end());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pattern-matrix algorithms
+//===----------------------------------------------------------------------===//
+
+TEST(PatternMatrixTest, UsefulnessOverLinearRows) {
+  Workspace WS;
+  load(WS, SackAlg, "shadowed.alg");
+  AlgebraContext &Ctx = WS.context();
+  const Spec &S = WS.specs()[0];
+  OpId Empty = Ctx.lookupOp("EMPTY?");
+  ASSERT_TRUE(Empty.isValid());
+  std::vector<SortId> Sorts = Ctx.op(Empty).ArgSorts;
+
+  PatternMatrix M(Ctx);
+  PatternMatrix::Row R1 = axiomRow(Ctx, S, 0); // EMPTY?(MKS)
+  PatternMatrix::Row R2 = axiomRow(Ctx, S, 1); // EMPTY?(INS(s, i))
+  PatternMatrix::Row R3 = axiomRow(Ctx, S, 2); // EMPTY?(INS(INS(s,i),j))
+
+  // Every row is useful relative to the empty matrix.
+  EXPECT_TRUE(M.isUseful({}, R1, Sorts));
+  // INS(s, i) adds coverage after MKS ...
+  EXPECT_TRUE(M.isUseful({R1}, R2, Sorts));
+  // ... but the doubly-nested INS row adds nothing after it: dead code.
+  EXPECT_FALSE(M.isUseful({R1, R2}, R3, Sorts));
+  // The two linear rows together are exhaustive.
+  PatternMatrix::Coverage Cov = M.findUncovered({R1, R2}, Sorts);
+  EXPECT_FALSE(Cov.Witness.has_value());
+  EXPECT_TRUE(Cov.BlockedSorts.empty());
+}
+
+TEST(PatternMatrixTest, NonLinearRowIsDetectedAndOverApproximates) {
+  Workspace WS;
+  load(WS, DupAlg, "nonlinear.alg");
+  AlgebraContext &Ctx = WS.context();
+  const Spec &S = WS.specs()[0];
+  PatternMatrix::Row NonLinear = axiomRow(Ctx, S, 0);
+  PatternMatrix::Row MkdRow = axiomRow(Ctx, S, 1);
+  EXPECT_FALSE(PatternMatrix::isLinearRow(Ctx, NonLinear));
+  EXPECT_TRUE(PatternMatrix::isLinearRow(Ctx, MkdRow));
+  EXPECT_TRUE(PatternMatrix::isConstructorPattern(Ctx, NonLinear[0]));
+
+  // Linearized, the repeated-variable row covers PUT(PUT(d, i), j) even
+  // for distinct items — which is exactly why a "complete" verdict must
+  // not trust it (the certifier drops it instead; see below).
+  OpId Dup = Ctx.lookupOp("DUP?");
+  ASSERT_TRUE(Dup.isValid());
+  std::vector<SortId> Sorts = Ctx.op(Dup).ArgSorts;
+  PatternMatrix M(Ctx);
+  PatternMatrix::Coverage Over = M.findUncovered({NonLinear, MkdRow}, Sorts);
+  ASSERT_TRUE(Over.Witness.has_value()); // PUT(MKD, item) stays uncovered.
+  PatternMatrix::Coverage Under = M.findUncovered({MkdRow}, Sorts);
+  ASSERT_TRUE(Under.Witness.has_value());
+  EXPECT_EQ(printTerm(Ctx, (*Under.Witness)[0]), "PUT(dict, item)");
+}
+
+TEST(PatternMatrixTest, GeneralizeMinimizesGroundWitness) {
+  Workspace WS;
+  load(WS, PileAlg, "incomplete.alg");
+  AlgebraContext &Ctx = WS.context();
+  const Spec &S = WS.specs()[0];
+  PatternMatrix M(Ctx);
+  PatternMatrix::Row SizeRow = axiomRow(Ctx, S, 0); // SIZE(MKP)
+
+  // A deep stuck term found by the dynamic sweep ...
+  OpId Mkp = Ctx.lookupOp("MKP");
+  OpId Push = Ctx.lookupOp("PUSH");
+  SortId Item = Ctx.lookupSort("Item");
+  ASSERT_TRUE(Mkp.isValid());
+  ASSERT_TRUE(Push.isValid());
+  TermId Atom = Ctx.makeAtom(Ctx.intern("item1"), Item);
+  TermId Deep =
+      Ctx.makeOp(Push, {Ctx.makeOp(Push, {Ctx.makeOp(Mkp, {}), Atom}), Atom});
+
+  // ... minimizes to the same skeleton the static analysis reports: the
+  // outermost PUSH is load-bearing, everything below generalizes.
+  PatternMatrix::Row Minimal = M.generalize({SizeRow}, {Deep});
+  ASSERT_EQ(Minimal.size(), 1u);
+  EXPECT_EQ(printTerm(Ctx, Minimal[0]), "PUSH(pile, item)");
+}
+
+//===----------------------------------------------------------------------===//
+// Certifier verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(ExhaustivenessTest, MissingCaseYieldsMinimalWitness) {
+  Workspace WS;
+  load(WS, PileAlg, "incomplete.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  EXPECT_EQ(Report.Overall, CoverageVerdict::Unknown);
+  EXPECT_FALSE(Report.coversSpec("Pile"));
+
+  OpId Size = WS.context().lookupOp("SIZE");
+  ASSERT_TRUE(Size.isValid());
+  const OpExhaustiveness *OE = Report.opVerdict(Size);
+  ASSERT_NE(OE, nullptr);
+  EXPECT_EQ(OE->Verdict, CoverageVerdict::Unknown);
+  ASSERT_TRUE(OE->Witness.isValid());
+  EXPECT_EQ(printTerm(WS.context(), OE->Witness), "SIZE(PUSH(pile, item))");
+  EXPECT_NE(OE->Obstruction.find("no axiom covers"), std::string::npos)
+      << OE->Obstruction;
+  // TOP is fully covered; its certificate records both rows.
+  OpId Top = WS.context().lookupOp("TOP");
+  const OpExhaustiveness *TopV = Report.opVerdict(Top);
+  ASSERT_NE(TopV, nullptr);
+  EXPECT_EQ(TopV->Verdict, CoverageVerdict::Complete);
+  EXPECT_EQ(TopV->RowsUsed.size(), 2u);
+}
+
+TEST(ExhaustivenessTest, NonLinearRowBlocksTheCompleteClaim) {
+  // When even the linearized over-approximation misses a case, that case
+  // is soundly uncovered and the witness is claimed ...
+  {
+    Workspace WS;
+    load(WS, DupAlg, "nonlinear.alg");
+    ExhaustivenessReport Report = WS.exhaustiveness();
+    const OpExhaustiveness *OE =
+        Report.opVerdict(WS.context().lookupOp("DUP?"));
+    ASSERT_NE(OE, nullptr);
+    EXPECT_EQ(OE->Verdict, CoverageVerdict::Unknown);
+    ASSERT_TRUE(OE->Witness.isValid());
+    EXPECT_EQ(printTerm(WS.context(), OE->Witness), "DUP?(PUT(MKD, item))");
+  }
+  // ... but when the linearization covers everything and the strict
+  // reading does not, the truth is unknowable to the matrix and neither
+  // "complete" nor a witness may be claimed.
+  {
+    Workspace WS;
+    load(WS, DupCoveredAlg, "nonlinear_covered.alg");
+    ExhaustivenessReport Report = WS.exhaustiveness();
+    const OpExhaustiveness *OE =
+        Report.opVerdict(WS.context().lookupOp("DUP?"));
+    ASSERT_NE(OE, nullptr);
+    EXPECT_EQ(OE->Verdict, CoverageVerdict::Unknown);
+    EXPECT_NE(OE->Obstruction.find("repeats a variable"), std::string::npos)
+        << OE->Obstruction;
+    EXPECT_FALSE(OE->Witness.isValid());
+  }
+}
+
+TEST(ExhaustivenessTest, NonFreeSortWithholdsTheWitness) {
+  Workspace WS;
+  load(WS, NormAlg, "norm.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  OpId F = WS.context().lookupOp("F");
+  ASSERT_TRUE(F.isValid());
+  const OpExhaustiveness *OE = Report.opVerdict(F);
+  ASSERT_NE(OE, nullptr);
+  EXPECT_EQ(OE->Verdict, CoverageVerdict::Unknown);
+  EXPECT_NE(OE->Obstruction.find("not freely generated"), std::string::npos)
+      << OE->Obstruction;
+  // The uncovered pattern F(S(m)) may be unreachable modulo the S-rule,
+  // so no witness term is claimed.
+  EXPECT_FALSE(OE->Witness.isValid());
+}
+
+TEST(ExhaustivenessTest, ShadowedAxiomIsReportedDead) {
+  Workspace WS;
+  load(WS, SackAlg, "shadowed.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  // The operation still certifies: dead code, not missing code.
+  EXPECT_TRUE(Report.coversSpec("Sack"));
+  ASSERT_EQ(Report.Shadowed.size(), 1u);
+  const ShadowedAxiom &SA = Report.Shadowed[0];
+  EXPECT_EQ(SA.SpecName, "Sack");
+  EXPECT_EQ(SA.AxiomNumber, 3u);
+  ASSERT_EQ(SA.ShadowedBy.size(), 1u);
+  EXPECT_EQ(SA.ShadowedBy[0], "axiom 2 of 'Sack'");
+}
+
+TEST(ExhaustivenessTest, UndecidedGuardNamesTheSort) {
+  Workspace WS;
+  load(WS, UndecidedGuardAlg, "undecided.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  const SpecExhaustiveness *SE = Report.specVerdict("Undecided");
+  ASSERT_NE(SE, nullptr);
+  EXPECT_EQ(SE->Verdict, CoverageVerdict::Unknown);
+  EXPECT_FALSE(SE->GuardsDecided);
+  EXPECT_NE(SE->Obstruction.find("guards are not decided"),
+            std::string::npos)
+      << SE->Obstruction;
+  EXPECT_NE(SE->Obstruction.find("'M'"), std::string::npos)
+      << SE->Obstruction;
+}
+
+TEST(ExhaustivenessTest, ProbedGuardIsDischargedWithCaveat) {
+  Workspace WS;
+  load(WS, ProbedGuardAlg, "probed.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  const SpecExhaustiveness *SE = Report.specVerdict("Probed");
+  ASSERT_NE(SE, nullptr);
+  EXPECT_TRUE(SE->GuardsDecided) << SE->Obstruction;
+  EXPECT_EQ(SE->Verdict, CoverageVerdict::Complete) << SE->Obstruction;
+  bool Noted = false;
+  for (const std::string &C : Report.Caveats)
+    Noted |= C.find("symbolic probing") != std::string::npos;
+  EXPECT_TRUE(Noted);
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin specs
+//===----------------------------------------------------------------------===//
+
+TEST(ExhaustivenessBuiltins, OrthogonalFamilyCertifies) {
+  for (const char *Name : {"queue", "symboltable", "stackarray", "knowlist",
+                           "knows_symboltable", "nat", "set", "list", "bag",
+                           "bst", "boundedqueue"}) {
+    Workspace WS;
+    load(WS, server::builtinSpecText(Name), Name);
+    ExhaustivenessReport Report = WS.exhaustiveness();
+    EXPECT_EQ(Report.Overall, CoverageVerdict::Complete)
+        << Name << ": " << Report.Obstruction;
+    EXPECT_TRUE(Report.Shadowed.empty()) << Name;
+  }
+}
+
+TEST(ExhaustivenessBuiltins, TableStaysUnknownNamingTermination) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("table"), "table.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  EXPECT_EQ(Report.Overall, CoverageVerdict::Unknown);
+  EXPECT_FALSE(Report.coversSpec("Table"));
+  EXPECT_NE(Report.Obstruction.find("termination"), std::string::npos)
+      << Report.Obstruction;
+  // Every defined operation is still matrix-covered: the spec-level
+  // unknown comes from termination alone, honestly named.
+  const SpecExhaustiveness *SE = Report.specVerdict("Table");
+  ASSERT_NE(SE, nullptr);
+  EXPECT_EQ(SE->OpsComplete, SE->ClosureOps);
+  EXPECT_FALSE(SE->TerminationProved);
+}
+
+TEST(ExhaustivenessBuiltins, SymboltableImplStaysUnknown) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("symboltable"), "symboltable.alg");
+  load(WS, server::builtinSpecText("stackarray"), "stackarray.alg");
+  load(WS, server::builtinSpecText("symboltable_impl"),
+       "symboltable_impl.alg");
+  ExhaustivenessReport Report = WS.exhaustiveness();
+  EXPECT_FALSE(Report.coversSpec("SymboltableImpl"));
+  // The sibling specs keep their own certificates.
+  EXPECT_TRUE(Report.coversSpec("Symboltable"));
+  EXPECT_TRUE(Report.coversSpec("Stack"));
+}
+
+//===----------------------------------------------------------------------===//
+// Certificate-skip contract with the dynamic checker
+//===----------------------------------------------------------------------===//
+
+TEST(ExhaustivenessSkip, CoveringCertificateSkipsTheSweep) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("queue"), "queue.alg");
+  ExhaustivenessReport Cert = WS.exhaustiveness();
+  ASSERT_TRUE(Cert.coversSpec("Queue"));
+  const Spec &Q = WS.specs()[0];
+
+  CompletenessReport Swept = checkCompletenessDynamic(
+      WS.context(), Q, WS.specPointers(), 3);
+  CompletenessReport Skipped = checkCompletenessDynamic(
+      WS.context(), Q, WS.specPointers(), 3, EnumeratorOptions(),
+      ParallelOptions(), EngineOptions(), &Cert);
+
+  EXPECT_TRUE(Swept.ProvenBy.empty());
+  EXPECT_NE(Skipped.ProvenBy.find("static exhaustiveness certificate"),
+            std::string::npos);
+  EXPECT_EQ(Skipped.Engine.Steps, 0u); // No sweep ran.
+  // Findings are byte-identical: both empty, both complete.
+  EXPECT_TRUE(Swept.SufficientlyComplete);
+  EXPECT_TRUE(Skipped.SufficientlyComplete);
+  EXPECT_EQ(Swept.Missing.size(), Skipped.Missing.size());
+}
+
+TEST(ExhaustivenessSkip, NonCoveringCertificateChangesNothing) {
+  Workspace WS;
+  load(WS, PileAlg, "incomplete.alg");
+  ExhaustivenessReport Cert = WS.exhaustiveness();
+  ASSERT_FALSE(Cert.coversSpec("Pile"));
+  const Spec &P = WS.specs()[0];
+
+  CompletenessReport Without = checkCompletenessDynamic(
+      WS.context(), P, WS.specPointers(), 3);
+  CompletenessReport With = checkCompletenessDynamic(
+      WS.context(), P, WS.specPointers(), 3, EnumeratorOptions(),
+      ParallelOptions(), EngineOptions(), &Cert);
+
+  EXPECT_TRUE(With.ProvenBy.empty());
+  ASSERT_EQ(Without.Missing.size(), With.Missing.size());
+  for (size_t I = 0; I != Without.Missing.size(); ++I)
+    EXPECT_EQ(Without.Missing[I].SuggestedLhs, With.Missing[I].SuggestedLhs);
+  // The minimized stuck term matches the static witness exactly.
+  ASSERT_EQ(With.Missing.size(), 1u);
+  EXPECT_EQ(printTerm(WS.context(), With.Missing[0].SuggestedLhs),
+            "SIZE(PUSH(pile, item))");
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism across job counts and engines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+server::CommandResult run(const char *Command, const char *Builtin,
+                          unsigned Jobs, bool Compile, bool Json,
+                          int DynamicDepth = -1) {
+  server::CommandRequest Request;
+  Request.Command = Command;
+  Request.Sources.push_back(
+      {std::string(Builtin) + ".alg",
+       std::string(server::builtinSpecText(Builtin))});
+  Request.Opts.Jobs = Jobs;
+  Request.Opts.CompileEngine = Compile;
+  Request.Opts.Json = Json;
+  Request.Opts.DynamicDepth = DynamicDepth;
+  return server::runCommand(Request);
+}
+
+/// The `"exhaustiveness": {...}` block of an analyze/check JSON report —
+/// the part documented as byte-stable across every configuration.
+std::string exhaustivenessBlock(const std::string &Json) {
+  size_t Begin = Json.find("\"exhaustiveness\"");
+  EXPECT_NE(Begin, std::string::npos);
+  size_t End = Json.find("\"findings\"", Begin);
+  if (End == std::string::npos)
+    End = Json.find("\"convergence\"", Begin);
+  EXPECT_NE(End, std::string::npos);
+  return Json.substr(Begin, End - Begin);
+}
+
+} // namespace
+
+TEST(ExhaustivenessDeterminism, CheckOutputByteIdenticalAcrossJobs) {
+  // Both the certified path (queue: sweep skipped) and the uncertified
+  // path (table: full sweep) at a dynamic depth that exercises sharding.
+  for (const char *Builtin : {"queue", "table"}) {
+    server::CommandResult Serial = run("check", Builtin, 1, true, false, 3);
+    server::CommandResult Parallel =
+        run("check", Builtin, 4, true, false, 3);
+    EXPECT_EQ(Serial.Out, Parallel.Out) << Builtin;
+    EXPECT_EQ(Serial.ExitCode, Parallel.ExitCode) << Builtin;
+  }
+}
+
+TEST(ExhaustivenessDeterminism, CertificateByteIdenticalAcrossEngines) {
+  for (const char *Builtin : {"queue", "set", "table"}) {
+    server::CommandResult Compiled =
+        run("analyze", Builtin, 1, true, true);
+    server::CommandResult Interp =
+        run("analyze", Builtin, 1, false, true);
+    EXPECT_EQ(exhaustivenessBlock(Compiled.Out),
+              exhaustivenessBlock(Interp.Out))
+        << Builtin;
+  }
+}
+
+TEST(ExhaustivenessDeterminism, RepeatedCertificationIsStable) {
+  Workspace WS;
+  load(WS, server::builtinSpecText("boundedqueue"), "boundedqueue.alg");
+  ExhaustivenessReport First = WS.exhaustiveness();
+  ExhaustivenessReport Second = WS.exhaustiveness();
+  EXPECT_EQ(First.render(WS.context()), Second.render(WS.context()));
+}

@@ -402,9 +402,9 @@ TEST(LintRuleTest, NecessaryErrorAxiomNotFlagged) {
 // Framework behavior
 //===----------------------------------------------------------------------===//
 
-TEST(LintFrameworkTest, StandardRegistryHasElevenPasses) {
+TEST(LintFrameworkTest, StandardRegistryHasThirteenPasses) {
   Linter L = Linter::standard();
-  EXPECT_EQ(L.passes().size(), 11u);
+  EXPECT_EQ(L.passes().size(), 13u);
   for (const auto &Pass : L.passes()) {
     EXPECT_FALSE(Pass->name().empty());
     EXPECT_FALSE(Pass->description().empty());

@@ -14,7 +14,11 @@ Two series are understood, each optional in the input:
 * ``BM_EpochTruncateReuse`` against ``BM_FreshContextRebuild`` —
   truncating a warm arena back to a marked epoch and reusing it must
   beat re-elaborating a fresh context per request, which is the whole
-  point of the epoch lifecycle.
+  point of the epoch lifecycle;
+* ``BM_CompletenessCertified/<depth>`` against
+  ``BM_CompletenessGroundSweep/<depth>`` — a completeness check holding
+  a covering exhaustiveness certificate skips the bounded ground sweep,
+  so it must beat the uncertified sweep at every depth.
 
 Reads one or more JSON files (their benchmark lists are merged),
 prints a speedup table per series, and emits a GitHub Actions
@@ -75,6 +79,13 @@ def epoch_pair(name):
     return "reuse", "BM_FreshContextRebuild"
 
 
+def completeness_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_CompletenessCertified" or len(parts) != 2:
+        return None
+    return parts[1], "BM_CompletenessGroundSweep/" + parts[1]
+
+
 def report_series(title, key, rows, slow_name, fast_name):
     """Print one speedup table; return labels where fast lost."""
     print(title)
@@ -128,6 +139,17 @@ def main() -> int:
             print("::warning::epoch truncate+reuse slower than rebuilding "
                   "a fresh context per request (advisory; timings on "
                   "shared runners are noisy)")
+
+    rows = paired_rows(times, completeness_pair)
+    if rows:
+        found_any = True
+        slower = report_series("certified completeness vs ground sweep:",
+                               "depth", rows, "sweep", "certified")
+        if slower:
+            print("::warning::certified completeness check slower than the "
+                  "uncertified ground sweep at depths: "
+                  f"{', '.join(slower)} (advisory; timings on shared "
+                  "runners are noisy)")
 
     if not found_any:
         print("::warning::perf smoke found no known benchmark pairs "
