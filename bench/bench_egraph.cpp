@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E19 — the equality-saturation oracle against the
+/// per-instance sweep it screens. The headline A/B is the section-4
+/// Symboltable verification: `BM_VerifyScreened/<depth>` (oracle
+/// consulted, `--egraph=auto`) against `BM_VerifySweepOnly/<depth>`
+/// (`--egraph=off`) on the exact BM_VerifyReachable workload from
+/// bench_verify.cpp. One saturation discharges an obligation for *every*
+/// instance, so the gap widens with depth as the sweep's instance count
+/// grows exponentially while the proof cost stays flat. The micro-series
+/// isolate the e-graph primitives the oracle is built from: congruence
+/// propagation through merge+rebuild chains, and the batch screen's
+/// cost per obligation pair.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "egraph/EGraph.h"
+#include "egraph/EqSat.h"
+#include "rewrite/Engine.h"
+#include "rewrite/RewriteSystem.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+
+namespace {
+
+struct RepFixture {
+  RepFixture() {
+    Abstract = specs::loadSymboltable(Ctx).take();
+    Concrete = specs::loadStackArray(Ctx).take();
+    Rep = buildSymboltableRep(Ctx).take();
+    Sources.push_back(&Abstract);
+    for (const Spec &S : Concrete)
+      Sources.push_back(&S);
+    for (const Spec &S : Rep.ImplSpecs)
+      Sources.push_back(&S);
+  }
+
+  AlgebraContext Ctx;
+  Spec Abstract;
+  std::vector<Spec> Concrete;
+  SymboltableRep Rep;
+  std::vector<const Spec *> Sources;
+};
+
+void runVerify(benchmark::State &State, EqSatMode Mode) {
+  RepFixture F;
+  VerifyOptions Options;
+  Options.Domain = ValueDomain::Reachable;
+  Options.Depth = static_cast<unsigned>(State.range(0));
+  Options.EGraph = Mode;
+  uint64_t EGraphNodes = 0;
+  for (auto _ : State) {
+    VerifyReport Report = verifyRepresentation(F.Ctx, F.Abstract, F.Sources,
+                                               F.Rep.Mapping, Options);
+    benchmark::DoNotOptimize(Report.AllHold);
+    EGraphNodes = Report.Engine.EGraphNodes;
+  }
+  State.counters["egraph_nodes"] = static_cast<double>(EGraphNodes);
+}
+
+/// The oracle consulted (--egraph=auto): obligations the saturation
+/// discharges skip their whole instance sweep.
+void BM_VerifyScreened(benchmark::State &State) {
+  runVerify(State, EqSatMode::Auto);
+}
+
+/// The reference sweep (--egraph=off): every obligation is checked
+/// instance by instance. Same workload as bench_verify's
+/// BM_VerifyReachable before the oracle existed.
+void BM_VerifySweepOnly(benchmark::State &State) {
+  runVerify(State, EqSatMode::Off);
+}
+
+/// Congruence propagation: register two REMOVE-chains of length n over
+/// distinct queue variables, merge the roots' variables, and rebuild.
+/// The worklist must walk the whole chain, one hash-consed collision
+/// per level — the primitive the saturation loop leans on hardest.
+void BM_EGraphCongruenceChain(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Queue = specs::loadQueue(Ctx).take();
+  std::vector<const Spec *> Ptrs = {&Queue};
+  RewriteSystem System = RewriteSystem::buildChecked(Ctx, Ptrs).take();
+  SortId QueueSort = Ctx.lookupSort("Queue");
+  OpId Remove = Ctx.lookupOp("REMOVE");
+  const unsigned N = static_cast<unsigned>(State.range(0));
+  TermId X = Ctx.makeVar(Ctx.addVar("x", QueueSort));
+  TermId Y = Ctx.makeVar(Ctx.addVar("y", QueueSort));
+  TermId ChainX = X, ChainY = Y;
+  for (unsigned I = 0; I != N; ++I) {
+    ChainX = Ctx.makeOp(Remove, {ChainX});
+    ChainY = Ctx.makeOp(Remove, {ChainY});
+  }
+  uint64_t Merges = 0;
+  for (auto _ : State) {
+    EGraph G(Ctx);
+    G.add(ChainX);
+    G.add(ChainY);
+    G.merge(X, Y);
+    G.rebuild();
+    benchmark::DoNotOptimize(G.same(ChainX, ChainY));
+    Merges = G.merges();
+  }
+  State.counters["merges"] = static_cast<double>(Merges);
+}
+
+/// The consistency screen's shape: one saturation over a batch of n
+/// ground obligation pairs, every verdict read off the shared graph.
+void BM_EqSatBatch(benchmark::State &State) {
+  AlgebraContext Ctx;
+  Spec Queue = specs::loadQueue(Ctx).take();
+  std::vector<const Spec *> Ptrs = {&Queue};
+  RewriteSystem System = RewriteSystem::buildChecked(Ctx, Ptrs).take();
+  RewriteEngine Engine(Ctx, System, EngineOptions());
+  SortId ItemSort = Ctx.lookupSort("Item");
+  OpId Add = Ctx.lookupOp("ADD");
+  OpId Front = Ctx.lookupOp("FRONT");
+  TermId New = Ctx.makeOp(Ctx.lookupOp("NEW"), {});
+  TermId A = Ctx.makeAtom("a", ItemSort);
+  // FRONT(ADD^k(NEW, a)) = a for k = 1..n: each pair needs k guard
+  // folds, all discharged by the one shared saturation.
+  std::vector<std::pair<TermId, TermId>> Pairs;
+  TermId Q = New;
+  for (int K = 0; K != State.range(0); ++K) {
+    Q = Ctx.makeOp(Add, {Q, A});
+    Pairs.emplace_back(Ctx.makeOp(Front, {Q}), A);
+  }
+  uint64_t Proved = 0;
+  for (auto _ : State) {
+    EqSatProver Prover(Ctx, System, Engine);
+    std::vector<uint8_t> Out = Prover.proveBatch(Pairs);
+    Proved = 0;
+    for (uint8_t P : Out)
+      Proved += P;
+    benchmark::DoNotOptimize(Proved);
+  }
+  State.counters["proved"] = static_cast<double>(Proved);
+}
+
+} // namespace
+
+BENCHMARK(BM_VerifyScreened)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VerifySweepOnly)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EGraphCongruenceChain)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EqSatBatch)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+ALGSPEC_BENCHMARK_MAIN()

@@ -12,6 +12,7 @@
 #include "check/Convergence.h"
 #include "check/ReplicaWorker.h"
 #include "check/Unify.h"
+#include "egraph/EqSat.h"
 #include "rewrite/Engine.h"
 #include "rewrite/RewriteSystem.h"
 #include "rewrite/Substitution.h"
@@ -119,27 +120,19 @@ struct PairSweepState {
 };
 } // namespace
 
-/// Examines every critical pair between \p RuleA (any position of its
-/// left-hand side) and \p RuleB (renamed apart, at that position).
-/// \p Report receives each divergent pair; \p NormFailure each
-/// normalization failure message. \p AI / \p BI are the rules' indices
-/// in the system (root overlaps are visited once per unordered pair).
-static void checkRulePair(
-    PairSweepState &PS, const Rule &RuleA, size_t AI, const Rule &RuleB,
-    size_t BI,
-    const std::function<void(const Rule &, const Rule &, TermId, TermId,
-                             TermId)> &Report,
-    const std::function<void(const std::string &)> &NormFailure) {
-  AlgebraContext &Ctx = PS.Ctx;
-  auto normalizeOrCaveat = [&](TermId Term) -> TermId {
-    Result<TermId> Normal = PS.Engine.normalize(Term);
-    if (Normal)
-      return *Normal;
-    NormFailure("normalization failed during the check: " +
-                Normal.error().message());
-    return TermId();
-  };
-
+/// Enumerates the critical-pair peaks between \p RuleA (every
+/// non-variable position of its left-hand side) and \p RuleB (renamed
+/// apart, at that position) and calls \p Visit(Overlap, InstA, InstB)
+/// for each, in position order. Shared by the sweep and the
+/// equality-saturation pre-pass so the two enumerations cannot drift:
+/// the pre-pass addresses its verdicts by overlap ordinal, which is
+/// only sound because both passes walk this exact loop. (Fresh
+/// variables from renaming differ between calls; the enumeration
+/// *structure* does not.)
+static void
+forEachOverlap(AlgebraContext &Ctx, const Rule &RuleA, size_t AI,
+               const Rule &RuleB, size_t BI,
+               const std::function<void(TermId, TermId, TermId)> &Visit) {
   std::vector<std::vector<uint32_t>> Positions =
       nonVariablePositions(Ctx, RuleA.Lhs);
   auto [LhsB, RhsB] = renameRuleApart(Ctx, RuleB.Lhs, RuleB.Rhs);
@@ -159,9 +152,44 @@ static void checkRulePair(
 
     TermId Overlap = applySubstitution(Ctx, RuleA.Lhs, *Mgu);
     TermId InstA = applySubstitution(Ctx, RuleA.Rhs, *Mgu);
-    TermId InstB = applySubstitution(
-        Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
+    TermId InstB =
+        applySubstitution(Ctx, replaceAt(Ctx, RuleA.Lhs, Pos, RhsB), *Mgu);
+    Visit(Overlap, InstA, InstB);
+  }
+}
 
+/// Examines every critical pair between \p RuleA (any position of its
+/// left-hand side) and \p RuleB (renamed apart, at that position).
+/// \p Report receives each divergent pair; \p NormFailure each
+/// normalization failure message. \p AI / \p BI are the rules' indices
+/// in the system (root overlaps are visited once per unordered pair).
+/// \p Proved, when non-null, holds one flag per overlap ordinal (the
+/// order forEachOverlap enumerates): a set flag means one equality
+/// saturation already merged that peak's two reducts, so the bounded
+/// ground pass — which can only ever re-confirm a theory equality — is
+/// skipped for it. The symbolic normalize-and-join stays on regardless,
+/// so findings and caveats are unchanged.
+static void checkRulePair(
+    PairSweepState &PS, const Rule &RuleA, size_t AI, const Rule &RuleB,
+    size_t BI,
+    const std::function<void(const Rule &, const Rule &, TermId, TermId,
+                             TermId)> &Report,
+    const std::function<void(const std::string &)> &NormFailure,
+    const std::vector<uint8_t> *Proved = nullptr) {
+  AlgebraContext &Ctx = PS.Ctx;
+  auto normalizeOrCaveat = [&](TermId Term) -> TermId {
+    Result<TermId> Normal = PS.Engine.normalize(Term);
+    if (Normal)
+      return *Normal;
+    NormFailure("normalization failed during the check: " +
+                Normal.error().message());
+    return TermId();
+  };
+
+  size_t Ordinal = ~size_t(0);
+  forEachOverlap(Ctx, RuleA, AI, RuleB, BI, [&](TermId Overlap, TermId InstA,
+                                                TermId InstB) {
+    ++Ordinal;
     // Critical pair: both peak reducts must join.
     TermId NormA = normalizeOrCaveat(InstA);
     TermId NormB = normalizeOrCaveat(InstB);
@@ -176,11 +204,13 @@ static void checkRulePair(
       if (Joined.Status != PairStatus::Joined &&
           Joined.Status != PairStatus::JoinedByCases) {
         Report(RuleA, RuleB, Overlap, NormA, NormB);
-        continue;
+        return;
       }
     }
     if (PS.GroundDepth == 0)
-      continue;
+      return;
+    if (Proved && Ordinal < Proved->size() && (*Proved)[Ordinal])
+      return;
 
     // Ground pass: instantiate the peak's remaining variables with
     // enumerated values; divergence may only appear on concrete
@@ -191,7 +221,7 @@ static void checkRulePair(
     collectVarsOrdered(Ctx, InstA, FreeVars, SeenVars);
     collectVarsOrdered(Ctx, InstB, FreeVars, SeenVars);
     if (FreeVars.empty())
-      continue;
+      return;
 
     std::vector<const std::vector<TermId> *> Values;
     bool Empty = false;
@@ -203,7 +233,7 @@ static void checkRulePair(
       Values.push_back(&Set);
     }
     if (Empty)
-      continue;
+      return;
 
     constexpr size_t MaxGroundInstances = 512;
     size_t Count = 0;
@@ -233,7 +263,7 @@ static void checkRulePair(
       if (P == Index.size())
         break;
     }
-  }
+  });
 }
 
 ConsistencyReport
@@ -242,7 +272,8 @@ algspec::checkConsistency(AlgebraContext &Ctx,
                           unsigned GroundDepth,
                           EnumeratorOptions EnumOptions,
                           ParallelOptions Par, EngineOptions Eng,
-                          const ConvergenceReport *Convergence) {
+                          const ConvergenceReport *Convergence,
+                          EqSatMode EGraph) {
   ConsistencyReport Report;
 
   DiagnosticEngine Diags;
@@ -269,12 +300,55 @@ algspec::checkConsistency(AlgebraContext &Ctx,
     return Report;
   }
   RewriteEngine Engine(Ctx, System, Eng);
-  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
-      makeReplicaDriver(Par, Ctx, Specs, Eng, EnumOptions);
   TermEnumerator Enumerator(Ctx, std::move(EnumOptions));
 
   const std::vector<Rule> &Rules = System.rules();
   PairSweepState PS{Ctx, Engine, Enumerator, GroundDepth};
+  size_t R = Rules.size();
+
+  // Equality-saturation screen: when the certifier could not prove full
+  // convergence but its critical-pair analysis holds (every pair joins,
+  // rules left-linear, orientation complete), one saturation over every
+  // peak's two reducts discharges the whole batch at once — any merged
+  // pair is a theory equality, so its bounded ground pass (up to 512
+  // instance normalizations per overlap) can only re-confirm it and is
+  // skipped. With the oracle active the sweep runs on the calling
+  // thread: the screen replaces the worker pool as the fast path and
+  // the report stays jobs-invariant by construction. EqSatMode::On runs
+  // the saturation for its counters even without the gate; its verdicts
+  // are only consumed when the gate holds.
+  bool Gate = Convergence && !Diags.hasErrors() &&
+              Convergence->localJoinability();
+  bool RunSaturation =
+      EGraph == EqSatMode::On || (EGraph == EqSatMode::Auto && Gate);
+  std::vector<uint8_t> Merged;
+  std::vector<std::pair<size_t, size_t>> Ranges; // per flat pair: [start, count)
+  if (RunSaturation && R != 0 &&
+      R <= std::numeric_limits<size_t>::max() / R) {
+    std::vector<std::pair<TermId, TermId>> Obligations;
+    Ranges.resize(R * R, {0, 0});
+    for (size_t AI = 0; AI != R; ++AI)
+      for (size_t BI = 0; BI != R; ++BI) {
+        size_t Start = Obligations.size();
+        forEachOverlap(Ctx, Rules[AI], AI, Rules[BI], BI,
+                       [&](TermId, TermId InstA, TermId InstB) {
+                         Obligations.emplace_back(InstA, InstB);
+                       });
+        Ranges[AI * R + BI] = {Start, Obligations.size() - Start};
+      }
+    EqSatProver Prover(Ctx, System, Engine);
+    Merged = Prover.proveBatch(Obligations);
+    if (!Gate)
+      Merged.assign(Merged.size(), 0); // counters only, verdicts ungated
+    EqSatProverStats PSt = Prover.stats();
+    Report.Engine.EGraphClasses += PSt.Graph.Classes;
+    Report.Engine.EGraphNodes += PSt.Graph.Nodes;
+    Report.Engine.EGraphMerges += PSt.Graph.Merges;
+    Report.Engine.EGraphRebuilds += PSt.Graph.RebuildRounds;
+  }
+  bool Screened = !Ranges.empty() && Gate;
+  std::unique_ptr<ParallelDriver<ReplicaWorker>> Driver =
+      Screened ? nullptr : makeReplicaDriver(Par, Ctx, Specs, Eng, EnumOptions);
 
   // Deduplicate findings: one report per distinct (overlap, results).
   std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Seen;
@@ -303,9 +377,20 @@ algspec::checkConsistency(AlgebraContext &Ctx,
   // any finding or failed normalization are re-examined on the main
   // context in serial order, which regenerates exact messages and keeps
   // the dedup set's behaviour — so the report is byte-identical.
-  size_t R = Rules.size();
-  if (Driver && R != 0 && R <= std::numeric_limits<size_t>::max() / R &&
-      R * R <= Par.MaxFlatSpace) {
+  if (Screened) {
+    // Oracle path: serial sweep with per-overlap ground passes elided
+    // wherever the batch saturation merged the reducts.
+    for (size_t AI = 0; AI != R; ++AI)
+      for (size_t BI = 0; BI != R; ++BI) {
+        auto [Start, Count] = Ranges[AI * R + BI];
+        std::vector<uint8_t> Proved(Merged.begin() + Start,
+                                    Merged.begin() + Start + Count);
+        checkRulePair(PS, Rules[AI], AI, Rules[BI], BI, report, caveat,
+                      &Proved);
+      }
+  } else if (Driver && R != 0 &&
+             R <= std::numeric_limits<size_t>::max() / R &&
+             R * R <= Par.MaxFlatSpace) {
     std::vector<uint8_t> Flagged = Driver->map<uint8_t>(
         R * R, [&](ReplicaWorker &W, size_t Flat) -> uint8_t {
           if (!W.Engine || W.System->rules().size() != R)
@@ -331,7 +416,9 @@ algspec::checkConsistency(AlgebraContext &Ctx,
       for (size_t BI = 0; BI != R; ++BI)
         checkRulePair(PS, Rules[AI], AI, Rules[BI], BI, report, caveat);
   }
+  EngineStats Oracle = Report.Engine; // EGraph* counters folded above
   Report.Engine = Engine.stats();
+  Report.Engine += Oracle;
   if (Driver)
     for (ReplicaWorker *W : Driver->states())
       if (W->Engine)

@@ -40,6 +40,7 @@
 
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
+#include "egraph/EqSat.h"
 #include "rewrite/Engine.h"
 #include "support/Parallel.h"
 
@@ -97,13 +98,22 @@ struct ConsistencyReport {
 /// consistent" and skips the sweep (canonical normal forms leave no two
 /// axioms room to disagree). A certificate that does not cover the set
 /// changes nothing.
+///
+/// \p EGraph controls the equality-saturation screen (src/egraph/):
+/// when the certificate falls short of full convergence but its
+/// critical-pair analysis holds (ConvergenceReport::localJoinability),
+/// one saturation over every peak's reducts runs before the sweep and
+/// each merged pair skips its bounded ground pass. The report is
+/// byte-identical with the screen on or off (pinned by the e-graph
+/// differential tests); only the work changes.
 ConsistencyReport
 checkConsistency(AlgebraContext &Ctx, const std::vector<const Spec *> &Specs,
                  unsigned GroundDepth = 2,
                  EnumeratorOptions EnumOptions = EnumeratorOptions(),
                  ParallelOptions Par = ParallelOptions(),
                  EngineOptions Eng = EngineOptions(),
-                 const ConvergenceReport *Convergence = nullptr);
+                 const ConvergenceReport *Convergence = nullptr,
+                 EqSatMode EGraph = EqSatMode::Auto);
 
 } // namespace algspec
 

@@ -478,6 +478,7 @@ algspec::certifyConvergence(AlgebraContext &Ctx,
   DiagnosticEngine Diags;
   RewriteSystem System = RewriteSystem::build(Ctx, Specs, Diags);
   bool OrientationSkipped = Diags.hasErrors();
+  Report.OrientationComplete = !OrientationSkipped;
   if (OrientationSkipped)
     Report.Caveats.push_back(
         "some axioms could not be oriented into rules and were skipped; "

@@ -167,11 +167,31 @@ struct ConvergenceReport {
   /// the RPO precedence a certificate replay needs.
   TerminationReport Termination;
   std::vector<std::string> Caveats;
+  /// True when every axiom oriented into a rule (no axiom was skipped),
+  /// so the critical-pair enumeration saw the whole equational theory.
+  bool OrientationComplete = true;
 
   /// True when the whole rule set is proved confluent and terminating —
   /// the license for downstream checkers to claim decidable equality.
   bool provenConfluent() const {
     return Overall != ConvergenceVerdict::Unknown;
+  }
+
+  /// True when every enumerated critical pair joins (plainly or by
+  /// cases), every rule is left-linear, and orientation was complete.
+  /// Weaker than provenConfluent(): no termination claim, so equality
+  /// is not decided by normalization — but any equality the rules *do*
+  /// derive is consistent, which licenses the equality-saturation
+  /// oracle (src/egraph/) to discharge obligations that directed
+  /// normalization diverges on. See docs/VERIFICATION.md.
+  bool localJoinability() const {
+    if (!OrientationComplete || !NonLeftLinear.empty())
+      return false;
+    for (const CriticalPair &P : Pairs)
+      if (P.Status != PairStatus::Joined &&
+          P.Status != PairStatus::JoinedByCases)
+        return false;
+    return true;
   }
 
   const SpecConvergence *specVerdict(std::string_view SpecName) const;

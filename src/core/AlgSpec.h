@@ -90,13 +90,16 @@ public:
   /// Consistency check over every loaded spec. A convergence certificate
   /// is computed first: when it proves the workspace confluent and
   /// terminating, the report upgrades to "proven consistent" and the
-  /// critical-pair sweep is skipped.
+  /// critical-pair sweep is skipped. Short of that, \p EGraph controls
+  /// the equality-saturation screen over the critical pairs.
   ConsistencyReport checkConsistent(unsigned GroundDepth = 2,
                                     ParallelOptions Par = ParallelOptions(),
-                                    EngineOptions Eng = EngineOptions()) {
+                                    EngineOptions Eng = EngineOptions(),
+                                    EqSatMode EGraph = EqSatMode::Auto) {
     ConvergenceReport Certificate = convergence(Eng);
     return checkConsistency(*Ctx, specPointers(), GroundDepth,
-                            EnumeratorOptions(), Par, Eng, &Certificate);
+                            EnumeratorOptions(), Par, Eng, &Certificate,
+                            EGraph);
   }
 
   /// Runs the standard lint passes over every loaded spec.

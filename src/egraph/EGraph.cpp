@@ -1,0 +1,227 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/EGraph.h"
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/Engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace algspec;
+
+bool EGraph::isAtomicValue(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  switch (Node.Kind) {
+  case TermKind::Atom:
+  case TermKind::Int:
+  case TermKind::Error:
+    return true;
+  case TermKind::Op:
+    return Term == Ctx.trueTerm() || Term == Ctx.falseTerm();
+  case TermKind::Var:
+    return false;
+  }
+  return false;
+}
+
+unsigned EGraph::repRank(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  if (isAtomicValue(Term))
+    return 0;
+  if (Node.Kind == TermKind::Var)
+    return 5;
+  // Constructor-headedness dominates groundness: parents canonicalized
+  // over a constructor-headed representative expose the constructor
+  // patterns the rule matcher keys on (POP(PUSH(s, a)) fires, POP of a
+  // defined-op synonym never would), so saturation makes progress even
+  // when the defined form is the older node.
+  bool Ctor = Node.Kind == TermKind::Op && Ctx.op(Node.Op).isConstructor();
+  uint32_t Idx = nodeOf(Term);
+  bool Ground = Idx != UINT32_MAX && GroundOf[Idx];
+  if (Ctor)
+    return Ground ? 1 : 2;
+  return Ground ? 3 : 4;
+}
+
+uint32_t EGraph::add(TermId Term) {
+  if (uint32_t Idx = nodeOf(Term); Idx != UINT32_MAX)
+    return Idx;
+
+  // Children first (they exist before the parent in any walk), so the
+  // parent registration below can link into their classes.
+  const TermNode Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Op) {
+    auto Span = Ctx.children(Term);
+    std::vector<TermId> Children(Span.begin(), Span.end());
+    for (TermId Child : Children)
+      add(Child);
+  }
+
+  uint32_t Idx = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(Term);
+  NodeIndex.emplace(Term, Idx);
+  UF.push_back(Idx);
+  RepOf.push_back(Term);
+  ValueOf.push_back(isAtomicValue(Term) ? Term : TermId());
+  ParentsOf.emplace_back();
+  bool Ground = Node.Kind != TermKind::Var;
+  if (Node.Kind == TermKind::Op)
+    for (TermId Child : Ctx.children(Term))
+      Ground = Ground && GroundOf[nodeOf(Child)];
+  GroundOf.push_back(Ground ? 1 : 0);
+
+  if (Node.Kind == TermKind::Op)
+    for (TermId Child : Ctx.children(Term))
+      ParentsOf[findNode(nodeOf(Child))].push_back(Idx);
+
+  Pending.push_back(Idx);
+  return Idx;
+}
+
+uint32_t EGraph::findNode(uint32_t Idx) {
+  assert(Idx != UINT32_MAX && "term not registered in the e-graph");
+  while (UF[Idx] != Idx) {
+    UF[Idx] = UF[UF[Idx]]; // path halving
+    Idx = UF[Idx];
+  }
+  return Idx;
+}
+
+bool EGraph::merge(TermId A, TermId B) {
+  return mergeNodes(nodeOf(A), nodeOf(B));
+}
+
+bool EGraph::mergeNodes(uint32_t A, uint32_t B) {
+  uint32_t Ra = findNode(A);
+  uint32_t Rb = findNode(B);
+  if (Ra == Rb)
+    return false;
+  // Canonical root: the smallest member index. Deterministic regardless
+  // of merge order, which keeps every downstream report byte-stable.
+  uint32_t Root = std::min(Ra, Rb);
+  uint32_t Old = std::max(Ra, Rb);
+  UF[Old] = Root;
+  ++Merges;
+  ++MergedAway;
+
+  if (ParentsOf[Root].empty())
+    ParentsOf[Root] = std::move(ParentsOf[Old]);
+  else
+    ParentsOf[Root].insert(ParentsOf[Root].end(), ParentsOf[Old].begin(),
+                           ParentsOf[Old].end());
+  ParentsOf[Old].clear();
+
+  TermId RepA = RepOf[Ra], RepB = RepOf[Rb];
+  unsigned RankA = repRank(RepA), RankB = repRank(RepB);
+  RepOf[Root] = RankA < RankB ? RepA
+                : RankB < RankA
+                    ? RepB
+                    : (nodeOf(RepA) <= nodeOf(RepB) ? RepA : RepB);
+
+  TermId Va = ValueOf[Ra], Vb = ValueOf[Rb];
+  if (Va.isValid() && Vb.isValid() && Va != Vb)
+    Contradiction = true;
+  ValueOf[Root] = Va.isValid() ? Va : Vb;
+
+  // Every node holding a member of the united class as a child may now
+  // be congruent to a node in another class; recanonicalize them. The
+  // members of the class itself keep their structure, so they need no
+  // revisit — except that the class representative may have changed,
+  // which only the parents observe.
+  for (uint32_t P : ParentsOf[Root])
+    Pending.push_back(P);
+  return true;
+}
+
+void EGraph::canonicalize(uint32_t Idx) {
+  TermId Term = Nodes[Idx];
+  const TermNode Node = Ctx.node(Term);
+  if (Node.Kind != TermKind::Op)
+    return;
+  const OpInfo &Info = Ctx.op(Node.Op);
+
+  // Copy the children out: term creation below can reallocate the
+  // arena's child pool under a live span.
+  auto Span = Ctx.children(Term);
+  std::vector<TermId> Orig(Span.begin(), Span.end());
+  std::vector<TermId> Reps = Orig;
+  for (TermId &Child : Reps)
+    Child = RepOf[findNode(nodeOf(Child))];
+
+  // If-then-else folds natively once its condition class is decided;
+  // the branches stay lazy exactly as in the engine.
+  if (Info.Builtin == BuiltinOp::Ite) {
+    TermId Cond = Reps[0];
+    if (Cond == Ctx.trueTerm()) {
+      mergeNodes(Idx, nodeOf(Orig[1]));
+      return;
+    }
+    if (Cond == Ctx.falseTerm()) {
+      mergeNodes(Idx, nodeOf(Orig[2]));
+      return;
+    }
+    if (Ctx.isError(Cond)) {
+      uint32_t E = add(Ctx.makeError(Node.Sort));
+      mergeNodes(Idx, E);
+      return;
+    }
+  }
+
+  // SAME over one class is true whether or not the terms are ground:
+  // both sides denote the same value under every assignment consistent
+  // with this graph's merges.
+  if (Info.Builtin == BuiltinOp::Same &&
+      findNode(nodeOf(Orig[0])) == findNode(nodeOf(Orig[1]))) {
+    uint32_t T = add(Ctx.trueTerm());
+    mergeNodes(Idx, T);
+    return;
+  }
+
+  // Remaining builtins evaluate through the engine's native evaluator
+  // over the class representatives.
+  if (Eval && Info.isBuiltin() && Info.Builtin != BuiltinOp::Ite) {
+    TermId Value = Eval->evalBuiltinApp(Node.Op, Reps);
+    if (Value.isValid()) {
+      uint32_t V = add(Value);
+      mergeNodes(Idx, V);
+      return;
+    }
+  }
+
+  // Structural canonicalization: the same node over the representative
+  // children. Hash-consing makes congruent nodes collide into one
+  // TermId, so `add` returning an existing index *is* the congruence
+  // detection. makeOp's strict error propagation applies here too: a
+  // child class that resolved to error poisons the canonical form.
+  bool Changed = false;
+  for (size_t I = 0; I != Reps.size(); ++I)
+    Changed |= Reps[I] != Orig[I];
+  if (!Changed)
+    return;
+  TermId Canon = Info.Builtin == BuiltinOp::Ite
+                     ? Ctx.makeIte(Reps[0], Reps[1], Reps[2])
+                     : Ctx.makeOp(Node.Op, Reps);
+  uint32_t C = add(Canon);
+  mergeNodes(Idx, C);
+}
+
+unsigned EGraph::rebuild() {
+  unsigned Rounds = 0;
+  std::vector<uint32_t> Batch;
+  while (!Pending.empty()) {
+    ++Rounds;
+    Batch.clear();
+    std::swap(Batch, Pending);
+    std::sort(Batch.begin(), Batch.end());
+    Batch.erase(std::unique(Batch.begin(), Batch.end()), Batch.end());
+    for (uint32_t Idx : Batch)
+      canonicalize(Idx);
+  }
+  RebuildRounds += Rounds;
+  return Rounds;
+}

@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An e-graph over the hash-consed term arena.
+///
+/// The arena already stores every term exactly once (PR 7's packed,
+/// hash-consed nodes), so an e-node here *is* a TermId: the e-graph adds
+/// only a union-find partitioning registered terms into e-classes and a
+/// congruence-closure `rebuild`. Congruence detection rides on the hash
+/// cons itself: rebuilding a node means re-creating it from its
+/// children's class representatives with AlgebraContext::makeOp, and two
+/// congruent nodes collide into the *same* TermId, which `add` then
+/// observes as an existing e-node and merges. This keeps the e-graph at
+/// two side arrays over the arena instead of a private node table, and
+/// it inherits makeOp's semantics for free: strict error propagation
+/// (a child class whose representative is `error` poisons the rebuilt
+/// parent) and lazy if-then-else branches.
+///
+/// Builtin semantics beyond structure are applied during
+/// canonicalization: an if-then-else whose condition class resolves to
+/// true/false/error collapses into the taken branch (or error), SAME
+/// over one class is true, and the remaining builtins (SAME on
+/// literals, Int arithmetic, Bool connectives) evaluate through the
+/// rewrite engine's native evaluator so the e-graph and the engine can
+/// never disagree about a builtin.
+///
+/// Everything is deterministic: e-nodes are processed in insertion
+/// order, the union-find root is the smallest member index, and class
+/// representatives are chosen by a fixed rank (value < ground
+/// constructor term < open constructor term < ground op < other op <
+/// variable, ties to the oldest node).
+/// Reports derived from the e-graph are byte-identical across runs and
+/// job counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_EGRAPH_EGRAPH_H
+#define ALGSPEC_EGRAPH_EGRAPH_H
+
+#include "ast/Ids.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class RewriteEngine;
+
+/// Counters for one e-graph (or summed over many); surfaced through
+/// EngineStats and the server's stats block.
+struct EGraphStats {
+  uint64_t Classes = 0;       ///< Live e-classes.
+  uint64_t Nodes = 0;         ///< Registered e-nodes (terms).
+  uint64_t Merges = 0;        ///< Class unions performed.
+  uint64_t RebuildRounds = 0; ///< Congruence worklist rounds run.
+
+  EGraphStats &operator+=(const EGraphStats &O) {
+    Classes += O.Classes;
+    Nodes += O.Nodes;
+    Merges += O.Merges;
+    RebuildRounds += O.RebuildRounds;
+    return *this;
+  }
+};
+
+class EGraph {
+public:
+  explicit EGraph(AlgebraContext &Ctx) : Ctx(Ctx) {}
+
+  /// Routes builtin evaluation (SAME on literals, Int ops, Bool
+  /// connectives) through \p Engine so the e-graph shares the engine's
+  /// native semantics. Without an evaluator only the structural rules
+  /// (if-then-else folding, SAME over one class) apply.
+  void setEvaluator(RewriteEngine *Engine) { Eval = Engine; }
+
+  /// Registers \p Term and every subterm as e-nodes (each its own
+  /// singleton class unless already present) and returns the node index.
+  uint32_t add(TermId Term);
+
+  bool contains(TermId Term) const { return NodeIndex.count(Term) != 0; }
+
+  /// Asserts that both terms are registered; unions their classes.
+  /// Returns true when two distinct classes were united.
+  bool merge(TermId A, TermId B);
+
+  /// Runs congruence closure to a fixpoint: every node whose children's
+  /// classes changed is re-created over the class representatives, and
+  /// the hash-consed collision with its congruent twin triggers the
+  /// merge. Returns the number of worklist rounds run.
+  unsigned rebuild();
+
+  /// True when the two registered terms are in one class.
+  bool same(TermId A, TermId B) {
+    return findNode(nodeOf(A)) == findNode(nodeOf(B));
+  }
+
+  /// The canonical representative term of \p Term's class.
+  TermId repr(TermId Term) { return RepOf[findNode(nodeOf(Term))]; }
+
+  /// True when some class holds two distinct atomic values (two
+  /// different literals, true and false, or a value and error): the
+  /// assumptions merged into this graph are unsatisfiable.
+  bool contradiction() const { return Contradiction; }
+
+  /// Registered terms in insertion order. Grows during rebuild; index
+  /// into it rather than holding iterators.
+  const std::vector<TermId> &nodes() const { return Nodes; }
+
+  /// Class root (node index) of a registered term.
+  uint32_t find(TermId Term) { return findNode(nodeOf(Term)); }
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numClasses() const { return Nodes.size() - MergedAway; }
+  uint64_t merges() const { return Merges; }
+  uint64_t rebuildRounds() const { return RebuildRounds; }
+
+  EGraphStats stats() const {
+    EGraphStats S;
+    S.Classes = numClasses();
+    S.Nodes = numNodes();
+    S.Merges = Merges;
+    S.RebuildRounds = RebuildRounds;
+    return S;
+  }
+
+private:
+  uint32_t nodeOf(TermId Term) const {
+    auto It = NodeIndex.find(Term);
+    return It == NodeIndex.end() ? UINT32_MAX : It->second;
+  }
+  uint32_t findNode(uint32_t Idx);
+  bool mergeNodes(uint32_t A, uint32_t B);
+  /// Re-creates node \p Idx over its children's class representatives
+  /// and merges with the congruent twin; applies builtin semantics.
+  void canonicalize(uint32_t Idx);
+  /// Representative preference: lower rank wins, ties to older node.
+  unsigned repRank(TermId Term) const;
+  /// Atom, Int, error, or a Bool literal: a decided value whose
+  /// disagreement within one class is a contradiction.
+  bool isAtomicValue(TermId Term) const;
+
+  AlgebraContext &Ctx;
+  RewriteEngine *Eval = nullptr;
+
+  std::vector<TermId> Nodes;
+  std::unordered_map<TermId, uint32_t> NodeIndex;
+  /// Union-find parent per node; the root of a class is always its
+  /// smallest member index (deterministic canonical root).
+  std::vector<uint32_t> UF;
+  /// Valid at roots: the class's representative term.
+  std::vector<TermId> RepOf;
+  /// Valid at roots: the atomic value the class resolved to, if any.
+  std::vector<TermId> ValueOf;
+  /// Valid at roots: indices of op-nodes with a direct child in this
+  /// class (congruence fan-out for the worklist).
+  std::vector<std::vector<uint32_t>> ParentsOf;
+  /// Ground flag per node (no variables anywhere below).
+  std::vector<uint8_t> GroundOf;
+  /// Nodes awaiting (re)canonicalization.
+  std::vector<uint32_t> Pending;
+
+  size_t MergedAway = 0;
+  uint64_t Merges = 0;
+  uint64_t RebuildRounds = 0;
+  bool Contradiction = false;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_EGRAPH_EGRAPH_H

@@ -1,0 +1,470 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "egraph/EqSat.h"
+
+#include "ast/AlgebraContext.h"
+#include "rewrite/Engine.h"
+#include "rewrite/Matcher.h"
+#include "rewrite/RewriteSystem.h"
+#include "rewrite/Substitution.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace algspec;
+
+namespace {
+
+/// Collects the variables of \p Term into \p Out (deduplicated).
+void collectVarSet(const AlgebraContext &Ctx, TermId Term,
+                   std::vector<VarId> &Out) {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var) {
+    if (std::find(Out.begin(), Out.end(), Node.Var) == Out.end())
+      Out.push_back(Node.Var);
+    return;
+  }
+  for (TermId Child : Ctx.children(Term))
+    collectVarSet(Ctx, Child, Out);
+}
+
+} // namespace
+
+EqSatProver::EqSatProver(AlgebraContext &Ctx, const RewriteSystem &System,
+                         RewriteEngine &Eval, EqSatOptions Options)
+    : Ctx(Ctx), System(System), Eval(Eval), Options(Options), Base(Ctx) {
+  Base.setEvaluator(&Eval);
+  // A rule runs backward only when its sides bind the same variables
+  // (construction already guarantees vars(Rhs) <= vars(Lhs)) and the
+  // right-hand side is an application the matcher can key on.
+  BackOk.reserve(System.rules().size());
+  for (const Rule &R : System.rules()) {
+    bool Ok = Ctx.node(R.Rhs).Kind == TermKind::Op;
+    if (Ok) {
+      std::vector<VarId> LhsVars, RhsVars;
+      collectVarSet(Ctx, R.Lhs, LhsVars);
+      collectVarSet(Ctx, R.Rhs, RhsVars);
+      for (VarId V : LhsVars)
+        Ok = Ok && std::find(RhsVars.begin(), RhsVars.end(), V) !=
+                       RhsVars.end();
+    }
+    BackOk.push_back(Ok ? 1 : 0);
+  }
+}
+
+void EqSatProver::enableInduction(SortId RepSort,
+                                  std::vector<OpId> Gens) {
+  InductionSort = RepSort;
+  Generators = std::move(Gens);
+  deriveInvariants();
+}
+
+unsigned EqSatProver::termDepth(TermId Term) {
+  auto It = DepthMemo.find(Term);
+  if (It != DepthMemo.end())
+    return It->second;
+  unsigned D = 1;
+  if (Ctx.node(Term).Kind == TermKind::Op)
+    for (TermId Child : Ctx.children(Term))
+      D = std::max(D, 1 + termDepth(Child));
+  DepthMemo.emplace(Term, D);
+  return D;
+}
+
+void EqSatProver::deriveInvariants() {
+  Invariants.clear();
+  Stats.Invariants = 0;
+  if (!InductionSort.isValid() || Generators.empty())
+    return;
+  auto Decided = [&](TermId T) {
+    const TermNode &N = Ctx.node(T);
+    return N.Kind == TermKind::Atom || N.Kind == TermKind::Int ||
+           N.Kind == TermKind::Error || T == Ctx.trueTerm() ||
+           T == Ctx.falseTerm();
+  };
+  // Evaluates Op over one generator image in a scratch graph. With a
+  // valid candidate the hypothesis Op(w) = Cand is assumed for the
+  // image's induction-sorted arguments (the induction step); without
+  // one the image must decide on its own (a base case).
+  auto EvalOverGen = [&](OpId Op, OpId Gen, TermId Cand) -> TermId {
+    std::vector<TermId> Args;
+    for (SortId S : Ctx.op(Gen).ArgSorts)
+      Args.push_back(Ctx.makeVar(
+          Ctx.addVar("inv#" + std::to_string(++FreshCounter), S)));
+    TermId Probe = Ctx.makeOp(Op, {Ctx.makeOp(Gen, Args)});
+    EGraph G(Ctx);
+    G.setEvaluator(&Eval);
+    G.add(Probe);
+    if (Cand.isValid())
+      for (TermId A : Args)
+        if (Ctx.sortOf(A) == InductionSort) {
+          TermId Hyp = Ctx.makeOp(Op, {A});
+          G.add(Hyp);
+          G.add(Cand);
+          G.merge(Hyp, Cand);
+        }
+    std::unordered_set<uint64_t> Applied;
+    DepthCap = termDepth(Probe) + Options.DepthSlack;
+    saturate(G, Applied, Options.MaxBranchNodes);
+    BranchTotals += G.stats();
+    if (G.contradiction())
+      return TermId();
+    TermId R = G.repr(Probe);
+    return Decided(R) ? R : TermId();
+  };
+  // Every unary op over the induction sort is a candidate: if it takes
+  // one fixed atomic value on all generator images — proved by
+  // structural induction over the generators — that value holds for
+  // every variable ranging over the reachable domain. This is how the
+  // prover learns the paper's Assumption 1 (IS_NEWSTACK?(v) = false on
+  // valid representations) from the axioms alone.
+  for (unsigned I = 0; I != Ctx.numOps(); ++I) {
+    OpId Op(I);
+    const OpInfo &Info = Ctx.op(Op);
+    if (Info.isConstructor() || Info.isBuiltin())
+      continue;
+    if (Info.ArgSorts.size() != 1 || Info.ArgSorts[0] != InductionSort)
+      continue;
+    TermId Cand;
+    bool Ok = true;
+    std::vector<OpId> NeedHyp;
+    for (OpId Gen : Generators) {
+      TermId V = EvalOverGen(Op, Gen, TermId());
+      if (!V.isValid()) {
+        NeedHyp.push_back(Gen);
+        continue;
+      }
+      if (Cand.isValid() && V != Cand) {
+        Ok = false;
+        break;
+      }
+      Cand = V;
+    }
+    if (!Ok || !Cand.isValid())
+      continue;
+    for (OpId Gen : NeedHyp)
+      if (EvalOverGen(Op, Gen, Cand) != Cand) {
+        Ok = false;
+        break;
+      }
+    if (!Ok)
+      continue;
+    Invariants.emplace_back(Op, Cand);
+    ++Stats.Invariants;
+  }
+}
+
+void EqSatProver::assertInvariants(EGraph &G, TermId Lhs, TermId Rhs,
+                                   const std::vector<Binding> &Assumes) {
+  if (Invariants.empty())
+    return;
+  std::vector<VarId> Vars;
+  collectVarSet(Ctx, Lhs, Vars);
+  collectVarSet(Ctx, Rhs, Vars);
+  for (const Binding &B : Assumes) {
+    collectVarSet(Ctx, B.A, Vars);
+    collectVarSet(Ctx, B.B, Vars);
+  }
+  for (VarId V : Vars) {
+    if (Ctx.var(V).Sort != InductionSort)
+      continue;
+    for (const auto &[Op, Value] : Invariants) {
+      TermId App = Ctx.makeOp(Op, {Ctx.makeVar(V)});
+      G.add(App);
+      G.add(Value);
+      G.merge(App, Value);
+    }
+  }
+}
+
+EqSatProverStats EqSatProver::stats() const {
+  EqSatProverStats S = Stats;
+  S.Graph = Base.stats();
+  S.Graph += BranchTotals;
+  return S;
+}
+
+bool EqSatProver::applyRules(EGraph &G,
+                             std::unordered_set<uint64_t> &Applied,
+                             uint64_t MaxNodes, bool &OutOfFuel,
+                             bool &Skipped) {
+  const std::vector<Rule> &Rules = System.rules();
+  bool Changed = false;
+  // The node list grows while rules fire; newly added nodes are visited
+  // in this same sweep (insertion order keeps it deterministic).
+  for (size_t NI = 0; NI != G.nodes().size(); ++NI) {
+    if (G.numNodes() > MaxNodes) {
+      OutOfFuel = true;
+      break;
+    }
+    TermId Term = G.nodes()[NI];
+    const TermNode Node = Ctx.node(Term);
+    if (Node.Kind != TermKind::Op)
+      continue;
+    for (size_t RI = 0; RI != Rules.size(); ++RI) {
+      const Rule &R = Rules[RI];
+      // Forward: Lhs matches this node, merge with the instantiated Rhs.
+      if (R.HeadOp == Node.Op) {
+        uint64_t Key = (uint64_t(RI) << 33) | (uint64_t(NI) << 1);
+        if (Applied.insert(Key).second) {
+          Substitution Subst;
+          if (matchTerm(Ctx, R.Lhs, Term, Subst)) {
+            TermId Inst = applySubstitution(Ctx, R.Rhs, Subst);
+            if (termDepth(Inst) > DepthCap)
+              Skipped = true;
+            else {
+              G.add(Inst);
+              Changed |= G.merge(Term, Inst);
+            }
+          }
+        }
+      }
+      // Backward: Rhs matches this node, merge with the instantiated
+      // Lhs — this is what makes the rules a congruence instead of a
+      // reduction.
+      if (BackOk[RI] && Ctx.node(R.Rhs).Op == Node.Op) {
+        uint64_t Key = (uint64_t(RI) << 33) | (uint64_t(NI) << 1) | 1;
+        if (Applied.insert(Key).second) {
+          Substitution Subst;
+          if (matchTerm(Ctx, R.Rhs, Term, Subst)) {
+            TermId Inst = applySubstitution(Ctx, R.Lhs, Subst);
+            if (termDepth(Inst) > DepthCap)
+              Skipped = true;
+            else {
+              G.add(Inst);
+              Changed |= G.merge(Term, Inst);
+            }
+          }
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+SatVerdict EqSatProver::saturate(EGraph &G,
+                                 std::unordered_set<uint64_t> &Applied,
+                                 uint64_t MaxNodes, TermId GoalA,
+                                 TermId GoalB) {
+  G.rebuild();
+  bool Skipped = false;
+  for (unsigned Round = 0; Round != Options.MaxRounds; ++Round) {
+    // Once the goal classes meet (or the assumptions contradict) the
+    // answer cannot change; stop burning rounds.
+    if (GoalA.isValid() && (G.contradiction() || G.same(GoalA, GoalB)))
+      return SatVerdict::Saturated;
+    bool OutOfFuel = false;
+    bool Changed = applyRules(G, Applied, MaxNodes, OutOfFuel, Skipped);
+    G.rebuild();
+    if (G.contradiction())
+      return SatVerdict::Saturated;
+    if (OutOfFuel)
+      break;
+    if (!Changed) {
+      // A fixpoint with depth-capped instantiations skipped is not a
+      // true fixpoint; stay honest about it.
+      if (!Skipped)
+        return SatVerdict::Saturated;
+      break;
+    }
+  }
+  ++Stats.FuelExhausted;
+  return SatVerdict::FuelExhausted;
+}
+
+TermId EqSatProver::findUndecidedGuard(EGraph &G, TermId Lhs, TermId Rhs) {
+  // Classes reachable from the goal terms, via any member's children.
+  const std::vector<TermId> &Nodes = G.nodes();
+  std::unordered_map<uint32_t, std::vector<uint32_t>> Members;
+  for (uint32_t NI = 0; NI != Nodes.size(); ++NI)
+    Members[G.find(Nodes[NI])].push_back(NI);
+
+  std::vector<uint32_t> Work{G.find(Lhs), G.find(Rhs)};
+  std::unordered_set<uint32_t> Reach(Work.begin(), Work.end());
+  while (!Work.empty()) {
+    uint32_t Root = Work.back();
+    Work.pop_back();
+    for (uint32_t NI : Members[Root]) {
+      TermId Term = Nodes[NI];
+      if (Ctx.node(Term).Kind != TermKind::Op)
+        continue;
+      for (TermId Child : Ctx.children(Term)) {
+        uint32_t CR = G.find(Child);
+        if (Reach.insert(CR).second)
+          Work.push_back(CR);
+      }
+    }
+  }
+
+  for (uint32_t NI = 0; NI != Nodes.size(); ++NI) {
+    TermId Term = Nodes[NI];
+    const TermNode &Node = Ctx.node(Term);
+    if (Node.Kind != TermKind::Op ||
+        Ctx.op(Node.Op).Builtin != BuiltinOp::Ite)
+      continue;
+    if (!Reach.count(G.find(Term)))
+      continue;
+    TermId Cond = G.repr(Ctx.children(Term)[0]);
+    if (Cond == Ctx.trueTerm() || Cond == Ctx.falseTerm() ||
+        Ctx.isError(Cond))
+      continue;
+    return Cond;
+  }
+  return TermId();
+}
+
+VarId EqSatProver::findInductionVar(TermId Term) const {
+  const TermNode &Node = Ctx.node(Term);
+  if (Node.Kind == TermKind::Var)
+    return Ctx.var(Node.Var).Sort == InductionSort ? Node.Var : VarId();
+  for (TermId Child : Ctx.children(Term))
+    if (VarId V = findInductionVar(Child); V.isValid())
+      return V;
+  return VarId();
+}
+
+bool EqSatProver::proveRec(TermId Lhs, TermId Rhs,
+                           std::vector<Binding> Assumes, unsigned Depth,
+                           unsigned &Branches) {
+  if (++Branches > Options.MaxBranches)
+    return false;
+
+  EGraph G(Ctx);
+  G.setEvaluator(&Eval);
+  G.add(Lhs);
+  G.add(Rhs);
+  unsigned MaxD = std::max(termDepth(Lhs), termDepth(Rhs));
+  for (const Binding &B : Assumes) {
+    G.add(B.A);
+    G.add(B.B);
+    G.merge(B.A, B.B);
+    MaxD = std::max({MaxD, termDepth(B.A), termDepth(B.B)});
+    // A SAME assumed true identifies its arguments (SAME is equality on
+    // the carrier); mirrored from the joiner's split discipline.
+    const TermNode &N = Ctx.node(B.A);
+    if (B.B == Ctx.trueTerm() && N.Kind == TermKind::Op &&
+        Ctx.op(N.Op).Builtin == BuiltinOp::Same) {
+      auto Args = Ctx.children(B.A);
+      G.merge(Args[0], Args[1]);
+    }
+  }
+  assertInvariants(G, Lhs, Rhs, Assumes);
+  std::unordered_set<uint64_t> Applied;
+  DepthCap = MaxD + Options.DepthSlack;
+  SatVerdict V = saturate(G, Applied, Options.MaxBranchNodes, Lhs, Rhs);
+  if (Depth == 0)
+    Verdict = V;
+
+  bool Done = false;
+  if (G.contradiction())
+    Done = true; // assumptions cover no ground instance: vacuous
+  else if (G.same(Lhs, Rhs))
+    Done = true;
+  if (Done || Depth >= Options.MaxSplitDepth) {
+    BranchTotals += G.stats();
+    return Done;
+  }
+
+  TermId Guard = findUndecidedGuard(G, Lhs, Rhs);
+  BranchTotals += G.stats();
+  if (!Guard.isValid())
+    return false;
+
+  // Generator split: a guard stuck on a representation-sorted variable
+  // (IS_NEWSTACK?(x), IS_UNDEFINED?(TOP(x), i), ...) only decides once
+  // the variable takes a generator shape. Splitting by the last
+  // generator application is a complete case analysis of the Reachable
+  // domain; each branch re-proves the goal with the variable replaced
+  // by one generator image over fresh argument variables.
+  if (!Generators.empty()) {
+    if (VarId IV = findInductionVar(Guard); IV.isValid()) {
+      ++Stats.GenSplits;
+      for (OpId Gen : Generators) {
+        const OpInfo &Info = Ctx.op(Gen);
+        std::vector<TermId> Args;
+        for (SortId ArgSort : Info.ArgSorts) {
+          std::string Name = std::string(Ctx.varName(IV)) + "#" +
+                             std::to_string(++FreshCounter);
+          Args.push_back(Ctx.makeVar(Ctx.addVar(Name, ArgSort)));
+        }
+        TermId Image = Ctx.makeOp(Gen, Args);
+        Substitution Subst;
+        Subst.bind(IV, Image);
+        std::vector<Binding> Sub;
+        Sub.reserve(Assumes.size());
+        for (const Binding &B : Assumes)
+          Sub.push_back({applySubstitution(Ctx, B.A, Subst),
+                         applySubstitution(Ctx, B.B, Subst)});
+        if (!proveRec(applySubstitution(Ctx, Lhs, Subst),
+                      applySubstitution(Ctx, Rhs, Subst), std::move(Sub),
+                      Depth + 1, Branches))
+          return false;
+      }
+      return true;
+    }
+  }
+
+  // Guard split: the condition denotes true, false, or error on every
+  // ground instance; all three branches must close.
+  ++Stats.GuardSplits;
+  for (TermId Value : {Ctx.trueTerm(), Ctx.falseTerm(),
+                       Ctx.makeError(Ctx.sortOf(Guard))}) {
+    std::vector<Binding> Sub = Assumes;
+    Sub.push_back({Guard, Value});
+    if (!proveRec(Lhs, Rhs, std::move(Sub), Depth + 1, Branches))
+      return false;
+  }
+  return true;
+}
+
+bool EqSatProver::prove(TermId Lhs, TermId Rhs) {
+  Base.add(Lhs);
+  Base.add(Rhs);
+  DepthCap = std::max(termDepth(Lhs), termDepth(Rhs)) + Options.DepthSlack;
+  Verdict = saturate(Base, BaseApplied, Options.MaxBaseNodes, Lhs, Rhs);
+  if (Base.contradiction()) {
+    // The axioms alone derived a contradiction: the workspace is
+    // degenerate and every "proof" would be vacuous. Claim nothing.
+    ++Stats.Failures;
+    return false;
+  }
+  if (Base.same(Lhs, Rhs)) {
+    ++Stats.Proofs;
+    return true;
+  }
+  unsigned Branches = 0;
+  bool Ok = proveRec(Lhs, Rhs, {}, 0, Branches);
+  if (Ok)
+    ++Stats.Proofs;
+  else
+    ++Stats.Failures;
+  return Ok;
+}
+
+std::vector<uint8_t> EqSatProver::proveBatch(
+    const std::vector<std::pair<TermId, TermId>> &Pairs) {
+  unsigned MaxD = 1;
+  for (const auto &[A, B] : Pairs) {
+    Base.add(A);
+    Base.add(B);
+    MaxD = std::max({MaxD, termDepth(A), termDepth(B)});
+  }
+  DepthCap = MaxD + Options.DepthSlack;
+  Verdict = saturate(Base, BaseApplied, Options.MaxBaseNodes);
+  std::vector<uint8_t> Out;
+  Out.reserve(Pairs.size());
+  bool Degenerate = Base.contradiction();
+  for (const auto &[A, B] : Pairs) {
+    bool Proved = !Degenerate && Base.same(A, B);
+    if (Proved)
+      ++Stats.Proofs;
+    else
+      ++Stats.Failures;
+    Out.push_back(Proved ? 1 : 0);
+  }
+  return Out;
+}

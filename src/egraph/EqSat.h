@@ -1,0 +1,226 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equality saturation over the e-graph, and the obligation prover the
+/// verifier and consistency checker use as a batch oracle.
+///
+/// Saturation runs the workspace's oriented rules as *bidirectional*
+/// rewrites: every registered e-node is matched against each rule's
+/// left-hand side (forward) and right-hand side (backward, when the
+/// reverse is instantiable), and each match merges the node with the
+/// instantiated other side. Matching is the engine's own first-order
+/// matcher over class-canonicalized nodes — congruence rebuilds surface
+/// class equalities as fresh hash-consed nodes, which the structural
+/// matcher then sees — so the e-graph reuses the rewrite layer's
+/// pattern machinery instead of a private e-matching engine. Saturation
+/// is fuel-bounded (node budget and round budget) and reports an honest
+/// verdict: `Saturated` when a fixpoint was reached, `FuelExhausted`
+/// when the budget ran out first. This is what makes rule sets that
+/// diverge under directed normalization (the paper's RETRIEVE_R
+/// unfolding through POP forever) usable: the goal equality is read off
+/// the moment the classes meet, whether or not the rules would ever
+/// quiesce.
+///
+/// The prover discharges one obligation `Lhs = Rhs` (open terms) by
+/// loading both sides into a shared base e-graph, saturating, and — when
+/// the classes stay apart — case-splitting in child graphs:
+///
+///  - **guard splits** (the PR-3/PR-6 refutation discipline): the first
+///    undecided if-then-else condition is assumed true / false / error
+///    in three child graphs; a SAME guard's true case also merges its
+///    arguments, and a branch whose assumptions collapse into a
+///    contradiction (true = false, two distinct literals, a value =
+///    error) is vacuously discharged — that branch covers no ground
+///    instance;
+///  - **generator splits**: when the undecided condition mentions a
+///    representation-sorted variable, the variable is split by the
+///    representation's generator images (x = INIT_R | ENTERBLOCK_R(x') |
+///    ADD_R(x', i, a) | ...), a complete case analysis of the Reachable
+///    value domain by each value's last generator application. This is
+///    what guard splits alone cannot do: an infeasible branch like
+///    IS_NEWSTACK?(x) = true for a reachable x is only refutable once x
+///    takes a generator shape.
+///
+/// Soundness: merges happen only through (a) instances of the
+/// workspace's own axioms, (b) the builtin semantics shared with the
+/// engine, and (c) congruence — so two merged terms are equal in the
+/// equational theory. Translating a proved theory equality into the
+/// checkers' normal-form equality additionally needs confluence
+/// evidence; callers gate the oracle on the convergence certifier's
+/// critical-pair analysis (every pair joined, all rules left-linear,
+/// orientation complete — see ConvergenceReport::localJoinability and
+/// docs/VERIFICATION.md). A prover failure proves nothing and callers
+/// fall back to their ground sweeps unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_EGRAPH_EQSAT_H
+#define ALGSPEC_EGRAPH_EQSAT_H
+
+#include "ast/Ids.h"
+#include "egraph/EGraph.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class RewriteEngine;
+class RewriteSystem;
+
+/// How the checkers use the equality-saturation oracle. Decoded from
+/// `--egraph=on|off|auto` (CLI) and the protocol's "egraph" option.
+enum class EqSatMode : uint8_t {
+  Off,  ///< Never consult the e-graph.
+  Auto, ///< Consult it when the convergence gate licenses its verdicts.
+  On,   ///< Like Auto, but run the saturation pass for its counters even
+        ///< when the gate fails (verdicts still require the gate).
+};
+
+/// Outcome of one saturation run.
+enum class SatVerdict : uint8_t {
+  Saturated,     ///< Fixpoint: no rule application changes the graph.
+  FuelExhausted, ///< Node or round budget ran out first.
+};
+
+/// Saturation and proof-search budgets. All limits are deterministic
+/// cutoffs; exceeding one only loses completeness, never soundness.
+struct EqSatOptions {
+  /// Node budget for the shared base graph (all obligations of a run).
+  uint64_t MaxBaseNodes = 40000;
+  /// Node budget per split-branch graph.
+  uint64_t MaxBranchNodes = 6000;
+  /// Saturation rounds per graph.
+  unsigned MaxRounds = 24;
+  /// Nested case splits (guard or generator) per obligation.
+  unsigned MaxSplitDepth = 6;
+  /// Total branch graphs per obligation (the split tree's size cap).
+  unsigned MaxBranches = 200;
+  /// Rule instantiations deeper than the deepest initial term plus this
+  /// slack are skipped (and the run reports FuelExhausted if the goal
+  /// stays open). This is what contains recursively unfolding rules —
+  /// RETRIEVE_R(s, i) keeps manufacturing RETRIEVE_R(POP(s), i) inside
+  /// an undecided branch — to linear growth instead of the node budget.
+  unsigned DepthSlack = 12;
+};
+
+/// Cumulative prover counters (all graphs: base and branches).
+struct EqSatProverStats {
+  EGraphStats Graph;
+  uint64_t Proofs = 0;        ///< Obligations discharged.
+  uint64_t Failures = 0;      ///< Obligations the prover gave up on.
+  uint64_t GuardSplits = 0;   ///< Guard case splits performed.
+  uint64_t GenSplits = 0;     ///< Generator case splits performed.
+  uint64_t FuelExhausted = 0; ///< Saturation runs that ran out of fuel.
+  uint64_t Invariants = 0;    ///< Reachability invariants derived.
+};
+
+/// Discharges equational obligations by saturation + case splits.
+/// Deterministic and single-threaded; \p Eval is used only for builtin
+/// evaluation (never normalization), so its counters are untouched.
+class EqSatProver {
+public:
+  EqSatProver(AlgebraContext &Ctx, const RewriteSystem &System,
+              RewriteEngine &Eval, EqSatOptions Options = EqSatOptions());
+
+  /// Enables generator splits and reachability invariants: variables of
+  /// \p RepSort case-split over \p Generators images, and every unary op
+  /// over \p RepSort that provably evaluates to one fixed value on all
+  /// generator images (checked by structural induction over the
+  /// generators) is assumed at that value on every \p RepSort variable.
+  /// Only sound when \p Generators generate the caller's whole value
+  /// domain (the verifier passes the mapped images of *all* abstract
+  /// constructors, or nothing). The derived invariant — typically
+  /// IS_NEWSTACK?(v) = false, the paper's Assumption 1 — is what keeps
+  /// open obligations from regressing into unbounded generator splits.
+  void enableInduction(SortId RepSort, std::vector<OpId> Generators);
+
+  /// Attempts to prove Lhs = Rhs for every assignment. True means the
+  /// equality holds in the equational theory; false means nothing.
+  bool prove(TermId Lhs, TermId Rhs);
+
+  /// Batch form over the shared base graph: saturates once with every
+  /// pair loaded, then reads each pair off (no case splits). Returns
+  /// one flag per pair. This is the consistency oracle's screen.
+  std::vector<uint8_t> proveBatch(
+      const std::vector<std::pair<TermId, TermId>> &Pairs);
+
+  /// Cumulative counters; the graph block sums the base graph and every
+  /// branch graph ever built.
+  EqSatProverStats stats() const;
+  SatVerdict lastVerdict() const { return Verdict; }
+
+private:
+  struct Binding {
+    TermId A, B; ///< Assumption: A and B are one class.
+  };
+
+  /// One saturation run over \p G up to the budgets. \p Applied is the
+  /// graph's (rule, direction, node) memo. When \p GoalA / \p GoalB are
+  /// valid the run stops early once they share a class (or the graph
+  /// contradicts itself) — the answer can't change after that.
+  SatVerdict saturate(EGraph &G, std::unordered_set<uint64_t> &Applied,
+                      uint64_t MaxNodes, TermId GoalA = TermId(),
+                      TermId GoalB = TermId());
+  /// Applies every rule bidirectionally to every node once; returns
+  /// true when any merge happened.
+  bool applyRules(EGraph &G, std::unordered_set<uint64_t> &Applied,
+                  uint64_t MaxNodes, bool &OutOfFuel, bool &Skipped);
+  /// Derives the reachability invariants for enableInduction.
+  void deriveInvariants();
+  /// Height of \p Term (memoized; terms are immutable and hash-consed).
+  unsigned termDepth(TermId Term);
+  /// Adds the derived invariant assumptions for every \p InductionSort
+  /// variable below the given terms to \p G.
+  void assertInvariants(EGraph &G, TermId Lhs, TermId Rhs,
+                        const std::vector<Binding> &Assumes);
+  /// Recursive split search.
+  bool proveRec(TermId Lhs, TermId Rhs, std::vector<Binding> Assumes,
+                unsigned Depth, unsigned &Branches);
+  /// First undecided if-then-else condition reachable from the goal
+  /// classes, in node order; returns its class representative (invalid
+  /// when none).
+  TermId findUndecidedGuard(EGraph &G, TermId Lhs, TermId Rhs);
+  /// First induction-sorted variable inside \p Term, pre-order.
+  VarId findInductionVar(TermId Term) const;
+
+  AlgebraContext &Ctx;
+  const RewriteSystem &System;
+  RewriteEngine &Eval;
+  EqSatOptions Options;
+
+  /// Shared base graph: obligations accumulate here so the saturated
+  /// congruence is answered once per workspace, not once per query.
+  EGraph Base;
+  std::unordered_set<uint64_t> BaseApplied;
+  /// Rules whose reverse is instantiable (same variable set both sides).
+  std::vector<uint8_t> BackOk;
+
+  SortId InductionSort;
+  std::vector<OpId> Generators;
+  /// Derived invariants: op (unary over InductionSort) |-> the atomic
+  /// value it takes on every generator image.
+  std::vector<std::pair<OpId, TermId>> Invariants;
+  unsigned FreshCounter = 0;
+
+  /// Instantiation depth cap for the current saturation (deepest initial
+  /// term plus DepthSlack); set before each saturate call.
+  unsigned DepthCap = ~0u;
+  std::unordered_map<TermId, unsigned> DepthMemo;
+
+  EqSatProverStats Stats;
+  /// Totals over completed branch graphs (the base graph is summed live).
+  EGraphStats BranchTotals;
+  SatVerdict Verdict = SatVerdict::Saturated;
+};
+
+} // namespace algspec
+
+#endif // ALGSPEC_EGRAPH_EQSAT_H

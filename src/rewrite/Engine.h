@@ -95,6 +95,13 @@ struct EngineStats {
   uint64_t ArenaTruncations = 0; ///< Epoch truncations since the baseline.
   uint64_t ArenaTermsFreed = 0;  ///< Terms those truncations released.
   uint64_t ArenaBytesFreed = 0;  ///< Bytes those truncations released.
+  // Equality-saturation counters (src/egraph/), folded in by the
+  // checkers that consult the e-graph oracle; all zero when the oracle
+  // never ran. Deterministic: the oracle is main-thread only.
+  uint64_t EGraphClasses = 0;  ///< Live e-classes (all graphs summed).
+  uint64_t EGraphNodes = 0;    ///< Registered e-nodes (terms).
+  uint64_t EGraphMerges = 0;   ///< Class unions performed.
+  uint64_t EGraphRebuilds = 0; ///< Congruence worklist rounds run.
 };
 
 /// Accumulates \p B into \p A (aggregating worker-replica engines). The
@@ -114,6 +121,10 @@ inline EngineStats &operator+=(EngineStats &A, const EngineStats &B) {
   A.ArenaTruncations += B.ArenaTruncations;
   A.ArenaTermsFreed += B.ArenaTermsFreed;
   A.ArenaBytesFreed += B.ArenaBytesFreed;
+  A.EGraphClasses += B.EGraphClasses;
+  A.EGraphNodes += B.EGraphNodes;
+  A.EGraphMerges += B.EGraphMerges;
+  A.EGraphRebuilds += B.EGraphRebuilds;
   return A;
 }
 
@@ -178,6 +189,16 @@ public:
 
   const std::vector<TraceStep> &trace() const { return Trace; }
   void clearTrace() { Trace.clear(); }
+
+  /// Applies the native semantics of a builtin op to arguments assumed
+  /// representative (normalized or class-canonical); invalid TermId when
+  /// the builtin does not reduce. Public so the e-graph's saturation
+  /// shares the engine's builtin semantics instead of reimplementing
+  /// them (SAME's free-sort disequality reasoning included). Touches no
+  /// counters.
+  TermId evalBuiltinApp(OpId Op, std::span<const TermId> Args) {
+    return evalBuiltin(Op, Args);
+  }
 
   const EngineOptions &options() const { return Options; }
 

@@ -81,6 +81,12 @@ void writeEngineStats(JsonWriter &W, const EngineStats &S) {
   W.key("arenaTruncations").value(S.ArenaTruncations);
   W.key("arenaTermsFreed").value(S.ArenaTermsFreed);
   W.key("arenaBytesFreed").value(S.ArenaBytesFreed);
+  W.key("egraph").beginObject();
+  W.key("classes").value(S.EGraphClasses);
+  W.key("nodes").value(S.EGraphNodes);
+  W.key("merges").value(S.EGraphMerges);
+  W.key("rebuilds").value(S.EGraphRebuilds);
+  W.endObject();
   W.endObject();
 }
 
@@ -362,7 +368,7 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
     writeConvergenceJson(W, WS.context(), Conv);
     ConsistencyReport Consistency =
         checkConsistency(WS.context(), WS.specPointers(), 2,
-                         EnumeratorOptions(), Par, Eng, &Conv);
+                         EnumeratorOptions(), Par, Eng, &Conv, Opts.EGraph);
     AllGood &= Consistency.Consistent;
     R.Engine += Consistency.Engine;
     W.key("consistency").beginObject();
@@ -425,7 +431,7 @@ void runCheck(Workspace &WS, const CommandOptions &Opts, CommandResult &R) {
   appendf(R.Out, "%s", Conv.render(WS.context()).c_str());
   ConsistencyReport Consistency =
       checkConsistency(WS.context(), WS.specPointers(), 2,
-                       EnumeratorOptions(), Par, Eng, &Conv);
+                       EnumeratorOptions(), Par, Eng, &Conv, Opts.EGraph);
   appendf(R.Out, "consistency: %s",
           Consistency.render(WS.context()).c_str());
   AllGood &= Consistency.Consistent;
@@ -704,6 +710,7 @@ void runVerify(Workspace &WS, const CommandOptions &Opts,
 
   VOpts.Par.Jobs = Opts.Jobs;
   VOpts.Engine = engineOptions(Opts);
+  VOpts.EGraph = Opts.EGraph;
 
   VerifyReport Report =
       Opts.Homomorphism

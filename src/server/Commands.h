@@ -22,6 +22,7 @@
 #define ALGSPEC_SERVER_COMMANDS_H
 
 #include "core/AlgSpec.h"
+#include "egraph/EqSat.h"
 #include "rewrite/Engine.h"
 
 #include <string>
@@ -48,6 +49,10 @@ struct CommandOptions {
   int DynamicDepth = -1; ///< check: --dynamic depth, -1 = off.
   unsigned Jobs = 0;     ///< 0 = hardware concurrency (--jobs).
   bool CompileEngine = true; ///< --engine compiled|interp.
+  /// --egraph on|off|auto: the equality-saturation oracle behind the
+  /// check/verify sweeps. Verdicts are byte-identical at any setting;
+  /// only the work (and the egraph counters) changes.
+  EqSatMode EGraph = EqSatMode::Auto;
   bool Json = false;
   bool WarningsAsErrors = false;
   /// Engine fuel override; 0 keeps EngineOptions' default. The server

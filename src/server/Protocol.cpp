@@ -100,6 +100,15 @@ bool decodeOptions(const JsonValue &V, CommandOptions &Opts,
         return fail(Err, ErrorCode::InvalidRequest,
                     "option 'engine' must be 'compiled' or 'interp'");
       Opts.CompileEngine = Val.asString() == "compiled";
+    } else if (Key == "egraph") {
+      if (!Val.isString() ||
+          (Val.asString() != "on" && Val.asString() != "off" &&
+           Val.asString() != "auto"))
+        return fail(Err, ErrorCode::InvalidRequest,
+                    "option 'egraph' must be 'on', 'off', or 'auto'");
+      Opts.EGraph = Val.asString() == "on"    ? EqSatMode::On
+                    : Val.asString() == "off" ? EqSatMode::Off
+                                              : EqSatMode::Auto;
     } else if (Key == "json") {
       if (!wantBool(Opts.Json))
         return false;
@@ -327,6 +336,9 @@ std::string server::encodeCommandRequest(const std::string &IdJson,
   W.key("dynamic").value(O.DynamicDepth);
   W.key("jobs").value(O.Jobs);
   W.key("engine").value(O.CompileEngine ? "compiled" : "interp");
+  W.key("egraph").value(O.EGraph == EqSatMode::On    ? "on"
+                        : O.EGraph == EqSatMode::Off ? "off"
+                                                     : "auto");
   W.key("json").value(O.Json);
   W.key("werror").value(O.WarningsAsErrors);
   if (O.MaxSteps != 0)

@@ -234,6 +234,12 @@ void Server::handleControl(Connection &Conn, const Request &Req) {
   W.key("arenaTruncations").value(S.Engine.ArenaTruncations);
   W.key("arenaTermsFreed").value(S.Engine.ArenaTermsFreed);
   W.key("arenaBytesFreed").value(S.Engine.ArenaBytesFreed);
+  W.key("egraph").beginObject();
+  W.key("classes").value(S.Engine.EGraphClasses);
+  W.key("nodes").value(S.Engine.EGraphNodes);
+  W.key("merges").value(S.Engine.EGraphMerges);
+  W.key("rebuilds").value(S.Engine.EGraphRebuilds);
+  W.endObject();
   W.endObject();
   W.key("arena").beginObject();
   W.key("truncations").value(S.Arena.Truncations);

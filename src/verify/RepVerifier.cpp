@@ -320,6 +320,13 @@ struct CheckState {
   VerifyReport &Report;
   /// Non-null when the instance sweeps run on a worker pool.
   ParallelDriver<ReplicaWorker> *Driver = nullptr;
+  /// Non-null when the equality-saturation oracle is enabled; always
+  /// consulted on the calling thread (deterministic at any job count).
+  EqSatProver *Prover = nullptr;
+  /// True when the convergence gate licenses acting on the prover's
+  /// verdicts; false runs the prover for its counters only (EqSatMode::On
+  /// without the gate).
+  bool TrustProver = false;
 };
 
 /// Checks Lhs = Rhs (open terms over representation-sorted and ground
@@ -398,6 +405,23 @@ AxiomVerdict checkEquation(CheckState &CS, std::string Label,
     Total *= Set->size();
   }
   size_t Capped = std::min(Total, CS.Options.MaxInstancesPerAxiom);
+
+  // Equality-saturation oracle: one saturation proof covers every
+  // assignment, so the whole sweep is skipped. The verdict reads
+  // exactly like a completed sweep (same instance count, same cap
+  // caveat) — the e-graph changes the cost of the answer, never its
+  // text. An untrusted prover (mode On without the convergence gate)
+  // still runs for its counters, but its answer is ignored.
+  if (CS.Prover) {
+    bool Proved = CS.Prover->prove(LhsT, RhsT);
+    if (Proved && CS.TrustProver) {
+      Verdict.InstancesChecked = Capped;
+      if (Verdict.InstancesChecked >= CS.Options.MaxInstancesPerAxiom)
+        CS.Report.Caveats.push_back(Verdict.Label +
+                                    ": instance cap reached");
+      return Verdict;
+    }
+  }
 
   // Checks instance \p Flat on the main engine. A normalization failure
   // adds its caveat and lets the sweep continue; a mismatch records the
@@ -530,12 +554,20 @@ bool setUpCheck(AlgebraContext &Ctx, const Spec &Abstract,
 /// Folds the main engine's and every worker engine's counters into the
 /// report.
 void aggregateEngineStats(VerifyReport &Report, RewriteEngine &Engine,
-                          ParallelDriver<ReplicaWorker> *Driver) {
+                          ParallelDriver<ReplicaWorker> *Driver,
+                          const EqSatProver *Prover = nullptr) {
   Report.Engine = Engine.stats();
   if (Driver)
     for (ReplicaWorker *W : Driver->states())
       if (W->Engine)
         Report.Engine += W->Engine->stats();
+  if (Prover) {
+    EqSatProverStats PS = Prover->stats();
+    Report.Engine.EGraphClasses += PS.Graph.Classes;
+    Report.Engine.EGraphNodes += PS.Graph.Nodes;
+    Report.Engine.EGraphMerges += PS.Graph.Merges;
+    Report.Engine.EGraphRebuilds += PS.Graph.RebuildRounds;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -952,21 +984,68 @@ private:
 /// equality and checkEquation switches to full-fuel symbolic proofs with
 /// pre-reduced sweeps. Certification runs on the calling thread and is
 /// deterministic, so the verdict is identical at any job count.
+/// \p EqSatGate receives ConvergenceReport::localJoinability — the
+/// weaker license (no termination claim) the equality-saturation oracle
+/// needs; the flagship Symboltable rule set passes it while failing the
+/// full confluence proof on RETRIEVE_R's unorientable recursion.
 void certifyDecidableEquality(AlgebraContext &Ctx,
                               const std::vector<const Spec *> &RuleSources,
                               const VerifyOptions &Options,
-                              VerifyReport &Report) {
+                              VerifyReport &Report, bool &EqSatGate) {
+  EqSatGate = false;
   if (!Options.UseConvergence)
     return;
   ConvergenceOptions CO;
   CO.Engine = Options.Engine;
   CO.KeepCertificates = false;
   ConvergenceReport Conv = certifyConvergence(Ctx, RuleSources, CO);
+  EqSatGate = Conv.localJoinability();
   if (!Conv.provenConfluent())
     return;
   Report.DecidableEquality = true;
   for (const std::string &Caveat : Conv.Caveats)
     Report.Caveats.push_back(Caveat);
+}
+
+/// Builds the equality-saturation prover when the options ask for one:
+/// Auto needs the convergence gate, On builds an ungated observability
+/// prover (counters only, no split search). Generator induction — and
+/// the reachability invariants it derives — engages only for the
+/// Reachable domain with every abstract constructor mapped, the exact
+/// precondition under which the prover's variable assumptions describe
+/// the swept value set.
+std::optional<EqSatProver> makeProver(AlgebraContext &Ctx,
+                                      const Spec &Abstract,
+                                      const RepMapping &Mapping,
+                                      const VerifyOptions &Options,
+                                      const RewriteSystem &System,
+                                      RewriteEngine &Engine, bool Gate,
+                                      bool &TrustProver) {
+  std::optional<EqSatProver> Prover;
+  TrustProver = Gate;
+  if (!Options.UseConvergence || Options.EGraph == EqSatMode::Off)
+    return Prover;
+  if (!Gate && Options.EGraph != EqSatMode::On)
+    return Prover;
+  EqSatOptions EO;
+  if (!Gate)
+    EO.MaxSplitDepth = 0; // observability run: saturation counters only
+  Prover.emplace(Ctx, System, Engine, EO);
+  if (Options.Domain == ValueDomain::Reachable) {
+    std::vector<OpId> Gens;
+    bool AllMapped = true;
+    for (OpId Ctor : Abstract.constructorsOf(Ctx, Mapping.AbstractSort)) {
+      auto It = Mapping.OpMap.find(Ctor);
+      if (It == Mapping.OpMap.end()) {
+        AllMapped = false;
+        break;
+      }
+      Gens.push_back(It->second);
+    }
+    if (AllMapped && !Gens.empty())
+      Prover->enableInduction(Mapping.RepSort, std::move(Gens));
+  }
+  return Prover;
 }
 
 /// Runs the obligation-discharge pass and folds its verdicts into the
@@ -998,9 +1077,14 @@ VerifyReport algspec::verifyRepresentation(
                   Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
-  certifyDecidableEquality(Ctx, RuleSources, Options, Report);
+  bool Gate = false;
+  certifyDecidableEquality(Ctx, RuleSources, Options, Report, Gate);
+  bool TrustProver = false;
+  std::optional<EqSatProver> Prover = makeProver(
+      Ctx, Abstract, Mapping, Options, *System, *Engine, Gate, TrustProver);
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
-                Mapping, Options, RepValues, Report, Driver.get()};
+                Mapping, Options, RepValues, Report, Driver.get(),
+                Prover ? &*Prover : nullptr, TrustProver};
   Translator Xlate(Ctx, Mapping);
 
   for (const Axiom &Ax : Abstract.axioms()) {
@@ -1017,7 +1101,8 @@ VerifyReport algspec::verifyRepresentation(
   }
   dischargeObligations(Ctx, Abstract, RuleSources, Mapping, Options, *System,
                        Report);
-  aggregateEngineStats(Report, *Engine, Driver.get());
+  aggregateEngineStats(Report, *Engine, Driver.get(),
+                       Prover ? &*Prover : nullptr);
   return Report;
 }
 
@@ -1035,9 +1120,14 @@ VerifyReport algspec::verifyHomomorphism(
                   Engine, Enumerator, Driver, RepValues, Report))
     return Report;
 
-  certifyDecidableEquality(Ctx, RuleSources, Options, Report);
+  bool Gate = false;
+  certifyDecidableEquality(Ctx, RuleSources, Options, Report, Gate);
+  bool TrustProver = false;
+  std::optional<EqSatProver> Prover = makeProver(
+      Ctx, Abstract, Mapping, Options, *System, *Engine, Gate, TrustProver);
   CheckState CS{Ctx,     *Engine,   *System, *Enumerator,
-                Mapping, Options, RepValues, Report, Driver.get()};
+                Mapping, Options, RepValues, Report, Driver.get(),
+                Prover ? &*Prover : nullptr, TrustProver};
 
   // Deterministic obligation order: follow the spec's operation list.
   unsigned Number = 0;
@@ -1078,7 +1168,8 @@ VerifyReport algspec::verifyHomomorphism(
   }
   dischargeObligations(Ctx, Abstract, RuleSources, Mapping, Options, *System,
                        Report);
-  aggregateEngineStats(Report, *Engine, Driver.get());
+  aggregateEngineStats(Report, *Engine, Driver.get(),
+                       Prover ? &*Prover : nullptr);
   return Report;
 }
 

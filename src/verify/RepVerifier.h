@@ -52,6 +52,7 @@
 
 #include "ast/Ids.h"
 #include "check/TermEnumerator.h"
+#include "egraph/EqSat.h"
 #include "rewrite/Engine.h"
 #include "support/Parallel.h"
 
@@ -97,6 +98,17 @@ struct VerifyOptions {
   /// nf(sigma(nf(s))) = nf(sigma(s)) under convergence). When the
   /// certificate does not hold the verifier behaves exactly as before.
   bool UseConvergence = true;
+  /// Consult the equality-saturation oracle (src/egraph/) before the
+  /// instance sweep: obligations the e-graph discharges skip their sweep
+  /// entirely. Auto consults it only when the convergence certifier's
+  /// local-joinability gate licenses its verdicts
+  /// (ConvergenceReport::localJoinability); On additionally runs the
+  /// saturation for its counters when the gate fails (verdicts still
+  /// require the gate); Off never builds a prover. Requires
+  /// UseConvergence (the gate is the certifier's by-product). The
+  /// report is byte-identical across modes whenever every obligation
+  /// holds (pinned by the e-graph differential tests).
+  EqSatMode EGraph = EqSatMode::Auto;
   ValueDomain Domain = ValueDomain::Reachable;
   /// Reachable: maximum generator applications per value.
   /// FreeTerms: maximum constructor-term depth.

@@ -1,0 +1,298 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential tests pinning the equality-saturation oracle to the
+/// plain sweeps: every checker and verifier report must be
+/// byte-identical between `--egraph=off`, `auto`, and `on`, at any job
+/// count. The e-graph is a *screen* — it may only skip work whose
+/// outcome it proved, never change a verdict, a finding, or a caveat —
+/// and these tests are the contract that keeps it one. The sweep covers
+/// every builtin spec and the example spec files for the consistency
+/// checker, and the paper's Symboltable representation proof for the
+/// verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AlgebraContext.h"
+#include "check/Consistency.h"
+#include "check/Convergence.h"
+#include "check/TermEnumerator.h"
+#include "parser/Parser.h"
+#include "rewrite/Engine.h"
+#include "specs/BuiltinSpecs.h"
+#include "verify/RepVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace algspec;
+
+namespace {
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// One differential case: a set of spec buffers loaded together.
+struct EGraphDiffCase {
+  const char *Name;
+};
+
+/// The buffers of a case, resolved at runtime (example files are read
+/// from the source tree). Mirrors DifferentialTest.cpp's catalogue so
+/// the two sweeps cover the same specs.
+std::vector<std::pair<std::string, std::string>>
+sourcesFor(const std::string &Name) {
+  auto Builtin = [](std::string_view Text, const char *Buf) {
+    return std::make_pair(std::string(Buf), std::string(Text));
+  };
+  if (Name == "queue")
+    return {Builtin(specs::QueueAlg, "queue.alg")};
+  if (Name == "symboltable")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg")};
+  if (Name == "stackarray")
+    return {Builtin(specs::StackArrayAlg, "stackarray.alg")};
+  if (Name == "knowlist")
+    return {Builtin(specs::KnowlistAlg, "knowlist.alg")};
+  if (Name == "knows_symboltable")
+    return {Builtin(specs::KnowsSymboltableAlg, "knows_symboltable.alg")};
+  if (Name == "nat")
+    return {Builtin(specs::NatAlg, "nat.alg")};
+  if (Name == "set")
+    return {Builtin(specs::SetAlg, "set.alg")};
+  if (Name == "list")
+    return {Builtin(specs::ListAlg, "list.alg")};
+  if (Name == "bag")
+    return {Builtin(specs::BagAlg, "bag.alg")};
+  if (Name == "bst")
+    return {Builtin(specs::BstAlg, "bst.alg")};
+  if (Name == "table")
+    return {Builtin(specs::TableAlg, "table.alg")};
+  if (Name == "boundedqueue")
+    return {Builtin(specs::BoundedQueueAlg, "boundedqueue.alg")};
+  if (Name == "symboltable_impl")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg"),
+            Builtin(specs::StackArrayAlg, "stackarray.alg"),
+            Builtin(specs::SymboltableImplAlg, "symboltable_impl.alg")};
+  if (Name == "priority_queue_example")
+    return {{"priority_queue.alg",
+             readFileOrEmpty(ALGSPEC_SOURCE_DIR
+                             "/examples/specs/priority_queue.alg")}};
+  if (Name == "symboltable_impl_example")
+    return {Builtin(specs::SymboltableAlg, "symboltable.alg"),
+            Builtin(specs::StackArrayAlg, "stackarray.alg"),
+            {"symboltable_impl.alg",
+             readFileOrEmpty(ALGSPEC_SOURCE_DIR
+                             "/examples/specs/symboltable_impl.alg")}};
+  return {};
+}
+
+/// Loads one case fresh (each configuration gets its own context so
+/// nothing can leak between runs).
+class CaseFixture {
+public:
+  explicit CaseFixture(const std::string &Name) {
+    auto Sources = sourcesFor(Name);
+    if (Sources.empty()) {
+      ADD_FAILURE() << "unknown case " << Name;
+      Ok = false;
+      return;
+    }
+    for (auto &[Buf, Text] : Sources) {
+      if (Text.empty()) {
+        ADD_FAILURE() << Buf << " is empty or unreadable";
+        Ok = false;
+        return;
+      }
+      auto Parsed = specs::load(Ctx, Text, Buf);
+      if (!Parsed) {
+        ADD_FAILURE() << Parsed.error().message();
+        Ok = false;
+        return;
+      }
+      for (Spec &S : *Parsed)
+        Specs.push_back(std::move(S));
+    }
+    for (const Spec &S : Specs)
+      Ptrs.push_back(&S);
+  }
+
+  bool Ok = true;
+  AlgebraContext Ctx;
+  std::vector<Spec> Specs;
+  std::vector<const Spec *> Ptrs;
+};
+
+/// The configurations every report must agree across: the oracle off
+/// (the reference), consulted (auto), and forced (on); the screened
+/// sweep additionally at several job counts.
+struct OracleConfig {
+  EqSatMode Mode;
+  unsigned Jobs;
+};
+
+const OracleConfig Configs[] = {{EqSatMode::Off, 1},
+                                {EqSatMode::Auto, 1},
+                                {EqSatMode::On, 1},
+                                {EqSatMode::Off, 4},
+                                {EqSatMode::Auto, 4}};
+
+const char *modeName(EqSatMode M) {
+  switch (M) {
+  case EqSatMode::Off:
+    return "off";
+  case EqSatMode::Auto:
+    return "auto";
+  case EqSatMode::On:
+    return "on";
+  }
+  return "?";
+}
+
+class EGraphDifferential : public ::testing::TestWithParam<EGraphDiffCase> {};
+
+TEST_P(EGraphDifferential, ConsistencyReportsAgreeAcrossModes) {
+  const std::string Name = GetParam().Name;
+  std::vector<std::string> Rendered;
+  for (const OracleConfig &Cfg : Configs) {
+    SCOPED_TRACE(std::string("egraph=") + modeName(Cfg.Mode) +
+                 " jobs=" + std::to_string(Cfg.Jobs));
+    CaseFixture F(Name);
+    ASSERT_TRUE(F.Ok);
+    // The convergence certificate is what arms the screen (its
+    // local-joinability gate); passing it in every configuration keeps
+    // the only variable the oracle mode itself.
+    ConvergenceOptions CO;
+    CO.KeepCertificates = false;
+    ConvergenceReport Conv = certifyConvergence(F.Ctx, F.Ptrs, CO);
+    ParallelOptions Par;
+    Par.Jobs = Cfg.Jobs;
+    ConsistencyReport R =
+        checkConsistency(F.Ctx, F.Ptrs, /*GroundDepth=*/2,
+                         EnumeratorOptions(), Par, EngineOptions(), &Conv,
+                         Cfg.Mode);
+    Rendered.push_back(R.render(F.Ctx) +
+                       (R.Consistent ? "consistent" : "inconsistent"));
+  }
+  for (size_t C = 1; C != Rendered.size(); ++C)
+    EXPECT_EQ(Rendered[0], Rendered[C])
+        << Name << ": egraph=" << modeName(Configs[C].Mode)
+        << " jobs=" << Configs[C].Jobs
+        << " diverges from egraph=off jobs=1";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, EGraphDifferential,
+    ::testing::Values(EGraphDiffCase{"queue"}, EGraphDiffCase{"symboltable"},
+                      EGraphDiffCase{"stackarray"}, EGraphDiffCase{"knowlist"},
+                      EGraphDiffCase{"knows_symboltable"},
+                      EGraphDiffCase{"nat"}, EGraphDiffCase{"set"},
+                      EGraphDiffCase{"list"}, EGraphDiffCase{"bag"},
+                      EGraphDiffCase{"bst"}, EGraphDiffCase{"table"},
+                      EGraphDiffCase{"boundedqueue"},
+                      EGraphDiffCase{"symboltable_impl"},
+                      EGraphDiffCase{"priority_queue_example"},
+                      EGraphDiffCase{"symboltable_impl_example"}),
+    [](const ::testing::TestParamInfo<EGraphDiffCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// Verifier-level differential: the paper's Symboltable proof, oracle on
+// against oracle off.
+//===----------------------------------------------------------------------===//
+
+TEST(EGraphVerifierDifferential, SymboltableReportsAgreeAcrossModes) {
+  std::string Reference;
+  for (const OracleConfig &Cfg : Configs) {
+    SCOPED_TRACE(std::string("egraph=") + modeName(Cfg.Mode) +
+                 " jobs=" + std::to_string(Cfg.Jobs));
+    AlgebraContext Ctx;
+    auto Abstract = specs::loadSymboltable(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Abstract));
+    Spec AbstractSpec = Abstract.take();
+    auto Concrete = specs::loadStackArray(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Concrete));
+    std::vector<Spec> ConcreteSpecs = Concrete.take();
+    auto Rep = buildSymboltableRep(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Rep));
+    SymboltableRep TheRep = Rep.take();
+    std::vector<const Spec *> Sources = {&AbstractSpec};
+    for (const Spec &S : ConcreteSpecs)
+      Sources.push_back(&S);
+    for (const Spec &S : TheRep.ImplSpecs)
+      Sources.push_back(&S);
+
+    VerifyOptions Options;
+    Options.Domain = ValueDomain::Reachable;
+    Options.Depth = 3;
+    Options.EGraph = Cfg.Mode;
+    Options.Par.Jobs = Cfg.Jobs;
+    VerifyReport R = verifyRepresentation(Ctx, AbstractSpec, Sources,
+                                          TheRep.Mapping, Options);
+    std::string Text = R.render(Ctx);
+    if (Reference.empty())
+      Reference = Text;
+    EXPECT_EQ(Text, Reference);
+    EXPECT_TRUE(R.AllHold) << Text;
+    // The flagship workload must actually exercise the oracle: with the
+    // gate licensed, saturation runs and its counters land in the
+    // report's engine block.
+    if (Cfg.Mode != EqSatMode::Off)
+      EXPECT_GT(R.Engine.EGraphNodes, 0u);
+    else
+      EXPECT_EQ(R.Engine.EGraphNodes, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The homomorphism-only entry point goes through the same oracle.
+//===----------------------------------------------------------------------===//
+
+TEST(EGraphVerifierDifferential, HomomorphismReportsAgreeAcrossModes) {
+  std::string Reference;
+  for (EqSatMode Mode : {EqSatMode::Off, EqSatMode::Auto}) {
+    SCOPED_TRACE(std::string("egraph=") + modeName(Mode));
+    AlgebraContext Ctx;
+    auto Abstract = specs::loadSymboltable(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Abstract));
+    Spec AbstractSpec = Abstract.take();
+    auto Concrete = specs::loadStackArray(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Concrete));
+    std::vector<Spec> ConcreteSpecs = Concrete.take();
+    auto Rep = buildSymboltableRep(Ctx);
+    ASSERT_TRUE(static_cast<bool>(Rep));
+    SymboltableRep TheRep = Rep.take();
+    std::vector<const Spec *> Sources = {&AbstractSpec};
+    for (const Spec &S : ConcreteSpecs)
+      Sources.push_back(&S);
+    for (const Spec &S : TheRep.ImplSpecs)
+      Sources.push_back(&S);
+
+    VerifyOptions Options;
+    Options.Domain = ValueDomain::Reachable;
+    Options.Depth = 3;
+    Options.EGraph = Mode;
+    VerifyReport R = verifyHomomorphism(Ctx, AbstractSpec, Sources,
+                                        TheRep.Mapping, Options);
+    std::string Text = R.render(Ctx);
+    if (Reference.empty())
+      Reference = Text;
+    EXPECT_EQ(Text, Reference);
+  }
+}
+
+} // namespace

@@ -105,6 +105,11 @@ int usage() {
       "                     automata + RHS templates, the default) or\n"
       "                     'interp' (the reference interpreter);\n"
       "                     results are identical either way\n"
+      "  --egraph <mode>    equality-saturation oracle behind the\n"
+      "                     check/verify sweeps: 'auto' (when the\n"
+      "                     convergence gate licenses it, the default),\n"
+      "                     'off', or 'on' (saturation counters even\n"
+      "                     ungated); verdicts are identical either way\n"
       "  --json             machine-readable output (check, lint,\n"
       "                     analyze, verify)\n"
       "  --Werror           lint/analyze: treat warnings as errors\n"
@@ -146,6 +151,8 @@ struct Options {
   unsigned Jobs = 0; ///< 0 = hardware concurrency.
   /// --engine: compiled automata (default) vs the reference interpreter.
   bool CompileEngine = true;
+  /// --egraph: the equality-saturation oracle mode.
+  EqSatMode EGraph = EqSatMode::Auto;
   bool Json = false;
   bool WarningsAsErrors = false;
   // verify options.
@@ -229,6 +236,27 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       } else {
         std::fprintf(stderr,
                      "error: --engine wants 'compiled' or 'interp'\n");
+        return false;
+      }
+    } else if (Arg == "--egraph" || Arg.rfind("--egraph=", 0) == 0) {
+      std::string Mode;
+      if (Arg == "--egraph") {
+        const char *V = needValue("--egraph");
+        if (!V)
+          return false;
+        Mode = V;
+      } else {
+        Mode = Arg.substr(std::string("--egraph=").size());
+      }
+      if (Mode == "auto") {
+        Opts.EGraph = EqSatMode::Auto;
+      } else if (Mode == "off") {
+        Opts.EGraph = EqSatMode::Off;
+      } else if (Mode == "on") {
+        Opts.EGraph = EqSatMode::On;
+      } else {
+        std::fprintf(stderr,
+                     "error: --egraph wants 'on', 'off', or 'auto'\n");
         return false;
       }
     } else if (Arg == "--abstract") {
@@ -489,6 +517,7 @@ server::CommandOptions toCommandOptions(const Options &Opts) {
   C.DynamicDepth = Opts.DynamicDepth;
   C.Jobs = Opts.Jobs;
   C.CompileEngine = Opts.CompileEngine;
+  C.EGraph = Opts.EGraph;
   C.Json = Opts.Json;
   C.WarningsAsErrors = Opts.WarningsAsErrors;
   C.AbstractSpec = Opts.AbstractSpec;

@@ -18,7 +18,14 @@ Two series are understood, each optional in the input:
 * ``BM_CompletenessCertified/<depth>`` against
   ``BM_CompletenessGroundSweep/<depth>`` — a completeness check holding
   a covering exhaustiveness certificate skips the bounded ground sweep,
-  so it must beat the uncertified sweep at every depth.
+  so it must beat the uncertified sweep at every depth;
+* ``BM_VerifyScreened/<depth>`` against ``BM_VerifySweepOnly/<depth>``
+  — the equality-saturation oracle discharges verification obligations
+  for every instance at once, so the screened verify must beat the
+  per-instance sweep at every depth; ``BM_VerifyReachable/<depth>``
+  (bench_verify's series, which runs with the oracle's default
+  ``--egraph=auto``) is held to the same twin when both reports are
+  given, pinning the shipped default to the win.
 
 Reads one or more JSON files (their benchmark lists are merged),
 prints a speedup table per series, and emits a GitHub Actions
@@ -86,6 +93,20 @@ def completeness_pair(name):
     return parts[1], "BM_CompletenessGroundSweep/" + parts[1]
 
 
+def egraph_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_VerifyScreened" or len(parts) != 2:
+        return None
+    return parts[1], "BM_VerifySweepOnly/" + parts[1]
+
+
+def verify_default_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_VerifyReachable" or len(parts) != 2:
+        return None
+    return parts[1], "BM_VerifySweepOnly/" + parts[1]
+
+
 def report_series(title, key, rows, slow_name, fast_name):
     """Print one speedup table; return labels where fast lost."""
     print(title)
@@ -148,6 +169,29 @@ def main() -> int:
         if slower:
             print("::warning::certified completeness check slower than the "
                   "uncertified ground sweep at depths: "
+                  f"{', '.join(slower)} (advisory; timings on shared "
+                  "runners are noisy)")
+
+    rows = paired_rows(times, egraph_pair)
+    if rows:
+        found_any = True
+        slower = report_series("eq-saturation screen vs instance sweep:",
+                               "depth", rows, "sweep", "screened")
+        if slower:
+            print("::warning::screened verification slower than the "
+                  "per-instance sweep at depths: "
+                  f"{', '.join(slower)} (advisory; timings on shared "
+                  "runners are noisy)")
+
+    rows = paired_rows(times, verify_default_pair)
+    if rows:
+        found_any = True
+        slower = report_series("default verify (egraph=auto) vs "
+                               "instance sweep:",
+                               "depth", rows, "sweep", "default")
+        if slower:
+            print("::warning::default verify (egraph=auto) slower than "
+                  "the per-instance sweep at depths: "
                   f"{', '.join(slower)} (advisory; timings on shared "
                   "runners are noisy)")
 

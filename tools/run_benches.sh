@@ -19,6 +19,13 @@
 # for a quick sweep, or
 #   tools/run_benches.sh build --benchmark_filter=Jobs
 # for just the thread-scaling series.
+#
+# Every report is stamped with the detected core count
+# (algspec_detected_cores). On machines with fewer cores than the
+# largest jobs-scaling argument the BM_*Jobs* series are skipped — an
+# oversubscribed "scaling" curve is not a baseline — and the reason is
+# stamped as algspec_jobs_series_skipped. An explicit
+# --benchmark_filter in the extra arguments overrides the skip.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -59,6 +66,24 @@ if [ "$BUILD_TYPE_LOWER" != "release" ]; then
     fi
 fi
 
+# The jobs-scaling series (BM_*Jobs*) measure the worker-pool speedup
+# up to this many jobs; on a machine with fewer cores the "scaling"
+# numbers are just oversubscription noise. Detect the core count, stamp
+# it into every report (algspec_detected_cores), and when it cannot
+# carry the series, skip the series and stamp the reason instead of
+# recording misleading flat curves as baselines.
+MAX_SCALING_JOBS=8
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+SKIP_JOBS_NOTE=""
+SKIP_JOBS_FILTER=()
+if [ "$CORES" -lt "$MAX_SCALING_JOBS" ]; then
+    SKIP_JOBS_NOTE="jobs-scaling series skipped: detected $CORES core(s) < $MAX_SCALING_JOBS max jobs"
+    # A leading '-' makes the filter an exclusion; user-supplied
+    # --benchmark_filter args come later and override it.
+    SKIP_JOBS_FILTER=("--benchmark_filter=-.*Jobs.*")
+    echo "note: $SKIP_JOBS_NOTE" >&2
+fi
+
 STATUS=0
 FOUND=0
 for BIN in "$BENCH_DIR"/*; do
@@ -75,8 +100,10 @@ for BIN in "$BENCH_DIR"/*; do
     # the wrapper records the binary's peak RSS into the report context
     # (algspec_peak_rss_kb) so committed baselines carry a memory curve
     # next to the timings.
-    if ! python3 - "$BIN" "$OUT.tmp" "$@" <<'PYEOF'
-import json, resource, subprocess, sys
+    if ! ALGSPEC_DETECTED_CORES="$CORES" \
+         ALGSPEC_JOBS_SKIP_NOTE="$SKIP_JOBS_NOTE" \
+         python3 - "$BIN" "$OUT.tmp" ${SKIP_JOBS_FILTER[@]+"${SKIP_JOBS_FILTER[@]}"} "$@" <<'PYEOF'
+import json, os, resource, subprocess, sys
 
 bin_path, out_path, *extra = sys.argv[1:]
 with open(out_path, "w") as out:
@@ -87,7 +114,12 @@ if rc != 0:
 peak_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
 with open(out_path) as f:
     data = json.load(f)
-data.setdefault("context", {})["algspec_peak_rss_kb"] = peak_kb
+ctx = data.setdefault("context", {})
+ctx["algspec_peak_rss_kb"] = peak_kb
+ctx["algspec_detected_cores"] = int(os.environ["ALGSPEC_DETECTED_CORES"])
+note = os.environ.get("ALGSPEC_JOBS_SKIP_NOTE", "")
+if note:
+    ctx["algspec_jobs_series_skipped"] = note
 with open(out_path, "w") as f:
     json.dump(data, f, indent=2)
     f.write("\n")
