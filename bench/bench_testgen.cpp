@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E20 — axiom-derived test campaigns (testgen). The headline
+/// A/B is the uniformity hypothesis: `BM_TestgenUniform/<depth>` (one
+/// representative per variable/constructor-case cell) against
+/// `BM_TestgenFull/<depth>` (the whole depth-bounded instance space) on
+/// the same Queue campaign. The cell count is fixed by the signature
+/// while the full space grows exponentially with depth, so uniformity
+/// must win and the gap must widen. The micro-series isolate the
+/// campaign's moving parts: enumerative vs seeded-random plan
+/// generation, direct-equality vs observer-context oracle throughput,
+/// and the greedy shrink descent from a deep failing instance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/Bindings.h"
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "check/TermEnumerator.h"
+#include "model/ModelBinding.h"
+#include "specs/BuiltinSpecs.h"
+#include "testgen/Oracle.h"
+#include "testgen/Shrink.h"
+#include "testgen/TestGen.h"
+
+#include "BenchMain.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algspec;
+
+namespace {
+
+/// The Queue spec bound to the registry's adt::Queue<std::string>
+/// implementation (optionally a registered mutant of it).
+struct QueueFixture {
+  explicit QueueFixture(std::string_view Mutant = "")
+      : Queue(specs::loadQueue(Ctx).take()), Binding(Ctx) {
+    const adt::AdtBinding *Row = adt::findAdtBinding("Queue");
+    if (!Row || !Row->Install(Binding, Queue, Mutant))
+      std::abort();
+    Specs.push_back(&Queue);
+  }
+
+  AlgebraContext Ctx;
+  Spec Queue;
+  ModelBinding Binding;
+  std::vector<const Spec *> Specs;
+};
+
+void runCampaign(benchmark::State &State, const TestGenOptions &Options,
+                 std::string_view Mutant = "") {
+  QueueFixture F(Mutant);
+  uint64_t Run = 0;
+  for (auto _ : State) {
+    TestGenReport Report =
+        runTestGen(F.Ctx, F.Queue, F.Specs, F.Binding, Options);
+    benchmark::DoNotOptimize(Report.AllPassed);
+    Run = Report.TotalRun;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations() * Run));
+  State.counters["instances"] = static_cast<double>(Run);
+}
+
+/// The full depth-bounded instance space, enumerated (regularity only).
+void BM_TestgenFull(benchmark::State &State) {
+  TestGenOptions Options;
+  Options.MaxDepth = static_cast<unsigned>(State.range(0));
+  runCampaign(State, Options);
+}
+BENCHMARK(BM_TestgenFull)->DenseRange(3, 5);
+
+/// Same campaign under the uniformity hypothesis: one representative
+/// per variable/constructor-case cell.
+void BM_TestgenUniform(benchmark::State &State) {
+  TestGenOptions Options;
+  Options.MaxDepth = static_cast<unsigned>(State.range(0));
+  Options.Uniformity = true;
+  runCampaign(State, Options);
+}
+BENCHMARK(BM_TestgenUniform)->DenseRange(3, 5);
+
+/// Seeded-random sampling of the depth-5 space (plan generation plus
+/// execution for a fixed instance budget).
+void BM_TestgenRandom(benchmark::State &State) {
+  TestGenOptions Options;
+  Options.MaxDepth = 5;
+  Options.RandomCount = static_cast<size_t>(State.range(0));
+  Options.Seed = 42;
+  runCampaign(State, Options);
+}
+BENCHMARK(BM_TestgenRandom)->Arg(10)->Arg(100);
+
+/// A failing campaign end to end: catch the LIFO mutant, shrink the
+/// counterexample, render the report.
+void BM_TestgenMutantCaught(benchmark::State &State) {
+  TestGenOptions Options;
+  Options.MaxDepth = 4;
+  runCampaign(State, Options, "remove-lifo");
+}
+BENCHMARK(BM_TestgenMutantCaught);
+
+void runOracle(benchmark::State &State, bool ForceObservers) {
+  QueueFixture F;
+  TermEnumerator Enum(F.Ctx);
+  SortId QueueSort = F.Ctx.lookupSort("Queue");
+  const std::vector<TermId> &Queues = Enum.enumerate(QueueSort, 4);
+  Oracle Judge = Oracle::build(F.Ctx, F.Specs, QueueSort, F.Binding, Enum,
+                               ForceObservers, OracleOptions());
+  uint64_t Compared = 0;
+  for (auto _ : State) {
+    for (size_t I = 1; I < Queues.size(); ++I) {
+      Result<OracleVerdict> V =
+          Judge.compare(F.Binding, Queues[I - 1], Queues[I]);
+      benchmark::DoNotOptimize(V);
+      ++Compared;
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Compared));
+  State.counters["observers"] = static_cast<double>(Judge.observerCount());
+}
+
+/// Direct-equality oracle throughput over adjacent depth-4 queue pairs.
+void BM_OracleDirect(benchmark::State &State) { runOracle(State, false); }
+BENCHMARK(BM_OracleDirect);
+
+/// The same comparisons decided by observer contexts only.
+void BM_OracleObserver(benchmark::State &State) { runOracle(State, true); }
+BENCHMARK(BM_OracleObserver);
+
+/// Greedy shrink descent from the deepest failing instance of Queue
+/// axiom 6 under the LIFO mutant.
+void BM_ShrinkMutant(benchmark::State &State) {
+  QueueFixture F("remove-lifo");
+  TermEnumerator Enum(F.Ctx);
+  SortId QueueSort = F.Ctx.lookupSort("Queue");
+  SortId ItemSort = F.Ctx.lookupSort("Item");
+  const unsigned Depth = 5;
+  const std::vector<TermId> &Queues = Enum.enumerate(QueueSort, Depth);
+  const std::vector<TermId> &Items = Enum.enumerate(ItemSort, Depth);
+  OpId Remove = F.Ctx.lookupOp("REMOVE");
+  OpId Add = F.Ctx.lookupOp("ADD");
+  Oracle Judge = Oracle::build(F.Ctx, F.Specs, QueueSort, F.Binding, Enum,
+                               /*ForceObservers=*/false, OracleOptions());
+  VarId Vars[] = {F.Ctx.addVar("q_bench", QueueSort),
+                  F.Ctx.addVar("i_bench", ItemSort)};
+  auto StillFails = [&](std::span<const TermId> Assignment) {
+    TermId L = F.Ctx.makeOp(
+        Remove, {F.Ctx.makeOp(Add, {Assignment[0], Assignment[1]})});
+    TermId R = F.Ctx.makeOp(Add, {F.Ctx.makeOp(Remove, {Assignment[0]}),
+                                  Assignment[1]});
+    Result<OracleVerdict> V = Judge.compare(F.Binding, L, R);
+    return V && !V->Equal;
+  };
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    ShrinkOutcome Out =
+        shrinkAssignment(F.Ctx, Enum, Depth, Vars,
+                         {Queues.back(), Items.front()}, StillFails);
+    benchmark::DoNotOptimize(Out.Assignment);
+    Steps = Out.Steps;
+  }
+  State.counters["shrink_steps"] = static_cast<double>(Steps);
+}
+BENCHMARK(BM_ShrinkMutant);
+
+} // namespace
+
+ALGSPEC_BENCHMARK_MAIN()

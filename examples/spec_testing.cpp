@@ -11,59 +11,20 @@
 /// axiom; a queue with a LIFO bug in REMOVE is caught, with the precise
 /// failing instance printed.
 ///
+/// The Queue binding itself lives in the shared registry
+/// (src/adt/Bindings.cpp) — the same wiring the Model tests and the
+/// `algspec testgen` campaigns use — and the LIFO bug is its registered
+/// "remove-lifo" mutant.
+///
 //===----------------------------------------------------------------------===//
 
-#include "adt/Queue.h"
+#include "adt/Bindings.h"
 #include "core/AlgSpec.h"
 
 #include <cstdio>
 #include <string>
 
 using namespace algspec;
-using QueueV = adt::Queue<std::string>;
-
-namespace {
-
-/// Binds the real Queue<std::string> to the Queue spec. \p BuggyRemove
-/// swaps in the broken variant.
-void bindQueue(ModelBinding &B, AlgebraContext &Ctx, bool BuggyRemove) {
-  B.bindOp("NEW",
-           [](std::span<const Value>) { return Value::of(QueueV()); });
-  B.bindOp("ADD", [](std::span<const Value> Args) {
-    QueueV Q = Args[0].get<QueueV>();
-    Q.add(Args[1].get<std::string>());
-    return Value::of(std::move(Q));
-  });
-  B.bindOp("FRONT", [](std::span<const Value> Args) {
-    auto Front = Args[0].get<QueueV>().front();
-    return Front ? Value::of(*Front) : Value::error();
-  });
-  B.bindOp("REMOVE", [BuggyRemove](std::span<const Value> Args) {
-    QueueV Q = Args[0].get<QueueV>();
-    if (Q.isEmpty())
-      return Value::error();
-    if (!BuggyRemove) {
-      Q.remove();
-      return Value::of(std::move(Q));
-    }
-    // The bug: drop the newest element instead of the oldest.
-    QueueV Rebuilt;
-    while (Q.size() > 1) {
-      Rebuilt.add(*Q.front());
-      Q.remove();
-    }
-    return Value::of(std::move(Rebuilt));
-  });
-  B.bindOp("IS_EMPTY?", [](std::span<const Value> Args) {
-    return Value::of(Args[0].get<QueueV>().isEmpty());
-  });
-  B.bindEquals(Ctx.lookupSort("Queue"),
-               [](const Value &A, const Value &B2) {
-                 return A.get<QueueV>() == B2.get<QueueV>();
-               });
-}
-
-} // namespace
 
 int main() {
   Workspace WS;
@@ -72,6 +33,11 @@ int main() {
     return 1;
   }
   const Spec *Queue = WS.find("Queue");
+  const adt::AdtBinding *Row = adt::findAdtBinding("Queue");
+  if (!Queue || !Row) {
+    std::fprintf(stderr, "Queue spec or binding registry row missing\n");
+    return 1;
+  }
 
   ModelTestOptions Options;
   Options.MaxDepth = 5;
@@ -79,7 +45,10 @@ int main() {
   std::printf("==== testing the correct FIFO implementation ====\n");
   {
     ModelBinding B(WS.context());
-    bindQueue(B, WS.context(), /*BuggyRemove=*/false);
+    if (Result<void> R = Row->Install(B, *Queue, ""); !R) {
+      std::fprintf(stderr, "%s\n", R.error().message().c_str());
+      return 1;
+    }
     ModelTestReport Report = testModel(WS.context(), *Queue, B, Options);
     std::printf("%s", Report.render().c_str());
     if (!Report.AllPassed) {
@@ -92,7 +61,10 @@ int main() {
               "====\n");
   {
     ModelBinding B(WS.context());
-    bindQueue(B, WS.context(), /*BuggyRemove=*/true);
+    if (Result<void> R = Row->Install(B, *Queue, "remove-lifo"); !R) {
+      std::fprintf(stderr, "%s\n", R.error().message().c_str());
+      return 1;
+    }
     ModelTestReport Report = testModel(WS.context(), *Queue, B, Options);
     std::printf("%s", Report.render().c_str());
     if (Report.AllPassed) {

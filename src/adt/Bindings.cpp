@@ -1,0 +1,392 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Bindings.h"
+
+#include "adt/HashArray.h"
+#include "adt/KnowsList.h"
+#include "adt/Queue.h"
+#include "adt/Stack.h"
+#include "adt/SymbolTable.h"
+#include "adt/Table.h"
+#include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
+#include "model/ModelBinding.h"
+
+#include <string>
+#include <utility>
+
+using namespace algspec;
+using namespace algspec::adt;
+
+namespace {
+
+using QueueV = Queue<std::string>;
+using ArrayV = HashArray<std::string>;
+using StackV = Stack<ArrayV>;
+using SymTabV = SymbolTable<std::string>;
+using TableV = Table<std::string>;
+
+/// Binds an equality for the user sort \p SortName comparing values as
+/// \p T; fails when the sort is not in the context.
+template <typename T>
+Result<void> bindEq(ModelBinding &B, std::string_view SortName) {
+  SortId Sort = B.context().lookupSort(SortName);
+  if (!Sort.isValid())
+    return makeError("binding requires sort '" + std::string(SortName) +
+                     "', which the loaded specs do not declare");
+  B.bindEquals(Sort, [](const Value &A, const Value &B2) {
+    return A.get<T>() == B2.get<T>();
+  });
+  return {};
+}
+
+/// Rejects \p Mutant unless it is empty or listed in \p Known.
+Result<void> checkMutant(std::string_view Mutant,
+                         std::span<const MutantInfo> Known) {
+  if (Mutant.empty())
+    return {};
+  for (const MutantInfo &M : Known)
+    if (M.Name == Mutant)
+      return {};
+  return makeError("unknown mutant '" + std::string(Mutant) + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// Queue (axioms 1-6) against adt::Queue<std::string>
+//===----------------------------------------------------------------------===//
+
+constexpr MutantInfo QueueMutants[] = {
+    {"remove-lifo", "REMOVE drops the newest element instead of the "
+                    "oldest (a LIFO bug)"},
+};
+
+Result<void> installQueue(ModelBinding &B, const Spec &S,
+                          std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, QueueMutants); !R)
+    return R;
+  const bool RemoveLifo = Mutant == "remove-lifo";
+
+  if (auto R = B.bindOp(S, "NEW", [](std::span<const Value>) {
+        return Value::of(QueueV());
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "ADD", [](std::span<const Value> Args) {
+        QueueV Q = Args[0].get<QueueV>();
+        Q.add(Args[1].get<std::string>());
+        return Value::of(std::move(Q));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "FRONT", [](std::span<const Value> Args) {
+        std::optional<std::string> Front = Args[0].get<QueueV>().front();
+        return Front ? Value::of(*Front) : Value::error();
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "REMOVE", [RemoveLifo](std::span<const Value> Args) {
+        QueueV Q = Args[0].get<QueueV>();
+        if (Q.isEmpty())
+          return Value::error();
+        if (!RemoveLifo) {
+          Q.remove();
+          return Value::of(std::move(Q));
+        }
+        // The seeded bug: drop the most recently added element instead.
+        QueueV Rebuilt;
+        while (Q.size() > 1) {
+          Rebuilt.add(*Q.front());
+          Q.remove();
+        }
+        return Value::of(std::move(Rebuilt));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "IS_EMPTY?", [](std::span<const Value> Args) {
+        return Value::of(Args[0].get<QueueV>().isEmpty());
+      });
+      !R)
+    return R;
+  return bindEq<QueueV>(B, "Queue");
+}
+
+//===----------------------------------------------------------------------===//
+// Array (axioms 17-20) against adt::HashArray<std::string>
+//===----------------------------------------------------------------------===//
+
+Result<void> installArray(ModelBinding &B, const Spec &S,
+                          std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, {}); !R)
+    return R;
+  // 4 buckets so collisions occur even in small campaigns.
+  if (auto R = B.bindOp(S, "EMPTY", [](std::span<const Value>) {
+        return Value::of(ArrayV(4));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "ASSIGN", [](std::span<const Value> Args) {
+        ArrayV A = Args[0].get<ArrayV>();
+        A.assign(Args[1].get<std::string>(), Args[2].get<std::string>());
+        return Value::of(std::move(A));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "READ", [](std::span<const Value> Args) {
+        std::optional<std::string> V =
+            Args[0].get<ArrayV>().read(Args[1].get<std::string>());
+        return V ? Value::of(*V) : Value::error();
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "IS_UNDEFINED?", [](std::span<const Value> Args) {
+        return Value::of(
+            Args[0].get<ArrayV>().isUndefined(Args[1].get<std::string>()));
+      });
+      !R)
+    return R;
+  return bindEq<ArrayV>(B, "Array");
+}
+
+//===----------------------------------------------------------------------===//
+// Stack of arrays (axioms 10-16) against adt::Stack<adt::HashArray>
+//===----------------------------------------------------------------------===//
+
+constexpr MutantInfo StackMutants[] = {
+    {"replace-pops", "REPLACE pops the stack instead of replacing the "
+                     "top element"},
+};
+
+Result<void> installStack(ModelBinding &B, const Spec &S,
+                          std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, StackMutants); !R)
+    return R;
+  const bool ReplacePops = Mutant == "replace-pops";
+
+  // The Stack spec's element sort is Array: its binding rides along so
+  // stack campaigns can evaluate the array arguments.
+  if (Result<void> R = installArray(B, S, ""); !R)
+    return R;
+
+  if (auto R = B.bindOp(S, "NEWSTACK", [](std::span<const Value>) {
+        return Value::of(StackV());
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "PUSH", [](std::span<const Value> Args) {
+        StackV S = Args[0].get<StackV>();
+        S.push(Args[1].get<ArrayV>());
+        return Value::of(std::move(S));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "POP", [](std::span<const Value> Args) {
+        StackV S = Args[0].get<StackV>();
+        if (!S.pop())
+          return Value::error();
+        return Value::of(std::move(S));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "TOP", [](std::span<const Value> Args) {
+        std::optional<ArrayV> T = Args[0].get<StackV>().top();
+        return T ? Value::of(std::move(*T)) : Value::error();
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "IS_NEWSTACK?", [](std::span<const Value> Args) {
+        return Value::of(Args[0].get<StackV>().isEmpty());
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(
+          S, "REPLACE", [ReplacePops](std::span<const Value> Args) {
+        StackV S = Args[0].get<StackV>();
+        if (ReplacePops) {
+          // The seeded bug: discard the new top and pop instead.
+          if (!S.pop())
+            return Value::error();
+          return Value::of(std::move(S));
+        }
+        if (!S.replace(Args[1].get<ArrayV>()))
+          return Value::error();
+        return Value::of(std::move(S));
+      });
+      !R)
+    return R;
+  return bindEq<StackV>(B, "Stack");
+}
+
+//===----------------------------------------------------------------------===//
+// Symboltable (axioms 1-9) against adt::SymbolTable<std::string>
+//===----------------------------------------------------------------------===//
+
+constexpr MutantInfo SymboltableMutants[] = {
+    {"retrieve-current-block-only",
+     "RETRIEVE searches only the innermost block instead of the whole "
+     "table"},
+};
+
+Result<void> installSymboltable(ModelBinding &B, const Spec &S,
+                                std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, SymboltableMutants); !R)
+    return R;
+  const bool CurrentBlockOnly = Mutant == "retrieve-current-block-only";
+
+  if (auto R = B.bindOp(S, "INIT", [](std::span<const Value>) {
+        return Value::of(SymTabV(4));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "ENTERBLOCK", [](std::span<const Value> Args) {
+        SymTabV T = Args[0].get<SymTabV>();
+        T.enterBlock();
+        return Value::of(std::move(T));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "LEAVEBLOCK", [](std::span<const Value> Args) {
+        SymTabV T = Args[0].get<SymTabV>();
+        if (!T.leaveBlock())
+          return Value::error();
+        return Value::of(std::move(T));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "ADD", [](std::span<const Value> Args) {
+        SymTabV T = Args[0].get<SymTabV>();
+        T.add(Args[1].get<std::string>(), Args[2].get<std::string>());
+        return Value::of(std::move(T));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "IS_INBLOCK?", [](std::span<const Value> Args) {
+        return Value::of(
+            Args[0].get<SymTabV>().isInBlock(Args[1].get<std::string>()));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "RETRIEVE",
+                        [CurrentBlockOnly](std::span<const Value> Args) {
+                          const SymTabV &T = Args[0].get<SymTabV>();
+                          const std::string &Id = Args[1].get<std::string>();
+                          // The seeded bug: ignore enclosing blocks.
+                          if (CurrentBlockOnly && !T.isInBlock(Id))
+                            return Value::error();
+                          std::optional<std::string> V = T.retrieve(Id);
+                          return V ? Value::of(*V) : Value::error();
+                        });
+      !R)
+    return R;
+  return bindEq<SymTabV>(B, "Symboltable");
+}
+
+//===----------------------------------------------------------------------===//
+// Knowlist against adt::KnowsList
+//===----------------------------------------------------------------------===//
+
+Result<void> installKnowlist(ModelBinding &B, const Spec &S,
+                             std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, {}); !R)
+    return R;
+  if (auto R = B.bindOp(S, "CREATE", [](std::span<const Value>) {
+        return Value::of(KnowsList());
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "APPEND", [](std::span<const Value> Args) {
+        KnowsList K = Args[0].get<KnowsList>();
+        K.append(Args[1].get<std::string>());
+        return Value::of(std::move(K));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "IS_IN?", [](std::span<const Value> Args) {
+        return Value::of(
+            Args[0].get<KnowsList>().contains(Args[1].get<std::string>()));
+      });
+      !R)
+    return R;
+  return bindEq<KnowsList>(B, "Knowlist");
+}
+
+//===----------------------------------------------------------------------===//
+// Table (the section-5 database characterization) against adt::Table
+//===----------------------------------------------------------------------===//
+
+Result<void> installTable(ModelBinding &B, const Spec &S,
+                          std::string_view Mutant) {
+  if (Result<void> R = checkMutant(Mutant, {}); !R)
+    return R;
+  if (auto R = B.bindOp(S, "EMPTY_TABLE", [](std::span<const Value>) {
+        return Value::of(TableV());
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "INSERT_ROW", [](std::span<const Value> Args) {
+        TableV T = Args[0].get<TableV>();
+        T.insertRow(Args[1].get<std::string>(), Args[2].get<std::string>());
+        return Value::of(std::move(T));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "DELETE_ROW", [](std::span<const Value> Args) {
+        TableV T = Args[0].get<TableV>();
+        T.deleteRow(Args[1].get<std::string>());
+        return Value::of(std::move(T));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "LOOKUP", [](std::span<const Value> Args) {
+        auto V = Args[0].get<TableV>().lookup(Args[1].get<std::string>());
+        return V ? Value::of(*V) : Value::error();
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "HAS_ROW?", [](std::span<const Value> Args) {
+        return Value::of(
+            Args[0].get<TableV>().hasRow(Args[1].get<std::string>()));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "ROW_COUNT", [](std::span<const Value> Args) {
+        return Value::of(
+            static_cast<int64_t>(Args[0].get<TableV>().rowCount()));
+      });
+      !R)
+    return R;
+  if (auto R = B.bindOp(S, "SELECT_VAL", [](std::span<const Value> Args) {
+        return Value::of(
+            Args[0].get<TableV>().selectVal(Args[1].get<std::string>()));
+      });
+      !R)
+    return R;
+  return bindEq<TableV>(B, "Table");
+}
+
+const AdtBinding Registry[] = {
+    {"Queue", "queue", "adt::Queue<std::string>", QueueMutants,
+     installQueue},
+    {"Array", "stackarray", "adt::HashArray<std::string>", {},
+     installArray},
+    {"Stack", "stackarray", "adt::Stack<adt::HashArray<std::string>>",
+     StackMutants, installStack},
+    {"Symboltable", "symboltable", "adt::SymbolTable<std::string>",
+     SymboltableMutants, installSymboltable},
+    {"Knowlist", "knowlist", "adt::KnowsList", {}, installKnowlist},
+    {"Table", "table", "adt::Table<std::string>", {}, installTable},
+};
+
+} // namespace
+
+std::span<const AdtBinding> adt::adtBindings() { return Registry; }
+
+const AdtBinding *adt::findAdtBinding(std::string_view SpecName) {
+  for (const AdtBinding &Row : Registry)
+    if (Row.SpecName == SpecName)
+      return &Row;
+  return nullptr;
+}

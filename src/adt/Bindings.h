@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of ModelBindings from the builtin paper specs to their
+/// src/adt implementations.
+///
+/// This is the shared wiring behind the paper's section-5 discipline:
+/// the spec_testing example, the Model tests, and the testgen campaign
+/// driver all bind the same real C++ code to the same specs through this
+/// table instead of hand-wiring lambdas three times. Each row can also
+/// install a seeded defect (a mutant) so the mutation-catching half of
+/// testgen has known bugs to find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_ADT_BINDINGS_H
+#define ALGSPEC_ADT_BINDINGS_H
+
+#include "support/Error.h"
+
+#include <span>
+#include <string_view>
+
+namespace algspec {
+
+class ModelBinding;
+class Spec;
+
+namespace adt {
+
+/// One seeded defect a binding can install instead of the correct
+/// implementation. The axioms must catch every one of these.
+struct MutantInfo {
+  std::string_view Name;        ///< CLI key, e.g. "replace-pops".
+  std::string_view Description; ///< What the defect does.
+};
+
+/// Maps one builtin spec to its src/adt implementation.
+struct AdtBinding {
+  std::string_view SpecName; ///< Spec name as parsed, e.g. "Queue".
+  std::string_view Builtin;  ///< CLI builtin key, e.g. "queue".
+  std::string_view Impl;     ///< Implementation, e.g. "adt::Queue".
+  std::span<const MutantInfo> Mutants;
+  /// Installs the implementation on \p B, resolving operation names
+  /// against \p S first (several loaded specs may declare the same
+  /// name). \p Mutant selects a seeded defect from Mutants (empty = the
+  /// correct implementation). Fails with a structured diagnostic on an
+  /// unknown mutant or an operation missing from the context.
+  Result<void> (*Install)(ModelBinding &B, const Spec &S,
+                          std::string_view Mutant);
+};
+
+/// The registry rows in a fixed order, so reports that iterate it are
+/// deterministic.
+std::span<const AdtBinding> adtBindings();
+
+/// The row binding the spec named \p SpecName, or nullptr.
+const AdtBinding *findAdtBinding(std::string_view SpecName);
+
+} // namespace adt
+} // namespace algspec
+
+#endif // ALGSPEC_ADT_BINDINGS_H

@@ -7,6 +7,7 @@
 #include "model/ModelBinding.h"
 
 #include "ast/AlgebraContext.h"
+#include "ast/Spec.h"
 #include "ast/TermPrinter.h"
 
 #include <string>
@@ -20,10 +21,34 @@ void ModelBinding::bindOp(OpId Op, OpFn Fn) {
   Ops[Op] = std::move(Fn);
 }
 
-void ModelBinding::bindOp(std::string_view Name, OpFn Fn) {
+Result<void> ModelBinding::bindOp(std::string_view Name, OpFn Fn) {
   OpId Op = Ctx.lookupOp(Name);
-  assert(Op.isValid() && "binding an unknown or ambiguous operation name");
+  if (!Op.isValid())
+    return makeError("unbound operation '" + std::string(Name) +
+                     "': no unique operation of this name in the "
+                     "loaded specs");
   bindOp(Op, std::move(Fn));
+  return {};
+}
+
+Result<void> ModelBinding::bindOp(const Spec &S, std::string_view Name,
+                                  OpFn Fn) {
+  OpId Found;
+  for (OpId Op : S.operations()) {
+    if (Ctx.opName(Op) != Name)
+      continue;
+    if (Found.isValid())
+      return makeError("unbound operation '" + std::string(Name) +
+                       "': ambiguous within spec '" + S.name() + "'");
+    Found = Op;
+  }
+  if (Found.isValid()) {
+    bindOp(Found, std::move(Fn));
+    return {};
+  }
+  // Operations the spec uses but does not declare (a Stack binding also
+  // installs the Array operations) resolve against the whole context.
+  return bindOp(Name, std::move(Fn));
 }
 
 void ModelBinding::bindAtoms(SortId Sort, AtomFn Fn) {
@@ -32,6 +57,39 @@ void ModelBinding::bindAtoms(SortId Sort, AtomFn Fn) {
 
 void ModelBinding::bindEquals(SortId Sort, EqFn Fn) {
   Equals[Sort] = std::move(Fn);
+}
+
+bool ModelBinding::hasEquality(SortId Sort) const {
+  if (Equals.count(Sort))
+    return true;
+  switch (Ctx.sort(Sort).Kind) {
+  case SortKind::Bool:
+  case SortKind::Int:
+    return true;
+  case SortKind::Atom:
+    // The default atom equality compares the default string
+    // representation; a bindAtoms override invalidates it.
+    return !Atoms.count(Sort);
+  case SortKind::User:
+    return false;
+  }
+  return false;
+}
+
+bool ModelBinding::isBoundOrBuiltin(OpId Op) const {
+  if (Ops.count(Op))
+    return true;
+  if (Ctx.op(Op).Builtin != BuiltinOp::None)
+    return true;
+  return Op == Ctx.trueOp() || Op == Ctx.falseOp();
+}
+
+std::vector<OpId> ModelBinding::unboundOps(const Spec &S) const {
+  std::vector<OpId> Unbound;
+  for (OpId Op : S.operations())
+    if (!isBoundOrBuiltin(Op))
+      Unbound.push_back(Op);
+  return Unbound;
 }
 
 Result<bool> ModelBinding::equal(SortId Sort, const Value &A,

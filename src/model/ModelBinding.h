@@ -28,10 +28,12 @@
 #include <span>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace algspec {
 
 class AlgebraContext;
+class Spec;
 
 /// Evaluates ground terms by dispatching operations to bound callables.
 ///
@@ -55,8 +57,16 @@ public:
   /// binding short-circuits); return Value::error() to signal the
   /// algebra's error (e.g. FRONT of an empty queue).
   void bindOp(OpId Op, OpFn Fn);
-  /// Convenience: binds by unique operation name; asserts existence.
-  void bindOp(std::string_view Name, OpFn Fn);
+  /// Convenience: binds by unique operation name. Fails with a
+  /// structured "unbound operation" diagnostic when the name is unknown
+  /// or ambiguous in the context, so callers (the testgen obstruction
+  /// report, the binding registry) can surface it instead of crashing.
+  Result<void> bindOp(std::string_view Name, OpFn Fn);
+  /// Like bindOp(Name), but resolves \p Name among the operations \p S
+  /// declares before consulting the whole context — several loaded specs
+  /// may declare the same operation name (Queue and Symboltable both
+  /// have ADD), and a binding registry installs per spec.
+  Result<void> bindOp(const Spec &S, std::string_view Name, OpFn Fn);
 
   /// Overrides how atom literals of \p Sort become runtime values.
   void bindAtoms(SortId Sort, AtomFn Fn);
@@ -73,6 +83,22 @@ public:
   /// Compares two values of \p Sort; errors compare equal to errors
   /// only. Fails when no equality is bound for the sort.
   Result<bool> equal(SortId Sort, const Value &A, const Value &B);
+
+  /// True when equal() can decide \p Sort: an explicit bindEquals, or a
+  /// default (Bool, Int, and atom sorts in their default string
+  /// representation). The testgen oracle layer keys on this to choose
+  /// between direct comparison and observable-context oracles.
+  bool hasEquality(SortId Sort) const;
+
+  /// True when evaluate() could dispatch \p Op somewhere: an explicit
+  /// binding, a builtin (arithmetic, SAME, ite, ...), or the boolean
+  /// constants.
+  bool isBoundOrBuiltin(OpId Op) const;
+
+  /// The operations of \p S that evaluate() cannot dispatch, in
+  /// declaration order — testgen reports these as named obstructions
+  /// before running a campaign.
+  std::vector<OpId> unboundOps(const Spec &S) const;
 
   AlgebraContext &context() { return Ctx; }
 

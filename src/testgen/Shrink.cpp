@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Shrink.h"
+
+#include "ast/AlgebraContext.h"
+#include "check/TermEnumerator.h"
+
+#include <unordered_set>
+
+using namespace algspec;
+
+/// Collects the proper subterms of \p Term with sort \p Sort, preorder.
+static void collectSubterms(const AlgebraContext &Ctx, TermId Term,
+                            SortId Sort, TermId Root,
+                            std::vector<TermId> &Out,
+                            std::unordered_set<TermId> &Seen) {
+  if (Term != Root && Ctx.sortOf(Term) == Sort && Seen.insert(Term).second)
+    Out.push_back(Term);
+  for (TermId Child : Ctx.children(Term))
+    collectSubterms(Ctx, Child, Sort, Root, Out, Seen);
+}
+
+std::vector<TermId> algspec::shrinkCandidates(AlgebraContext &Ctx,
+                                              TermEnumerator &Enum,
+                                              unsigned MaxDepth,
+                                              TermId Term) {
+  SortId Sort = Ctx.sortOf(Term);
+  size_t Size = Ctx.treeSize(Term);
+  std::vector<TermId> Candidates;
+  std::unordered_set<TermId> Seen;
+  Seen.insert(Term);
+  collectSubterms(Ctx, Term, Sort, Term, Candidates, Seen);
+  for (TermId Small : Enum.enumerate(Sort, MaxDepth)) {
+    if (Ctx.treeSize(Small) >= Size)
+      continue;
+    if (Seen.insert(Small).second)
+      Candidates.push_back(Small);
+  }
+  return Candidates;
+}
+
+ShrinkOutcome algspec::shrinkAssignment(
+    AlgebraContext &Ctx, TermEnumerator &Enum, unsigned MaxDepth,
+    std::span<const VarId> Vars, std::vector<TermId> Assignment,
+    const std::function<bool(std::span<const TermId>)> &StillFails) {
+  ShrinkOutcome Outcome;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t I = 0; I != Vars.size() && !Progress; ++I) {
+      for (TermId Candidate :
+           shrinkCandidates(Ctx, Enum, MaxDepth, Assignment[I])) {
+        TermId Saved = Assignment[I];
+        Assignment[I] = Candidate;
+        if (StillFails(Assignment)) {
+          // Keep the strictly smaller failing instance and restart the
+          // descent from it.
+          ++Outcome.Steps;
+          Progress = true;
+          break;
+        }
+        Assignment[I] = Saved;
+      }
+    }
+  }
+  Outcome.Assignment = std::move(Assignment);
+  return Outcome;
+}

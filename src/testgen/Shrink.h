@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of AlgSpec. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy counterexample shrinking for testgen campaigns.
+///
+/// A failing axiom instance is a variable assignment; shrinking walks it
+/// toward a local minimum by replacing one variable's term at a time
+/// with a strictly smaller candidate — a proper subterm of the same sort
+/// or a smaller enumerated term — keeping any replacement under which
+/// the instance still fails. Every accepted step strictly decreases the
+/// assignment's total size, so the descent terminates, and the result is
+/// minimal in its candidate neighborhood: no single replacement still
+/// fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGSPEC_TESTGEN_SHRINK_H
+#define ALGSPEC_TESTGEN_SHRINK_H
+
+#include "ast/Ids.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace algspec {
+
+class AlgebraContext;
+class TermEnumerator;
+
+/// Candidate replacements for \p Term: its proper subterms of the same
+/// sort (in preorder), then enumerated ground terms of the sort up to
+/// \p MaxDepth — all strictly smaller than \p Term (tree size),
+/// deduplicated, in a deterministic order. Exposed so the minimality
+/// tests can re-check a shrunk instance's whole neighborhood.
+std::vector<TermId> shrinkCandidates(AlgebraContext &Ctx,
+                                     TermEnumerator &Enum, unsigned MaxDepth,
+                                     TermId Term);
+
+/// A shrunk assignment plus the number of accepted replacements.
+struct ShrinkOutcome {
+  std::vector<TermId> Assignment;
+  uint64_t Steps = 0;
+};
+
+/// Greedy descent from \p Assignment (one term per variable, parallel to
+/// \p Vars). \p StillFails must return true when the given assignment
+/// still makes the axiom instance fail; it is only ever called on
+/// candidate assignments, never on the original.
+ShrinkOutcome shrinkAssignment(
+    AlgebraContext &Ctx, TermEnumerator &Enum, unsigned MaxDepth,
+    std::span<const VarId> Vars, std::vector<TermId> Assignment,
+    const std::function<bool(std::span<const TermId>)> &StillFails);
+
+} // namespace algspec
+
+#endif // ALGSPEC_TESTGEN_SHRINK_H

@@ -11,14 +11,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "adt/HashArray.h"
+#include "adt/Bindings.h"
 #include "adt/KnowsList.h"
 #include "adt/KnowsSymbolTable.h"
 #include "adt/PriorityQueue.h"
-#include "adt/Queue.h"
-#include "adt/Stack.h"
-#include "adt/Table.h"
-#include "adt/SymbolTable.h"
 #include "ast/AlgebraContext.h"
 #include "model/ModelBinding.h"
 #include "model/ModelTester.h"
@@ -31,68 +27,33 @@
 
 using namespace algspec;
 
-using QueueV = adt::Queue<std::string>;
-using ArrayV = adt::HashArray<std::string>;
-using StackV = adt::Stack<ArrayV>;
-using TableV = adt::SymbolTable<std::string>;
 using KTableV = adt::KnowsSymbolTable<std::string>;
+
+namespace {
+
+/// Installs the shared registry binding for \p S (the same wiring the
+/// spec_testing example and `algspec testgen` use). \p Mutant selects a
+/// seeded defect; empty is the correct implementation.
+void installFromRegistry(ModelBinding &B, const Spec &S,
+                         std::string_view Mutant = "") {
+  const adt::AdtBinding *Row = adt::findAdtBinding(S.name());
+  ASSERT_NE(Row, nullptr) << "no registry row for spec " << S.name();
+  Result<void> R = Row->Install(B, S, Mutant);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error().message();
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Queue<T> against the Queue spec (axioms 1-6)
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Installs the Queue<std::string> bindings used by several tests.
-/// \p BuggyRemove switches in an implementation that removes the *newest*
-/// element (a LIFO bug the axioms must catch).
-void bindQueue(ModelBinding &B, AlgebraContext &Ctx, bool BuggyRemove) {
-  SortId QueueSort = Ctx.lookupSort("Queue");
-
-  B.bindOp("NEW", [](std::span<const Value>) {
-    return Value::of(QueueV());
-  });
-  B.bindOp("ADD", [](std::span<const Value> Args) {
-    QueueV Q = Args[0].get<QueueV>();
-    Q.add(Args[1].get<std::string>());
-    return Value::of(std::move(Q));
-  });
-  B.bindOp("FRONT", [](std::span<const Value> Args) {
-    std::optional<std::string> Front = Args[0].get<QueueV>().front();
-    return Front ? Value::of(*Front) : Value::error();
-  });
-  B.bindOp("REMOVE", [BuggyRemove](std::span<const Value> Args) {
-    QueueV Q = Args[0].get<QueueV>();
-    if (Q.isEmpty())
-      return Value::error();
-    if (!BuggyRemove) {
-      Q.remove();
-      return Value::of(std::move(Q));
-    }
-    // Buggy variant: drop the most recently added element instead.
-    QueueV Rebuilt;
-    while (Q.size() > 1) {
-      Rebuilt.add(*Q.front());
-      Q.remove();
-    }
-    return Value::of(std::move(Rebuilt));
-  });
-  B.bindOp("IS_EMPTY?", [](std::span<const Value> Args) {
-    return Value::of(Args[0].get<QueueV>().isEmpty());
-  });
-  B.bindEquals(QueueSort, [](const Value &A, const Value &B2) {
-    return A.get<QueueV>() == B2.get<QueueV>();
-  });
-}
-
-} // namespace
 
 TEST(ModelQueueTest, RealImplementationSatisfiesAllAxioms) {
   AlgebraContext Ctx;
   auto Q = specs::loadQueue(Ctx);
   ASSERT_TRUE(static_cast<bool>(Q));
   ModelBinding B(Ctx);
-  bindQueue(B, Ctx, /*BuggyRemove=*/false);
+  installFromRegistry(B, *Q);
 
   ModelTestOptions Options;
   Options.MaxDepth = 5; // Queues of up to 4 elements, both atoms each.
@@ -108,7 +69,7 @@ TEST(ModelQueueTest, LifoBugCaughtByAxiom6) {
   auto Q = specs::loadQueue(Ctx);
   ASSERT_TRUE(static_cast<bool>(Q));
   ModelBinding B(Ctx);
-  bindQueue(B, Ctx, /*BuggyRemove=*/true);
+  installFromRegistry(B, *Q, "remove-lifo");
 
   ModelTestOptions Options;
   Options.MaxDepth = 4;
@@ -127,7 +88,7 @@ TEST(ModelQueueTest, EvaluateGroundTermRunsRealCode) {
   auto Q = specs::loadQueue(Ctx);
   ASSERT_TRUE(static_cast<bool>(Q));
   ModelBinding B(Ctx);
-  bindQueue(B, Ctx, false);
+  installFromRegistry(B, *Q);
 
   auto Term = parseTermText(Ctx, "FRONT(REMOVE(ADD(ADD(NEW, 'a), 'b)))");
   ASSERT_TRUE(static_cast<bool>(Term));
@@ -141,7 +102,7 @@ TEST(ModelQueueTest, ErrorsPropagateThroughEvaluation) {
   auto Q = specs::loadQueue(Ctx);
   ASSERT_TRUE(static_cast<bool>(Q));
   ModelBinding B(Ctx);
-  bindQueue(B, Ctx, false);
+  installFromRegistry(B, *Q);
 
   auto Term = parseTermText(Ctx, "IS_EMPTY?(REMOVE(NEW))");
   ASSERT_TRUE(static_cast<bool>(Term));
@@ -154,75 +115,13 @@ TEST(ModelQueueTest, ErrorsPropagateThroughEvaluation) {
 // Stack + HashArray against axioms 10-20 (the paper's PL/I code, E6)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-void bindStackArray(ModelBinding &B, AlgebraContext &Ctx) {
-  SortId StackSort = Ctx.lookupSort("Stack");
-  SortId ArraySort = Ctx.lookupSort("Array");
-
-  // Array: 4 buckets so collisions occur even in small tests.
-  B.bindOp("EMPTY", [](std::span<const Value>) {
-    return Value::of(ArrayV(4));
-  });
-  B.bindOp("ASSIGN", [](std::span<const Value> Args) {
-    ArrayV A = Args[0].get<ArrayV>();
-    A.assign(Args[1].get<std::string>(), Args[2].get<std::string>());
-    return Value::of(std::move(A));
-  });
-  B.bindOp("READ", [](std::span<const Value> Args) {
-    std::optional<std::string> V =
-        Args[0].get<ArrayV>().read(Args[1].get<std::string>());
-    return V ? Value::of(*V) : Value::error();
-  });
-  B.bindOp("IS_UNDEFINED?", [](std::span<const Value> Args) {
-    return Value::of(
-        Args[0].get<ArrayV>().isUndefined(Args[1].get<std::string>()));
-  });
-  B.bindEquals(ArraySort, [](const Value &A, const Value &B2) {
-    return A.get<ArrayV>() == B2.get<ArrayV>();
-  });
-
-  // Stack of arrays.
-  B.bindOp("NEWSTACK", [](std::span<const Value>) {
-    return Value::of(StackV());
-  });
-  B.bindOp("PUSH", [](std::span<const Value> Args) {
-    StackV S = Args[0].get<StackV>();
-    S.push(Args[1].get<ArrayV>());
-    return Value::of(std::move(S));
-  });
-  B.bindOp("POP", [](std::span<const Value> Args) {
-    StackV S = Args[0].get<StackV>();
-    if (!S.pop())
-      return Value::error();
-    return Value::of(std::move(S));
-  });
-  B.bindOp("TOP", [](std::span<const Value> Args) {
-    std::optional<ArrayV> T = Args[0].get<StackV>().top();
-    return T ? Value::of(std::move(*T)) : Value::error();
-  });
-  B.bindOp("IS_NEWSTACK?", [](std::span<const Value> Args) {
-    return Value::of(Args[0].get<StackV>().isEmpty());
-  });
-  B.bindOp("REPLACE", [](std::span<const Value> Args) {
-    StackV S = Args[0].get<StackV>();
-    if (!S.replace(Args[1].get<ArrayV>()))
-      return Value::error();
-    return Value::of(std::move(S));
-  });
-  B.bindEquals(StackSort, [](const Value &A, const Value &B2) {
-    return A.get<StackV>() == B2.get<StackV>();
-  });
-}
-
-} // namespace
-
 TEST(ModelStackArrayTest, PaperImplementationSatisfiesAxioms10To20) {
   AlgebraContext Ctx;
   auto Parsed = specs::loadStackArray(Ctx);
   ASSERT_TRUE(static_cast<bool>(Parsed));
   ModelBinding B(Ctx);
-  bindStackArray(B, Ctx);
+  for (const Spec &S : *Parsed)
+    installFromRegistry(B, S);
 
   ModelTestOptions Options;
   Options.MaxDepth = 3;
@@ -236,52 +135,12 @@ TEST(ModelStackArrayTest, PaperImplementationSatisfiesAxioms10To20) {
 // SymbolTable against axioms 1-9
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-void bindSymbolTable(ModelBinding &B, AlgebraContext &Ctx) {
-  SortId TableSort = Ctx.lookupSort("Symboltable");
-
-  B.bindOp("INIT", [](std::span<const Value>) {
-    return Value::of(TableV(4));
-  });
-  B.bindOp("ENTERBLOCK", [](std::span<const Value> Args) {
-    TableV T = Args[0].get<TableV>();
-    T.enterBlock();
-    return Value::of(std::move(T));
-  });
-  B.bindOp("LEAVEBLOCK", [](std::span<const Value> Args) {
-    TableV T = Args[0].get<TableV>();
-    if (!T.leaveBlock())
-      return Value::error();
-    return Value::of(std::move(T));
-  });
-  B.bindOp("ADD", [](std::span<const Value> Args) {
-    TableV T = Args[0].get<TableV>();
-    T.add(Args[1].get<std::string>(), Args[2].get<std::string>());
-    return Value::of(std::move(T));
-  });
-  B.bindOp("IS_INBLOCK?", [](std::span<const Value> Args) {
-    return Value::of(
-        Args[0].get<TableV>().isInBlock(Args[1].get<std::string>()));
-  });
-  B.bindOp("RETRIEVE", [](std::span<const Value> Args) {
-    std::optional<std::string> V =
-        Args[0].get<TableV>().retrieve(Args[1].get<std::string>());
-    return V ? Value::of(*V) : Value::error();
-  });
-  B.bindEquals(TableSort, [](const Value &A, const Value &B2) {
-    return A.get<TableV>() == B2.get<TableV>();
-  });
-}
-
-} // namespace
-
 TEST(ModelSymbolTableTest, StackOfArraysSatisfiesAxioms1To9) {
   AlgebraContext Ctx;
   auto S = specs::loadSymboltable(Ctx);
   ASSERT_TRUE(static_cast<bool>(S));
   ModelBinding B(Ctx);
-  bindSymbolTable(B, Ctx);
+  installFromRegistry(B, *S);
 
   ModelTestOptions Options;
   Options.MaxDepth = 4;
@@ -303,24 +162,12 @@ TEST(ModelKnowsTest, KnowsTableSatisfiesAdaptedAxioms) {
   const Spec &TableSpec = (*Parsed)[1];
 
   ModelBinding B(Ctx);
-  SortId KnowsSort = Ctx.lookupSort("Knowlist");
   SortId TableSort = Ctx.lookupSort("Symboltable");
 
-  B.bindOp("CREATE", [](std::span<const Value>) {
-    return Value::of(adt::KnowsList());
-  });
-  B.bindOp("APPEND", [](std::span<const Value> Args) {
-    adt::KnowsList K = Args[0].get<adt::KnowsList>();
-    K.append(Args[1].get<std::string>());
-    return Value::of(std::move(K));
-  });
-  B.bindOp("IS_IN?", [](std::span<const Value> Args) {
-    return Value::of(
-        Args[0].get<adt::KnowsList>().contains(Args[1].get<std::string>()));
-  });
-  B.bindEquals(KnowsSort, [](const Value &A, const Value &B2) {
-    return A.get<adt::KnowsList>() == B2.get<adt::KnowsList>();
-  });
+  // The Knowlist half comes from the shared registry; the adapted
+  // KnowsSymbolTable stays a local binding (it takes a Knowlist argument
+  // on ENTERBLOCK, unlike the registry's plain SymbolTable).
+  installFromRegistry(B, KnowlistSpec);
 
   B.bindOp("INIT", [](std::span<const Value>) {
     return Value::of(KTableV(4));
@@ -393,7 +240,7 @@ TEST(ModelBindingTest, IteIsLazyOverRealCode) {
   auto Q = specs::loadQueue(Ctx);
   ASSERT_TRUE(static_cast<bool>(Q));
   ModelBinding B(Ctx);
-  bindQueue(B, Ctx, false);
+  installFromRegistry(B, *Q);
   // The else-branch would be error; the condition shields it.
   auto Term =
       parseTermText(Ctx, "if IS_EMPTY?(NEW) then 'ok else FRONT(NEW)");
@@ -422,54 +269,12 @@ TEST(ModelBindingTest, SameUsesBoundEquality) {
 // Table against TableAlg (the section-5 database characterization, E14)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-using TableImpl = adt::Table<std::string>;
-
-void bindTable(ModelBinding &B, AlgebraContext &Ctx) {
-  B.bindOp("EMPTY_TABLE", [](std::span<const Value>) {
-    return Value::of(TableImpl());
-  });
-  B.bindOp("INSERT_ROW", [](std::span<const Value> Args) {
-    TableImpl T = Args[0].get<TableImpl>();
-    T.insertRow(Args[1].get<std::string>(), Args[2].get<std::string>());
-    return Value::of(std::move(T));
-  });
-  B.bindOp("DELETE_ROW", [](std::span<const Value> Args) {
-    TableImpl T = Args[0].get<TableImpl>();
-    T.deleteRow(Args[1].get<std::string>());
-    return Value::of(std::move(T));
-  });
-  B.bindOp("LOOKUP", [](std::span<const Value> Args) {
-    auto V = Args[0].get<TableImpl>().lookup(Args[1].get<std::string>());
-    return V ? Value::of(*V) : Value::error();
-  });
-  B.bindOp("HAS_ROW?", [](std::span<const Value> Args) {
-    return Value::of(
-        Args[0].get<TableImpl>().hasRow(Args[1].get<std::string>()));
-  });
-  B.bindOp("ROW_COUNT", [](std::span<const Value> Args) {
-    return Value::of(
-        static_cast<int64_t>(Args[0].get<TableImpl>().rowCount()));
-  });
-  B.bindOp("SELECT_VAL", [](std::span<const Value> Args) {
-    return Value::of(
-        Args[0].get<TableImpl>().selectVal(Args[1].get<std::string>()));
-  });
-  B.bindEquals(Ctx.lookupSort("Table"),
-               [](const Value &A, const Value &B2) {
-                 return A.get<TableImpl>() == B2.get<TableImpl>();
-               });
-}
-
-} // namespace
-
 TEST(ModelTableTest, DatabaseTableSatisfiesItsSpec) {
   AlgebraContext Ctx;
   auto Parsed = specs::load(Ctx, specs::TableAlg, "table.alg");
   ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.error().message();
   ModelBinding B(Ctx);
-  bindTable(B, Ctx);
+  installFromRegistry(B, (*Parsed)[0]);
 
   ModelTestOptions Options;
   Options.MaxDepth = 4;
@@ -483,7 +288,7 @@ TEST(ModelTableTest, SelectValThroughRealCode) {
   auto Parsed = specs::load(Ctx, specs::TableAlg, "table.alg");
   ASSERT_TRUE(static_cast<bool>(Parsed));
   ModelBinding B(Ctx);
-  bindTable(B, Ctx);
+  installFromRegistry(B, (*Parsed)[0]);
 
   auto Term = parseTermText(
       Ctx, "ROW_COUNT(SELECT_VAL(INSERT_ROW(INSERT_ROW(INSERT_ROW("

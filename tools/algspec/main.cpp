@@ -19,6 +19,9 @@
 ///   algspec trace <file.alg> -e <term>   normalize, printing every step
 ///   algspec enum  <file.alg> -s <sort> -d <depth>
 ///                                        enumerate ground constructor terms
+///   algspec testgen --builtin <name>...  run axiom-derived test campaigns
+///                                        against the registered C++ ADT
+///                                        implementations
 ///   algspec axioms <file.alg>            pretty-print the parsed axioms
 ///
 /// `--builtin <name>` (queue, symboltable, stackarray, knowlist,
@@ -28,8 +31,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "adt/Bindings.h"
 #include "check/ErrorFlow.h"
 #include "core/AlgSpec.h"
+#include "model/ModelBinding.h"
+#include "testgen/TestGen.h"
 #include "server/Client.h"
 #include "server/Server.h"
 #include "server/Version.h"
@@ -73,6 +79,11 @@ int usage() {
       "  trace   like eval, printing each rewrite step\n"
       "  run     execute an assignment program file (or - for stdin)\n"
       "  enum    enumerate ground terms: algspec enum q.alg -s Queue -d 3\n"
+      "  testgen compile the loaded specs into axiom-derived test\n"
+      "          campaigns and run them against the registered C++ ADT\n"
+      "          implementations (depth bound -d; --uniformity or\n"
+      "          --random <n> shrink the instance set under explicit\n"
+      "          hypotheses; --mutant <name> seeds a known bug)\n"
       "  skeleton  generate the axiom left-hand sides a new spec needs\n"
       "            (one per defined-op/constructor pair)\n"
       "  fmt     reprint the specs in canonical form\n"
@@ -111,7 +122,19 @@ int usage() {
       "                     'off', or 'on' (saturation counters even\n"
       "                     ungated); verdicts are identical either way\n"
       "  --json             machine-readable output (check, lint,\n"
-      "                     analyze, verify)\n"
+      "                     analyze, verify, testgen)\n"
+      "  --random <n>       testgen: sample n instances per axiom from\n"
+      "                     the depth-bounded space instead of\n"
+      "                     enumerating it (deterministic under --seed)\n"
+      "  --seed <n>         testgen: seed for --random (default 0)\n"
+      "  --uniformity       testgen: keep one representative per\n"
+      "                     variable/constructor-case cell\n"
+      "  --oracle <which>   testgen: 'auto' (bound equality where\n"
+      "                     available, the default) or 'observers'\n"
+      "                     (observable-context oracles even where an\n"
+      "                     equality is bound)\n"
+      "  --mutant <name>    testgen: install a seeded implementation\n"
+      "                     bug (the campaign should catch it)\n"
       "  --Werror           lint/analyze: treat warnings as errors\n"
       "  --listen <addr>    serve: listen address (repeatable)\n"
       "  --connect <addr>   client: daemon address\n"
@@ -163,6 +186,12 @@ struct Options {
   std::string InvariantName;
   bool FreeDomain = false;
   bool Homomorphism = false;
+  // testgen options.
+  size_t RandomCount = 0;
+  uint64_t Seed = 0;
+  bool Uniformity = false;
+  bool ForceObservers = false;
+  std::string Mutant;
   // serve/client options.
   std::vector<std::string> ListenAddrs;
   std::string ConnectAddr;
@@ -294,6 +323,42 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.FreeDomain = true;
     } else if (Arg == "--hom") {
       Opts.Homomorphism = true;
+    } else if (Arg == "--random") {
+      const char *V = needValue("--random");
+      if (!V)
+        return false;
+      Opts.RandomCount = static_cast<size_t>(std::atoll(V));
+    } else if (Arg == "--seed") {
+      const char *V = needValue("--seed");
+      if (!V)
+        return false;
+      Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--uniformity") {
+      Opts.Uniformity = true;
+    } else if (Arg == "--oracle" || Arg.rfind("--oracle=", 0) == 0) {
+      std::string Which;
+      if (Arg == "--oracle") {
+        const char *V = needValue("--oracle");
+        if (!V)
+          return false;
+        Which = V;
+      } else {
+        Which = Arg.substr(std::string("--oracle=").size());
+      }
+      if (Which == "auto") {
+        Opts.ForceObservers = false;
+      } else if (Which == "observers") {
+        Opts.ForceObservers = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: --oracle wants 'auto' or 'observers'\n");
+        return false;
+      }
+    } else if (Arg == "--mutant") {
+      const char *V = needValue("--mutant");
+      if (!V)
+        return false;
+      Opts.Mutant = V;
     } else if (Arg == "--listen") {
       const char *V = needValue("--listen");
       if (!V)
@@ -476,6 +541,134 @@ int cmdEnum(Workspace &WS, const Options &Opts) {
                Enumerator.wasTruncated(Sort, Opts.Depth) ? " (truncated)"
                                                          : "");
   return 0;
+}
+
+/// `algspec testgen`: compile every loaded spec into an axiom-derived
+/// test campaign and run it against the C++ implementation the registry
+/// binds to that spec name. Exit 0 when every campaign passes, 1 on any
+/// counterexample or obstruction, 2 on usage errors.
+int cmdTestgen(Workspace &WS, const Options &Opts) {
+  if (Opts.Uniformity && Opts.RandomCount) {
+    std::fprintf(stderr, "error: --uniformity and --random are different "
+                         "selection hypotheses; pick one\n");
+    return 2;
+  }
+  if (!Opts.Mutant.empty()) {
+    bool Known = false;
+    for (const adt::AdtBinding &Row : adt::adtBindings())
+      for (const adt::MutantInfo &M : Row.Mutants)
+        Known |= M.Name == Opts.Mutant;
+    if (!Known) {
+      std::fprintf(stderr, "error: unknown mutant '%s'; known mutants:\n",
+                   Opts.Mutant.c_str());
+      for (const adt::AdtBinding &Row : adt::adtBindings())
+        for (const adt::MutantInfo &M : Row.Mutants)
+          std::fprintf(stderr, "  %s (%s): %s\n",
+                       std::string(M.Name).c_str(),
+                       std::string(Row.SpecName).c_str(),
+                       std::string(M.Description).c_str());
+      return 2;
+    }
+  }
+
+  // Spec-side engine, so counterexamples carry the normal form the
+  // axioms compute for the failing instance.
+  EngineOptions EngineOpts;
+  EngineOpts.Compile = Opts.CompileEngine;
+  auto SessionOrErr = WS.session(EngineOpts);
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "%s\n", SessionOrErr.error().message().c_str());
+    return 1;
+  }
+  Session Sess = SessionOrErr.take();
+
+  TestGenOptions TG;
+  TG.MaxDepth = Opts.Depth;
+  TG.RandomCount = Opts.RandomCount;
+  TG.Seed = Opts.Seed;
+  TG.Uniformity = Opts.Uniformity;
+  TG.ForceObservers = Opts.ForceObservers;
+  TG.Par.Jobs = Opts.Jobs;
+  TG.SpecEngine = &Sess.engine();
+
+  std::vector<const Spec *> AllSpecs = WS.specPointers();
+  bool AllPassed = true;
+  uint64_t Planned = 0, Run = 0, Failures = 0, ShrinkSteps = 0;
+  JsonWriter W;
+  if (Opts.Json) {
+    W.beginObject();
+    W.key("command").value("testgen");
+    W.key("specs").beginArray();
+  }
+  for (const Spec &S : WS.specs()) {
+    TestGenReport Report;
+    const adt::AdtBinding *Row = adt::findAdtBinding(S.name());
+    if (!Row) {
+      Report.SpecName = S.name();
+      Report.AllPassed = false;
+      Report.Obstructions.push_back(
+          {"unknown-implementation",
+           "no C++ implementation is registered for spec '" + S.name() +
+               "'"});
+    } else {
+      // The mutant applies only to the row that declares it; the other
+      // campaigns run against the healthy implementations.
+      std::string_view Mutant;
+      for (const adt::MutantInfo &M : Row->Mutants)
+        if (M.Name == Opts.Mutant)
+          Mutant = Opts.Mutant;
+      ModelBinding B(WS.context());
+      if (Result<void> R = Row->Install(B, S, Mutant); !R) {
+        Report.SpecName = S.name();
+        Report.Impl = Row->Impl;
+        Report.AllPassed = false;
+        Report.Obstructions.push_back(
+            {"binding-install", R.error().message()});
+      } else {
+        TestGenOptions Local = TG;
+        Local.BindingFactory =
+            [Row, Mutant, SpecName = S.name()](AlgebraContext &RCtx,
+                                               std::span<const Spec> RSpecs)
+            -> std::unique_ptr<ModelBinding> {
+          const Spec *RS = nullptr;
+          for (const Spec &Candidate : RSpecs)
+            if (Candidate.name() == SpecName)
+              RS = &Candidate;
+          if (!RS)
+            return nullptr;
+          auto RB = std::make_unique<ModelBinding>(RCtx);
+          if (!Row->Install(*RB, *RS, Mutant))
+            return nullptr;
+          return RB;
+        };
+        Report = runTestGen(WS.context(), S, AllSpecs, B, Local);
+        Report.Impl = Row->Impl;
+      }
+    }
+    AllPassed &= Report.AllPassed;
+    Planned += Report.TotalPlanned;
+    Run += Report.TotalRun;
+    Failures += Report.TotalFailures;
+    ShrinkSteps += Report.TotalShrinkSteps;
+    if (Opts.Json)
+      Report.writeJson(W, TG);
+    else
+      std::printf("%s", Report.render(TG).c_str());
+  }
+  if (Opts.Json) {
+    W.endArray();
+    W.key("stats").beginObject();
+    W.key("campaign").beginObject();
+    W.key("planned").value(Planned);
+    W.key("run").value(Run);
+    W.key("failures").value(Failures);
+    W.key("shrinkSteps").value(ShrinkSteps);
+    W.endObject();
+    W.endObject();
+    W.endObject();
+    std::printf("%s\n", W.str().c_str());
+  }
+  return AllPassed ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -720,6 +913,11 @@ int main(int Argc, char **Argv) {
     if (!loadAll(WS, Opts, Opts.Files))
       return 1;
     return cmdEnum(WS, Opts);
+  }
+  if (Opts.Command == "testgen") {
+    if (!loadAll(WS, Opts, Opts.Files))
+      return 1;
+    return cmdTestgen(WS, Opts);
   }
   if (Opts.Command == "skeleton") {
     if (!loadAll(WS, Opts, Opts.Files))

@@ -25,7 +25,12 @@ Two series are understood, each optional in the input:
   per-instance sweep at every depth; ``BM_VerifyReachable/<depth>``
   (bench_verify's series, which runs with the oracle's default
   ``--egraph=auto``) is held to the same twin when both reports are
-  given, pinning the shipped default to the win.
+  given, pinning the shipped default to the win;
+* ``BM_TestgenUniform/<depth>`` against ``BM_TestgenFull/<depth>`` —
+  a testgen campaign under the uniformity hypothesis plans one
+  representative per variable/constructor-case cell while the full
+  enumerative plan grows exponentially with depth, so uniformity must
+  beat the full sweep at every depth.
 
 Reads one or more JSON files (their benchmark lists are merged),
 prints a speedup table per series, and emits a GitHub Actions
@@ -105,6 +110,13 @@ def verify_default_pair(name):
     if parts[0] != "BM_VerifyReachable" or len(parts) != 2:
         return None
     return parts[1], "BM_VerifySweepOnly/" + parts[1]
+
+
+def testgen_pair(name):
+    parts = name.split("/")
+    if parts[0] != "BM_TestgenUniform" or len(parts) != 2:
+        return None
+    return parts[1], "BM_TestgenFull/" + parts[1]
 
 
 def report_series(title, key, rows, slow_name, fast_name):
@@ -192,6 +204,17 @@ def main() -> int:
         if slower:
             print("::warning::default verify (egraph=auto) slower than "
                   "the per-instance sweep at depths: "
+                  f"{', '.join(slower)} (advisory; timings on shared "
+                  "runners are noisy)")
+
+    rows = paired_rows(times, testgen_pair)
+    if rows:
+        found_any = True
+        slower = report_series("uniformity campaign vs full enumeration:",
+                               "depth", rows, "full", "uniform")
+        if slower:
+            print("::warning::uniformity testgen campaign slower than the "
+                  "full enumerative sweep at depths: "
                   f"{', '.join(slower)} (advisory; timings on shared "
                   "runners are noisy)")
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+#===----------------------------------------------------------------------===//
+#
+# Part of AlgSpec. MIT license.
+#
+#===----------------------------------------------------------------------===//
+#
+# Diffs every committed testgen golden corpus against the live CLI.
+#
+# Each corpus under tests/testgen_golden/<name>/ holds the campaign's
+# arguments (inputs/cmd) and its committed outputs (expected/report.txt,
+# expected/report.json, expected/exit). For each corpus the script runs
+# the campaign at --jobs 1, byte-diffs the text and JSON reports and
+# compares the exit code, then re-runs both at --jobs 4: a testgen
+# report must be byte-identical at any job count, so the sharded runs
+# diff against the same committed files.
+#
+# Usage: check_testgen_golden.sh <algspec-binary> [corpus-root]
+#
+set -u
+
+BIN=${1:?usage: check_testgen_golden.sh <algspec-binary> [corpus-root]}
+ROOT=${2:-$(cd "$(dirname "$0")/.." && pwd)/tests/testgen_golden}
+
+if [ ! -d "$ROOT" ]; then
+  echo "error: corpus root '$ROOT' not found" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+corpora=0
+
+check() { # check <corpus> <label> <expected-file> <got-file>
+  if ! diff -u "$3" "$4" > "$WORK/diff.out" 2>&1; then
+    echo "FAIL $1: $2 differs from committed golden"
+    sed 's/^/  /' "$WORK/diff.out"
+    failures=$((failures + 1))
+  fi
+}
+
+for dir in "$ROOT"/*/; do
+  name=$(basename "$dir")
+  corpora=$((corpora + 1))
+  # shellcheck disable=SC2086 # the cmd file is a flat argument list
+  args=$(cat "$dir/inputs/cmd")
+  want_exit=$(cat "$dir/expected/exit")
+
+  for jobs in 1 4; do
+    "$BIN" testgen $args --jobs $jobs \
+      > "$WORK/report.txt" 2>&1
+    got_exit=$?
+    if [ "$got_exit" != "$want_exit" ]; then
+      echo "FAIL $name: exit $got_exit at --jobs $jobs," \
+        "expected $want_exit"
+      failures=$((failures + 1))
+    fi
+    check "$name" "text report (--jobs $jobs)" \
+      "$dir/expected/report.txt" "$WORK/report.txt"
+
+    "$BIN" testgen $args --jobs $jobs --json \
+      > "$WORK/report.json" 2>&1
+    got_exit=$?
+    if [ "$got_exit" != "$want_exit" ]; then
+      echo "FAIL $name: --json exit $got_exit at --jobs $jobs," \
+        "expected $want_exit"
+      failures=$((failures + 1))
+    fi
+    check "$name" "JSON report (--jobs $jobs)" \
+      "$dir/expected/report.json" "$WORK/report.json"
+  done
+done
+
+if [ "$corpora" -eq 0 ]; then
+  echo "error: no corpora under '$ROOT'" >&2
+  exit 2
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "testgen goldens: $failures mismatch(es) across $corpora corpora"
+  exit 1
+fi
+echo "testgen goldens: $corpora corpora byte-identical at --jobs 1 and 4"
